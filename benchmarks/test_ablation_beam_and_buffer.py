@@ -1,0 +1,76 @@
+"""Design-choice ablations called out in DESIGN.md:
+
+* beam width in the digit decoder (§4.2 error-control mechanism);
+* replay-buffer size in the DPO calibration loop (§5.1).
+"""
+
+import copy
+
+import numpy as np
+from conftest import write_result
+
+from repro.core import CalibrationConfig, DynamicCalibrator
+from repro.eval import ape, format_percent, format_table
+
+BEAM_WIDTHS = (1, 3, 5)
+BUFFER_SIZES = (1, 4, 16)
+
+
+def test_beam_width_ablation(benchmark, harness, zoo, modern):
+    def sweep():
+        table = {}
+        for width in BEAM_WIDTHS:
+            apes = []
+            for workload in modern:
+                actual = harness.profile_workload(workload).costs.cycles
+                bundle = harness._workload_bundle(workload, harness.config.eval_params)
+                predicted = zoo.ours.predict(
+                    bundle,
+                    "cycles",
+                    class_i_segments=list(workload.class_i),
+                    beam_width=width,
+                ).value
+                apes.append(ape(predicted, actual))
+            table[width] = float(np.mean(apes))
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["beam width", "cycles MAPE"],
+        [[w, format_percent(table[w])] for w in BEAM_WIDTHS],
+        title="Ablation: beam width in the digit decoder",
+    )
+    write_result("ablation_beam_width.txt", text)
+    # Beam search must not be worse than greedy decoding.
+    assert table[3] <= table[1] + 1e-9
+
+
+def test_replay_buffer_ablation(benchmark, harness, zoo, modern):
+    workload = modern[1]
+    environment = harness.calibration_environment(workload)
+
+    def sweep():
+        table = {}
+        for size in BUFFER_SIZES:
+            model = copy.deepcopy(zoo.ours)
+            calibrator = DynamicCalibrator(
+                model, CalibrationConfig(buffer_size=size, seed=2)
+            )
+            history = calibrator.run(environment, iterations=5)
+            table[size] = (history.initial_mape, history.final_mape)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["buffer size", "initial MAPE", "final MAPE"],
+        [
+            [size, format_percent(table[size][0]), format_percent(table[size][1])]
+            for size in BUFFER_SIZES
+        ],
+        title=f"Ablation: replay-buffer size (workload {workload.name})",
+    )
+    write_result("ablation_replay_buffer.txt", text)
+    # Every buffer size must improve on the uncalibrated error; the
+    # windowed buffers should do at least as well as pure online mode.
+    for size in BUFFER_SIZES:
+        assert table[size][1] <= table[size][0] + 1e-9

@@ -1,0 +1,29 @@
+"""§4.2 analysis: base-D encoding trade-off (temporal vs spatial
+efficiency of the numeric output head)."""
+
+from conftest import write_result
+
+from repro.core import NumericCodec, tradeoff_table
+from repro.eval import format_table
+
+
+def test_base_encoding_tradeoff(benchmark):
+    def analyze():
+        return tradeoff_table(128, bases=(2, 4, 8, 10, 16))
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        ["base", "encoding_length", "logit_dimension", "cost_product"],
+        [[r["base"], r["encoding_length"], r["logit_dimension"], r["cost_product"]] for r in rows],
+        title="Base-D Encoding Trade-off for N=128 (paper §4.2)",
+    )
+    write_result("base_encoding_tradeoff.txt", text)
+    by_base = {r["base"]: r for r in rows}
+    # Temporal efficiency: larger base → shorter encoding.
+    assert by_base[2]["encoding_length"] > by_base[10]["encoding_length"]
+    # Spatial efficiency: larger base → wider per-digit classification.
+    assert by_base[16]["logit_dimension"] > by_base[2]["logit_dimension"]
+    # Round-trip correctness at every base.
+    for base in (2, 4, 8, 10, 16):
+        codec = NumericCodec(base=base, digits=16)
+        assert codec.decode(codec.encode(128)) == 128

@@ -1,0 +1,83 @@
+"""Confidence quality beyond Table 6: calibration and selective
+prediction.
+
+Table 6 reports one number (confidence/MSE Pearson).  This bench asks
+the two questions a user of the confidence signal actually has:
+
+* **Calibration** — when a digit head says 80%, is it right about 80%
+  of the time?  (reliability bins + expected calibration error over all
+  digit predictions across workloads and metrics)
+* **Selective prediction** — if the model refuses its least-confident
+  predictions, does the error of the remainder drop?  (risk–coverage
+  AURC vs the unconditional mean APE)
+"""
+
+import numpy as np
+from conftest import STRICT, write_result
+
+from repro.eval import (
+    ape,
+    aurc,
+    expected_calibration_error,
+    format_table,
+    reliability_bins,
+)
+from repro.profiler import METRICS
+
+
+def test_confidence_quality(benchmark, harness, zoo, all_workloads, accel_params):
+    def collect():
+        digit_confidences = []
+        digit_correct = []
+        mean_confidences = []
+        ape_values = []
+        for workload in all_workloads:
+            params = accel_params.get(workload.name, harness.config.eval_params)
+            actual = harness.profile_workload(workload, params).costs
+            bundle = workload.bundle(params=params, data=workload.merged_data())
+            for metric in METRICS:
+                pred = zoo.ours.predict(
+                    bundle, metric, class_i_segments=list(workload.class_i)
+                )
+                true_digits = zoo.ours.codec.encode(actual[metric])
+                for confidence, digit, truth in zip(
+                    pred.digit_confidences, pred.digits, true_digits
+                ):
+                    digit_confidences.append(min(1.0, max(0.0, confidence)))
+                    digit_correct.append(digit == truth)
+                mean_confidences.append(pred.mean_confidence)
+                ape_values.append(min(ape(pred.value, actual[metric]), 3.0))
+        return digit_confidences, digit_correct, mean_confidences, ape_values
+
+    digit_conf, digit_ok, mean_conf, apes = benchmark.pedantic(
+        collect, rounds=1, iterations=1
+    )
+
+    ece = expected_calibration_error(digit_conf, digit_ok, n_bins=10)
+    bins = reliability_bins(digit_conf, digit_ok, n_bins=10)
+    risk_auc = aurc(mean_conf, apes)
+    mean_ape = float(np.mean(apes))
+
+    rows = [
+        [f"{b.lower:.1f}-{b.upper:.1f}", b.count,
+         f"{b.mean_confidence:.2f}", f"{b.accuracy:.2f}", f"{b.gap:+.2f}"]
+        for b in bins
+    ]
+    text = format_table(
+        ["conf bin", "n", "mean conf", "accuracy", "gap"],
+        rows,
+        title=(
+            f"Digit-confidence quality  [ECE={ece:.3f}; "
+            f"risk-coverage AURC={risk_auc:.3f} vs "
+            f"unconditional mean APE={mean_ape:.3f}]"
+        ),
+    )
+    write_result("confidence_quality.txt", text)
+
+    assert 0.0 <= ece <= 1.0
+    assert len(bins) >= 2  # confidences must not collapse to one bin
+    if STRICT:
+        # Selective prediction must help: admitting predictions in
+        # confidence order keeps the running mean error below (or at)
+        # the unconditional mean.
+        assert risk_auc <= mean_ape * 1.05

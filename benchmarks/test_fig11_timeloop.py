@@ -1,0 +1,67 @@
+"""Figure 11: LLMulator vs the rule-based Timeloop substitute on power
+prediction for the modern (deep-learning operator) workloads.
+
+Timeloop cannot express control-flow workloads natively; following the
+paper's protocol they are manually decomposed (strict=False), with the
+fidelity loss that implies."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.baselines import TimeloopModel
+from repro.errors import UnsupportedWorkloadError
+from repro.eval import ape, format_percent, format_table
+
+
+def test_fig11_timeloop_comparison(benchmark, harness, modern, eval_result):
+    def run_timeloop():
+        estimates = {}
+        rejected = 0
+        for workload in modern:
+            strict = TimeloopModel(harness.config.eval_params, strict=True)
+            try:
+                estimate = strict.evaluate_program(
+                    workload.program, bindings=workload.merged_data() or None
+                )
+            except UnsupportedWorkloadError:
+                rejected += 1
+                relaxed = TimeloopModel(harness.config.eval_params, strict=False)
+                estimate = relaxed.evaluate_program(
+                    workload.program, bindings=workload.merged_data() or None
+                )
+            estimates[workload.name] = estimate
+        return estimates, rejected
+
+    (estimates, rejected), = [benchmark.pedantic(run_timeloop, rounds=1, iterations=1)]
+
+    rows = []
+    ours_apes, timeloop_apes = [], []
+    for workload in modern:
+        actual = eval_result.results["ours"][workload.name].actuals["power"]
+        timeloop_ape = ape(estimates[workload.name].power_uw, actual)
+        ours_ape = eval_result.workload_ape("ours", workload.name, "power")
+        ours_apes.append(ours_ape)
+        timeloop_apes.append(timeloop_ape)
+        rows.append(
+            [workload.name, format_percent(ours_ape), format_percent(timeloop_ape)]
+        )
+    rows.append(
+        [
+            "average",
+            format_percent(float(np.mean(ours_apes))),
+            format_percent(float(np.mean(timeloop_apes))),
+        ]
+    )
+    text = format_table(
+        ["workload", "Ours", "Timeloop"],
+        rows,
+        title=(
+            "Figure 11: Power MAPE, LLMulator vs Timeloop "
+            f"({rejected}/{len(modern)} workloads needed manual decomposition)"
+        ),
+    )
+    write_result("fig11_timeloop.txt", text)
+    # Paper shape: most modern workloads exceed Timeloop's native
+    # expressiveness, and the learned model is more accurate on average.
+    assert rejected >= len(modern) // 2
+    assert float(np.mean(ours_apes)) < float(np.mean(timeloop_apes))

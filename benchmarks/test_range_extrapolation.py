@@ -1,0 +1,108 @@
+"""§2 / §4.2 claim: digit-classification outputs extrapolate beyond the
+training range, sigmoid-regression outputs cannot (they are capped at
+the training maximum by construction).
+
+A family of scaled GEMM designs is profiled; models train on the small
+sizes and predict the largest — whose cycle count lies far above every
+training label."""
+
+from conftest import write_result
+
+from repro.baselines import TLPConfig, TLPModel
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    train_cost_model,
+)
+from repro.eval import ape, format_percent, format_table
+from repro.profiler import Profiler
+
+GEMM_TEMPLATE = """
+void gemm(float a[{n}][{n}], float b[{n}][{n}], float c[{n}][{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      float acc = 0.0;
+      for (int k = 0; k < {n}; k++) {{
+        acc = acc + a[i][k] * b[k][j];
+      }}
+      c[i][j] = acc;
+    }}
+  }}
+}}
+
+void dataflow(float a[{n}][{n}], float b[{n}][{n}], float c[{n}][{n}]) {{
+  gemm(a, b, c);
+}}
+"""
+
+TRAIN_SIZES = tuple(range(2, 11))
+TEST_SIZE = 11  # cycles ~1.3x the largest training label
+
+
+def test_range_extrapolation(benchmark):
+    profiler = Profiler()
+    train_points = []
+    for n in TRAIN_SIZES:
+        source = GEMM_TEMPLATE.format(n=n)
+        costs = profiler.profile(source).costs
+        train_points.append((source, costs))
+    test_source = GEMM_TEMPLATE.format(n=TEST_SIZE)
+    test_costs = profiler.profile(test_source).costs
+    train_max = max(costs.cycles for _, costs in train_points)
+    assert test_costs.cycles > train_max  # genuinely out of range
+
+    def train_and_predict():
+        examples = [
+            TrainingExample(
+                bundle=bundle_from_program(source), targets={"cycles": costs.cycles}
+            )
+            for source, costs in train_points
+        ]
+        config = dict(tier="1B", max_seq_len=256, metrics=("cycles",))
+        ours = CostModel(LLMulatorConfig(numeric_mode="digit", **config))
+        train_cost_model(
+            ours, examples, TrainingConfig(epochs=25, lr=3e-3, lr_schedule="cosine")
+        )
+        # NoEnc ablation: whole-number input tokens (hash-bucketed), the
+        # same digit-classification output head.  The unseen numeral in
+        # the test program hashes to an arbitrary bucket, breaking the
+        # compositional signal the digit encoding preserves (§7.3).
+        noenc = CostModel(LLMulatorConfig(numeric_mode="whole", **config))
+        train_cost_model(
+            noenc, examples, TrainingConfig(epochs=25, lr=3e-3, lr_schedule="cosine")
+        )
+        tlp = TLPModel(TLPConfig(tier="1B", max_seq_len=256, epochs=25))
+        tlp.fit([(e.bundle, e.targets) for e in examples])
+        test_bundle = bundle_from_program(test_source)
+        ours_pred = ours.predict(test_bundle, "cycles").value
+        noenc_pred = noenc.predict(test_bundle, "cycles").value
+        tlp_pred = tlp.predict(test_bundle, "cycles")
+        return ours_pred, noenc_pred, tlp_pred
+
+    ours_pred, noenc_pred, tlp_pred = benchmark.pedantic(
+        train_and_predict, rounds=1, iterations=1
+    )
+    actual = test_costs.cycles
+    text = format_table(
+        ["model", "prediction", "actual", "APE"],
+        [
+            ["ours (digit)", ours_pred, actual, format_percent(ape(ours_pred, actual))],
+            ["NoEnc (whole tokens)", noenc_pred, actual,
+             format_percent(ape(noenc_pred, actual))],
+            ["TLP (sigmoid)", tlp_pred, actual, format_percent(ape(tlp_pred, actual))],
+            ["training max", train_max, "-", "-"],
+        ],
+        title=f"Range extrapolation: train on N<={max(TRAIN_SIZES)}, test N={TEST_SIZE}",
+    )
+    write_result("range_extrapolation.txt", text)
+    # Structural claim: the sigmoid head cannot exceed the training max.
+    assert tlp_pred <= train_max
+    # Paper claims: the digit decoder's edge-value error is far lower
+    # than the regression model's, and progressive (digit) input
+    # encoding beats whole-number tokenization on the unseen numeral —
+    # the regime where §7.3's 23.7% -> 10.2% reduction lives.
+    assert ape(ours_pred, actual) < ape(tlp_pred, actual)
+    assert ape(ours_pred, actual) <= ape(noenc_pred, actual) + 0.05

@@ -1,0 +1,124 @@
+"""Table 3: MAPE comparison across models, metrics and workloads,
+including the NoEnc encoding ablation and the NoDPO/DPO cycle columns."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.eval import format_percent, mape_table
+
+MODELS = ("noenc", "ours", "gnnhls", "tenset", "tlp")
+
+
+def test_table3_static_metrics(benchmark, eval_result, all_workloads):
+    names = [w.name for w in all_workloads]
+    # The paper evaluates with pass@5 sampling; this only affects the
+    # sampling-based models (ours/noenc) — the regression baselines are
+    # deterministic, so their pass@5 equals pass@1.
+    pass_at = 5
+
+    def render():
+        sections = []
+        for metric in ("power", "area", "ff"):
+            sections.append(
+                mape_table(
+                    f"Table 3 [Static-{metric.capitalize()}] (pass@5)",
+                    names,
+                    list(MODELS),
+                    lambda m, w, metric=metric: eval_result.workload_ape(
+                        m, w, metric, pass_at=pass_at
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_result("table3_static_mape.txt", text)
+    # Paper ordering on the static metrics: LLMulator beats the GNN.
+    # (The TLP and overall-average comparisons — the abstract's headline
+    # — are asserted in the dynamic-cycles test below, where the
+    # calibrated cycles column participates as in the paper's Table 3.)
+    #
+    # The NoEnc input-encoding ablation is only weakly visible here: the
+    # benchmark programs' numerals are small and covered by the training
+    # corpus, so whole-number hash tokens rarely collide with unseen
+    # values.  The regime where §7.3's claim lives — unseen numerals —
+    # is asserted in benchmarks/test_range_extrapolation.py; here we
+    # only require rough parity.
+    from conftest import STRICT
+
+    statics = ("power", "area", "ff")
+    ours = np.mean([eval_result.mape_of("ours", m, pass_at) for m in statics])
+    noenc = np.mean([eval_result.mape_of("noenc", m, pass_at) for m in statics])
+    gnn = np.mean([eval_result.mape_of("gnnhls", m) for m in statics])
+    tolerance = 1.6 if STRICT else 2.0
+    assert ours <= noenc * tolerance
+    if STRICT:
+        assert ours < gnn
+
+
+def test_table3_dynamic_cycles_with_dpo(benchmark, harness, zoo, all_workloads, eval_result):
+    def calibrate():
+        return harness.calibrated_eval(zoo.ours, all_workloads, iterations=5)
+
+    outcome = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    rows = []
+    for name in outcome:
+        rows.append(
+            [
+                name,
+                format_percent(outcome[name]["pre_ape"]),
+                format_percent(outcome[name]["post_ape"]),
+                format_percent(eval_result.workload_ape("gnnhls", name, "cycles")),
+                format_percent(eval_result.workload_ape("tenset", name, "cycles")),
+                format_percent(eval_result.workload_ape("tlp", name, "cycles")),
+            ]
+        )
+    pre = float(np.mean([v["pre_ape"] for v in outcome.values()]))
+    post = float(np.mean([v["post_ape"] for v in outcome.values()]))
+    rows.append(["average", format_percent(pre), format_percent(post), "-", "-", "-"])
+    from repro.eval import format_table
+
+    text = format_table(
+        ["workload", "NoDPO", "Ours(DPO)", "GNNHLS", "Tenset", "TLP"],
+        rows,
+        title="Table 3 [Dynamic-Cycles]",
+    )
+    write_result("table3_dynamic_cycles.txt", text)
+    # The paper's headline: dynamic calibration cuts cycle error
+    # substantially vs the static model.
+    assert post < pre
+    assert post < 0.25
+    # Abstract claim: overall average MAPE (static metrics + calibrated
+    # cycles) beats TLP and GNNHLS.
+    statics = ("power", "area", "ff")
+    ours_overall = float(
+        np.mean([eval_result.mape_of("ours", m, pass_at=5) for m in statics] + [post])
+    )
+    from conftest import STRICT
+
+    if STRICT:
+        for baseline in ("tlp", "gnnhls"):
+            baseline_overall = float(
+                np.mean(
+                    [eval_result.mape_of(baseline, m) for m in statics]
+                    + [eval_result.mape_of(baseline, "cycles")]
+                )
+            )
+            assert ours_overall < baseline_overall, (
+                baseline, ours_overall, baseline_overall,
+            )
+    ranking_lines = []
+    for model in ("ours", "tlp", "gnnhls", "tenset"):
+        per_metric = [
+            f"{metric}={eval_result.ranking_of(model, metric):+.2f}"
+            for metric in ("power", "area", "ff", "cycles")
+        ]
+        ranking_lines.append(f"  {model:7s} " + "  ".join(per_metric))
+    summary = (
+        f"Overall average MAPE: ours={100 * ours_overall:.1f}% "
+        f"(paper: 12.2%), cycles NoDPO {100 * pre:.1f}% -> DPO {100 * post:.1f}% "
+        "(paper: 28.9% -> 16.4%)\n"
+        "Ranking fidelity (Spearman, predictions vs actuals across workloads):\n"
+        + "\n".join(ranking_lines)
+    )
+    write_result("table3_overall_summary.txt", summary)

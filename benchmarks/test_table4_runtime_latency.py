@@ -1,0 +1,33 @@
+"""Table 4: prediction latency on Polybench, per model."""
+
+from conftest import write_result
+
+from repro.eval import format_table
+
+MODELS = ("gnnhls", "tenset", "tlp", "ours")
+
+
+def test_table4_runtime_latency(benchmark, eval_result, polybench):
+    names = [w.name for w in polybench]
+
+    def render():
+        rows = []
+        for model in MODELS:
+            row = [model]
+            for name in names:
+                row.append(f"{eval_result.results[model][name].latency_s:.3f}")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(render, rounds=1, iterations=1)
+    text = format_table(
+        ["model", *names], rows, title="Table 4: Prediction Latency (s) on Polybench"
+    )
+    write_result("table4_runtime_latency.txt", text)
+    # Paper shape: the LLM-based predictor is slower than the GNN and
+    # feature-MLP baselines (LLM compute overhead), but stays within
+    # interactive bounds.
+    ours = eval_result.mean_latency("ours")
+    assert ours > eval_result.mean_latency("gnnhls")
+    assert ours > eval_result.mean_latency("tenset")
+    assert ours < 10.0

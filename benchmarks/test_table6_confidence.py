@@ -1,0 +1,50 @@
+"""Table 6: correlation between prediction confidence (final logit)
+and squared error for flip-flop estimates."""
+
+from conftest import write_result
+
+from repro.eval import format_table, pearson
+
+
+def test_table6_confidence_correlation(benchmark, eval_result, all_workloads):
+    def collect():
+        confidences = []
+        squared_errors = []
+        rows = []
+        for workload in all_workloads:
+            row = eval_result.results["ours"][workload.name]
+            if "ff" not in row.confidences:
+                continue
+            confidence = row.confidences["ff"]
+            error = (row.predictions["ff"] - row.actuals["ff"]) ** 2
+            confidences.append(confidence)
+            squared_errors.append(float(error))
+            rows.append(
+                [workload.name, f"{confidence:.2f}", row.predictions["ff"],
+                 row.actuals["ff"], int(error)]
+            )
+        return confidences, squared_errors, rows
+
+    confidences, squared_errors, rows = benchmark.pedantic(
+        collect, rounds=1, iterations=1
+    )
+    correlation = pearson(confidences, squared_errors)
+    text = format_table(
+        ["workload", "Confi", "Pred", "Real", "MSE"],
+        rows,
+        title=(
+            "Table 6: Confidence vs Squared Error (FF)"
+            f"  [Pearson r = {correlation:.2f}; paper: -0.44]"
+        ),
+    )
+    write_result("table6_confidence.txt", text)
+    # The paper's claim: confidence anti-correlates with error.  Only a
+    # converged model produces meaningful confidences, so the sign check
+    # applies at the full preset.
+    from conftest import STRICT
+
+    import numpy as np
+
+    assert np.isfinite(correlation)
+    if STRICT:
+        assert correlation < 0.0

@@ -1,0 +1,137 @@
+"""Real-world accelerator case study (paper §7.4).
+
+Predicts the full cost vector of the three canonical Gemm dataflow
+styles — TPU v1 (weight-stationary), Eyeriss (input-stationary) and
+ShiDianNao (output-stationary) — with a model trained only on *other*
+mapping variants of the same computation, then compares the styles on
+the cycles/area Pareto plane.
+
+The corpus here is deliberately miniature (~30 profiled schedules, one
+small model) so the script finishes in minutes; the benchmark harness
+(``benchmarks/test_table3_mape_comparison.py``, last three rows) runs
+the same experiment at paper scale.
+
+Run:  python examples/accelerator_case_study.py
+"""
+
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    pareto_points,
+    train_cost_model,
+)
+from repro.core.explorer import DesignPoint, DesignSpaceExplorer
+from repro.eval import ape
+from repro.profiler import Profiler
+from repro.workloads import (
+    accelerator_params,
+    accelerator_suite,
+    linalg_workload,
+)
+
+
+def build_training_set():
+    """Profile generic Gemm loop schedules as the training corpus.
+
+    Mirrors the paper's setup: the model never sees the TPU/Eyeriss/
+    ShiDianNao programs themselves, only the plain Polybench Gemm under
+    varied loop-level unroll/parallel mappings and hardware parameters —
+    the schedule space the three dataflow styles live in.
+    """
+    from repro.core import MappingChoice, apply_mapping
+    from repro.hls import HardwareParams
+
+    gemm = linalg_workload("gemm")
+
+    def choice(loop_index, unroll=1, parallel=False):
+        return MappingChoice(
+            function="gemm_kernel",
+            loop_index=loop_index,
+            unroll=unroll,
+            parallel=parallel,
+        )
+
+    # Single-level schedules plus the two-level (parallel outer + unrolled
+    # inner, and vice versa) shapes the stationary styles are built from.
+    schedules: list[tuple[MappingChoice, ...]] = []
+    for loop_index in (0, 1, 2):
+        for unroll in (1, 2, 4):
+            for parallel in (False, True):
+                schedules.append((choice(loop_index, unroll, parallel),))
+    for outer, inner in ((0, 1), (0, 2), (1, 2)):
+        for unroll in (2, 4):
+            schedules.append(
+                (choice(outer, parallel=True), choice(inner, unroll=unroll))
+            )
+            schedules.append(
+                (choice(outer, unroll=unroll), choice(inner, parallel=True))
+            )
+    examples = []
+    for i, combo in enumerate(schedules):
+        params = HardwareParams(
+            mem_read_delay=(2, 5, 10)[i % 3],
+            mem_write_delay=(2, 5, 10)[i % 3],
+            pe_count=(4, 8)[i % 2],
+            memory_ports=(2, 4)[i % 2],
+        )
+        mapped = apply_mapping(gemm.program, combo)
+        profiler = Profiler(params, max_steps=2_000_000)
+        costs = profiler.profile(mapped, data=gemm.merged_data()).costs
+        bundle = bundle_from_program(
+            mapped, params=params, data=gemm.merged_data()
+        )
+        examples.append(TrainingExample(bundle=bundle, targets=costs.as_dict()))
+    return examples
+
+
+def main() -> None:
+    print("profiling the generic Gemm mapping space for training data ...")
+    examples = build_training_set()
+
+    model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+    history = train_cost_model(model, examples, TrainingConfig(epochs=14, lr=3e-3))
+    print(f"trained on {len(examples)} mapping variants: "
+          f"loss {history.epoch_losses[0]:.2f} -> {history.final_loss:.2f}\n")
+
+    points = []
+    print(f"{'style':12s} {'metric':7s} {'pred':>9s} {'actual':>9s} {'APE':>7s}")
+    for workload in accelerator_suite():
+        params = accelerator_params(workload.name)
+        report = Profiler(params).profile(
+            workload.program, data=workload.merged_data() or None
+        )
+        prediction = model.predict_costs(
+            workload.bundle(params=params),
+            class_i_segments=workload.class_i,
+        )
+        for metric, actual in report.costs.as_dict().items():
+            predicted = prediction.as_dict()[metric]
+            print(
+                f"{workload.name:12s} {metric:7s} {predicted:9d} "
+                f"{actual:9d} {ape(predicted, actual):7.1%}"
+            )
+        points.append(
+            DesignPoint(
+                program=workload.program,
+                params=params,
+                predicted=prediction.as_dict(),
+                actual=report.costs.as_dict(),
+            )
+        )
+
+    print("\ncycles/area trade-off (ground truth):")
+    front = pareto_points(points, ("cycles", "area"), use_actual=True)
+    front_ids = {id(p) for p in front}
+    for point, workload in zip(points, accelerator_suite()):
+        marker = "pareto-optimal" if id(point) in front_ids else "dominated"
+        print(
+            f"  {workload.name:12s} cycles={point.actual['cycles']:6d} "
+            f"area={point.actual['area']:6d}  [{marker}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

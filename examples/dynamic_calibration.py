@@ -1,0 +1,79 @@
+"""Input-adaptive dynamic calibration (paper Section 5).
+
+A sliding-window operator's loop bounds depend on the input tensor
+size.  The static model is trained on small sizes only; deployed on
+larger inputs it mispredicts — then the DPO calibration loop, fed by
+profiler ground truth, repairs the error online.
+
+Run:  python examples/dynamic_calibration.py
+"""
+
+from repro.core import (
+    CalibrationConfig,
+    CostModel,
+    DynamicCalibrator,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    make_environment,
+    train_cost_model,
+)
+from repro.profiler import Profiler
+
+SOURCE = """
+void sliding_window(float img[32][32], float out[32][32], int h, int w) {
+  for (int i = 0; i < h; i++) {
+    for (int j = 0; j < w; j++) {
+      out[i][j] = 0.25 * (img[i][j] + img[i + 1][j] + img[i][j + 1] + img[i + 1][j + 1]);
+    }
+  }
+}
+
+void dataflow(float img[32][32], float out[32][32], int h, int w) {
+  sliding_window(img, out, h, w);
+}
+"""
+
+
+def main() -> None:
+    profiler = Profiler()
+
+    # Static training: only small window sizes (h, w <= 8).
+    train = []
+    for h, w in ((4, 4), (6, 6), (8, 8)):
+        costs = profiler.profile(SOURCE, data={"h": h, "w": w}).costs
+        bundle = bundle_from_program(SOURCE, data={"h": h, "w": w})
+        train.append(TrainingExample(bundle=bundle, targets=costs.as_dict()))
+    model = CostModel(LLMulatorConfig(tier="1B", max_seq_len=256))
+    train_cost_model(model, train, TrainingConfig(epochs=5, lr=3e-3))
+
+    # Deployment distribution: much larger windows (h, w up to 28).
+    environment = []
+    for h, w in ((16, 16), (20, 24), (28, 28)):
+        costs = profiler.profile(SOURCE, data={"h": h, "w": w}).costs
+        bundle = bundle_from_program(SOURCE, data={"h": h, "w": w})
+        environment.append((bundle, costs.cycles))
+
+    static_apes = []
+    for bundle, actual in environment:
+        predicted = model.predict(bundle, "cycles").value
+        static_apes.append(abs(predicted - actual) / actual)
+        print(f"static model: predicted={predicted:7d} actual={actual:7d}")
+    print(f"static MAPE on large inputs: {100 * sum(static_apes) / 3:.1f}%\n")
+
+    # Online DPO calibration against profiler feedback (Figure 4 loop).
+    calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+    history = calibrator.run(make_environment(environment), iterations=6)
+    print("calibration MAPE per iteration:")
+    for index, value in enumerate(history.iteration_mape):
+        print(f"  iteration {index}: {100 * value:6.1f}%")
+    print(
+        f"\nconverged: {100 * history.initial_mape:.1f}% -> "
+        f"{100 * history.final_mape:.1f}% "
+        "(paper: converges to ~11% within a few iterations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: profile a dataflow program and train a cost model on it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    class_i_segments,
+    train_cost_model,
+)
+from repro.hls import HardwareParams
+from repro.profiler import Profiler
+
+# A dataflow program: a GEMM operator plus a data-dependent ReLU,
+# composed by a top-level dataflow graph function.
+SOURCE = """
+void gemm(float a[8][8], float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < 8; k++) {
+        acc = acc + a[i][k] * b[k][j];
+      }
+      c[i][j] = acc;
+    }
+  }
+}
+
+void relu(float c[8][8], float d[8][8], int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < 8; j++) {
+      if (c[i][j] > 0.0) {
+        d[i][j] = c[i][j];
+      } else {
+        d[i][j] = 0.0;
+      }
+    }
+  }
+}
+
+void dataflow(float a[8][8], float b[8][8], float c[8][8], float d[8][8], int n) {
+  gemm(a, b, c);
+  relu(c, d, n);
+}
+"""
+
+
+def main() -> None:
+    # 1. Ground truth from the EDA substrate (HLS + ASIC flow + cycle sim).
+    profiler = Profiler(HardwareParams(mem_read_delay=10, mem_write_delay=10))
+    report = profiler.profile(SOURCE, data={"n": 8})
+    print("ground truth:", report.costs.as_dict())
+    print("RTL reasoning features:")
+    print(report.rtl.think_text())
+
+    # 2. Build a small training set: the same design under different
+    #    runtime inputs (n sweeps the ReLU's input-dependent loop).
+    examples = []
+    for n in (2, 4, 6, 8):
+        costs = profiler.profile(SOURCE, data={"n": n}).costs
+        bundle = bundle_from_program(SOURCE, data={"n": n})
+        examples.append(TrainingExample(bundle=bundle, targets=costs.as_dict()))
+
+    # 3. Train LLMulator (progressive digit encoding + digit heads).
+    model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+    history = train_cost_model(model, examples, TrainingConfig(epochs=5, lr=3e-3))
+    print(f"\ntrained: loss {history.epoch_losses[0]:.2f} -> {history.final_loss:.2f}")
+
+    # 4. Predict with confidence (Class I operators masked from data).
+    segments = class_i_segments(SOURCE)
+    prediction = model.predict_costs(examples[-1].bundle, class_i_segments=segments)
+    print("\npredictions vs actual:")
+    for metric, value in prediction.as_dict().items():
+        actual = examples[-1].targets[metric]
+        confidence = prediction.confidence(metric)
+        print(f"  {metric:7s} pred={value:8d} actual={actual:8d} confidence={confidence:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Full-scale harness validation run (Table 3 preview)."""
+
+import time
+
+from repro.eval import EvaluationHarness, HarnessConfig
+from repro.workloads import (
+    accelerator_params,
+    accelerator_suite,
+    modern_suite,
+    polybench_suite,
+)
+
+t0 = time.time()
+h = EvaluationHarness(HarnessConfig())
+wls = polybench_suite() + modern_suite() + accelerator_suite()
+records = h.build_corpus(wls)
+print(f"corpus: {len(records)} records ({time.time()-t0:.0f}s)", flush=True)
+zoo = h.train_models(records)
+print(f"trained all models ({time.time()-t0:.0f}s)", flush=True)
+params_for = {w.name: accelerator_params(w.name) for w in accelerator_suite()}
+res = h.evaluate(zoo, wls, params_for=params_for)
+for model in ("ours", "noenc", "tlp", "gnnhls", "tenset"):
+    print(
+        model,
+        {m: round(res.mape_of(model, m), 3) for m in ("power", "area", "ff", "cycles")},
+        f"lat={res.mean_latency(model)*1000:.0f}ms",
+        flush=True,
+    )
+print(f"eval done ({time.time()-t0:.0f}s)", flush=True)
+cal = h.calibrated_eval(zoo.ours, wls[:24], iterations=5)
+import numpy as np
+
+pre = np.mean([v["pre_ape"] for v in cal.values()])
+post = np.mean([v["post_ape"] for v in cal.values()])
+print(f"cycles NoDPO={pre:.3f} -> Ours(DPO)={post:.3f} ({time.time()-t0:.0f}s)", flush=True)
+
+print("\nper-workload ours APE:")
+for name, row in res.results["ours"].items():
+    print(f"  {name:18s}", {m: round(row.ape_of(m), 3) for m in ("power", "area", "ff", "cycles")}, flush=True)

@@ -1,0 +1,24 @@
+"""LLMulator reproduction: generalizable cost modeling for dataflow
+accelerators with input-adaptive control flow (MICRO 2025).
+
+Public entry points:
+
+* :mod:`repro.lang` -- the mini dataflow language the cost models consume.
+* :mod:`repro.profiler` -- the ground-truth oracle (HLS + ASIC flow +
+  cycle simulation) producing ``<Power, Area, FF, Cycles>`` labels.
+* :mod:`repro.core` -- the LLMulator cost model: progressive numeric
+  modeling, DPO-based dynamic calibration, control-flow separation and
+  attention-cache acceleration.
+* :mod:`repro.baselines` -- TLP, GNNHLS, Tenset-MLP and the Timeloop-like
+  analytical model.
+* :mod:`repro.datagen` -- the progressive dataset synthesizer.
+* :mod:`repro.workloads` -- Polybench kernels, 14 modern applications and
+  accelerator mapping case studies.
+* :mod:`repro.eval` -- metrics, the train/eval harness and table renderers.
+"""
+
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,16 @@
+"""ASIC flow (OpenROAD substitute): library, synthesis, power."""
+
+from .library import RESOURCE_TO_CELL, SKY130, Cell, CellLibrary
+from .power import PowerReport, estimate_power
+from .synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "SKY130",
+    "RESOURCE_TO_CELL",
+    "SynthesisResult",
+    "synthesize",
+    "PowerReport",
+    "estimate_power",
+]

@@ -1,0 +1,72 @@
+"""SkyWater130-flavoured standard-cell library constants.
+
+Numbers are calibrated to the rough magnitudes of the open SkyWater
+130nm PDK (sky130_fd_sc_hd): a DFF is ~20 µm², a 2:1 mux ~11 µm², and
+arithmetic macros scale accordingly.  Absolute fidelity is not the goal
+— monotone, structure-sensitive label generation is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One macro/cell: area, leakage and switching energy."""
+
+    name: str
+    area_um2: float
+    leakage_nw: float
+    switch_energy_fj: float  # energy per activation
+    latency_cycles: int  # pipeline latency at the default clock
+
+
+class CellLibrary:
+    """Lookup table of datapath macros for the ASIC flow."""
+
+    def __init__(self) -> None:
+        self._cells = {
+            cell.name: cell
+            for cell in (
+                Cell("int_adder", 130.0, 3.0, 45.0, 1),
+                Cell("int_multiplier", 980.0, 22.0, 420.0, 3),
+                Cell("int_divider", 2900.0, 60.0, 1500.0, 18),
+                Cell("fp_adder", 1550.0, 35.0, 600.0, 4),
+                Cell("fp_multiplier", 2700.0, 58.0, 1100.0, 5),
+                Cell("fp_divider", 7800.0, 160.0, 4200.0, 24),
+                Cell("comparator", 70.0, 1.5, 18.0, 1),
+                Cell("logic_unit", 48.0, 1.0, 12.0, 1),
+                Cell("mux21", 11.2, 0.25, 2.5, 0),
+                Cell("dff", 20.0, 0.5, 1.8, 0),
+                Cell("sram_word", 1.9, 0.05, 6.0, 0),
+            )
+        }
+
+    def __getitem__(self, name: str) -> Cell:
+        return self._cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+
+SKY130 = CellLibrary()
+
+# Map ResourceCounts field -> cell name.
+RESOURCE_TO_CELL = {
+    "int_adders": "int_adder",
+    "int_multipliers": "int_multiplier",
+    "int_dividers": "int_divider",
+    "fp_adders": "fp_adder",
+    "fp_multipliers": "fp_multiplier",
+    "fp_dividers": "fp_divider",
+    "comparators": "comparator",
+    "logic_units": "logic_unit",
+    "multiplexers": "mux21",
+    "registers": "dff",
+    "memory_words": "sram_word",
+}

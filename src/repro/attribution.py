@@ -1,0 +1,232 @@
+"""Per-operator cost attribution.
+
+The paper reasons about operators individually — §5.2 classifies them
+into Class I/II, §5.3 re-predicts only changed operators — so designers
+need to know *where* a dataflow design's costs live, not just the
+end-to-end ``<Power, Area, FF, Cycles>`` vector.  This module splits
+the profiler's totals across the operator functions:
+
+* **cycles** come from the simulator's per-function counters;
+* **area / flip-flops / power** are distributed by each operator's
+  cell-weighted resource allocation, then rescaled so the per-operator
+  values sum exactly to the end-to-end totals (interconnect and clock
+  overhead is spread proportionally).
+
+The residual (graph-function control, call glue) is reported under the
+graph function's own name so nothing silently disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from .asicflow.library import RESOURCE_TO_CELL, SKY130, CellLibrary
+from .hls import HardwareParams, ResourceCounts, allocate_program
+from .lang import ast, parse
+from .profiler import CostVector, ProfileReport, Profiler
+
+__all__ = ["OperatorCosts", "AttributionReport", "attribute"]
+
+
+@dataclass(frozen=True)
+class OperatorCosts:
+    """One operator's share of the design's cost vector."""
+
+    name: str
+    cycles: int
+    area_um2: int
+    flip_flops: int
+    power_uw: int
+    functional_units: int
+
+    def share_of(self, totals: CostVector, metric: str) -> float:
+        """This operator's fraction of the design total for *metric*."""
+        total = totals[metric]
+        if total == 0:
+            return 0.0
+        own = {
+            "cycles": self.cycles,
+            "area": self.area_um2,
+            "ff": self.flip_flops,
+            "power": self.power_uw,
+        }[metric]
+        return own / total
+
+
+@dataclass
+class AttributionReport:
+    """Operator-level breakdown reconciled to the end-to-end profile."""
+
+    totals: CostVector
+    operators: list[OperatorCosts]
+    profile: ProfileReport
+
+    def operator(self, name: str) -> OperatorCosts:
+        for op in self.operators:
+            if op.name == name:
+                return op
+        raise KeyError(f"no operator named {name!r} in the attribution")
+
+    def hottest(self, metric: str = "cycles") -> OperatorCosts:
+        """The operator with the largest share of *metric*."""
+        key = {
+            "cycles": lambda op: op.cycles,
+            "area": lambda op: op.area_um2,
+            "ff": lambda op: op.flip_flops,
+            "power": lambda op: op.power_uw,
+        }[metric]
+        return max(self.operators, key=key)
+
+    def table(self) -> str:
+        """Human-readable breakdown, one row per operator."""
+        header = (
+            f"{'operator':20s} {'cycles':>9s} {'cyc%':>6s} {'area':>9s} "
+            f"{'area%':>6s} {'FF':>5s} {'power':>7s}"
+        )
+        rows = [header]
+        for op in self.operators:
+            rows.append(
+                f"{op.name:20s} {op.cycles:9d} "
+                f"{op.share_of(self.totals, 'cycles'):6.1%} "
+                f"{op.area_um2:9d} {op.share_of(self.totals, 'area'):6.1%} "
+                f"{op.flip_flops:5d} {op.power_uw:7d}"
+            )
+        return "\n".join(rows)
+
+
+def _cell_weights(
+    counts: ResourceCounts, library: CellLibrary
+) -> tuple[float, float, float]:
+    """(area, leakage_nw, switch_energy) of one function's raw cells."""
+    area = 0.0
+    leakage = 0.0
+    switch = 0.0
+    for field_name, cell_name in RESOURCE_TO_CELL.items():
+        count = getattr(counts, field_name)
+        cell = library[cell_name]
+        area += count * cell.area_um2
+        leakage += count * cell.leakage_nw
+        switch += count * cell.switch_energy_fj
+    # Control FSM flip-flops, as in the synthesis estimator.
+    fsm_ffs = counts.module_instances * 6
+    area += fsm_ffs * library["dff"].area_um2
+    leakage += fsm_ffs * library["dff"].leakage_nw
+    switch += fsm_ffs * library["dff"].switch_energy_fj
+    return area, leakage, switch
+
+
+def _largest_remainder(shares: np.ndarray, total: int) -> list[int]:
+    """Integer apportionment of *total* by *shares* that sums exactly."""
+    if total == 0 or shares.sum() == 0:
+        return [0] * len(shares)
+    exact = shares / shares.sum() * total
+    floors = np.floor(exact).astype(int)
+    remainder = total - int(floors.sum())
+    order = np.argsort(-(exact - floors), kind="stable")
+    for i in order[:remainder]:
+        floors[i] += 1
+    return floors.tolist()
+
+
+def attribute(
+    program: ast.Program | str,
+    params: Optional[HardwareParams] = None,
+    data: Optional[dict[str, Any]] = None,
+    top: Optional[str] = None,
+    max_steps: int = 5_000_000,
+) -> AttributionReport:
+    """Profile *program* and split its cost vector across operators.
+
+    Per-operator values always sum exactly to the profiled totals
+    (largest-remainder apportionment), so the breakdown can be read as
+    a partition of the headline numbers.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    profiler = Profiler(params, max_steps=max_steps)
+    report = profiler.profile(program, data=data, top=top)
+
+    allocation = allocate_program(program)
+    names = [func.name for func in program.functions]
+    areas = []
+    leakages = []
+    switches = []
+    units = []
+    for name in names:
+        counts = allocation.per_function.get(name, ResourceCounts())
+        area, leakage, switch = _cell_weights(counts, SKY130)
+        areas.append(area)
+        leakages.append(leakage)
+        switches.append(switch)
+        units.append(counts.functional_units)
+
+    area_parts = _largest_remainder(
+        np.asarray(areas), report.costs.area_um2
+    )
+    # Power mixes leakage and switching; weight by their sum per function.
+    power_parts = _largest_remainder(
+        np.asarray(leakages) + np.asarray(switches), report.costs.power_uw
+    )
+
+    ff_weights = []
+    for name in names:
+        counts = allocation.per_function.get(name, ResourceCounts())
+        ff_weights.append(counts.registers + counts.module_instances * 6)
+    ff_parts = _largest_remainder(
+        np.asarray(ff_weights, dtype=np.float64), report.costs.flip_flops
+    )
+
+    interpreter_cycles = _per_function_cycles(
+        program, profiler.params, data, top, max_steps
+    )
+    cycle_weights = np.asarray(
+        [interpreter_cycles.get(name, 0) for name in names], dtype=np.float64
+    )
+    cycle_parts = _largest_remainder(cycle_weights, report.costs.cycles)
+
+    operators = [
+        OperatorCosts(
+            name=name,
+            cycles=cycle_parts[i],
+            area_um2=area_parts[i],
+            flip_flops=ff_parts[i],
+            power_uw=power_parts[i],
+            functional_units=units[i],
+        )
+        for i, name in enumerate(names)
+    ]
+    return AttributionReport(totals=report.costs, operators=operators, profile=report)
+
+
+def _per_function_cycles(
+    program: ast.Program,
+    params: HardwareParams,
+    data: Optional[dict[str, Any]],
+    top: Optional[str],
+    max_steps: int,
+) -> dict[str, int]:
+    """Exclusive per-function cycle counts from one simulation run."""
+    from .sim import Interpreter, default_inputs
+
+    top_name = top
+    if top_name is None:
+        for candidate in ("dataflow", "graph", "main", "top"):
+            if candidate in program.function_names:
+                top_name = candidate
+                break
+        else:
+            top_name = program.function_names[-1]
+    inputs = default_inputs(program, top_name, overrides=data)
+    result = Interpreter(program, params, max_steps=max_steps).run(top_name, inputs)
+    per_function = dict(result.per_function_cycles)
+    # The top function's counter includes its callees; make it exclusive
+    # so the weights partition the run instead of double-counting.
+    if top_name in per_function:
+        callee_total = sum(
+            cycles for name, cycles in per_function.items() if name != top_name
+        )
+        per_function[top_name] = max(0, per_function[top_name] - callee_total)
+    return per_function

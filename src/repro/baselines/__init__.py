@@ -1,0 +1,23 @@
+"""Baseline cost models: TLP, GNNHLS, Tenset-MLP and Timeloop."""
+
+from .common import RangeNormalizer
+from .gnnhls import GNNHLSConfig, GNNHLSModel, graph_tensors
+from .tenset_mlp import FEATURE_DIM, TensetConfig, TensetMLPModel, tenset_features
+from .timeloop import OperatorEstimate, TimeloopEstimate, TimeloopModel
+from .tlp import TLPConfig, TLPModel
+
+__all__ = [
+    "TLPModel",
+    "TLPConfig",
+    "GNNHLSModel",
+    "GNNHLSConfig",
+    "graph_tensors",
+    "TensetMLPModel",
+    "TensetConfig",
+    "tenset_features",
+    "FEATURE_DIM",
+    "TimeloopModel",
+    "TimeloopEstimate",
+    "OperatorEstimate",
+    "RangeNormalizer",
+]

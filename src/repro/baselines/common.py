@@ -1,0 +1,49 @@
+"""Shared plumbing for the learned baselines.
+
+All baselines are *regression* models: they normalize targets into a
+bounded range and squash predictions with a sigmoid.  This is exactly
+the mechanism the paper blames for edge-value failure — a sigmoid head
+cannot express values beyond the training-set maximum — so it is kept
+faithful here rather than improved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelConfigError
+
+
+@dataclass
+class RangeNormalizer:
+    """Maps targets into [0, 1] by the training-set maximum."""
+
+    y_max: float = 1.0
+    fitted: bool = False
+
+    def fit(self, values: Sequence[float]) -> "RangeNormalizer":
+        values = [float(v) for v in values]
+        if not values:
+            raise ModelConfigError("cannot fit normalizer on empty targets")
+        self.y_max = max(max(values), 1.0)
+        self.fitted = True
+        return self
+
+    def normalize(self, value: float) -> float:
+        if not self.fitted:
+            raise ModelConfigError("normalizer used before fit()")
+        return min(float(value) / self.y_max, 1.0)
+
+    def denormalize(self, value: float) -> float:
+        if not self.fitted:
+            raise ModelConfigError("normalizer used before fit()")
+        return float(value) * self.y_max
+
+
+def inverse_sigmoid_target(y01: float, eps: float = 1e-4) -> float:
+    """Logit of a [0,1] target, clamped away from saturation."""
+    y01 = min(max(y01, eps), 1.0 - eps)
+    return float(np.log(y01 / (1.0 - y01)))

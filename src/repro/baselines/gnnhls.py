@@ -1,0 +1,147 @@
+"""GNNHLS baseline (Wu et al., DAC 2022 / ProGraML representation).
+
+Programs are compiled into typed statement/expression graphs and a
+message-passing GNN regresses sigmoid-normalized metrics.  The graph is
+*static*: runtime data never enters the representation, so dynamic
+control flow is invisible — the paper's core criticism of GNN cost
+models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ModelConfigError
+from ..ir import NODE_TYPE_INDEX, build_program_graph
+from ..lang import ast, parse
+from ..nn import AdamW, Linear, Module, ReLU, Sequential, Tensor
+from ..profiler import METRICS
+from .common import RangeNormalizer
+
+NODE_FEATURE_DIM = len(NODE_TYPE_INDEX) + 1  # one-hot type + literal value
+
+
+@dataclass(frozen=True)
+class GNNHLSConfig:
+    """Hyper-parameters for the GNNHLS baseline."""
+
+    hidden: int = 48
+    rounds: int = 3
+    epochs: int = 20
+    lr: float = 2e-3
+    seed: int = 13
+    metrics: tuple[str, ...] = tuple(METRICS)
+
+
+def graph_tensors(program: ast.Program | str) -> tuple[np.ndarray, np.ndarray]:
+    """Node features and row-normalized (symmetrized) adjacency."""
+    if isinstance(program, str):
+        program = parse(program)
+    graph = build_program_graph(program)
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ModelConfigError("program graph is empty")
+    features = np.zeros((n, NODE_FEATURE_DIM))
+    for node, attrs in graph.nodes(data=True):
+        features[node, NODE_TYPE_INDEX[attrs["type"]]] = 1.0
+        features[node, -1] = attrs.get("value", 0.0)
+    undirected = nx.Graph(graph)
+    adjacency = nx.to_numpy_array(undirected, nodelist=sorted(graph.nodes))
+    adjacency += np.eye(n)  # self loops
+    degree = adjacency.sum(axis=1, keepdims=True)
+    return features, adjacency / degree
+
+
+class GNNHLSModel(Module):
+    """Mean-aggregation message passing + sigmoid regression readout."""
+
+    def __init__(self, config: Optional[GNNHLSConfig] = None) -> None:
+        self.config = config or GNNHLSConfig()
+        rng = np.random.default_rng(self.config.seed)
+        hidden = self.config.hidden
+        self.input_proj = Linear(NODE_FEATURE_DIM, hidden, rng=rng)
+        self.message_layers = [
+            Linear(hidden, hidden, rng=rng) for _ in range(self.config.rounds)
+        ]
+        self.update_layers = [
+            Linear(2 * hidden, hidden, rng=rng) for _ in range(self.config.rounds)
+        ]
+        self.readout = Sequential(
+            Linear(hidden, hidden, rng=rng), ReLU(), Linear(hidden, hidden, rng=rng)
+        )
+        self.heads = {
+            metric: Linear(hidden, 1, rng=rng) for metric in self.config.metrics
+        }
+        self.normalizers = {metric: RangeNormalizer() for metric in self.config.metrics}
+
+    def _embed(self, features: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        h = self.input_proj(Tensor(features)).relu()
+        adj = Tensor(adjacency)
+        for message, update in zip(self.message_layers, self.update_layers):
+            aggregated = adj @ message(h)
+            from ..nn import concat
+
+            h = update(concat([h, aggregated], axis=1)).relu()
+        pooled = h.mean(axis=0)
+        return self.readout(pooled)
+
+    def fit(
+        self,
+        examples: Sequence[tuple[tuple[np.ndarray, np.ndarray], dict[str, int]]],
+        epochs: Optional[int] = None,
+    ) -> list[float]:
+        """Train on ((features, adjacency), targets) pairs."""
+        if not examples:
+            raise ModelConfigError("GNNHLS fit() needs at least one example")
+        for metric in self.config.metrics:
+            values = [t[metric] for _, t in examples if metric in t]
+            if values:
+                self.normalizers[metric].fit(values)
+        optimizer = AdamW(self.parameters(), lr=self.config.lr)
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(examples))
+        losses = []
+        for _ in range(epochs if epochs is not None else self.config.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for index in order:
+                (features, adjacency), targets = examples[index]
+                optimizer.zero_grad()
+                embedding = self._embed(features, adjacency)
+                loss: Optional[Tensor] = None
+                for metric, target in targets.items():
+                    if metric not in self.heads:
+                        continue
+                    normalized = self.normalizers[metric].normalize(target)
+                    output = self.heads[metric](embedding).sigmoid()
+                    term = ((output - normalized) ** 2).sum()
+                    loss = term if loss is None else loss + term
+                if loss is None:
+                    continue
+                loss.backward()
+                optimizer.clip_grad_norm(1.0)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+            losses.append(epoch_loss / len(examples))
+        return losses
+
+    def predict(
+        self, graph: tuple[np.ndarray, np.ndarray], metric: str
+    ) -> int:
+        if metric not in self.heads:
+            raise ModelConfigError(f"unknown metric {metric!r}")
+        embedding = self._embed(*graph)
+        normalized = float(self.heads[metric](embedding).sigmoid().data.reshape(-1)[0])
+        return int(round(self.normalizers[metric].denormalize(normalized)))
+
+    def timed_predict(
+        self, graph: tuple[np.ndarray, np.ndarray], metric: str
+    ) -> tuple[int, float]:
+        start = time.perf_counter()
+        value = self.predict(graph, metric)
+        return value, time.perf_counter() - start

@@ -1,0 +1,131 @@
+"""Tenset-MLP baseline (Zheng et al., NeurIPS 2021 dataset + MLP).
+
+An MLP over handcrafted program features.  Input adaptivity is
+*coarse*: scalar runtime parameters (loop ranges, tensor dims) enter
+the feature vector, but array contents do not — so two inputs with the
+same shape but different values are indistinguishable, exactly the
+limitation the paper calls out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from ..hls import HardwareParams
+from ..lang import ast, extract_features, parse
+from ..nn import AdamW, Module, Sequential, Tensor, mlp
+from ..profiler import METRICS
+
+_MAX_SCALAR_FEATURES = 4
+
+
+@dataclass(frozen=True)
+class TensetConfig:
+    """Hyper-parameters for the Tenset-MLP baseline."""
+
+    hidden: tuple[int, ...] = (64, 64)
+    epochs: int = 30
+    lr: float = 2e-3
+    seed: int = 11
+    metrics: tuple[str, ...] = tuple(METRICS)
+
+
+def tenset_features(
+    program: ast.Program | str,
+    params: Optional[HardwareParams] = None,
+    data: Optional[dict[str, Any]] = None,
+) -> np.ndarray:
+    """Handcrafted feature vector: program structure + hardware config +
+    coarse input indicators (scalar values only, log-scaled)."""
+    if isinstance(program, str):
+        program = parse(program)
+    params = params or HardwareParams()
+    base = np.asarray(extract_features(program).as_vector())
+    base = np.log1p(np.abs(base)) * np.sign(base)
+    hw = np.asarray(
+        [
+            params.mem_read_delay,
+            params.mem_write_delay,
+            params.pe_count,
+            params.memory_ports,
+        ],
+        dtype=np.float64,
+    )
+    scalars = []
+    if data:
+        for name in sorted(data):
+            value = data[name]
+            if isinstance(value, (int, float)):
+                scalars.append(np.log1p(abs(float(value))))
+            if len(scalars) >= _MAX_SCALAR_FEATURES:
+                break
+    while len(scalars) < _MAX_SCALAR_FEATURES:
+        scalars.append(0.0)
+    return np.concatenate([base, np.log1p(hw), np.asarray(scalars)])
+
+
+FEATURE_DIM = 13 + 4 + _MAX_SCALAR_FEATURES
+
+
+class TensetMLPModel(Module):
+    """Per-metric MLP regression in log-target space."""
+
+    def __init__(self, config: Optional[TensetConfig] = None) -> None:
+        self.config = config or TensetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        sizes = [FEATURE_DIM, *self.config.hidden, 1]
+        self.nets: dict[str, Sequential] = {
+            metric: mlp(sizes, rng=rng) for metric in self.config.metrics
+        }
+
+    def fit(
+        self,
+        examples: Sequence[tuple[np.ndarray, dict[str, int]]],
+        epochs: Optional[int] = None,
+    ) -> list[float]:
+        """Train on (feature vector, targets) pairs with MSE in log space."""
+        if not examples:
+            raise ModelConfigError("Tenset-MLP fit() needs at least one example")
+        optimizer = AdamW(self.parameters(), lr=self.config.lr)
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(examples))
+        losses = []
+        for _ in range(epochs if epochs is not None else self.config.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for index in order:
+                features, targets = examples[index]
+                optimizer.zero_grad()
+                x = Tensor(features)
+                loss: Optional[Tensor] = None
+                for metric, target in targets.items():
+                    if metric not in self.nets:
+                        continue
+                    output = self.nets[metric](x)
+                    term = ((output - float(np.log1p(target))) ** 2).sum()
+                    loss = term if loss is None else loss + term
+                if loss is None:
+                    continue
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+            losses.append(epoch_loss / len(examples))
+        return losses
+
+    def predict(self, features: np.ndarray, metric: str) -> int:
+        if metric not in self.nets:
+            raise ModelConfigError(f"unknown metric {metric!r}")
+        output = float(self.nets[metric](Tensor(features)).data.reshape(-1)[0])
+        output = min(output, 40.0)  # guard expm1 overflow
+        return max(0, int(round(np.expm1(output))))
+
+    def timed_predict(self, features: np.ndarray, metric: str) -> tuple[int, float]:
+        start = time.perf_counter()
+        value = self.predict(features, metric)
+        return value, time.perf_counter() - start

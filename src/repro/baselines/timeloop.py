@@ -1,0 +1,180 @@
+"""Rule-based analytical cost model (Timeloop substitute).
+
+Like Timeloop, this model only understands *regular, perfectly nested
+tensor loops*: analytic trip counts × per-iteration datapath latency,
+with spatial mapping (unroll / parallel) opening lanes bounded by the
+memory ports.  Anything with data-dependent control flow, while loops
+or imperfect nests is outside its domain and raises
+:class:`UnsupportedWorkloadError` — callers must manually decompose
+such workloads (``strict=False`` emulates that decomposition by
+assuming every branch is taken, with the fidelity loss the paper
+describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import UnsupportedWorkloadError
+from ..hls import HardwareParams
+from ..ir import LoopNode, LoopTree, StatementLeaf, build_dataflow_graph, lower_function
+from ..lang import ast, parse
+from ..sim import cost as c
+
+
+@dataclass
+class OperatorEstimate:
+    """Analytical estimate for one operator."""
+
+    cycles: int
+    energy_pj: float
+    macs: int
+
+
+@dataclass
+class TimeloopEstimate:
+    """Whole-program analytical estimate."""
+
+    cycles: int
+    power_uw: int
+    per_operator: dict[str, OperatorEstimate]
+
+
+class TimeloopModel:
+    """Analytical evaluation of perfect tensor loop nests."""
+
+    def __init__(
+        self, params: Optional[HardwareParams] = None, strict: bool = True
+    ) -> None:
+        self.params = params or HardwareParams()
+        self.strict = strict
+
+    # -- operator level -----------------------------------------------------
+
+    def evaluate_tree(
+        self, tree: LoopTree, bindings: Optional[dict[str, int]] = None
+    ) -> OperatorEstimate:
+        """Analytical cycles/energy for one operator loop tree."""
+        bindings = bindings or {}
+        if self.strict and not tree.is_perfect_nest:
+            raise UnsupportedWorkloadError(
+                f"operator {tree.function!r} is not a perfect loop nest; "
+                "Timeloop-style models cannot express it"
+            )
+        total_cycles = 0.0
+        total_energy = 0.0
+        total_macs = 0
+        for root in tree.roots:
+            if isinstance(root, LoopNode):
+                cycles, energy, macs = self._loop_cost(root, bindings, lanes=1.0)
+            else:
+                cycles, energy, macs = self._leaf_cost(root, lanes=1.0)
+            total_cycles += cycles
+            total_energy += energy
+            total_macs += macs
+        return OperatorEstimate(
+            cycles=max(1, int(round(total_cycles))),
+            energy_pj=total_energy,
+            macs=total_macs,
+        )
+
+    def _loop_cost(
+        self, loop: LoopNode, bindings: dict[str, int], lanes: float
+    ) -> tuple[float, float, int]:
+        if not loop.bound.is_static and loop.bound.symbol not in bindings:
+            if self.strict:
+                raise UnsupportedWorkloadError(
+                    f"loop bound {loop.bound.symbol!r} is not statically known"
+                )
+            bindings = dict(bindings)
+            bindings[loop.bound.symbol or "<while>"] = 8  # decomposition guess
+        trips = loop.trip_count(bindings)
+        level_lanes = max(1, loop.unroll if loop.unroll else 64)
+        if loop.parallel:
+            level_lanes *= self.params.pe_count
+        lanes = min(lanes * level_lanes, 4096.0)
+        body_cycles = 0.0
+        body_energy = 0.0
+        body_macs = 0
+        for child in loop.children:
+            if isinstance(child, LoopNode):
+                cycles, energy, macs = self._loop_cost(child, bindings, lanes)
+            else:
+                cycles, energy, macs = self._leaf_cost(child, lanes)
+            body_cycles += cycles
+            body_energy += energy
+            body_macs += macs
+        iteration_overhead = c.LOOP_OVERHEAD / lanes
+        return (
+            trips * (body_cycles + iteration_overhead),
+            trips * body_energy,
+            trips * body_macs,
+        )
+
+    def _leaf_cost(self, leaf: StatementLeaf, lanes: float) -> tuple[float, float, int]:
+        if self.strict and leaf.has_branch:
+            raise UnsupportedWorkloadError(
+                "statement contains control flow; Timeloop-style models "
+                "only evaluate straight-line tensor bodies"
+            )
+        memory_lanes = min(lanes, float(self.params.memory_ports))
+        compute = (
+            leaf.adds * c.FP_ADD + leaf.muls * c.FP_MUL + leaf.divs * c.FP_DIV
+            + leaf.cmps * c.CMP
+        ) / lanes
+        memory = (
+            leaf.loads * self.params.mem_read_delay
+            + leaf.stores * self.params.mem_write_delay
+        ) / memory_lanes
+        branch = (c.BRANCH_COST / lanes) if leaf.has_branch else 0.0
+        # Energy: rough per-op constants (pJ) with fixed utilization.
+        energy = (
+            leaf.adds * 0.9 + leaf.muls * 3.1 + leaf.divs * 12.0
+            + (leaf.loads + leaf.stores) * 6.4
+        )
+        macs = min(leaf.adds, leaf.muls)
+        return compute + memory + branch, energy, macs
+
+    # -- program level ---------------------------------------------------------
+
+    def evaluate_program(
+        self,
+        program: ast.Program | str,
+        bindings: Optional[dict[str, int]] = None,
+    ) -> TimeloopEstimate:
+        """Sum analytical operator estimates over the dataflow graph."""
+        if isinstance(program, str):
+            program = parse(program)
+        graph = build_dataflow_graph(program)
+        functions = {func.name: func for func in program.functions}
+        per_operator: dict[str, OperatorEstimate] = {}
+        total_cycles = 0
+        total_energy = 0.0
+        for call in graph.calls:
+            func = functions.get(call.name)
+            if func is None:
+                raise UnsupportedWorkloadError(f"unknown operator {call.name!r}")
+            if call.name not in per_operator:
+                per_operator[call.name] = self.evaluate_tree(
+                    lower_function(func), bindings
+                )
+            estimate = per_operator[call.name]
+            total_cycles += estimate.cycles
+            total_energy += estimate.energy_pj
+        if not graph.calls:
+            # Single-kernel program: evaluate the top function directly.
+            top = functions[graph.graph_function]
+            estimate = self.evaluate_tree(lower_function(top), bindings)
+            per_operator[graph.graph_function] = estimate
+            total_cycles = estimate.cycles
+            total_energy = estimate.energy_pj
+        # Power: energy over runtime at the configured clock, plus a
+        # fixed rule-based leakage floor.
+        runtime_ns = max(1.0, total_cycles * self.params.clock_period_ns)
+        power_uw = int(round(total_energy * 1000.0 / runtime_ns)) + 18
+        return TimeloopEstimate(
+            cycles=max(1, total_cycles),
+            power_uw=power_uw,
+            per_operator=per_operator,
+        )

@@ -1,0 +1,128 @@
+"""TLP baseline (Zhai et al., ASPLOS 2023).
+
+A language-model regression cost model: program text is tokenized with
+*conventional* whole-number tokens (no progressive numeric encoding),
+encoded by a non-pretrained transformer, and regressed to a sigmoid-
+normalized scalar per metric with MSE loss — the exact recipe whose
+range-compression and numeric-distortion failure modes the paper
+analyzes in Section 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from ..nn import AdamW, Linear, Module, Tensor, TransformerConfig, TransformerEncoder
+from ..profiler import METRICS
+from ..tokenizer import ModelInput, ProgressiveTokenizer, VOCAB
+from .common import RangeNormalizer
+
+
+@dataclass(frozen=True)
+class TLPConfig:
+    """Hyper-parameters of the TLP baseline."""
+
+    tier: str = "1B"
+    max_seq_len: int = 320
+    epochs: int = 3
+    lr: float = 2e-3
+    seed: int = 7
+    metrics: tuple[str, ...] = tuple(METRICS)
+
+
+class TLPModel(Module):
+    """Transformer + per-metric sigmoid regression heads."""
+
+    def __init__(self, config: Optional[TLPConfig] = None) -> None:
+        self.config = config or TLPConfig()
+        # Conventional tokenizer: whole numbers as single bucket tokens.
+        self.tokenizer = ProgressiveTokenizer(
+            numeric_mode="whole", max_length=self.config.max_seq_len
+        )
+        encoder_config = TransformerConfig.tier(
+            self.config.tier, vocab_size=len(VOCAB), max_seq_len=self.config.max_seq_len
+        )
+        self.encoder = TransformerEncoder(encoder_config, seed=self.config.seed)
+        rng = np.random.default_rng(self.config.seed + 1)
+        self.heads = {
+            metric: Linear(encoder_config.dim, 1, rng=rng)
+            for metric in self.config.metrics
+        }
+        self.normalizers = {metric: RangeNormalizer() for metric in self.config.metrics}
+
+    # -- encoding -----------------------------------------------------------
+
+    def _pooled(self, bundle: ModelInput) -> Tensor:
+        tokenized = self.tokenizer.encode_bundle(bundle)
+        hidden = self.encoder.encode(tokenized.ids)
+        return self.encoder.pool(hidden)
+
+    # -- training --------------------------------------------------------------
+
+    def fit(
+        self,
+        examples: Sequence[tuple[ModelInput, dict[str, int]]],
+        epochs: Optional[int] = None,
+    ) -> list[float]:
+        """Fit normalizers and train with MSE on normalized targets."""
+        if not examples:
+            raise ModelConfigError("TLP fit() needs at least one example")
+        for metric in self.config.metrics:
+            values = [targets[metric] for _, targets in examples if metric in targets]
+            if values:
+                self.normalizers[metric].fit(values)
+        optimizer = AdamW(self.parameters(), lr=self.config.lr)
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(examples))
+        losses = []
+        for _ in range(epochs if epochs is not None else self.config.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for index in order:
+                bundle, targets = examples[index]
+                optimizer.zero_grad()
+                pooled = self._pooled(bundle)
+                loss: Optional[Tensor] = None
+                for metric, target in targets.items():
+                    if metric not in self.heads:
+                        continue
+                    normalized = self.normalizers[metric].normalize(target)
+                    output = self.heads[metric](pooled).sigmoid()
+                    term = (output - normalized) ** 2
+                    term = term.sum()
+                    loss = term if loss is None else loss + term
+                if loss is None:
+                    continue
+                loss.backward()
+                optimizer.clip_grad_norm(1.0)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+            losses.append(epoch_loss / len(examples))
+        return losses
+
+    # -- inference ------------------------------------------------------------------
+
+    def predict(self, bundle: ModelInput, metric: str) -> int:
+        if metric not in self.heads:
+            raise ModelConfigError(f"unknown metric {metric!r}")
+        pooled = self._pooled(bundle)
+        normalized = float(self.heads[metric](pooled).sigmoid().data.reshape(-1)[0])
+        return int(round(self.normalizers[metric].denormalize(normalized)))
+
+    def predict_costs(self, bundle: ModelInput) -> dict[str, int]:
+        pooled = self._pooled(bundle)
+        result = {}
+        for metric, head in self.heads.items():
+            normalized = float(head(pooled).sigmoid().data.reshape(-1)[0])
+            result[metric] = int(round(self.normalizers[metric].denormalize(normalized)))
+        return result
+
+    def timed_predict(self, bundle: ModelInput, metric: str) -> tuple[int, float]:
+        start = time.perf_counter()
+        value = self.predict(bundle, metric)
+        return value, time.perf_counter() - start

@@ -1,0 +1,375 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``profile``   — run the EDA substrate on a dataflow program and print
+  its ``<Power, Area, FF, Cycles>`` vector and RTL features.
+* ``analyze``   — classify operators (Class I/II) and show Table-2 style
+  statistics.
+* ``synthesize``— generate a profiled training dataset to JSONL.
+* ``train``     — train a cost model on a JSONL dataset and save it.
+* ``predict``   — load a trained model and predict a program's costs.
+* ``calibrate`` — run the DPO dynamic-calibration loop on a program
+  against the profiler, sweeping a runtime input.
+* ``explore``   — rank mapping candidates (unroll × memory delay) with
+  a trained model and ground-truth the finalists.
+* ``workloads`` — list the bundled benchmark suites with Table-2 stats.
+
+Example::
+
+    python -m repro profile examples_gemm.c --data n=8 --mem-delay 5
+    python -m repro synthesize --out dataset.jsonl --ast 10 --dataflow 20
+    python -m repro train dataset.jsonl --out model.npz --epochs 5
+    python -m repro predict examples_gemm.c --model model.npz --data n=8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .hls import HardwareParams
+from .lang import classify_operators, count_dynamic_parameters, parse
+from .profiler import Profiler
+
+
+def _parse_data(items: list[str]) -> dict:
+    """Parse ``name=value`` runtime-input arguments."""
+    data = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--data expects name=value, got {item!r}")
+        name, _, value = item.partition("=")
+        try:
+            data[name] = int(value)
+        except ValueError:
+            data[name] = float(value)
+    return data
+
+
+def _params_from_args(args: argparse.Namespace) -> HardwareParams:
+    return HardwareParams(
+        mem_read_delay=args.mem_delay,
+        mem_write_delay=args.mem_delay,
+        pe_count=args.pe_count,
+        memory_ports=args.memory_ports,
+    )
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    source = _read_program(args.program)
+    data = _parse_data(args.data) or None
+    if args.per_op:
+        from .attribution import attribute
+
+        report = attribute(source, params=_params_from_args(args), data=data)
+        print(report.table())
+        print(json.dumps(report.totals.as_dict(), indent=2))
+        return 0
+    profiler = Profiler(_params_from_args(args))
+    report = profiler.profile(source, data=data)
+    print(json.dumps(report.costs.as_dict(), indent=2))
+    if args.verbose:
+        print(report.rtl.think_text(), file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    source = _read_program(args.program)
+    program = parse(source)
+    reports = classify_operators(program)
+    for name, report in reports.items():
+        dynamic = ",".join(report.dynamic_params) or "-"
+        print(
+            f"{name}: {report.operator_class.value} "
+            f"loops={report.loop_count} branches={report.branch_count} "
+            f"dynamic_params={dynamic}"
+        )
+    print(f"total dynamic parameters: {count_dynamic_parameters(program)}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from .datagen import DatasetSynthesizer, SynthesizerConfig
+    from .datagen.io import save_dataset
+
+    config = SynthesizerConfig(
+        n_ast=args.ast, n_dataflow=args.dataflow, n_llm=args.llm, seed=args.seed
+    )
+    dataset = DatasetSynthesizer(config).generate()
+    count = save_dataset(dataset.records, args.out)
+    print(f"wrote {count} records to {args.out} "
+          f"(composition {dataset.composition()}, skipped {dataset.skipped})")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .core import CostModel, LLMulatorConfig, train_cost_model
+    from .core.trainer import TrainingConfig
+    from .datagen import direct_format
+    from .datagen.io import load_dataset
+    from .nn import save_model
+
+    records = load_dataset(args.dataset)
+    if not records:
+        raise SystemExit(f"no records in {args.dataset}")
+    examples = [direct_format(record) for record in records]
+    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
+    history = train_cost_model(
+        model, examples, TrainingConfig(epochs=args.epochs, lr=args.lr, seed=args.seed)
+    )
+    save_model(model, args.out)
+    print(
+        f"trained {args.tier} model on {len(examples)} examples: "
+        f"loss {history.epoch_losses[0]:.2f} -> {history.final_loss:.2f}; "
+        f"saved to {args.out}"
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from .core import CostModel, LLMulatorConfig, bundle_from_program, class_i_segments
+    from .nn import load_model
+
+    source = _read_program(args.program)
+    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
+    load_model(model, args.model)
+    params = _params_from_args(args)
+    bundle = bundle_from_program(source, params=params, data=_parse_data(args.data) or None)
+    prediction = model.predict_costs(
+        bundle, class_i_segments=class_i_segments(source)
+    )
+    output = {
+        metric: {"value": pred.value, "confidence": round(pred.confidence, 3)}
+        for metric, pred in prediction.per_metric.items()
+    }
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core import (
+        CalibrationConfig,
+        CostModel,
+        DynamicCalibrator,
+        LLMulatorConfig,
+        bundle_from_program,
+        class_i_segments,
+        make_environment,
+    )
+    from .nn import load_model
+
+    source = _read_program(args.program)
+    params = _params_from_args(args)
+    sweep_name, _, sweep_values = args.sweep.partition("=")
+    values = [int(v) for v in sweep_values.split(",") if v]
+    if not values:
+        raise SystemExit("--sweep expects name=v1,v2,... with at least one value")
+
+    profiler = Profiler(params)
+    segments = tuple(class_i_segments(source))
+    stream = []
+    for value in values:
+        data = _parse_data(args.data)
+        data[sweep_name] = value
+        bundle = bundle_from_program(source, params=params, data=data)
+        actual = profiler.profile(source, data=data).costs["cycles"]
+        stream.append((bundle, actual))
+    environment = make_environment(stream, class_i_segments=lambda _: segments)
+
+    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
+    load_model(model, args.model)
+    calibrator = DynamicCalibrator(
+        model, CalibrationConfig(metric="cycles", seed=args.seed)
+    )
+    history = calibrator.run(environment, iterations=args.iterations)
+    for i, mape_value in enumerate(history.iteration_mape, start=1):
+        print(f"iteration {i}: cycles MAPE {mape_value:.1%}")
+    if args.out:
+        calibrator.save(args.out)
+        print(f"calibrated policy (model + adapter) saved to {args.out}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .core import CostModel, DesignSpaceExplorer, LLMulatorConfig
+    from .nn import load_model
+
+    source = _read_program(args.program)
+    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
+    load_model(model, args.model)
+    explorer = DesignSpaceExplorer(model)
+    data = _parse_data(args.data) or None
+    points = explorer.explore(
+        source,
+        data=data,
+        unroll_factors=tuple(args.unroll),
+        memory_delays=tuple(args.mem_delays),
+        max_candidates=args.max_candidates,
+    )
+    explorer.verify_top(points, top_k=args.verify_top, data=data)
+    print(f"{'rank':>4s}  {'design':30s} {'pred cycles':>11s} {'pred area':>10s} {'actual cycles':>13s}")
+    for rank, point in enumerate(points, start=1):
+        actual = str(point.actual["cycles"]) if point.actual else "-"
+        print(
+            f"{rank:4d}  {point.describe():30s} "
+            f"{point.predicted['cycles']:11d} {point.predicted['area']:10d} {actual:>13s}"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import missing_experiments, write_report
+
+    path = write_report(args.results, output_path=args.out)
+    missing = missing_experiments(args.results)
+    print(f"report written to {path}")
+    if missing:
+        print(f"{len(missing)} experiments not yet rendered: "
+              + ", ".join(sorted(missing)), file=sys.stderr)
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads import (
+        accelerator_suite,
+        linalg_suite,
+        modern_suite,
+        polybench_suite,
+    )
+
+    suites = {
+        "polybench": polybench_suite,
+        "linalg": linalg_suite,
+        "modern": modern_suite,
+        "accelerators": accelerator_suite,
+    }
+    selected = [args.suite] if args.suite else list(suites)
+    print(f"{'suite':13s} {'workload':22s} {'AllLen':>7s} {'GraphLen':>8s} "
+          f"{'OpNum':>5s} {'DynNum':>6s} {'OpLen':>7s}")
+    for suite_name in selected:
+        for workload in suites[suite_name]():
+            stats = workload.stats()
+            print(
+                f"{suite_name:13s} {workload.name:22s} {stats['all_len']:7d} "
+                f"{stats['graph_len']:8d} {stats['op_num']:5d} "
+                f"{stats['dyn_num']:6d} {stats['op_len']:7d}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LLMulator reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_hw_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mem-delay", type=int, default=10, help="memory R/W delay (cycles)")
+        p.add_argument("--pe-count", type=int, default=4)
+        p.add_argument("--memory-ports", type=int, default=2)
+
+    profile = sub.add_parser("profile", help="profile a program through the EDA substrate")
+    profile.add_argument("program", help="program path ('-' for stdin)")
+    profile.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
+    profile.add_argument("--verbose", action="store_true")
+    profile.add_argument(
+        "--per-op", action="store_true",
+        help="print a per-operator cost breakdown instead of totals only",
+    )
+    add_hw_flags(profile)
+    profile.set_defaults(func=cmd_profile)
+
+    analyze = sub.add_parser("analyze", help="classify operators (Class I/II)")
+    analyze.add_argument("program")
+    analyze.set_defaults(func=cmd_analyze)
+
+    synthesize = sub.add_parser("synthesize", help="generate a training dataset")
+    synthesize.add_argument("--out", required=True)
+    synthesize.add_argument("--ast", type=int, default=12)
+    synthesize.add_argument("--dataflow", type=int, default=20)
+    synthesize.add_argument("--llm", type=int, default=8)
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.set_defaults(func=cmd_synthesize)
+
+    train = sub.add_parser("train", help="train a cost model on a JSONL dataset")
+    train.add_argument("dataset")
+    train.add_argument("--out", required=True)
+    train.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=cmd_train)
+
+    predict = sub.add_parser("predict", help="predict costs with a trained model")
+    predict.add_argument("program")
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+    predict.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
+    predict.add_argument("--seed", type=int, default=0)
+    add_hw_flags(predict)
+    predict.set_defaults(func=cmd_predict)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="DPO-calibrate a trained model against the profiler"
+    )
+    calibrate.add_argument("program")
+    calibrate.add_argument("--model", required=True)
+    calibrate.add_argument("--sweep", required=True, metavar="NAME=V1,V2,...",
+                           help="runtime input to sweep as the environment")
+    calibrate.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
+    calibrate.add_argument("--iterations", type=int, default=5)
+    calibrate.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument("--out", help="save the calibrated model here")
+    add_hw_flags(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    explore = sub.add_parser(
+        "explore", help="rank mapping candidates with a trained model"
+    )
+    explore.add_argument("program")
+    explore.add_argument("--model", required=True)
+    explore.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
+    explore.add_argument("--unroll", type=int, nargs="+", default=[1, 2, 4])
+    explore.add_argument("--mem-delays", type=int, nargs="+", default=[10])
+    explore.add_argument("--max-candidates", type=int, default=16)
+    explore.add_argument("--verify-top", type=int, default=3)
+    explore.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+    explore.add_argument("--seed", type=int, default=0)
+    explore.set_defaults(func=cmd_explore)
+
+    report = sub.add_parser(
+        "report", help="assemble results/ tables into one markdown report"
+    )
+    report.add_argument("--results", default="results")
+    report.add_argument("--out", default=None)
+    report.set_defaults(func=cmd_report)
+
+    workloads = sub.add_parser("workloads", help="list bundled benchmark suites")
+    workloads.add_argument(
+        "--suite",
+        choices=("polybench", "linalg", "modern", "accelerators"),
+        help="restrict to one suite",
+    )
+    workloads.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""LLMulator core: numeric modeling, calibration, separation, caching."""
+
+from .acceleration import AccelerationStats, CachedPredictor
+from .explorer import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    MappingChoice,
+    apply_mapping,
+)
+from .calibration import (
+    CalibrationConfig,
+    CalibrationHistory,
+    CalibrationStep,
+    DynamicCalibrator,
+    PreferenceTriplet,
+    ReplayBuffer,
+    make_environment,
+)
+from .inputs import bundle_from_program, class_i_segments
+from .model import CostModel, CostPrediction, LLMulatorConfig
+from .numeric_codec import NumericCodec, tradeoff_table
+from .pareto import dominates, hypervolume_2d, pareto_front, pareto_points
+from .search import (
+    SearchTrace,
+    evaluate_point,
+    model_guided_search,
+    random_search,
+)
+from .numeric_head import DigitClassificationHead, NumericPrediction
+from .separation import (
+    build_separation_mask,
+    operator_mask_matrix,
+    separation_savings,
+)
+from .trainer import TrainingConfig, TrainingExample, TrainingHistory, train_cost_model
+
+__all__ = [
+    "LLMulatorConfig",
+    "CostModel",
+    "CostPrediction",
+    "NumericCodec",
+    "tradeoff_table",
+    "DigitClassificationHead",
+    "NumericPrediction",
+    "TrainingExample",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_cost_model",
+    "DynamicCalibrator",
+    "CalibrationConfig",
+    "CalibrationHistory",
+    "CalibrationStep",
+    "PreferenceTriplet",
+    "ReplayBuffer",
+    "make_environment",
+    "CachedPredictor",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "MappingChoice",
+    "apply_mapping",
+    "SearchTrace",
+    "evaluate_point",
+    "model_guided_search",
+    "random_search",
+    "dominates",
+    "pareto_front",
+    "pareto_points",
+    "hypervolume_2d",
+    "AccelerationStats",
+    "build_separation_mask",
+    "operator_mask_matrix",
+    "separation_savings",
+    "bundle_from_program",
+    "class_i_segments",
+]

@@ -1,0 +1,390 @@
+"""Dynamic prediction-based calibration via DPO (paper §5.1).
+
+The model interacts with the profiling environment online: it predicts
+``y_l`` for ``{x, data}``, the profiler returns the ground truth
+``y_w``, and the preference pair updates the policy with the DPO
+objective (paper Eq. 2)
+
+    R(θ) = E[ log σ( β( log πθ(y_w|s)/π_ref(y_w|s)
+                       − log πθ(y_l|s)/π_ref(y_l|s) ) ) ]
+
+where the reference policy π_ref is the frozen static-stage model.  A
+sliding-window replay buffer supports minibatch replay (buffer size 1
+degenerates to immediate online updates).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..nn import Adam, Tensor
+from ..tokenizer import ModelInput
+from .model import CostModel
+
+
+@dataclass
+class PreferenceTriplet:
+    """One DPO preference sample ``({x, data}, y_w, y_l)``."""
+
+    bundle: ModelInput
+    y_w: int
+    y_l: int
+    class_i_segments: tuple[str, ...] = ()
+
+
+class ReplayBuffer:
+    """Sliding-window replay buffer of preference triplets."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise CalibrationError("replay buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque[PreferenceTriplet] = deque(maxlen=capacity)
+
+    def push(self, triplet: PreferenceTriplet) -> None:
+        self._items.append(triplet)
+
+    def sample(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> list[PreferenceTriplet]:
+        if not self._items:
+            return []
+        rng = rng or np.random.default_rng()
+        size = min(batch_size, len(self._items))
+        indices = rng.choice(len(self._items), size=size, replace=False)
+        items = list(self._items)
+        return [items[i] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class CalibrationConfig:
+    """Knobs for the DPO calibration loop."""
+
+    beta: float = 0.4
+    lr: float = 2e-3
+    buffer_size: int = 16
+    minibatch: int = 4
+    updates_per_step: int = 3
+    metric: str = "cycles"
+    seed: int = 0
+    # Weight of an auxiliary cross-entropy anchor on the observed ground
+    # truth.  Pure Eq. 2 preference gradients can oscillate at this model
+    # scale; since the environment hands us y_w exactly, anchoring on it
+    # is sound and stabilizes convergence (DPO+SFT mixing).
+    ce_weight: float = 1.0
+    # Freeze the encoder and adapt only the metric head — the analogue
+    # of the paper's LoRA-restricted fine-tuning.  Pooled encodings are
+    # then cached per input, making online calibration near-free.
+    freeze_encoder: bool = True
+
+
+@dataclass
+class CalibrationStep:
+    """Outcome of one environment interaction."""
+
+    predicted: int
+    actual: int
+    loss: float
+
+    @property
+    def ape(self) -> float:
+        """Absolute percentage error of this step's prediction."""
+        if self.actual == 0:
+            return float(self.predicted != 0)
+        return abs(self.predicted - self.actual) / abs(self.actual)
+
+
+@dataclass
+class CalibrationHistory:
+    """Error trajectory across calibration iterations."""
+
+    iteration_mape: list[float] = field(default_factory=list)
+    steps: list[CalibrationStep] = field(default_factory=list)
+
+    @property
+    def initial_mape(self) -> float:
+        return self.iteration_mape[0] if self.iteration_mape else float("nan")
+
+    @property
+    def final_mape(self) -> float:
+        return self.iteration_mape[-1] if self.iteration_mape else float("nan")
+
+
+class DynamicCalibrator:
+    """Adaptive online learner wrapping a trained :class:`CostModel`."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        config: Optional[CalibrationConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or CalibrationConfig()
+        if self.config.metric not in model.heads:
+            raise CalibrationError(
+                f"model has no head for metric {self.config.metric!r}"
+            )
+        # Frozen reference policy: a deep copy of the static-stage model.
+        self.reference = copy.deepcopy(model)
+        for param in self.reference.parameters():
+            param.requires_grad = False
+        self.buffer = ReplayBuffer(self.config.buffer_size)
+        if self.config.freeze_encoder:
+            # LoRA-style residual adapter between the frozen encoder and
+            # the head: gives the calibration a nonlinear lever to
+            # separate inputs whose pooled encodings are close.
+            dim = model.encoder.config.dim
+            rng = np.random.default_rng(self.config.seed + 5)
+            from ..nn import Linear
+
+            self._adapter_in = Linear(dim, dim, rng=rng)
+            self._adapter_out = Linear(dim, dim, rng=rng)
+            self._adapter_out.weight.data *= 0.0  # start as identity
+            trainable = list(model.heads[self.config.metric].parameters())
+            trainable += [
+                self._adapter_in.weight,
+                self._adapter_in.bias,
+                self._adapter_out.weight,
+                self._adapter_out.bias,
+            ]
+        else:
+            self._adapter_in = None
+            self._adapter_out = None
+            trainable = list(model.parameters())
+        self._optimizer = Adam(trainable, lr=self.config.lr)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._pooled_cache: dict[int, Tensor] = {}
+        self._ref_cache: dict[tuple[int, int], float] = {}
+        # Standardization statistics restored from a saved policy; live
+        # statistics from the pooled cache take over again as soon as
+        # calibration resumes (see observe()).
+        self._frozen_stats: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    def _pooled_for(self, bundle: ModelInput, segments) -> Tensor:
+        """Policy encoding; cached and adapter-transformed when the
+        encoder is frozen."""
+        if not self.config.freeze_encoder:
+            return self.model.encode(bundle, segments)
+        key = id(bundle)
+        if key not in self._pooled_cache:
+            pooled = self.model.encode(bundle, segments)
+            self._pooled_cache[key] = Tensor(pooled.data.copy())
+        cached = self._pooled_cache[key]
+        # Standardize across the observed inputs before the adapter:
+        # pooled encodings of similar programs differ by a fraction of a
+        # percent, so the adapter needs the between-input variance
+        # amplified to O(1) to separate them.
+        mu, sigma = self._cache_stats()
+        standardized = Tensor((cached.data - mu) / sigma)
+        return cached + self._adapter_out(self._adapter_in(standardized).tanh())
+
+    def _cache_stats(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._frozen_stats is not None:
+            return self._frozen_stats
+        vectors = np.stack([t.data for t in self._pooled_cache.values()])
+        mu = vectors.mean(axis=0)
+        sigma = vectors.std(axis=0) + 1e-4
+        return mu, sigma
+
+    def _raw_pooled(self, bundle: ModelInput, segments) -> Tensor:
+        """Encoder output without the adapter (reference policy view)."""
+        if not self.config.freeze_encoder:
+            return self.reference.encode(bundle, segments)
+        key = id(bundle)
+        if key not in self._pooled_cache:
+            pooled = self.model.encode(bundle, segments)
+            self._pooled_cache[key] = Tensor(pooled.data.copy())
+        return self._pooled_cache[key]
+
+    def _ref_log_prob(self, bundle: ModelInput, segments, value: int) -> float:
+        key = (id(bundle), value)
+        if key not in self._ref_cache:
+            ref_pooled = self._raw_pooled(bundle, segments)
+            self._ref_cache[key] = float(
+                self.reference.heads[self.config.metric]
+                .log_prob_of(ref_pooled, value)
+                .data
+            )
+        return self._ref_cache[key]
+
+    # -- DPO loss ---------------------------------------------------------
+
+    def _dpo_loss(self, triplet: PreferenceTriplet) -> Optional[Tensor]:
+        if triplet.y_w == triplet.y_l:
+            return None  # prediction already exact: nothing to prefer
+        metric = self.config.metric
+        segments = list(triplet.class_i_segments) or None
+        pooled = self._pooled_for(triplet.bundle, segments)
+        log_w = self.model.heads[metric].log_prob_of(pooled, triplet.y_w)
+        log_l = self.model.heads[metric].log_prob_of(pooled, triplet.y_l)
+        ref_w = self._ref_log_prob(triplet.bundle, segments, triplet.y_w)
+        ref_l = self._ref_log_prob(triplet.bundle, segments, triplet.y_l)
+        margin = (log_w - ref_w) - (log_l - ref_l)
+        loss = -(margin * self.config.beta).sigmoid().log()
+        if self.config.ce_weight > 0:
+            loss = loss + (-log_w) * self.config.ce_weight
+        return loss
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(
+        self,
+        bundle: ModelInput,
+        class_i_segments: tuple[str, ...] = (),
+        beam_width: int = 5,
+    ):
+        """Predict with the calibrated policy (adapter + updated head)."""
+        pooled = self._pooled_for(bundle, list(class_i_segments) or None)
+        return self.model.heads[self.config.metric].predict(
+            pooled, beam_width=beam_width
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the calibrated policy: model weights plus (when the
+        encoder is frozen) the residual adapter, in one ``.npz``.
+
+        Saving the model alone would silently drop the adapter — the
+        lever most of the calibration gain lives in — so round-trip the
+        whole policy through :meth:`save` / :meth:`load`.
+        """
+        import os
+
+        state = self.model.state_dict()
+        for prefix, adapter in (
+            ("__adapter_in__", self._adapter_in),
+            ("__adapter_out__", self._adapter_out),
+        ):
+            if adapter is not None:
+                for name, value in adapter.state_dict().items():
+                    state[f"{prefix}.{name}"] = value
+        if self._adapter_in is not None and (
+            self._pooled_cache or self._frozen_stats is not None
+        ):
+            mu, sigma = self._cache_stats()
+            state["__stats__.mu"] = mu
+            state["__stats__.sigma"] = sigma
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, **state)
+
+    def load(self, path: str) -> None:
+        """Restore a policy saved by :meth:`save`."""
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        adapters = {
+            "__adapter_in__": self._adapter_in,
+            "__adapter_out__": self._adapter_out,
+        }
+        model_state = {}
+        adapter_states: dict[str, dict[str, np.ndarray]] = {k: {} for k in adapters}
+        stats: dict[str, np.ndarray] = {}
+        for name, value in state.items():
+            prefix, _, rest = name.partition(".")
+            if prefix in adapters:
+                adapter_states[prefix][rest] = value
+            elif prefix == "__stats__":
+                stats[rest] = value
+            else:
+                model_state[name] = value
+        self.model.load_state_dict(model_state)
+        for prefix, adapter in adapters.items():
+            if adapter is not None and adapter_states[prefix]:
+                adapter.load_state_dict(adapter_states[prefix])
+        # Cached encodings refer to the old weights; standardization
+        # statistics are restored frozen until calibration resumes.
+        self._pooled_cache.clear()
+        self._ref_cache.clear()
+        if "mu" in stats and "sigma" in stats:
+            self._frozen_stats = (stats["mu"], stats["sigma"])
+
+    # -- interaction loop -----------------------------------------------------
+
+    def observe(
+        self,
+        bundle: ModelInput,
+        actual: int,
+        class_i_segments: tuple[str, ...] = (),
+    ) -> CalibrationStep:
+        """One environment interaction: predict, receive ground truth,
+        store the preference pair and run minibatch DPO updates."""
+        self._frozen_stats = None  # live statistics resume with training
+        metric = self.config.metric
+        pooled = self._pooled_for(bundle, list(class_i_segments) or None)
+        prediction = self.model.heads[metric].predict(pooled)
+        triplet = PreferenceTriplet(
+            bundle=bundle,
+            y_w=int(actual),
+            y_l=prediction.value,
+            class_i_segments=class_i_segments,
+        )
+        self.buffer.push(triplet)
+        total_loss = 0.0
+        updates = 0
+        for _ in range(self.config.updates_per_step):
+            batch = self.buffer.sample(self.config.minibatch, self._rng)
+            loss_terms = [self._dpo_loss(t) for t in batch]
+            loss_terms = [t for t in loss_terms if t is not None]
+            if not loss_terms:
+                continue
+            total: Tensor = loss_terms[0]
+            for term in loss_terms[1:]:
+                total = total + term
+            total = total / float(len(loss_terms))
+            self._optimizer.zero_grad()
+            total.backward()
+            self._optimizer.clip_grad_norm(1.0)
+            self._optimizer.step()
+            total_loss += float(total.data)
+            updates += 1
+        return CalibrationStep(
+            predicted=prediction.value,
+            actual=int(actual),
+            loss=total_loss / max(1, updates),
+        )
+
+    def run(
+        self,
+        environment: Iterable[tuple[ModelInput, int, tuple[str, ...]]],
+        iterations: int = 5,
+    ) -> CalibrationHistory:
+        """Run *iterations* passes over an environment stream.
+
+        Each stream element is ``(bundle, ground_truth, class_i_segments)``;
+        the profiler producing ``ground_truth`` plays the role of
+        SiliconCompiler/Verilator in Figure 4.
+        """
+        samples = list(environment)
+        if not samples:
+            raise CalibrationError("empty calibration environment")
+        history = CalibrationHistory()
+        for _ in range(iterations):
+            apes = []
+            for bundle, actual, segments in samples:
+                step = self.observe(bundle, actual, segments)
+                history.steps.append(step)
+                apes.append(step.ape)
+            history.iteration_mape.append(float(np.mean(apes)))
+        return history
+
+
+def make_environment(
+    programs_and_data: Iterable[tuple[ModelInput, int]],
+    class_i_segments: Callable[[int], tuple[str, ...]] | None = None,
+) -> list[tuple[ModelInput, int, tuple[str, ...]]]:
+    """Helper shaping (bundle, truth) pairs into calibrator streams."""
+    result = []
+    for index, (bundle, actual) in enumerate(programs_and_data):
+        segments = class_i_segments(index) if class_i_segments else ()
+        result.append((bundle, actual, segments))
+    return result

@@ -1,0 +1,192 @@
+"""Design-space exploration on top of the cost model (paper §1's
+motivating use case, accelerated per §5.3).
+
+The explorer enumerates mapping candidates — unroll factors, parallel
+pragmas and memory configurations — for a dataflow program, ranks them
+with the (cached) cost model, and can verify the top candidates against
+the ground-truth profiler.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..hls import HardwareParams
+from ..lang import ast
+from ..profiler import Profiler
+from ..tokenizer import ModelInput
+from .acceleration import CachedPredictor
+from .inputs import bundle_from_program, class_i_segments
+from .model import CostModel
+
+
+@dataclass(frozen=True)
+class MappingChoice:
+    """One spatial-mapping decision applied to a loop."""
+
+    function: str
+    loop_index: int  # pre-order index of the loop within the function
+    unroll: int = 1  # 1 = none, 0 = full
+    parallel: bool = False
+
+
+@dataclass
+class DesignPoint:
+    """One candidate design: program mapping + hardware parameters."""
+
+    program: ast.Program
+    params: HardwareParams
+    choices: tuple[MappingChoice, ...] = ()
+    predicted: dict[str, int] = field(default_factory=dict)
+    score: float = 0.0
+    actual: Optional[dict[str, int]] = None
+
+    def describe(self) -> str:
+        parts = [f"mem={self.params.mem_read_delay}"]
+        for choice in self.choices:
+            label = f"{choice.function}#L{choice.loop_index}"
+            if choice.unroll != 1:
+                parts.append(f"{label}:unroll{choice.unroll or 'full'}")
+            if choice.parallel:
+                parts.append(f"{label}:par")
+        return " ".join(parts) or "baseline"
+
+
+def apply_mapping(program: ast.Program, choices: tuple[MappingChoice, ...]) -> ast.Program:
+    """Apply mapping pragmas to a deep copy of *program*."""
+    clone = copy.deepcopy(program)
+    for choice in choices:
+        func = clone.function(choice.function)
+        loops = ast.loops_in(func.body)
+        if not 0 <= choice.loop_index < len(loops):
+            raise IndexError(
+                f"{choice.function} has {len(loops)} loops; "
+                f"index {choice.loop_index} is out of range"
+            )
+        loop = loops[choice.loop_index]
+        loop.pragmas = [p for p in loop.pragmas if p.kind not in ("unroll", "parallel")]
+        if choice.unroll != 1:
+            loop.pragmas.append(ast.Pragma(kind="unroll", factor=choice.unroll))
+        if choice.parallel:
+            loop.pragmas.append(ast.Pragma(kind="parallel"))
+    return clone
+
+
+def default_objective(predicted: dict[str, int]) -> float:
+    """Energy-delay-product-flavoured objective: cycles × area."""
+    return float(predicted.get("cycles", 1)) * float(predicted.get("area", 1))
+
+
+class DesignSpaceExplorer:
+    """Enumerates, predicts and ranks mapping candidates."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        objective: Callable[[dict[str, int]], float] = default_objective,
+        use_cache: bool = True,
+    ) -> None:
+        self.model = model
+        self.objective = objective
+        # Exact mode: ranking fidelity matters more than partial reuse.
+        self.predictor = CachedPredictor(model, enabled=use_cache, mode="exact")
+
+    # -- candidate enumeration -------------------------------------------
+
+    def enumerate_candidates(
+        self,
+        program: ast.Program,
+        unroll_factors: tuple[int, ...] = (1, 2, 4),
+        memory_delays: tuple[int, ...] = (10,),
+        target_function: Optional[str] = None,
+        max_candidates: int = 32,
+    ) -> list[DesignPoint]:
+        """Cartesian product of unroll factors on the innermost loop of
+        each operator and the memory-delay options."""
+        operators = [
+            func.name
+            for func in program.functions
+            if func is not program.functions[-1] and ast.loops_in(func.body)
+        ]
+        if target_function is not None:
+            operators = [name for name in operators if name == target_function]
+        candidates: list[DesignPoint] = []
+        per_op_options: list[list[MappingChoice]] = []
+        for name in operators:
+            loops = ast.loops_in(program.function(name).body)
+            innermost = len(loops) - 1
+            per_op_options.append(
+                [
+                    MappingChoice(function=name, loop_index=innermost, unroll=factor)
+                    for factor in unroll_factors
+                ]
+            )
+        for combo in itertools.product(*per_op_options):
+            for delay in memory_delays:
+                params = HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
+                mapped = apply_mapping(program, tuple(combo))
+                candidates.append(
+                    DesignPoint(program=mapped, params=params, choices=tuple(combo))
+                )
+                if len(candidates) >= max_candidates:
+                    return candidates
+        return candidates
+
+    # -- ranking ---------------------------------------------------------------
+
+    def _predict_point(self, point: DesignPoint, data: Optional[dict]) -> None:
+        bundle = bundle_from_program(point.program, params=point.params, data=data)
+        segments = tuple(class_i_segments(point.program))
+        predicted: dict[str, int] = {}
+        for metric in self.model.heads:
+            predicted[metric] = self.predictor.predict(
+                bundle, metric=metric, class_i_segments=segments
+            ).value
+        point.predicted = predicted
+        point.score = self.objective(predicted)
+
+    def explore(
+        self,
+        program: ast.Program | str,
+        data: Optional[dict] = None,
+        unroll_factors: tuple[int, ...] = (1, 2, 4),
+        memory_delays: tuple[int, ...] = (10,),
+        max_candidates: int = 32,
+    ) -> list[DesignPoint]:
+        """Enumerate, predict and rank candidates (best first)."""
+        if isinstance(program, str):
+            from ..lang import parse
+
+            program = parse(program)
+        candidates = self.enumerate_candidates(
+            program,
+            unroll_factors=unroll_factors,
+            memory_delays=memory_delays,
+            max_candidates=max_candidates,
+        )
+        for point in candidates:
+            self._predict_point(point, data)
+        candidates.sort(key=lambda point: point.score)
+        return candidates
+
+    def verify_top(
+        self,
+        candidates: list[DesignPoint],
+        top_k: int = 3,
+        data: Optional[dict] = None,
+        max_steps: int = 2_000_000,
+    ) -> list[DesignPoint]:
+        """Ground-truth the best *top_k* candidates with the profiler
+        (the expensive step DSE tools reserve for finalists)."""
+        for point in candidates[:top_k]:
+            profiler = Profiler(point.params, max_steps=max_steps)
+            report = profiler.profile(point.program, data=data)
+            point.actual = report.costs.as_dict()
+        return candidates[:top_k]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.predictor.stats.hit_rate

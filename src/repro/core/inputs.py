@@ -1,0 +1,73 @@
+"""Glue: build model inputs from programs, params and runtime data."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..hls import HardwareParams
+from ..ir import build_dataflow_graph
+from ..lang import ast, format_function, parse
+from ..lang.analysis import OperatorClass, analyze_function
+from ..lang.normalize import normalize as normalize_program
+from ..sim import describe_data
+from ..tokenizer import ModelInput
+
+
+def bundle_from_program(
+    program: ast.Program | str,
+    params: Optional[HardwareParams] = None,
+    data: Optional[dict[str, Any]] = None,
+    think_text: str = "",
+    graph_function: Optional[str] = None,
+    normalize: bool = False,
+) -> ModelInput:
+    """Render the paper's ``{G, Op, Params, data}`` quadruple as text.
+
+    The top-level graph function becomes the graph segment; every other
+    function becomes an operator segment; ``params`` renders in Bambu
+    flag style; ``data`` in ``name = value`` style.
+
+    With ``normalize=True`` the program is canonicalized first (local
+    renaming, constant folding, identity simplification) — the paper's
+    §7.2 future-work mitigation for deeply abstracted programs.  Use
+    the same setting at training and prediction time.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    if normalize:
+        program = normalize_program(program)
+    graph = build_dataflow_graph(program, graph_function)
+    graph_func = program.function(graph.graph_function)
+    op_texts = [
+        format_function(func)
+        for func in program.functions
+        if func.name != graph.graph_function
+    ]
+    params = params or HardwareParams()
+    return ModelInput(
+        graph_text=format_function(graph_func),
+        op_texts=op_texts,
+        params_text=params.describe(),
+        data_text=describe_data(data) if data else "",
+        think_text=think_text,
+    )
+
+
+def class_i_segments(
+    program: ast.Program | str, graph_function: Optional[str] = None
+) -> list[str]:
+    """Names of the operator segments whose control flow is input
+    independent (Class I) — the segments the separation mask decouples
+    from runtime data."""
+    if isinstance(program, str):
+        program = parse(program)
+    graph = build_dataflow_graph(program, graph_function)
+    operators = [
+        func for func in program.functions if func.name != graph.graph_function
+    ]
+    segments = []
+    for index, func in enumerate(operators):
+        report = analyze_function(func)
+        if report.operator_class is OperatorClass.CLASS_I:
+            segments.append(f"op{index}")
+    return segments

@@ -1,0 +1,187 @@
+"""The LLMulator cost model.
+
+A transformer encoder over progressively-encoded program text with one
+digit-classification head per performance metric.  Static metrics
+(power, area, FF) are predicted from ``{G, Op, Params}``; the dynamic
+metric (cycles) additionally sees the runtime ``data`` segment
+(§5.2's input-vector split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from ..nn import Module, Tensor, TransformerConfig, TransformerEncoder
+from ..profiler import METRICS, STATIC_METRICS
+from ..tokenizer import ModelInput, NumericMode, ProgressiveTokenizer, TokenizedInput, VOCAB
+from .numeric_codec import NumericCodec
+from .numeric_head import DigitClassificationHead, NumericPrediction
+from .separation import build_separation_mask
+
+
+@dataclass(frozen=True)
+class LLMulatorConfig:
+    """Hyper-parameters of the cost model."""
+
+    numeric_mode: NumericMode = "digit"
+    tier: str = "1B"
+    base: int = 10
+    digits: int = 8
+    max_seq_len: int = 320
+    beam_width: int = 3
+    seed: int = 0
+    use_separation: bool = True
+    metrics: tuple[str, ...] = tuple(METRICS)
+
+    def codec(self) -> NumericCodec:
+        return NumericCodec(base=self.base, digits=self.digits)
+
+
+@dataclass
+class CostPrediction:
+    """Predictions for every metric of one input."""
+
+    per_metric: dict[str, NumericPrediction] = field(default_factory=dict)
+
+    def value(self, metric: str) -> int:
+        return self.per_metric[metric].value
+
+    def confidence(self, metric: str) -> float:
+        return self.per_metric[metric].confidence
+
+    def as_dict(self) -> dict[str, int]:
+        return {metric: pred.value for metric, pred in self.per_metric.items()}
+
+
+class CostModel(Module):
+    """LLMulator: encoder + per-metric digit classification heads."""
+
+    def __init__(self, config: Optional[LLMulatorConfig] = None) -> None:
+        self.config = config or LLMulatorConfig()
+        self.tokenizer = ProgressiveTokenizer(
+            numeric_mode=self.config.numeric_mode,
+            max_length=self.config.max_seq_len,
+        )
+        encoder_config = TransformerConfig.tier(
+            self.config.tier, vocab_size=len(VOCAB), max_seq_len=self.config.max_seq_len
+        )
+        self.encoder = TransformerEncoder(encoder_config, seed=self.config.seed)
+        rng = np.random.default_rng(self.config.seed + 1)
+        codec = self.config.codec()
+        self.heads = {
+            metric: DigitClassificationHead(encoder_config.dim, codec=codec, rng=rng)
+            for metric in self.config.metrics
+        }
+
+    @property
+    def codec(self) -> NumericCodec:
+        """The digit codec shared by every metric head."""
+        return next(iter(self.heads.values())).codec
+
+    # -- encoding ----------------------------------------------------------
+
+    def tokenize(self, bundle: ModelInput) -> TokenizedInput:
+        return self.tokenizer.encode_bundle(bundle)
+
+    def _mask_for(
+        self,
+        tokenized: TokenizedInput,
+        class_i_segments: Optional[list[str]],
+    ) -> Optional[np.ndarray]:
+        if not self.config.use_separation or not class_i_segments:
+            return None
+        if "data" not in tokenized.segment_slices:
+            return None
+        return build_separation_mask(tokenized, class_i_segments)
+
+    def encode(
+        self,
+        bundle: ModelInput,
+        class_i_segments: Optional[list[str]] = None,
+    ) -> Tensor:
+        """Pooled hidden representation of *bundle*.
+
+        Pooling is mean over all tokens plus the means of the ``params``
+        and runtime ``data`` segments when present — without the
+        emphasis, the handful of configuration/input tokens would be
+        diluted by thousands of program tokens and the predictions would
+        lose hardware- and input-sensitivity.
+        """
+        tokenized = self.tokenize(bundle)
+        mask = self._mask_for(tokenized, class_i_segments)
+        hidden = self.encoder.encode(tokenized.ids, mask=mask)
+        pooled = self.encoder.pool(hidden)
+        for segment in ("params", "data"):
+            segment_slice = tokenized.segment_slices.get(segment)
+            if segment_slice is not None and segment_slice.stop <= hidden.shape[0]:
+                pooled = pooled + hidden[segment_slice, :].mean(axis=0)
+        return pooled
+
+    # -- training ------------------------------------------------------------
+
+    def loss(
+        self,
+        bundle: ModelInput,
+        targets: dict[str, int],
+        class_i_segments: Optional[list[str]] = None,
+    ) -> Tensor:
+        """Summed digit cross-entropy over the provided metric targets."""
+        unknown = set(targets) - set(self.heads)
+        if unknown:
+            raise ModelConfigError(f"unknown metrics {sorted(unknown)}")
+        pooled = self.encode(bundle, class_i_segments)
+        total: Optional[Tensor] = None
+        for metric, target in targets.items():
+            term = self.heads[metric].loss(pooled, target)
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
+    # -- inference --------------------------------------------------------------
+
+    def predict(
+        self,
+        bundle: ModelInput,
+        metric: str,
+        class_i_segments: Optional[list[str]] = None,
+        beam_width: Optional[int] = None,
+    ) -> NumericPrediction:
+        if metric not in self.heads:
+            raise ModelConfigError(f"unknown metric {metric!r}")
+        pooled = self.encode(bundle, class_i_segments)
+        return self.heads[metric].predict(
+            pooled, beam_width=beam_width or self.config.beam_width
+        )
+
+    def predict_costs(
+        self,
+        bundle: ModelInput,
+        class_i_segments: Optional[list[str]] = None,
+        beam_width: Optional[int] = None,
+    ) -> CostPrediction:
+        """Predict every configured metric from one encoding pass.
+
+        Static metrics are predicted from a data-free variant of the
+        bundle; cycles sees the full bundle (the §5.2 split).
+        """
+        width = beam_width or self.config.beam_width
+        result = CostPrediction()
+        static_bundle = ModelInput(
+            graph_text=bundle.graph_text,
+            op_texts=bundle.op_texts,
+            params_text=bundle.params_text,
+            data_text="",
+            think_text=bundle.think_text,
+        )
+        static_pooled = self.encode(static_bundle, class_i_segments)
+        dynamic_pooled = (
+            self.encode(bundle, class_i_segments) if bundle.data_text else static_pooled
+        )
+        for metric, head in self.heads.items():
+            pooled = static_pooled if metric in STATIC_METRICS else dynamic_pooled
+            result.per_metric[metric] = head.predict(pooled, beam_width=width)
+        return result

@@ -1,0 +1,90 @@
+"""Base-D numeric codec for output numerical modeling (paper §4.2).
+
+A value is represented as a fixed-length sequence of base-``D`` digits,
+most-significant first.  The codec also exposes the temporal/spatial
+trade-off quantities the paper analyses (encoding length vs. per-digit
+classification complexity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelConfigError
+
+
+@dataclass(frozen=True)
+class NumericCodec:
+    """Fixed-length base-``base`` integer codec."""
+
+    base: int = 10
+    digits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base < 2:
+            raise ModelConfigError("base must be >= 2")
+        if self.digits < 1:
+            raise ModelConfigError("digits must be >= 1")
+
+    @property
+    def max_value(self) -> int:
+        return self.base**self.digits - 1
+
+    def encode(self, value: int) -> list[int]:
+        """Digits of *value*, MSB first, left-padded with zeros.
+
+        Values outside ``[0, max_value]`` are clamped — the model can
+        only express this range, exactly like the paper's fixed-digit
+        output head.
+        """
+        value = int(round(value))
+        value = min(max(value, 0), self.max_value)
+        digits = []
+        for _ in range(self.digits):
+            digits.append(value % self.base)
+            value //= self.base
+        return list(reversed(digits))
+
+    def decode(self, digits: list[int]) -> int:
+        """Inverse of :meth:`encode`."""
+        if len(digits) != self.digits:
+            raise ModelConfigError(
+                f"expected {self.digits} digits, got {len(digits)}"
+            )
+        value = 0
+        for digit in digits:
+            if not 0 <= digit < self.base:
+                raise ModelConfigError(f"digit {digit} out of range for base {self.base}")
+            value = value * self.base + digit
+        return value
+
+    # -- trade-off analysis (paper §4.2) --------------------------------
+
+    def encoding_length(self, value: int) -> int:
+        """Temporal efficiency: digits needed for *value* in this base."""
+        if value <= 0:
+            return 1
+        return max(1, math.ceil(math.log(value + 1, self.base)))
+
+    @property
+    def logit_dimension(self) -> int:
+        """Spatial efficiency: per-digit classification complexity."""
+        return self.base
+
+
+def tradeoff_table(value: int, bases: tuple[int, ...] = (2, 4, 8, 10, 16)) -> list[dict]:
+    """Encoding length vs. logit dimension for each base (Fig-free
+    analysis backing the §4.2 discussion; exercised by a bench)."""
+    rows = []
+    for base in bases:
+        codec = NumericCodec(base=base, digits=max(1, math.ceil(math.log(value + 1, base))))
+        rows.append(
+            {
+                "base": base,
+                "encoding_length": codec.encoding_length(value),
+                "logit_dimension": codec.logit_dimension,
+                "cost_product": codec.encoding_length(value) * codec.logit_dimension,
+            }
+        )
+    return rows

@@ -1,0 +1,108 @@
+"""Multi-objective utilities for design space exploration.
+
+DSE over accelerator mappings is rarely single-objective: the paper's
+cost vector ``<Power, Area, FF, Cycles>`` spans performance and
+implementation cost, and a designer typically wants the cycles/area (or
+cycles/power) trade-off curve rather than one scalarized winner.  This
+module provides Pareto-dominance filtering and the hypervolume
+indicator over :class:`~repro.core.explorer.DesignPoint` predictions.
+
+All objectives are *minimized*, matching the cost-vector convention.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .explorer import DesignPoint
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "pareto_points",
+    "hypervolume_2d",
+]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if cost vector *a* Pareto-dominates *b* (<= everywhere, < somewhere)."""
+    if len(a) != len(b):
+        raise ValueError("dominates() needs equal-length cost vectors")
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a_arr <= b_arr) and np.any(a_arr < b_arr))
+
+
+def pareto_front(costs: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated cost vectors, in input order.
+
+    Duplicate vectors are all kept (none strictly dominates another), so
+    equivalent designs remain visible to the caller.
+    """
+    vectors = [np.asarray(c, dtype=np.float64) for c in costs]
+    if vectors and any(len(v) != len(vectors[0]) for v in vectors):
+        raise ValueError("all cost vectors must have the same arity")
+    front = []
+    for i, candidate in enumerate(vectors):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(vectors)
+            if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_points(
+    points: Sequence[DesignPoint],
+    objectives: tuple[str, ...] = ("cycles", "area"),
+    use_actual: bool = False,
+) -> list[DesignPoint]:
+    """Non-dominated design points under the named cost-vector metrics.
+
+    Reads each point's ``predicted`` dict by default; pass
+    ``use_actual=True`` after :meth:`DesignSpaceExplorer.verify_top` to
+    build the ground-truth frontier instead.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    costs = []
+    for point in points:
+        source = point.actual if use_actual else point.predicted
+        if source is None or any(metric not in source for metric in objectives):
+            missing = "actual" if use_actual else "predicted"
+            raise ValueError(
+                f"design point {point.describe()!r} lacks {missing} values "
+                f"for objectives {objectives}"
+            )
+        costs.append([float(source[metric]) for metric in objectives])
+    return [points[i] for i in pareto_front(costs)]
+
+
+def hypervolume_2d(
+    costs: Sequence[tuple[float, float]],
+    reference: tuple[float, float],
+) -> float:
+    """Hypervolume dominated by a 2-D front relative to *reference*.
+
+    The reference point must be (weakly) worse than every cost in both
+    objectives; points outside the reference box contribute nothing.
+    Larger hypervolume = better frontier.  This is the standard quality
+    indicator for comparing explorers (e.g. model-guided vs. random).
+    """
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+    front_idx = pareto_front([(float(x), float(y)) for x, y in costs])
+    front = sorted(
+        (float(costs[i][0]), float(costs[i][1]))
+        for i in front_idx
+        if costs[i][0] <= ref_x and costs[i][1] <= ref_y
+    )
+    volume = 0.0
+    prev_y = ref_y
+    for x, y in front:
+        if y < prev_y:
+            volume += (ref_x - x) * (prev_y - y)
+            prev_y = y
+    return volume

@@ -1,0 +1,122 @@
+"""Search strategies over the mapping design space.
+
+The paper's §1 motivates cost models by their role inside design space
+exploration: a model that ranks candidates well lets the DSE tool spend
+its expensive ground-truth evaluations (synthesis + simulation) on the
+most promising designs.  This module makes that claim measurable by
+running *model-guided* search against a *random* baseline under the
+same evaluation budget and recording the best-so-far true objective
+after each evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..profiler import Profiler
+from .explorer import DesignPoint, DesignSpaceExplorer, default_objective
+
+__all__ = ["SearchTrace", "evaluate_point", "model_guided_search", "random_search"]
+
+
+@dataclass
+class SearchTrace:
+    """Best-so-far trajectory of one search run."""
+
+    strategy: str
+    evaluated: list[DesignPoint] = field(default_factory=list)
+    best_objective: list[float] = field(default_factory=list)
+
+    @property
+    def final_best(self) -> float:
+        if not self.best_objective:
+            raise ValueError("empty search trace")
+        return self.best_objective[-1]
+
+    def evaluations_to_reach(self, target: float) -> Optional[int]:
+        """Number of ground-truth evaluations needed to reach *target*
+        (a true-objective value), or None if never reached."""
+        for i, value in enumerate(self.best_objective, start=1):
+            if value <= target:
+                return i
+        return None
+
+
+def evaluate_point(
+    point: DesignPoint,
+    data: Optional[dict[str, Any]] = None,
+    max_steps: int = 2_000_000,
+) -> dict[str, int]:
+    """Ground-truth one candidate (the expensive DSE step)."""
+    report = Profiler(point.params, max_steps=max_steps).profile(
+        point.program, data=data
+    )
+    point.actual = report.costs.as_dict()
+    return point.actual
+
+
+def _record(
+    trace: SearchTrace,
+    point: DesignPoint,
+    objective: Callable[[dict[str, int]], float],
+) -> None:
+    value = objective(point.actual)
+    trace.evaluated.append(point)
+    best = min(trace.best_objective[-1], value) if trace.best_objective else value
+    trace.best_objective.append(best)
+
+
+def model_guided_search(
+    explorer: DesignSpaceExplorer,
+    candidates: list[DesignPoint],
+    budget: int,
+    data: Optional[dict[str, Any]] = None,
+    objective: Callable[[dict[str, int]], float] = default_objective,
+) -> SearchTrace:
+    """Verify candidates in the model's predicted order.
+
+    *candidates* should come from :meth:`DesignSpaceExplorer.explore`
+    (already predicted); the search ranks them by *objective* applied to
+    the **predicted** costs — the same objective the trace scores actual
+    costs with, so the model is judged on the metric the search
+    optimizes — and spends the ground-truth budget best-first.
+    """
+    if budget < 1:
+        raise ValueError("search budget must be >= 1")
+    for point in candidates:
+        if not point.predicted:
+            raise ValueError(
+                "model_guided_search() needs predicted costs on every "
+                "candidate; run DesignSpaceExplorer.explore first"
+            )
+    ranked = sorted(candidates, key=lambda p: objective(p.predicted))
+    trace = SearchTrace(strategy="model-guided")
+    for point in ranked[:budget]:
+        if point.actual is None:
+            evaluate_point(point, data=data)
+        _record(trace, point, objective)
+    return trace
+
+
+def random_search(
+    candidates: list[DesignPoint],
+    budget: int,
+    data: Optional[dict[str, Any]] = None,
+    objective: Callable[[dict[str, int]], float] = default_objective,
+    rng: Optional[np.random.Generator] = None,
+) -> SearchTrace:
+    """Verify uniformly random candidates — the model-free baseline."""
+    if budget < 1:
+        raise ValueError("search budget must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(len(candidates))
+    trace = SearchTrace(strategy="random")
+    for index in order[:budget]:
+        point = candidates[int(index)]
+        if point.actual is None:
+            evaluate_point(point, data=data)
+        _record(trace, point, objective)
+    return trace

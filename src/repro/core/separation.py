@@ -1,0 +1,73 @@
+"""Dynamic control-flow separation (paper §5.2).
+
+Class I operators (input-independent control flow) do not need to
+attend to runtime data tokens; masking those interactions removes
+redundant computation and is the hook the prediction acceleration of
+§5.3 builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import DataflowGraph
+from ..nn import NEG_INF
+from ..tokenizer import TokenizedInput
+
+
+def build_separation_mask(
+    tokenized: TokenizedInput,
+    class_i_segments: list[str],
+    decouple_operators: bool = False,
+) -> np.ndarray:
+    """Additive attention mask hiding Class I ⟷ data interactions.
+
+    With ``decouple_operators`` the pairwise operator↔operator blocks
+    are masked too (the fully decoupled pattern of Figure 6, which makes
+    per-operator caching sound).
+    """
+    seq_len = len(tokenized)
+    mask = np.zeros((seq_len, seq_len))
+    data_slice = tokenized.segment_slices.get("data")
+    if data_slice is not None:
+        for name in class_i_segments:
+            op_slice = tokenized.segment_slices.get(name)
+            if op_slice is None:
+                continue
+            mask[op_slice, data_slice] = NEG_INF
+            mask[data_slice, op_slice] = NEG_INF
+    if decouple_operators:
+        op_names = [n for n in tokenized.segment_slices if n.startswith("op")]
+        for i, first in enumerate(op_names):
+            for second in op_names[i + 1:]:
+                a = tokenized.segment_slices[first]
+                b = tokenized.segment_slices[second]
+                mask[a, b] = NEG_INF
+                mask[b, a] = NEG_INF
+    return mask
+
+
+def operator_mask_matrix(graph: DataflowGraph) -> np.ndarray:
+    """The small segment-level mask of Figure 5.
+
+    Rows/columns are ``[G, Op0..OpN, Params, Data]``; entry 0 marks a
+    hidden interaction (Class I operator × runtime data), 1 an observed
+    one.
+    """
+    n_ops = graph.operator_count
+    size = n_ops + 3  # G + ops + Params + Data
+    matrix = np.ones((size, size), dtype=np.int64)
+    data_index = size - 1
+    for call in graph.calls:
+        if call.index in graph.class_i_indices():
+            row = 1 + call.index
+            matrix[row, data_index] = 0
+            matrix[data_index, row] = 0
+    return matrix
+
+
+def separation_savings(mask: np.ndarray) -> float:
+    """Fraction of attention entries removed by the mask."""
+    if mask.size == 0:
+        return 0.0
+    return float((mask < 0).sum()) / float(mask.size)

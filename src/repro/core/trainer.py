@@ -1,0 +1,111 @@
+"""Supervised training loop for the static prediction stage (paper §4).
+
+The paper fine-tunes with AdamW + LoRA over 5 epochs; this trainer does
+the same over the numpy stack (full fine-tuning by default, LoRA is
+available through :class:`repro.nn.LoRALinear` for the heads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import AdamW
+from ..tokenizer import ModelInput
+from .model import CostModel
+
+
+@dataclass
+class TrainingExample:
+    """One supervised example: input bundle + metric targets."""
+
+    bundle: ModelInput
+    targets: dict[str, int]
+    class_i_segments: tuple[str, ...] = ()
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs for the SFT stage."""
+
+    epochs: int = 3
+    lr: float = 2e-3
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    seed: int = 0
+    shuffle: bool = True
+    # "constant" or "cosine" (cosine decays to lr/10 over the run, with
+    # a short warmup).
+    lr_schedule: str = "constant"
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectory of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    examples_seen: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def train_cost_model(
+    model: CostModel,
+    examples: Sequence[TrainingExample],
+    config: Optional[TrainingConfig] = None,
+) -> TrainingHistory:
+    """Train *model* on *examples*; returns the loss history.
+
+    Sequences have heterogeneous lengths, so updates are per-example
+    (batch size 1) with gradient clipping — adequate at this model
+    scale and fully deterministic under the configured seed.
+    """
+    config = config or TrainingConfig()
+    optimizer = AdamW(
+        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    scheduler = None
+    if config.lr_schedule == "cosine":
+        from ..nn.schedulers import WarmupCosine
+
+        total = max(2, config.epochs * len(examples))
+        scheduler = WarmupCosine(
+            optimizer,
+            total_steps=total,
+            warmup_steps=min(total - 1, max(1, total // 20)),
+            floor=config.lr / 10.0,
+        )
+    elif config.lr_schedule != "constant":
+        raise ValueError(f"unknown lr schedule {config.lr_schedule!r}")
+    rng = np.random.default_rng(config.seed)
+    history = TrainingHistory()
+    order = np.arange(len(examples))
+    start = time.perf_counter()
+    for _ in range(config.epochs):
+        if config.shuffle:
+            rng.shuffle(order)
+        epoch_loss = 0.0
+        for index in order:
+            example = examples[index]
+            optimizer.zero_grad()
+            loss = model.loss(
+                example.bundle,
+                example.targets,
+                class_i_segments=list(example.class_i_segments) or None,
+            )
+            loss.backward()
+            optimizer.clip_grad_norm(config.grad_clip)
+            if scheduler is not None:
+                scheduler.step()
+            optimizer.step()
+            epoch_loss += float(loss.data)
+            history.examples_seen += 1
+        history.epoch_losses.append(epoch_loss / max(1, len(examples)))
+    history.wall_seconds = time.perf_counter() - start
+    return history

@@ -1,0 +1,43 @@
+"""Progressive dataset synthesizer (paper Section 6)."""
+
+from .astgen import AstGenConfig, AstGenerator, wrap_in_dataflow
+from .dataflowgen import (
+    DYNAMIC_TEMPLATES,
+    DataflowGenConfig,
+    DataflowGraphGenerator,
+    DataflowOperatorGenerator,
+    GeneratedOperator,
+    TEMPLATES,
+)
+from .formatting import (
+    DatasetRecord,
+    direct_format,
+    reasoning_format,
+    render_direct_text,
+    render_reasoning_text,
+)
+from .llmgen import LLMStyleMutator, MUTATIONS, MutationResult
+from .synthesizer import DatasetSynthesizer, SynthesizedDataset, SynthesizerConfig
+
+__all__ = [
+    "AstGenerator",
+    "AstGenConfig",
+    "wrap_in_dataflow",
+    "DataflowOperatorGenerator",
+    "DataflowGraphGenerator",
+    "DataflowGenConfig",
+    "GeneratedOperator",
+    "TEMPLATES",
+    "DYNAMIC_TEMPLATES",
+    "LLMStyleMutator",
+    "MutationResult",
+    "MUTATIONS",
+    "DatasetRecord",
+    "direct_format",
+    "reasoning_format",
+    "render_direct_text",
+    "render_reasoning_text",
+    "DatasetSynthesizer",
+    "SynthesizedDataset",
+    "SynthesizerConfig",
+]

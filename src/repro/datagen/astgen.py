@@ -1,0 +1,279 @@
+"""AST-based random program generation (ldrgen substitute).
+
+Generates syntactically correct, scope-safe, always-terminating
+operator functions: random declarations, arithmetic assignments,
+constant-bound loops and branches.  This is the "general first" layer
+of the progressive data synthesizer (paper §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang import ast
+
+
+@dataclass(frozen=True)
+class AstGenConfig:
+    """Bounds for random program generation."""
+
+    max_stmts: int = 5
+    max_expr_depth: int = 3
+    max_loop_depth: int = 2
+    max_loop_bound: int = 12
+    min_loop_bound: int = 2
+    array_dim: int = 8
+    branch_probability: float = 0.25
+    loop_probability: float = 0.45
+
+
+class AstGenerator:
+    """Random generator over the mini-language grammar."""
+
+    def __init__(self, config: AstGenConfig | None = None, seed: int = 0) -> None:
+        self.config = config or AstGenConfig()
+        self._rng = np.random.default_rng(seed)
+        self._name_counter = 0
+
+    # -- naming ----------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    # -- expressions ---------------------------------------------------------
+
+    def _gen_expr(
+        self,
+        scalars: list[str],
+        arrays: list[tuple[str, int]],
+        index_vars: list[str],
+        depth: int,
+        want_float: bool,
+    ) -> ast.Expr:
+        rng = self._rng
+        if depth <= 0 or rng.random() < 0.35:
+            choices = []
+            if scalars:
+                choices.append("scalar")
+            if arrays and index_vars:
+                choices.append("array")
+            choices.append("lit")
+            kind = rng.choice(choices)
+            if kind == "scalar":
+                return ast.Var(str(rng.choice(scalars)))
+            if kind == "array":
+                name, rank = arrays[int(rng.integers(len(arrays)))]
+                indices = [
+                    ast.Var(str(rng.choice(index_vars))) for _ in range(rank)
+                ]
+                return ast.Index(base=ast.Var(name), indices=indices)
+            if want_float:
+                return ast.FloatLit(float(np.round(rng.uniform(0.1, 9.9), 1)))
+            return ast.IntLit(int(rng.integers(1, 100)))
+        op = str(rng.choice(["+", "-", "*", "+", "*"]))
+        left = self._gen_expr(scalars, arrays, index_vars, depth - 1, want_float)
+        right = self._gen_expr(scalars, arrays, index_vars, depth - 1, want_float)
+        return ast.BinOp(op=op, left=left, right=right)
+
+    def _gen_condition(
+        self,
+        scalars: list[str],
+        arrays: list[tuple[str, int]],
+        index_vars: list[str],
+        want_float: bool,
+    ) -> ast.Expr:
+        rng = self._rng
+        left = self._gen_expr(scalars, arrays, index_vars, 1, want_float)
+        op = str(rng.choice(["<", ">", "<=", ">=", "==", "!="]))
+        if want_float:
+            right: ast.Expr = ast.FloatLit(float(np.round(rng.uniform(-2, 2), 1)))
+        else:
+            right = ast.IntLit(int(rng.integers(0, 20)))
+        return ast.BinOp(op=op, left=left, right=right)
+
+    # -- statements -------------------------------------------------------------
+
+    def _gen_stmts(
+        self,
+        scalars: list[str],
+        arrays: list[tuple[str, int]],
+        index_vars: list[str],
+        loop_depth: int,
+        budget: int,
+        want_float: bool,
+    ) -> list[ast.Stmt]:
+        rng = self._rng
+        stmts: list[ast.Stmt] = []
+        count = int(rng.integers(1, max(2, budget + 1)))
+        for _ in range(count):
+            roll = rng.random()
+            if roll < self.config.loop_probability and loop_depth < self.config.max_loop_depth:
+                stmts.append(
+                    self._gen_loop(scalars, arrays, index_vars, loop_depth, want_float)
+                )
+            elif roll < self.config.loop_probability + self.config.branch_probability:
+                cond = self._gen_condition(scalars, arrays, index_vars, want_float)
+                then = ast.Block(
+                    stmts=self._gen_assignments(scalars, arrays, index_vars, 1, want_float)
+                )
+                other = None
+                if rng.random() < 0.4:
+                    other = ast.Block(
+                        stmts=self._gen_assignments(
+                            scalars, arrays, index_vars, 1, want_float
+                        )
+                    )
+                stmts.append(ast.If(cond=cond, then=then, other=other))
+            else:
+                stmts.extend(
+                    self._gen_assignments(scalars, arrays, index_vars, 1, want_float)
+                )
+        return stmts
+
+    def _gen_assignments(
+        self,
+        scalars: list[str],
+        arrays: list[tuple[str, int]],
+        index_vars: list[str],
+        count: int,
+        want_float: bool,
+    ) -> list[ast.Stmt]:
+        rng = self._rng
+        stmts: list[ast.Stmt] = []
+        for _ in range(count):
+            value = self._gen_expr(
+                scalars, arrays, index_vars, self.config.max_expr_depth, want_float
+            )
+            if arrays and index_vars and rng.random() < 0.6:
+                name, rank = arrays[int(rng.integers(len(arrays)))]
+                indices = [ast.Var(str(rng.choice(index_vars))) for _ in range(rank)]
+                target: ast.Var | ast.Index = ast.Index(base=ast.Var(name), indices=indices)
+            elif scalars:
+                target = ast.Var(str(rng.choice(scalars)))
+            else:
+                continue
+            op = str(rng.choice(["=", "+=", "="]))
+            stmts.append(ast.Assign(target=target, op=op, value=value))
+        return stmts
+
+    def _gen_loop(
+        self,
+        scalars: list[str],
+        arrays: list[tuple[str, int]],
+        index_vars: list[str],
+        loop_depth: int,
+        want_float: bool,
+    ) -> ast.For:
+        rng = self._rng
+        var = self._fresh("i")
+        bound = int(
+            rng.integers(self.config.min_loop_bound, self.config.max_loop_bound + 1)
+        )
+        step = int(rng.choice([1, 1, 1, 2]))
+        body_stmts = self._gen_stmts(
+            scalars,
+            arrays,
+            index_vars + [var],
+            loop_depth + 1,
+            budget=2,
+            want_float=want_float,
+        )
+        return ast.For(
+            init=ast.Decl(type=ast.Type(base="int"), name=var, init=ast.IntLit(0)),
+            cond=ast.BinOp(op="<", left=ast.Var(var), right=ast.IntLit(bound)),
+            step=ast.Assign(target=ast.Var(var), op="+=", value=ast.IntLit(step)),
+            body=ast.Block(stmts=body_stmts),
+        )
+
+    # -- top level ------------------------------------------------------------------
+
+    def generate_operator(self, name: str | None = None) -> ast.FunctionDef:
+        """One random operator function."""
+        rng = self._rng
+        name = name or self._fresh("op")
+        want_float = bool(rng.random() < 0.7)
+        base = "float" if want_float else "int"
+        dim = self.config.array_dim
+        n_arrays = int(rng.integers(1, 4))
+        params: list[ast.ParamDecl] = []
+        arrays: list[tuple[str, int]] = []
+        for index in range(n_arrays):
+            rank = int(rng.choice([1, 2]))
+            dims: list = [ast.IntLit(dim) for _ in range(rank)]
+            array_name = f"a{index}"
+            params.append(
+                ast.ParamDecl(type=ast.Type(base=base, dims=dims), name=array_name)
+            )
+            arrays.append((array_name, rank))
+        scalars: list[str] = []
+        if rng.random() < 0.5:
+            params.append(ast.ParamDecl(type=ast.Type(base="int"), name="n"))
+            scalars.append("n")
+        local = self._fresh("t")
+        body: list[ast.Stmt] = [
+            ast.Decl(
+                type=ast.Type(base=base),
+                name=local,
+                init=ast.FloatLit(0.0) if want_float else ast.IntLit(0),
+            )
+        ]
+        scalars = scalars + [local]
+        body.extend(
+            self._gen_stmts(
+                scalars, arrays, [], 0, self.config.max_stmts, want_float
+            )
+        )
+        return ast.FunctionDef(
+            return_type=ast.Type(base="void"), name=name, params=params, body=body_block(body)
+        )
+
+    def generate_program(self, n_operators: int = 1) -> ast.Program:
+        """A program: operators plus a dataflow wrapper calling them."""
+        operators = [self.generate_operator() for _ in range(n_operators)]
+        return wrap_in_dataflow(operators)
+
+
+def body_block(stmts: list[ast.Stmt]) -> ast.Block:
+    return ast.Block(stmts=stmts)
+
+
+def _type_key(type_: ast.Type) -> tuple:
+    dims = tuple(
+        dim.value if isinstance(dim, ast.IntLit) else None for dim in type_.dims
+    )
+    return (type_.base, dims)
+
+
+def wrap_in_dataflow(operators: list[ast.FunctionDef]) -> ast.Program:
+    """Build a ``dataflow`` top function calling each operator once,
+    forwarding its own parameters.
+
+    Parameters with the same name *and* type are shared between
+    operators (creating producer→consumer dataflow edges); name clashes
+    with different types are renamed.
+    """
+    top_params: list[ast.ParamDecl] = []
+    seen: dict[str, tuple] = {}
+    calls: list[ast.Stmt] = []
+    for index, op in enumerate(operators):
+        args: list[ast.Expr] = []
+        for param in op.params:
+            key = _type_key(param.type)
+            outer_name = param.name
+            if outer_name in seen and seen[outer_name] != key:
+                outer_name = f"{param.name}_{index}"
+            if outer_name not in seen:
+                top_params.append(ast.ParamDecl(type=param.type, name=outer_name))
+                seen[outer_name] = key
+            args.append(ast.Var(outer_name))
+        calls.append(ast.ExprStmt(expr=ast.CallExpr(name=op.name, args=args)))
+    top = ast.FunctionDef(
+        return_type=ast.Type(base="void"),
+        name="dataflow",
+        params=top_params,
+        body=ast.Block(stmts=calls),
+    )
+    return ast.Program(functions=[*operators, top])

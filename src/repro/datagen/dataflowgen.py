@@ -1,0 +1,445 @@
+"""Dataflow-specific generation (paper §6.1, second stage).
+
+Operators are modeled as loop trees over array access patterns (the
+tree-based generation adapted from Tileflow-style loop modeling): a
+template fixes the access pattern, then loop order, step sizes, bounds
+and mapping pragmas are mutated within ranges.  A graph generator
+composes operators into producer→consumer chains, and input-dependent
+control flow is introduced through scalar loop bounds and data-driven
+branches, with scalars iterated within ±50% of their base value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..lang import ast
+
+TEMPLATES = (
+    "elementwise",
+    "reduction",
+    "stencil1d",
+    "matmul",
+    "transpose",
+    "dynamic_bound",
+    "data_branch",
+    "pool2d",
+)
+
+# Templates whose control flow depends on runtime input.
+DYNAMIC_TEMPLATES = ("dynamic_bound", "data_branch")
+
+
+@dataclass(frozen=True)
+class DataflowGenConfig:
+    """Mutation ranges for dataflow-specific generation."""
+
+    dim: int = 8
+    min_bound: int = 4
+    max_bound: int = 12
+    # Up to 8 operators per graph: the Table-2 applications span 5-21
+    # operator instances, and graph width is what stretches the static
+    # label range (area/power add roughly per operator).
+    max_operators: int = 8
+    pragma_probability: float = 0.35
+    parallel_probability: float = 0.15
+    interchange_probability: float = 0.5
+    dynamic_fraction: float = 0.35
+
+
+@dataclass
+class GeneratedOperator:
+    """One generated operator with metadata for graph composition."""
+
+    function: ast.FunctionDef
+    template: str
+    reads: list[str] = field(default_factory=list)
+    writes: list[str] = field(default_factory=list)
+    has_scalar: bool = False
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.template in DYNAMIC_TEMPLATES
+
+
+def _int(value: int) -> ast.IntLit:
+    return ast.IntLit(value)
+
+
+def _for(var: str, bound: ast.Expr, body: list[ast.Stmt], step: int = 1) -> ast.For:
+    return ast.For(
+        init=ast.Decl(type=ast.Type(base="int"), name=var, init=_int(0)),
+        cond=ast.BinOp(op="<", left=ast.Var(var), right=bound),
+        step=ast.Assign(target=ast.Var(var), op="+=", value=_int(step)),
+        body=ast.Block(stmts=body),
+    )
+
+
+def _idx(name: str, *vars_: str) -> ast.Index:
+    return ast.Index(base=ast.Var(name), indices=[ast.Var(v) for v in vars_])
+
+
+class DataflowOperatorGenerator:
+    """Generates operators from loop-tree templates with mutations."""
+
+    def __init__(
+        self, config: Optional[DataflowGenConfig] = None, seed: int = 0
+    ) -> None:
+        self.config = config or DataflowGenConfig()
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def _fresh_name(self, template: str) -> str:
+        self._counter += 1
+        return f"{template}_{self._counter}"
+
+    def _bound(self) -> int:
+        return int(
+            self._rng.integers(self.config.min_bound, self.config.max_bound + 1)
+        )
+
+    def _maybe_pragmas(self, loop: ast.For) -> ast.For:
+        rng = self._rng
+        if rng.random() < self.config.pragma_probability:
+            factor = int(rng.choice([2, 4, 0]))
+            loop.pragmas.append(ast.Pragma(kind="unroll", factor=factor))
+        if rng.random() < self.config.parallel_probability:
+            loop.pragmas.append(ast.Pragma(kind="parallel"))
+        return loop
+
+    # -- templates -----------------------------------------------------------
+
+    def generate(self, template: Optional[str] = None) -> GeneratedOperator:
+        """Generate one operator, optionally from a named template."""
+        rng = self._rng
+        if template is None:
+            if rng.random() < self.config.dynamic_fraction:
+                template = str(rng.choice(DYNAMIC_TEMPLATES))
+            else:
+                static = [t for t in TEMPLATES if t not in DYNAMIC_TEMPLATES]
+                template = str(rng.choice(static))
+        builder = getattr(self, f"_build_{template}")
+        return builder()
+
+    def _build_elementwise(self) -> GeneratedOperator:
+        dim = self.config.dim
+        name = self._fresh_name("ew")
+        scale = float(np.round(self._rng.uniform(0.5, 4.0), 1))
+        op = str(self._rng.choice(["*", "+", "-"]))
+        body = [
+            ast.Assign(
+                target=_idx("dst", "i", "j"),
+                op="=",
+                value=ast.BinOp(op=op, left=_idx("src", "i", "j"), right=ast.FloatLit(scale)),
+            )
+        ]
+        inner = self._maybe_pragmas(_for("j", _int(dim), body, step=int(self._rng.choice([1, 2]))))
+        outer = _for("i", _int(dim), [inner])
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+            ],
+            body=ast.Block(stmts=[outer]),
+        )
+        return GeneratedOperator(func, "elementwise", reads=["src"], writes=["dst"])
+
+    def _build_reduction(self) -> GeneratedOperator:
+        dim = self.config.dim
+        name = self._fresh_name("red")
+        body = [
+            ast.Assign(
+                target=ast.Var("acc"),
+                op="+=",
+                value=_idx("src", "i", "j"),
+            )
+        ]
+        inner = self._maybe_pragmas(_for("j", _int(dim), body))
+        outer = _for("i", _int(dim), [inner])
+        store = ast.Assign(target=_idx("dst", "i"), op="=", value=ast.Var("acc"))
+        outer.body.stmts.append(store)
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim)]), "dst"),
+            ],
+            body=ast.Block(
+                stmts=[
+                    ast.Decl(ast.Type("float"), "acc", ast.FloatLit(0.0)),
+                    outer,
+                ]
+            ),
+        )
+        return GeneratedOperator(func, "reduction", reads=["src"], writes=["dst"])
+
+    def _build_stencil1d(self) -> GeneratedOperator:
+        dim = self.config.dim * self.config.dim
+        name = self._fresh_name("sten")
+        left = ast.Index(
+            base=ast.Var("src"),
+            indices=[ast.BinOp(op="-", left=ast.Var("i"), right=_int(1))],
+        )
+        mid = _idx("src", "i")
+        right = ast.Index(
+            base=ast.Var("src"),
+            indices=[ast.BinOp(op="+", left=ast.Var("i"), right=_int(1))],
+        )
+        value = ast.BinOp(op="+", left=ast.BinOp(op="+", left=left, right=mid), right=right)
+        body = [ast.Assign(target=_idx("dst", "i"), op="=", value=value)]
+        loop = self._maybe_pragmas(_for("i", _int(dim), body))
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim)]), "dst"),
+            ],
+            body=ast.Block(stmts=[loop]),
+        )
+        return GeneratedOperator(func, "stencil1d", reads=["src"], writes=["dst"])
+
+    def _build_matmul(self) -> GeneratedOperator:
+        dim = self.config.dim
+        name = self._fresh_name("mm")
+        update = ast.Assign(
+            target=_idx("dst", "i", "j"),
+            op="+=",
+            value=ast.BinOp(op="*", left=_idx("src", "i", "k"), right=_idx("wgt", "k", "j")),
+        )
+        k_loop = self._maybe_pragmas(_for("k", _int(dim), [update]))
+        j_loop = _for("j", _int(dim), [k_loop])
+        i_loop = _for("i", _int(dim), [j_loop])
+        loops = [i_loop, j_loop, k_loop]
+        if self._rng.random() < self.config.interchange_probability:
+            # Loop interchange mutation: swap the two outer loop variables.
+            loops[0].init.name, loops[1].init.name = loops[1].init.name, loops[0].init.name
+            loops[0].cond.left.name, loops[1].cond.left.name = (
+                loops[1].cond.left.name,
+                loops[0].cond.left.name,
+            )
+            loops[0].step.target.name, loops[1].step.target.name = (
+                loops[1].step.target.name,
+                loops[0].step.target.name,
+            )
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "wgt"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+            ],
+            body=ast.Block(stmts=[i_loop]),
+        )
+        return GeneratedOperator(func, "matmul", reads=["src", "wgt"], writes=["dst"])
+
+    def _build_transpose(self) -> GeneratedOperator:
+        dim = self.config.dim
+        name = self._fresh_name("tr")
+        body = [ast.Assign(target=_idx("dst", "j", "i"), op="=", value=_idx("src", "i", "j"))]
+        inner = self._maybe_pragmas(_for("j", _int(dim), body))
+        outer = _for("i", _int(dim), [inner])
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+            ],
+            body=ast.Block(stmts=[outer]),
+        )
+        return GeneratedOperator(func, "transpose", reads=["src"], writes=["dst"])
+
+    def _build_pool2d(self) -> GeneratedOperator:
+        dim = self.config.dim
+        name = self._fresh_name("pool")
+        window = int(self._rng.choice([2, 4]))
+        acc_update = ast.Assign(
+            target=ast.Var("acc"),
+            op="+=",
+            value=ast.Index(
+                base=ast.Var("src"),
+                indices=[
+                    ast.BinOp(op="+", left=ast.Var("i"), right=ast.Var("u")),
+                    ast.Var("j"),
+                ],
+            ),
+        )
+        u_loop = _for("u", _int(window), [acc_update])
+        body = [
+            ast.Assign(target=ast.Var("acc"), op="=", value=ast.FloatLit(0.0)),
+            u_loop,
+            ast.Assign(
+                target=_idx("dst", "i", "j"),
+                op="=",
+                value=ast.BinOp(op="/", left=ast.Var("acc"), right=ast.FloatLit(float(window))),
+            ),
+        ]
+        inner = self._maybe_pragmas(_for("j", _int(dim), body))
+        outer = _for("i", _int(dim), [inner], step=window)
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+            ],
+            body=ast.Block(
+                stmts=[ast.Decl(ast.Type("float"), "acc", ast.FloatLit(0.0)), outer]
+            ),
+        )
+        return GeneratedOperator(func, "pool2d", reads=["src"], writes=["dst"])
+
+    def _build_dynamic_bound(self) -> GeneratedOperator:
+        """Sliding-window style operator: loop bound is a runtime scalar."""
+        dim = self.config.dim
+        name = self._fresh_name("dyn")
+        body = [
+            ast.Assign(
+                target=_idx("dst", "i", "j"),
+                op="=",
+                value=ast.BinOp(op="+", left=_idx("src", "i", "j"), right=ast.FloatLit(1.0)),
+            )
+        ]
+        inner = self._maybe_pragmas(_for("j", ast.Var("w"), body))
+        outer = _for("i", ast.Var("h"), [inner])
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+                ast.ParamDecl(ast.Type("int"), "h"),
+                ast.ParamDecl(ast.Type("int"), "w"),
+            ],
+            body=ast.Block(stmts=[outer]),
+        )
+        return GeneratedOperator(
+            func, "dynamic_bound", reads=["src"], writes=["dst"], has_scalar=True
+        )
+
+    def _build_data_branch(self) -> GeneratedOperator:
+        """ReLU/threshold style operator: branch steered by array data."""
+        dim = self.config.dim
+        name = self._fresh_name("br")
+        threshold = float(np.round(self._rng.uniform(-1.0, 1.0), 1))
+        then = ast.Block(
+            stmts=[
+                ast.Assign(
+                    target=_idx("dst", "i", "j"),
+                    op="=",
+                    value=ast.BinOp(op="*", left=_idx("src", "i", "j"), right=ast.FloatLit(2.0)),
+                )
+            ]
+        )
+        other = ast.Block(
+            stmts=[ast.Assign(target=_idx("dst", "i", "j"), op="=", value=ast.FloatLit(0.0))]
+        )
+        branch = ast.If(
+            cond=ast.BinOp(op=">", left=_idx("src", "i", "j"), right=ast.FloatLit(threshold)),
+            then=then,
+            other=other,
+        )
+        inner = self._maybe_pragmas(_for("j", _int(dim), [branch]))
+        outer = _for("i", _int(dim), [inner])
+        func = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name=name,
+            params=[
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "src"),
+                ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "dst"),
+            ],
+            body=ast.Block(stmts=[outer]),
+        )
+        return GeneratedOperator(func, "data_branch", reads=["src"], writes=["dst"])
+
+
+class DataflowGraphGenerator:
+    """Composes generated operators into producer→consumer programs."""
+
+    def __init__(
+        self, config: Optional[DataflowGenConfig] = None, seed: int = 0
+    ) -> None:
+        self.config = config or DataflowGenConfig()
+        self._rng = np.random.default_rng(seed)
+        self._op_gen = DataflowOperatorGenerator(self.config, seed=seed + 1)
+
+    def generate_program(
+        self, n_operators: Optional[int] = None
+    ) -> tuple[ast.Program, list[GeneratedOperator]]:
+        """A chained dataflow program plus its operator metadata.
+
+        Operators are chained on 2-D buffers where signatures allow;
+        incompatible operators receive fresh top-level arrays.  The
+        operator *order* is randomly permuted (the paper's "randomly
+        changes operator parameters and their order").
+        """
+        rng = self._rng
+        count = n_operators or int(rng.integers(2, self.config.max_operators + 1))
+        operators = [self._op_gen.generate() for _ in range(count)]
+        rng.shuffle(operators)
+        dim = self.config.dim
+        top_params: list[ast.ParamDecl] = [
+            ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), "input0")
+        ]
+        calls: list[ast.Stmt] = []
+        chain_array = "input0"
+        buffer_index = 0
+        scalar_names: list[str] = []
+        for op in operators:
+            args: list[ast.Expr] = []
+            produced: Optional[str] = None
+            for param in op.function.params:
+                if not param.type.is_array:
+                    scalar = f"n{len(scalar_names)}"
+                    scalar_names.append(scalar)
+                    top_params.append(ast.ParamDecl(ast.Type("int"), scalar))
+                    args.append(ast.Var(scalar))
+                    continue
+                is_2d_square = (
+                    param.type.rank == 2
+                    and all(
+                        isinstance(d, ast.IntLit) and d.value == dim
+                        for d in param.type.dims
+                    )
+                )
+                if param.name in op.reads and is_2d_square:
+                    args.append(ast.Var(chain_array))
+                elif param.name in op.writes and is_2d_square:
+                    produced = f"buf{buffer_index}"
+                    buffer_index += 1
+                    top_params.append(
+                        ast.ParamDecl(ast.Type("float", [_int(dim), _int(dim)]), produced)
+                    )
+                    args.append(ast.Var(produced))
+                else:
+                    fresh = f"aux{buffer_index}"
+                    buffer_index += 1
+                    top_params.append(ast.ParamDecl(param.type, fresh))
+                    args.append(ast.Var(fresh))
+            calls.append(
+                ast.ExprStmt(expr=ast.CallExpr(name=op.function.name, args=args))
+            )
+            if produced is not None:
+                chain_array = produced
+        top = ast.FunctionDef(
+            return_type=ast.Type(base="void"),
+            name="dataflow",
+            params=top_params,
+            body=ast.Block(stmts=calls),
+        )
+        program = ast.Program(functions=[*[op.function for op in operators], top])
+        return program, operators
+
+    def scalar_sweep(self, base: int = 8) -> list[int]:
+        """Runtime scalar values within ±50% of *base* (paper §6.1)."""
+        low = max(1, int(base * 0.5))
+        high = max(low + 1, int(base * 1.5))
+        return sorted(set(int(v) for v in self._rng.integers(low, high + 1, size=3)))

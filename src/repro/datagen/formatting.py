@@ -1,0 +1,91 @@
+"""Progressive data formatting (paper §6.2).
+
+Two formats:
+
+* **Direct** — ``[graph][op][params][data] → targets`` (efficient,
+  end-to-end).
+* **Reasoning** — the same plus a ``<think>`` fragment carrying
+  RTL-level intermediate features (module counts, mux counts, …)
+  extracted by the HLS substitute, mirroring Figures 8/9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.inputs import bundle_from_program, class_i_segments
+from ..core.trainer import TrainingExample
+from ..hls import HardwareParams
+from ..lang import ast
+from ..profiler import ProfileReport
+
+
+@dataclass
+class DatasetRecord:
+    """One profiled program ready for formatting."""
+
+    program: ast.Program
+    params: HardwareParams
+    data: Optional[dict[str, Any]]
+    report: ProfileReport
+    source_kind: str  # "ast", "dataflow", "llm", "external"
+
+
+def direct_format(record: DatasetRecord) -> TrainingExample:
+    """Direct data format: input text → profiled targets."""
+    bundle = bundle_from_program(
+        record.program, params=record.params, data=record.data
+    )
+    return TrainingExample(
+        bundle=bundle,
+        targets=record.report.costs.as_dict(),
+        class_i_segments=tuple(class_i_segments(record.program)),
+    )
+
+
+def reasoning_format(record: DatasetRecord) -> TrainingExample:
+    """Reasoning data format: ``[P, R, C]`` with RTL features in
+    ``<think>`` tags (the encapsulated reasoning fragments)."""
+    bundle = bundle_from_program(
+        record.program,
+        params=record.params,
+        data=record.data,
+        think_text=record.report.rtl.think_text(),
+    )
+    return TrainingExample(
+        bundle=bundle,
+        targets=record.report.costs.as_dict(),
+        class_i_segments=tuple(class_i_segments(record.program)),
+    )
+
+
+def render_reasoning_text(record: DatasetRecord) -> str:
+    """Full textual rendering of the reasoning format (Figure 9)."""
+    bundle = bundle_from_program(record.program, record.params, record.data)
+    costs = record.report.costs
+    return (
+        f"{bundle.graph_text}\n"
+        + "\n".join(bundle.op_texts)
+        + "\n<think>\n"
+        + record.report.rtl.think_text()
+        + "\n</think>\n"
+        + f"<Power>{costs.power_uw}</Power>"
+        + f"<Area>{costs.area_um2}</Area>"
+        + f"<FF>{costs.flip_flops}</FF>"
+        + f"<Cycles>{costs.cycles}</Cycles>"
+    )
+
+
+def render_direct_text(record: DatasetRecord) -> str:
+    """Full textual rendering of the direct format (Figure 10)."""
+    bundle = bundle_from_program(record.program, record.params, record.data)
+    costs = record.report.costs
+    return (
+        f"{bundle.graph_text}\n"
+        + "\n".join(bundle.op_texts)
+        + f"\n<Power>{costs.power_uw}</Power>"
+        + f"<Area>{costs.area_um2}</Area>"
+        + f"<FF>{costs.flip_flops}</FF>"
+        + f"<Cycles>{costs.cycles}</Cycles>"
+    )

@@ -1,0 +1,134 @@
+"""Dataset export/import as JSON Lines.
+
+Records are serialized with program source text, hardware params,
+runtime data and the profiled cost vector, so a synthesized corpus can
+be saved once and reused across training runs (the paper's Tenset-style
+dataset artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..hls import HardwareParams, RtlFeatures
+from ..lang import parse, to_source
+from ..profiler import CostVector, ProfileReport
+from .formatting import DatasetRecord
+
+
+def _data_to_json(data: dict | None) -> dict | None:
+    if data is None:
+        return None
+    result = {}
+    for name, value in data.items():
+        if isinstance(value, np.ndarray):
+            result[name] = {"__array__": value.tolist(), "dtype": str(value.dtype)}
+        else:
+            result[name] = value
+    return result
+
+
+def _data_from_json(data: dict | None) -> dict | None:
+    if data is None:
+        return None
+    result = {}
+    for name, value in data.items():
+        if isinstance(value, dict) and "__array__" in value:
+            result[name] = np.asarray(value["__array__"], dtype=value["dtype"])
+        else:
+            result[name] = value
+    return result
+
+
+def record_to_json(record: DatasetRecord) -> dict:
+    """Serialize one record to a JSON-compatible dict."""
+    costs = record.report.costs
+    rtl = record.report.rtl
+    return {
+        "source": to_source(record.program),
+        "source_kind": record.source_kind,
+        "params": {
+            "mem_read_delay": record.params.mem_read_delay,
+            "mem_write_delay": record.params.mem_write_delay,
+            "pe_count": record.params.pe_count,
+            "memory_ports": record.params.memory_ports,
+            "clock_period_ns": record.params.clock_period_ns,
+        },
+        "data": _data_to_json(record.data),
+        "costs": costs.as_dict(),
+        "rtl": {
+            "modules_instantiated": rtl.modules_instantiated,
+            "performance_conflicts": rtl.performance_conflicts,
+            "estimated_resource_area": rtl.estimated_resource_area,
+            "mux21_area": rtl.mux21_area,
+            "allocated_multiplexers": rtl.allocated_multiplexers,
+            "register_count": rtl.register_count,
+            "memory_words": rtl.memory_words,
+            "functional_units": rtl.functional_units,
+        },
+        "longest_path_ns": record.report.longest_path_ns,
+        "ops_executed": record.report.ops_executed,
+    }
+
+
+def record_from_json(payload: dict) -> DatasetRecord:
+    """Inverse of :func:`record_to_json`."""
+    try:
+        program = parse(payload["source"])
+        costs = payload["costs"]
+        rtl = payload["rtl"]
+        report = ProfileReport(
+            costs=CostVector(
+                power_uw=int(costs["power"]),
+                area_um2=int(costs["area"]),
+                flip_flops=int(costs["ff"]),
+                cycles=int(costs["cycles"]),
+            ),
+            rtl=RtlFeatures(**rtl),
+            longest_path_ns=float(payload.get("longest_path_ns", 0.0)),
+            ops_executed=int(payload.get("ops_executed", 0)),
+        )
+        return DatasetRecord(
+            program=program,
+            params=HardwareParams(**payload["params"]),
+            data=_data_from_json(payload.get("data")),
+            report=report,
+            source_kind=payload.get("source_kind", "external"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise DatasetError(f"malformed dataset record: {error}") from error
+
+
+def save_dataset(records: Iterable[DatasetRecord], path: str) -> int:
+    """Write records as JSON Lines; returns the record count."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_json(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_dataset(path: str) -> list[DatasetRecord]:
+    """Read records written by :func:`save_dataset`."""
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DatasetError(
+                    f"invalid JSON on line {line_number} of {path}"
+                ) from error
+            records.append(record_from_json(payload))
+    return records

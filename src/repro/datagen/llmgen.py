@@ -1,0 +1,174 @@
+"""LLM-based data generation substitute (paper §6.1, third stage).
+
+The paper prompts an LLM to produce dataflow variants beyond template
+limits.  Offline, we substitute a rule-based mutation engine applying
+the same *kinds* of rewrites the paper cites (e.g. replacing a 3×3
+convolution with a 5×5 depthwise variant, restructuring loops,
+renaming, inserting benign code) — semantic-preserving where the
+paper's mutations are, diversity-increasing where they are not.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..lang import ast
+
+MUTATIONS = (
+    "rename_identifiers",
+    "literal_jitter",
+    "loop_interchange",
+    "dead_code",
+    "kernel_variant",
+    "duplicate_statement",
+)
+
+
+@dataclass
+class MutationResult:
+    """A mutated program and the mutation applied."""
+
+    program: ast.Program
+    mutation: str
+    changed: bool
+
+
+class LLMStyleMutator:
+    """Applies diversity mutations to dataflow programs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def mutate(
+        self, program: ast.Program, mutation: Optional[str] = None
+    ) -> MutationResult:
+        """Apply one mutation (random if unspecified) to a copy."""
+        mutation = mutation or str(self._rng.choice(MUTATIONS))
+        clone = copy.deepcopy(program)
+        handler: Callable[[ast.Program], bool] = getattr(self, f"_apply_{mutation}")
+        changed = handler(clone)
+        return MutationResult(program=clone, mutation=mutation, changed=changed)
+
+    def variants(self, program: ast.Program, count: int) -> list[MutationResult]:
+        """Generate *count* mutated variants of *program*."""
+        results = []
+        for _ in range(count):
+            result = self.mutate(program)
+            if result.changed:
+                results.append(result)
+        return results
+
+    # -- mutations --------------------------------------------------------
+
+    def _apply_rename_identifiers(self, program: ast.Program) -> bool:
+        """Rename local variables consistently within each function."""
+        changed = False
+        for func in program.functions:
+            mapping: dict[str, str] = {}
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.Decl) and not node.type.is_array:
+                    if node.name not in mapping:
+                        mapping[node.name] = f"v{len(mapping)}_{self._rng.integers(100)}"
+            if not mapping:
+                continue
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.Decl) and node.name in mapping:
+                    node.name = mapping[node.name]
+                    changed = True
+                elif isinstance(node, ast.Var) and node.name in mapping:
+                    node.name = mapping[node.name]
+                    changed = True
+        return changed
+
+    def _apply_literal_jitter(self, program: ast.Program) -> bool:
+        """Perturb non-structural float literals by up to ±50%."""
+        changed = False
+        for func in program.functions:
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.FloatLit) and node.value != 0.0:
+                    factor = float(self._rng.uniform(0.5, 1.5))
+                    node.value = float(np.round(node.value * factor, 2))
+                    changed = True
+        return changed
+
+    def _apply_loop_interchange(self, program: ast.Program) -> bool:
+        """Swap the induction variables of a perfectly nested loop pair."""
+        for func in program.functions:
+            for loop in ast.loops_in(func.body):
+                inner_loops = [
+                    s for s in loop.body.stmts if isinstance(s, ast.For)
+                ]
+                if len(inner_loops) != 1 or len(loop.body.stmts) != 1:
+                    continue
+                inner = inner_loops[0]
+                if not (
+                    isinstance(loop.init, ast.Decl)
+                    and isinstance(inner.init, ast.Decl)
+                    and isinstance(loop.cond, ast.BinOp)
+                    and isinstance(inner.cond, ast.BinOp)
+                    and isinstance(loop.cond.left, ast.Var)
+                    and isinstance(inner.cond.left, ast.Var)
+                ):
+                    continue
+                # Swap bounds and steps; bodies keep variable names, so
+                # iteration order changes but the iteration *set* does
+                # not (valid for rectangular nests).
+                loop.cond.right, inner.cond.right = inner.cond.right, loop.cond.right
+                loop.step, inner.step = inner.step, loop.step
+                outer_var = loop.init.name
+                inner_var = inner.init.name
+                loop.init.name, inner.init.name = inner_var, outer_var
+                loop.cond.left.name, inner.cond.left.name = inner_var, outer_var
+                self._fix_step_var(loop, inner_var)
+                self._fix_step_var(inner, outer_var)
+                return True
+        return False
+
+    @staticmethod
+    def _fix_step_var(loop: ast.For, var: str) -> None:
+        if isinstance(loop.step, ast.Assign) and isinstance(loop.step.target, ast.Var):
+            loop.step.target.name = var
+
+    def _apply_dead_code(self, program: ast.Program) -> bool:
+        """Insert an unused local computation (no semantic effect on
+        outputs, small effect on area/cycles — like real HLS pragmas)."""
+        candidates = [f for f in program.functions if f.body.stmts]
+        if not candidates:
+            return False
+        func = candidates[int(self._rng.integers(len(candidates)))]
+        name = f"dead{self._rng.integers(1000)}"
+        value = float(np.round(self._rng.uniform(0.0, 8.0), 1))
+        func.body.stmts.insert(
+            0, ast.Decl(ast.Type("float"), name, ast.FloatLit(value))
+        )
+        return True
+
+    def _apply_kernel_variant(self, program: ast.Program) -> bool:
+        """Resize a small constant loop bound (e.g. a 3-wide window
+        becomes 5-wide — the 3×3 → 5×5 depthwise swap of the paper)."""
+        for func in program.functions:
+            for loop in ast.loops_in(func.body):
+                if (
+                    isinstance(loop.cond, ast.BinOp)
+                    and isinstance(loop.cond.right, ast.IntLit)
+                    and 2 <= loop.cond.right.value <= 6
+                ):
+                    old = loop.cond.right.value
+                    new = old + 2 if old <= 4 else old - 2
+                    loop.cond.right.value = new
+                    return True
+        return False
+
+    def _apply_duplicate_statement(self, program: ast.Program) -> bool:
+        """Duplicate an innermost assignment (extra work, same shape)."""
+        for func in program.functions:
+            for loop in ast.loops_in(func.body):
+                assigns = [s for s in loop.body.stmts if isinstance(s, ast.Assign)]
+                if assigns:
+                    loop.body.stmts.append(copy.deepcopy(assigns[-1]))
+                    return True
+        return False

@@ -1,0 +1,175 @@
+"""End-to-end progressive dataset synthesizer (paper §6, Figure 7).
+
+Pipeline: AST-based generation → dataflow-specific generation →
+LLM-style mutation, each profiled through the EDA substrate under a
+sweep of hardware mapping parameters, then formatted directly or with
+reasoning fragments.  The paper's training mix is ~30% AST-based, ~50%
+dataflow-specific, ~20% LLM-generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DatasetError, SimulationError
+from ..hls import HardwareParams
+from ..lang import ast
+from ..profiler import Profiler
+from .astgen import AstGenConfig, AstGenerator
+from .dataflowgen import DataflowGenConfig, DataflowGraphGenerator
+from .formatting import DatasetRecord, direct_format, reasoning_format
+from .llmgen import LLMStyleMutator
+
+
+@dataclass(frozen=True)
+class SynthesizerConfig:
+    """Composition and sweep configuration."""
+
+    n_ast: int = 12
+    n_dataflow: int = 20
+    n_llm: int = 8
+    memory_delays: tuple[int, ...] = (10, 5, 2)
+    reasoning_fraction: float = 0.3
+    scalar_base: int = 8
+    max_steps: int = 800_000
+    seed: int = 0
+    # Bounds for the AST stage.  None = the default generator; ablations
+    # can pass e.g. shallow bounds (max_loop_depth=1) to reproduce the
+    # paper's characterization of naive synthetic datasets (§2).
+    ast_config: Optional[AstGenConfig] = None
+
+    @property
+    def total(self) -> int:
+        return self.n_ast + self.n_dataflow + self.n_llm
+
+
+@dataclass
+class SynthesizedDataset:
+    """Records plus composition statistics."""
+
+    records: list[DatasetRecord] = field(default_factory=list)
+    skipped: int = 0
+
+    def composition(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.source_kind] = counts.get(record.source_kind, 0) + 1
+        return counts
+
+    def training_examples(
+        self, reasoning_fraction: float = 0.0, rng: Optional[np.random.Generator] = None
+    ):
+        """Format records into training examples; a fraction get the
+        reasoning (``<think>``) format."""
+        rng = rng or np.random.default_rng(0)
+        examples = []
+        for record in self.records:
+            if rng.random() < reasoning_fraction:
+                examples.append(reasoning_format(record))
+            else:
+                examples.append(direct_format(record))
+        return examples
+
+
+class DatasetSynthesizer:
+    """Generates, profiles and formats progressive training data."""
+
+    def __init__(self, config: Optional[SynthesizerConfig] = None) -> None:
+        self.config = config or SynthesizerConfig()
+        seed = self.config.seed
+        self._rng = np.random.default_rng(seed)
+        self._ast_gen = AstGenerator(
+            self.config.ast_config or AstGenConfig(), seed=seed + 1
+        )
+        self._flow_gen = DataflowGraphGenerator(DataflowGenConfig(), seed=seed + 2)
+        self._mutator = LLMStyleMutator(seed=seed + 3)
+
+    # -- profiling -----------------------------------------------------------
+
+    def _profile(
+        self,
+        program: ast.Program,
+        params: HardwareParams,
+        data: Optional[dict],
+        kind: str,
+        dataset: SynthesizedDataset,
+    ) -> Optional[DatasetRecord]:
+        profiler = Profiler(params, max_steps=self.config.max_steps)
+        try:
+            report = profiler.profile(program, data=data, rng=self._rng)
+        except SimulationError:
+            dataset.skipped += 1
+            return None
+        record = DatasetRecord(
+            program=program, params=params, data=data, report=report, source_kind=kind
+        )
+        dataset.records.append(record)
+        return record
+
+    def _random_params(self) -> HardwareParams:
+        delay = int(self._rng.choice(self.config.memory_delays))
+        return HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
+
+    def _random_data(self, program: ast.Program) -> Optional[dict]:
+        """Scalar runtime inputs within ±50% of the configured base."""
+        top = program.function(program.function_names[-1])
+        data: dict = {}
+        base = self.config.scalar_base
+        for param in top.params:
+            if not param.type.is_array:
+                low = max(1, base // 2)
+                high = max(low + 1, base + base // 2)
+                data[param.name] = int(self._rng.integers(low, high + 1))
+        return data or None
+
+    # -- generation ---------------------------------------------------------------
+
+    def generate(self) -> SynthesizedDataset:
+        """Run the full progressive pipeline."""
+        dataset = SynthesizedDataset()
+        # Stage 1: AST-based (general) programs.
+        while sum(1 for r in dataset.records if r.source_kind == "ast") < self.config.n_ast:
+            program = self._ast_gen.generate_program(
+                n_operators=int(self._rng.integers(1, 3))
+            )
+            self._profile(
+                program, self._random_params(), self._random_data(program), "ast", dataset
+            )
+            if dataset.skipped > 4 * self.config.total:
+                raise DatasetError("too many generation failures in AST stage")
+        # Stage 2: dataflow-specific programs.
+        flow_programs: list[ast.Program] = []
+        while (
+            sum(1 for r in dataset.records if r.source_kind == "dataflow")
+            < self.config.n_dataflow
+        ):
+            program, _ = self._flow_gen.generate_program()
+            record = self._profile(
+                program, self._random_params(), self._random_data(program), "dataflow", dataset
+            )
+            if record is not None:
+                flow_programs.append(program)
+            if dataset.skipped > 4 * self.config.total:
+                raise DatasetError("too many generation failures in dataflow stage")
+        # Stage 3: LLM-style mutations of stage-2 programs.
+        attempts = 0
+        while (
+            sum(1 for r in dataset.records if r.source_kind == "llm") < self.config.n_llm
+            and attempts < 8 * self.config.n_llm
+        ):
+            attempts += 1
+            base = flow_programs[int(self._rng.integers(len(flow_programs)))]
+            result = self._mutator.mutate(base)
+            if not result.changed:
+                continue
+            self._profile(
+                result.program,
+                self._random_params(),
+                self._random_data(result.program),
+                "llm",
+                dataset,
+            )
+        return dataset

@@ -1,0 +1,70 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the parser cannot derive a valid AST."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis is asked about unknown entities."""
+
+
+class LoweringError(ReproError):
+    """Raised when an AST cannot be lowered to the requested IR."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the HLS scheduler cannot schedule an operation."""
+
+
+class SimulationError(ReproError):
+    """Raised when the cycle simulator fails to execute a program."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when a simulation exceeds its configured step budget."""
+
+
+class UnsupportedWorkloadError(ReproError):
+    """Raised by rule-based models (e.g. the Timeloop substitute) when a
+    workload falls outside their expressible domain."""
+
+
+class TokenizationError(ReproError):
+    """Raised when text cannot be tokenized under the active vocabulary."""
+
+
+class ModelConfigError(ReproError):
+    """Raised for inconsistent neural model configurations."""
+
+
+class CalibrationError(ReproError):
+    """Raised when the dynamic calibration loop is misconfigured."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset synthesis or formatting fails."""

@@ -1,0 +1,54 @@
+"""Evaluation: metrics, harness, table rendering."""
+
+from .harness import (
+    EvalResult,
+    EvaluationHarness,
+    HarnessConfig,
+    ModelZoo,
+    WorkloadResult,
+)
+from .confidence import (
+    ReliabilityBin,
+    aurc,
+    expected_calibration_error,
+    reliability_bins,
+    risk_coverage_curve,
+)
+from .metrics import ape, mape, mse, pearson
+from .ranking import (
+    kendall_tau,
+    rankdata,
+    selection_regret,
+    spearman,
+    top_k_recall,
+)
+from .report import build_report, collect_sections, write_report
+from .tables import format_percent, format_table, mape_table
+
+__all__ = [
+    "ape",
+    "mape",
+    "mse",
+    "pearson",
+    "rankdata",
+    "spearman",
+    "kendall_tau",
+    "top_k_recall",
+    "selection_regret",
+    "ReliabilityBin",
+    "reliability_bins",
+    "expected_calibration_error",
+    "risk_coverage_curve",
+    "aurc",
+    "EvaluationHarness",
+    "HarnessConfig",
+    "ModelZoo",
+    "EvalResult",
+    "WorkloadResult",
+    "format_table",
+    "format_percent",
+    "mape_table",
+    "build_report",
+    "collect_sections",
+    "write_report",
+]

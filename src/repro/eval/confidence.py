@@ -1,0 +1,140 @@
+"""Confidence-quality metrics for the numeric classification head.
+
+Section 4.2 of the paper argues that digit-wise classification makes the
+cost model *interpretable*: each prediction carries a confidence (the
+digit logits), and Table 6 shows that confidence anti-correlates with
+squared error.  This module quantifies how useful those confidences are:
+
+* :func:`reliability_bins` / :func:`expected_calibration_error` measure
+  whether "80% confident" digits are right about 80% of the time;
+* :func:`risk_coverage_curve` / :func:`aurc` measure the value of
+  confidence for *selective prediction* — refusing the least-confident
+  predictions should shed the largest errors first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityBin",
+    "reliability_bins",
+    "expected_calibration_error",
+    "risk_coverage_curve",
+    "aurc",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """Calibration gap: confidence minus accuracy (positive = overconfident)."""
+        return self.mean_confidence - self.accuracy
+
+
+def _validate_pairs(
+    confidences: Sequence[float], correct: Sequence[bool]
+) -> tuple[np.ndarray, np.ndarray]:
+    conf = np.asarray(confidences, dtype=np.float64)
+    hits = np.asarray(correct, dtype=bool)
+    if conf.shape != hits.shape or conf.ndim != 1:
+        raise ValueError("confidences and correct must be equal-length 1-D sequences")
+    if conf.size == 0:
+        raise ValueError("no (confidence, correct) pairs supplied")
+    if np.any((conf < 0) | (conf > 1)):
+        raise ValueError("confidences must lie in [0, 1]")
+    return conf, hits
+
+
+def reliability_bins(
+    confidences: Sequence[float],
+    correct: Sequence[bool],
+    n_bins: int = 10,
+) -> list[ReliabilityBin]:
+    """Equal-width reliability diagram over ``[0, 1]``.
+
+    Empty bins are omitted, matching the usual presentation.  Each
+    (confidence, correct) pair is one digit prediction — use the
+    per-digit confidences from ``NumericPrediction`` rather than a
+    single whole-number confidence to get enough samples.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    conf, hits = _validate_pairs(confidences, correct)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # Right-closed last bin so confidence 1.0 lands in the top bin.
+    indices = np.clip(np.digitize(conf, edges[1:-1], right=False), 0, n_bins - 1)
+    bins = []
+    for b in range(n_bins):
+        mask = indices == b
+        if not mask.any():
+            continue
+        bins.append(
+            ReliabilityBin(
+                lower=float(edges[b]),
+                upper=float(edges[b + 1]),
+                count=int(mask.sum()),
+                mean_confidence=float(conf[mask].mean()),
+                accuracy=float(hits[mask].mean()),
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    confidences: Sequence[float],
+    correct: Sequence[bool],
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |confidence - accuracy| over bins."""
+    conf, _ = _validate_pairs(confidences, correct)
+    bins = reliability_bins(confidences, correct, n_bins=n_bins)
+    total = conf.size
+    return float(sum(b.count / total * abs(b.gap) for b in bins))
+
+
+def risk_coverage_curve(
+    confidences: Sequence[float], errors: Sequence[float]
+) -> list[tuple[float, float]]:
+    """(coverage, mean error among covered) as confidence threshold falls.
+
+    Predictions are admitted most-confident first.  A useful confidence
+    signal yields a curve that starts low (the confident predictions are
+    the accurate ones) and rises toward the unconditional mean error at
+    coverage 1.0.
+    """
+    conf = np.asarray(confidences, dtype=np.float64)
+    errs = np.asarray(errors, dtype=np.float64)
+    if conf.shape != errs.shape or conf.ndim != 1 or conf.size == 0:
+        raise ValueError("confidences and errors must be equal-length 1-D sequences")
+    order = np.argsort(-conf, kind="stable")
+    sorted_errors = errs[order]
+    cumulative = np.cumsum(sorted_errors)
+    n = conf.size
+    return [
+        (float((i + 1) / n), float(cumulative[i] / (i + 1)))
+        for i in range(n)
+    ]
+
+
+def aurc(confidences: Sequence[float], errors: Sequence[float]) -> float:
+    """Area under the risk-coverage curve (lower is better).
+
+    Equals the unconditional mean error when confidence is uninformative
+    (random ordering in expectation) and drops toward zero as confidence
+    concentrates the error mass in the rejected tail.
+    """
+    curve = risk_coverage_curve(confidences, errors)
+    return float(np.mean([risk for _, risk in curve]))

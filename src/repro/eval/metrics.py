@@ -1,0 +1,45 @@
+"""Accuracy metrics: APE/MAPE, MSE, Pearson correlation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ape(predicted: float, actual: float) -> float:
+    """Absolute percentage error of one prediction (fraction, not %)."""
+    if actual == 0:
+        return float(predicted != 0)
+    return abs(predicted - actual) / abs(actual)
+
+
+def mape(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute percentage error over paired sequences."""
+    if len(predicted) != len(actual):
+        raise ValueError("length mismatch in mape()")
+    if not predicted:
+        raise ValueError("mape() of empty sequences")
+    return float(np.mean([ape(p, a) for p, a in zip(predicted, actual)]))
+
+
+def mse(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean squared error."""
+    if len(predicted) != len(actual):
+        raise ValueError("length mismatch in mse()")
+    predicted_arr = np.asarray(predicted, dtype=np.float64)
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    return float(np.mean((predicted_arr - actual_arr) ** 2))
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (NaN-safe: 0 for flat inputs)."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if len(x_arr) != len(y_arr) or len(x_arr) < 2:
+        raise ValueError("pearson() needs two equal-length sequences (n >= 2)")
+    x_std = x_arr.std()
+    y_std = y_arr.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])

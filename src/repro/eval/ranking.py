@@ -1,0 +1,124 @@
+"""Ranking-fidelity metrics for design space exploration.
+
+The paper motivates cost models as the inner loop of DSE tools: what
+matters there is not absolute error but whether the model *orders*
+candidate designs correctly and whether picking its top choice loses
+much against the true optimum.  This module provides the standard
+rank-fidelity measures used to evaluate cost models in that role
+(Spearman's rho, Kendall's tau, top-k recall and regret).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rankdata",
+    "spearman",
+    "kendall_tau",
+    "top_k_recall",
+    "selection_regret",
+]
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Ranks (1-based), with ties sharing their average rank."""
+    arr = np.asarray(values, dtype=np.float64)
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(len(arr), dtype=np.float64)
+    i = 0
+    while i < len(arr):
+        j = i
+        while j + 1 < len(arr) and arr[order[j + 1]] == arr[order[i]]:
+            j += 1
+        # ranks i..j (0-based) tie: average of (i+1)..(j+1)
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson of the ranks; 0 for flat input)."""
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("spearman() needs two equal-length sequences (n >= 2)")
+    rx = rankdata(x)
+    ry = rankdata(y)
+    if rx.std() == 0 or ry.std() == 0:
+        return 0.0
+    return float(np.corrcoef(rx, ry)[0, 1])
+
+
+def kendall_tau(x: Sequence[float], y: Sequence[float]) -> float:
+    """Kendall's tau-b rank correlation.
+
+    Counts concordant vs. discordant pairs with the tie correction, so
+    heavily tied predictions (a failure mode of saturated regression
+    heads) are penalized rather than rewarded.
+    """
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("kendall_tau() needs two equal-length sequences (n >= 2)")
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    concordant = 0
+    discordant = 0
+    ties_x = 0
+    ties_y = 0
+    n = len(x_arr)
+    for i in range(n):
+        dx = x_arr[i + 1 :] - x_arr[i]
+        dy = y_arr[i + 1 :] - y_arr[i]
+        product = dx * dy
+        concordant += int(np.sum(product > 0))
+        discordant += int(np.sum(product < 0))
+        ties_x += int(np.sum((dx == 0) & (dy != 0)))
+        ties_y += int(np.sum((dx != 0) & (dy == 0)))
+    denom = np.sqrt(
+        (concordant + discordant + ties_x) * (concordant + discordant + ties_y)
+    )
+    if denom == 0:
+        return 0.0
+    return float((concordant - discordant) / denom)
+
+
+def top_k_recall(
+    predicted: Sequence[float], actual: Sequence[float], k: int
+) -> float:
+    """Fraction of the truly-best k designs found in the predicted-best k.
+
+    "Best" means *lowest* cost, matching the DSE convention where the
+    model ranks candidate designs by predicted cycles/area/power.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError("length mismatch in top_k_recall()")
+    if not 1 <= k <= len(actual):
+        raise ValueError(f"k must be in [1, {len(actual)}], got {k}")
+    predicted_arr = np.asarray(predicted, dtype=np.float64)
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    predicted_top = set(np.argsort(predicted_arr, kind="stable")[:k].tolist())
+    actual_top = set(np.argsort(actual_arr, kind="stable")[:k].tolist())
+    return len(predicted_top & actual_top) / k
+
+
+def selection_regret(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Relative cost excess of the model's chosen design over the optimum.
+
+    Picks the design the model predicts cheapest and compares its *true*
+    cost against the true minimum: ``(actual[argmin(pred)] - min(actual))
+    / min(actual)``.  Zero means the model's choice is optimal even if
+    every absolute prediction is wrong — exactly the property DSE needs.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError("length mismatch in selection_regret()")
+    if not predicted:
+        raise ValueError("selection_regret() of empty sequences")
+    predicted_arr = np.asarray(predicted, dtype=np.float64)
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    chosen = actual_arr[int(np.argmin(predicted_arr))]
+    best = float(actual_arr.min())
+    if best == 0:
+        return float(chosen != 0)
+    return float((chosen - best) / abs(best))

@@ -1,0 +1,132 @@
+"""Experiment report assembly.
+
+Collects the rendered tables the benchmarks write under ``results/``
+into a single markdown report, with the paper-reference annotations
+from the experiment index.  Used by ``python -m repro.eval.report``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+# Experiment index: result file -> (title, paper reference).
+EXPERIMENT_INDEX = {
+    "table2_benchmark_analysis.txt": ("Table 2", "Benchmark analysis"),
+    "table3_static_mape.txt": ("Table 3 (static)", "MAPE comparison, power/area/FF"),
+    "table3_dynamic_cycles.txt": ("Table 3 (cycles)", "NoDPO vs DPO-calibrated cycles"),
+    "table3_overall_summary.txt": ("Table 3 (summary)", "Overall average MAPE"),
+    "table4_runtime_latency.txt": ("Table 4", "Prediction latency on Polybench"),
+    "table5_acceleration.txt": ("Table 5", "Dynamic prediction acceleration"),
+    "table6_confidence.txt": ("Table 6", "Confidence vs squared error"),
+    "table7_synthesizer_ablation.txt": ("Table 7", "Data synthesizer ablation"),
+    "table8_baseline_synth.txt": ("Table 8", "Synthesizer applied to baselines"),
+    "table9_dependency_length.txt": ("Table 9", "Latency vs data-dependency length"),
+    "table10_model_scale.txt": ("Table 10", "Cycles MAPE by model scale"),
+    "table11_dataflow_apps.txt": ("Table 11", "Input-adaptive Polybench MAPE"),
+    "fig11_timeloop.txt": ("Figure 11", "LLMulator vs Timeloop"),
+    "fig12_memory_latency.txt": ("Figure 12", "Memory-delay sweep"),
+    "dpo_convergence.txt": ("§7.2", "DPO convergence curve"),
+    "base_encoding_tradeoff.txt": ("§4.2", "Base-D encoding trade-off"),
+    "range_extrapolation.txt": ("§2", "Edge-value extrapolation"),
+    "ablation_beam_width.txt": ("extra", "Beam-width ablation"),
+    "ablation_replay_buffer.txt": ("extra", "Replay-buffer ablation"),
+    "confidence_quality.txt": ("extra", "Digit calibration (ECE) + risk-coverage"),
+    "dse_ranking.txt": ("extra", "DSE ranking fidelity on the gemm mapping space"),
+    "dse_search_efficiency.txt": ("extra", "Model-guided vs random DSE search"),
+    "normalization_robustness.txt": (
+        "§7.2", "Prediction drift under renaming, raw vs normalized encoding"
+    ),
+}
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered output."""
+
+    filename: str
+    paper_reference: str
+    description: str
+    body: str
+
+
+def collect_sections(results_dir: str) -> list[ReportSection]:
+    """Read every known result file present in *results_dir*."""
+    sections = []
+    for filename, (reference, description) in EXPERIMENT_INDEX.items():
+        path = os.path.join(results_dir, filename)
+        if not os.path.exists(path):
+            continue
+        with open(path) as handle:
+            body = handle.read().strip()
+        sections.append(
+            ReportSection(
+                filename=filename,
+                paper_reference=reference,
+                description=description,
+                body=body,
+            )
+        )
+    return sections
+
+
+def missing_experiments(results_dir: str) -> list[str]:
+    """Result files the benchmark suite has not produced yet."""
+    return [
+        filename
+        for filename in EXPERIMENT_INDEX
+        if not os.path.exists(os.path.join(results_dir, filename))
+    ]
+
+
+def build_report(results_dir: str, title: str = "LLMulator reproduction report") -> str:
+    """Assemble a markdown report from the rendered result tables."""
+    sections = collect_sections(results_dir)
+    lines = [f"# {title}", ""]
+    if not sections:
+        lines.append(
+            "_No results found — run `pytest benchmarks/ --benchmark-only` first._"
+        )
+        return "\n".join(lines)
+    lines.append(f"{len(sections)} experiments rendered.\n")
+    missing = missing_experiments(results_dir)
+    if missing:
+        lines.append(
+            f"Missing ({len(missing)}): " + ", ".join(sorted(missing)) + "\n"
+        )
+    for section in sections:
+        lines.append(f"## {section.paper_reference} — {section.description}")
+        lines.append("")
+        lines.append("```")
+        lines.append(section.body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: str, output_path: Optional[str] = None
+) -> str:
+    """Build and write the report; returns the output path."""
+    output_path = output_path or os.path.join(results_dir, "REPORT.md")
+    report = build_report(results_dir)
+    with open(output_path, "w") as handle:
+        handle.write(report + "\n")
+    return output_path
+
+
+def main() -> int:  # pragma: no cover - thin CLI wrapper
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Assemble the experiment report")
+    parser.add_argument("--results", default="results")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+    path = write_report(args.results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Plain-text table renderers for the benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    """Render a fractional error as the paper's percentage style."""
+    return f"{100.0 * value:.1f}%"
+
+
+def mape_table(
+    title: str,
+    workload_names: Sequence[str],
+    model_names: Sequence[str],
+    ape_lookup,
+) -> str:
+    """Render a workload × model APE table with a mean row.
+
+    ``ape_lookup(model, workload)`` returns the fractional APE.
+    """
+    headers = ["workload", *model_names]
+    rows = []
+    for workload in workload_names:
+        rows.append(
+            [workload, *[format_percent(ape_lookup(m, workload)) for m in model_names]]
+        )
+    means = []
+    for model in model_names:
+        values = [ape_lookup(model, w) for w in workload_names]
+        means.append(format_percent(sum(values) / len(values)))
+    rows.append(["average", *means])
+    return format_table(headers, rows, title=title)

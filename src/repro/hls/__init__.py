@@ -1,0 +1,30 @@
+"""HLS frontend (Bambu substitute): allocation and RTL features."""
+
+from .allocation import AllocationResult, ResourceCounts, allocate_program
+from .params import DEFAULT_PARAMS, HardwareParams
+from .rtl import MUX21_AREA, RtlFeatures, extract_rtl_features
+from .scheduling import (
+    OpKind,
+    Operation,
+    ResourceBudget,
+    ScheduleResult,
+    schedule_innermost_loops,
+    schedule_statements,
+)
+
+__all__ = [
+    "HardwareParams",
+    "DEFAULT_PARAMS",
+    "ResourceCounts",
+    "AllocationResult",
+    "allocate_program",
+    "RtlFeatures",
+    "extract_rtl_features",
+    "MUX21_AREA",
+    "OpKind",
+    "Operation",
+    "ResourceBudget",
+    "ScheduleResult",
+    "schedule_statements",
+    "schedule_innermost_loops",
+]

@@ -1,0 +1,224 @@
+"""HLS resource allocation (Bambu substitute, part 1).
+
+Walks the AST and decides which functional units, multiplexers and
+registers a straight-forward HLS flow would instantiate.  Unroll pragmas
+duplicate datapath resources; parallel pragmas duplicate whole PE lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+
+
+@dataclass
+class ResourceCounts:
+    """Functional-unit and storage counts for one function."""
+
+    int_adders: int = 0
+    int_multipliers: int = 0
+    int_dividers: int = 0
+    fp_adders: int = 0
+    fp_multipliers: int = 0
+    fp_dividers: int = 0
+    comparators: int = 0
+    logic_units: int = 0
+    multiplexers: int = 0
+    registers: int = 0
+    memory_words: int = 0
+    module_instances: int = 0
+
+    def merge(self, other: "ResourceCounts") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def scaled(self, factor: int) -> "ResourceCounts":
+        result = ResourceCounts()
+        for name in self.__dataclass_fields__:
+            setattr(result, name, getattr(self, name) * factor)
+        return result
+
+    @property
+    def functional_units(self) -> int:
+        return (
+            self.int_adders
+            + self.int_multipliers
+            + self.int_dividers
+            + self.fp_adders
+            + self.fp_multipliers
+            + self.fp_dividers
+            + self.comparators
+            + self.logic_units
+        )
+
+
+@dataclass
+class AllocationResult:
+    """Per-function and total resource allocation of a program."""
+
+    per_function: dict[str, ResourceCounts] = field(default_factory=dict)
+    total: ResourceCounts = field(default_factory=ResourceCounts)
+
+
+class _FunctionAllocator:
+    """Allocates resources for one function."""
+
+    def __init__(self, func: ast.FunctionDef, float_context: bool) -> None:
+        self._func = func
+        self._scalar_types: dict[str, str] = {}
+        self._default_float = float_context
+        for param in func.params:
+            self._scalar_types[param.name] = param.type.base
+
+    def _expr_is_float(self, expr: ast.Expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.FloatLit):
+                return True
+            if isinstance(node, ast.Var):
+                if self._scalar_types.get(node.name) == "float":
+                    return True
+            if isinstance(node, ast.Index):
+                if self._scalar_types.get(node.base.name) == "float":
+                    return True
+        return False
+
+    def _count_expr(self, expr: ast.Expr, counts: ResourceCounts) -> None:
+        is_float = self._expr_is_float(expr)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.BinOp):
+                if node.op in ("+", "-"):
+                    if is_float:
+                        counts.fp_adders += 1
+                    else:
+                        counts.int_adders += 1
+                elif node.op == "*":
+                    if is_float:
+                        counts.fp_multipliers += 1
+                    else:
+                        counts.int_multipliers += 1
+                elif node.op in ("/", "%"):
+                    if is_float:
+                        counts.fp_dividers += 1
+                    else:
+                        counts.int_dividers += 1
+                elif node.op in ("<", ">", "<=", ">=", "==", "!="):
+                    counts.comparators += 1
+                else:
+                    counts.logic_units += 1
+            elif isinstance(node, ast.UnaryOp):
+                counts.logic_units += 1
+            elif isinstance(node, ast.Index):
+                # Each distinct access needs address generation (adder)
+                # and a port mux.
+                counts.int_adders += max(0, len(node.indices) - 1)
+                counts.multiplexers += 1
+            elif isinstance(node, ast.Ternary):
+                counts.multiplexers += 1
+            elif isinstance(node, ast.CallExpr):
+                counts.module_instances += 1
+
+    def _array_words(self, type_: ast.Type) -> int:
+        words = 1
+        for dim in type_.dims:
+            if isinstance(dim, ast.IntLit):
+                words *= max(1, dim.value)
+            else:
+                words *= 64  # unsized dimension: assume a default bank
+        return words
+
+    def _count_stmts(self, stmts: list[ast.Stmt]) -> ResourceCounts:
+        counts = ResourceCounts()
+        for stmt in stmts:
+            if isinstance(stmt, ast.For):
+                body = self._count_stmts(stmt.body.stmts)
+                # Loop control: induction register, comparator, adder.
+                body.registers += 1
+                body.comparators += 1
+                body.int_adders += 1
+                factor = stmt.unroll_factor
+                if factor == 0:
+                    factor = _static_trip_count(stmt, default=8)
+                factor = max(1, min(factor, 64))
+                body = body.scaled(factor)
+                if stmt.is_parallel:
+                    body = body.scaled(2)
+                    body.multiplexers += 2
+                counts.merge(body)
+            elif isinstance(stmt, ast.While):
+                body = self._count_stmts(stmt.body.stmts)
+                body.comparators += 1
+                body.registers += 1
+                counts.merge(body)
+                self._count_expr(stmt.cond, counts)
+            elif isinstance(stmt, ast.If):
+                self._count_expr(stmt.cond, counts)
+                counts.multiplexers += 1  # join point
+                counts.merge(self._count_stmts(stmt.then.stmts))
+                if stmt.other is not None:
+                    counts.multiplexers += 1
+                    counts.merge(self._count_stmts(stmt.other.stmts))
+            elif isinstance(stmt, ast.Block):
+                counts.merge(self._count_stmts(stmt.stmts))
+            elif isinstance(stmt, ast.Decl):
+                self._scalar_types[stmt.name] = stmt.type.base
+                if stmt.type.is_array:
+                    counts.memory_words += self._array_words(stmt.type)
+                else:
+                    counts.registers += 1
+                if stmt.init is not None:
+                    self._count_expr(stmt.init, counts)
+            elif isinstance(stmt, ast.Assign):
+                self._count_expr(stmt.value, counts)
+                if isinstance(stmt.target, ast.Index):
+                    counts.multiplexers += 1
+                    for index in stmt.target.indices:
+                        self._count_expr(index, counts)
+                else:
+                    counts.registers += 1
+                if stmt.op != "=":
+                    if self._expr_is_float(stmt.target):
+                        counts.fp_adders += 1
+                    else:
+                        counts.int_adders += 1
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._count_expr(stmt.value, counts)
+            elif isinstance(stmt, ast.ExprStmt):
+                self._count_expr(stmt.expr, counts)
+        return counts
+
+    def allocate(self) -> ResourceCounts:
+        counts = self._count_stmts(self._func.body.stmts)
+        counts.module_instances += 1  # the function's own module
+        # Parameter registers / port buffers.
+        counts.registers += sum(1 for p in self._func.params if not p.type.is_array)
+        return counts
+
+
+def _static_trip_count(loop: ast.For, default: int) -> int:
+    if loop.cond is not None and isinstance(loop.cond, ast.BinOp):
+        if isinstance(loop.cond.right, ast.IntLit):
+            start = 0
+            if isinstance(loop.init, ast.Decl) and isinstance(loop.init.init, ast.IntLit):
+                start = loop.init.init.value
+            step = 1
+            if isinstance(loop.step, ast.Assign) and isinstance(loop.step.value, ast.IntLit):
+                step = max(1, abs(loop.step.value.value))
+            return max(1, (loop.cond.right.value - start) // step)
+    return default
+
+
+def allocate_program(program: ast.Program) -> AllocationResult:
+    """Allocate resources for every function in *program*."""
+    result = AllocationResult()
+    has_float = any(
+        isinstance(node, ast.FloatLit)
+        for func in program.functions
+        for node in ast.walk(func.body)
+    )
+    for func in program.functions:
+        allocator = _FunctionAllocator(func, float_context=has_float)
+        counts = allocator.allocate()
+        result.per_function[func.name] = counts
+        result.total.merge(counts)
+    return result

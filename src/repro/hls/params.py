@@ -1,0 +1,49 @@
+"""Hardware configuration parameters (the ``Params`` of the paper's
+input quadruple).
+
+Mirrors the Bambu HLS flags the paper varies (``--mem-delay-read`` /
+``--mem-delay-write``) plus the spatial-mapping knobs exercised through
+pragmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Memory and mapping configuration of the target accelerator."""
+
+    mem_read_delay: int = 10
+    mem_write_delay: int = 10
+    pe_count: int = 4
+    memory_ports: int = 2
+    clock_period_ns: float = 10.0
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.mem_read_delay < 1 or self.mem_write_delay < 1:
+            raise ValueError("memory delays must be >= 1 cycle")
+        if self.pe_count < 1:
+            raise ValueError("pe_count must be >= 1")
+        if self.memory_ports < 1:
+            raise ValueError("memory_ports must be >= 1")
+
+    def describe(self) -> str:
+        """Textual form fed to the cost models (Bambu flag style)."""
+        return (
+            f"-mem-delay-read={self.mem_read_delay} "
+            f"-mem-delay-write={self.mem_write_delay} "
+            f"-pe-count={self.pe_count} "
+            f"-memory-ports={self.memory_ports} "
+            f"-clock-period={self.clock_period_ns:g}"
+        )
+
+    @classmethod
+    def sweep_memory_delays(cls, delays: tuple[int, ...] = (2, 5, 10)) -> list["HardwareParams"]:
+        """The memory-delay sweep used by the dataset synthesizer."""
+        return [cls(mem_read_delay=d, mem_write_delay=d) for d in delays]
+
+
+DEFAULT_PARAMS = HardwareParams()

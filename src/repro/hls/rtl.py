@@ -1,0 +1,94 @@
+"""RTL-level feature extraction (Bambu/SiliconCompiler substitute).
+
+Produces the intermediate compilation features the paper's reasoning
+data format exposes inside ``<think>`` tags (Figure 8): module counts,
+multiplexer counts, performance conflicts and estimated resource areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from .allocation import AllocationResult, allocate_program
+from .params import HardwareParams
+
+# Rough per-unit area contributions used for the *estimated* (pre-layout)
+# resource report.  Final areas come from repro.asicflow.
+_UNIT_AREA = {
+    "int_adders": 32.0,
+    "int_multipliers": 240.0,
+    "int_dividers": 700.0,
+    "fp_adders": 380.0,
+    "fp_multipliers": 1150.0,
+    "fp_dividers": 3400.0,
+    "comparators": 18.0,
+    "logic_units": 12.0,
+}
+
+MUX21_AREA = 11.2
+
+
+@dataclass
+class RtlFeatures:
+    """The feature bundle SiliconCompiler-style extraction reports."""
+
+    modules_instantiated: int
+    performance_conflicts: int
+    estimated_resource_area: int
+    mux21_area: float
+    allocated_multiplexers: int
+    register_count: int
+    memory_words: int
+    functional_units: int
+
+    def think_text(self) -> str:
+        """Render as the paper's ``<think>`` reasoning fragment."""
+        return (
+            f"Number of modules instantiated: {self.modules_instantiated}\n"
+            f"Number of performance conflicts: {self.performance_conflicts}\n"
+            f"Estimated resources area: {self.estimated_resource_area}\n"
+            f"Estimated area of MUX21: {self.mux21_area:.1f}\n"
+            f"Number of allocated multiplexers: {self.allocated_multiplexers}"
+        )
+
+
+def _count_conflicts(program: ast.Program, params: HardwareParams) -> int:
+    """Performance conflicts: concurrent memory accesses competing for
+    the configured number of ports, summed over loop bodies."""
+    conflicts = 0
+    for func in program.functions:
+        for loop in ast.loops_in(func.body):
+            accesses = sum(
+                1 for node in ast.walk(loop.body) if isinstance(node, ast.Index)
+            )
+            lanes = max(1, loop.unroll_factor) * (2 if loop.is_parallel else 1)
+            concurrent = accesses * lanes
+            if concurrent > params.memory_ports:
+                conflicts += concurrent - params.memory_ports
+    return conflicts
+
+
+def extract_rtl_features(
+    program: ast.Program,
+    params: HardwareParams | None = None,
+    allocation: AllocationResult | None = None,
+) -> RtlFeatures:
+    """Extract RTL-level reasoning features for *program*."""
+    params = params or HardwareParams()
+    allocation = allocation or allocate_program(program)
+    total = allocation.total
+    area = 0.0
+    for field_name, unit_area in _UNIT_AREA.items():
+        area += getattr(total, field_name) * unit_area
+    area += total.multiplexers * MUX21_AREA
+    return RtlFeatures(
+        modules_instantiated=total.module_instances,
+        performance_conflicts=_count_conflicts(program, params),
+        estimated_resource_area=int(round(area)),
+        mux21_area=total.multiplexers * MUX21_AREA,
+        allocated_multiplexers=total.multiplexers,
+        register_count=total.registers,
+        memory_words=total.memory_words,
+        functional_units=total.functional_units,
+    )

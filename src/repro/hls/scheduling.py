@@ -1,0 +1,292 @@
+"""Operation scheduling (Bambu substitute, part 2).
+
+A classic resource-constrained list scheduler over the expression DAG
+of a loop body: operations become nodes with datapath latencies, edges
+follow data dependences, and each control step admits at most the
+configured number of functional units and memory ports.
+
+The scheduler reports the initiation latency of one loop-body iteration
+and the per-step resource usage — the quantities an HLS report exposes
+and a useful cross-check on the cycle simulator's per-iteration costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchedulingError
+from ..lang import ast
+from .params import HardwareParams
+
+
+class OpKind(enum.Enum):
+    """Functional-unit class of a scheduled operation."""
+
+    ADD = "add"
+    MUL = "mul"
+    DIV = "div"
+    CMP = "cmp"
+    LOGIC = "logic"
+    LOAD = "load"
+    STORE = "store"
+
+
+_LATENCY = {
+    OpKind.ADD: 1,
+    OpKind.MUL: 3,
+    OpKind.DIV: 18,
+    OpKind.CMP: 1,
+    OpKind.LOGIC: 1,
+    # Memory latencies come from HardwareParams at schedule time.
+}
+
+
+@dataclass
+class Operation:
+    """One schedulable operation node."""
+
+    index: int
+    kind: OpKind
+    deps: list[int] = field(default_factory=list)
+    start: int = -1
+
+    def latency(self, params: HardwareParams) -> int:
+        if self.kind is OpKind.LOAD:
+            return params.mem_read_delay
+        if self.kind is OpKind.STORE:
+            return params.mem_write_delay
+        return _LATENCY[self.kind]
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Units available per control step."""
+
+    adders: int = 2
+    multipliers: int = 2
+    dividers: int = 1
+    comparators: int = 2
+    logic_units: int = 2
+
+    def limit_for(self, kind: OpKind, params: HardwareParams) -> int:
+        if kind is OpKind.ADD:
+            return self.adders
+        if kind is OpKind.MUL:
+            return self.multipliers
+        if kind is OpKind.DIV:
+            return self.dividers
+        if kind is OpKind.CMP:
+            return self.comparators
+        if kind is OpKind.LOGIC:
+            return self.logic_units
+        return params.memory_ports  # LOAD / STORE share the ports
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one statement region."""
+
+    operations: list[Operation]
+    total_latency: int
+    steps_used: int
+    resource_pressure: dict[str, int]
+
+    @property
+    def ilp(self) -> float:
+        """Average instruction-level parallelism achieved."""
+        if self.steps_used == 0:
+            return 0.0
+        return len(self.operations) / self.steps_used
+
+
+class _DagBuilder:
+    """Builds the operation DAG of a statement list."""
+
+    def __init__(self) -> None:
+        self.operations: list[Operation] = []
+        # Last producer of each scalar name / array name.
+        self._producer: dict[str, int] = {}
+
+    def _new_op(self, kind: OpKind, deps: list[int]) -> int:
+        op = Operation(index=len(self.operations), kind=kind, deps=deps)
+        self.operations.append(op)
+        return op.index
+
+    def _visit_expr(self, expr: ast.Expr) -> Optional[int]:
+        """Returns the op index producing the expression's value."""
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return None
+        if isinstance(expr, ast.Var):
+            return self._producer.get(expr.name)
+        if isinstance(expr, ast.BinOp):
+            deps = []
+            for side in (expr.left, expr.right):
+                produced = self._visit_expr(side)
+                if produced is not None:
+                    deps.append(produced)
+            if expr.op in ("+", "-"):
+                kind = OpKind.ADD
+            elif expr.op == "*":
+                kind = OpKind.MUL
+            elif expr.op in ("/", "%"):
+                kind = OpKind.DIV
+            elif expr.op in ("<", ">", "<=", ">=", "==", "!="):
+                kind = OpKind.CMP
+            else:
+                kind = OpKind.LOGIC
+            return self._new_op(kind, deps)
+        if isinstance(expr, ast.UnaryOp):
+            deps = []
+            produced = self._visit_expr(expr.operand)
+            if produced is not None:
+                deps.append(produced)
+            return self._new_op(OpKind.LOGIC, deps)
+        if isinstance(expr, ast.Index):
+            deps = []
+            for index in expr.indices:
+                produced = self._visit_expr(index)
+                if produced is not None:
+                    deps.append(produced)
+            array_producer = self._producer.get(expr.base.name)
+            if array_producer is not None:
+                deps.append(array_producer)
+            return self._new_op(OpKind.LOAD, deps)
+        if isinstance(expr, ast.Ternary):
+            deps = []
+            for part in (expr.cond, expr.then, expr.other):
+                produced = self._visit_expr(part)
+                if produced is not None:
+                    deps.append(produced)
+            return self._new_op(OpKind.LOGIC, deps)
+        if isinstance(expr, ast.CallExpr):
+            raise SchedulingError("cannot schedule function calls inline")
+        raise SchedulingError(f"unschedulable expression {type(expr).__name__}")
+
+    def visit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            deps = []
+            value_producer = self._visit_expr(stmt.value)
+            if value_producer is not None:
+                deps.append(value_producer)
+            if isinstance(stmt.target, ast.Index):
+                for index in stmt.target.indices:
+                    produced = self._visit_expr(index)
+                    if produced is not None:
+                        deps.append(produced)
+                if stmt.op != "=":
+                    deps.append(self._new_op(OpKind.LOAD, list(deps)))
+                    deps.append(self._new_op(OpKind.ADD, [deps[-1]]))
+                store = self._new_op(OpKind.STORE, deps)
+                self._producer[stmt.target.base.name] = store
+            else:
+                if stmt.op != "=":
+                    previous = self._producer.get(stmt.target.name)
+                    add_deps = list(deps)
+                    if previous is not None:
+                        add_deps.append(previous)
+                    deps = [self._new_op(OpKind.ADD, add_deps)]
+                self._producer[stmt.target.name] = (
+                    deps[-1] if deps else self._new_op(OpKind.LOGIC, [])
+                )
+        elif isinstance(stmt, ast.Decl):
+            if stmt.init is not None:
+                produced = self._visit_expr(stmt.init)
+                if produced is not None:
+                    self._producer[stmt.name] = produced
+        elif isinstance(stmt, ast.ExprStmt):
+            self._visit_expr(stmt.expr)
+        else:
+            raise SchedulingError(
+                f"list scheduler handles straight-line code only, got "
+                f"{type(stmt).__name__}"
+            )
+
+
+def schedule_statements(
+    stmts: list[ast.Stmt],
+    params: Optional[HardwareParams] = None,
+    budget: Optional[ResourceBudget] = None,
+) -> ScheduleResult:
+    """Resource-constrained list scheduling of straight-line statements."""
+    params = params or HardwareParams()
+    budget = budget or ResourceBudget()
+    builder = _DagBuilder()
+    for stmt in stmts:
+        builder.visit_stmt(stmt)
+    operations = builder.operations
+    if not operations:
+        return ScheduleResult([], 0, 0, {})
+    finish: dict[int, int] = {}
+    pending = set(range(len(operations)))
+    step = 0
+    pressure: dict[str, int] = {}
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 100000:
+            raise SchedulingError("scheduler failed to converge")
+        used: dict[OpKind, int] = {}
+        scheduled_now = []
+        for index in sorted(pending):
+            op = operations[index]
+            if any(dep not in finish or finish[dep] > step for dep in op.deps):
+                continue
+            limit = budget.limit_for(op.kind, params)
+            memory_kind = op.kind in (OpKind.LOAD, OpKind.STORE)
+            key = OpKind.LOAD if memory_kind else op.kind
+            if used.get(key, 0) >= limit:
+                continue
+            used[key] = used.get(key, 0) + 1
+            op.start = step
+            finish[index] = step + op.latency(params)
+            scheduled_now.append(index)
+        for index in scheduled_now:
+            pending.discard(index)
+        for kind, count in used.items():
+            name = kind.value
+            pressure[name] = max(pressure.get(name, 0), count)
+        step += 1
+    total = max(finish.values())
+    return ScheduleResult(
+        operations=operations,
+        total_latency=total,
+        steps_used=step,
+        resource_pressure=pressure,
+    )
+
+
+def schedule_innermost_loops(
+    func: ast.FunctionDef,
+    params: Optional[HardwareParams] = None,
+    budget: Optional[ResourceBudget] = None,
+) -> dict[str, ScheduleResult]:
+    """Schedule every innermost loop body of *func* that is straight-line.
+
+    Returns a mapping from induction-variable name to schedule; bodies
+    with control flow are skipped (they are not a single basic block).
+    """
+    results: dict[str, ScheduleResult] = {}
+    for loop in ast.loops_in(func.body):
+        has_inner_loop = any(
+            isinstance(node, (ast.For, ast.While)) for node in ast.walk(loop.body)
+        )
+        if has_inner_loop:
+            continue
+        straight_line = all(
+            isinstance(stmt, (ast.Assign, ast.Decl, ast.ExprStmt))
+            for stmt in loop.body.stmts
+        )
+        if not straight_line:
+            continue
+        var = "<loop>"
+        if isinstance(loop.init, ast.Decl):
+            var = loop.init.name
+        elif isinstance(loop.init, ast.Assign) and isinstance(loop.init.target, ast.Var):
+            var = loop.init.target.name
+        try:
+            results[var] = schedule_statements(loop.body.stmts, params, budget)
+        except SchedulingError:
+            continue
+    return results

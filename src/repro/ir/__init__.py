@@ -1,0 +1,23 @@
+"""Program IRs: loop trees and dataflow/program graphs."""
+
+from .graph import (
+    NODE_TYPE_INDEX,
+    DataflowGraph,
+    OperatorCall,
+    build_dataflow_graph,
+    build_program_graph,
+)
+from .looptree import LoopBound, LoopNode, LoopTree, StatementLeaf, lower_function
+
+__all__ = [
+    "LoopBound",
+    "LoopNode",
+    "LoopTree",
+    "StatementLeaf",
+    "lower_function",
+    "DataflowGraph",
+    "OperatorCall",
+    "build_dataflow_graph",
+    "build_program_graph",
+    "NODE_TYPE_INDEX",
+]

@@ -1,0 +1,243 @@
+"""Loop-tree IR.
+
+A loop tree abstracts an operator as nested loops over statements, the
+representation Tileflow-style analytical models and the dataflow
+generator both work on (paper Sections 2 and 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import LoweringError
+from ..lang import ast
+
+
+@dataclass
+class LoopBound:
+    """A loop bound: either a compile-time constant or a symbol."""
+
+    constant: Optional[int] = None
+    symbol: Optional[str] = None
+
+    @property
+    def is_static(self) -> bool:
+        return self.constant is not None
+
+    def resolve(self, bindings: dict[str, int]) -> int:
+        """Concrete value given symbol *bindings*."""
+        if self.constant is not None:
+            return self.constant
+        if self.symbol is None:
+            raise LoweringError("unresolvable loop bound")
+        if self.symbol not in bindings:
+            raise LoweringError(f"unbound loop-bound symbol {self.symbol!r}")
+        return bindings[self.symbol]
+
+    def __str__(self) -> str:
+        return str(self.constant) if self.is_static else str(self.symbol)
+
+
+@dataclass
+class StatementLeaf:
+    """A leaf of the loop tree: one straight-line statement with
+    pre-counted operation mix."""
+
+    adds: int = 0
+    muls: int = 0
+    divs: int = 0
+    cmps: int = 0
+    loads: int = 0
+    stores: int = 0
+    has_branch: bool = False
+
+    @property
+    def total_ops(self) -> int:
+        return self.adds + self.muls + self.divs + self.cmps
+
+
+@dataclass
+class LoopNode:
+    """One loop level: induction variable, bounds, step and mapping."""
+
+    var: str
+    start: int
+    bound: LoopBound
+    step: int = 1
+    unroll: int = 1  # 1 = none, 0 = full
+    parallel: bool = False
+    children: list[Union["LoopNode", StatementLeaf]] = field(default_factory=list)
+
+    def trip_count(self, bindings: Optional[dict[str, int]] = None) -> int:
+        resolved = self.bound.resolve(bindings or {})
+        step = max(1, abs(self.step))
+        return max(0, -(-(resolved - self.start) // step))
+
+    def loops(self) -> list["LoopNode"]:
+        """This loop and all nested loops, pre-order."""
+        result: list[LoopNode] = [self]
+        for child in self.children:
+            if isinstance(child, LoopNode):
+                result.extend(child.loops())
+        return result
+
+    @property
+    def depth(self) -> int:
+        child_depths = [c.depth for c in self.children if isinstance(c, LoopNode)]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+
+@dataclass
+class LoopTree:
+    """Loop tree of a single operator function."""
+
+    function: str
+    roots: list[Union[LoopNode, StatementLeaf]] = field(default_factory=list)
+
+    def all_loops(self) -> list[LoopNode]:
+        result: list[LoopNode] = []
+        for root in self.roots:
+            if isinstance(root, LoopNode):
+                result.extend(root.loops())
+        return result
+
+    @property
+    def max_depth(self) -> int:
+        depths = [r.depth for r in self.roots if isinstance(r, LoopNode)]
+        return max(depths, default=0)
+
+    @property
+    def is_perfect_nest(self) -> bool:
+        """True when the tree is a single perfectly nested loop chain with
+        statement leaves only at the innermost level — the only shape the
+        Timeloop substitute accepts."""
+        if len(self.roots) != 1 or not isinstance(self.roots[0], LoopNode):
+            return False
+        node = self.roots[0]
+        while True:
+            loop_children = [c for c in node.children if isinstance(c, LoopNode)]
+            leaf_children = [c for c in node.children if isinstance(c, StatementLeaf)]
+            if len(loop_children) == 0:
+                return all(not leaf.has_branch for leaf in leaf_children)
+            if len(loop_children) == 1 and not leaf_children:
+                node = loop_children[0]
+                continue
+            return False
+
+
+def _expr_op_mix(expr: ast.Expr) -> StatementLeaf:
+    leaf = StatementLeaf()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinOp):
+            if node.op in ("+", "-"):
+                leaf.adds += 1
+            elif node.op == "*":
+                leaf.muls += 1
+            elif node.op in ("/", "%"):
+                leaf.divs += 1
+            elif node.op in ("<", ">", "<=", ">=", "==", "!="):
+                leaf.cmps += 1
+        elif isinstance(node, ast.Index):
+            leaf.loads += 1
+        elif isinstance(node, ast.Ternary):
+            leaf.has_branch = True
+    return leaf
+
+
+def _merge(into: StatementLeaf, other: StatementLeaf) -> None:
+    into.adds += other.adds
+    into.muls += other.muls
+    into.divs += other.divs
+    into.cmps += other.cmps
+    into.loads += other.loads
+    into.stores += other.stores
+    into.has_branch = into.has_branch or other.has_branch
+
+
+def _lower_for(loop: ast.For) -> LoopNode:
+    if loop.cond is None or not isinstance(loop.cond, ast.BinOp):
+        raise LoweringError("for loop without canonical condition")
+    if not isinstance(loop.cond.left, ast.Var):
+        raise LoweringError("non-canonical loop condition")
+    var = loop.cond.left.name
+    bound_expr = loop.cond.right
+    if isinstance(bound_expr, ast.IntLit):
+        bound = LoopBound(constant=bound_expr.value)
+    elif isinstance(bound_expr, ast.Var):
+        bound = LoopBound(symbol=bound_expr.name)
+    else:
+        # Composite bound: keep it symbolic under a synthetic name.
+        bound = LoopBound(symbol=f"<expr:{var}>")
+    start = 0
+    if isinstance(loop.init, ast.Decl) and isinstance(loop.init.init, ast.IntLit):
+        start = loop.init.init.value
+    elif isinstance(loop.init, ast.Assign) and isinstance(loop.init.value, ast.IntLit):
+        start = loop.init.value.value
+    step = 1
+    if isinstance(loop.step, ast.Assign) and isinstance(loop.step.value, ast.IntLit):
+        step = max(1, abs(loop.step.value.value))
+    node = LoopNode(
+        var=var,
+        start=start,
+        bound=bound,
+        step=step,
+        unroll=loop.unroll_factor,
+        parallel=loop.is_parallel,
+    )
+    node.children = _lower_stmts(loop.body.stmts)
+    return node
+
+
+def _lower_stmts(stmts: list[ast.Stmt]) -> list[Union[LoopNode, StatementLeaf]]:
+    children: list[Union[LoopNode, StatementLeaf]] = []
+    pending = StatementLeaf()
+
+    def flush() -> None:
+        nonlocal pending
+        if pending.total_ops or pending.loads or pending.stores or pending.has_branch:
+            children.append(pending)
+            pending = StatementLeaf()
+
+    for stmt in stmts:
+        if isinstance(stmt, ast.For):
+            flush()
+            children.append(_lower_for(stmt))
+        elif isinstance(stmt, ast.While):
+            flush()
+            # While loops have no static trip count: lower as a symbolic
+            # loop over a synthetic bound so analytical consumers see it.
+            node = LoopNode(var="<while>", start=0, bound=LoopBound(symbol="<while>"))
+            node.children = _lower_stmts(stmt.body.stmts)
+            children.append(node)
+        elif isinstance(stmt, ast.If):
+            branch = StatementLeaf(has_branch=True)
+            _merge(branch, _expr_op_mix(stmt.cond))
+            children.append(branch)
+            children.extend(_lower_stmts(stmt.then.stmts))
+            if stmt.other is not None:
+                children.extend(_lower_stmts(stmt.other.stmts))
+        elif isinstance(stmt, ast.Block):
+            flush()
+            children.extend(_lower_stmts(stmt.stmts))
+        elif isinstance(stmt, ast.Assign):
+            _merge(pending, _expr_op_mix(stmt.value))
+            if isinstance(stmt.target, ast.Index):
+                pending.stores += 1
+                for index in stmt.target.indices:
+                    _merge(pending, _expr_op_mix(index))
+            if stmt.op != "=":
+                pending.adds += 1
+        elif isinstance(stmt, ast.Decl) and stmt.init is not None:
+            _merge(pending, _expr_op_mix(stmt.init))
+        elif isinstance(stmt, (ast.ExprStmt, ast.Return)):
+            expr = stmt.expr if isinstance(stmt, ast.ExprStmt) else stmt.value
+            if expr is not None:
+                _merge(pending, _expr_op_mix(expr))
+    flush()
+    return children
+
+
+def lower_function(func: ast.FunctionDef) -> LoopTree:
+    """Lower a function body to its loop tree."""
+    return LoopTree(function=func.name, roots=_lower_stmts(func.body.stmts))

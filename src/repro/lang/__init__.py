@@ -1,0 +1,46 @@
+"""Mini dataflow language: lexer, parser, AST, printer and analysis.
+
+This package is the substrate everything else consumes — the paper's
+C-based dataflow graphs and operators are expressed in this language.
+"""
+
+from . import ast
+from .analysis import (
+    ControlFlowReport,
+    OperatorClass,
+    ProgramFeatures,
+    TaintKind,
+    analyze_function,
+    classify_operators,
+    count_dynamic_parameters,
+    extract_features,
+)
+from .lexer import Lexer, tokenize
+from .normalize import normalize, simplify_expr
+from .parser import Parser, parse, parse_expression
+from .printer import format_expr, format_function, to_source
+from .tokens import Token, TokenKind
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "normalize",
+    "simplify_expr",
+    "Lexer",
+    "parse",
+    "parse_expression",
+    "Parser",
+    "to_source",
+    "format_expr",
+    "format_function",
+    "Token",
+    "TokenKind",
+    "OperatorClass",
+    "TaintKind",
+    "ControlFlowReport",
+    "ProgramFeatures",
+    "analyze_function",
+    "classify_operators",
+    "count_dynamic_parameters",
+    "extract_features",
+]

@@ -1,0 +1,358 @@
+"""Static control-flow analysis for the mini dataflow language.
+
+This module plays the role Frama-C plays in the paper: it decides, per
+operator function, whether control flow depends on runtime inputs.
+
+Operators are classified as
+
+* ``CLASS_I`` — control flow is input-independent (e.g. a matrix
+  transposition whose loop bounds are compile-time constants), or
+* ``CLASS_II`` — control flow reads runtime inputs, either *data*
+  taint (array contents steer branches, as in sorting) or *size* taint
+  (scalar parameters steer loop bounds, as in a sliding window whose
+  bounds come from the input tensor shape).
+
+The classification feeds the dynamic control-flow separation mask of
+Section 5.2 and the ``Dyn. Num`` column of Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from . import ast
+
+
+class OperatorClass(enum.Enum):
+    """Input dependence class of an operator (paper Section 5.2)."""
+
+    CLASS_I = "class_i"
+    CLASS_II = "class_ii"
+
+
+class TaintKind(enum.Flag):
+    """What kind of runtime information a value derives from."""
+
+    NONE = 0
+    SIZE = enum.auto()  # scalar runtime parameters (loop bounds, strides)
+    DATA = enum.auto()  # array element contents
+
+
+@dataclass
+class ControlFlowReport:
+    """Result of analysing one function."""
+
+    function: str
+    operator_class: OperatorClass
+    tainted_conditions: int = 0
+    condition_taint: TaintKind = TaintKind.NONE
+    dynamic_params: list[str] = field(default_factory=list)
+    loop_count: int = 0
+    branch_count: int = 0
+
+    @property
+    def is_input_dependent(self) -> bool:
+        return self.operator_class is OperatorClass.CLASS_II
+
+
+def _expr_reads(expr: ast.Expr) -> set[str]:
+    """Names of variables read by *expr* (array bases included)."""
+    reads: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Var):
+            reads.add(node.name)
+        elif isinstance(node, ast.Index):
+            reads.add(node.base.name)
+    return reads
+
+
+def _collect_conditions(func: ast.FunctionDef) -> list[ast.Expr]:
+    """Every control-flow condition expression in *func*."""
+    conditions: list[ast.Expr] = []
+    for node in ast.walk(func.body):
+        if isinstance(node, ast.For) and node.cond is not None:
+            conditions.append(node.cond)
+        elif isinstance(node, (ast.While, ast.If)):
+            conditions.append(node.cond)
+        elif isinstance(node, ast.Ternary):
+            conditions.append(node.cond)
+    return conditions
+
+
+class TaintAnalyzer:
+    """Flow-insensitive fixpoint taint propagation within one function."""
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self._func = func
+        self.taint: dict[str, TaintKind] = {}
+        for param in func.params:
+            if param.type.is_array:
+                # Reading the array *contents* yields DATA taint; the
+                # array name itself only carries taint when indexed.
+                self.taint[param.name] = TaintKind.DATA
+            elif param.type.base in ("int", "float"):
+                self.taint[param.name] = TaintKind.SIZE
+
+    def _expr_taint(self, expr: ast.Expr) -> TaintKind:
+        result = TaintKind.NONE
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Var):
+                result |= self.taint.get(node.name, TaintKind.NONE)
+            elif isinstance(node, ast.Index):
+                base_taint = self.taint.get(node.base.name, TaintKind.NONE)
+                if base_taint & TaintKind.DATA:
+                    result |= TaintKind.DATA
+                for index in node.indices:
+                    result |= self._expr_taint(index)
+        return result
+
+    def run(self) -> dict[str, TaintKind]:
+        """Propagate taint through assignments until fixpoint."""
+        changed = True
+        assignments = [
+            node for node in ast.walk(self._func.body)
+            if isinstance(node, (ast.Assign, ast.Decl))
+        ]
+        iterations = 0
+        while changed:
+            iterations += 1
+            if iterations > 1000:
+                raise AnalysisError(
+                    f"taint fixpoint did not converge in {self._func.name}"
+                )
+            changed = False
+            for node in assignments:
+                if isinstance(node, ast.Decl):
+                    if node.init is None:
+                        continue
+                    name = node.name
+                    incoming = self._expr_taint(node.init)
+                else:
+                    target = node.target
+                    name = target.name if isinstance(target, ast.Var) else target.base.name
+                    incoming = self._expr_taint(node.value)
+                    if isinstance(target, ast.Index):
+                        for index in target.indices:
+                            incoming |= self._expr_taint(index)
+                current = self.taint.get(name, TaintKind.NONE)
+                merged = current | incoming
+                if merged != current:
+                    self.taint[name] = merged
+                    changed = True
+        return self.taint
+
+
+def analyze_function(func: ast.FunctionDef) -> ControlFlowReport:
+    """Classify one function's control flow (Class I vs Class II)."""
+    analyzer = TaintAnalyzer(func)
+    taint = analyzer.run()
+    conditions = _collect_conditions(func)
+    condition_taint = TaintKind.NONE
+    tainted_conditions = 0
+    for cond in conditions:
+        cond_taint = analyzer._expr_taint(cond)
+        if cond_taint != TaintKind.NONE:
+            tainted_conditions += 1
+            condition_taint |= cond_taint
+    dynamic_params = [
+        param.name
+        for param in func.params
+        if not param.type.is_array
+        and any(param.name in _expr_reads(cond) for cond in conditions)
+    ]
+    # Scalars that reach conditions indirectly also count as dynamic.
+    if condition_taint & TaintKind.SIZE:
+        for param in func.params:
+            if param.type.is_array or param.name in dynamic_params:
+                continue
+            if taint.get(param.name, TaintKind.NONE) & TaintKind.SIZE:
+                for cond in conditions:
+                    reads = _expr_reads(cond)
+                    if any(
+                        taint.get(name, TaintKind.NONE) & TaintKind.SIZE
+                        for name in reads
+                    ):
+                        if _param_flows_to(analyzer, func, param.name, reads):
+                            dynamic_params.append(param.name)
+                            break
+    operator_class = (
+        OperatorClass.CLASS_II if condition_taint != TaintKind.NONE else OperatorClass.CLASS_I
+    )
+    loops = [n for n in ast.walk(func.body) if isinstance(n, (ast.For, ast.While))]
+    branches = [n for n in ast.walk(func.body) if isinstance(n, (ast.If, ast.Ternary))]
+    return ControlFlowReport(
+        function=func.name,
+        operator_class=operator_class,
+        tainted_conditions=tainted_conditions,
+        condition_taint=condition_taint,
+        dynamic_params=dynamic_params,
+        loop_count=len(loops),
+        branch_count=len(branches),
+    )
+
+
+def _param_flows_to(
+    analyzer: TaintAnalyzer,
+    func: ast.FunctionDef,
+    param: str,
+    condition_reads: set[str],
+) -> bool:
+    """Conservative reachability: does *param* flow into any of the names
+    read by a condition?  Uses a per-variable source map built from the
+    assignment graph."""
+    sources: dict[str, set[str]] = {param: {param}}
+    changed = True
+    assignments = [
+        node for node in ast.walk(func.body)
+        if isinstance(node, (ast.Assign, ast.Decl))
+    ]
+    for _ in range(100):
+        if not changed:
+            break
+        changed = False
+        for node in assignments:
+            if isinstance(node, ast.Decl):
+                if node.init is None:
+                    continue
+                name, value = node.name, node.init
+            else:
+                target = node.target
+                name = target.name if isinstance(target, ast.Var) else target.base.name
+                value = node.value
+            incoming: set[str] = set()
+            for read in _expr_reads(value):
+                incoming |= sources.get(read, set())
+            if incoming - sources.get(name, set()):
+                sources.setdefault(name, set()).update(incoming)
+                changed = True
+    return any(param in sources.get(name, set()) for name in condition_reads)
+
+
+def classify_operators(program: ast.Program) -> dict[str, ControlFlowReport]:
+    """Analyse every function in *program*."""
+    return {func.name: analyze_function(func) for func in program.functions}
+
+
+def count_dynamic_parameters(program: ast.Program) -> int:
+    """Paper Table 2 ``Dyn. Num``: number of control-flow-steering
+    runtime parameters across the program."""
+    total = 0
+    for report in classify_operators(program).values():
+        total += len(report.dynamic_params)
+    return total
+
+
+@dataclass
+class ProgramFeatures:
+    """Handcrafted features (used by the Tenset-MLP baseline and the
+    workload statistics table)."""
+
+    loop_count: int
+    max_loop_depth: int
+    branch_count: int
+    add_count: int
+    mul_count: int
+    div_count: int
+    cmp_count: int
+    array_access_count: int
+    call_count: int
+    constant_loop_trip_product: float
+    param_count: int
+    array_param_count: int
+    statement_count: int
+
+    def as_vector(self) -> list[float]:
+        return [
+            float(self.loop_count),
+            float(self.max_loop_depth),
+            float(self.branch_count),
+            float(self.add_count),
+            float(self.mul_count),
+            float(self.div_count),
+            float(self.cmp_count),
+            float(self.array_access_count),
+            float(self.call_count),
+            float(self.constant_loop_trip_product),
+            float(self.param_count),
+            float(self.array_param_count),
+            float(self.statement_count),
+        ]
+
+
+def _constant_trip_count(loop: ast.For) -> float:
+    """Best-effort constant trip count of a canonical for loop."""
+    if loop.cond is None or not isinstance(loop.cond, ast.BinOp):
+        return 1.0
+    bound = loop.cond.right
+    if not isinstance(bound, ast.IntLit):
+        return 1.0
+    start = 0
+    if isinstance(loop.init, ast.Decl) and isinstance(loop.init.init, ast.IntLit):
+        start = loop.init.init.value
+    elif isinstance(loop.init, ast.Assign) and isinstance(loop.init.value, ast.IntLit):
+        start = loop.init.value.value
+    step = 1
+    if isinstance(loop.step, ast.Assign) and isinstance(loop.step.value, ast.IntLit):
+        step = max(1, abs(loop.step.value.value))
+    trips = (bound.value - start) / step
+    return max(trips, 1.0)
+
+
+def extract_features(program: ast.Program) -> ProgramFeatures:
+    """Compute handcrafted whole-program features."""
+    loop_count = 0
+    branch_count = 0
+    add = mul = div = cmp = 0
+    array_access = 0
+    call_count = 0
+    trip_product = 1.0
+    stmt_count = 0
+    depth = 0
+    param_count = 0
+    array_param_count = 0
+    for func in program.functions:
+        param_count += len(func.params)
+        array_param_count += sum(1 for p in func.params if p.type.is_array)
+        depth = max(depth, ast.max_loop_depth(func.body))
+        for node in ast.walk(func.body):
+            if isinstance(node, ast.For):
+                loop_count += 1
+                trip_product *= _constant_trip_count(node)
+            elif isinstance(node, ast.While):
+                loop_count += 1
+            elif isinstance(node, (ast.If, ast.Ternary)):
+                branch_count += 1
+            elif isinstance(node, ast.BinOp):
+                if node.op in ("+", "-"):
+                    add += 1
+                elif node.op == "*":
+                    mul += 1
+                elif node.op in ("/", "%"):
+                    div += 1
+                elif node.op in ("<", ">", "<=", ">=", "==", "!="):
+                    cmp += 1
+            elif isinstance(node, ast.Index):
+                array_access += 1
+            elif isinstance(node, ast.CallExpr):
+                call_count += 1
+            if isinstance(node, ast.Stmt):
+                stmt_count += 1
+    # Cap the trip product so features stay in a trainable range.
+    trip_product = min(trip_product, 1e12)
+    return ProgramFeatures(
+        loop_count=loop_count,
+        max_loop_depth=depth,
+        branch_count=branch_count,
+        add_count=add,
+        mul_count=mul,
+        div_count=div,
+        cmp_count=cmp,
+        array_access_count=array_access,
+        call_count=call_count,
+        constant_loop_trip_product=trip_product,
+        param_count=param_count,
+        array_param_count=array_param_count,
+        statement_count=stmt_count,
+    )

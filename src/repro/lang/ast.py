@@ -1,0 +1,266 @@
+"""AST node definitions for the mini dataflow language.
+
+Nodes are plain dataclasses.  ``walk`` yields every node in a subtree,
+which the analyses, feature extractors and generators all build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    def children(self) -> list["Node"]:
+        """Direct child nodes, in source order."""
+        result: list[Node] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Node):
+                result.append(value)
+            elif isinstance(value, list):
+                result.extend(item for item in value if isinstance(item, Node))
+        return result
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield *node* and every descendant in pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+# -- types ------------------------------------------------------------
+
+
+@dataclass
+class Type(Node):
+    """A scalar or array type.
+
+    ``dims`` holds one entry per array dimension; ``None`` marks an
+    unsized dimension (as in ``float a[][]`` parameters) and an ``Expr``
+    a sized one.
+    """
+
+    base: str  # "void", "int" or "float"
+    dims: list[Optional["Expr"]] = field(default_factory=list)
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+
+# -- expressions -------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[i0][i1]...`` flattened into one node."""
+
+    base: Var
+    indices: list[Expr]
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+# -- statements ---------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Pragma(Node):
+    """A mapping pragma attached to a loop.
+
+    ``kind`` is ``"unroll"`` or ``"parallel"``; ``factor`` is the unroll
+    factor (0 means *full* unroll).
+    """
+
+    kind: str
+    factor: int = 0
+    text: str = ""
+
+
+@dataclass
+class Decl(Stmt):
+    type: Type
+    name: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Union[Var, Index]
+    op: str  # "=", "+=", ...
+    value: Expr
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block
+    pragmas: list[Pragma] = field(default_factory=list)
+
+    @property
+    def unroll_factor(self) -> int:
+        """Unroll factor requested via pragma; 1 if none, 0 if full."""
+        for pragma in self.pragmas:
+            if pragma.kind == "unroll":
+                return pragma.factor
+        return 1
+
+    @property
+    def is_parallel(self) -> bool:
+        return any(p.kind == "parallel" for p in self.pragmas)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Block
+    other: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# -- top level -----------------------------------------------------------
+
+
+@dataclass
+class ParamDecl(Node):
+    type: Type
+    name: str
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: Type
+    name: str
+    params: list[ParamDecl]
+    body: Block
+
+
+@dataclass
+class Program(Node):
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    @property
+    def function_names(self) -> list[str]:
+        return [func.name for func in self.functions]
+
+
+def loops_in(node: Node) -> list[For]:
+    """All ``For`` loops in the subtree rooted at *node*."""
+    return [n for n in walk(node) if isinstance(n, For)]
+
+
+def calls_in(node: Node) -> list[CallExpr]:
+    """All call expressions in the subtree rooted at *node*."""
+    return [n for n in walk(node) if isinstance(n, CallExpr)]
+
+
+def max_loop_depth(node: Node) -> int:
+    """Deepest loop nesting level in the subtree rooted at *node*."""
+
+    def depth(current: Node) -> int:
+        best = 0
+        for child in current.children():
+            child_depth = depth(child)
+            if isinstance(child, (For, While)):
+                child_depth += 1
+            best = max(best, child_depth)
+        return best
+
+    return depth(node)

@@ -1,0 +1,134 @@
+"""Lexer for the mini dataflow language."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token`.
+
+    Comments (``//`` and ``/* */``) are skipped.  ``#pragma`` lines are
+    emitted as single PRAGMA tokens carrying the remainder of the line,
+    so the parser can attach them to the following statement.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", self._line, self._column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self._line, self._column
+        char = self._peek()
+        if not char:
+            return Token(TokenKind.EOF, "", line, column)
+        if char == "#":
+            return self._lex_pragma(line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_ident(line, column)
+        for punct in PUNCTUATORS:
+            if self._source.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    def _lex_pragma(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and self._peek() != "\n":
+            self._advance()
+        text = self._source[start:self._pos].strip()
+        if not text.startswith("#pragma"):
+            raise LexError(f"unknown directive {text!r}", line, column)
+        return Token(TokenKind.PRAGMA, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exp = False
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif char in "eE" and not saw_exp and self._peek(1).isdigit():
+                saw_exp = True
+                self._advance(2)
+            elif char in "eE" and not saw_exp and self._peek(1) in "+-" and self._peek(2).isdigit():
+                saw_exp = True
+                self._advance(3)
+            elif char in "fF" and (saw_dot or saw_exp):
+                self._advance()
+                break
+            else:
+                break
+        text = self._source[start:self._pos]
+        kind = TokenKind.FLOAT if (saw_dot or saw_exp or text.endswith(("f", "F"))) else TokenKind.INT
+        return Token(kind, text, line, column)
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._source[start:self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source* into a list ending with an EOF token."""
+    return Lexer(source).tokenize()

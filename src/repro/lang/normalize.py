@@ -1,0 +1,210 @@
+"""Program normalization (the paper's §7.2 future-work direction).
+
+The paper attributes part of its residual error to "deeply abstracted
+or non-local program semantics" and names program normalization as the
+planned mitigation.  This pass canonicalizes a program before encoding:
+
+* local variables and loop counters are renamed in declaration order
+  (``v0``, ``v1``, …), removing author-specific naming noise;
+* constant subexpressions are folded (``(2 + 3) * x`` → ``5 * x``);
+* arithmetic identities are simplified (``x + 0``, ``x * 1``, ``x * 0``);
+* directly nested blocks are flattened.
+
+Semantics are preserved: the simulator produces identical results for
+normalized programs (folded constants change neither values nor the
+datapath the allocator sees in any way that breaks monotonicity).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Union
+
+from . import ast
+
+
+def normalize(program: ast.Program) -> ast.Program:
+    """Return a normalized deep copy of *program*."""
+    clone = copy.deepcopy(program)
+    for func in clone.functions:
+        _rename_locals(func)
+        func.body = _normalize_block(func.body)
+    return clone
+
+
+# -- renaming ----------------------------------------------------------
+
+
+def _rename_locals(func: ast.FunctionDef) -> None:
+    """Rename declared locals to v0, v1, ... in declaration order.
+
+    Parameters keep their names (they are the function's interface and
+    carry dataflow-graph meaning)."""
+    param_names = {param.name for param in func.params}
+    mapping: dict[str, str] = {}
+    for node in ast.walk(func.body):
+        if isinstance(node, ast.Decl) and node.name not in param_names:
+            if node.name not in mapping:
+                mapping[node.name] = f"v{len(mapping)}"
+    if not mapping:
+        return
+    for node in ast.walk(func.body):
+        if isinstance(node, ast.Decl) and node.name in mapping:
+            node.name = mapping[node.name]
+        elif isinstance(node, ast.Var) and node.name in mapping:
+            node.name = mapping[node.name]
+
+
+# -- constant folding -----------------------------------------------------
+
+
+def _literal_value(expr: ast.Expr) -> Optional[Union[int, float]]:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    return None
+
+
+def _make_literal(value: Union[int, float]) -> ast.Expr:
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    return ast.FloatLit(value)
+
+
+_FOLDABLE_OPS = {"+", "-", "*", "/", "%"}
+
+
+def _fold(op: str, left: Union[int, float], right: Union[int, float]):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)
+        return left / right
+    if op == "%":
+        if right == 0:
+            return None
+        if isinstance(left, int) and isinstance(right, int):
+            return left - int(left / right) * right
+        return None
+    return None
+
+
+def simplify_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold constants and apply arithmetic identities, bottom-up."""
+    if isinstance(expr, ast.BinOp):
+        left = simplify_expr(expr.left)
+        right = simplify_expr(expr.right)
+        left_value = _literal_value(left)
+        right_value = _literal_value(right)
+        if (
+            expr.op in _FOLDABLE_OPS
+            and left_value is not None
+            and right_value is not None
+        ):
+            folded = _fold(expr.op, left_value, right_value)
+            if folded is not None and abs(float(folded)) < 1e15:
+                return _make_literal(folded)
+        # Identities: x+0, 0+x, x-0, x*1, 1*x, x*0, 0*x, x/1.
+        if expr.op == "+" and right_value == 0:
+            return left
+        if expr.op == "+" and left_value == 0:
+            return right
+        if expr.op == "-" and right_value == 0:
+            return left
+        if expr.op == "*" and right_value == 1:
+            return left
+        if expr.op == "*" and left_value == 1:
+            return right
+        if expr.op == "*" and (right_value == 0 or left_value == 0):
+            is_float = isinstance(left_value, float) or isinstance(right_value, float)
+            return ast.FloatLit(0.0) if is_float else ast.IntLit(0)
+        if expr.op == "/" and right_value == 1:
+            return left
+        return ast.BinOp(op=expr.op, left=left, right=right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = simplify_expr(expr.operand)
+        value = _literal_value(operand)
+        if expr.op == "-" and value is not None:
+            return _make_literal(-value)
+        return ast.UnaryOp(op=expr.op, operand=operand)
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            base=expr.base, indices=[simplify_expr(i) for i in expr.indices]
+        )
+    if isinstance(expr, ast.CallExpr):
+        return ast.CallExpr(name=expr.name, args=[simplify_expr(a) for a in expr.args])
+    if isinstance(expr, ast.Ternary):
+        cond = simplify_expr(expr.cond)
+        cond_value = _literal_value(cond)
+        if cond_value is not None:
+            return simplify_expr(expr.then if cond_value else expr.other)
+        return ast.Ternary(
+            cond=cond, then=simplify_expr(expr.then), other=simplify_expr(expr.other)
+        )
+    return expr
+
+
+# -- statements ---------------------------------------------------------------
+
+
+def _normalize_stmt(stmt: ast.Stmt) -> ast.Stmt:
+    if isinstance(stmt, ast.Block):
+        return _normalize_block(stmt)
+    if isinstance(stmt, ast.Decl):
+        if stmt.init is not None:
+            stmt.init = simplify_expr(stmt.init)
+        stmt.type.dims = [
+            simplify_expr(d) if d is not None else None for d in stmt.type.dims
+        ]
+        return stmt
+    if isinstance(stmt, ast.Assign):
+        stmt.value = simplify_expr(stmt.value)
+        if isinstance(stmt.target, ast.Index):
+            stmt.target = simplify_expr(stmt.target)  # type: ignore[assignment]
+        return stmt
+    if isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            stmt.init = _normalize_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = simplify_expr(stmt.cond)
+        if stmt.step is not None:
+            stmt.step = _normalize_stmt(stmt.step)
+        stmt.body = _normalize_block(stmt.body)
+        return stmt
+    if isinstance(stmt, ast.While):
+        stmt.cond = simplify_expr(stmt.cond)
+        stmt.body = _normalize_block(stmt.body)
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.cond = simplify_expr(stmt.cond)
+        stmt.then = _normalize_block(stmt.then)
+        if stmt.other is not None:
+            stmt.other = _normalize_block(stmt.other)
+        return stmt
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        stmt.value = simplify_expr(stmt.value)
+        return stmt
+    if isinstance(stmt, ast.ExprStmt):
+        stmt.expr = simplify_expr(stmt.expr)
+        return stmt
+    return stmt
+
+
+def _normalize_block(block: ast.Block) -> ast.Block:
+    """Normalize children and flatten directly nested blocks."""
+    stmts: list[ast.Stmt] = []
+    for stmt in block.stmts:
+        normalized = _normalize_stmt(stmt)
+        if isinstance(normalized, ast.Block):
+            stmts.extend(normalized.stmts)
+        else:
+            stmts.append(normalized)
+    return ast.Block(stmts=stmts)

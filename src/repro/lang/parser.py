@@ -1,0 +1,363 @@
+"""Recursive-descent parser for the mini dataflow language."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=")
+
+_UNROLL_FULL = re.compile(r"unroll\s*\(\s*full\s*\)|unroll\s*$|unroll\s+full")
+_UNROLL_FACTOR = re.compile(r"unroll(?:\s*\(|\s+)(\d+)\)?")
+
+
+def _parse_pragma_token(token: Token) -> Optional[ast.Pragma]:
+    """Interpret a ``#pragma`` line; unknown pragmas are ignored."""
+    text = token.text[len("#pragma"):].strip()
+    lowered = text.lower()
+    if "parallel" in lowered:
+        return ast.Pragma(kind="parallel", factor=0, text=token.text)
+    if "unroll" in lowered:
+        match = _UNROLL_FACTOR.search(lowered)
+        if match:
+            return ast.Pragma(kind="unroll", factor=int(match.group(1)), text=token.text)
+        if _UNROLL_FULL.search(lowered):
+            return ast.Pragma(kind="unroll", factor=0, text=token.text)
+        return ast.Pragma(kind="unroll", factor=0, text=token.text)
+    return None
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _at_type(self) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.text in ("void", "int", "float")
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: list[ast.FunctionDef] = []
+        while self._peek().kind is not TokenKind.EOF:
+            if self._peek().kind is TokenKind.PRAGMA:
+                # Stray top-level pragma: skip.
+                self._advance()
+                continue
+            functions.append(self._parse_function())
+        return ast.Program(functions=functions)
+
+    def _parse_base_type(self) -> str:
+        token = self._peek()
+        if not self._at_type():
+            raise ParseError(f"expected type, found {token.text!r}", token.line, token.column)
+        return self._advance().text
+
+    def _parse_array_dims(self) -> list[Optional[ast.Expr]]:
+        dims: list[Optional[ast.Expr]] = []
+        while self._peek().is_punct("["):
+            self._advance()
+            if self._peek().is_punct("]"):
+                dims.append(None)
+            else:
+                dims.append(self._parse_expr())
+            self._expect_punct("]")
+        return dims
+
+    def _parse_function(self) -> ast.FunctionDef:
+        base = self._parse_base_type()
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: list[ast.ParamDecl] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                params.append(self._parse_param())
+                if self._peek().is_punct(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            return_type=ast.Type(base=base), name=name, params=params, body=body
+        )
+
+    def _parse_param(self) -> ast.ParamDecl:
+        base = self._parse_base_type()
+        name = self._expect_ident().text
+        dims = self._parse_array_dims()
+        return ast.ParamDecl(type=ast.Type(base=base, dims=dims), name=name)
+
+    def _parse_block(self) -> ast.Block:
+        self._expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                token = self._peek()
+                raise ParseError("unexpected end of input in block", token.line, token.column)
+            stmts.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(stmts=stmts)
+
+    def _parse_statement(self) -> ast.Stmt:
+        pragmas: list[ast.Pragma] = []
+        while self._peek().kind is TokenKind.PRAGMA:
+            pragma = _parse_pragma_token(self._advance())
+            if pragma is not None:
+                pragmas.append(pragma)
+        token = self._peek()
+        if token.is_keyword("for"):
+            loop = self._parse_for()
+            loop.pragmas = pragmas
+            return loop
+        if pragmas:
+            # Pragmas only attach to loops; tolerate and drop otherwise.
+            pass
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None if self._peek().is_punct(";") else self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(value=value)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break()
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue()
+        if self._at_type():
+            decl = self._parse_decl()
+            self._expect_punct(";")
+            return decl
+        stmt = self._parse_simple_statement()
+        self._expect_punct(";")
+        return stmt
+
+    def _parse_decl(self) -> ast.Decl:
+        base = self._parse_base_type()
+        name = self._expect_ident().text
+        dims = self._parse_array_dims()
+        init = None
+        if self._peek().is_punct("="):
+            self._advance()
+            init = self._parse_expr()
+        return ast.Decl(type=ast.Type(base=base, dims=dims), name=name, init=init)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """An assignment, increment or expression statement (no ';')."""
+        expr = self._parse_expr()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("invalid assignment target", token.line, token.column)
+            op = self._advance().text
+            value = self._parse_expr()
+            return ast.Assign(target=expr, op=op, value=value)
+        if token.is_punct("++") or token.is_punct("--"):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("invalid increment target", token.line, token.column)
+            op = "+=" if self._advance().text == "++" else "-="
+            return ast.Assign(target=expr, op=op, value=ast.IntLit(1))
+        return ast.ExprStmt(expr=expr)
+
+    def _parse_for(self) -> ast.For:
+        self._advance()  # 'for'
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            init = self._parse_decl() if self._at_type() else self._parse_simple_statement()
+        self._expect_punct(";")
+        cond: Optional[ast.Expr] = None
+        if not self._peek().is_punct(";"):
+            cond = self._parse_expr()
+        self._expect_punct(";")
+        step: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(")"):
+            step = self._parse_simple_statement()
+        self._expect_punct(")")
+        body = self._parse_loop_body()
+        return ast.For(init=init, cond=cond, step=step, body=body)
+
+    def _parse_while(self) -> ast.While:
+        self._advance()  # 'while'
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_loop_body()
+        return ast.While(cond=cond, body=body)
+
+    def _parse_loop_body(self) -> ast.Block:
+        if self._peek().is_punct("{"):
+            return self._parse_block()
+        stmt = self._parse_statement()
+        return ast.Block(stmts=[stmt])
+
+    def _parse_if(self) -> ast.If:
+        self._advance()  # 'if'
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_loop_body()
+        other: Optional[ast.Block] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            other = self._parse_loop_body()
+        return ast.If(cond=cond, then=then, other=other)
+
+    # -- expressions ---------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._peek().is_punct("?"):
+            self._advance()
+            then = self._parse_expr()
+            self._expect_punct(":")
+            other = self._parse_expr()
+            return ast.Ternary(cond=cond, then=then, other=other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            prec = _PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self._advance().text
+            right = self._parse_binary(prec + 1)
+            left = ast.BinOp(op=op, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("-") or token.is_punct("!") or token.is_punct("+"):
+            op = self._advance().text
+            operand = self._parse_unary()
+            if op == "+":
+                return operand
+            return ast.UnaryOp(op=op, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._peek().is_punct("["):
+            if not isinstance(expr, ast.Var):
+                token = self._peek()
+                raise ParseError("can only index plain arrays", token.line, token.column)
+            indices: list[ast.Expr] = []
+            while self._peek().is_punct("["):
+                self._advance()
+                indices.append(self._parse_expr())
+                self._expect_punct("]")
+            expr = ast.Index(base=expr, indices=indices)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(token.text, 0))
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(float(token.text.rstrip("fF")))
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().text
+            if self._peek().is_punct("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if self._peek().is_punct(","):
+                            self._advance()
+                            continue
+                        break
+                self._expect_punct(")")
+                return ast.CallExpr(name=name, args=args)
+            return ast.Var(name=name)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse *source* into a :class:`repro.lang.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and generators)."""
+    parser = Parser(tokenize(source))
+    expr = parser._parse_expr()
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+    return expr

@@ -1,0 +1,136 @@
+"""Pretty-printer: AST back to source text.
+
+``parse(to_source(parse(s)))`` is structurally idempotent, which the
+property tests rely on, and the printed text is what the tokenizer and
+the dataset formatters consume.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "  "
+
+
+def _format_type(type_: ast.Type, name: str = "") -> str:
+    text = type_.base
+    if name:
+        text += f" {name}"
+    for dim in type_.dims:
+        text += "[" + ("" if dim is None else format_expr(dim)) + "]"
+    return text
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Render an expression with explicit parentheses on binary ops."""
+    if isinstance(expr, ast.IntLit):
+        # Negative literals print parenthesized so reparsing (which
+        # produces a unary minus) is textually stable.
+        return str(expr.value) if expr.value >= 0 else f"({expr.value})"
+    if isinstance(expr, ast.FloatLit):
+        value = expr.value
+        if value == int(value) and abs(value) < 1e15:
+            text = f"{value:.1f}"
+        else:
+            text = repr(value)
+        return text if value >= 0 else f"({text})"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op}{format_expr(expr.operand)})"
+    if isinstance(expr, ast.Index):
+        indices = "".join(f"[{format_expr(i)}]" for i in expr.indices)
+        return f"{expr.base.name}{indices}"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({format_expr(expr.cond)} ? {format_expr(expr.then)}"
+            f" : {format_expr(expr.other)})"
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _format_simple_stmt(stmt: ast.Stmt) -> str:
+    """A statement without trailing ';' (for for-loop headers)."""
+    if isinstance(stmt, ast.Decl):
+        text = _format_type(stmt.type, stmt.name)
+        if stmt.init is not None:
+            text += f" = {format_expr(stmt.init)}"
+        return text
+    if isinstance(stmt, ast.Assign):
+        return f"{format_expr(stmt.target)} {stmt.op} {format_expr(stmt.value)}"
+    if isinstance(stmt, ast.ExprStmt):
+        return format_expr(stmt.expr)
+    raise TypeError(f"cannot format {type(stmt).__name__} inline")
+
+
+def _format_stmt(stmt: ast.Stmt, level: int, lines: list[str]) -> None:
+    pad = _INDENT * level
+    if isinstance(stmt, ast.Block):
+        lines.append(pad + "{")
+        for inner in stmt.stmts:
+            _format_stmt(inner, level + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(stmt, (ast.Decl, ast.Assign, ast.ExprStmt)):
+        lines.append(pad + _format_simple_stmt(stmt) + ";")
+    elif isinstance(stmt, ast.For):
+        for pragma in stmt.pragmas:
+            lines.append(pad + (pragma.text or _default_pragma_text(pragma)))
+        init = _format_simple_stmt(stmt.init) if stmt.init else ""
+        cond = format_expr(stmt.cond) if stmt.cond else ""
+        step = _format_simple_stmt(stmt.step) if stmt.step else ""
+        lines.append(pad + f"for ({init}; {cond}; {step}) {{")
+        for inner in stmt.body.stmts:
+            _format_stmt(inner, level + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(stmt, ast.While):
+        lines.append(pad + f"while ({format_expr(stmt.cond)}) {{")
+        for inner in stmt.body.stmts:
+            _format_stmt(inner, level + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(stmt, ast.If):
+        lines.append(pad + f"if ({format_expr(stmt.cond)}) {{")
+        for inner in stmt.then.stmts:
+            _format_stmt(inner, level + 1, lines)
+        if stmt.other is not None:
+            lines.append(pad + "} else {")
+            for inner in stmt.other.stmts:
+                _format_stmt(inner, level + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            lines.append(pad + "return;")
+        else:
+            lines.append(pad + f"return {format_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        lines.append(pad + "break;")
+    elif isinstance(stmt, ast.Continue):
+        lines.append(pad + "continue;")
+    else:
+        raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def _default_pragma_text(pragma: ast.Pragma) -> str:
+    if pragma.kind == "parallel":
+        return "#pragma omp parallel for"
+    if pragma.factor > 1:
+        return f"#pragma unroll {pragma.factor}"
+    return "#pragma clang loop unroll(full)"
+
+
+def format_function(func: ast.FunctionDef) -> str:
+    params = ", ".join(_format_type(p.type, p.name) for p in func.params)
+    lines = [f"{func.return_type.base} {func.name}({params}) {{"]
+    for stmt in func.body.stmts:
+        _format_stmt(stmt, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_source(program: ast.Program) -> str:
+    """Render a whole program as source text."""
+    return "\n\n".join(format_function(func) for func in program.functions) + "\n"

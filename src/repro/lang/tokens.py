@@ -1,0 +1,103 @@
+"""Token definitions for the mini dataflow language.
+
+The language is a small C subset rich enough to express the dataflow
+programs the paper evaluates: typed functions, multi-dimensional arrays,
+``for``/``while`` loops, ``if``/``else`` branches, arithmetic and logical
+expressions, calls, and mapping pragmas (``#pragma unroll`` and
+``#pragma omp parallel for``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    INT = "int_literal"
+    FLOAT = "float_literal"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "void",
+        "int",
+        "float",
+        "for",
+        "while",
+        "if",
+        "else",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+# Multi-character punctuators must be matched longest-first.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}({self.text!r}@{self.line}:{self.column})"

@@ -1,0 +1,52 @@
+"""Minimal numpy autograd + transformer stack (PyTorch substitute)."""
+
+from .attention import NEG_INF, MultiHeadSelfAttention, build_attention_mask
+from .layers import (
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    LoRALinear,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    mlp,
+)
+from .optim import Adam, AdamW, Optimizer, SGD
+from .schedulers import ConstantLR, CosineDecay, Scheduler, WarmupCosine
+from .serialization import load_model, save_model
+from .tensor import Tensor, concat, stack
+from .transformer import TransformerBlock, TransformerConfig, TransformerEncoder
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "Module",
+    "Linear",
+    "LoRALinear",
+    "Embedding",
+    "LayerNorm",
+    "Sequential",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "mlp",
+    "MultiHeadSelfAttention",
+    "build_attention_mask",
+    "NEG_INF",
+    "TransformerConfig",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "Scheduler",
+    "ConstantLR",
+    "CosineDecay",
+    "WarmupCosine",
+    "save_model",
+    "load_model",
+]

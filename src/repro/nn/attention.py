@@ -1,0 +1,86 @@
+"""Multi-head self-attention with external additive masks.
+
+The mask hook is what the paper's dynamic control-flow separation
+(Section 5.2) and prediction acceleration (Section 5.3) plug into: a
+``(seq, seq)`` matrix of zeros and ``-inf`` built from operator classes
+and segment metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from .layers import Linear, Module
+from .tensor import Tensor
+
+NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product self-attention (single sequence)."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if dim % heads != 0:
+            raise ModelConfigError(f"dim {dim} not divisible by heads {heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply attention to ``x`` of shape ``(seq, dim)``.
+
+        ``mask`` is an additive ``(seq, seq)`` array (0 keeps, large
+        negative removes an interaction).
+        """
+        seq, dim = x.shape
+        queries = self.q_proj(x)
+        keys = self.k_proj(x)
+        values = self.v_proj(x)
+        outputs = []
+        scale = 1.0 / np.sqrt(self.head_dim)
+        for head in range(self.heads):
+            lo = head * self.head_dim
+            hi = lo + self.head_dim
+            q = queries[:, lo:hi]
+            k = keys[:, lo:hi]
+            v = values[:, lo:hi]
+            scores = (q @ k.transpose()) * scale
+            if mask is not None:
+                scores = scores + Tensor(mask)
+            attn = scores.softmax(axis=-1)
+            outputs.append(attn @ v)
+        from .tensor import concat
+
+        merged = concat(outputs, axis=1)
+        return self.out_proj(merged)
+
+
+def build_attention_mask(
+    seq_len: int,
+    blocked_pairs: list[tuple[slice, slice]],
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Build an additive mask that blocks the given (rows, cols) slices.
+
+    Used by the control-flow separation: pairs of segments whose
+    interaction should be severed get ``NEG_INF``.
+    """
+    mask = np.zeros((seq_len, seq_len))
+    for rows, cols in blocked_pairs:
+        mask[rows, cols] = NEG_INF
+        if symmetric:
+            mask[cols, rows] = NEG_INF
+    return mask

@@ -1,0 +1,240 @@
+"""Neural network layers over :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: parameter discovery via attribute reflection."""
+
+    def parameters(self) -> Iterator[Tensor]:
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _parameters_of(value, seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        seen: set[int] = set()
+        for name, value in self.__dict__.items():
+            yield from _named_parameters_of(value, f"{prefix}{name}", seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def parameter_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise ModelConfigError(f"missing parameters in state dict: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ModelConfigError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.astype(np.float64).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _parameters_of(value, seen: set[int]) -> Iterator[Tensor]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for inner in value.__dict__.values():
+            yield from _parameters_of(inner, seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item, seen)
+
+
+def _named_parameters_of(value, prefix: str, seen: set[int]) -> Iterator[tuple[str, Tensor]]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield prefix, value
+    elif isinstance(value, Module):
+        for name, inner in value.__dict__.items():
+            yield from _named_parameters_of(inner, f"{prefix}.{name}", seen)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from _named_parameters_of(item, f"{prefix}.{index}", seen)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _named_parameters_of(item, f"{prefix}.{key}", seen)
+
+
+class Linear(Module):
+    """Affine projection ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LoRALinear(Module):
+    """Linear layer with a low-rank trainable adapter on a frozen base.
+
+    Mirrors the paper's use of LoRA instead of full fine-tuning to
+    mitigate catastrophic forgetting: ``y = x (W + A B · α/r) + b`` with
+    ``W`` frozen and only ``A``, ``B`` (and bias) trainable.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rank: int = 4,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rank < 1:
+            raise ModelConfigError("LoRA rank must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(in_features, out_features)),
+            requires_grad=False,
+        )
+        self.lora_a = Tensor(
+            rng.standard_normal((in_features, rank)) * 0.02, requires_grad=True
+        )
+        self.lora_b = Tensor(np.zeros((rank, out_features)), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+        self.scaling = alpha / rank
+
+    def forward(self, x: Tensor) -> Tensor:
+        base = x @ Tensor(self.weight.data)
+        adapter = (x @ self.lora_a) @ self.lora_b
+        return base + adapter * self.scaling + self.bias
+
+    def merge_adapter(self) -> None:
+        """Fold the adapter into the frozen weight (deployment mode)."""
+        self.weight.data = (
+            self.weight.data + self.lora_a.data @ self.lora_b.data * self.scaling
+        )
+        self.lora_a.data = np.zeros_like(self.lora_a.data)
+        self.lora_b.data = np.zeros_like(self.lora_b.data)
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = Tensor(
+            rng.standard_normal((vocab_size, dim)) * 0.02, requires_grad=True
+        )
+        self.vocab_size = vocab_size
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.vocab_size):
+            raise ModelConfigError(
+                f"token id out of range [0, {self.vocab_size}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return self.weight.gather_rows(indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / ((var + self.eps) ** 0.5)
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+def mlp(
+    sizes: list[int],
+    rng: Optional[np.random.Generator] = None,
+    activation: type[Module] = ReLU,
+) -> Sequential:
+    """Build an MLP with the given layer sizes."""
+    if len(sizes) < 2:
+        raise ModelConfigError("mlp needs at least input and output sizes")
+    rng = rng or np.random.default_rng(0)
+    layers: list[Module] = []
+    for index, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        layers.append(Linear(n_in, n_out, rng=rng))
+        if index < len(sizes) - 2:
+            layers.append(activation())
+    return Sequential(*layers)

@@ -1,0 +1,124 @@
+"""Optimizers: SGD, Adam, AdamW (the paper trains with AdamW)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Vanilla SGD with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity: Optional[list[np.ndarray]] = None
+
+    def step(self) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.decoupled = decoupled
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay and self.decoupled:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(
+            parameters,
+            lr=lr,
+            betas=betas,
+            eps=eps,
+            weight_decay=weight_decay,
+            decoupled=True,
+        )

@@ -1,0 +1,74 @@
+"""Learning-rate schedulers for the optimizers."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base class: call :meth:`step` once per training step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        lr = self.lr_at(self._step)
+        self.optimizer.lr = lr
+        return lr
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantLR(Scheduler):
+    """No-op scheduler (keeps the optimizer's base rate)."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class CosineDecay(Scheduler):
+    """Cosine decay from base_lr to ``floor`` over ``total_steps``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_steps: int, floor: float = 0.0
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        self.total_steps = total_steps
+        self.floor = floor
+
+    def lr_at(self, step: int) -> float:
+        progress = min(1.0, step / self.total_steps)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.base_lr - self.floor) * cosine
+
+
+class WarmupCosine(CosineDecay):
+    """Linear warmup for ``warmup_steps`` followed by cosine decay."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        total_steps: int,
+        warmup_steps: int = 0,
+        floor: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer, total_steps, floor)
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be < total_steps")
+        self.warmup_steps = warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = self.total_steps - self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps) / remaining)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.base_lr - self.floor) * cosine

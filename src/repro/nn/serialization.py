@@ -1,0 +1,24 @@
+"""Model checkpointing to .npz archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_model(module: Module, path: str) -> None:
+    """Save a module's parameters to *path* (.npz)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_model(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_model` into *module*."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

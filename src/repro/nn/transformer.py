@@ -1,0 +1,104 @@
+"""Transformer encoder used by the cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from .attention import MultiHeadSelfAttention
+from .layers import Embedding, GELU, LayerNorm, Linear, Module, Sequential
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Size configuration of the encoder.
+
+    The named tiers stand in for the paper's base-model scales
+    (Qwen2.5-0.5B / LLaMA-3.2-1B / LLaMA-3.1-8B).
+    """
+
+    vocab_size: int
+    dim: int = 48
+    heads: int = 4
+    layers: int = 2
+    max_seq_len: int = 512
+    ffn_multiplier: int = 2
+
+    def __post_init__(self) -> None:
+        if self.dim % self.heads != 0:
+            raise ModelConfigError("dim must be divisible by heads")
+        if self.layers < 1:
+            raise ModelConfigError("need at least one layer")
+
+    @classmethod
+    def tier(cls, name: str, vocab_size: int, max_seq_len: int = 512) -> "TransformerConfig":
+        """Named scale tiers mirroring the paper's 0.5B/1B/8B sweep."""
+        tiers = {
+            "0.5B": cls(vocab_size, dim=32, heads=4, layers=1, max_seq_len=max_seq_len),
+            "1B": cls(vocab_size, dim=48, heads=4, layers=2, max_seq_len=max_seq_len),
+            "8B": cls(vocab_size, dim=96, heads=8, layers=3, max_seq_len=max_seq_len),
+        }
+        if name not in tiers:
+            raise ModelConfigError(f"unknown tier {name!r}; choose from {sorted(tiers)}")
+        return tiers[name]
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator) -> None:
+        self.norm1 = LayerNorm(config.dim)
+        self.attn = MultiHeadSelfAttention(config.dim, config.heads, rng=rng)
+        self.norm2 = LayerNorm(config.dim)
+        hidden = config.dim * config.ffn_multiplier
+        self.ffn = Sequential(
+            Linear(config.dim, hidden, rng=rng),
+            GELU(),
+            Linear(hidden, config.dim, rng=rng),
+        )
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask=mask)
+        x = x + self.ffn(self.norm2(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Token + positional embeddings followed by transformer blocks.
+
+    ``encode`` returns per-token hidden states; ``pool`` mean-pools them
+    into a sequence embedding for prediction heads.
+    """
+
+    def __init__(self, config: TransformerConfig, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.dim, rng=rng)
+        self.blocks = [TransformerBlock(config, rng) for _ in range(config.layers)]
+        self.final_norm = LayerNorm(config.dim)
+
+    def encode(self, token_ids: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ModelConfigError("encode expects a 1-D token id sequence")
+        if len(token_ids) > self.config.max_seq_len:
+            token_ids = token_ids[: self.config.max_seq_len]
+            if mask is not None:
+                limit = self.config.max_seq_len
+                mask = mask[:limit, :limit]
+        positions = np.arange(len(token_ids))
+        x = self.token_embedding(token_ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)
+
+    def pool(self, hidden: Tensor) -> Tensor:
+        return hidden.mean(axis=0)
+
+    def forward(self, token_ids: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+        return self.pool(self.encode(token_ids, mask=mask))

@@ -1,0 +1,15 @@
+"""Cycle simulator (Verilator substitute)."""
+
+from .cost import CycleCounter
+from .inputs import DEFAULT_DIM, DEFAULT_SCALAR, default_inputs, describe_data
+from .interpreter import Interpreter, SimulationResult
+
+__all__ = [
+    "Interpreter",
+    "SimulationResult",
+    "CycleCounter",
+    "default_inputs",
+    "describe_data",
+    "DEFAULT_DIM",
+    "DEFAULT_SCALAR",
+]

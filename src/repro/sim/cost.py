@@ -1,0 +1,85 @@
+"""Cycle-cost accounting for the simulator.
+
+Latencies mirror the cell library pipeline depths.  Unrolled and
+parallel loops open *lanes*: compute operations scale down by the lane
+product, memory operations by ``min(lanes, memory_ports)`` — ports are
+a global resource, so port-limited workloads stop speeding up once the
+ports saturate (this is what makes the memory-delay sweep of Figure 12
+behave like the paper's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hls import HardwareParams
+
+INT_ADD = 1.0
+INT_MUL = 3.0
+INT_DIV = 18.0
+FP_ADD = 4.0
+FP_MUL = 5.0
+FP_DIV = 24.0
+CMP = 1.0
+LOGIC = 1.0
+LOOP_OVERHEAD = 1.0
+CALL_OVERHEAD = 2.0
+BRANCH_COST = 1.0
+
+_MAX_LANES = 4096.0
+
+
+@dataclass
+class CycleCounter:
+    """Accumulates fractional cycles under a stack of lane scopes."""
+
+    params: HardwareParams
+    cycles: float = 0.0
+    _lane_stack: list[float] = field(default_factory=list)
+    ops_executed: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+
+    def push_lanes(self, lanes: float) -> None:
+        self._lane_stack.append(max(1.0, lanes))
+
+    def pop_lanes(self) -> None:
+        self._lane_stack.pop()
+
+    @property
+    def compute_lanes(self) -> float:
+        lanes = 1.0
+        for value in self._lane_stack:
+            lanes *= value
+        return min(lanes, _MAX_LANES)
+
+    @property
+    def memory_lanes(self) -> float:
+        return min(self.compute_lanes, float(self.params.memory_ports))
+
+    def compute(self, latency: float, count: int = 1) -> None:
+        self.ops_executed += count
+        self.cycles += latency * count / self.compute_lanes
+
+    def load(self, count: int = 1) -> None:
+        self.loads += count
+        self.cycles += self.params.mem_read_delay * count / self.memory_lanes
+
+    def store(self, count: int = 1) -> None:
+        self.stores += count
+        self.cycles += self.params.mem_write_delay * count / self.memory_lanes
+
+    def branch(self) -> None:
+        self.branches += 1
+        self.cycles += BRANCH_COST / self.compute_lanes
+
+    def loop_iteration(self) -> None:
+        self.cycles += LOOP_OVERHEAD / self.compute_lanes
+
+    def call(self) -> None:
+        self.cycles += CALL_OVERHEAD
+
+    @property
+    def total_cycles(self) -> int:
+        return max(1, int(round(self.cycles)))

@@ -1,0 +1,441 @@
+"""Cycle-accurate-ish AST interpreter (Verilator substitute).
+
+Executes a program's top function on concrete inputs, accumulating cycle
+costs.  Control flow is *real*: branches taken and data-dependent loop
+bounds reflect the actual input values, which is what makes cycle labels
+input-adaptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from ..errors import SimulationError, SimulationLimitExceeded
+from ..hls import HardwareParams
+from ..lang import ast
+from . import cost as c
+from .cost import CycleCounter
+
+Scalar = Union[int, float]
+
+_INT_CLAMP = 2**62
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[Scalar]) -> None:
+        super().__init__()
+        self.value = value
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    cycles: int
+    ops_executed: int
+    loads: int
+    stores: int
+    branches: int
+    return_value: Optional[Scalar] = None
+    # Cycles attributed to each called operator (inclusive of nested
+    # calls), keyed by function name.
+    per_function_cycles: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.per_function_cycles is None:
+            self.per_function_cycles = {}
+
+
+class Interpreter:
+    """Interprets one program under a hardware configuration."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        params: Optional[HardwareParams] = None,
+        max_steps: int = 5_000_000,
+    ) -> None:
+        self._program = program
+        self._functions = {func.name: func for func in program.functions}
+        self._params = params or HardwareParams()
+        self._max_steps = max_steps
+        self._steps = 0
+        self._counter: CycleCounter = CycleCounter(self._params)
+        self._function_cycles: dict[str, float] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, function: str, args: dict[str, Any]) -> SimulationResult:
+        """Execute *function* with keyword *args* and return the profile.
+
+        Array arguments may be numpy arrays or nested lists; scalars are
+        ints or floats.  Arrays are passed by reference (C semantics).
+        """
+        if function not in self._functions:
+            raise SimulationError(f"no function named {function!r}")
+        func = self._functions[function]
+        self._steps = 0
+        self._counter = CycleCounter(self._params)
+        self._function_cycles = {}
+        env = self._bind_args(func, args)
+        return_value: Optional[Scalar] = None
+        try:
+            self._exec_block(func.body, env)
+        except _ReturnSignal as signal:
+            return_value = signal.value
+        counter = self._counter
+        return SimulationResult(
+            cycles=counter.total_cycles,
+            ops_executed=counter.ops_executed,
+            loads=counter.loads,
+            stores=counter.stores,
+            branches=counter.branches,
+            return_value=return_value,
+            per_function_cycles={
+                name: max(1, int(round(value)))
+                for name, value in self._function_cycles.items()
+            },
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _bind_args(self, func: ast.FunctionDef, args: dict[str, Any]) -> dict[str, Any]:
+        env: dict[str, Any] = {}
+        for param in func.params:
+            if param.name not in args:
+                raise SimulationError(
+                    f"missing argument {param.name!r} for {func.name!r}"
+                )
+            value = args[param.name]
+            if param.type.is_array:
+                array = np.asarray(
+                    value,
+                    dtype=np.float64 if param.type.base == "float" else np.int64,
+                )
+                env[param.name] = array
+            else:
+                env[param.name] = (
+                    float(value) if param.type.base == "float" else int(value)
+                )
+        return env
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise SimulationLimitExceeded(
+                f"simulation exceeded {self._max_steps} steps"
+            )
+
+    # -- statements ------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, env: dict[str, Any]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: dict[str, Any]) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Decl):
+            self._exec_decl(stmt, env)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, env)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, env)
+        elif isinstance(stmt, ast.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, env) if stmt.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        else:
+            raise SimulationError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_decl(self, stmt: ast.Decl, env: dict[str, Any]) -> None:
+        if stmt.type.is_array:
+            shape = []
+            for dim in stmt.type.dims:
+                if dim is None:
+                    shape.append(16)
+                else:
+                    size = self._eval(dim, env)
+                    shape.append(max(1, int(size)))
+            dtype = np.float64 if stmt.type.base == "float" else np.int64
+            env[stmt.name] = np.zeros(shape, dtype=dtype)
+        else:
+            value: Scalar = 0.0 if stmt.type.base == "float" else 0
+            if stmt.init is not None:
+                value = self._eval(stmt.init, env)
+                if stmt.type.base == "int":
+                    value = int(value)
+                else:
+                    value = float(value)
+            env[stmt.name] = value
+
+    def _exec_assign(self, stmt: ast.Assign, env: dict[str, Any]) -> None:
+        value = self._eval(stmt.value, env)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if stmt.op != "=":
+                current = env.get(target.name, 0)
+                value = self._apply_binop(stmt.op[0], current, value)
+            if isinstance(env.get(target.name), int) and not isinstance(value, int):
+                value = int(value)
+            env[target.name] = value
+        else:
+            array = env.get(target.base.name)
+            if not isinstance(array, np.ndarray):
+                raise SimulationError(f"{target.base.name!r} is not an array")
+            indices = tuple(
+                self._clamp_index(int(self._eval(i, env)), dim)
+                for i, dim in zip(target.indices, array.shape)
+            )
+            if len(indices) != array.ndim:
+                raise SimulationError(
+                    f"rank mismatch indexing {target.base.name!r}"
+                )
+            if stmt.op != "=":
+                self._counter.load()
+                current = array[indices]
+                value = self._apply_binop(stmt.op[0], float(current), value)
+            self._counter.store()
+            if array.dtype == np.int64:
+                value = int(min(max(value, -_INT_CLAMP), _INT_CLAMP))
+            array[indices] = value
+
+    @staticmethod
+    def _clamp_index(index: int, dim: int) -> int:
+        """C-style OOB access is UB; hardware-style wrap keeps random
+        generated programs executable."""
+        if 0 <= index < dim:
+            return index
+        return index % dim
+
+    def _exec_for(self, stmt: ast.For, env: dict[str, Any]) -> None:
+        if stmt.init is not None:
+            self._exec_stmt(stmt.init, env)
+        lanes = 1.0
+        factor = stmt.unroll_factor
+        if factor == 0:
+            factor = 64  # full unroll: capped duplication
+        lanes *= max(1, factor)
+        if stmt.is_parallel:
+            lanes *= self._params.pe_count
+        self._counter.push_lanes(lanes)
+        try:
+            while True:
+                self._tick()
+                if stmt.cond is not None:
+                    condition = self._eval(stmt.cond, env)
+                    if not condition:
+                        break
+                self._counter.loop_iteration()
+                try:
+                    self._exec_block(stmt.body, env)
+                except _ContinueSignal:
+                    pass
+                except _BreakSignal:
+                    break
+                if stmt.step is not None:
+                    self._exec_stmt(stmt.step, env)
+        finally:
+            self._counter.pop_lanes()
+
+    def _exec_while(self, stmt: ast.While, env: dict[str, Any]) -> None:
+        while True:
+            self._tick()
+            if not self._eval(stmt.cond, env):
+                break
+            self._counter.loop_iteration()
+            try:
+                self._exec_block(stmt.body, env)
+            except _ContinueSignal:
+                continue
+            except _BreakSignal:
+                break
+
+    def _exec_if(self, stmt: ast.If, env: dict[str, Any]) -> None:
+        self._counter.branch()
+        if self._eval(stmt.cond, env):
+            self._exec_block(stmt.then, env)
+        elif stmt.other is not None:
+            self._exec_block(stmt.other, env)
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: dict[str, Any]) -> Scalar:
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            if expr.name not in env:
+                raise SimulationError(f"undefined variable {expr.name!r}")
+            value = env[expr.name]
+            if isinstance(value, np.ndarray):
+                return value  # type: ignore[return-value]
+            return value
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            self._charge_binop(expr.op, left, right)
+            return self._apply_binop(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand, env)
+            self._counter.compute(c.LOGIC)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return 0 if operand else 1
+            raise SimulationError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Index):
+            array = env.get(expr.base.name)
+            if not isinstance(array, np.ndarray):
+                raise SimulationError(f"{expr.base.name!r} is not an array")
+            indices = tuple(
+                self._clamp_index(int(self._eval(i, env)), dim)
+                for i, dim in zip(expr.indices, array.shape)
+            )
+            if len(indices) != array.ndim:
+                raise SimulationError(f"rank mismatch indexing {expr.base.name!r}")
+            self._counter.load()
+            value = array[indices]
+            return float(value) if array.dtype == np.float64 else int(value)
+        if isinstance(expr, ast.CallExpr):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Ternary):
+            self._counter.branch()
+            if self._eval(expr.cond, env):
+                return self._eval(expr.then, env)
+            return self._eval(expr.other, env)
+        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_call(self, expr: ast.CallExpr, env: dict[str, Any]) -> Scalar:
+        func = self._functions.get(expr.name)
+        if func is None:
+            raise SimulationError(f"call to unknown function {expr.name!r}")
+        if len(func.params) != len(expr.args):
+            raise SimulationError(
+                f"{expr.name!r} expects {len(func.params)} args, got {len(expr.args)}"
+            )
+        self._counter.call()
+        callee_env: dict[str, Any] = {}
+        for param, arg in zip(func.params, expr.args):
+            value = self._eval(arg, env)
+            if param.type.is_array:
+                if not isinstance(value, np.ndarray):
+                    raise SimulationError(
+                        f"argument {param.name!r} of {expr.name!r} must be an array"
+                    )
+                callee_env[param.name] = value  # by reference
+            else:
+                callee_env[param.name] = (
+                    float(value) if param.type.base == "float" else int(value)
+                )
+        started = self._counter.cycles
+        try:
+            self._exec_block(func.body, callee_env)
+        except _ReturnSignal as signal:
+            return signal.value if signal.value is not None else 0
+        finally:
+            elapsed = self._counter.cycles - started
+            self._function_cycles[expr.name] = (
+                self._function_cycles.get(expr.name, 0.0) + elapsed
+            )
+        return 0
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _charge_binop(self, op: str, left: Scalar, right: Scalar) -> None:
+        is_float = isinstance(left, float) or isinstance(right, float)
+        if op in ("+", "-"):
+            self._counter.compute(c.FP_ADD if is_float else c.INT_ADD)
+        elif op == "*":
+            self._counter.compute(c.FP_MUL if is_float else c.INT_MUL)
+        elif op in ("/", "%"):
+            self._counter.compute(c.FP_DIV if is_float else c.INT_DIV)
+        elif op in ("<", ">", "<=", ">=", "==", "!="):
+            self._counter.compute(c.CMP)
+        else:
+            self._counter.compute(c.LOGIC)
+
+    @staticmethod
+    def _apply_binop(op: str, left: Scalar, right: Scalar) -> Scalar:
+        if op == "+":
+            result = left + right
+        elif op == "-":
+            result = left - right
+        elif op == "*":
+            result = left * right
+        elif op == "/":
+            if right == 0:
+                return 0  # hardware-style guarded divide
+            if isinstance(left, int) and isinstance(right, int):
+                result = int(left / right)  # C truncation semantics
+            else:
+                result = left / right
+        elif op == "%":
+            if right == 0:
+                return 0
+            if isinstance(left, int) and isinstance(right, int):
+                result = left - int(left / right) * right
+            else:
+                result = float(np.fmod(left, right))
+        elif op == "<":
+            return 1 if left < right else 0
+        elif op == ">":
+            return 1 if left > right else 0
+        elif op == "<=":
+            return 1 if left <= right else 0
+        elif op == ">=":
+            return 1 if left >= right else 0
+        elif op == "==":
+            return 1 if left == right else 0
+        elif op == "!=":
+            return 1 if left != right else 0
+        elif op == "&&":
+            return 1 if (left and right) else 0
+        elif op == "||":
+            return 1 if (left or right) else 0
+        elif op == "&":
+            return int(left) & int(right)
+        elif op == "|":
+            return int(left) | int(right)
+        elif op == "^":
+            return int(left) ^ int(right)
+        elif op == "<<":
+            result = int(left) << min(62, max(0, int(right)))
+        elif op == ">>":
+            result = int(left) >> min(62, max(0, int(right)))
+        else:
+            raise SimulationError(f"unknown operator {op!r}")
+        if isinstance(result, int):
+            if result > _INT_CLAMP:
+                return _INT_CLAMP
+            if result < -_INT_CLAMP:
+                return -_INT_CLAMP
+        elif isinstance(result, float):
+            if not np.isfinite(result):
+                return 0.0
+            if abs(result) > 1e30:
+                return 1e30 if result > 0 else -1e30
+        return result

@@ -1,0 +1,20 @@
+"""Progressive program encoding (input side of numeric modeling)."""
+
+from .progressive import (
+    ModelInput,
+    NumericMode,
+    ProgressiveTokenizer,
+    TokenizedInput,
+    isolate_numbers,
+)
+from .vocab import VOCAB, Vocabulary
+
+__all__ = [
+    "ProgressiveTokenizer",
+    "ModelInput",
+    "TokenizedInput",
+    "NumericMode",
+    "isolate_numbers",
+    "Vocabulary",
+    "VOCAB",
+]

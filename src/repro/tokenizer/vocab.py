@@ -1,0 +1,131 @@
+"""Vocabulary for dataflow program text.
+
+The vocabulary is closed and deterministic: keywords, punctuation,
+digits, hashed identifier buckets and hashed whole-number buckets.  The
+digit tokens implement the paper's progressive numeric encoding; the
+whole-number buckets implement the conventional ("default") encoding
+baselines are stuck with.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..lang.tokens import KEYWORDS, PUNCTUATORS
+
+PAD = "<pad>"
+UNK = "<unk>"
+BOS = "<bos>"
+EOS = "<eos>"
+SEP = "<sep>"
+SEG_GRAPH = "<G>"
+SEG_OP = "<OP>"
+SEG_PARAMS = "<PARAMS>"
+SEG_DATA = "<DATA>"
+THINK_OPEN = "<think>"
+THINK_CLOSE = "</think>"
+
+SPECIAL_TOKENS = (
+    PAD,
+    UNK,
+    BOS,
+    EOS,
+    SEP,
+    SEG_GRAPH,
+    SEG_OP,
+    SEG_PARAMS,
+    SEG_DATA,
+    THINK_OPEN,
+    THINK_CLOSE,
+)
+
+DIGIT_TOKENS = tuple(str(d) for d in range(10))
+SIGN_TOKENS = ("-num", ".num", "e-num")
+
+_EXTRA_WORDS = (
+    "pragma",
+    "unroll",
+    "parallel",
+    "omp",
+    "clang",
+    "loop",
+    "full",
+    "mem",
+    "delay",
+    "read",
+    "write",
+    "pe",
+    "count",
+    "memory",
+    "ports",
+    "clock",
+    "period",
+    "array",
+    "Number",
+    "of",
+    "modules",
+    "instantiated",
+    "performance",
+    "conflicts",
+    "Estimated",
+    "resources",
+    "area",
+    "MUX21",
+    "allocated",
+    "multiplexers",
+)
+
+IDENT_BUCKETS = 64
+NUMBER_BUCKETS = 64
+
+
+def _stable_hash(text: str) -> int:
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping."""
+
+    def __init__(self) -> None:
+        tokens: list[str] = list(SPECIAL_TOKENS)
+        tokens.extend(DIGIT_TOKENS)
+        tokens.extend(SIGN_TOKENS)
+        tokens.extend(sorted(KEYWORDS))
+        tokens.extend(_EXTRA_WORDS)
+        tokens.extend(PUNCTUATORS)
+        tokens.append("#")
+        tokens.extend(f"id{i}" for i in range(IDENT_BUCKETS))
+        tokens.extend(f"num{i}" for i in range(NUMBER_BUCKETS))
+        self._token_to_id = {token: i for i, token in enumerate(tokens)}
+        self._id_to_token = tokens
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def token_of(self, token_id: int) -> str:
+        if 0 <= token_id < len(self._id_to_token):
+            return self._id_to_token[token_id]
+        return UNK
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def ident_token(self, name: str) -> str:
+        """Bucketed token for an identifier."""
+        return f"id{_stable_hash(name) % IDENT_BUCKETS}"
+
+    def number_token(self, literal: str) -> str:
+        """Bucketed token for a whole-number literal (default encoding).
+
+        This is deliberately lossy: distinct magnitudes can collide and
+        unseen literals land in arbitrary buckets — the semantic
+        distortion the paper attributes to conventional tokenizers.
+        """
+        return f"num{_stable_hash(literal) % NUMBER_BUCKETS}"
+
+
+VOCAB = Vocabulary()

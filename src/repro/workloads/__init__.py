@@ -1,0 +1,22 @@
+"""Benchmark workloads: Polybench, modern applications, accelerators."""
+
+from .accelerators import ACCELERATOR_NAMES, accelerator_params, accelerator_suite
+from .base import Workload
+from .modern import MODERN_NAMES, modern_suite, modern_workload
+from .polybench import POLYBENCH_NAMES, polybench_suite
+from .polybench_linalg import LINALG_NAMES, linalg_suite, linalg_workload
+
+__all__ = [
+    "Workload",
+    "polybench_suite",
+    "POLYBENCH_NAMES",
+    "linalg_suite",
+    "linalg_workload",
+    "LINALG_NAMES",
+    "modern_suite",
+    "modern_workload",
+    "MODERN_NAMES",
+    "accelerator_suite",
+    "accelerator_params",
+    "ACCELERATOR_NAMES",
+]

@@ -1,0 +1,105 @@
+"""Real-world accelerator case studies (paper §7.4).
+
+GEMM loop-schedule variants mimicking three canonical dataflow styles:
+
+* **TPU v1** — weight-stationary: weights pinned per PE, unroll over
+  the reduction-feeding spatial dims.
+* **Eyeriss** — input(row)-stationary: input rows pinned, loop order
+  rotated so input reuse dominates.
+* **ShiDianNao** — output-stationary: each PE owns an output element,
+  unroll over output dims.
+
+The variants are the same Polybench Gemm computation with different
+loop orders, spatial-mapping pragmas and hardware parameters.
+"""
+
+from __future__ import annotations
+
+from ..hls import HardwareParams
+from .base import Workload
+
+_DIM = 8
+
+ACCELERATOR_NAMES = ("tpu", "eyeriss", "shidiannao")
+
+
+def _tpu_gemm() -> Workload:
+    source = f"""
+void gemm_ws(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  for (int k = 0; k < {_DIM}; k++) {{
+    #pragma unroll 4
+    for (int i = 0; i < {_DIM}; i++) {{
+      #pragma omp parallel for
+      for (int j = 0; j < {_DIM}; j++) {{
+        c[i][j] += a[i][k] * w[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  gemm_ws(a, w, c);
+}}
+"""
+    return Workload(name="tpu", source=source, category="accelerator")
+
+
+def _eyeriss_gemm() -> Workload:
+    source = f"""
+void gemm_is(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  for (int i = 0; i < {_DIM}; i++) {{
+    #pragma unroll 2
+    for (int k = 0; k < {_DIM}; k++) {{
+      #pragma omp parallel for
+      for (int j = 0; j < {_DIM}; j++) {{
+        c[i][j] += a[i][k] * w[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  gemm_is(a, w, c);
+}}
+"""
+    return Workload(name="eyeriss", source=source, category="accelerator")
+
+
+def _shidiannao_gemm() -> Workload:
+    source = f"""
+void gemm_os(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  #pragma omp parallel for
+  for (int i = 0; i < {_DIM}; i++) {{
+    #pragma unroll 4
+    for (int j = 0; j < {_DIM}; j++) {{
+      float acc = 0.0;
+      for (int k = 0; k < {_DIM}; k++) {{
+        acc += a[i][k] * w[k][j];
+      }}
+      c[i][j] = acc;
+    }}
+  }}
+}}
+
+void dataflow(float a[{_DIM}][{_DIM}], float w[{_DIM}][{_DIM}], float c[{_DIM}][{_DIM}]) {{
+  gemm_os(a, w, c);
+}}
+"""
+    return Workload(name="shidiannao", source=source, category="accelerator")
+
+
+def accelerator_suite() -> list[Workload]:
+    """TPU / Eyeriss / ShiDianNao loop-schedule variants."""
+    return [_tpu_gemm(), _eyeriss_gemm(), _shidiannao_gemm()]
+
+
+def accelerator_params(name: str) -> HardwareParams:
+    """Per-style hardware configuration (PE counts, buffering)."""
+    configs = {
+        "tpu": HardwareParams(pe_count=8, memory_ports=4, mem_read_delay=5, mem_write_delay=5),
+        "eyeriss": HardwareParams(pe_count=4, memory_ports=2, mem_read_delay=5, mem_write_delay=10),
+        "shidiannao": HardwareParams(pe_count=4, memory_ports=2, mem_read_delay=2, mem_write_delay=2),
+    }
+    if name not in configs:
+        raise KeyError(f"unknown accelerator {name!r}")
+    return configs[name]

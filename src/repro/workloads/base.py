@@ -1,0 +1,67 @@
+"""Workload container shared by the benchmark suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Optional
+
+from ..core.inputs import bundle_from_program, class_i_segments
+from ..hls import HardwareParams
+from ..lang import ast, count_dynamic_parameters, parse
+from ..tokenizer import ModelInput
+
+
+@dataclass
+class Workload:
+    """A named benchmark program with its default runtime inputs."""
+
+    name: str
+    source: str
+    category: str = "generic"
+    data: dict[str, Any] = field(default_factory=dict)
+    # Scalar runtime inputs that steer control flow, with sweep values
+    # used by the input-adaptivity experiments.
+    dynamic_sweeps: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @cached_property
+    def program(self) -> ast.Program:
+        return parse(self.source)
+
+    @cached_property
+    def class_i(self) -> tuple[str, ...]:
+        return tuple(class_i_segments(self.program))
+
+    def bundle(
+        self,
+        params: Optional[HardwareParams] = None,
+        data: Optional[dict[str, Any]] = None,
+        think_text: str = "",
+    ) -> ModelInput:
+        merged = dict(self.data)
+        if data:
+            merged.update(data)
+        return bundle_from_program(
+            self.program, params=params, data=merged or None, think_text=think_text
+        )
+
+    def merged_data(self, data: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+        merged = dict(self.data)
+        if data:
+            merged.update(data)
+        return merged
+
+    # -- Table 2 statistics -------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """The paper's Table 2 columns for this workload."""
+        bundle = self.bundle()
+        graph_len = len(bundle.graph_text)
+        op_len = sum(len(t) for t in bundle.op_texts)
+        return {
+            "all_len": graph_len + op_len,
+            "graph_len": graph_len,
+            "op_num": len(bundle.op_texts),
+            "dyn_num": count_dynamic_parameters(self.program),
+            "op_len": op_len,
+        }

@@ -1,0 +1,398 @@
+"""The 14 modern workloads of the paper's Table 2.
+
+Image-processing tasks (1-9) and NLP tasks (10-14), each composed from
+the operator library into a dataflow graph whose structure mirrors the
+cited architecture (residual connections, pyramid pooling, attention,
+encoder stacks, …) at D×D tile scale.
+
+Input-dependent control flow follows the paper's protocol: image
+workloads expose image-size scalars, text workloads expose text-length
+scalars, and several operators branch on data values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import oplib
+from .base import Workload
+from .oplib import D
+
+
+class WorkloadBuilder:
+    """Incrementally composes operators into a dataflow program."""
+
+    def __init__(self, name: str, category: str) -> None:
+        self.name = name
+        self.category = category
+        self._op_sources: list[str] = []
+        self._params: list[str] = []
+        self._calls: list[str] = []
+        self._counter = 0
+        self._data: dict[str, int] = {}
+        self._sweeps: dict[str, tuple[int, ...]] = {}
+
+    # -- declarations ------------------------------------------------------
+
+    def input2d(self, name: str) -> str:
+        self._params.append(f"float {name}[{D}][{D}]")
+        return name
+
+    def input1d_int(self, name: str) -> str:
+        self._params.append(f"int {name}[{D}]")
+        return name
+
+    def scalar(self, name: str, default: int, sweep: tuple[int, ...] = ()) -> str:
+        self._params.append(f"int {name}")
+        self._data[name] = default
+        if sweep:
+            self._sweeps[name] = sweep
+        return name
+
+    def buffer(self) -> str:
+        self._counter += 1
+        name = f"b{self._counter}"
+        self._params.append(f"float {name}[{D}][{D}]")
+        return name
+
+    # -- operator application ------------------------------------------------
+
+    def _instantiate(self, factory: Callable[..., str], *factory_args) -> str:
+        self._counter += 1
+        op_name = f"{factory.__name__}_{self._counter}"
+        self._op_sources.append(factory(op_name, *factory_args))
+        return op_name
+
+    def unary(self, factory: Callable[[str], str], src: str) -> str:
+        op_name = self._instantiate(factory)
+        out = self.buffer()
+        self._calls.append(f"{op_name}({src}, {out});")
+        return out
+
+    def weighted(self, factory: Callable[[str], str], src: str, *factory_args) -> str:
+        op_name = self._instantiate(factory, *factory_args)
+        weight = self.input2d(f"w{self._counter}")
+        out = self.buffer()
+        self._calls.append(f"{op_name}({src}, {weight}, {out});")
+        return out
+
+    def binary(self, factory: Callable[[str], str], a: str, b: str) -> str:
+        op_name = self._instantiate(factory)
+        out = self.buffer()
+        self._calls.append(f"{op_name}({a}, {b}, {out});")
+        return out
+
+    def dynamic(self, factory: Callable[[str], str], src: str, *scalars: str) -> str:
+        op_name = self._instantiate(factory)
+        out = self.buffer()
+        args = ", ".join([src, out, *scalars])
+        self._calls.append(f"{op_name}({args});")
+        return out
+
+    def embed(self, ids: str) -> str:
+        op_name = self._instantiate(oplib.embed_lookup)
+        table = self.input2d(f"table{self._counter}")
+        out = self.buffer()
+        self._calls.append(f"{op_name}({ids}, {table}, {out});")
+        return out
+
+    def anchor(self) -> str:
+        op_name = self._instantiate(oplib.anchor_gen)
+        out = self.buffer()
+        self._calls.append(f"{op_name}({out});")
+        return out
+
+    def attention_block(self, x: str) -> str:
+        """matmul(Q) → matmul(K-score) → softmax → weighted sum."""
+        q = self.weighted(oplib.matmul, x)
+        scores = self.weighted(oplib.matmul, q)
+        probs = self.unary(oplib.row_softmax, scores)
+        return self.binary(oplib.fusion_add, probs, x)
+
+    # -- assembly --------------------------------------------------------------
+
+    def build(self) -> Workload:
+        params = ", ".join(self._params)
+        body = "\n  ".join(self._calls)
+        source = "\n".join(self._op_sources)
+        source += f"\n\nvoid dataflow({params}) {{\n  {body}\n}}\n"
+        return Workload(
+            name=self.name,
+            source=source,
+            category=self.category,
+            data=dict(self._data),
+            dynamic_sweeps=dict(self._sweeps),
+        )
+
+
+MODERN_NAMES = (
+    "image-norm-cnn",
+    "rb-dsc",
+    "spp-fusion",
+    "cbam-attention",
+    "anchor-roialign",
+    "gan-superres",
+    "dense-skipconn",
+    "dilatedconv-aggre",
+    "bevformer",
+    "bert-base",
+    "albert",
+    "t5-base",
+    "roberta",
+    "llama",
+)
+
+
+def _image_norm_cnn() -> Workload:
+    b = WorkloadBuilder("image-norm-cnn", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    x = b.unary(oplib.batch_norm, x)
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.relu, x)
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.relu, x)
+    x = b.unary(oplib.max_pool, x)
+    x = b.weighted(oplib.pointwise, x)
+    x = b.unary(oplib.batch_norm, x)
+    b.scalar("w", D, sweep=(4, 6, 8))
+    x = b.dynamic(oplib.roi_crop, x, "h", "w")
+    return b.build()
+
+
+def _rb_dsc() -> Workload:
+    b = WorkloadBuilder("rb-dsc", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    skip = x
+    x = b.weighted(oplib.conv5x5_depthwise, x)
+    x = b.weighted(oplib.pointwise, x)
+    x = b.unary(oplib.relu, x)
+    x = b.binary(oplib.add_residual, x, skip)
+    x = b.unary(oplib.batch_norm, x)
+    b.scalar("w", D, sweep=(4, 6, 8))
+    x = b.dynamic(oplib.roi_crop, x, "h", "w")
+    return b.build()
+
+
+def _spp_fusion() -> Workload:
+    b = WorkloadBuilder("spp-fusion", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    a = b.unary(oplib.spp_pool, x)
+    c = b.weighted(oplib.conv3x3, x)
+    c = b.unary(oplib.relu, c)
+    fused = b.binary(oplib.fusion_add, a, c)
+    fused = b.unary(oplib.batch_norm, fused)
+    fused = b.weighted(oplib.pointwise, fused)
+    fused = b.unary(oplib.max_pool, fused)
+    b.scalar("w", D, sweep=(4, 6, 8))
+    fused = b.dynamic(oplib.roi_crop, fused, "h", "w")
+    return b.build()
+
+
+def _cbam_attention() -> Workload:
+    b = WorkloadBuilder("cbam-attention", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    b.scalar("w", D, sweep=(4, 6, 8))
+    ch = b.unary(oplib.channel_mean, x)
+    gated = b.binary(oplib.spatial_gate, x, ch)
+    sp = b.weighted(oplib.conv3x3, gated)
+    sp = b.unary(oplib.row_softmax, sp)
+    gated2 = b.binary(oplib.spatial_gate, gated, sp)
+    out = b.weighted(oplib.pointwise, gated2)
+    out = b.unary(oplib.relu, out)
+    out = b.binary(oplib.add_residual, out, x)
+    out = b.unary(oplib.batch_norm, out)
+    out = b.unary(oplib.max_pool, out)
+    out = b.dynamic(oplib.roi_crop, out, "h", "w")
+    out = b.unary(oplib.leaky_relu, out)
+    return b.build()
+
+
+def _anchor_roialign() -> Workload:
+    b = WorkloadBuilder("anchor-roialign", "image")
+    feat = b.input2d("feat")
+    b.scalar("h", 6, sweep=(3, 4, 6))
+    b.scalar("w", 6, sweep=(3, 4, 6))
+    anchors = b.anchor()
+    scored = b.binary(oplib.fusion_add, feat, anchors)
+    crop = b.dynamic(oplib.roi_crop, scored, "h", "w")
+    out = b.weighted(oplib.pointwise, crop)
+    out = b.unary(oplib.relu, out)
+    return b.build()
+
+
+def _gan_superres() -> Workload:
+    b = WorkloadBuilder("gan-superres", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.leaky_relu, x)
+    skip = x
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.leaky_relu, x)
+    x = b.binary(oplib.add_residual, x, skip)
+    x = b.unary(oplib.upsample2x, x)
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.leaky_relu, x)
+    x = b.unary(oplib.upsample2x, x)
+    x = b.weighted(oplib.conv3x3, x)
+    x = b.unary(oplib.gelu_poly, x)
+    x = b.unary(oplib.batch_norm, x)
+    x = b.dynamic(oplib.seq_scan, x, "h")
+    return b.build()
+
+
+def _dense_skipconn() -> Workload:
+    b = WorkloadBuilder("dense-skipconn", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    d1 = b.weighted(oplib.conv3x3, x)
+    d1 = b.unary(oplib.relu, d1)
+    c1 = b.binary(oplib.add_residual, d1, x)
+    d2 = b.weighted(oplib.conv3x3, c1)
+    d2 = b.unary(oplib.relu, d2)
+    c2 = b.binary(oplib.add_residual, d2, c1)
+    c2 = b.binary(oplib.add_residual, c2, x)
+    out = b.unary(oplib.batch_norm, c2)
+    b.scalar("w", D, sweep=(4, 6, 8))
+    out = b.dynamic(oplib.roi_crop, out, "h", "w")
+    return b.build()
+
+
+def _dilatedconv_aggre() -> Workload:
+    b = WorkloadBuilder("dilatedconv-aggre", "image")
+    x = b.input2d("img")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    r1 = b.weighted(oplib.dilated_conv, x, 1)
+    r2 = b.weighted(oplib.dilated_conv, x, 2)
+    agg = b.binary(oplib.fusion_add, r1, r2)
+    agg = b.unary(oplib.relu, agg)
+    agg = b.weighted(oplib.pointwise, agg)
+    agg = b.dynamic(oplib.seq_scan, agg, "h")
+    return b.build()
+
+
+def _bevformer() -> Workload:
+    b = WorkloadBuilder("bevformer", "image")
+    cam = b.input2d("cam")
+    grid = b.input2d("grid")
+    b.scalar("h", D, sweep=(4, 6, 8))
+    bev = b.binary(oplib.grid_sample, cam, grid)
+    bev = b.attention_block(bev)
+    out = b.unary(oplib.batch_norm, bev)
+    out = b.dynamic(oplib.seq_scan, out, "h")
+    return b.build()
+
+
+def _bert_base() -> Workload:
+    b = WorkloadBuilder("bert-base", "nlp")
+    ids = b.input1d_int("ids")
+    b.scalar("len", D, sweep=(4, 6, 8))
+    x = b.embed(ids)
+    x = b.attention_block(x)
+    h = b.weighted(oplib.matmul, x)
+    h = b.unary(oplib.gelu_poly, h)
+    h = b.weighted(oplib.matmul, h)
+    x = b.binary(oplib.add_residual, h, x)
+    x = b.unary(oplib.rms_norm, x)
+    x = b.dynamic(oplib.seq_scan, x, "len")
+    return b.build()
+
+
+def _albert() -> Workload:
+    b = WorkloadBuilder("albert", "nlp")
+    ids = b.input1d_int("ids")
+    b.scalar("len", D, sweep=(4, 6, 8))
+    x = b.embed(ids)
+    # Parameter-shared layers: the same projection applied twice.
+    x = b.attention_block(x)
+    x = b.attention_block(x)
+    h = b.weighted(oplib.matmul, x)
+    h = b.unary(oplib.gelu_poly, h)
+    x = b.binary(oplib.add_residual, h, x)
+    x = b.unary(oplib.rms_norm, x)
+    x = b.dynamic(oplib.seq_scan, x, "len")
+    return b.build()
+
+
+def _t5_base() -> Workload:
+    b = WorkloadBuilder("t5-base", "nlp")
+    ids = b.input1d_int("ids")
+    b.scalar("len", D, sweep=(4, 6, 8))
+    enc = b.embed(ids)
+    enc = b.attention_block(enc)
+    h = b.weighted(oplib.matmul, enc)
+    h = b.unary(oplib.relu, h)
+    h = b.weighted(oplib.matmul, h)
+    enc = b.binary(oplib.add_residual, h, enc)
+    enc = b.unary(oplib.rms_norm, enc)
+    dec = b.attention_block(enc)
+    dec = b.attention_block(dec)  # cross-attention stage
+    h2 = b.weighted(oplib.matmul, dec)
+    h2 = b.unary(oplib.relu, h2)
+    dec = b.binary(oplib.add_residual, h2, dec)
+    dec = b.unary(oplib.rms_norm, dec)
+    dec = b.dynamic(oplib.seq_scan, dec, "len")
+    return b.build()
+
+
+def _roberta() -> Workload:
+    b = WorkloadBuilder("roberta", "nlp")
+    ids = b.input1d_int("ids")
+    b.scalar("len", D, sweep=(4, 6, 8))
+    x = b.embed(ids)
+    x = b.unary(oplib.batch_norm, x)
+    x = b.attention_block(x)
+    h = b.weighted(oplib.matmul, x)
+    h = b.unary(oplib.gelu_poly, h)
+    x = b.binary(oplib.add_residual, h, x)
+    x = b.dynamic(oplib.seq_scan, x, "len")
+    return b.build()
+
+
+def _llama() -> Workload:
+    b = WorkloadBuilder("llama", "nlp")
+    ids = b.input1d_int("ids")
+    b.scalar("len", D, sweep=(4, 6, 8))
+    x = b.embed(ids)
+    x = b.unary(oplib.rms_norm, x)
+    x = b.attention_block(x)
+    gate = b.weighted(oplib.matmul, x)
+    up = b.weighted(oplib.matmul, x)
+    h = b.binary(oplib.swiglu, up, gate)
+    x = b.binary(oplib.add_residual, h, x)
+    x = b.dynamic(oplib.seq_scan, x, "len")
+    return b.build()
+
+
+_FACTORIES = (
+    _image_norm_cnn,
+    _rb_dsc,
+    _spp_fusion,
+    _cbam_attention,
+    _anchor_roialign,
+    _gan_superres,
+    _dense_skipconn,
+    _dilatedconv_aggre,
+    _bevformer,
+    _bert_base,
+    _albert,
+    _t5_base,
+    _roberta,
+    _llama,
+)
+
+
+def modern_suite() -> list[Workload]:
+    """All 14 modern workloads, in the paper's Table 2 order."""
+    return [factory() for factory in _FACTORIES]
+
+
+def modern_workload(index: int) -> Workload:
+    """One workload by the paper's 1-based Table 2 index."""
+    if not 1 <= index <= len(_FACTORIES):
+        raise IndexError(f"Table 2 index must be in [1, {len(_FACTORIES)}]")
+    return _FACTORIES[index - 1]()

@@ -1,0 +1,444 @@
+"""Operator source library for the modern-workload suite.
+
+Each factory returns the source text of one operator function over
+``D×D`` tiles.  Signatures follow three shapes:
+
+* unary:   ``void f(float src[D][D], float dst[D][D])``
+* weighted:``void f(float src[D][D], float w[D][D], float dst[D][D])``
+* dynamic: extra trailing ``int`` scalars that steer control flow.
+
+The modern workloads compose these into dataflow graphs via
+:class:`repro.workloads.modern.WorkloadBuilder`.
+"""
+
+from __future__ import annotations
+
+D = 8  # tile size shared by the modern workloads
+
+
+def conv3x3(name: str) -> str:
+    """3×3 same-padding convolution over a D×D tile (single channel)."""
+    return f"""
+void {name}(float src[{D}][{D}], float w[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 1; i < {D - 1}; i++) {{
+    for (int j = 1; j < {D - 1}; j++) {{
+      float acc = 0.0;
+      for (int u = 0; u < 3; u++) {{
+        for (int v = 0; v < 3; v++) {{
+          acc = acc + src[i + u - 1][j + v - 1] * w[u][v];
+        }}
+      }}
+      dst[i][j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def conv5x5_depthwise(name: str) -> str:
+    """5×5 depthwise convolution variant (stride 1, interior)."""
+    return f"""
+void {name}(float src[{D}][{D}], float w[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 2; i < {D - 2}; i++) {{
+    for (int j = 2; j < {D - 2}; j++) {{
+      float acc = 0.0;
+      for (int u = 0; u < 5; u++) {{
+        for (int v = 0; v < 5; v++) {{
+          acc = acc + src[i + u - 2][j + v - 2] * w[u][v];
+        }}
+      }}
+      dst[i][j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def dilated_conv(name: str, rate: int = 2) -> str:
+    """3×3 convolution with dilation *rate* (multi-scale aggregation)."""
+    return f"""
+void {name}(float src[{D}][{D}], float w[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = {rate}; i < {D - rate}; i++) {{
+    for (int j = {rate}; j < {D - rate}; j++) {{
+      float acc = 0.0;
+      for (int u = 0; u < 3; u++) {{
+        for (int v = 0; v < 3; v++) {{
+          acc = acc + src[i + (u - 1) * {rate}][j + (v - 1) * {rate}] * w[u][v];
+        }}
+      }}
+      dst[i][j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def pointwise(name: str) -> str:
+    """1×1 (pointwise) convolution: per-pixel scale from w[0][0..]."""
+    return f"""
+void {name}(float src[{D}][{D}], float w[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i][j] * w[0][0] + w[0][1];
+    }}
+  }}
+}}
+"""
+
+
+def relu(name: str) -> str:
+    """ReLU: data-dependent branch per element (Class II)."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      if (src[i][j] > 0.0) {{
+        dst[i][j] = src[i][j];
+      }} else {{
+        dst[i][j] = 0.0;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def leaky_relu(name: str) -> str:
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      if (src[i][j] > 0.0) {{
+        dst[i][j] = src[i][j];
+      }} else {{
+        dst[i][j] = src[i][j] * 0.1;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def add_residual(name: str) -> str:
+    """Residual/skip connection: elementwise add (Class I)."""
+    return f"""
+void {name}(float src[{D}][{D}], float skip[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i][j] + skip[i][j];
+    }}
+  }}
+}}
+"""
+
+
+def batch_norm(name: str) -> str:
+    """Image normalization: subtract mean, divide by scaled variance."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  float mean = 0.0;
+  float var = 0.0;
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      mean = mean + src[i][j];
+    }}
+  }}
+  mean = mean / {D * D}.0;
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      var = var + (src[i][j] - mean) * (src[i][j] - mean);
+    }}
+  }}
+  var = var / {D * D}.0 + 0.001;
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = (src[i][j] - mean) / var;
+    }}
+  }}
+}}
+"""
+
+
+def rms_norm(name: str) -> str:
+    """RMSNorm (LLaMA-style): divide by root-mean-square proxy."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    float ss = 0.0;
+    for (int j = 0; j < {D}; j++) {{
+      ss = ss + src[i][j] * src[i][j];
+    }}
+    ss = ss / {D}.0 + 0.001;
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i][j] / ss;
+    }}
+  }}
+}}
+"""
+
+
+def max_pool(name: str, window: int = 2) -> str:
+    """Max pooling with a data-dependent comparison branch."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i += {window}) {{
+    for (int j = 0; j < {D}; j += {window}) {{
+      float best = src[i][j];
+      for (int u = 0; u < {window}; u++) {{
+        for (int v = 0; v < {window}; v++) {{
+          if (src[i + u][j + v] > best) {{
+            best = src[i + u][j + v];
+          }}
+        }}
+      }}
+      dst[i][j] = best;
+    }}
+  }}
+}}
+"""
+
+
+def spp_pool(name: str) -> str:
+    """Spatial pyramid pooling: three pooling scales accumulated."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int s = 1; s <= 4; s = s * 2) {{
+    for (int i = 0; i < {D}; i += s) {{
+      for (int j = 0; j < {D}; j += s) {{
+        float acc = 0.0;
+        for (int u = 0; u < s; u++) {{
+          for (int v = 0; v < s; v++) {{
+            acc = acc + src[i + u][j + v];
+          }}
+        }}
+        dst[i][j] = dst[i][j] + acc / (s * s);
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def fusion_add(name: str) -> str:
+    """Feature fusion: weighted combination of two maps."""
+    return f"""
+void {name}(float src[{D}][{D}], float other[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = 0.6 * src[i][j] + 0.4 * other[i][j];
+    }}
+  }}
+}}
+"""
+
+
+def upsample2x(name: str) -> str:
+    """Nearest-neighbour 2× upsample of the top-left quadrant."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i / 2][j / 2];
+    }}
+  }}
+}}
+"""
+
+
+def matmul(name: str) -> str:
+    """Dense matmul (transformer projection / gemm)."""
+    return f"""
+void {name}(float src[{D}][{D}], float w[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      float acc = 0.0;
+      for (int k = 0; k < {D}; k++) {{
+        acc = acc + src[i][k] * w[k][j];
+      }}
+      dst[i][j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def row_softmax(name: str) -> str:
+    """Softmax substitute: shift by row max (branchy) and normalize by
+    the row sum of shifted scores."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    float best = src[i][0];
+    for (int j = 1; j < {D}; j++) {{
+      if (src[i][j] > best) {{
+        best = src[i][j];
+      }}
+    }}
+    float total = 0.0;
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i][j] - best + 1.0;
+      if (dst[i][j] < 0.0) {{
+        dst[i][j] = 0.0;
+      }}
+      total = total + dst[i][j];
+    }}
+    if (total <= 0.0) {{
+      total = 1.0;
+    }}
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = dst[i][j] / total;
+    }}
+  }}
+}}
+"""
+
+
+def gelu_poly(name: str) -> str:
+    """Polynomial GELU approximation (no exp in the language)."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      float x = src[i][j];
+      float t = 0.5 * x * (1.0 + 0.7978 * (x + 0.044715 * x * x * x));
+      if (t > 6.0) {{
+        t = 6.0;
+      }}
+      dst[i][j] = t;
+    }}
+  }}
+}}
+"""
+
+
+def swiglu(name: str) -> str:
+    """SwiGLU-style gated activation: gate branch times value."""
+    return f"""
+void {name}(float src[{D}][{D}], float gate[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      float g = gate[i][j];
+      if (g < 0.0) {{
+        g = g * 0.1;
+      }}
+      dst[i][j] = src[i][j] * g;
+    }}
+  }}
+}}
+"""
+
+
+def embed_lookup(name: str) -> str:
+    """Token embedding lookup: integer ids gather table rows."""
+    return f"""
+void {name}(int ids[{D}], float table[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    int t = ids[i];
+    if (t < 0) {{
+      t = 0;
+    }}
+    if (t >= {D}) {{
+      t = {D - 1};
+    }}
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = table[t][j];
+    }}
+  }}
+}}
+"""
+
+
+def roi_crop(name: str) -> str:
+    """RoIAlign-style crop: bounds come from runtime scalars (Class II)."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}], int h, int w) {{
+  for (int i = 0; i < h; i++) {{
+    for (int j = 0; j < w; j++) {{
+      dst[i][j] = 0.25 * (src[i][j] + src[i + 1][j] + src[i][j + 1] + src[i + 1][j + 1]);
+    }}
+  }}
+}}
+"""
+
+
+def anchor_gen(name: str) -> str:
+    """Anchor generation: regular coordinate grid writes (Class I)."""
+    return f"""
+void {name}(float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = 1.0 * i * {D} + 1.0 * j;
+    }}
+  }}
+}}
+"""
+
+
+def grid_sample(name: str) -> str:
+    """BEV-style grid sampling: computed source coordinates."""
+    return f"""
+void {name}(float src[{D}][{D}], float grid[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      int u = i;
+      int v = j;
+      if (grid[i][j] > 0.0) {{
+        u = i / 2;
+        v = j / 2;
+      }}
+      dst[i][j] = src[u][v];
+    }}
+  }}
+}}
+"""
+
+
+def channel_mean(name: str) -> str:
+    """CBAM channel attention: per-row mean statistics."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    float acc = 0.0;
+    for (int j = 0; j < {D}; j++) {{
+      acc = acc + src[i][j];
+    }}
+    acc = acc / {D}.0;
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def spatial_gate(name: str) -> str:
+    """CBAM spatial attention: sigmoid-like gate via clamped linear."""
+    return f"""
+void {name}(float src[{D}][{D}], float attn[{D}][{D}], float dst[{D}][{D}]) {{
+  for (int i = 0; i < {D}; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      float g = 0.5 + 0.25 * attn[i][j];
+      if (g < 0.0) {{
+        g = 0.0;
+      }}
+      if (g > 1.0) {{
+        g = 1.0;
+      }}
+      dst[i][j] = src[i][j] * g;
+    }}
+  }}
+}}
+"""
+
+
+def seq_scan(name: str) -> str:
+    """Text-length dependent scan: loop bound is a runtime scalar."""
+    return f"""
+void {name}(float src[{D}][{D}], float dst[{D}][{D}], int len) {{
+  for (int i = 0; i < len; i++) {{
+    for (int j = 0; j < {D}; j++) {{
+      dst[i][j] = src[i][j] * 0.9 + 0.1;
+    }}
+  }}
+}}
+"""

@@ -1,0 +1,396 @@
+"""Polybench kernels in the mini dataflow language.
+
+Scaled-down (N≈8-12, TSTEPS=2) versions of the ten kernels the paper
+evaluates: adi, atax, bicg, correlation, covariance, deriche, fdtd-2d,
+heat-3d, jacobi-2d and seidel-2d.  Problem sizes are reduced so the
+cycle simulator profiles each kernel in milliseconds; relative
+structure (loop nests, dependences, divisions) is preserved.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+N = 8
+TSTEPS = 2
+
+POLYBENCH_NAMES = (
+    "adi",
+    "atax",
+    "bicg",
+    "correlation",
+    "covariance",
+    "deriche",
+    "fdtd-2d",
+    "heat-3d",
+    "jacobi-2d",
+    "seidel-2d",
+)
+
+
+def _adi() -> Workload:
+    source = f"""
+void adi_kernel(float u[{N}][{N}], float v[{N}][{N}], float p[{N}][{N}], float q[{N}][{N}], int tsteps) {{
+  for (int t = 0; t < tsteps; t++) {{
+    for (int i = 1; i < {N - 1}; i++) {{
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (int j = 1; j < {N - 1}; j++) {{
+        p[i][j] = (0.0 - 0.5) / ((0.5 * p[i][j - 1]) + 2.0);
+        q[i][j] = ((u[j][i - 1] + u[j][i + 1]) - (q[i][j - 1] * 0.5)) / ((0.5 * p[i][j - 1]) + 2.0);
+      }}
+      v[{N - 1}][i] = 1.0;
+      for (int j = {N - 2}; j >= 1; j -= 1) {{
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+      }}
+    }}
+    for (int i = 1; i < {N - 1}; i++) {{
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (int j = 1; j < {N - 1}; j++) {{
+        p[i][j] = (0.0 - 0.3) / ((0.3 * p[i][j - 1]) + 1.5);
+        q[i][j] = ((v[i - 1][j] + v[i + 1][j]) - (q[i][j - 1] * 0.3)) / ((0.3 * p[i][j - 1]) + 1.5);
+      }}
+      u[i][{N - 1}] = 1.0;
+      for (int j = {N - 2}; j >= 1; j -= 1) {{
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float u[{N}][{N}], float v[{N}][{N}], float p[{N}][{N}], float q[{N}][{N}], int tsteps) {{
+  adi_kernel(u, v, p, q, tsteps);
+}}
+"""
+    return Workload(
+        name="adi",
+        source=source,
+        category="polybench",
+        data={"tsteps": TSTEPS},
+        dynamic_sweeps={"tsteps": (1, 2, 3)},
+    )
+
+
+def _atax() -> Workload:
+    source = f"""
+void atax_kernel(float A[{N}][{N}], float x[{N}], float y[{N}], float tmp[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    y[i] = 0.0;
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    tmp[i] = 0.0;
+    for (int j = 0; j < {N}; j++) {{
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }}
+    for (int j = 0; j < {N}; j++) {{
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float x[{N}], float y[{N}], float tmp[{N}]) {{
+  atax_kernel(A, x, y, tmp);
+}}
+"""
+    return Workload(name="atax", source=source, category="polybench")
+
+
+def _bicg() -> Workload:
+    source = f"""
+void bicg_kernel(float A[{N}][{N}], float s[{N}], float q[{N}], float p[{N}], float r[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    s[i] = 0.0;
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    q[i] = 0.0;
+    for (int j = 0; j < {N}; j++) {{
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float s[{N}], float q[{N}], float p[{N}], float r[{N}]) {{
+  bicg_kernel(A, s, q, p, r);
+}}
+"""
+    return Workload(name="bicg", source=source, category="polybench")
+
+
+def _correlation() -> Workload:
+    source = f"""
+void correlation_kernel(float data[{N}][{N}], float corr[{N}][{N}], float mean[{N}], float stddev[{N}]) {{
+  for (int j = 0; j < {N}; j++) {{
+    mean[j] = 0.0;
+    for (int i = 0; i < {N}; i++) {{
+      mean[j] = mean[j] + data[i][j];
+    }}
+    mean[j] = mean[j] / {N}.0;
+  }}
+  for (int j = 0; j < {N}; j++) {{
+    stddev[j] = 0.0;
+    for (int i = 0; i < {N}; i++) {{
+      stddev[j] = stddev[j] + (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    }}
+    stddev[j] = stddev[j] / {N}.0;
+    if (stddev[j] <= 0.1) {{
+      stddev[j] = 1.0;
+    }}
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      data[i][j] = (data[i][j] - mean[j]) / stddev[j];
+    }}
+  }}
+  for (int i = 0; i < {N - 1}; i++) {{
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < {N}; j++) {{
+      corr[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        corr[i][j] = corr[i][j] + data[k][i] * data[k][j];
+      }}
+      corr[j][i] = corr[i][j];
+    }}
+  }}
+  corr[{N - 1}][{N - 1}] = 1.0;
+}}
+
+void dataflow(float data[{N}][{N}], float corr[{N}][{N}], float mean[{N}], float stddev[{N}]) {{
+  correlation_kernel(data, corr, mean, stddev);
+}}
+"""
+    return Workload(name="correlation", source=source, category="polybench")
+
+
+def _covariance() -> Workload:
+    source = f"""
+void covariance_kernel(float data[{N}][{N}], float cov[{N}][{N}], float mean[{N}]) {{
+  for (int j = 0; j < {N}; j++) {{
+    mean[j] = 0.0;
+    for (int i = 0; i < {N}; i++) {{
+      mean[j] = mean[j] + data[i][j];
+    }}
+    mean[j] = mean[j] / {N}.0;
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      data[i][j] = data[i][j] - mean[j];
+    }}
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = i; j < {N}; j++) {{
+      cov[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        cov[i][j] = cov[i][j] + data[k][i] * data[k][j];
+      }}
+      cov[i][j] = cov[i][j] / {N - 1}.0;
+      cov[j][i] = cov[i][j];
+    }}
+  }}
+}}
+
+void dataflow(float data[{N}][{N}], float cov[{N}][{N}], float mean[{N}]) {{
+  covariance_kernel(data, cov, mean);
+}}
+"""
+    return Workload(name="covariance", source=source, category="polybench")
+
+
+def _deriche() -> Workload:
+    size = N
+    source = f"""
+void deriche_kernel(float imgIn[{size}][{size}], float imgOut[{size}][{size}], float y1[{size}][{size}], float y2[{size}][{size}], int w) {{
+  for (int i = 0; i < w; i++) {{
+    float ym1 = 0.0;
+    float ym2 = 0.0;
+    float xm1 = 0.0;
+    for (int j = 0; j < {size}; j++) {{
+      y1[i][j] = 0.5 * imgIn[i][j] + 0.25 * xm1 + 0.6 * ym1 - 0.2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = y1[i][j];
+    }}
+  }}
+  for (int i = 0; i < w; i++) {{
+    float yp1 = 0.0;
+    float yp2 = 0.0;
+    float xp1 = 0.0;
+    float xp2 = 0.0;
+    for (int j = {size - 1}; j >= 0; j -= 1) {{
+      y2[i][j] = 0.3 * xp1 + 0.1 * xp2 + 0.6 * yp1 - 0.2 * yp2;
+      xp2 = xp1;
+      xp1 = imgIn[i][j];
+      yp2 = yp1;
+      yp1 = y2[i][j];
+    }}
+  }}
+  for (int i = 0; i < w; i++) {{
+    for (int j = 0; j < {size}; j++) {{
+      imgOut[i][j] = 0.7 * (y1[i][j] + y2[i][j]);
+    }}
+  }}
+}}
+
+void dataflow(float imgIn[{size}][{size}], float imgOut[{size}][{size}], float y1[{size}][{size}], float y2[{size}][{size}], int w) {{
+  deriche_kernel(imgIn, imgOut, y1, y2, w);
+}}
+"""
+    return Workload(
+        name="deriche",
+        source=source,
+        category="polybench",
+        data={"w": size},
+        dynamic_sweeps={"w": (4, 6, 8)},
+    )
+
+
+def _fdtd_2d() -> Workload:
+    source = f"""
+void fdtd_kernel(float ex[{N}][{N}], float ey[{N}][{N}], float hz[{N}][{N}], float fict[{N}], int tmax) {{
+  for (int t = 0; t < tmax; t++) {{
+    for (int j = 0; j < {N}; j++) {{
+      ey[0][j] = fict[t];
+    }}
+    for (int i = 1; i < {N}; i++) {{
+      for (int j = 0; j < {N}; j++) {{
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+      }}
+    }}
+    for (int i = 0; i < {N}; i++) {{
+      for (int j = 1; j < {N}; j++) {{
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+      }}
+    }}
+    for (int i = 0; i < {N - 1}; i++) {{
+      for (int j = 0; j < {N - 1}; j++) {{
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float ex[{N}][{N}], float ey[{N}][{N}], float hz[{N}][{N}], float fict[{N}], int tmax) {{
+  fdtd_kernel(ex, ey, hz, fict, tmax);
+}}
+"""
+    return Workload(
+        name="fdtd-2d",
+        source=source,
+        category="polybench",
+        data={"tmax": TSTEPS},
+        dynamic_sweeps={"tmax": (1, 2, 4)},
+    )
+
+
+def _heat_3d() -> Workload:
+    size = 6
+    source = f"""
+void heat_kernel(float A[{size}][{size}][{size}], float B[{size}][{size}][{size}], int tsteps) {{
+  for (int t = 0; t < tsteps; t++) {{
+    for (int i = 1; i < {size - 1}; i++) {{
+      for (int j = 1; j < {size - 1}; j++) {{
+        for (int k = 1; k < {size - 1}; k++) {{
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k])
+            + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k])
+            + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1])
+            + A[i][j][k];
+        }}
+      }}
+    }}
+    for (int i = 1; i < {size - 1}; i++) {{
+      for (int j = 1; j < {size - 1}; j++) {{
+        for (int k = 1; k < {size - 1}; k++) {{
+          A[i][j][k] = B[i][j][k];
+        }}
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{size}][{size}][{size}], float B[{size}][{size}][{size}], int tsteps) {{
+  heat_kernel(A, B, tsteps);
+}}
+"""
+    return Workload(
+        name="heat-3d",
+        source=source,
+        category="polybench",
+        data={"tsteps": TSTEPS},
+        dynamic_sweeps={"tsteps": (1, 2, 3)},
+    )
+
+
+def _jacobi_2d() -> Workload:
+    source = f"""
+void jacobi_kernel(float A[{N}][{N}], float B[{N}][{N}], int tsteps) {{
+  for (int t = 0; t < tsteps; t++) {{
+    for (int i = 1; i < {N - 1}; i++) {{
+      for (int j = 1; j < {N - 1}; j++) {{
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+      }}
+    }}
+    for (int i = 1; i < {N - 1}; i++) {{
+      for (int j = 1; j < {N - 1}; j++) {{
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], int tsteps) {{
+  jacobi_kernel(A, B, tsteps);
+}}
+"""
+    return Workload(
+        name="jacobi-2d",
+        source=source,
+        category="polybench",
+        data={"tsteps": TSTEPS},
+        dynamic_sweeps={"tsteps": (1, 2, 4)},
+    )
+
+
+def _seidel_2d() -> Workload:
+    source = f"""
+void seidel_kernel(float A[{N}][{N}], int tsteps) {{
+  for (int t = 0; t < tsteps; t++) {{
+    for (int i = 1; i < {N - 1}; i++) {{
+      for (int j = 1; j < {N - 1}; j++) {{
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+          + A[i][j - 1] + A[i][j] + A[i][j + 1]
+          + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], int tsteps) {{
+  seidel_kernel(A, tsteps);
+}}
+"""
+    return Workload(
+        name="seidel-2d",
+        source=source,
+        category="polybench",
+        data={"tsteps": TSTEPS},
+        dynamic_sweeps={"tsteps": (1, 2, 4)},
+    )
+
+
+def polybench_suite() -> list[Workload]:
+    """All ten Polybench workloads, in the paper's order."""
+    return [
+        _adi(),
+        _atax(),
+        _bicg(),
+        _correlation(),
+        _covariance(),
+        _deriche(),
+        _fdtd_2d(),
+        _heat_3d(),
+        _jacobi_2d(),
+        _seidel_2d(),
+    ]

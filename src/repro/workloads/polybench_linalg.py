@@ -1,0 +1,470 @@
+"""Polybench linear-algebra kernels in the mini dataflow language.
+
+The paper's real-world case study (§7.4) compiles PolyBench *Gemm* onto
+TPU-style loop schedules; this module supplies Gemm itself plus the rest
+of the PolyBench linear-algebra subset expressible without ``sqrt``:
+
+``gemm, 2mm, 3mm, mvt, gemver, gesummv, symm, syrk, syr2k, trmm,
+trisolv, lu, doitgen, durbin``
+
+As with :mod:`repro.workloads.polybench`, problem sizes are scaled down
+(N≈8) so the cycle simulator profiles each kernel quickly while the
+loop-nest structure, dependence patterns and reduction shapes match the
+reference suite.  Each workload carries a ``ni``-style scalar runtime
+input wherever the reference kernel's bounds are parametric, making the
+top loop genuinely input-dependent (Class II) for the dynamic
+calibration experiments.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+N = 8
+
+LINALG_NAMES = (
+    "gemm",
+    "2mm",
+    "3mm",
+    "mvt",
+    "gemver",
+    "gesummv",
+    "symm",
+    "syrk",
+    "syr2k",
+    "trmm",
+    "trisolv",
+    "lu",
+    "doitgen",
+    "durbin",
+)
+
+
+def _gemm() -> Workload:
+    source = f"""
+void gemm_kernel(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      C[i][j] = C[i][j] * 1.2;
+      for (int k = 0; k < {N}; k++) {{
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}], int ni) {{
+  gemm_kernel(A, B, C, ni);
+}}
+"""
+    return Workload(
+        name="gemm",
+        source=source,
+        category="polybench-linalg",
+        data={"ni": N},
+        dynamic_sweeps={"ni": (4, 6, 8)},
+    )
+
+
+def _2mm() -> Workload:
+    source = f"""
+void mm_first(float A[{N}][{N}], float B[{N}][{N}], float tmp[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      tmp[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+      }}
+    }}
+  }}
+}}
+
+void mm_second(float tmp[{N}][{N}], float C[{N}][{N}], float D[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      D[i][j] = D[i][j] * 1.2;
+      for (int k = 0; k < {N}; k++) {{
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}], float D[{N}][{N}], float tmp[{N}][{N}], int ni) {{
+  mm_first(A, B, tmp, ni);
+  mm_second(tmp, C, D, ni);
+}}
+"""
+    return Workload(
+        name="2mm",
+        source=source,
+        category="polybench-linalg",
+        data={"ni": N},
+        dynamic_sweeps={"ni": (4, 6, 8)},
+    )
+
+
+def _3mm() -> Workload:
+    source = f"""
+void mm_e(float A[{N}][{N}], float B[{N}][{N}], float E[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      E[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }}
+    }}
+  }}
+}}
+
+void mm_f(float C[{N}][{N}], float D[{N}][{N}], float F[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      F[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        F[i][j] = F[i][j] + C[i][k] * D[k][j];
+      }}
+    }}
+  }}
+}}
+
+void mm_g(float E[{N}][{N}], float F[{N}][{N}], float G[{N}][{N}], int ni) {{
+  for (int i = 0; i < ni; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      G[i][j] = 0.0;
+      for (int k = 0; k < {N}; k++) {{
+        G[i][j] = G[i][j] + E[i][k] * F[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}], float D[{N}][{N}], float E[{N}][{N}], float F[{N}][{N}], float G[{N}][{N}], int ni) {{
+  mm_e(A, B, E, ni);
+  mm_f(C, D, F, ni);
+  mm_g(E, F, G, ni);
+}}
+"""
+    return Workload(
+        name="3mm",
+        source=source,
+        category="polybench-linalg",
+        data={"ni": N},
+        dynamic_sweeps={"ni": (4, 6, 8)},
+    )
+
+
+def _mvt() -> Workload:
+    source = f"""
+void mvt_kernel(float A[{N}][{N}], float x1[{N}], float x2[{N}], float y1[{N}], float y2[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }}
+  }}
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float x1[{N}], float x2[{N}], float y1[{N}], float y2[{N}]) {{
+  mvt_kernel(A, x1, x2, y1, y2);
+}}
+"""
+    return Workload(name="mvt", source=source, category="polybench-linalg")
+
+
+def _gemver() -> Workload:
+    source = f"""
+void rank_update(float A[{N}][{N}], float u1[{N}], float v1[{N}], float u2[{N}], float v2[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }}
+  }}
+}}
+
+void gemv_trans(float A[{N}][{N}], float x[{N}], float y[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      x[i] = x[i] + 1.2 * A[j][i] * y[j];
+    }}
+  }}
+}}
+
+void axpy(float x[{N}], float z[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    x[i] = x[i] + z[i];
+  }}
+}}
+
+void gemv(float A[{N}][{N}], float x[{N}], float w[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      w[i] = w[i] + 1.5 * A[i][j] * x[j];
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float u1[{N}], float v1[{N}], float u2[{N}], float v2[{N}], float x[{N}], float y[{N}], float z[{N}], float w[{N}]) {{
+  rank_update(A, u1, v1, u2, v2);
+  gemv_trans(A, x, y);
+  axpy(x, z);
+  gemv(A, x, w);
+}}
+"""
+    return Workload(name="gemver", source=source, category="polybench-linalg")
+
+
+def _gesummv() -> Workload:
+    source = f"""
+void gesummv_kernel(float A[{N}][{N}], float B[{N}][{N}], float x[{N}], float y[{N}], float tmp[{N}], int n) {{
+  for (int i = 0; i < n; i++) {{
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < n; j++) {{
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+      y[i] = y[i] + B[i][j] * x[j];
+    }}
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float x[{N}], float y[{N}], float tmp[{N}], int n) {{
+  gesummv_kernel(A, B, x, y, tmp, n);
+}}
+"""
+    return Workload(
+        name="gesummv",
+        source=source,
+        category="polybench-linalg",
+        data={"n": N},
+        dynamic_sweeps={"n": (4, 6, 8)},
+    )
+
+
+def _symm() -> Workload:
+    source = f"""
+void symm_kernel(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      float temp2 = 0.0;
+      for (int k = 0; k < i; k++) {{
+        C[k][j] = C[k][j] + 1.5 * B[i][j] * A[i][k];
+        temp2 = temp2 + B[k][j] * A[i][k];
+      }}
+      C[i][j] = 1.2 * C[i][j] + 1.5 * B[i][j] * A[i][i] + 1.5 * temp2;
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}]) {{
+  symm_kernel(A, B, C);
+}}
+"""
+    return Workload(name="symm", source=source, category="polybench-linalg")
+
+
+def _syrk() -> Workload:
+    source = f"""
+void syrk_kernel(float A[{N}][{N}], float C[{N}][{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j <= i; j++) {{
+      C[i][j] = C[i][j] * 1.2;
+    }}
+    for (int k = 0; k < {N}; k++) {{
+      for (int j = 0; j <= i; j++) {{
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * A[j][k];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float C[{N}][{N}]) {{
+  syrk_kernel(A, C);
+}}
+"""
+    return Workload(name="syrk", source=source, category="polybench-linalg")
+
+
+def _syr2k() -> Workload:
+    source = f"""
+void syr2k_kernel(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j <= i; j++) {{
+      C[i][j] = C[i][j] * 1.2;
+    }}
+    for (int k = 0; k < {N}; k++) {{
+      for (int j = 0; j <= i; j++) {{
+        C[i][j] = C[i][j] + A[j][k] * 1.5 * B[i][k] + B[j][k] * 1.5 * A[i][k];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}], float C[{N}][{N}]) {{
+  syr2k_kernel(A, B, C);
+}}
+"""
+    return Workload(name="syr2k", source=source, category="polybench-linalg")
+
+
+def _trmm() -> Workload:
+    source = f"""
+void trmm_kernel(float A[{N}][{N}], float B[{N}][{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      for (int k = i + 1; k < {N}; k++) {{
+        B[i][j] = B[i][j] + A[k][i] * B[k][j];
+      }}
+      B[i][j] = 1.5 * B[i][j];
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}], float B[{N}][{N}]) {{
+  trmm_kernel(A, B);
+}}
+"""
+    return Workload(name="trmm", source=source, category="polybench-linalg")
+
+
+def _trisolv() -> Workload:
+    source = f"""
+void trisolv_kernel(float L[{N}][{N}], float x[{N}], float b[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    x[i] = b[i];
+    for (int j = 0; j < i; j++) {{
+      x[i] = x[i] - L[i][j] * x[j];
+    }}
+    x[i] = x[i] / (L[i][i] + 1.0);
+  }}
+}}
+
+void dataflow(float L[{N}][{N}], float x[{N}], float b[{N}]) {{
+  trisolv_kernel(L, x, b);
+}}
+"""
+    return Workload(name="trisolv", source=source, category="polybench-linalg")
+
+
+def _lu() -> Workload:
+    source = f"""
+void lu_kernel(float A[{N}][{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < i; j++) {{
+      for (int k = 0; k < j; k++) {{
+        A[i][j] = A[i][j] - A[i][k] * A[k][j];
+      }}
+      A[i][j] = A[i][j] / (A[j][j] + 1.0);
+    }}
+    for (int j = i; j < {N}; j++) {{
+      for (int k = 0; k < i; k++) {{
+        A[i][j] = A[i][j] - A[i][k] * A[k][j];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}]) {{
+  lu_kernel(A);
+}}
+"""
+    return Workload(name="lu", source=source, category="polybench-linalg")
+
+
+def _doitgen() -> Workload:
+    source = f"""
+void doitgen_kernel(float A[{N}][{N}][{N}], float C4[{N}][{N}], float sum[{N}]) {{
+  for (int r = 0; r < {N}; r++) {{
+    for (int q = 0; q < {N}; q++) {{
+      for (int p = 0; p < {N}; p++) {{
+        sum[p] = 0.0;
+        for (int s = 0; s < {N}; s++) {{
+          sum[p] = sum[p] + A[r][q][s] * C4[s][p];
+        }}
+      }}
+      for (int p = 0; p < {N}; p++) {{
+        A[r][q][p] = sum[p];
+      }}
+    }}
+  }}
+}}
+
+void dataflow(float A[{N}][{N}][{N}], float C4[{N}][{N}], float sum[{N}]) {{
+  doitgen_kernel(A, C4, sum);
+}}
+"""
+    return Workload(name="doitgen", source=source, category="polybench-linalg")
+
+
+def _durbin() -> Workload:
+    source = f"""
+void durbin_kernel(float r[{N}], float y[{N}], float z[{N}], int n) {{
+  float alpha = 0.0 - r[0];
+  float beta = 1.0;
+  y[0] = 0.0 - r[0];
+  for (int k = 1; k < n; k++) {{
+    beta = (1.0 - alpha * alpha) * beta;
+    float sum = 0.0;
+    for (int i = 0; i < k; i++) {{
+      sum = sum + r[k - i - 1] * y[i];
+    }}
+    alpha = 0.0 - (r[k] + sum) / (beta + 1.0);
+    for (int i = 0; i < k; i++) {{
+      z[i] = y[i] + alpha * y[k - i - 1];
+    }}
+    for (int i = 0; i < k; i++) {{
+      y[i] = z[i];
+    }}
+    y[k] = alpha;
+  }}
+}}
+
+void dataflow(float r[{N}], float y[{N}], float z[{N}], int n) {{
+  durbin_kernel(r, y, z, n);
+}}
+"""
+    return Workload(
+        name="durbin",
+        source=source,
+        category="polybench-linalg",
+        data={"n": N},
+        dynamic_sweeps={"n": (4, 6, 8)},
+    )
+
+
+_BUILDERS = {
+    "gemm": _gemm,
+    "2mm": _2mm,
+    "3mm": _3mm,
+    "mvt": _mvt,
+    "gemver": _gemver,
+    "gesummv": _gesummv,
+    "symm": _symm,
+    "syrk": _syrk,
+    "syr2k": _syr2k,
+    "trmm": _trmm,
+    "trisolv": _trisolv,
+    "lu": _lu,
+    "doitgen": _doitgen,
+    "durbin": _durbin,
+}
+
+
+def linalg_workload(name: str) -> Workload:
+    """Build one linear-algebra workload by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown linear-algebra kernel {name!r}; "
+            f"choose from {', '.join(LINALG_NAMES)}"
+        ) from None
+
+
+def linalg_suite() -> list[Workload]:
+    """All fourteen linear-algebra workloads, in declaration order."""
+    return [linalg_workload(name) for name in LINALG_NAMES]

@@ -1,0 +1,99 @@
+"""Integration tests: the full pipeline at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import CalibrationConfig, DynamicCalibrator
+from repro.datagen import SynthesizerConfig
+from repro.eval import EvaluationHarness, HarnessConfig, mape_table
+from repro.workloads import polybench_suite
+
+
+@pytest.fixture(scope="module")
+def mini_setup():
+    """A miniature but complete harness run shared by the tests."""
+    config = HarnessConfig(
+        synth=SynthesizerConfig(n_ast=3, n_dataflow=5, n_llm=2),
+        tier="0.5B",
+        max_seq_len=256,
+        train_epochs=3,
+        neighbors_per_workload=1,
+        data_variants_per_workload=1,
+    )
+    harness = EvaluationHarness(config)
+    workloads = polybench_suite()[:3]
+    records = harness.build_corpus(workloads)
+    zoo = harness.train_models(records, which=("ours", "tenset"))
+    return harness, workloads, records, zoo
+
+
+class TestPipeline:
+    def test_corpus_mixes_synth_and_neighbors(self, mini_setup):
+        _, _, records, _ = mini_setup
+        kinds = {r.source_kind for r in records}
+        assert "external" in kinds
+        assert {"ast", "dataflow"} <= kinds
+
+    def test_models_trained(self, mini_setup):
+        _, _, _, zoo = mini_setup
+        assert zoo.ours is not None
+        assert zoo.tenset is not None
+        assert zoo.tlp is None  # not requested
+
+    def test_evaluation_produces_finite_apes(self, mini_setup):
+        harness, workloads, _, zoo = mini_setup
+        result = harness.evaluate(zoo, workloads)
+        for model in ("ours", "tenset"):
+            for metric in ("power", "area", "ff", "cycles"):
+                value = result.mape_of(model, metric)
+                assert np.isfinite(value)
+                assert value >= 0.0
+
+    def test_latencies_recorded(self, mini_setup):
+        harness, workloads, _, zoo = mini_setup
+        result = harness.evaluate(zoo, workloads)
+        assert result.mean_latency("ours") > result.mean_latency("tenset")
+
+    def test_mape_table_renders(self, mini_setup):
+        harness, workloads, _, zoo = mini_setup
+        result = harness.evaluate(zoo, workloads)
+        text = mape_table(
+            "Static-Power",
+            [w.name for w in workloads],
+            ["ours", "tenset"],
+            lambda m, w: result.workload_ape(m, w, "power"),
+        )
+        assert "average" in text
+
+    def test_calibration_improves_environment_error(self, mini_setup):
+        harness, workloads, _, zoo = mini_setup
+        histories = harness.calibrate(
+            zoo.ours,
+            workloads[:1],
+            iterations=4,
+            config=CalibrationConfig(seed=1),
+        )
+        history = histories[workloads[0].name]
+        assert history.final_mape <= history.initial_mape
+
+    def test_calibrated_eval_reports_pre_post(self, mini_setup):
+        harness, workloads, _, zoo = mini_setup
+        outcome = harness.calibrated_eval(zoo.ours, workloads[:1], iterations=3)
+        entry = outcome[workloads[0].name]
+        assert set(entry) == {"pre_ape", "post_ape", "env_initial_mape", "env_final_mape"}
+
+
+class TestSaveReload:
+    def test_cost_model_checkpoint_round_trip(self, tmp_path, mini_setup):
+        _, workloads, _, zoo = mini_setup
+        from repro.core import CostModel
+        from repro.nn import load_model, save_model
+
+        path = str(tmp_path / "ours.npz")
+        save_model(zoo.ours, path)
+        clone = CostModel(zoo.ours.config)
+        load_model(clone, path)
+        bundle = workloads[0].bundle(data=workloads[0].merged_data() or None)
+        original = zoo.ours.predict_costs(bundle).as_dict()
+        restored = clone.predict_costs(bundle).as_dict()
+        assert original == restored

@@ -1,0 +1,108 @@
+"""Cross-substrate consistency: the analytical model, the simulator and
+the allocator must agree on the physics they share."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import TimeloopModel
+from repro.hls import HardwareParams, allocate_program
+from repro.lang import parse, to_source
+from repro.profiler import Profiler
+from repro.workloads import linalg_suite, modern_suite, polybench_suite
+
+
+def _matmul_source(n: int, unroll: int) -> str:
+    pragma = f"#pragma unroll {unroll}\n      " if unroll > 1 else ""
+    return f"""
+void mm(float a[{n}][{n}], float b[{n}][{n}], float c[{n}][{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      {pragma}for (int k = 0; k < {n}; k++) {{
+        c[i][j] += a[i][k] * b[k][j];
+      }}
+    }}
+  }}
+}}
+void dataflow(float a[{n}][{n}], float b[{n}][{n}], float c[{n}][{n}]) {{ mm(a, b, c); }}
+"""
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    unroll=st.sampled_from([1, 2, 4]),
+    delay=st.sampled_from([2, 5, 10]),
+)
+def test_timeloop_tracks_simulator_on_perfect_nests(n, unroll, delay):
+    """On its native domain (regular tensor loops) the analytical model
+    must stay within a small factor of the executed simulation."""
+    source = _matmul_source(n, unroll)
+    params = HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
+    simulated = Profiler(params).profile(source).costs.cycles
+    analytical = TimeloopModel(params).evaluate_program(source).cycles
+    ratio = analytical / simulated
+    assert 0.4 < ratio < 2.5, (simulated, analytical)
+
+
+class TestStaticDynamicConsistency:
+    def test_unroll_trades_area_for_cycles(self):
+        base = Profiler().profile(_matmul_source(8, 1)).costs
+        unrolled = Profiler().profile(_matmul_source(8, 4)).costs
+        assert unrolled.cycles < base.cycles
+        assert unrolled.area_um2 > base.area_um2
+
+    def test_allocation_total_matches_per_function_sum(self):
+        program = parse(_matmul_source(8, 2))
+        allocation = allocate_program(program)
+        for field in (
+            "fp_multipliers",
+            "registers",
+            "multiplexers",
+            "module_instances",
+        ):
+            total = getattr(allocation.total, field)
+            summed = sum(
+                getattr(counts, field) for counts in allocation.per_function.values()
+            )
+            assert total == summed
+
+    def test_memory_delay_never_changes_static_metrics(self):
+        for delay in (2, 15):
+            params = HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
+            costs = Profiler(params).profile(_matmul_source(6, 1)).costs
+            baseline = Profiler().profile(_matmul_source(6, 1)).costs
+            assert costs.area_um2 == baseline.area_um2
+            assert costs.flip_flops == baseline.flip_flops
+
+
+@pytest.mark.parametrize(
+    "workload",
+    polybench_suite() + linalg_suite() + modern_suite(),
+    ids=lambda w: w.name,
+)
+def test_all_benchmark_sources_round_trip(workload):
+    """Every shipped benchmark program survives parse → print → parse."""
+    once = to_source(workload.program)
+    assert to_source(parse(once)) == once
+
+
+@pytest.mark.parametrize("workload", linalg_suite(), ids=lambda w: w.name)
+def test_attribution_partitions_linalg_suite(workload):
+    """Per-operator attribution reconciles exactly on every kernel."""
+    from repro.attribution import attribute
+
+    report = attribute(workload.program, data=workload.merged_data() or None)
+    assert sum(op.cycles for op in report.operators) == report.totals["cycles"]
+    assert sum(op.area_um2 for op in report.operators) == report.totals["area"]
+
+
+@pytest.mark.parametrize("workload", modern_suite()[:5], ids=lambda w: w.name)
+def test_modern_workloads_cycles_respond_to_sweeps(workload):
+    profiler = Profiler()
+    name, values = next(iter(workload.dynamic_sweeps.items()))
+    cycles = []
+    for value in values:
+        data = workload.merged_data({name: int(value)})
+        cycles.append(profiler.profile(workload.program, data=data).costs.cycles)
+    assert len(set(cycles)) >= 2

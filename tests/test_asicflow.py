@@ -1,0 +1,84 @@
+"""ASIC flow tests: library, synthesis, power."""
+
+from repro.asicflow import (
+    RESOURCE_TO_CELL,
+    SKY130,
+    estimate_power,
+    synthesize,
+)
+from repro.hls import HardwareParams
+from repro.lang import parse
+
+
+SIMPLE = "void f(float a[8]) { for (int i = 0; i < 8; i++) { a[i] = a[i] * 2.0; } }"
+
+HEAVY = """
+void f(float a[8][8], float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        c[i][j] += a[i][k] * b[k][j] / 2.0;
+      }
+    }
+  }
+}
+"""
+
+
+class TestLibrary:
+    def test_all_resource_fields_have_cells(self):
+        for cell_name in RESOURCE_TO_CELL.values():
+            assert cell_name in SKY130
+
+    def test_fp_units_larger_than_int(self):
+        assert SKY130["fp_multiplier"].area_um2 > SKY130["int_multiplier"].area_um2
+        assert SKY130["fp_adder"].area_um2 > SKY130["int_adder"].area_um2
+
+    def test_divider_slowest(self):
+        assert SKY130["fp_divider"].latency_cycles > SKY130["fp_multiplier"].latency_cycles
+
+    def test_names_sorted(self):
+        names = SKY130.names
+        assert names == sorted(names)
+
+
+class TestSynthesis:
+    def test_basic_result(self):
+        result = synthesize(parse(SIMPLE))
+        assert result.area_um2 > 0
+        assert result.flip_flops > 0
+        assert result.longest_path_ns > 0
+        assert result.area_mm2 == result.area_um2 / 1e6
+
+    def test_bigger_program_bigger_area(self):
+        small = synthesize(parse(SIMPLE))
+        big = synthesize(parse(HEAVY))
+        assert big.area_um2 > small.area_um2
+
+    def test_deeper_expressions_longer_path(self):
+        shallow = synthesize(parse("void f(float x) { x = x + 1.0; }"))
+        deep = synthesize(
+            parse("void f(float x) { x = ((x + 1.0) * (x - 2.0)) / (x + 3.0) + x * x; }")
+        )
+        assert deep.longest_path_ns > shallow.longest_path_ns
+
+    def test_deterministic(self):
+        assert synthesize(parse(HEAVY)) == synthesize(parse(HEAVY))
+
+
+class TestPower:
+    def test_power_positive_and_composed(self):
+        report = estimate_power(parse(SIMPLE))
+        assert report.leakage_uw >= 1
+        assert report.dynamic_uw > 0
+        assert report.total_uw == report.leakage_uw + report.dynamic_uw
+
+    def test_heavier_datapath_more_power(self):
+        small = estimate_power(parse(SIMPLE))
+        big = estimate_power(parse(HEAVY))
+        assert big.total_uw > small.total_uw
+
+    def test_faster_clock_more_dynamic_power(self):
+        slow = estimate_power(parse(HEAVY), HardwareParams(clock_period_ns=20.0))
+        fast = estimate_power(parse(HEAVY), HardwareParams(clock_period_ns=5.0))
+        assert fast.dynamic_uw > slow.dynamic_uw

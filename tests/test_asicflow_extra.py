@@ -1,0 +1,82 @@
+"""Additional ASIC-flow coverage: library invariants, scaling laws."""
+
+import pytest
+
+from repro.asicflow import SKY130, estimate_power, synthesize
+from repro.asicflow.library import RESOURCE_TO_CELL, Cell, CellLibrary
+from repro.hls import HardwareParams, allocate_program
+from repro.lang import parse
+
+
+def scaled_gemm(n):
+    return parse(f"""
+void gemm(float a[{n}][{n}], float b[{n}][{n}], float c[{n}][{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      for (int k = 0; k < {n}; k++) {{
+        c[i][j] += a[i][k] * b[k][j];
+      }}
+    }}
+  }}
+}}
+""")
+
+
+class TestLibraryInvariants:
+    def test_every_cell_has_positive_physics(self):
+        for name in SKY130.names:
+            cell = SKY130[name]
+            assert cell.area_um2 > 0
+            assert cell.leakage_nw > 0
+            assert cell.switch_energy_fj > 0
+            assert cell.latency_cycles >= 0
+
+    def test_area_roughly_tracks_energy(self):
+        # Bigger cells burn more switching energy — a sanity ordering
+        # across the arithmetic macros.
+        arithmetic = [
+            "int_adder",
+            "int_multiplier",
+            "int_divider",
+        ]
+        cells = [SKY130[name] for name in arithmetic]
+        areas = [cell.area_um2 for cell in cells]
+        energies = [cell.switch_energy_fj for cell in cells]
+        assert areas == sorted(areas)
+        assert energies == sorted(energies)
+
+    def test_custom_library_usable(self):
+        library = CellLibrary()
+        assert "dff" in library
+        assert isinstance(library["dff"], Cell)
+
+    def test_resource_map_is_total_over_counts(self):
+        program = scaled_gemm(4)
+        counts = allocate_program(program).total
+        for field_name in RESOURCE_TO_CELL:
+            assert hasattr(counts, field_name)
+
+
+class TestScalingLaws:
+    def test_area_constant_in_loop_bounds_without_unroll(self):
+        # Datapath hardware does not grow with trip count (time
+        # multiplexing) — only unrolling duplicates it.
+        small = synthesize(scaled_gemm(4))
+        large = synthesize(scaled_gemm(16))
+        assert large.area_um2 == pytest.approx(small.area_um2, rel=0.25)
+
+    def test_ff_count_stable_across_bounds(self):
+        small = synthesize(scaled_gemm(4))
+        large = synthesize(scaled_gemm(16))
+        assert small.flip_flops == large.flip_flops
+
+    def test_power_has_leakage_floor(self):
+        tiny = parse("void f(float x) { x = x + 1.0; }")
+        report = estimate_power(tiny)
+        assert report.leakage_uw >= 1
+
+    def test_memory_ports_affect_longest_path(self):
+        program = scaled_gemm(4)
+        scarce = synthesize(program, HardwareParams(memory_ports=1))
+        plenty = synthesize(program, HardwareParams(memory_ports=8))
+        assert scarce.longest_path_ns >= plenty.longest_path_ns

@@ -1,0 +1,123 @@
+"""Tests for per-operator cost attribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.attribution import AttributionReport, attribute, _largest_remainder
+from repro.cli import main
+from repro.profiler import Profiler
+from repro.workloads import linalg_workload
+
+TWO_OP = """
+void heavy(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        b[i][j] = b[i][j] + a[i][k] * a[k][j];
+      }
+    }
+  }
+}
+void light(float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    c[i][0] = b[i][0] * 2.0;
+  }
+}
+void dataflow(float a[8][8], float b[8][8], float c[8][8]) {
+  heavy(a, b);
+  light(b, c);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def report() -> AttributionReport:
+    return attribute(TWO_OP)
+
+
+class TestLargestRemainder:
+    def test_exact_split(self):
+        assert _largest_remainder(np.array([1.0, 1.0]), 10) == [5, 5]
+
+    def test_remainder_goes_to_largest_fraction(self):
+        assert _largest_remainder(np.array([2.0, 1.0]), 10) == [7, 3]
+
+    def test_zero_total(self):
+        assert _largest_remainder(np.array([1.0, 2.0]), 0) == [0, 0]
+
+    def test_zero_weights(self):
+        assert _largest_remainder(np.array([0.0, 0.0]), 5) == [0, 0]
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_always_sums_to_total(self, weights, total):
+        parts = _largest_remainder(np.asarray(weights), total)
+        if sum(weights) == 0:
+            assert parts == [0] * len(weights)
+        else:
+            assert sum(parts) == total
+            assert all(p >= 0 for p in parts)
+
+
+class TestAttribution:
+    def test_partitions_every_metric_exactly(self, report):
+        for metric, getter in (
+            ("cycles", lambda op: op.cycles),
+            ("area", lambda op: op.area_um2),
+            ("ff", lambda op: op.flip_flops),
+            ("power", lambda op: op.power_uw),
+        ):
+            assert sum(getter(op) for op in report.operators) == report.totals[metric]
+
+    def test_matches_plain_profiler_totals(self, report):
+        plain = Profiler().profile(TWO_OP)
+        assert report.totals == plain.costs
+
+    def test_heavy_operator_dominates_cycles(self, report):
+        heavy = report.operator("heavy")
+        light = report.operator("light")
+        assert heavy.cycles > 10 * light.cycles
+        assert report.hottest("cycles").name == "heavy"
+
+    def test_heavy_operator_dominates_area(self, report):
+        assert report.operator("heavy").area_um2 > report.operator("light").area_um2
+
+    def test_shares_sum_to_one(self, report):
+        for metric in ("cycles", "area", "ff", "power"):
+            total_share = sum(op.share_of(report.totals, metric) for op in report.operators)
+            assert total_share == pytest.approx(1.0)
+
+    def test_unknown_operator_raises(self, report):
+        with pytest.raises(KeyError):
+            report.operator("missing")
+
+    def test_table_lists_all_operators(self, report):
+        table = report.table()
+        for op in report.operators:
+            assert op.name in table
+
+    def test_accepts_source_text_and_data(self):
+        workload = linalg_workload("gemm")
+        small = attribute(workload.source, data={"ni": 4})
+        large = attribute(workload.source, data={"ni": 8})
+        assert large.operator("gemm_kernel").cycles > small.operator("gemm_kernel").cycles
+
+    def test_invalid_metric_rejected(self, report):
+        with pytest.raises(KeyError):
+            report.hottest("energy")
+
+
+class TestCliPerOp:
+    def test_profile_per_op_flag(self, tmp_path, capsys):
+        path = tmp_path / "prog.c"
+        path.write_text(TWO_OP)
+        assert main(["profile", str(path), "--per-op"]) == 0
+        out = capsys.readouterr().out
+        assert "heavy" in out
+        assert "light" in out
+        assert "cyc%" in out

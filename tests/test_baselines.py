@@ -1,0 +1,198 @@
+"""Baseline model tests: TLP, GNNHLS, Tenset-MLP, Timeloop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GNNHLSConfig,
+    GNNHLSModel,
+    RangeNormalizer,
+    TensetConfig,
+    TensetMLPModel,
+    TimeloopModel,
+    TLPConfig,
+    TLPModel,
+    graph_tensors,
+    tenset_features,
+)
+from repro.core import bundle_from_program
+from repro.errors import ModelConfigError, UnsupportedWorkloadError
+from repro.hls import HardwareParams
+from repro.profiler import Profiler
+
+GEMM = """
+void gemm(float a[8][8], float b[8][8], float cc[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        cc[i][j] += a[i][k] * b[k][j];
+      }
+    }
+  }
+}
+void dataflow(float a[8][8], float b[8][8], float cc[8][8]) { gemm(a, b, cc); }
+"""
+
+BRANCHY = GEMM.replace(
+    "cc[i][j] += a[i][k] * b[k][j];",
+    "if (a[i][k] > 0.0) { cc[i][j] += a[i][k]; }",
+)
+
+
+@pytest.fixture(scope="module")
+def gemm_family():
+    profiler = Profiler()
+    sources = [GEMM.replace("8", str(n)) for n in (4, 6, 8)]
+    return [(src, profiler.profile(src).costs.as_dict()) for src in sources]
+
+
+class TestRangeNormalizer:
+    def test_round_trip(self):
+        norm = RangeNormalizer().fit([10.0, 100.0])
+        assert norm.denormalize(norm.normalize(50.0)) == pytest.approx(50.0)
+
+    def test_saturates_above_max(self):
+        norm = RangeNormalizer().fit([10.0, 100.0])
+        # The paper's critique: values past the training max are capped.
+        assert norm.normalize(1000.0) == 1.0
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ModelConfigError):
+            RangeNormalizer().normalize(1.0)
+        with pytest.raises(ModelConfigError):
+            RangeNormalizer().fit([])
+
+
+class TestTLP:
+    def test_fit_and_predict(self, gemm_family):
+        model = TLPModel(TLPConfig(tier="0.5B", epochs=3))
+        examples = [(bundle_from_program(s), t) for s, t in gemm_family]
+        losses = model.fit(examples)
+        assert losses[-1] < losses[0]
+        assert model.predict(examples[0][0], "cycles") >= 0
+
+    def test_cannot_predict_beyond_training_max(self, gemm_family):
+        """The sigmoid head structurally caps predictions at y_max."""
+        model = TLPModel(TLPConfig(tier="0.5B", epochs=1))
+        examples = [(bundle_from_program(s), t) for s, t in gemm_family]
+        model.fit(examples)
+        y_max = model.normalizers["cycles"].y_max
+        huge = bundle_from_program(GEMM.replace("8", "512"))
+        assert model.predict(huge, "cycles") <= y_max
+
+    def test_whole_number_tokenization(self):
+        model = TLPModel(TLPConfig(tier="0.5B"))
+        assert model.tokenizer.numeric_mode == "whole"
+
+    def test_fit_requires_examples(self):
+        with pytest.raises(ModelConfigError):
+            TLPModel(TLPConfig(tier="0.5B")).fit([])
+
+    def test_predict_costs_and_timed(self, gemm_family):
+        model = TLPModel(TLPConfig(tier="0.5B", epochs=1))
+        examples = [(bundle_from_program(s), t) for s, t in gemm_family]
+        model.fit(examples)
+        costs = model.predict_costs(examples[0][0])
+        assert set(costs) == {"power", "area", "ff", "cycles"}
+        value, latency = model.timed_predict(examples[0][0], "power")
+        assert latency > 0
+
+
+class TestGNNHLS:
+    def test_graph_tensors_shapes(self):
+        features, adjacency = graph_tensors(GEMM)
+        assert features.shape[0] == adjacency.shape[0]
+        assert np.allclose(adjacency.sum(axis=1), 1.0)
+
+    def test_fit_and_predict(self, gemm_family):
+        model = GNNHLSModel(GNNHLSConfig(epochs=10))
+        examples = [(graph_tensors(s), t) for s, t in gemm_family]
+        losses = model.fit(examples)
+        assert losses[-1] < losses[0]
+        assert model.predict(examples[0][0], "area") >= 0
+
+    def test_static_representation_ignores_data(self):
+        """GNNHLS sees only the program graph: runtime inputs cannot
+        change its prediction (the paper's core criticism)."""
+        graph = graph_tensors(BRANCHY)
+        model = GNNHLSModel(GNNHLSConfig(epochs=1))
+        model.fit([(graph, {"cycles": 100})])
+        assert model.predict(graph, "cycles") == model.predict(graph, "cycles")
+
+
+class TestTensetMLP:
+    def test_features_include_scalar_data(self):
+        base = tenset_features(GEMM, data={"n": 4})
+        other = tenset_features(GEMM, data={"n": 64})
+        assert not np.allclose(base, other)
+
+    def test_features_ignore_array_contents(self):
+        """Coarse input adaptivity: same shapes, different values →
+        identical features (the paper's Tenset-MLP limitation)."""
+        a = tenset_features(GEMM, data={"v": np.ones(8)})
+        b = tenset_features(GEMM, data={"v": -np.ones(8)})
+        assert np.allclose(a, b)
+
+    def test_features_include_hardware_params(self):
+        fast = tenset_features(GEMM, params=HardwareParams(mem_read_delay=2))
+        slow = tenset_features(GEMM, params=HardwareParams(mem_read_delay=20))
+        assert not np.allclose(fast, slow)
+
+    def test_fit_and_predict(self, gemm_family):
+        model = TensetMLPModel(TensetConfig(epochs=40))
+        examples = [(tenset_features(s), t) for s, t in gemm_family]
+        losses = model.fit(examples)
+        assert losses[-1] < losses[0] * 0.2
+        prediction = model.predict(examples[-1][0], "cycles")
+        actual = gemm_family[-1][1]["cycles"]
+        assert abs(prediction - actual) / actual < 1.0
+
+
+class TestTimeloop:
+    def test_perfect_nest_estimate(self):
+        profiler = Profiler()
+        actual = profiler.profile(GEMM).costs
+        estimate = TimeloopModel().evaluate_program(GEMM)
+        assert abs(estimate.cycles - actual.cycles) / actual.cycles < 0.5
+
+    def test_control_flow_rejected(self):
+        with pytest.raises(UnsupportedWorkloadError):
+            TimeloopModel().evaluate_program(BRANCHY)
+
+    def test_non_strict_decomposition(self):
+        estimate = TimeloopModel(strict=False).evaluate_program(BRANCHY)
+        assert estimate.cycles > 0
+
+    def test_symbolic_bound_needs_binding(self):
+        source = """
+void f(float a[8], int n) {
+  for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+}
+void dataflow(float a[8], int n) { f(a, n); }
+"""
+        with pytest.raises(UnsupportedWorkloadError):
+            TimeloopModel().evaluate_program(source)
+        estimate = TimeloopModel().evaluate_program(source, bindings={"n": 8})
+        assert estimate.cycles > 0
+
+    def test_memory_delay_sensitivity(self):
+        slow = TimeloopModel(HardwareParams(mem_read_delay=20, mem_write_delay=20))
+        fast = TimeloopModel(HardwareParams(mem_read_delay=2, mem_write_delay=2))
+        assert slow.evaluate_program(GEMM).cycles > fast.evaluate_program(GEMM).cycles
+
+    def test_unroll_speedup(self):
+        unrolled = GEMM.replace(
+            "for (int k = 0", "#pragma unroll 4\n      for (int k = 0"
+        )
+        base = TimeloopModel().evaluate_program(GEMM).cycles
+        fast = TimeloopModel().evaluate_program(unrolled).cycles
+        assert fast < base
+
+    def test_power_estimate_positive(self):
+        estimate = TimeloopModel().evaluate_program(GEMM)
+        assert estimate.power_uw > 0
+
+    def test_per_operator_breakdown(self):
+        estimate = TimeloopModel().evaluate_program(GEMM)
+        assert "gemm" in estimate.per_operator
+        assert estimate.per_operator["gemm"].macs > 0

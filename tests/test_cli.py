@@ -1,0 +1,121 @@
+"""CLI and dataset I/O tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datagen import DatasetSynthesizer, SynthesizerConfig
+from repro.datagen.io import load_dataset, record_from_json, record_to_json, save_dataset
+from repro.errors import DatasetError
+
+PROGRAM = """
+void scale(float a[8], float b[8], int n) {
+  for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+}
+void dataflow(float a[8], float b[8], int n) { scale(a, b, n); }
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestDatasetIO:
+    def test_round_trip(self, tmp_path):
+        dataset = DatasetSynthesizer(
+            SynthesizerConfig(n_ast=2, n_dataflow=3, n_llm=1)
+        ).generate()
+        path = str(tmp_path / "data.jsonl")
+        count = save_dataset(dataset.records, path)
+        assert count == len(dataset.records)
+        loaded = load_dataset(path)
+        assert len(loaded) == count
+        for original, restored in zip(dataset.records, loaded):
+            assert restored.report.costs == original.report.costs
+            assert restored.params == original.params
+            assert restored.source_kind == original.source_kind
+
+    def test_array_data_round_trip(self, tmp_path):
+        from repro.hls import HardwareParams
+        from repro.profiler import Profiler
+        from repro.datagen import DatasetRecord
+        from repro.lang import parse
+
+        program = parse(PROGRAM)
+        data = {"n": 4, "a": np.ones(8)}
+        report = Profiler().profile(program, data=data)
+        record = DatasetRecord(
+            program=program,
+            params=HardwareParams(),
+            data=data,
+            report=report,
+            source_kind="external",
+        )
+        restored = record_from_json(record_to_json(record))
+        assert np.array_equal(restored.data["a"], data["a"])
+        assert restored.data["n"] == 4
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(DatasetError):
+            record_from_json({"source": "void f() { }"})
+
+    def test_malformed_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DatasetError):
+            load_dataset(str(path))
+
+
+class TestCli:
+    def test_profile_outputs_costs(self, program_file, capsys):
+        assert main(["profile", program_file, "--data", "n=8"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert set(output) == {"power", "area", "ff", "cycles"}
+        assert output["cycles"] > 0
+
+    def test_profile_memory_delay_flag(self, program_file, capsys):
+        main(["profile", program_file, "--data", "n=8", "--mem-delay", "2"])
+        fast = json.loads(capsys.readouterr().out)["cycles"]
+        main(["profile", program_file, "--data", "n=8", "--mem-delay", "20"])
+        slow = json.loads(capsys.readouterr().out)["cycles"]
+        assert slow > fast
+
+    def test_analyze_lists_classes(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        output = capsys.readouterr().out
+        assert "scale: class_ii" in output
+        assert "total dynamic parameters: 1" in output
+
+    def test_bad_data_argument(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["profile", program_file, "--data", "nonsense"])
+
+    def test_synthesize_train_predict_pipeline(self, tmp_path, program_file, capsys):
+        dataset_path = str(tmp_path / "data.jsonl")
+        model_path = str(tmp_path / "model.npz")
+        assert main([
+            "synthesize", "--out", dataset_path,
+            "--ast", "2", "--dataflow", "3", "--llm", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "train", dataset_path, "--out", model_path, "--epochs", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "predict", program_file, "--model", model_path, "--data", "n=8",
+        ]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert set(output) == {"power", "area", "ff", "cycles"}
+        assert all("confidence" in entry for entry in output.values())
+
+    def test_train_empty_dataset_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["train", str(empty), "--out", str(tmp_path / "m.npz")])

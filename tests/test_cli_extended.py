@@ -1,0 +1,169 @@
+"""Tests for the calibrate / explore / workloads CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import CostModel, LLMulatorConfig, TrainingConfig, train_cost_model
+from repro.core import TrainingExample, bundle_from_program
+from repro.nn import save_model
+from repro.profiler import Profiler
+
+PROGRAM = """
+void scale(float a[8], float b[8], int n) {
+  for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+}
+void dataflow(float a[8], float b[8], int n) { scale(a, b, n); }
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    """A tiny model trained on two input variants of the test program."""
+    profiler = Profiler()
+    examples = []
+    for n in (4, 8):
+        costs = profiler.profile(PROGRAM, data={"n": n}).costs
+        bundle = bundle_from_program(PROGRAM, data={"n": n})
+        examples.append(TrainingExample(bundle=bundle, targets=costs.as_dict()))
+    model = CostModel(LLMulatorConfig(tier="0.5B", seed=0))
+    train_cost_model(model, examples, TrainingConfig(epochs=2, lr=3e-3, seed=0))
+    path = str(tmp_path / "model.npz")
+    save_model(model, path)
+    return path
+
+
+class TestParserSurface:
+    def test_all_subcommands_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        expected = {
+            "profile", "analyze", "synthesize", "train", "predict",
+            "calibrate", "explore", "report", "workloads",
+        }
+        assert expected <= set(sub.choices)
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("polybench", "linalg", "modern", "accelerators"):
+            assert name in out
+        assert "gemm" in out
+
+    def test_suite_filter(self, capsys):
+        assert main(["workloads", "--suite", "accelerators"]) == 0
+        out = capsys.readouterr().out
+        assert "tpu" in out
+        assert "jacobi" not in out
+
+    def test_stats_columns_present(self, capsys):
+        main(["workloads", "--suite", "linalg"])
+        header = capsys.readouterr().out.splitlines()[0]
+        for column in ("AllLen", "GraphLen", "OpNum", "DynNum", "OpLen"):
+            assert column in header
+
+
+class TestReportCommand:
+    def test_report_from_empty_results_dir(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--results", str(results), "--out", str(out)]) == 0
+        assert "No results found" in out.read_text()
+
+    def test_report_includes_rendered_tables(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_benchmark_analysis.txt").write_text("Table 2 body")
+        out = tmp_path / "REPORT.md"
+        main(["report", "--results", str(results), "--out", str(out)])
+        text = out.read_text()
+        assert "Table 2 body" in text
+        assert "## Table 2" in text
+
+
+class TestCalibrateCommand:
+    def test_calibrate_reports_iteration_mape(self, program_file, model_file, capsys):
+        code = main(
+            [
+                "calibrate",
+                program_file,
+                "--model",
+                model_file,
+                "--sweep",
+                "n=4,8",
+                "--iterations",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iteration 1: cycles MAPE" in out
+        assert "iteration 2: cycles MAPE" in out
+
+    def test_calibrate_saves_model(self, program_file, model_file, tmp_path, capsys):
+        out_path = str(tmp_path / "calibrated.npz")
+        code = main(
+            [
+                "calibrate",
+                program_file,
+                "--model",
+                model_file,
+                "--sweep",
+                "n=4,8",
+                "--iterations",
+                "1",
+                "--out",
+                out_path,
+            ]
+        )
+        assert code == 0
+        assert "saved to" in capsys.readouterr().out
+
+    def test_empty_sweep_rejected(self, program_file, model_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["calibrate", program_file, "--model", model_file, "--sweep", "n="]
+            )
+
+
+class TestExploreCommand:
+    def test_explore_ranks_candidates(self, program_file, model_file, capsys):
+        code = main(
+            [
+                "explore",
+                program_file,
+                "--model",
+                model_file,
+                "--data",
+                "n=8",
+                "--unroll",
+                "1",
+                "2",
+                "--max-candidates",
+                "4",
+                "--verify-top",
+                "1",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "design" in lines[0]
+        # Two candidates (unroll 1 and 2), ranked; top one verified.
+        assert len(lines) == 3
+        assert "-" not in lines[1].split()[-1]
+        assert lines[2].split()[-1] == "-"

@@ -1,0 +1,223 @@
+"""DPO calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CalibrationConfig,
+    CostModel,
+    DynamicCalibrator,
+    LLMulatorConfig,
+    PreferenceTriplet,
+    ReplayBuffer,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    make_environment,
+    train_cost_model,
+)
+from repro.errors import CalibrationError
+from repro.profiler import Profiler
+
+SOURCE = """
+void count_pos(float v[32], int n) {
+  int c = 0;
+  for (int i = 0; i < n; i++) {
+    if (v[i] > 0.0) { c = c + 1; }
+  }
+}
+
+void dataflow(float v[32], int n) {
+  count_pos(v, n);
+}
+"""
+
+
+def trained_model():
+    profiler = Profiler()
+    examples = []
+    for n in (4, 6, 8):
+        report = profiler.profile(SOURCE, data={"n": n})
+        examples.append(
+            TrainingExample(
+                bundle=bundle_from_program(SOURCE, data={"n": n}),
+                targets=report.costs.as_dict(),
+            )
+        )
+    model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+    train_cost_model(model, examples, TrainingConfig(epochs=4, lr=3e-3))
+    return model
+
+
+def environment(values=(16, 24, 32)):
+    profiler = Profiler()
+    env = []
+    for n in values:
+        report = profiler.profile(SOURCE, data={"n": n})
+        bundle = bundle_from_program(SOURCE, data={"n": n})
+        env.append((bundle, report.costs.cycles))
+    return make_environment(env)
+
+
+class TestReplayBuffer:
+    def make_triplet(self, value):
+        bundle = bundle_from_program(SOURCE, data={"n": value})
+        return PreferenceTriplet(bundle=bundle, y_w=value, y_l=value + 1)
+
+    def test_sliding_window(self):
+        buffer = ReplayBuffer(capacity=3)
+        for value in range(5):
+            buffer.push(self.make_triplet(value))
+        assert len(buffer) == 3
+        values = {t.y_w for t in buffer.sample(3, np.random.default_rng(0))}
+        assert values <= {2, 3, 4}
+
+    def test_sample_without_replacement(self):
+        buffer = ReplayBuffer(capacity=4)
+        for value in range(4):
+            buffer.push(self.make_triplet(value))
+        sample = buffer.sample(10, np.random.default_rng(0))
+        assert len(sample) == 4
+
+    def test_empty_sample(self):
+        assert ReplayBuffer().sample(4) == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(CalibrationError):
+            ReplayBuffer(capacity=0)
+
+    def test_capacity_one_is_online_mode(self):
+        buffer = ReplayBuffer(capacity=1)
+        buffer.push(self.make_triplet(1))
+        buffer.push(self.make_triplet(2))
+        assert len(buffer) == 1
+        assert buffer.sample(1)[0].y_w == 2
+
+
+class TestCalibrator:
+    def test_unknown_metric_rejected(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", metrics=("power",)))
+        with pytest.raises(CalibrationError):
+            DynamicCalibrator(model, CalibrationConfig(metric="cycles"))
+
+    def test_empty_environment_rejected(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B"))
+        calibrator = DynamicCalibrator(model)
+        with pytest.raises(CalibrationError):
+            calibrator.run([], iterations=1)
+
+    def test_calibration_converges(self):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        history = calibrator.run(environment(), iterations=6)
+        assert history.final_mape < history.initial_mape
+        assert history.final_mape < 0.25
+
+    def test_save_load_round_trips_calibrated_policy(self, tmp_path):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        env = environment()
+        calibrator.run(env, iterations=3)
+        bundle, _, segments = env[0]
+        before = calibrator.predict(bundle, segments).value
+        path = str(tmp_path / "policy.npz")
+        calibrator.save(path)
+
+        fresh = DynamicCalibrator(trained_model(), CalibrationConfig(seed=0))
+        fresh.load(path)
+        after = fresh.predict(bundle, segments).value
+        assert after == before
+
+    def test_plain_model_save_drops_adapter(self, tmp_path):
+        # Documented hazard: save_model() alone loses the adapter, so
+        # the restored plain model may predict differently from the
+        # calibrated policy.  The calibrator's save()/load() keeps them
+        # in sync (previous test); this pins the asymmetry.
+        from repro.nn import load_model, save_model
+
+        model = trained_model()
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        env = environment()
+        calibrator.run(env, iterations=3)
+        path = str(tmp_path / "plain.npz")
+        save_model(model, path)
+        restored = trained_model()
+        load_model(restored, path)
+        # The restored model equals the saved model's raw weights.
+        bundle, _, segments = env[0]
+        raw = restored.predict(bundle, "cycles", class_i_segments=list(segments))
+        assert raw.value >= 0  # runs, but without the adapter pathway
+
+    def test_calibration_tolerates_noisy_profiler(self):
+        # Real profiling environments jitter (the paper averages ten TPU
+        # runs in §7.4); calibration against ±10% noisy ground truth must
+        # still reduce error against the *clean* targets.
+        model = trained_model()
+        rng = np.random.default_rng(11)
+        clean = environment()
+        noisy = [
+            (bundle, int(round(actual * rng.uniform(0.9, 1.1))), segments)
+            for bundle, actual, segments in clean
+        ]
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        before = np.mean(
+            [
+                abs(calibrator.predict(b, s).value - actual) / actual
+                for b, actual, s in clean
+            ]
+        )
+        calibrator.run(noisy, iterations=6)
+        after = np.mean(
+            [
+                abs(calibrator.predict(b, s).value - actual) / actual
+                for b, actual, s in clean
+            ]
+        )
+        assert after < before
+        assert after < 0.35
+
+    def test_step_records_ape(self):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model)
+        env = environment((16,))
+        bundle, actual, segments = env[0]
+        step = calibrator.observe(bundle, actual, segments)
+        assert step.actual == actual
+        assert step.ape >= 0.0
+
+    def test_predict_uses_adapter(self):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model)
+        env = environment((16, 24))
+        calibrator.run(env, iterations=4)
+        bundle = env[0][0]
+        prediction = calibrator.predict(bundle)
+        assert prediction.value >= 0
+
+    def test_reference_model_frozen(self):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model)
+        before = {
+            name: param.data.copy()
+            for name, param in calibrator.reference.named_parameters()
+        }
+        calibrator.run(environment((16, 24)), iterations=2)
+        after = dict(calibrator.reference.named_parameters())
+        for name, data in before.items():
+            assert np.array_equal(data, after[name].data)
+
+    def test_exact_prediction_yields_no_dpo_loss(self):
+        model = trained_model()
+        calibrator = DynamicCalibrator(model)
+        bundle = bundle_from_program(SOURCE, data={"n": 16})
+        triplet = PreferenceTriplet(bundle=bundle, y_w=100, y_l=100)
+        assert calibrator._dpo_loss(triplet) is None
+
+    def test_full_model_mode_also_trains(self):
+        model = trained_model()
+        config = CalibrationConfig(
+            freeze_encoder=False, lr=2e-3, updates_per_step=2
+        )
+        calibrator = DynamicCalibrator(model, config)
+        history = calibrator.run(environment((16, 24)), iterations=2)
+        assert len(history.iteration_mape) == 2

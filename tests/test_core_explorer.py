@@ -1,0 +1,139 @@
+"""Design-space explorer tests."""
+
+import pytest
+
+from repro.core import CostModel, LLMulatorConfig
+from repro.core.explorer import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    MappingChoice,
+    apply_mapping,
+    default_objective,
+)
+from repro.lang import ast, parse, to_source
+
+SOURCE = """
+void scale(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      b[i][j] = a[i][j] * 2.0;
+    }
+  }
+}
+
+void accumulate(float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      c[i][j] += b[i][j];
+    }
+  }
+}
+
+void dataflow(float a[8][8], float b[8][8], float c[8][8]) {
+  scale(a, b);
+  accumulate(b, c);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+
+
+class TestApplyMapping:
+    def test_unroll_pragma_applied(self):
+        program = parse(SOURCE)
+        mapped = apply_mapping(
+            program, (MappingChoice(function="scale", loop_index=1, unroll=4),)
+        )
+        loops = ast.loops_in(mapped.function("scale").body)
+        assert loops[1].unroll_factor == 4
+        # Original untouched.
+        assert ast.loops_in(program.function("scale").body)[1].unroll_factor == 1
+
+    def test_parallel_pragma_applied(self):
+        mapped = apply_mapping(
+            parse(SOURCE),
+            (MappingChoice(function="scale", loop_index=0, unroll=1, parallel=True),),
+        )
+        assert ast.loops_in(mapped.function("scale").body)[0].is_parallel
+
+    def test_replaces_existing_pragmas(self):
+        program = apply_mapping(
+            parse(SOURCE), (MappingChoice(function="scale", loop_index=1, unroll=2),)
+        )
+        program = apply_mapping(
+            program, (MappingChoice(function="scale", loop_index=1, unroll=4),)
+        )
+        loops = ast.loops_in(program.function("scale").body)
+        assert loops[1].unroll_factor == 4
+        assert sum(1 for p in loops[1].pragmas if p.kind == "unroll") == 1
+
+    def test_invalid_loop_index(self):
+        with pytest.raises(IndexError):
+            apply_mapping(
+                parse(SOURCE), (MappingChoice(function="scale", loop_index=9),)
+            )
+
+    def test_mapped_program_still_parses(self):
+        mapped = apply_mapping(
+            parse(SOURCE), (MappingChoice(function="accumulate", loop_index=1, unroll=0),)
+        )
+        parse(to_source(mapped))
+
+
+class TestExplorer:
+    def test_enumerates_cross_product(self, model):
+        explorer = DesignSpaceExplorer(model)
+        candidates = explorer.enumerate_candidates(
+            parse(SOURCE), unroll_factors=(1, 2), memory_delays=(5, 10)
+        )
+        # 2 operators x 2 unrolls each = 4 mappings, x 2 delays = 8.
+        assert len(candidates) == 8
+
+    def test_max_candidates_respected(self, model):
+        explorer = DesignSpaceExplorer(model)
+        candidates = explorer.enumerate_candidates(
+            parse(SOURCE), unroll_factors=(1, 2, 4), max_candidates=5
+        )
+        assert len(candidates) == 5
+
+    def test_explore_ranks_by_objective(self, model):
+        explorer = DesignSpaceExplorer(model)
+        ranked = explorer.explore(SOURCE, unroll_factors=(1, 2), max_candidates=4)
+        scores = [point.score for point in ranked]
+        assert scores == sorted(scores)
+        assert all(point.predicted for point in ranked)
+
+    def test_verify_top_profiles_ground_truth(self, model):
+        explorer = DesignSpaceExplorer(model)
+        ranked = explorer.explore(SOURCE, unroll_factors=(1, 2), max_candidates=4)
+        verified = explorer.verify_top(ranked, top_k=2)
+        assert len(verified) == 2
+        for point in verified:
+            assert point.actual is not None
+            assert point.actual["cycles"] > 0
+        assert ranked[2].actual is None
+
+    def test_cache_reused_across_candidates(self, model):
+        explorer = DesignSpaceExplorer(model, use_cache=True)
+        explorer.explore(SOURCE, unroll_factors=(1, 2), max_candidates=4)
+        # Candidates share the graph/params context for several metrics:
+        # the segment cache must see hits.
+        assert explorer.cache_hit_rate > 0.0
+
+    def test_describe_readable(self):
+        from repro.hls import HardwareParams
+
+        point = DesignPoint(
+            program=parse(SOURCE),
+            params=HardwareParams(mem_read_delay=5),
+            choices=(MappingChoice(function="scale", loop_index=1, unroll=4),),
+        )
+        text = point.describe()
+        assert "scale#L1:unroll4" in text
+        assert "mem=5" in text
+
+    def test_default_objective(self):
+        assert default_objective({"cycles": 10, "area": 5}) == 50.0

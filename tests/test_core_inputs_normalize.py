@@ -1,0 +1,93 @@
+"""Tests for normalized bundle construction (§7.2 future-work wiring)."""
+
+import pytest
+
+from repro.core import CostModel, LLMulatorConfig, bundle_from_program
+from repro.profiler import Profiler
+
+BASE = """
+void op(float a[8], float b[8]) {
+  float acc = 0.0;
+  for (int i = 0; i < 8; i++) {
+    acc = acc + a[i] * 1.0 + 0.0;
+    b[i] = acc;
+  }
+}
+void dataflow(float a[8], float b[8]) { op(a, b); }
+"""
+
+# The same computation with author-specific names and unfolded constants.
+RENAMED = """
+void op(float a[8], float b[8]) {
+  float running_total = 0.0;
+  for (int element_index = 0; element_index < (4 + 4); element_index++) {
+    running_total = running_total + a[element_index] * 1.0 + 0.0;
+    b[element_index] = running_total;
+  }
+}
+void dataflow(float a[8], float b[8]) { op(a, b); }
+"""
+
+
+class TestNormalizedBundles:
+    def test_renamed_variant_normalizes_to_identical_text(self):
+        base = bundle_from_program(BASE, normalize=True)
+        renamed = bundle_from_program(RENAMED, normalize=True)
+        assert base.op_texts == renamed.op_texts
+        assert base.graph_text == renamed.graph_text
+
+    def test_raw_bundles_differ(self):
+        base = bundle_from_program(BASE)
+        renamed = bundle_from_program(RENAMED)
+        assert base.op_texts != renamed.op_texts
+
+    def test_predictions_invariant_under_renaming(self):
+        # With normalization the model cannot distinguish the variants,
+        # so predictions are exactly equal — the robustness the paper's
+        # normalization direction is after.
+        model = CostModel(LLMulatorConfig(tier="0.5B", seed=0))
+        pred_base = model.predict_costs(bundle_from_program(BASE, normalize=True))
+        pred_renamed = model.predict_costs(
+            bundle_from_program(RENAMED, normalize=True)
+        )
+        assert pred_base.as_dict() == pred_renamed.as_dict()
+
+    def test_normalization_preserves_computed_values(self):
+        import numpy as np
+
+        from repro.lang import parse
+        from repro.lang.normalize import normalize
+        from repro.sim import Interpreter, default_inputs
+
+        program = parse(BASE)
+        raw_inputs = default_inputs(program, "dataflow")
+        Interpreter(program).run("dataflow", raw_inputs)
+
+        normalized = normalize(parse(BASE))
+        norm_inputs = default_inputs(normalized, "dataflow")
+        Interpreter(normalized).run("dataflow", norm_inputs)
+
+        np.testing.assert_allclose(
+            np.asarray(raw_inputs["b"], dtype=float),
+            np.asarray(norm_inputs["b"], dtype=float),
+            rtol=1e-9,
+        )
+
+    def test_normalization_never_adds_work(self):
+        # Folding `* 1.0 + 0.0` removes real datapath operations, so the
+        # normalized design may be strictly cheaper — never costlier.
+        from repro.lang import parse
+        from repro.lang.normalize import normalize
+
+        profiler = Profiler()
+        raw = profiler.profile(BASE).costs
+        normalized = profiler.profile(normalize(parse(BASE))).costs
+        assert normalized.cycles <= raw.cycles
+        assert normalized.area_um2 <= raw.area_um2
+
+    def test_default_off(self):
+        # normalize=False must leave the source text untouched.
+        bundle = bundle_from_program(RENAMED)
+        assert "running_total" in bundle.op_texts[0]
+        normalized = bundle_from_program(RENAMED, normalize=True)
+        assert "running_total" not in normalized.op_texts[0]

@@ -1,0 +1,224 @@
+"""CostModel, trainer, separation and acceleration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CachedPredictor,
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    build_separation_mask,
+    bundle_from_program,
+    class_i_segments,
+    operator_mask_matrix,
+    separation_savings,
+    train_cost_model,
+)
+from repro.errors import ModelConfigError
+from repro.ir import build_dataflow_graph
+from repro.lang import parse
+from repro.profiler import Profiler
+
+SOURCE = """
+void transpose(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      b[j][i] = a[i][j];
+    }
+  }
+}
+
+void threshold(float a[8][8], float b[8][8], int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < 8; j++) {
+      if (a[i][j] > 0.0) {
+        b[i][j] = a[i][j];
+      }
+    }
+  }
+}
+
+void dataflow(float a[8][8], float b[8][8], float c[8][8], int n) {
+  transpose(a, b);
+  threshold(b, c, n);
+}
+"""
+
+
+def small_model(**overrides):
+    config = LLMulatorConfig(tier="0.5B", max_seq_len=256, **overrides)
+    return CostModel(config)
+
+
+class TestBundleGlue:
+    def test_bundle_structure(self):
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        assert bundle.graph_text.startswith("void dataflow")
+        assert len(bundle.op_texts) == 2
+        assert "-mem-delay-read=" in bundle.params_text
+        assert "n = 4" in bundle.data_text
+
+    def test_class_i_segments(self):
+        assert class_i_segments(SOURCE) == ["op0"]  # transpose only
+
+
+class TestModel:
+    def test_predict_costs_all_metrics(self):
+        model = small_model()
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        costs = model.predict_costs(bundle)
+        assert set(costs.as_dict()) == {"power", "area", "ff", "cycles"}
+        assert all(v >= 0 for v in costs.as_dict().values())
+        assert 0.0 <= costs.confidence("cycles") <= 1.0
+
+    def test_unknown_metric_rejected(self):
+        model = small_model()
+        bundle = bundle_from_program(SOURCE)
+        with pytest.raises(ModelConfigError):
+            model.predict(bundle, "latency")
+        with pytest.raises(ModelConfigError):
+            model.loss(bundle, {"latency": 1})
+
+    def test_codec_property_matches_config(self):
+        model = small_model()
+        assert model.codec.base == model.config.base
+        assert model.codec.digits == model.config.digits
+        assert model.codec.decode(model.codec.encode(655)) == 655
+
+    def test_training_reduces_loss_and_fits(self):
+        model = small_model()
+        profiler = Profiler()
+        examples = []
+        for n in (2, 4, 8):
+            report = profiler.profile(SOURCE, data={"n": n})
+            examples.append(
+                TrainingExample(
+                    bundle=bundle_from_program(SOURCE, data={"n": n}),
+                    targets=report.costs.as_dict(),
+                )
+            )
+        history = train_cost_model(
+            model, examples, TrainingConfig(epochs=5, lr=3e-3)
+        )
+        assert history.epoch_losses[-1] < history.epoch_losses[0] * 0.25
+        prediction = model.predict_costs(examples[0].bundle)
+        actual = examples[0].targets
+        assert prediction.value("ff") == actual["ff"]
+
+    def test_data_changes_cycles_not_static(self):
+        model = small_model()
+        low = bundle_from_program(SOURCE, data={"n": 1})
+        high = bundle_from_program(SOURCE, data={"n": 8})
+        static_low = model.predict_costs(low).value("area")
+        static_high = model.predict_costs(high).value("area")
+        # Static metrics are predicted from the data-free bundle, so
+        # runtime inputs cannot move them.
+        assert static_low == static_high
+
+    def test_separation_mask_used_when_configured(self):
+        model = small_model(use_separation=True)
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        tokenized = model.tokenize(bundle)
+        mask = model._mask_for(tokenized, ["op0"])
+        assert mask is not None
+        assert (mask < 0).any()
+
+    def test_no_mask_without_data_segment(self):
+        model = small_model(use_separation=True)
+        bundle = bundle_from_program(SOURCE)
+        tokenized = model.tokenize(bundle)
+        assert model._mask_for(tokenized, ["op0"]) is None
+
+
+class TestSeparation:
+    def test_mask_blocks_class_i_vs_data(self):
+        model = small_model()
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        tokenized = model.tokenize(bundle)
+        mask = build_separation_mask(tokenized, ["op0"])
+        op0 = tokenized.segment_slices["op0"]
+        data = tokenized.segment_slices["data"]
+        assert (mask[op0, data] < 0).all()
+        assert (mask[data, op0] < 0).all()
+        op1 = tokenized.segment_slices["op1"]
+        assert (mask[op1, data] == 0).all()
+
+    def test_decoupled_operator_blocks(self):
+        model = small_model()
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        tokenized = model.tokenize(bundle)
+        mask = build_separation_mask(tokenized, [], decouple_operators=True)
+        op0 = tokenized.segment_slices["op0"]
+        op1 = tokenized.segment_slices["op1"]
+        assert (mask[op0, op1] < 0).all()
+
+    def test_operator_mask_matrix_figure5(self):
+        graph = build_dataflow_graph(parse(SOURCE))
+        matrix = operator_mask_matrix(graph)
+        # Rows: [G, op0 (transpose, Class I), op1 (threshold), Params, Data]
+        assert matrix.shape == (5, 5)
+        assert matrix[1, -1] == 0  # Class I x Data hidden
+        assert matrix[2, -1] == 1  # Class II x Data observed
+
+    def test_savings_fraction(self):
+        mask = np.zeros((4, 4))
+        mask[0, 1] = -1e9
+        assert separation_savings(mask) == 1 / 16
+
+
+class TestAcceleration:
+    def test_cache_hit_on_repeat(self):
+        model = small_model()
+        predictor = CachedPredictor(model, enabled=True)
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        predictor.predict(bundle)
+        misses = predictor.stats.misses
+        predictor.predict(bundle)
+        assert predictor.stats.misses == misses
+        assert predictor.stats.hits > 0
+
+    def test_warm_call_faster(self):
+        model = small_model()
+        predictor = CachedPredictor(model, enabled=True)
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        predictor.predict(bundle)
+        cold = predictor.stats.last_latency_s
+        predictor.predict(bundle)
+        warm = predictor.stats.last_latency_s
+        assert warm < cold
+
+    def test_changed_operator_partially_recomputes(self):
+        model = small_model()
+        predictor = CachedPredictor(model, enabled=True)
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        predictor.predict(bundle)
+        misses_before = predictor.stats.misses
+        modified = bundle_from_program(
+            SOURCE.replace("a[i][j] > 0.0", "a[i][j] > 1.0"), data={"n": 4}
+        )
+        predictor.predict(modified)
+        new_misses = predictor.stats.misses - misses_before
+        # Only the changed operator segment misses; base + other op hit.
+        assert new_misses == 1
+
+    def test_disabled_cache_always_misses(self):
+        model = small_model()
+        predictor = CachedPredictor(model, enabled=False)
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        predictor.predict(bundle)
+        predictor.predict(bundle)
+        assert predictor.stats.hits == 0
+
+    def test_class_i_segments_ignore_data_changes(self):
+        model = small_model()
+        predictor = CachedPredictor(model, enabled=True)
+        first = bundle_from_program(SOURCE, data={"n": 4})
+        second = bundle_from_program(SOURCE, data={"n": 8})
+        predictor.predict(first, class_i_segments=("op0",))
+        misses_before = predictor.stats.misses
+        predictor.predict(second, class_i_segments=("op0",))
+        # op0 is Class I: its segment key excludes data, so it hits.
+        new_misses = predictor.stats.misses - misses_before
+        assert new_misses == 2  # base context + op1 only

@@ -1,0 +1,148 @@
+"""Numeric codec and digit-classification head tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DigitClassificationHead, NumericCodec, tradeoff_table
+from repro.errors import ModelConfigError
+from repro.nn import Adam, Tensor
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self):
+        codec = NumericCodec(base=10, digits=6)
+        for value in (0, 1, 42, 999999):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_msb_first(self):
+        codec = NumericCodec(base=10, digits=4)
+        assert codec.encode(655) == [0, 6, 5, 5]
+
+    def test_clamps_out_of_range(self):
+        codec = NumericCodec(base=10, digits=3)
+        assert codec.decode(codec.encode(12345)) == 999
+        assert codec.decode(codec.encode(-5)) == 0
+
+    def test_binary_base(self):
+        codec = NumericCodec(base=2, digits=8)
+        assert codec.encode(128) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_invalid_config(self):
+        with pytest.raises(ModelConfigError):
+            NumericCodec(base=1)
+        with pytest.raises(ModelConfigError):
+            NumericCodec(digits=0)
+
+    def test_decode_validates_digits(self):
+        codec = NumericCodec(base=10, digits=3)
+        with pytest.raises(ModelConfigError):
+            codec.decode([1, 2])
+        with pytest.raises(ModelConfigError):
+            codec.decode([1, 2, 11])
+
+    def test_paper_tradeoff_example(self):
+        # Paper §4.2: N=128 needs 3 digits in base 10 and (the paper
+        # says 7, but 128 = 10000000_2 actually needs) 8 in base 2.
+        assert NumericCodec(base=10, digits=8).encoding_length(128) == 3
+        assert NumericCodec(base=2, digits=8).encoding_length(128) == 8
+
+    def test_tradeoff_table_rows(self):
+        rows = tradeoff_table(128, bases=(2, 10))
+        assert rows[0]["base"] == 2
+        assert rows[0]["encoding_length"] > rows[1]["encoding_length"]
+        assert rows[0]["logit_dimension"] < rows[1]["logit_dimension"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    value=st.integers(min_value=0, max_value=10**8 - 1),
+    base=st.sampled_from([2, 8, 10, 16]),
+)
+def test_codec_round_trip_property(value, base):
+    import math
+
+    digits = max(1, math.ceil(math.log(10**8, base)))
+    codec = NumericCodec(base=base, digits=digits)
+    assert codec.decode(codec.encode(value)) == value
+
+
+class TestDigitHead:
+    def make_head(self, digits=4):
+        return DigitClassificationHead(
+            hidden_dim=16,
+            codec=NumericCodec(base=10, digits=digits),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_prediction_fields(self):
+        head = self.make_head()
+        pred = head.predict(Tensor(np.zeros(16)))
+        assert 0 <= pred.value <= 9999
+        assert 0.0 <= pred.confidence <= 1.0
+        assert len(pred.digit_confidences) == 4
+        assert len(pred.beam_values) <= 3
+
+    def test_loss_decreases_with_training(self):
+        head = self.make_head()
+        hidden = Tensor(np.random.default_rng(1).standard_normal(16))
+        optimizer = Adam(head.parameters(), lr=5e-2)
+        initial = float(head.loss(hidden, 655).data)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = head.loss(hidden, 655)
+            loss.backward()
+            optimizer.step()
+        assert float(head.loss(hidden, 655).data) < initial * 0.05
+        assert head.predict(hidden).value == 655
+
+    def test_trained_prediction_confident(self):
+        head = self.make_head()
+        hidden = Tensor(np.random.default_rng(1).standard_normal(16))
+        optimizer = Adam(head.parameters(), lr=5e-2)
+        for _ in range(80):
+            optimizer.zero_grad()
+            head.loss(hidden, 42).backward()
+            optimizer.step()
+        pred = head.predict(hidden)
+        assert pred.value == 42
+        assert pred.mean_confidence > 0.9
+
+    def test_log_prob_orders_trained_value_highest(self):
+        head = self.make_head()
+        hidden = Tensor(np.random.default_rng(2).standard_normal(16))
+        optimizer = Adam(head.parameters(), lr=5e-2)
+        for _ in range(60):
+            optimizer.zero_grad()
+            head.loss(hidden, 1234).backward()
+            optimizer.step()
+        trained = float(head.log_prob_of(hidden, 1234).data)
+        other = float(head.log_prob_of(hidden, 4321).data)
+        assert trained > other
+
+    def test_beam_search_can_beat_greedy(self):
+        """Construct logits where greedy MSB choice is wrong but the
+        joint (beam) score prefers the correct value."""
+        head = self.make_head(digits=2)
+        # Rig head weights: zero weights, biases set directly.
+        for linear in head.heads:
+            linear.weight.data[:] = 0.0
+        # Digit 0: slight preference for 7 over 6.
+        head.heads[0].bias.data[:] = 0.0
+        head.heads[0].bias.data[7] = 1.0
+        head.heads[0].bias.data[6] = 0.9
+        # Digit 1: given anything, hugely prefers 5.
+        head.heads[1].bias.data[:] = 0.0
+        head.heads[1].bias.data[5] = 3.0
+        hidden = Tensor(np.zeros(16))
+        greedy = head.greedy_predict(hidden)
+        beam = head.predict(hidden, beam_width=3)
+        assert greedy.value == 75
+        assert 65 in beam.beam_values  # the runner-up survives in the beam
+
+    def test_msb_weighting_prioritizes_high_digits(self):
+        head = self.make_head()
+        hidden = Tensor(np.ones(16))
+        weighted = float(head.loss(hidden, 5000, msb_weighting=True).data)
+        flat = float(head.loss(hidden, 5000, msb_weighting=False).data)
+        assert weighted != flat

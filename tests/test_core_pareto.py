@@ -1,0 +1,162 @@
+"""Tests for Pareto-dominance utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignPoint,
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    pareto_points,
+)
+from repro.hls import HardwareParams
+from repro.lang import parse
+
+_SOURCE = """
+void op(float a[4], float b[4]) {
+  for (int i = 0; i < 4; i++) { b[i] = a[i] * 2.0; }
+}
+void dataflow(float a[4], float b[4]) { op(a, b); }
+"""
+
+
+def _point(predicted=None, actual=None):
+    return DesignPoint(
+        program=parse(_SOURCE),
+        params=HardwareParams(),
+        predicted=predicted or {},
+        actual=actual,
+    )
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([1, 1], [2, 2])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates([1, 2], [2, 2])
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates([2, 2], [2, 2])
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates([1, 3], [3, 1])
+        assert not dominates([3, 1], [1, 3])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates([1], [1, 2])
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([[5, 5]]) == [0]
+
+    def test_dominated_point_removed(self):
+        assert pareto_front([[1, 1], [2, 2], [1, 3]]) == [0]
+
+    def test_tradeoff_points_all_kept(self):
+        assert pareto_front([[1, 3], [2, 2], [3, 1]]) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        assert pareto_front([[2, 2], [2, 2]]) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_front_members_are_mutually_nondominating(self, costs):
+        front = pareto_front(costs)
+        assert front  # at least one non-dominated point always exists
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(costs[i], costs[j])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_every_excluded_point_is_dominated(self, costs):
+        front = set(pareto_front(costs))
+        for i in range(len(costs)):
+            if i not in front:
+                assert any(dominates(costs[j], costs[i]) for j in front)
+
+
+class TestParetoPoints:
+    def test_filters_by_predicted(self):
+        cheap_fast = _point({"cycles": 10, "area": 10})
+        slow_small = _point({"cycles": 30, "area": 5})
+        dominated = _point({"cycles": 40, "area": 20})
+        front = pareto_points([cheap_fast, slow_small, dominated])
+        assert front == [cheap_fast, slow_small]
+
+    def test_uses_actual_when_requested(self):
+        a = _point({"cycles": 1, "area": 1}, actual={"cycles": 9, "area": 9})
+        b = _point({"cycles": 9, "area": 9}, actual={"cycles": 1, "area": 1})
+        assert pareto_points([a, b], use_actual=True) == [b]
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(ValueError, match="lacks predicted"):
+            pareto_points([_point({"cycles": 1})])
+
+    def test_missing_actual_rejected(self):
+        with pytest.raises(ValueError, match="lacks actual"):
+            pareto_points([_point({"cycles": 1, "area": 1})], use_actual=True)
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_points([], objectives=())
+
+
+class TestHypervolume:
+    def test_single_point_box(self):
+        assert hypervolume_2d([(2, 2)], reference=(10, 10)) == pytest.approx(64.0)
+
+    def test_staircase_union(self):
+        # Two trade-off points; union of boxes, overlap not double-counted.
+        value = hypervolume_2d([(2, 6), (6, 2)], reference=(10, 10))
+        assert value == pytest.approx(8 * 4 + 4 * 8 - 4 * 4)
+
+    def test_dominated_point_adds_nothing(self):
+        lone = hypervolume_2d([(2, 2)], reference=(10, 10))
+        with_dominated = hypervolume_2d([(2, 2), (5, 5)], reference=(10, 10))
+        assert with_dominated == pytest.approx(lone)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume_2d([(20, 20)], reference=(10, 10)) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_monotone_in_added_points(self, costs):
+        reference = (10.0, 10.0)
+        base = hypervolume_2d(costs, reference)
+        extended = hypervolume_2d(costs + [(0, 0)], reference)
+        assert extended >= base - 1e-9
+        assert extended == pytest.approx(100.0)  # (0,0) dominates the box

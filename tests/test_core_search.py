@@ -1,0 +1,129 @@
+"""Tests for model-guided vs random DSE search."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    DesignPoint,
+    DesignSpaceExplorer,
+    LLMulatorConfig,
+    SearchTrace,
+    model_guided_search,
+    random_search,
+)
+from repro.hls import HardwareParams
+from repro.lang import parse
+
+SOURCE = """
+void op(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      b[i][j] = a[i][j] * 2.0 + 1.0;
+    }
+  }
+}
+void dataflow(float a[8][8], float b[8][8]) { op(a, b); }
+"""
+
+
+def _candidates(n=4):
+    """Pre-evaluated candidates with known objective ordering."""
+    program = parse(SOURCE)
+    points = []
+    for i in range(n):
+        point = DesignPoint(
+            program=program,
+            params=HardwareParams(),
+            predicted={"cycles": 100 + i, "area": 10},
+            score=float(100 + i),
+            actual={"cycles": 100 + i, "area": 10, "ff": 1, "power": 1},
+        )
+        points.append(point)
+    return points
+
+
+def _objective(costs):
+    return float(costs["cycles"])
+
+
+class TestSearchTrace:
+    def test_best_so_far_monotone(self):
+        trace = SearchTrace(strategy="x", best_objective=[5.0, 3.0, 3.0])
+        assert trace.final_best == 3.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            SearchTrace(strategy="x").final_best
+
+    def test_evaluations_to_reach(self):
+        trace = SearchTrace(strategy="x", best_objective=[9.0, 4.0, 2.0])
+        assert trace.evaluations_to_reach(4.0) == 2
+        assert trace.evaluations_to_reach(1.0) is None
+
+
+class TestModelGuidedSearch:
+    def test_follows_predicted_ranking(self):
+        explorer = DesignSpaceExplorer(CostModel(LLMulatorConfig(tier="0.5B")))
+        points = _candidates()
+        trace = model_guided_search(
+            explorer, points, budget=2, objective=_objective
+        )
+        assert trace.strategy == "model-guided"
+        assert [p.score for p in trace.evaluated] == [100.0, 101.0]
+        assert trace.best_objective == [100.0, 100.0]
+
+    def test_perfect_model_finds_optimum_in_one_evaluation(self):
+        explorer = DesignSpaceExplorer(CostModel(LLMulatorConfig(tier="0.5B")))
+        trace = model_guided_search(
+            explorer, _candidates(), budget=1, objective=_objective
+        )
+        assert trace.final_best == 100.0
+
+    def test_budget_validated(self):
+        explorer = DesignSpaceExplorer(CostModel(LLMulatorConfig(tier="0.5B")))
+        with pytest.raises(ValueError):
+            model_guided_search(explorer, _candidates(), budget=0)
+
+
+class TestRandomSearch:
+    def test_deterministic_under_seed(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        trace_a = random_search(_candidates(), budget=3, objective=_objective, rng=rng_a)
+        trace_b = random_search(_candidates(), budget=3, objective=_objective, rng=rng_b)
+        assert trace_a.best_objective == trace_b.best_objective
+
+    def test_best_so_far_never_increases(self):
+        trace = random_search(
+            _candidates(8), budget=8, objective=_objective,
+            rng=np.random.default_rng(3),
+        )
+        assert all(
+            later <= earlier
+            for earlier, later in zip(trace.best_objective, trace.best_objective[1:])
+        )
+
+    def test_full_budget_finds_optimum(self):
+        trace = random_search(
+            _candidates(5), budget=5, objective=_objective,
+            rng=np.random.default_rng(0),
+        )
+        assert trace.final_best == 100.0
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            random_search(_candidates(), budget=0)
+
+
+class TestEndToEnd:
+    def test_search_evaluates_unverified_points(self):
+        # Points without .actual get profiled on demand.
+        explorer = DesignSpaceExplorer(CostModel(LLMulatorConfig(tier="0.5B")))
+        points = explorer.explore(
+            SOURCE, unroll_factors=(1, 2), max_candidates=2
+        )
+        assert all(p.actual is None for p in points)
+        trace = model_guided_search(explorer, points, budget=2)
+        assert all(p.actual is not None for p in trace.evaluated)
+        assert len(trace.best_objective) == 2

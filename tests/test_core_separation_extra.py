@@ -1,0 +1,80 @@
+"""Separation-mask behaviour at the model level."""
+
+import numpy as np
+
+from repro.core import CostModel, LLMulatorConfig, bundle_from_program
+from repro.core.separation import build_separation_mask, separation_savings
+
+SOURCE = """
+void transpose(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      b[j][i] = a[i][j];
+    }
+  }
+}
+
+void gate(float b[8][8], float c[8][8], int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < 8; j++) {
+      if (b[i][j] > 0.0) {
+        c[i][j] = b[i][j];
+      }
+    }
+  }
+}
+
+void dataflow(float a[8][8], float b[8][8], float c[8][8], int n) {
+  transpose(a, b);
+  gate(b, c, n);
+}
+"""
+
+
+class TestSeparationAtModelLevel:
+    def test_class_i_encoding_invariant_to_data_under_mask(self):
+        """With the separation mask, changing runtime data must not
+        change the hidden states of a Class I operator's tokens."""
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=320, seed=2))
+        low = bundle_from_program(SOURCE, data={"n": 1})
+        high = bundle_from_program(SOURCE, data={"n": 8})
+        outputs = []
+        for bundle in (low, high):
+            tokenized = model.tokenize(bundle)
+            mask = build_separation_mask(
+                tokenized, ["op0"], decouple_operators=True
+            )
+            hidden = model.encoder.encode(tokenized.ids, mask=mask)
+            op0 = tokenized.segment_slices["op0"]
+            outputs.append(hidden.data[op0])
+        # One transformer layer of indirect leakage exists (data tokens
+        # influence graph tokens which influence op0), so exact equality
+        # is not expected — but the direct interaction is severed, so
+        # the difference must be far below an unmasked encoder's.
+        masked_diff = float(np.abs(outputs[0] - outputs[1]).max())
+
+        outputs_unmasked = []
+        for bundle in (low, high):
+            tokenized = model.tokenize(bundle)
+            hidden = model.encoder.encode(tokenized.ids)
+            op0 = tokenized.segment_slices["op0"]
+            outputs_unmasked.append(hidden.data[op0])
+        unmasked_diff = float(np.abs(outputs_unmasked[0] - outputs_unmasked[1]).max())
+        assert masked_diff < unmasked_diff
+
+    def test_savings_grow_with_class_i_count(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=320))
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        tokenized = model.tokenize(bundle)
+        none = build_separation_mask(tokenized, [])
+        one = build_separation_mask(tokenized, ["op0"])
+        both = build_separation_mask(tokenized, ["op0", "op1"])
+        assert separation_savings(none) == 0.0
+        assert separation_savings(one) < separation_savings(both)
+
+    def test_mask_shape_matches_sequence(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=320))
+        bundle = bundle_from_program(SOURCE, data={"n": 4})
+        tokenized = model.tokenize(bundle)
+        mask = build_separation_mask(tokenized, ["op0"])
+        assert mask.shape == (len(tokenized), len(tokenized))

@@ -1,0 +1,84 @@
+"""Trainer behaviour tests beyond the happy path."""
+
+import numpy as np
+
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    train_cost_model,
+)
+from repro.profiler import Profiler
+
+SOURCE = """
+void op(float a[4], int n) {
+  for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+}
+void dataflow(float a[4], int n) { op(a, n); }
+"""
+
+
+def make_examples(values=(2, 3, 4)):
+    profiler = Profiler()
+    examples = []
+    for n in values:
+        report = profiler.profile(SOURCE, data={"n": n})
+        examples.append(
+            TrainingExample(
+                bundle=bundle_from_program(SOURCE, data={"n": n}),
+                targets=report.costs.as_dict(),
+            )
+        )
+    return examples
+
+
+class TestTrainer:
+    def test_history_counts_examples(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128))
+        examples = make_examples()
+        history = train_cost_model(model, examples, TrainingConfig(epochs=2))
+        assert history.examples_seen == 2 * len(examples)
+        assert len(history.epoch_losses) == 2
+        assert history.wall_seconds > 0
+
+    def test_determinism_under_seed(self):
+        examples = make_examples()
+        losses = []
+        for _ in range(2):
+            model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128, seed=4))
+            history = train_cost_model(
+                model, examples, TrainingConfig(epochs=2, seed=9)
+            )
+            losses.append(history.epoch_losses)
+        assert losses[0] == losses[1]
+
+    def test_shuffle_off_is_stable_order(self):
+        examples = make_examples()
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128))
+        history = train_cost_model(
+            model, examples, TrainingConfig(epochs=1, shuffle=False)
+        )
+        assert history.final_loss > 0
+
+    def test_partial_metric_targets_allowed(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128))
+        examples = make_examples()
+        for example in examples:
+            example.targets = {"cycles": example.targets["cycles"]}
+        history = train_cost_model(model, examples, TrainingConfig(epochs=1))
+        assert np.isfinite(history.final_loss)
+
+    def test_class_i_segments_flow_through_training(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128))
+        examples = make_examples()
+        for example in examples:
+            example.class_i_segments = ("op0",)
+        history = train_cost_model(model, examples, TrainingConfig(epochs=1))
+        assert np.isfinite(history.final_loss)
+
+    def test_empty_history_final_loss_nan(self):
+        from repro.core.trainer import TrainingHistory
+
+        assert np.isnan(TrainingHistory().final_loss)

@@ -1,0 +1,76 @@
+"""Additional dataset I/O and formatting coverage."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DatasetRecord,
+    DatasetSynthesizer,
+    SynthesizerConfig,
+    direct_format,
+)
+from repro.datagen.io import load_dataset, record_to_json, save_dataset
+from repro.hls import HardwareParams
+from repro.lang import parse
+from repro.profiler import Profiler
+
+SOURCE = """
+void op(float a[4]) { a[0] = 1.0; }
+void dataflow(float a[4]) { op(a); }
+"""
+
+
+def make_record(params=None, data=None):
+    program = parse(SOURCE)
+    params = params or HardwareParams()
+    report = Profiler(params).profile(program, data=data)
+    return DatasetRecord(
+        program=program, params=params, data=data, report=report, source_kind="external"
+    )
+
+
+class TestJsonShape:
+    def test_json_is_fully_serializable(self):
+        import json
+
+        payload = record_to_json(make_record(data={"x": 3}))
+        text = json.dumps(payload)
+        assert "dataflow" in text
+
+    def test_params_preserved_exactly(self):
+        params = HardwareParams(
+            mem_read_delay=3, mem_write_delay=7, pe_count=2, memory_ports=1
+        )
+        payload = record_to_json(make_record(params=params))
+        assert payload["params"]["mem_read_delay"] == 3
+        assert payload["params"]["mem_write_delay"] == 7
+        assert payload["params"]["pe_count"] == 2
+
+    def test_rtl_features_round_trip(self, tmp_path):
+        record = make_record()
+        path = str(tmp_path / "one.jsonl")
+        save_dataset([record], path)
+        restored = load_dataset(path)[0]
+        assert (
+            restored.report.rtl.allocated_multiplexers
+            == record.report.rtl.allocated_multiplexers
+        )
+        assert restored.report.rtl.think_text() == record.report.rtl.think_text()
+
+    def test_loaded_record_trains(self, tmp_path):
+        path = str(tmp_path / "ds.jsonl")
+        dataset = DatasetSynthesizer(
+            SynthesizerConfig(n_ast=2, n_dataflow=2, n_llm=0)
+        ).generate()
+        save_dataset(dataset.records, path)
+        loaded = load_dataset(path)
+        examples = [direct_format(record) for record in loaded]
+        assert all(e.targets["cycles"] > 0 for e in examples)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        record = make_record()
+        path = tmp_path / "gaps.jsonl"
+        import json
+
+        path.write_text("\n" + json.dumps(record_to_json(record)) + "\n\n")
+        assert len(load_dataset(str(path))) == 1

@@ -1,0 +1,61 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import ReproError
+from repro.errors import (
+    AnalysisError,
+    CalibrationError,
+    DatasetError,
+    LexError,
+    LoweringError,
+    ModelConfigError,
+    ParseError,
+    SchedulingError,
+    SimulationError,
+    SimulationLimitExceeded,
+    TokenizationError,
+    UnsupportedWorkloadError,
+)
+
+ALL_ERRORS = (
+    LexError,
+    ParseError,
+    AnalysisError,
+    LoweringError,
+    SchedulingError,
+    SimulationError,
+    SimulationLimitExceeded,
+    UnsupportedWorkloadError,
+    TokenizationError,
+    ModelConfigError,
+    CalibrationError,
+    DatasetError,
+)
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_errors_are_repro_errors(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+def test_limit_exceeded_is_simulation_error():
+    assert issubclass(SimulationLimitExceeded, SimulationError)
+
+
+def test_positional_errors_carry_location():
+    error = ParseError("bad token", line=3, column=7)
+    assert error.line == 3
+    assert error.column == 7
+    assert "line 3" in str(error)
+
+    lex_error = LexError("bad char", line=1, column=2)
+    assert lex_error.column == 2
+
+
+def test_catching_base_catches_all():
+    for error_cls in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            if error_cls in (LexError, ParseError):
+                raise error_cls("message", 1, 1)
+            raise error_cls("message")

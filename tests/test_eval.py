@@ -1,0 +1,88 @@
+"""Metrics and table renderer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    ape,
+    format_percent,
+    format_table,
+    mape,
+    mape_table,
+    mse,
+    pearson,
+)
+
+
+class TestMetrics:
+    def test_ape_basics(self):
+        assert ape(110, 100) == pytest.approx(0.1)
+        assert ape(90, 100) == pytest.approx(0.1)
+        assert ape(0, 0) == 0.0
+        assert ape(5, 0) == 1.0
+
+    def test_mape(self):
+        assert mape([110, 90], [100, 100]) == pytest.approx(0.1)
+
+    def test_mape_validates(self):
+        with pytest.raises(ValueError):
+            mape([1], [1, 2])
+        with pytest.raises(ValueError):
+            mape([], [])
+
+    def test_mse(self):
+        assert mse([1, 2], [0, 0]) == pytest.approx(2.5)
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [-2, -4, -6]) == pytest.approx(-1.0)
+
+    def test_pearson_flat_input_safe(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_validates(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1, max_value=1e6),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_mape_of_exact_predictions_is_zero(values):
+    assert mape(values, values) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1, max_value=1e6), min_size=1, max_size=10),
+    st.floats(min_value=0.01, max_value=2.0),
+)
+def test_mape_scales_with_relative_error(values, factor):
+    predicted = [v * (1 + factor) for v in values]
+    assert mape(predicted, values) == pytest.approx(factor, rel=1e-6)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.3%"
+
+    def test_mape_table_has_average_row(self):
+        def lookup(model, workload):
+            return {"m1": 0.1, "m2": 0.3}[model]
+
+        text = mape_table("T", ["w1", "w2"], ["m1", "m2"], lookup)
+        assert "average" in text
+        assert "10.0%" in text
+        assert "30.0%" in text

@@ -1,0 +1,118 @@
+"""Tests for confidence-quality metrics (reliability, ECE, risk-coverage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval import (
+    aurc,
+    expected_calibration_error,
+    reliability_bins,
+    risk_coverage_curve,
+)
+
+
+class TestReliabilityBins:
+    def test_perfectly_calibrated_two_bins(self):
+        # 0.25-confidence predictions right 25% of the time, 0.75 right 75%.
+        conf = [0.25] * 4 + [0.75] * 4
+        correct = [True, False, False, False, True, True, True, False]
+        bins = reliability_bins(conf, correct, n_bins=2)
+        assert len(bins) == 2
+        assert bins[0].accuracy == pytest.approx(0.25)
+        assert bins[1].accuracy == pytest.approx(0.75)
+        assert bins[0].gap == pytest.approx(0.0)
+        assert bins[1].gap == pytest.approx(0.0)
+
+    def test_empty_bins_omitted(self):
+        bins = reliability_bins([0.95, 0.99], [True, True], n_bins=10)
+        assert len(bins) == 1
+        assert bins[0].lower == pytest.approx(0.9)
+
+    def test_confidence_one_lands_in_top_bin(self):
+        bins = reliability_bins([1.0], [True], n_bins=10)
+        assert bins[0].upper == pytest.approx(1.0)
+
+    def test_out_of_range_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_bins([1.5], [True])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_bins([0.5, 0.5], [True])
+
+
+class TestECE:
+    def test_zero_for_perfect_calibration(self):
+        conf = [0.5] * 10
+        correct = [True] * 5 + [False] * 5
+        assert expected_calibration_error(conf, correct, n_bins=5) == pytest.approx(
+            0.0
+        )
+
+    def test_one_for_confident_always_wrong(self):
+        assert expected_calibration_error([1.0] * 8, [False] * 8) == pytest.approx(
+            1.0
+        )
+
+    def test_overconfidence_detected(self):
+        # 90% confident but only 50% accurate -> ECE = 0.4.
+        conf = [0.9] * 10
+        correct = [True] * 5 + [False] * 5
+        assert expected_calibration_error(conf, correct) == pytest.approx(0.4)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50),
+        st.data(),
+    )
+    def test_bounded_in_unit_interval(self, conf, data):
+        correct = data.draw(
+            st.lists(st.booleans(), min_size=len(conf), max_size=len(conf))
+        )
+        value = expected_calibration_error(conf, correct)
+        assert 0.0 <= value <= 1.0
+
+
+class TestRiskCoverage:
+    def test_curve_shape(self):
+        # Highest-confidence prediction has the lowest error.
+        conf = [0.9, 0.5, 0.1]
+        errors = [1.0, 2.0, 6.0]
+        curve = risk_coverage_curve(conf, errors)
+        assert curve == [
+            (pytest.approx(1 / 3), pytest.approx(1.0)),
+            (pytest.approx(2 / 3), pytest.approx(1.5)),
+            (pytest.approx(1.0), pytest.approx(3.0)),
+        ]
+
+    def test_final_point_is_unconditional_mean(self):
+        errors = [4.0, 8.0, 0.0, 4.0]
+        curve = risk_coverage_curve([0.1, 0.9, 0.5, 0.3], errors)
+        assert curve[-1][1] == pytest.approx(np.mean(errors))
+
+    def test_informative_confidence_beats_anticorrelated(self):
+        errors = [1.0, 2.0, 3.0, 10.0]
+        good = aurc([0.9, 0.8, 0.5, 0.1], errors)
+        bad = aurc([0.1, 0.5, 0.8, 0.9], errors)
+        assert good < bad
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            risk_coverage_curve([], [])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_aurc_bounded_by_error_range(self, pairs):
+        conf = [c for c, _ in pairs]
+        errors = [e for _, e in pairs]
+        value = aurc(conf, errors)
+        assert min(errors) - 1e-9 <= value <= max(errors) + 1e-9

@@ -1,0 +1,105 @@
+"""Harness protocol tests (no training): corpus hygiene, environments."""
+
+import pytest
+
+from repro.datagen import SynthesizerConfig
+from repro.eval import EvaluationHarness, HarnessConfig
+from repro.hls import HardwareParams
+from repro.workloads import accelerator_params, accelerator_suite, modern_suite, polybench_suite
+
+
+@pytest.fixture(scope="module")
+def harness():
+    config = HarnessConfig(
+        synth=SynthesizerConfig(n_ast=2, n_dataflow=3, n_llm=1),
+        neighbors_per_workload=2,
+        data_variants_per_workload=2,
+    )
+    return EvaluationHarness(config)
+
+
+class TestCorpusHygiene:
+    def test_eval_point_held_out(self, harness):
+        """No neighbor record may equal (program text, params, data) of
+        the evaluation point."""
+        from repro.lang import to_source
+
+        workload = modern_suite()[1]  # rb-dsc: has dynamic sweeps
+        records = harness._neighbor_records(workload)
+        assert records, "expected neighbor records"
+        eval_source = to_source(workload.program)
+        eval_params = harness.config.eval_params
+        eval_data = workload.merged_data()
+        for record in records:
+            same_program = to_source(record.program) == eval_source
+            same_params = record.params == eval_params
+            same_data = (record.data or {}) == eval_data
+            assert not (same_program and same_params and same_data)
+
+    def test_data_variants_use_eval_params(self, harness):
+        workload = modern_suite()[1]
+        records = harness._neighbor_records(workload)
+        data_variants = [
+            r for r in records
+            if r.params == harness.config.eval_params
+        ]
+        assert data_variants
+
+    def test_no_sweep_workload_varies_hardware(self, harness):
+        workload = polybench_suite()[1]  # atax: no dynamic sweeps
+        records = harness._neighbor_records(workload)
+        delays = {r.params.mem_read_delay for r in records}
+        assert len(delays) >= 2
+
+    def test_accelerator_params_forwarded(self, harness):
+        workload = accelerator_suite()[0]
+        params = accelerator_params(workload.name)
+        records = harness._neighbor_records(workload, eval_params=params)
+        assert any(r.params.pe_count == params.pe_count for r in records)
+
+    def test_corpus_mixes_sources(self, harness):
+        records = harness.build_corpus(polybench_suite()[:2])
+        kinds = {r.source_kind for r in records}
+        assert "external" in kinds and "ast" in kinds
+
+
+class TestCalibrationEnvironment:
+    def test_environment_excludes_default_data(self, harness):
+        workload = modern_suite()[1]
+        environment = harness.calibration_environment(workload)
+        assert 1 <= len(environment) <= 4
+        default_text = harness._workload_bundle(
+            workload, harness.config.eval_params
+        ).data_text
+        for bundle, actual, segments in environment:
+            assert bundle.data_text != default_text
+            assert actual > 0
+
+    def test_environment_ground_truth_varies_with_inputs(self, harness):
+        workload = modern_suite()[1]
+        environment = harness.calibration_environment(workload)
+        truths = {actual for _, actual, _ in environment}
+        assert len(truths) >= 2
+
+    def test_no_sweep_environment_still_valid(self, harness):
+        workload = polybench_suite()[1]  # atax
+        environment = harness.calibration_environment(workload)
+        assert len(environment) == 1
+
+
+class TestProfileWorkload:
+    def test_params_override(self, harness):
+        workload = polybench_suite()[1]
+        slow = harness.profile_workload(
+            workload, params=HardwareParams(mem_read_delay=20, mem_write_delay=20)
+        )
+        fast = harness.profile_workload(
+            workload, params=HardwareParams(mem_read_delay=2, mem_write_delay=2)
+        )
+        assert slow.costs.cycles > fast.costs.cycles
+
+    def test_data_override(self, harness):
+        workload = polybench_suite()[-1]  # seidel-2d with tsteps
+        low = harness.profile_workload(workload, data={"tsteps": 1})
+        high = harness.profile_workload(workload, data={"tsteps": 4})
+        assert high.costs.cycles > low.costs.cycles

@@ -1,0 +1,71 @@
+"""pass@k evaluation protocol tests."""
+
+from repro.eval.harness import EvalResult, WorkloadResult
+
+
+def make_result(pred, actual, beams):
+    row = WorkloadResult(
+        predictions={"cycles": pred},
+        actuals={"cycles": actual},
+        beam_values={"cycles": beams},
+    )
+    return row
+
+
+class TestPassAt:
+    def test_pass_at_1_ignores_beams(self):
+        row = make_result(pred=200, actual=100, beams=[100, 200])
+        assert row.ape_of("cycles", pass_at=1) == 1.0
+
+    def test_pass_at_k_takes_best_beam(self):
+        row = make_result(pred=200, actual=100, beams=[150, 100, 999])
+        assert row.ape_of("cycles", pass_at=5) == 0.0
+
+    def test_pass_at_k_bounded_by_candidates(self):
+        row = make_result(pred=200, actual=100, beams=[150, 100])
+        # pass@2 sees only the first two beams.
+        assert row.ape_of("cycles", pass_at=2) == 0.0
+        row2 = make_result(pred=200, actual=100, beams=[150, 100])
+        row2.beam_values["cycles"] = [150, 120, 100]
+        assert row2.ape_of("cycles", pass_at=2) == 0.2
+
+    def test_deterministic_models_unaffected(self):
+        row = WorkloadResult(predictions={"cycles": 90}, actuals={"cycles": 100})
+        assert row.ape_of("cycles", pass_at=5) == row.ape_of("cycles", pass_at=1)
+
+    def test_ranking_of_perfect_order(self):
+        result = EvalResult(
+            results={
+                "ours": {
+                    "w1": make_result(110, 100, []),
+                    "w2": make_result(210, 200, []),
+                    "w3": make_result(310, 300, []),
+                }
+            }
+        )
+        assert result.ranking_of("ours", "cycles") == 1.0
+
+    def test_ranking_of_inverted_order(self):
+        result = EvalResult(
+            results={
+                "ours": {
+                    "w1": make_result(300, 100, []),
+                    "w2": make_result(200, 200, []),
+                    "w3": make_result(100, 300, []),
+                }
+            }
+        )
+        assert result.ranking_of("ours", "cycles") == -1.0
+
+    def test_eval_result_aggregates_pass_at(self):
+        result = EvalResult(
+            results={
+                "ours": {
+                    "w1": make_result(200, 100, [100]),
+                    "w2": make_result(50, 100, [100]),
+                }
+            }
+        )
+        assert result.mape_of("ours", "cycles", pass_at=1) == 0.75
+        assert result.mape_of("ours", "cycles", pass_at=5) == 0.0
+        assert result.workload_ape("ours", "w1", "cycles", pass_at=5) == 0.0

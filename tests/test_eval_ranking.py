@@ -1,0 +1,186 @@
+"""Tests for the DSE ranking-fidelity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.eval import (
+    kendall_tau,
+    rankdata,
+    selection_regret,
+    spearman,
+    top_k_recall,
+)
+
+
+class TestRankdata:
+    def test_simple_order(self):
+        assert rankdata([30, 10, 20]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_share_average_rank(self):
+        assert rankdata([5, 5, 1]).tolist() == [2.5, 2.5, 1.0]
+
+    def test_all_equal(self):
+        assert rankdata([7, 7, 7, 7]).tolist() == [2.5] * 4
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman([1, 2, 3, 4], [10, 100, 1000, 10000]) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_flat_input_is_zero(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1])
+
+    @given(
+        st.lists(
+            st.integers(min_value=-10**6, max_value=10**6),
+            min_size=2,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_invariant_under_monotone_transform(self, xs):
+        ys = [3.0 * x + 7.0 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_one_swap(self):
+        # 5 concordant, 1 discordant pair out of 6 -> tau = 4/6.
+        assert kendall_tau([1, 2, 3, 4], [1, 3, 2, 4]) == pytest.approx(4 / 6)
+
+    def test_heavily_tied_predictions_score_low(self):
+        # A saturated regressor predicting a constant conveys no order.
+        assert kendall_tau([5, 5, 5, 5], [1, 2, 3, 4]) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_antisymmetric_under_negation(self, xs):
+        ys = list(range(len(xs)))
+        assert kendall_tau(xs, ys) == pytest.approx(
+            -kendall_tau([-x for x in xs], ys)
+        )
+
+
+class TestAgainstScipy:
+    """Cross-validation against the reference implementations."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-1000, max_value=1000),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    @settings(deadline=None)
+    def test_spearman_matches_scipy(self, pairs):
+        xs = [float(x) for x, _ in pairs]
+        ys = [float(y) for _, y in pairs]
+        if np.std(xs) == 0 or np.std(ys) == 0:
+            assert spearman(xs, ys) == 0.0
+            return
+        expected = stats.spearmanr(xs, ys).statistic
+        assert spearman(xs, ys) == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-50, max_value=50),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    @settings(deadline=None)
+    def test_kendall_matches_scipy_tau_b(self, pairs):
+        xs = [float(x) for x, _ in pairs]
+        ys = [float(y) for _, y in pairs]
+        expected = stats.kendalltau(xs, ys, variant="b").statistic
+        if np.isnan(expected):
+            assert kendall_tau(xs, ys) == 0.0
+            return
+        assert kendall_tau(xs, ys) == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(deadline=None)
+    def test_rankdata_matches_scipy(self, xs):
+        np.testing.assert_allclose(rankdata(xs), stats.rankdata(xs))
+
+
+class TestTopKRecall:
+    def test_perfect_model(self):
+        actual = [40, 10, 30, 20]
+        assert top_k_recall(actual, actual, k=2) == 1.0
+
+    def test_disjoint_top_sets(self):
+        assert top_k_recall([1, 2, 3, 4], [4, 3, 2, 1], k=2) == 0.0
+
+    def test_partial_overlap(self):
+        # Predicted-best two = {0, 1}; truly-best two = {0, 3}.
+        assert top_k_recall([1, 2, 3, 4], [1, 9, 8, 2], k=2) == 0.5
+
+    def test_k_bounds_validated(self):
+        with pytest.raises(ValueError):
+            top_k_recall([1, 2], [1, 2], k=0)
+        with pytest.raises(ValueError):
+            top_k_recall([1, 2], [1, 2], k=3)
+
+
+class TestSelectionRegret:
+    def test_zero_when_choice_optimal(self):
+        # Predictions wrong in scale but right at the argmin.
+        assert selection_regret([100, 5, 90], [20, 10, 30]) == 0.0
+
+    def test_positive_when_choice_suboptimal(self):
+        assert selection_regret([1, 9, 9], [20, 10, 30]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            selection_regret([], [])
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6),
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_never_negative(self, predicted, actual):
+        n = min(len(predicted), len(actual))
+        assert selection_regret(predicted[:n], actual[:n]) >= 0.0

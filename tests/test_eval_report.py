@@ -1,0 +1,67 @@
+"""Experiment report builder tests."""
+
+import os
+
+from repro.eval.report import (
+    EXPERIMENT_INDEX,
+    build_report,
+    collect_sections,
+    missing_experiments,
+    write_report,
+)
+
+
+def seed_results(tmp_path, names):
+    for name in names:
+        (tmp_path / name).write_text(f"content of {name}\n")
+    return str(tmp_path)
+
+
+class TestReport:
+    def test_empty_results_dir(self, tmp_path):
+        report = build_report(str(tmp_path))
+        assert "No results found" in report
+
+    def test_collects_known_files_only(self, tmp_path):
+        results = seed_results(
+            tmp_path, ["table2_benchmark_analysis.txt", "unrelated.txt"]
+        )
+        sections = collect_sections(results)
+        assert len(sections) == 1
+        assert sections[0].paper_reference == "Table 2"
+
+    def test_missing_experiments_listed(self, tmp_path):
+        results = seed_results(tmp_path, ["table2_benchmark_analysis.txt"])
+        missing = missing_experiments(results)
+        assert "fig11_timeloop.txt" in missing
+        assert "table2_benchmark_analysis.txt" not in missing
+
+    def test_report_contains_bodies_and_references(self, tmp_path):
+        results = seed_results(
+            tmp_path,
+            ["table2_benchmark_analysis.txt", "fig12_memory_latency.txt"],
+        )
+        report = build_report(results)
+        assert "content of table2_benchmark_analysis.txt" in report
+        assert "## Figure 12" in report
+        assert "2 experiments rendered" in report
+
+    def test_write_report_creates_file(self, tmp_path):
+        results = seed_results(tmp_path, ["table4_runtime_latency.txt"])
+        path = write_report(results)
+        assert os.path.exists(path)
+        assert path.endswith("REPORT.md")
+
+    def test_index_covers_all_bench_outputs(self):
+        # Every bench writes via conftest.write_result; the index must
+        # know every filename the suite produces.
+        import re
+
+        bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+        produced = set()
+        for name in os.listdir(bench_dir):
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(bench_dir, name)) as handle:
+                produced.update(re.findall(r'write_result\(\s*"([^"]+)"', handle.read()))
+        assert produced <= set(EXPERIMENT_INDEX), produced - set(EXPERIMENT_INDEX)

@@ -1,0 +1,46 @@
+"""Every example script must at least parse and expose a main()."""
+
+import ast as python_ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_parses_and_has_main(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    with open(path) as handle:
+        tree = python_ast.parse(handle.read(), filename=script)
+    top_level = {
+        node.name for node in tree.body if isinstance(node, python_ast.FunctionDef)
+    }
+    assert "main" in top_level, f"{script} must define main()"
+    assert python_ast.get_docstring(tree), f"{script} must have a module docstring"
+
+
+def test_readme_quickstart_block_executes():
+    import re
+
+    readme_path = os.path.join(EXAMPLES_DIR, "..", "README.md")
+    with open(readme_path) as handle:
+        readme = handle.read()
+    match = re.search(r"## Quickstart\n\n```python\n(.*?)```", readme, re.S)
+    assert match, "README must contain a python quickstart block"
+    exec(compile(match.group(1), "README-quickstart", "exec"), {})
+
+
+def test_expected_examples_present():
+    expected = {
+        "quickstart.py",
+        "dynamic_calibration.py",
+        "design_space_exploration.py",
+        "dataset_synthesis.py",
+        "accelerator_case_study.py",
+        "cost_attribution.py",
+    }
+    assert expected <= set(SCRIPTS)

@@ -1,0 +1,103 @@
+"""Failure-injection tests: components must degrade loudly and safely."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, LLMulatorConfig, bundle_from_program
+from repro.datagen import DatasetSynthesizer, SynthesizerConfig
+from repro.errors import (
+    DatasetError,
+    ModelConfigError,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from repro.profiler import Profiler
+from repro.tokenizer import ModelInput
+
+
+class TestSimulatorFailures:
+    def test_runaway_loop_bounded(self):
+        source = """
+void spin(int n) {
+  while (n < 1000000) { n = n + 0; }
+}
+void dataflow(int n) { spin(n); }
+"""
+        with pytest.raises(SimulationLimitExceeded):
+            Profiler(max_steps=10_000).profile(source, data={"n": 0})
+
+    def test_rank_mismatch_rejected(self):
+        source = """
+void f(float a[4][4]) { a[0] = 1.0; }
+void dataflow(float a[4][4]) { f(a); }
+"""
+        with pytest.raises(SimulationError):
+            Profiler().profile(source)
+
+    def test_scalar_passed_where_array_expected(self):
+        source = """
+void f(float a[4]) { a[0] = 1.0; }
+void dataflow(float x) { f(x); }
+"""
+        with pytest.raises(SimulationError):
+            Profiler().profile(source)
+
+    def test_wrong_arity_call(self):
+        source = """
+void f(float a[4], int n) { a[0] = 1.0; }
+void dataflow(float a[4]) { f(a); }
+"""
+        with pytest.raises(SimulationError):
+            Profiler().profile(source)
+
+
+class TestSynthesizerResilience:
+    def test_skipped_programs_counted_not_fatal(self):
+        # A small step budget forces some generated programs to fail
+        # (wide multi-operator graphs exceed it); the synthesizer must
+        # skip them and still deliver a dataset.
+        config = SynthesizerConfig(n_ast=3, n_dataflow=4, n_llm=1, max_steps=10_000)
+        dataset = DatasetSynthesizer(config).generate()
+        assert len(dataset.records) >= 8
+        assert dataset.skipped > 0
+
+    def test_impossible_budget_raises_dataset_error(self):
+        config = SynthesizerConfig(n_ast=5, n_dataflow=5, n_llm=0, max_steps=5)
+        with pytest.raises(DatasetError):
+            DatasetSynthesizer(config).generate()
+
+
+class TestModelRobustness:
+    def test_empty_bundle_still_predicts(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=64))
+        bundle = ModelInput(graph_text="void dataflow() { }")
+        prediction = model.predict_costs(bundle)
+        assert set(prediction.as_dict()) == {"power", "area", "ff", "cycles"}
+
+    def test_oversized_bundle_truncated_not_crashed(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=64))
+        huge_op = "void op(float a[8]) { " + "a[0] = a[0] + 1.0; " * 500 + "}"
+        bundle = ModelInput(
+            graph_text="void dataflow(float a[8]) { op(a); }",
+            op_texts=[huge_op],
+            data_text="n = 999999999",
+        )
+        prediction = model.predict(bundle, "cycles")
+        assert prediction.value >= 0
+
+    def test_metric_mismatch_raises(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", metrics=("cycles",)))
+        bundle = bundle_from_program(
+            "void op(float a[4]) { a[0] = 1.0; }\nvoid dataflow(float a[4]) { op(a); }"
+        )
+        with pytest.raises(ModelConfigError):
+            model.predict(bundle, "power")
+
+    def test_prediction_value_never_negative_or_out_of_range(self):
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=64))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            tokens = " ".join(str(rng.integers(0, 999)) for _ in range(10))
+            bundle = ModelInput(graph_text=f"void dataflow() {{ }} // {tokens}")
+            prediction = model.predict(bundle, "cycles")
+            assert 0 <= prediction.value <= model.config.codec().max_value

@@ -1,0 +1,120 @@
+"""HLS substrate tests: params, allocation, RTL features."""
+
+import pytest
+
+from repro.hls import (
+    HardwareParams,
+    RtlFeatures,
+    allocate_program,
+    extract_rtl_features,
+)
+from repro.lang import parse
+
+
+LOOPY = """
+void op(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      if (a[i][j] > 0.0) {
+        b[i][j] = a[i][j] * 2.0;
+      }
+    }
+  }
+}
+"""
+
+
+class TestHardwareParams:
+    def test_defaults(self):
+        params = HardwareParams()
+        assert params.mem_read_delay == 10
+        assert params.mem_write_delay == 10
+
+    def test_describe_renders_bambu_style(self):
+        text = HardwareParams(mem_read_delay=5).describe()
+        assert "-mem-delay-read=5" in text
+        assert "-mem-delay-write=10" in text
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareParams(mem_read_delay=0)
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareParams(pe_count=0)
+
+    def test_sweep_memory_delays(self):
+        sweep = HardwareParams.sweep_memory_delays((2, 5))
+        assert [p.mem_read_delay for p in sweep] == [2, 5]
+
+    def test_frozen_and_hashable(self):
+        assert hash(HardwareParams()) == hash(HardwareParams())
+
+
+class TestAllocation:
+    def test_basic_counts(self):
+        allocation = allocate_program(parse(LOOPY))
+        total = allocation.total
+        assert total.fp_multipliers >= 1
+        assert total.comparators >= 2  # loop bounds + data branch
+        assert total.multiplexers >= 1
+        assert total.module_instances >= 1
+
+    def test_unroll_duplicates_resources(self):
+        base = allocate_program(parse(LOOPY)).total
+        unrolled_src = LOOPY.replace(
+        "for (int j = 0", "#pragma unroll 4\n    for (int j = 0"
+        )
+        unrolled = allocate_program(parse(unrolled_src)).total
+        assert unrolled.fp_multipliers > base.fp_multipliers
+        assert unrolled.multiplexers > base.multiplexers
+
+    def test_array_decl_allocates_memory_words(self):
+        source = "void f() { float buf[16][4]; buf[0][0] = 1.0; }"
+        total = allocate_program(parse(source)).total
+        assert total.memory_words == 64
+
+    def test_scalar_decl_allocates_register(self):
+        source = "void f() { int x = 0; x = x + 1; }"
+        total = allocate_program(parse(source)).total
+        assert total.registers >= 1
+
+    def test_per_function_breakdown(self):
+        program = parse(LOOPY + "\nvoid top(float a[8][8], float b[8][8]) { op(a, b); }")
+        allocation = allocate_program(program)
+        assert set(allocation.per_function) == {"op", "top"}
+
+    def test_int_vs_float_units(self):
+        int_src = "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = a[i] * 2; } }"
+        total = allocate_program(parse(int_src)).total
+        assert total.int_multipliers >= 1
+        assert total.fp_multipliers == 0
+
+
+class TestRtlFeatures:
+    def test_feature_bundle(self):
+        features = extract_rtl_features(parse(LOOPY))
+        assert isinstance(features, RtlFeatures)
+        assert features.modules_instantiated >= 1
+        assert features.allocated_multiplexers >= 1
+        assert features.estimated_resource_area > 0
+
+    def test_think_text_format(self):
+        text = extract_rtl_features(parse(LOOPY)).think_text()
+        assert "Number of modules instantiated:" in text
+        assert "Number of allocated multiplexers:" in text
+        assert "Estimated resources area:" in text
+
+    def test_conflicts_grow_when_ports_shrink(self):
+        many_ports = extract_rtl_features(parse(LOOPY), HardwareParams(memory_ports=8))
+        few_ports = extract_rtl_features(parse(LOOPY), HardwareParams(memory_ports=1))
+        assert few_ports.performance_conflicts >= many_ports.performance_conflicts
+
+    def test_more_branches_more_muxes(self):
+        flat = "void f(float a[8]) { for (int i = 0; i < 8; i++) { a[i] = 1.0; } }"
+        flat_features = extract_rtl_features(parse(flat))
+        branchy_features = extract_rtl_features(parse(LOOPY))
+        assert (
+            branchy_features.allocated_multiplexers
+            > flat_features.allocated_multiplexers
+        )

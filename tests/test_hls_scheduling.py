@@ -1,0 +1,121 @@
+"""List-scheduler tests."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hls import HardwareParams
+from repro.hls.scheduling import (
+    OpKind,
+    ResourceBudget,
+    schedule_innermost_loops,
+    schedule_statements,
+)
+from repro.lang import parse
+
+
+def stmts_of(body_source):
+    program = parse(f"void f(float a[8][8], float b[8][8], float x, float y) {{ {body_source} }}")
+    return program.function("f").body.stmts
+
+
+class TestScheduleStatements:
+    def test_empty_schedule(self):
+        result = schedule_statements([])
+        assert result.total_latency == 0
+        assert result.ilp == 0.0
+
+    def test_single_store_latency(self):
+        result = schedule_statements(
+            stmts_of("a[0][0] = 1.0;"), HardwareParams(mem_write_delay=7)
+        )
+        assert result.total_latency == 7
+
+    def test_dependent_chain_serializes(self):
+        # x = x*y then y = x+1: the add must wait for the multiply.
+        result = schedule_statements(stmts_of("x = x * y; y = x + 1.0;"))
+        mul = next(op for op in result.operations if op.kind is OpKind.MUL)
+        add_ops = [op for op in result.operations if op.kind is OpKind.ADD]
+        assert any(a.start >= mul.start + 3 for a in add_ops)
+
+    def test_independent_ops_parallel(self):
+        result = schedule_statements(stmts_of("x = x + 1.0; y = y + 2.0;"))
+        adds = [op for op in result.operations if op.kind is OpKind.ADD]
+        assert len(adds) == 2
+        assert adds[0].start == adds[1].start  # two adders available
+
+    def test_resource_limit_serializes(self):
+        budget = ResourceBudget(adders=1)
+        result = schedule_statements(
+            stmts_of("x = x + 1.0; y = y + 2.0;"), budget=budget
+        )
+        adds = [op for op in result.operations if op.kind is OpKind.ADD]
+        assert adds[0].start != adds[1].start
+
+    def test_memory_ports_shared_by_loads_and_stores(self):
+        params = HardwareParams(memory_ports=1, mem_read_delay=2, mem_write_delay=2)
+        result = schedule_statements(
+            stmts_of("a[0][0] = b[0][0]; a[1][1] = b[1][1];"), params
+        )
+        memory_ops = [
+            op for op in result.operations
+            if op.kind in (OpKind.LOAD, OpKind.STORE)
+        ]
+        starts = sorted(op.start for op in memory_ops)
+        assert len(set(starts)) == len(starts)  # fully serialized
+
+    def test_resource_pressure_reported(self):
+        result = schedule_statements(stmts_of("x = x + 1.0; y = y + 2.0;"))
+        assert result.resource_pressure.get("add") == 2
+
+    def test_calls_rejected(self):
+        program = parse("void g() { }\nvoid f() { g(); }")
+        with pytest.raises(SchedulingError):
+            schedule_statements(program.function("f").body.stmts)
+
+    def test_control_flow_rejected(self):
+        stmts = stmts_of("if (x > 0.0) { x = 1.0; }")
+        with pytest.raises(SchedulingError):
+            schedule_statements(stmts)
+
+
+class TestScheduleLoops:
+    GEMM = """
+void gemm(float a[8][8], float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        c[i][j] += a[i][k] * b[k][j];
+      }
+    }
+  }
+}
+"""
+
+    def test_innermost_loop_scheduled(self):
+        func = parse(self.GEMM).function("gemm")
+        schedules = schedule_innermost_loops(func)
+        assert "k" in schedules
+        assert schedules["k"].total_latency > 0
+
+    def test_branchy_bodies_skipped(self):
+        source = """
+void f(float a[8]) {
+  for (int i = 0; i < 8; i++) {
+    if (a[i] > 0.0) { a[i] = 0.0; }
+  }
+}
+"""
+        func = parse(source).function("f")
+        assert schedule_innermost_loops(func) == {}
+
+    def test_memory_delay_lengthens_schedule(self):
+        func = parse(self.GEMM).function("gemm")
+        fast = schedule_innermost_loops(func, HardwareParams(mem_read_delay=2, mem_write_delay=2))
+        slow = schedule_innermost_loops(func, HardwareParams(mem_read_delay=20, mem_write_delay=20))
+        assert slow["k"].total_latency > fast["k"].total_latency
+
+    def test_ilp_positive_and_bounded(self):
+        func = parse(self.GEMM).function("gemm")
+        schedules = schedule_innermost_loops(func)
+        result = schedules["k"]
+        assert 0.0 < result.ilp <= len(result.operations)

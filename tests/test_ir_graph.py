@@ -1,0 +1,102 @@
+"""Dataflow and program graph tests."""
+
+import pytest
+
+from repro.ir import NODE_TYPE_INDEX, build_dataflow_graph, build_program_graph
+from repro.lang import parse
+from repro.lang.analysis import OperatorClass
+
+
+CHAIN = """
+void produce(float src[8][8], float dst[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      dst[i][j] = src[i][j] * 2.0;
+    }
+  }
+}
+
+void consume(float src[8][8], float dst[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      if (src[i][j] > 0.0) {
+        dst[i][j] = src[i][j];
+      }
+    }
+  }
+}
+
+void dataflow(float a[8][8], float b[8][8], float c[8][8]) {
+  produce(a, b);
+  consume(b, c);
+}
+"""
+
+
+class TestDataflowGraph:
+    def test_operator_calls_extracted(self):
+        graph = build_dataflow_graph(parse(CHAIN))
+        assert graph.graph_function == "dataflow"
+        assert [call.name for call in graph.calls] == ["produce", "consume"]
+
+    def test_producer_consumer_edge(self):
+        graph = build_dataflow_graph(parse(CHAIN))
+        assert graph.nx_graph.has_edge(0, 1)
+        assert graph.nx_graph.edges[0, 1]["array"] == "b"
+
+    def test_read_write_inference(self):
+        graph = build_dataflow_graph(parse(CHAIN))
+        produce = graph.calls[0]
+        assert produce.reads == ["a"]
+        assert produce.writes == ["b"]
+
+    def test_operator_classes_attached(self):
+        graph = build_dataflow_graph(parse(CHAIN))
+        assert graph.calls[0].operator_class is OperatorClass.CLASS_I
+        assert graph.calls[1].operator_class is OperatorClass.CLASS_II
+        assert graph.class_i_indices() == [0]
+        assert graph.class_ii_indices() == [1]
+
+    def test_explicit_graph_function(self):
+        graph = build_dataflow_graph(parse(CHAIN), graph_function="dataflow")
+        assert graph.operator_count == 2
+
+    def test_fallback_to_last_function(self):
+        source = CHAIN.replace("void dataflow", "void my_top")
+        graph = build_dataflow_graph(parse(source))
+        assert graph.graph_function == "my_top"
+
+    def test_empty_program_rejected(self):
+        from repro.errors import LoweringError
+
+        with pytest.raises(LoweringError):
+            build_dataflow_graph(parse(""))
+
+
+class TestProgramGraph:
+    def test_nodes_typed(self):
+        graph = build_program_graph(parse(CHAIN))
+        types = {attrs["type"] for _, attrs in graph.nodes(data=True)}
+        assert {"function", "loop", "store", "load"} <= types
+        assert all(t in NODE_TYPE_INDEX for t in types)
+
+    def test_branch_node_present(self):
+        graph = build_program_graph(parse(CHAIN))
+        branches = [n for n, a in graph.nodes(data=True) if a["type"] == "branch"]
+        assert len(branches) == 1
+
+    def test_const_value_log_scaled(self):
+        graph = build_program_graph(parse("void f(float x) { x = 100.0; }"))
+        consts = [a["value"] for _, a in graph.nodes(data=True) if a["type"] == "const"]
+        assert len(consts) == 1
+        assert 4.0 < consts[0] < 5.0  # log1p(100)
+
+    def test_seq_edges_link_statements(self):
+        graph = build_program_graph(parse("void f(int x) { x = 1; x = 2; x = 3; }"))
+        seq_edges = [e for e in graph.edges(data=True) if e[2]["kind"] == "seq"]
+        assert len(seq_edges) == 2
+
+    def test_graph_grows_with_program_size(self):
+        small = build_program_graph(parse("void f(int x) { x = 1; }"))
+        large = build_program_graph(parse(CHAIN))
+        assert large.number_of_nodes() > small.number_of_nodes()

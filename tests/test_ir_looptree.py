@@ -1,0 +1,110 @@
+"""Loop-tree IR tests."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir import LoopBound, LoopNode, StatementLeaf, lower_function
+from repro.lang import parse
+
+
+def tree_of(source, name):
+    return lower_function(parse(source).function(name))
+
+
+GEMM = """
+void gemm(float a[8][8], float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        c[i][j] += a[i][k] * b[k][j];
+      }
+    }
+  }
+}
+"""
+
+
+class TestLoopBound:
+    def test_static_bound_resolves(self):
+        assert LoopBound(constant=8).resolve({}) == 8
+
+    def test_symbolic_bound_needs_binding(self):
+        bound = LoopBound(symbol="n")
+        assert bound.resolve({"n": 5}) == 5
+        with pytest.raises(LoweringError):
+            bound.resolve({})
+
+    def test_empty_bound_rejected(self):
+        with pytest.raises(LoweringError):
+            LoopBound().resolve({})
+
+
+class TestLowering:
+    def test_gemm_is_perfect_nest(self):
+        tree = tree_of(GEMM, "gemm")
+        assert tree.is_perfect_nest
+        assert tree.max_depth == 3
+
+    def test_trip_counts(self):
+        tree = tree_of(GEMM, "gemm")
+        loops = tree.all_loops()
+        assert [loop.trip_count() for loop in loops] == [8, 8, 8]
+
+    def test_step_respected_in_trip_count(self):
+        source = "void f(float a[8]) { for (int i = 0; i < 8; i += 2) { a[i] = 0.0; } }"
+        tree = tree_of(source, "f")
+        assert tree.all_loops()[0].trip_count() == 4
+
+    def test_symbolic_bound_lowered(self):
+        source = "void f(float a[8], int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }"
+        tree = tree_of(source, "f")
+        loop = tree.all_loops()[0]
+        assert not loop.bound.is_static
+        assert loop.trip_count({"n": 6}) == 6
+
+    def test_branch_breaks_perfect_nest(self):
+        source = """
+void f(float a[8]) {
+  for (int i = 0; i < 8; i++) {
+    if (a[i] > 0.0) { a[i] = 0.0; }
+  }
+}
+"""
+        assert not tree_of(source, "f").is_perfect_nest
+
+    def test_two_sibling_loops_not_perfect(self):
+        source = """
+void f(float a[8]) {
+  for (int i = 0; i < 8; i++) { a[i] = 0.0; }
+  for (int j = 0; j < 8; j++) { a[j] = 1.0; }
+}
+"""
+        assert not tree_of(source, "f").is_perfect_nest
+
+    def test_leaf_op_mix(self):
+        tree = tree_of(GEMM, "gemm")
+        node = tree.roots[0]
+        while isinstance(node.children[0], LoopNode):
+            node = node.children[0]
+        leaf = node.children[0]
+        assert isinstance(leaf, StatementLeaf)
+        assert leaf.muls == 1
+        assert leaf.adds >= 1  # += introduces an add
+        assert leaf.loads == 2
+        assert leaf.stores == 1
+
+    def test_unroll_and_parallel_recorded(self):
+        source = """
+void f(float a[8]) {
+  #pragma unroll 4
+  for (int i = 0; i < 8; i++) { a[i] = 0.0; }
+}
+"""
+        loop = tree_of(source, "f").all_loops()[0]
+        assert loop.unroll == 4
+
+    def test_while_lowered_symbolically(self):
+        source = "void f(int x) { while (x > 0) { x = x - 1; } }"
+        tree = tree_of(source, "f")
+        loop = tree.all_loops()[0]
+        assert loop.bound.symbol == "<while>"

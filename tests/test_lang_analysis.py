@@ -1,0 +1,124 @@
+"""Control-flow analysis (Class I/II classification) tests."""
+
+from repro.lang import (
+    OperatorClass,
+    TaintKind,
+    analyze_function,
+    classify_operators,
+    count_dynamic_parameters,
+    extract_features,
+    parse,
+)
+
+
+TRANSPOSE = """
+void transpose(float a[8][8], float b[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      b[j][i] = a[i][j];
+    }
+  }
+}
+"""
+
+RELU = """
+void relu(float v[64]) {
+  for (int i = 0; i < 64; i++) {
+    if (v[i] < 0.0) {
+      v[i] = 0.0;
+    }
+  }
+}
+"""
+
+SLIDING = """
+void window(float v[64], int h) {
+  for (int i = 0; i < h; i++) {
+    v[i] = v[i] * 2.0;
+  }
+}
+"""
+
+INDIRECT = """
+void indirect(float v[64], int n) {
+  int bound = n * 2;
+  for (int i = 0; i < bound; i++) {
+    v[i] = 0.0;
+  }
+}
+"""
+
+
+class TestClassification:
+    def test_constant_bounds_are_class_i(self):
+        report = analyze_function(parse(TRANSPOSE).function("transpose"))
+        assert report.operator_class is OperatorClass.CLASS_I
+        assert not report.is_input_dependent
+
+    def test_data_branch_is_class_ii_with_data_taint(self):
+        report = analyze_function(parse(RELU).function("relu"))
+        assert report.operator_class is OperatorClass.CLASS_II
+        assert report.condition_taint & TaintKind.DATA
+
+    def test_scalar_bound_is_class_ii_with_size_taint(self):
+        report = analyze_function(parse(SLIDING).function("window"))
+        assert report.operator_class is OperatorClass.CLASS_II
+        assert report.condition_taint & TaintKind.SIZE
+        assert "h" in report.dynamic_params
+
+    def test_indirect_scalar_flow_detected(self):
+        report = analyze_function(parse(INDIRECT).function("indirect"))
+        assert report.operator_class is OperatorClass.CLASS_II
+        assert "n" in report.dynamic_params
+
+    def test_loop_and_branch_counts(self):
+        report = analyze_function(parse(RELU).function("relu"))
+        assert report.loop_count == 1
+        assert report.branch_count == 1
+
+    def test_classify_all_functions(self):
+        program = parse(TRANSPOSE + RELU)
+        reports = classify_operators(program)
+        assert reports["transpose"].operator_class is OperatorClass.CLASS_I
+        assert reports["relu"].operator_class is OperatorClass.CLASS_II
+
+
+class TestDynamicParameters:
+    def test_count_dynamic_parameters(self):
+        program = parse(SLIDING + TRANSPOSE)
+        assert count_dynamic_parameters(program) == 1
+
+    def test_unused_scalar_not_dynamic(self):
+        source = "void f(float v[8], int unused) { v[0] = 1.0; }"
+        report = analyze_function(parse(source).function("f"))
+        assert report.dynamic_params == []
+
+
+class TestFeatures:
+    def test_feature_extraction_counts(self):
+        features = extract_features(parse(TRANSPOSE))
+        assert features.loop_count == 2
+        assert features.max_loop_depth == 2
+        assert features.array_access_count == 2
+        assert features.constant_loop_trip_product == 64.0
+
+    def test_feature_vector_length_matches_tenset_dim(self):
+        from repro.baselines.tenset_mlp import FEATURE_DIM, _MAX_SCALAR_FEATURES
+
+        vector = extract_features(parse(RELU)).as_vector()
+        assert len(vector) == FEATURE_DIM - 4 - _MAX_SCALAR_FEATURES
+
+    def test_trip_product_capped(self):
+        source = """
+void huge(float v[8]) {
+  for (int a = 0; a < 100000; a++) {
+    for (int b = 0; b < 100000; b++) {
+      for (int c = 0; c < 100000; c++) {
+        v[0] = 1.0;
+      }
+    }
+  }
+}
+"""
+        features = extract_features(parse(source))
+        assert features.constant_loop_trip_product <= 1e12

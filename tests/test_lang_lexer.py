@@ -1,0 +1,113 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.lang import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+
+    def test_keyword(self):
+        assert kinds("for") == [TokenKind.KEYWORD]
+
+    def test_int_literal(self):
+        tokens = tokenize("1234")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "1234"
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [TokenKind.FLOAT]
+
+    def test_float_with_exponent(self):
+        assert kinds("1e5 2.5e-3 1.0E+2") == [TokenKind.FLOAT] * 3
+
+    def test_float_f_suffix(self):
+        tokens = tokenize("1.5f")
+        assert tokens[0].kind is TokenKind.FLOAT
+        assert tokens[0].text == "1.5f"
+
+    def test_leading_dot_float(self):
+        assert kinds(".5") == [TokenKind.FLOAT]
+
+    def test_multichar_punctuators_longest_match(self):
+        assert texts("<= >= == != && || ++ --") == [
+            "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+        ]
+
+    def test_shift_operators(self):
+        assert texts("a << 2 >> 1") == ["a", "<<", "2", ">>", "1"]
+
+    def test_compound_assignment(self):
+        assert texts("x += 1") == ["x", "+=", "1"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPragmas:
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma unroll 4\nfor")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].text == "#pragma unroll 4"
+        assert tokens[1].is_keyword("for")
+
+    def test_non_pragma_directive_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#include <stdio.h>")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_token_helpers(self):
+        token = Token(TokenKind.PUNCT, "{", 1, 1)
+        assert token.is_punct("{")
+        assert not token.is_punct("}")
+        assert not token.is_keyword("for")
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_any_integer_lexes_to_single_int_token(value):
+    tokens = tokenize(str(value))
+    assert tokens[0].kind is TokenKind.INT
+    assert int(tokens[0].text) == value
+
+
+@given(st.from_regex(r"[a-zA-Z_][a-zA-Z_0-9]{0,10}", fullmatch=True))
+def test_any_identifier_like_string_lexes(name):
+    tokens = tokenize(name)
+    assert tokens[0].kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+    assert tokens[0].text == name

@@ -1,0 +1,116 @@
+"""Program normalization tests (the implemented §7.2 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import AstGenerator
+from repro.lang import parse, to_source
+from repro.lang.normalize import normalize, simplify_expr
+from repro.lang.parser import parse_expression
+from repro.lang.printer import format_expr
+from repro.sim import Interpreter, default_inputs
+
+
+class TestSimplifyExpr:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("2 + 3", "5"),
+            ("(2 + 3) * x", "(5 * x)"),
+            ("x + 0", "x"),
+            ("0 + x", "x"),
+            ("x - 0", "x"),
+            ("x * 1", "x"),
+            ("1 * x", "x"),
+            ("x * 0", "0"),
+            ("x / 1", "x"),
+            ("-(3)", "(-3)"),
+            ("2.0 * 4.0", "8.0"),
+            ("1 ? x : y", "x"),
+            ("0 ? x : y", "y"),
+        ],
+    )
+    def test_folding(self, source, expected):
+        assert format_expr(simplify_expr(parse_expression(source))) == expected
+
+    def test_division_by_zero_not_folded(self):
+        assert format_expr(simplify_expr(parse_expression("5 / 0"))) == "(5 / 0)"
+
+    def test_nested_folding(self):
+        expr = parse_expression("a[(1 + 1)] + (2 * 3)")
+        assert format_expr(simplify_expr(expr)) == "(a[2] + 6)"
+
+
+class TestNormalize:
+    SOURCE = """
+void op(float data[8], int n) {
+  float accumulator_total = 0.0;
+  int loop_limit = 4 + 4;
+  for (int outer_index = 0; outer_index < loop_limit; outer_index++) {
+    accumulator_total = accumulator_total + data[outer_index] * 1.0;
+  }
+  data[0] = accumulator_total + 0.0;
+}
+"""
+
+    def test_locals_renamed_canonically(self):
+        normalized = normalize(parse(self.SOURCE))
+        text = to_source(normalized)
+        assert "v0" in text and "v1" in text and "v2" in text
+        assert "accumulator_total" not in text
+        assert "outer_index" not in text
+
+    def test_parameters_keep_names(self):
+        normalized = normalize(parse(self.SOURCE))
+        text = to_source(normalized)
+        assert "data" in text
+        assert "int n" in text
+
+    def test_identities_removed(self):
+        normalized = normalize(parse(self.SOURCE))
+        text = to_source(normalized)
+        assert "* 1.0" not in text
+        assert "+ 0.0" not in text
+        assert "4 + 4" not in text
+
+    def test_original_untouched(self):
+        program = parse(self.SOURCE)
+        before = to_source(program)
+        normalize(program)
+        assert to_source(program) == before
+
+    def test_normalization_is_idempotent(self):
+        program = parse(self.SOURCE)
+        once = to_source(normalize(program))
+        twice = to_source(normalize(parse(once)))
+        assert once == twice
+
+    def test_normalized_program_same_simulation_results(self):
+        program = parse(self.SOURCE)
+        normalized = normalize(program)
+        inputs = default_inputs(program, "op", rng=np.random.default_rng(0))
+        result = Interpreter(program).run("op", {k: (v.copy() if hasattr(v, "copy") else v) for k, v in inputs.items()})
+        inputs2 = default_inputs(normalized, "op", rng=np.random.default_rng(0))
+        result2 = Interpreter(normalized).run("op", inputs2)
+        assert result.return_value == result2.return_value
+        # Folding removes executed ops, so cycles may only decrease.
+        assert result2.cycles <= result.cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_normalization_preserves_generated_program_semantics(seed):
+    """Property: for random generated programs, normalization preserves
+    the memory state produced by simulation."""
+    program = AstGenerator(seed=seed).generate_program()
+    normalized = normalize(program)
+    top = program.function_names[-1]
+    inputs_a = default_inputs(program, top, rng=np.random.default_rng(seed))
+    inputs_b = default_inputs(normalized, top, rng=np.random.default_rng(seed))
+    Interpreter(program, max_steps=2_000_000).run(top, inputs_a)
+    Interpreter(normalized, max_steps=2_000_000).run(top, inputs_b)
+    for name in inputs_a:
+        a, b = inputs_a[name], inputs_b[name]
+        if isinstance(a, np.ndarray):
+            assert np.allclose(a, b), name

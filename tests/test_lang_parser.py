@@ -1,0 +1,176 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse, parse_expression
+
+
+GEMM = """
+void gemm(float a[8][8], float b[8][8], float c[8][8], int n) {
+  #pragma unroll 4
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < n; k++) {
+        acc = acc + a[i][k] * b[k][j];
+      }
+      c[i][j] = acc;
+    }
+  }
+}
+"""
+
+
+class TestFunctions:
+    def test_function_signature(self):
+        program = parse(GEMM)
+        func = program.function("gemm")
+        assert func.return_type.base == "void"
+        assert [p.name for p in func.params] == ["a", "b", "c", "n"]
+        assert func.params[0].type.rank == 2
+        assert not func.params[3].type.is_array
+
+    def test_sized_parameter_dims(self):
+        func = parse(GEMM).function("gemm")
+        dims = func.params[0].type.dims
+        assert all(isinstance(d, ast.IntLit) and d.value == 8 for d in dims)
+
+    def test_unsized_parameter_dims(self):
+        program = parse("void f(float a[][]) { }")
+        dims = program.function("f").params[0].type.dims
+        assert dims == [None, None]
+
+    def test_missing_function_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            parse(GEMM).function("nonexistent")
+
+    def test_multiple_functions(self):
+        program = parse(GEMM + "\nvoid top(float a[8][8]) { }")
+        assert program.function_names == ["gemm", "top"]
+
+
+class TestStatements:
+    def test_pragma_attaches_to_loop(self):
+        loop = ast.loops_in(parse(GEMM).function("gemm").body)[0]
+        assert loop.unroll_factor == 4
+
+    def test_pragma_full_unroll(self):
+        program = parse(
+            "void f() { #pragma clang loop unroll(full)\nfor (int i = 0; i < 4; i++) { } }"
+        )
+        loop = ast.loops_in(program.function("f").body)[0]
+        assert loop.unroll_factor == 0
+
+    def test_parallel_pragma(self):
+        program = parse(
+            "void f() { #pragma omp parallel for\nfor (int i = 0; i < 4; i++) { } }"
+        )
+        assert ast.loops_in(program.function("f").body)[0].is_parallel
+
+    def test_if_else(self):
+        program = parse("void f(int x) { if (x > 0) { x = 1; } else { x = 2; } }")
+        stmt = program.function("f").body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_while_loop(self):
+        program = parse("void f(int x) { while (x > 0) { x = x - 1; } }")
+        assert isinstance(program.function("f").body.stmts[0], ast.While)
+
+    def test_break_continue_return(self):
+        program = parse(
+            "int f(int x) { for (int i = 0; i < 4; i++) { if (i == 2) { break; } continue; } return x; }"
+        )
+        body = program.function("f").body
+        assert isinstance(body.stmts[-1], ast.Return)
+
+    def test_braceless_loop_body(self):
+        program = parse("void f(float a[4]) { for (int i = 0; i < 4; i++) a[i] = 0.0; }")
+        loop = ast.loops_in(program.function("f").body)[0]
+        assert len(loop.body.stmts) == 1
+
+    def test_increment_statement_desugars(self):
+        program = parse("void f(int x) { x++; }")
+        stmt = program.function("f").body.stmts[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+="
+
+    def test_decrement_for_step(self):
+        program = parse("void f(float a[8]) { for (int i = 7; i >= 0; i -= 1) { a[i] = 0.0; } }")
+        loop = ast.loops_in(program.function("f").body)[0]
+        assert isinstance(loop.step, ast.Assign)
+        assert loop.step.op == "-="
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_logical_operators_lowest(self):
+        expr = parse_expression("a < b && c > d")
+        assert expr.op == "&&"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x * 2")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_multidim_index_flattened(self):
+        expr = parse_expression("a[i][j][k]")
+        assert isinstance(expr, ast.Index)
+        assert len(expr.indices) == 3
+
+    def test_call_with_args(self):
+        expr = parse_expression("f(1, x, g(2))")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.CallExpr)
+
+    def test_ternary(self):
+        expr = parse_expression("a > 0 ? 1 : 2")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1 }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1;")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("void f() { 1 = 2; }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("void f() {\n  int x = ;\n}")
+        assert excinfo.value.line == 2
+
+
+class TestAstHelpers:
+    def test_loops_in(self):
+        assert len(ast.loops_in(parse(GEMM).function("gemm").body)) == 3
+
+    def test_max_loop_depth(self):
+        assert ast.max_loop_depth(parse(GEMM).function("gemm").body) == 3
+
+    def test_walk_visits_all_statement_types(self):
+        program = parse(GEMM)
+        node_types = {type(n).__name__ for n in ast.walk(program)}
+        assert {"FunctionDef", "For", "Assign", "BinOp", "Index"} <= node_types

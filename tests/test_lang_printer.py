@@ -1,0 +1,68 @@
+"""Pretty-printer tests, including round-trip stability."""
+
+import pytest
+
+from repro.lang import ast, format_expr, parse, parse_expression, to_source
+
+
+ROUND_TRIP_SOURCES = [
+    "void f(float a[8], int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }",
+    "void f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+    "void f(int x) { while (x > 0) { x = x - 1; } }",
+    "int f(int x) { return x + 1; }",
+    "void f(float a[4][4]) { #pragma unroll 2\nfor (int i = 0; i < 4; i++) { a[i][i] = 0.0; } }",
+    "void f(int x) { for (int i = 0; i < 4; i++) { if (i == 2) { break; } continue; } }",
+    "void f(float a[8]) { a[0] = (1.0 + 2.0) * 3.0 / 4.0; }",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip_is_idempotent(source):
+    once = to_source(parse(source))
+    twice = to_source(parse(once))
+    assert once == twice
+
+
+def test_round_trip_preserves_structure():
+    source = ROUND_TRIP_SOURCES[0]
+    program = parse(to_source(parse(source)))
+    loops = ast.loops_in(program.function("f").body)
+    assert len(loops) == 1
+
+
+def test_expression_formatting_parenthesized():
+    expr = parse_expression("1 + 2 * 3")
+    assert format_expr(expr) == "(1 + (2 * 3))"
+
+
+def test_expression_round_trip_value_preserving():
+    text = format_expr(parse_expression("a[i][j] * -2 + f(x, 1.5)"))
+    reparsed = parse_expression(text)
+    assert format_expr(reparsed) == text
+
+
+def test_pragma_text_preserved():
+    source = (
+        "void f(float a[4]) { #pragma unroll 2\n"
+        "for (int i = 0; i < 4; i++) { a[i] = 0.0; } }"
+    )
+    printed = to_source(parse(source))
+    assert "#pragma unroll 2" in printed
+
+
+def test_float_formatting_keeps_decimal_point():
+    printed = to_source(parse("void f(float x) { x = 2.0; }"))
+    assert "2.0" in printed
+
+
+def test_else_branch_printed():
+    printed = to_source(parse("void f(int x) { if (x > 0) { x = 1; } else { x = 2; } }"))
+    assert "} else {" in printed
+
+
+def test_unknown_node_rejected():
+    class Bogus(ast.Expr):
+        pass
+
+    with pytest.raises(TypeError):
+        format_expr(Bogus())

@@ -1,0 +1,167 @@
+"""Layer, optimizer and serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.nn import (
+    Adam,
+    AdamW,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LoRALinear,
+    Module,
+    SGD,
+    Sequential,
+    Tensor,
+    load_model,
+    mlp,
+    save_model,
+)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_bias_optional(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+
+    def test_parameters_discovered(self):
+        layer = Linear(4, 3)
+        assert len(list(layer.parameters())) == 2
+
+
+class TestLoRA:
+    def test_adapter_starts_as_identity_of_base(self):
+        rng = np.random.default_rng(0)
+        lora = LoRALinear(4, 3, rank=2, rng=rng)
+        x = Tensor(np.ones((2, 4)))
+        base_out = x.data @ lora.weight.data + lora.bias.data
+        assert np.allclose(lora(x).data, base_out)
+
+    def test_only_adapter_trains(self):
+        lora = LoRALinear(4, 3, rank=2)
+        names = [n for n, _ in lora.named_parameters()]
+        assert any("lora_a" in n for n in names)
+        assert not any(n.endswith(".weight") and "lora" not in n for n in names)
+
+    def test_merge_adapter(self):
+        rng = np.random.default_rng(1)
+        lora = LoRALinear(4, 3, rank=2, rng=rng)
+        lora.lora_b.data = rng.standard_normal(lora.lora_b.shape)
+        x = Tensor(rng.standard_normal((2, 4)))
+        before = lora(x).data.copy()
+        lora.merge_adapter()
+        assert np.allclose(lora(x).data, before, atol=1e-10)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ModelConfigError):
+            LoRALinear(4, 3, rank=0)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([1, 5, 1]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[2])
+
+    def test_out_of_range_rejected(self):
+        emb = Embedding(10, 4)
+        with pytest.raises(ModelConfigError):
+            emb(np.array([10]))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(np.random.default_rng(0).standard_normal((3, 8)) * 10 + 5))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestModule:
+    def test_mlp_structure(self):
+        net = mlp([4, 8, 2])
+        assert len(net.modules) == 3  # linear, relu, linear
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ModelConfigError):
+            mlp([4])
+
+    def test_parameter_count(self):
+        net = mlp([4, 8, 2])
+        assert net.parameter_count() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_round_trip(self):
+        net = mlp([4, 8, 2], rng=np.random.default_rng(0))
+        other = mlp([4, 8, 2], rng=np.random.default_rng(99))
+        other.load_state_dict(net.state_dict())
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(net(x).data, other(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = mlp([4, 8, 2])
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ModelConfigError):
+            net.load_state_dict(state)
+
+    def test_zero_grad(self):
+        net = mlp([2, 2])
+        out = net(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+def _loss_of(net):
+    x = Tensor(np.ones((4, 3)))
+    target = Tensor(np.full((4, 1), 2.0))
+    out = net(x)
+    return ((out - target) ** 2).sum()
+
+
+@pytest.mark.parametrize("optimizer_cls", [SGD, Adam, AdamW])
+def test_optimizers_reduce_loss(optimizer_cls):
+    net = mlp([3, 8, 1], rng=np.random.default_rng(0))
+    optimizer = optimizer_cls(net.parameters(), lr=1e-2)
+    initial = float(_loss_of(net).data)
+    for _ in range(50):
+        optimizer.zero_grad()
+        loss = _loss_of(net)
+        loss.backward()
+        optimizer.step()
+    assert float(_loss_of(net).data) < initial * 0.1
+
+
+def test_gradient_clipping():
+    net = mlp([3, 1], rng=np.random.default_rng(0))
+    optimizer = SGD(net.parameters(), lr=1e-2)
+    loss = _loss_of(net) * 1e6
+    loss.backward()
+    norm = optimizer.clip_grad_norm(1.0)
+    assert norm > 1.0
+    total = sum(float((p.grad**2).sum()) for p in net.parameters())
+    assert abs(np.sqrt(total) - 1.0) < 1e-6
+
+
+def test_optimizer_rejects_empty_params():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_save_load_model(tmp_path):
+    net = mlp([3, 4, 1], rng=np.random.default_rng(0))
+    path = str(tmp_path / "model.npz")
+    save_model(net, path)
+    other = mlp([3, 4, 1], rng=np.random.default_rng(5))
+    load_model(other, path)
+    x = Tensor(np.ones((2, 3)))
+    assert np.allclose(net(x).data, other(x).data)

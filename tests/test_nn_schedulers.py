@@ -1,0 +1,89 @@
+"""Learning-rate scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Tensor
+from repro.nn.schedulers import ConstantLR, CosineDecay, WarmupCosine
+
+
+def make_optimizer(lr=0.1):
+    param = Tensor(np.ones(2), requires_grad=True)
+    return SGD([param], lr=lr)
+
+
+class TestConstant:
+    def test_lr_unchanged(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = ConstantLR(optimizer)
+        for _ in range(10):
+            assert scheduler.step() == 0.1
+
+
+class TestCosine:
+    def test_decays_to_floor(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = CosineDecay(optimizer, total_steps=100, floor=0.01)
+        rates = [scheduler.step() for _ in range(100)]
+        assert rates[0] > rates[50] > rates[-1]
+        assert rates[-1] == pytest.approx(0.01, abs=1e-9)
+
+    def test_stays_at_floor_after_total(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = CosineDecay(optimizer, total_steps=10, floor=0.02)
+        for _ in range(20):
+            last = scheduler.step()
+        assert last == pytest.approx(0.02)
+
+    def test_validates_total_steps(self):
+        with pytest.raises(ValueError):
+            CosineDecay(make_optimizer(), total_steps=0)
+
+
+class TestWarmupCosine:
+    def test_warmup_then_decay(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = WarmupCosine(optimizer, total_steps=100, warmup_steps=10)
+        rates = [scheduler.step() for _ in range(100)]
+        assert rates[0] == pytest.approx(0.01)
+        assert rates[9] == pytest.approx(0.1)
+        assert rates[-1] < rates[9]
+
+    def test_updates_optimizer_lr(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = WarmupCosine(optimizer, total_steps=10, warmup_steps=2)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_validates_warmup(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(make_optimizer(), total_steps=5, warmup_steps=5)
+
+
+def test_trainer_accepts_cosine_schedule():
+    from repro.core import (
+        CostModel,
+        LLMulatorConfig,
+        TrainingConfig,
+        TrainingExample,
+        bundle_from_program,
+        train_cost_model,
+    )
+    from repro.profiler import Profiler
+
+    source = (
+        "void op(float a[4], int n) { for (int i = 0; i < n; i++) { a[i] = 1.0; } }\n"
+        "void dataflow(float a[4], int n) { op(a, n); }"
+    )
+    report = Profiler().profile(source, data={"n": 4})
+    example = TrainingExample(
+        bundle=bundle_from_program(source, data={"n": 4}),
+        targets=report.costs.as_dict(),
+    )
+    model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=128))
+    history = train_cost_model(
+        model, [example], TrainingConfig(epochs=3, lr_schedule="cosine")
+    )
+    assert len(history.epoch_losses) == 3
+    with pytest.raises(ValueError):
+        train_cost_model(model, [example], TrainingConfig(lr_schedule="bogus"))

@@ -1,0 +1,172 @@
+"""Autograd engine tests, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, stack
+
+
+def finite_diff_check(build, param_data, eps=1e-6, tol=1e-4):
+    """Compare autograd gradient of sum(build(param)) to central
+    differences at a few random positions."""
+    param = Tensor(param_data.copy(), requires_grad=True)
+    out = build(param).sum()
+    out.backward()
+    grad = param.grad.copy()
+    rng = np.random.default_rng(0)
+    flat = param_data.size
+    for _ in range(min(5, flat)):
+        index = np.unravel_index(rng.integers(flat), param_data.shape)
+        original = param_data[index]
+        param_up = param_data.copy()
+        param_up[index] = original + eps
+        param_dn = param_data.copy()
+        param_dn[index] = original - eps
+        up = float(build(Tensor(param_up)).sum().data)
+        dn = float(build(Tensor(param_dn)).sum().data)
+        numeric = (up - dn) / (2 * eps)
+        assert abs(grad[index] - numeric) < tol, (index, grad[index], numeric)
+
+
+RNG = np.random.default_rng(42)
+X = RNG.standard_normal((4, 3))
+W = RNG.standard_normal((3, 5))
+
+
+class TestGradients:
+    def test_add(self):
+        finite_diff_check(lambda p: p + 2.0, X)
+
+    def test_mul(self):
+        finite_diff_check(lambda p: p * Tensor(X + 1.0), X)
+
+    def test_div(self):
+        finite_diff_check(lambda p: p / Tensor(np.abs(X) + 1.0), X)
+
+    def test_matmul(self):
+        finite_diff_check(lambda p: p @ Tensor(W), X)
+
+    def test_matmul_right_operand(self):
+        finite_diff_check(lambda p: Tensor(X) @ p, W.copy())
+
+    def test_pow(self):
+        finite_diff_check(lambda p: (p * p + 1.0) ** 1.5, X)
+
+    def test_exp_log(self):
+        finite_diff_check(lambda p: ((p * 0.1).exp() + 1.0).log(), X)
+
+    def test_tanh(self):
+        finite_diff_check(lambda p: p.tanh(), X)
+
+    def test_sigmoid(self):
+        finite_diff_check(lambda p: p.sigmoid(), X)
+
+    def test_gelu(self):
+        finite_diff_check(lambda p: p.gelu(), X, tol=1e-3)
+
+    def test_relu_away_from_kink(self):
+        data = X.copy()
+        data[np.abs(data) < 0.1] = 0.5
+        finite_diff_check(lambda p: p.relu(), data)
+
+    def test_softmax(self):
+        finite_diff_check(lambda p: p.softmax(axis=-1) * Tensor(W.T[:4, :3]), X)
+
+    def test_log_softmax(self):
+        finite_diff_check(lambda p: p.log_softmax(axis=-1), X)
+
+    def test_mean_and_sum_axes(self):
+        finite_diff_check(lambda p: p.mean(axis=0) * 3.0, X)
+        finite_diff_check(lambda p: p.sum(axis=1, keepdims=True), X)
+
+    def test_reshape_transpose(self):
+        finite_diff_check(lambda p: p.reshape(3, 4).transpose() * 2.0, X)
+
+    def test_getitem_slice(self):
+        finite_diff_check(lambda p: p[1:3, :2] * 4.0, X)
+
+    def test_gather_rows(self):
+        indices = np.array([0, 2, 2, 1])
+        finite_diff_check(lambda p: p.gather_rows(indices), X)
+
+    def test_concat(self):
+        finite_diff_check(lambda p: concat([p, p * 2.0], axis=0), X)
+
+    def test_stack(self):
+        finite_diff_check(lambda p: stack([p, p * 3.0], axis=0), X)
+
+    def test_broadcast_bias(self):
+        bias = np.array([1.0, 2.0, 3.0])
+        finite_diff_check(lambda p: Tensor(X) * 2.0 + p, bias)
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(X, requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (t * 2).sum() + (t * 3).sum()
+        out.backward()
+        assert np.allclose(t.grad, 5.0)
+
+    def test_no_grad_without_requires(self):
+        t = Tensor(X)
+        out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(X, requires_grad=True)
+        out = (t.detach() * 2).sum()
+        assert not out.requires_grad
+
+    def test_diamond_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        a = t * 2
+        out = (a * a).sum()
+        out.backward()
+        assert np.allclose(t.grad, 8.0)  # d/dt (2t)^2 = 8t
+
+    def test_exp_clipped_no_overflow(self):
+        t = Tensor(np.array([1000.0]), requires_grad=True)
+        out = t.exp().sum()
+        out.backward()
+        assert np.isfinite(out.data).all()
+        assert np.isfinite(t.grad).all()
+
+    def test_log_clamped_no_nan(self):
+        t = Tensor(np.array([0.0, -1.0]), requires_grad=True)
+        out = t.log().sum()
+        assert np.isfinite(out.data).all()
+
+    def test_zeros_and_randn_constructors(self):
+        z = Tensor.zeros(2, 3)
+        assert z.shape == (2, 3) and not z.requires_grad
+        r = Tensor.randn(2, 3, rng=np.random.default_rng(0), requires_grad=True)
+        assert r.requires_grad
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    inner=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+)
+def test_matmul_matches_numpy(rows, inner, cols):
+    rng = np.random.default_rng(rows * 100 + inner * 10 + cols)
+    a = rng.standard_normal((rows, inner))
+    b = rng.standard_normal((inner, cols))
+    result = (Tensor(a) @ Tensor(b)).data
+    assert np.allclose(result, a @ b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=8))
+def test_softmax_sums_to_one(values):
+    t = Tensor(np.asarray(values))
+    probs = t.softmax().data
+    assert abs(probs.sum() - 1.0) < 1e-9
+    assert (probs >= 0).all()

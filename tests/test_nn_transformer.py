@@ -1,0 +1,112 @@
+"""Attention and transformer encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.nn import (
+    NEG_INF,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    build_attention_mask,
+)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(16, 4, rng=np.random.default_rng(0))
+        out = attn(Tensor(np.random.default_rng(1).standard_normal((6, 16))))
+        assert out.shape == (6, 16)
+
+    def test_dim_divisible_by_heads(self):
+        with pytest.raises(ModelConfigError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_mask_blocks_interaction(self):
+        rng = np.random.default_rng(2)
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 8)))
+        # Block tokens 0-1 from seeing tokens 2-3 and vice versa.
+        mask = build_attention_mask(4, [(slice(0, 2), slice(2, 4))])
+        masked = attn(x, mask=mask).data
+        # Change the blocked tokens: rows 0-1 must not move.
+        x2 = Tensor(np.concatenate([x.data[:2], x.data[2:] + 10.0]))
+        masked2 = attn(x2, mask=mask).data
+        assert np.allclose(masked[:2], masked2[:2], atol=1e-9)
+
+    def test_no_mask_allows_interaction(self):
+        rng = np.random.default_rng(2)
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 8)))
+        out1 = attn(x).data
+        x2 = Tensor(np.concatenate([x.data[:2], x.data[2:] + 10.0]))
+        out2 = attn(x2).data
+        assert not np.allclose(out1[:2], out2[:2])
+
+    def test_mask_builder_symmetric(self):
+        mask = build_attention_mask(4, [(slice(0, 1), slice(2, 3))])
+        assert mask[0, 2] == NEG_INF
+        assert mask[2, 0] == NEG_INF
+        assert mask[1, 2] == 0.0
+
+
+class TestTransformerConfig:
+    def test_tiers_ordered_by_capacity(self):
+        small = TransformerConfig.tier("0.5B", vocab_size=100)
+        medium = TransformerConfig.tier("1B", vocab_size=100)
+        large = TransformerConfig.tier("8B", vocab_size=100)
+        assert small.dim < medium.dim < large.dim
+        assert small.layers <= medium.layers <= large.layers
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ModelConfigError):
+            TransformerConfig.tier("3B", vocab_size=100)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ModelConfigError):
+            TransformerConfig(vocab_size=10, dim=10, heads=3)
+
+
+class TestEncoder:
+    def test_encode_shapes(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=2, max_seq_len=32)
+        encoder = TransformerEncoder(config, seed=0)
+        hidden = encoder.encode(np.arange(10) % 50)
+        assert hidden.shape == (10, 16)
+        pooled = encoder.pool(hidden)
+        assert pooled.shape == (16,)
+
+    def test_sequence_truncated_to_max_len(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=1, max_seq_len=8)
+        encoder = TransformerEncoder(config, seed=0)
+        hidden = encoder.encode(np.zeros(20, dtype=np.int64))
+        assert hidden.shape == (8, 16)
+
+    def test_rejects_batched_input(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=1)
+        encoder = TransformerEncoder(config, seed=0)
+        with pytest.raises(ModelConfigError):
+            encoder.encode(np.zeros((2, 5), dtype=np.int64))
+
+    def test_deterministic_under_seed(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=2)
+        a = TransformerEncoder(config, seed=7)
+        b = TransformerEncoder(config, seed=7)
+        tokens = np.arange(6)
+        assert np.allclose(a(tokens).data, b(tokens).data)
+
+    def test_different_tokens_different_encoding(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=2)
+        encoder = TransformerEncoder(config, seed=0)
+        a = encoder(np.array([1, 2, 3]))
+        b = encoder(np.array([4, 5, 6]))
+        assert not np.allclose(a.data, b.data)
+
+    def test_gradients_flow_to_embeddings(self):
+        config = TransformerConfig(vocab_size=50, dim=16, heads=4, layers=1)
+        encoder = TransformerEncoder(config, seed=0)
+        pooled = encoder(np.array([1, 2, 3]))
+        pooled.sum().backward()
+        assert encoder.token_embedding.weight.grad is not None

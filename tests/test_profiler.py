@@ -1,0 +1,89 @@
+"""Ground-truth profiler façade tests."""
+
+import numpy as np
+import pytest
+
+from repro.hls import HardwareParams
+from repro.profiler import (
+    CostVector,
+    DYNAMIC_METRICS,
+    METRICS,
+    Profiler,
+    STATIC_METRICS,
+    profile,
+)
+
+SOURCE = """
+void scale(float a[8], float b[8], int n) {
+  for (int i = 0; i < n; i++) {
+    b[i] = a[i] * 2.0;
+  }
+}
+
+void dataflow(float a[8], float b[8], int n) {
+  scale(a, b, n);
+}
+"""
+
+
+class TestCostVector:
+    def test_metric_access(self):
+        costs = CostVector(power_uw=10, area_um2=100, flip_flops=5, cycles=1000)
+        assert costs["power"] == 10
+        assert costs["area"] == 100
+        assert costs["ff"] == 5
+        assert costs["cycles"] == 1000
+
+    def test_unknown_metric(self):
+        costs = CostVector(1, 2, 3, 4)
+        with pytest.raises(KeyError):
+            costs["energy"]
+
+    def test_as_dict_covers_all_metrics(self):
+        costs = CostVector(1, 2, 3, 4)
+        assert set(costs.as_dict()) == set(METRICS)
+
+    def test_metric_constants(self):
+        assert set(STATIC_METRICS) | set(DYNAMIC_METRICS) == set(METRICS)
+
+
+class TestProfiler:
+    def test_accepts_source_text(self):
+        report = Profiler().profile(SOURCE, data={"n": 8})
+        assert report.costs.cycles > 0
+        assert report.rtl.modules_instantiated >= 2
+
+    def test_cycles_input_adaptive(self):
+        profiler = Profiler()
+        low = profiler.profile(SOURCE, data={"n": 2}).costs.cycles
+        high = profiler.profile(SOURCE, data={"n": 8}).costs.cycles
+        assert high > low
+
+    def test_static_metrics_input_invariant(self):
+        profiler = Profiler()
+        a = profiler.profile(SOURCE, data={"n": 2}).costs
+        b = profiler.profile(SOURCE, data={"n": 8}).costs
+        assert a.power_uw == b.power_uw
+        assert a.area_um2 == b.area_um2
+        assert a.flip_flops == b.flip_flops
+
+    def test_params_change_cycles(self):
+        slow = Profiler(HardwareParams(mem_read_delay=20, mem_write_delay=20))
+        fast = Profiler(HardwareParams(mem_read_delay=2, mem_write_delay=2))
+        assert (
+            slow.profile(SOURCE, data={"n": 8}).costs.cycles
+            > fast.profile(SOURCE, data={"n": 8}).costs.cycles
+        )
+
+    def test_deterministic_given_seed(self):
+        a = Profiler().profile(SOURCE, data={"n": 8}, rng=np.random.default_rng(3))
+        b = Profiler().profile(SOURCE, data={"n": 8}, rng=np.random.default_rng(3))
+        assert a.costs == b.costs
+
+    def test_explicit_top_function(self):
+        report = Profiler().profile(SOURCE, data=None, top="scale")
+        assert report.costs.cycles > 0
+
+    def test_one_shot_helper(self):
+        costs = profile(SOURCE, data={"n": 4})
+        assert isinstance(costs, CostVector)

@@ -1,0 +1,107 @@
+"""Cross-cutting property tests on simulator and allocation semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import allocate_program
+from repro.lang import parse
+from repro.sim import Interpreter
+
+_SMALL_INT = st.integers(min_value=-50, max_value=50)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_SMALL_INT, b=_SMALL_INT)
+def test_int_arithmetic_matches_c_semantics(a, b):
+    source = """
+int f(int a, int b) {
+  int s = a + b;
+  int d = a - b;
+  int p = a * b;
+  return s * 1000000 + d * 1000 + p;
+}
+"""
+    expected = (a + b) * 1000000 + (a - b) * 1000 + a * b
+    result = Interpreter(parse(source)).run("f", {"a": a, "b": b})
+    assert result.return_value == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_SMALL_INT, b=st.integers(min_value=1, max_value=20))
+def test_division_and_modulo_match_c_truncation(a, b):
+    source = "int f(int a, int b) { return a / b * 100 + a % b; }"
+    quotient = int(a / b)
+    remainder = a - quotient * b
+    result = Interpreter(parse(source)).run("f", {"a": a, "b": b})
+    assert result.return_value == quotient * 100 + remainder
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=16))
+def test_reduction_matches_numpy(values):
+    n = len(values)
+    source = f"""
+float f(float v[{n}]) {{
+  float acc = 0.0;
+  for (int i = 0; i < {n}; i++) {{
+    acc = acc + v[i];
+  }}
+  return acc;
+}}
+"""
+    result = Interpreter(parse(source)).run("f", {"v": np.asarray(values)})
+    assert result.return_value == pytest.approx(float(np.sum(values)), abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=12))
+def test_branch_counts_match_data(values):
+    n = len(values)
+    source = f"""
+int f(float v[{n}]) {{
+  int count = 0;
+  for (int i = 0; i < {n}; i++) {{
+    if (v[i] > 0.0) {{
+      count = count + 1;
+    }}
+  }}
+  return count;
+}}
+"""
+    result = Interpreter(parse(source)).run("f", {"v": np.asarray(values)})
+    assert result.return_value == int(np.sum(np.asarray(values) > 0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(unroll=st.sampled_from([2, 4, 8]))
+def test_unroll_monotonically_grows_area(unroll):
+    base_source = """
+void f(float a[16]) {
+  for (int i = 0; i < 16; i++) { a[i] = a[i] * 2.0; }
+}
+"""
+    unrolled_source = base_source.replace(
+        "for", f"#pragma unroll {unroll}\n  for"
+    )
+    base = allocate_program(parse(base_source)).total
+    unrolled = allocate_program(parse(unrolled_source)).total
+    assert unrolled.fp_multipliers == base.fp_multipliers * unroll
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    bound=st.integers(min_value=2, max_value=6),
+)
+def test_nested_loop_cycles_scale_geometrically(depth, bound):
+    body = "x = x + 1.0;"
+    for level in range(depth):
+        body = (
+            f"for (int i{level} = 0; i{level} < {bound}; i{level}++) {{ {body} }}"
+        )
+    source = f"void f(float x) {{ {body} }}"
+    result = Interpreter(parse(source)).run("f", {"x": 0.0})
+    # Adds executed = bound^depth (plus loop bookkeeping).
+    float_adds = bound**depth
+    assert result.ops_executed >= float_adds

@@ -1,0 +1,84 @@
+"""Cycle-cost accounting unit tests."""
+
+import pytest
+
+from repro.hls import HardwareParams
+from repro.sim.cost import CycleCounter
+
+
+def make_counter(**params):
+    return CycleCounter(HardwareParams(**params))
+
+
+class TestLanes:
+    def test_default_single_lane(self):
+        counter = make_counter()
+        counter.compute(4.0)
+        assert counter.cycles == 4.0
+
+    def test_lanes_divide_compute(self):
+        counter = make_counter()
+        counter.push_lanes(4)
+        counter.compute(4.0)
+        assert counter.cycles == 1.0
+        counter.pop_lanes()
+        counter.compute(4.0)
+        assert counter.cycles == 5.0
+
+    def test_nested_lanes_multiply(self):
+        counter = make_counter()
+        counter.push_lanes(2)
+        counter.push_lanes(3)
+        assert counter.compute_lanes == 6.0
+
+    def test_lane_product_capped(self):
+        counter = make_counter()
+        for _ in range(5):
+            counter.push_lanes(100)
+        assert counter.compute_lanes == 4096.0
+
+    def test_memory_lanes_bounded_by_ports(self):
+        counter = make_counter(memory_ports=2)
+        counter.push_lanes(16)
+        assert counter.compute_lanes == 16.0
+        assert counter.memory_lanes == 2.0
+
+
+class TestCosts:
+    def test_load_store_use_configured_delays(self):
+        counter = make_counter(mem_read_delay=7, mem_write_delay=3)
+        counter.load()
+        counter.store()
+        assert counter.cycles == 10.0
+        assert counter.loads == 1
+        assert counter.stores == 1
+
+    def test_port_limited_memory_speedup(self):
+        limited = make_counter(memory_ports=1)
+        limited.push_lanes(8)
+        limited.load(8)
+        wide = make_counter(memory_ports=8)
+        wide.push_lanes(8)
+        wide.load(8)
+        assert limited.cycles > wide.cycles
+
+    def test_branch_and_loop_overhead(self):
+        counter = make_counter()
+        counter.branch()
+        counter.loop_iteration()
+        counter.call()
+        assert counter.branches == 1
+        assert counter.cycles == pytest.approx(1.0 + 1.0 + 2.0)
+
+    def test_total_cycles_rounds_and_floors_at_one(self):
+        counter = make_counter()
+        assert counter.total_cycles == 1
+        counter.compute(0.4)
+        assert counter.total_cycles == 1
+        counter.compute(10.0)
+        assert counter.total_cycles == 10
+
+    def test_ops_counter(self):
+        counter = make_counter()
+        counter.compute(1.0, count=5)
+        assert counter.ops_executed == 5

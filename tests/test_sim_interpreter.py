@@ -1,0 +1,234 @@
+"""Cycle-simulator tests: semantics, costs, input adaptivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError, SimulationLimitExceeded
+from repro.hls import HardwareParams
+from repro.lang import parse
+from repro.sim import Interpreter, default_inputs
+
+
+def run(source, function, args, params=None, max_steps=5_000_000):
+    interp = Interpreter(parse(source), params, max_steps=max_steps)
+    return interp.run(function, args)
+
+
+class TestSemantics:
+    def test_return_value(self):
+        source = "int f(int x) { return x * 2 + 1; }"
+        assert run(source, "f", {"x": 5}).return_value == 11
+
+    def test_loop_accumulation(self):
+        source = """
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) { acc = acc + i; }
+  return acc;
+}
+"""
+        assert run(source, "f", {"n": 5}).return_value == 10
+
+    def test_array_mutation_by_reference(self):
+        source = "void f(float a[4]) { for (int i = 0; i < 4; i++) { a[i] = 1.0 * i; } }"
+        array = np.zeros(4)
+        run(source, "f", {"a": array})
+        assert list(array) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_call_passes_arrays_by_reference(self):
+        source = """
+void set(float a[4]) { a[0] = 7.0; }
+void top(float a[4]) { set(a); }
+"""
+        array = np.zeros(4)
+        run(source, "top", {"a": array})
+        assert array[0] == 7.0
+
+    def test_if_else_branching(self):
+        source = "int f(int x) { if (x > 0) { return 1; } else { return 2; } }"
+        assert run(source, "f", {"x": 5}).return_value == 1
+        assert run(source, "f", {"x": -5}).return_value == 2
+
+    def test_while_and_break(self):
+        source = """
+int f(int n) {
+  int i = 0;
+  while (1) {
+    i = i + 1;
+    if (i >= n) { break; }
+  }
+  return i;
+}
+"""
+        assert run(source, "f", {"n": 7}).return_value == 7
+
+    def test_continue(self):
+        source = """
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i % 2 == 0) { continue; }
+    acc = acc + 1;
+  }
+  return acc;
+}
+"""
+        assert run(source, "f", {"n": 10}).return_value == 5
+
+    def test_int_division_truncates_like_c(self):
+        source = "int f(int a, int b) { return a / b; }"
+        assert run(source, "f", {"a": -7, "b": 2}).return_value == -3
+
+    def test_divide_by_zero_guarded(self):
+        source = "int f(int a) { return a / 0; }"
+        assert run(source, "f", {"a": 5}).return_value == 0
+
+    def test_out_of_range_index_wraps(self):
+        source = "float f(float a[4]) { return a[7]; }"
+        array = np.array([1.0, 2.0, 3.0, 4.0])
+        assert run(source, "f", {"a": array}).return_value == 4.0
+
+    def test_ternary(self):
+        source = "int f(int x) { return x > 0 ? 10 : 20; }"
+        assert run(source, "f", {"x": 1}).return_value == 10
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(SimulationError):
+            run("void f(int x) { }", "f", {})
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SimulationError):
+            run("void f() { }", "g", {})
+
+    def test_step_budget_enforced(self):
+        source = "void f() { while (1) { int x = 0; } }"
+        with pytest.raises(SimulationLimitExceeded):
+            run(source, "f", {}, max_steps=1000)
+
+
+class TestCycleModel:
+    LOOP = """
+void f(float a[16], int n) {
+  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+}
+"""
+
+    def test_cycles_scale_with_trip_count(self):
+        short = run(self.LOOP, "f", {"a": np.zeros(16), "n": 4}).cycles
+        long = run(self.LOOP, "f", {"a": np.zeros(16), "n": 16}).cycles
+        assert long > short * 2
+
+    def test_memory_delay_increases_cycles(self):
+        fast = run(self.LOOP, "f", {"a": np.zeros(16), "n": 16},
+                   HardwareParams(mem_read_delay=2, mem_write_delay=2)).cycles
+        slow = run(self.LOOP, "f", {"a": np.zeros(16), "n": 16},
+                   HardwareParams(mem_read_delay=20, mem_write_delay=20)).cycles
+        assert slow > fast
+
+    def test_unroll_reduces_cycles(self):
+        unrolled_src = self.LOOP.replace("for", "#pragma unroll 4\n  for")
+        base = run(self.LOOP, "f", {"a": np.zeros(16), "n": 16}).cycles
+        unrolled = run(unrolled_src, "f", {"a": np.zeros(16), "n": 16}).cycles
+        assert unrolled < base
+
+    def test_parallel_pragma_reduces_cycles(self):
+        par_src = self.LOOP.replace("for", "#pragma omp parallel for\n  for")
+        base = run(self.LOOP, "f", {"a": np.zeros(16), "n": 16}).cycles
+        par = run(par_src, "f", {"a": np.zeros(16), "n": 16}).cycles
+        assert par < base
+
+    def test_data_dependent_branches_change_cycles(self):
+        source = """
+void f(float v[32]) {
+  for (int i = 0; i < 32; i++) {
+    if (v[i] > 0.0) {
+      v[i] = v[i] * 2.0 + 1.0;
+    }
+  }
+}
+"""
+        taken = run(source, "f", {"v": np.ones(32)}).cycles
+        skipped = run(source, "f", {"v": -np.ones(32)}).cycles
+        assert taken > skipped
+
+    def test_counters_populated(self):
+        result = run(self.LOOP, "f", {"a": np.zeros(16), "n": 8})
+        assert result.loads == 8
+        assert result.stores == 8
+        assert result.ops_executed > 0
+
+    def test_deterministic(self):
+        first = run(self.LOOP, "f", {"a": np.zeros(16), "n": 8})
+        second = run(self.LOOP, "f", {"a": np.zeros(16), "n": 8})
+        assert first.cycles == second.cycles
+
+
+class TestDefaultInputs:
+    SOURCE = """
+void top(float a[8][8], int ids[4], float x, int n) {
+  a[0][0] = x;
+}
+"""
+
+    def test_shapes_and_types(self):
+        inputs = default_inputs(parse(self.SOURCE), "top")
+        assert inputs["a"].shape == (8, 8)
+        assert inputs["ids"].dtype == np.int64
+        assert isinstance(inputs["x"], float)
+        assert isinstance(inputs["n"], int)
+
+    def test_overrides_win(self):
+        inputs = default_inputs(parse(self.SOURCE), "top", overrides={"n": 42})
+        assert inputs["n"] == 42
+
+    def test_deterministic_given_rng(self):
+        a = default_inputs(parse(self.SOURCE), "top", rng=np.random.default_rng(1))
+        b = default_inputs(parse(self.SOURCE), "top", rng=np.random.default_rng(1))
+        assert np.array_equal(a["a"], b["a"])
+
+    def test_symbolic_dims_resolved_by_scalars(self):
+        source = "void top(int n, float a[n]) { a[0] = 1.0; }"
+        inputs = default_inputs(parse(source), "top", overrides={"n": 5})
+        assert inputs["a"].shape == (5,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=20))
+def test_cycles_monotone_in_trip_count(n):
+    source = """
+void f(float a[32], int n) {
+  for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+}
+"""
+    small = run(source, "f", {"a": np.zeros(32), "n": n}).cycles
+    large = run(source, "f", {"a": np.zeros(32), "n": n + 1}).cycles
+    assert large > small
+
+
+class TestPerFunctionProfile:
+    SOURCE = """
+void cheap(float a[4]) { a[0] = 1.0; }
+void expensive(float a[16]) {
+  for (int i = 0; i < 16; i++) { a[i] = a[i] * 2.0; }
+}
+void top(float a[4], float b[16]) {
+  cheap(a);
+  expensive(b);
+}
+"""
+
+    def test_per_function_cycles_recorded(self):
+        result = run(self.SOURCE, "top", {"a": np.zeros(4), "b": np.zeros(16)})
+        assert set(result.per_function_cycles) == {"cheap", "expensive"}
+        assert result.per_function_cycles["expensive"] > result.per_function_cycles["cheap"]
+
+    def test_per_function_cycles_accumulate_over_calls(self):
+        source = self.SOURCE.replace("cheap(a);", "cheap(a);\n  cheap(a);")
+        once = run(self.SOURCE, "top", {"a": np.zeros(4), "b": np.zeros(16)})
+        twice = run(source, "top", {"a": np.zeros(4), "b": np.zeros(16)})
+        assert twice.per_function_cycles["cheap"] > once.per_function_cycles["cheap"]
+
+    def test_operator_cycles_bounded_by_total(self):
+        result = run(self.SOURCE, "top", {"a": np.zeros(4), "b": np.zeros(16)})
+        assert sum(result.per_function_cycles.values()) <= result.cycles + 1

@@ -1,0 +1,159 @@
+"""Progressive tokenizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TokenizationError
+from repro.tokenizer import (
+    ModelInput,
+    ProgressiveTokenizer,
+    VOCAB,
+    isolate_numbers,
+)
+
+
+class TestVocabulary:
+    def test_special_tokens_present(self):
+        for token in ("<pad>", "<bos>", "<eos>", "<G>", "<DATA>", "<think>"):
+            assert token in VOCAB
+
+    def test_digits_present(self):
+        for digit in "0123456789":
+            assert digit in VOCAB
+
+    def test_ident_bucket_stable(self):
+        assert VOCAB.ident_token("gemm") == VOCAB.ident_token("gemm")
+
+    def test_number_bucket_lossy(self):
+        # Two different literals may collide; the mapping must at least
+        # be deterministic.
+        assert VOCAB.number_token("128") == VOCAB.number_token("128")
+
+    def test_unknown_maps_to_unk(self):
+        unk = VOCAB.id_of("<unk>")
+        assert VOCAB.id_of("never-a-token-☂") == unk
+
+    def test_round_trip_ids(self):
+        for token in ("for", "+", "<sep>", "5"):
+            assert VOCAB.token_of(VOCAB.id_of(token)) == token
+
+
+class TestSymbolIsolation:
+    def test_negative_number_isolated(self):
+        assert "- 1 2 8" in isolate_numbers("x = -128;").replace("  ", " ")
+
+    def test_plain_text_untouched(self):
+        assert isolate_numbers("for (i)") == "for (i)"
+
+
+class TestDigitMode:
+    def setup_method(self):
+        self.tokenizer = ProgressiveTokenizer(numeric_mode="digit")
+
+    def test_number_token_count_equals_digit_count(self):
+        for value in (7, 42, 128, 65536):
+            tokens = self.tokenizer.tokens_of(str(value))
+            assert len(tokens) == len(str(value))
+            assert tokens == list(str(value))
+
+    def test_float_split_with_dot_token(self):
+        tokens = self.tokenizer.tokens_of("3.14")
+        assert tokens == ["3", ".num", "1", "4"]
+
+    def test_exponent_token(self):
+        tokens = self.tokenizer.tokens_of("1e5")
+        assert "e-num" in tokens
+
+    def test_keywords_and_idents(self):
+        tokens = self.tokenizer.tokens_of("for (int foo = 0; foo < 8; foo++)")
+        assert "for" in tokens
+        assert "int" in tokens
+        assert tokens.count(VOCAB.ident_token("foo")) == 3
+
+    def test_unseen_magnitude_decomposes_to_known_tokens(self):
+        # The core generalization property: a value far outside any
+        # training range still maps to in-vocabulary digit tokens.
+        ids = self.tokenizer.encode_text("999999999999")
+        unk = VOCAB.id_of("<unk>")
+        assert unk not in ids
+
+
+class TestWholeMode:
+    def setup_method(self):
+        self.tokenizer = ProgressiveTokenizer(numeric_mode="whole")
+
+    def test_number_is_single_token(self):
+        assert len(self.tokenizer.tokens_of("128")) == 1
+
+    def test_bucket_token_used(self):
+        tokens = self.tokenizer.tokens_of("128")
+        assert tokens[0].startswith("num")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(TokenizationError):
+            ProgressiveTokenizer(numeric_mode="banana")
+
+
+class TestBundleEncoding:
+    def make_bundle(self, think=""):
+        return ModelInput(
+            graph_text="void dataflow(float a[8]) { op(a); }",
+            op_texts=["void op(float a[8]) { a[0] = 1.0; }"],
+            params_text="-mem-delay-read=10",
+            data_text="n = 64",
+            think_text=think,
+        )
+
+    def test_segments_tracked(self):
+        tokenized = ProgressiveTokenizer().encode_bundle(self.make_bundle())
+        assert {"graph", "op0", "params", "data"} <= set(tokenized.segment_slices)
+
+    def test_params_and_data_precede_ops(self):
+        tokenized = ProgressiveTokenizer().encode_bundle(self.make_bundle())
+        assert tokenized.segment_slices["params"].start < tokenized.segment_slices["op0"].start
+        assert tokenized.segment_slices["data"].start < tokenized.segment_slices["graph"].start
+
+    def test_think_segment_with_markers(self):
+        tokenized = ProgressiveTokenizer().encode_bundle(self.make_bundle(think="muxes: 5"))
+        think = tokenized.segment_slices["think"]
+        assert tokenized.ids[think.start] == VOCAB.id_of("<think>")
+
+    def test_truncation_respects_max_length(self):
+        tokenizer = ProgressiveTokenizer(max_length=32)
+        tokenized = tokenizer.encode_bundle(self.make_bundle())
+        assert len(tokenized) == 32
+        for segment in tokenized.segment_slices.values():
+            assert segment.stop <= 32
+
+    def test_slice_of_unknown_raises(self):
+        tokenized = ProgressiveTokenizer().encode_bundle(self.make_bundle())
+        with pytest.raises(TokenizationError):
+            tokenized.slice_of("op99")
+
+    def test_ids_in_vocab_range(self):
+        tokenized = ProgressiveTokenizer().encode_bundle(self.make_bundle())
+        assert tokenized.ids.min() >= 0
+        assert tokenized.ids.max() < len(VOCAB)
+
+    def test_empty_data_segment_omitted(self):
+        bundle = self.make_bundle()
+        bundle.data_text = ""
+        tokenized = ProgressiveTokenizer().encode_bundle(bundle)
+        assert "data" not in tokenized.segment_slices
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**15))
+def test_digit_tokens_reconstruct_value(value):
+    tokenizer = ProgressiveTokenizer(numeric_mode="digit")
+    tokens = tokenizer.tokens_of(str(value))
+    assert int("".join(tokens)) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="abcxyz_0123456789 +-*/<>=();{}[]", max_size=80))
+def test_tokenizer_total_on_arbitrary_code_like_text(text):
+    tokenizer = ProgressiveTokenizer()
+    ids = tokenizer.encode_text(text)
+    assert all(0 <= i < len(VOCAB) for i in ids)

@@ -1,0 +1,176 @@
+"""Tests for the Polybench linear-algebra workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.lang import OperatorClass, classify_operators
+from repro.profiler import Profiler
+from repro.sim import Interpreter, default_inputs
+from repro.workloads import LINALG_NAMES, linalg_suite, linalg_workload
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return linalg_suite()
+
+
+@pytest.fixture(scope="module")
+def by_name(suite):
+    return {workload.name: workload for workload in suite}
+
+
+class TestSuiteShape:
+    def test_names_and_count(self, suite):
+        assert tuple(w.name for w in suite) == LINALG_NAMES
+        assert len(suite) == 14
+
+    def test_lookup_by_name(self):
+        assert linalg_workload("gemm").name == "gemm"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown linear-algebra kernel"):
+            linalg_workload("cholesky")
+
+    def test_all_parse_with_dataflow_top(self, suite):
+        for workload in suite:
+            assert workload.program.function_names[-1] == "dataflow"
+
+    def test_category(self, suite):
+        assert all(w.category == "polybench-linalg" for w in suite)
+
+
+class TestProfiling:
+    @pytest.fixture(scope="class")
+    def reports(self, suite):
+        profiler = Profiler()
+        return {
+            w.name: profiler.profile(w.program, data=w.merged_data() or None)
+            for w in suite
+        }
+
+    def test_all_profile_nontrivially(self, reports):
+        for name, report in reports.items():
+            assert report.costs.cycles > 100, name
+            assert report.costs.area_um2 > 0, name
+            assert report.costs.flip_flops > 0, name
+            assert report.costs.power_uw > 0, name
+
+    def test_3mm_costs_more_than_2mm_costs_more_than_gemm(self, reports):
+        assert (
+            reports["gemm"].costs.cycles
+            < reports["2mm"].costs.cycles
+            < reports["3mm"].costs.cycles
+        )
+
+    def test_doitgen_has_deepest_nest_and_most_cycles(self, reports):
+        cycles = {name: report.costs.cycles for name, report in reports.items()}
+        assert max(cycles, key=cycles.get) == "doitgen"
+
+    def test_triangular_kernels_cheaper_than_full_gemm(self, reports):
+        # trmm/trisolv iterate triangular ranges; same N as gemm's cube.
+        assert reports["trmm"].costs.cycles < reports["gemm"].costs.cycles
+        assert reports["trisolv"].costs.cycles < reports["gemm"].costs.cycles
+
+
+class TestInputAdaptivity:
+    @pytest.mark.parametrize("name", ["gemm", "2mm", "3mm", "gesummv", "durbin"])
+    def test_sweep_scalar_scales_cycles(self, by_name, name):
+        workload = by_name[name]
+        (param, values) = next(iter(workload.dynamic_sweeps.items()))
+        profiler = Profiler()
+        cycles = [
+            profiler.profile(workload.program, data={param: value}).costs.cycles
+            for value in values
+        ]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] > cycles[0]
+
+    def test_parametric_kernels_are_class_ii(self, by_name):
+        reports = classify_operators(by_name["gemm"].program)
+        assert reports["gemm_kernel"].operator_class is OperatorClass.CLASS_II
+
+    def test_fixed_bound_kernels_are_class_i(self, by_name):
+        reports = classify_operators(by_name["mvt"].program)
+        assert reports["mvt_kernel"].operator_class is OperatorClass.CLASS_I
+
+
+class TestSemantics:
+    def test_gemm_matches_numpy(self, by_name):
+        workload = by_name["gemm"]
+        inputs = default_inputs(workload.program, "dataflow", overrides={"ni": 8})
+        a = np.array(inputs["A"], dtype=float)
+        b = np.array(inputs["B"], dtype=float)
+        c = np.array(inputs["C"], dtype=float)
+        expected = c * 1.2 + 1.5 * (a @ b)
+        Interpreter(workload.program).run("dataflow", inputs)
+        np.testing.assert_allclose(
+            np.asarray(inputs["C"], dtype=float), expected, rtol=1e-5
+        )
+
+    def test_mvt_matches_numpy(self, by_name):
+        workload = by_name["mvt"]
+        inputs = default_inputs(workload.program, "dataflow")
+        a = np.array(inputs["A"], dtype=float)
+        x1 = np.array(inputs["x1"], dtype=float)
+        x2 = np.array(inputs["x2"], dtype=float)
+        y1 = np.array(inputs["y1"], dtype=float)
+        y2 = np.array(inputs["y2"], dtype=float)
+        Interpreter(workload.program).run("dataflow", inputs)
+        np.testing.assert_allclose(
+            np.asarray(inputs["x1"], dtype=float), x1 + a @ y1, rtol=1e-5
+        )
+        np.testing.assert_allclose(
+            np.asarray(inputs["x2"], dtype=float), x2 + a.T @ y2, rtol=1e-5
+        )
+
+    def test_syrk_matches_numpy_lower_triangle(self, by_name):
+        workload = by_name["syrk"]
+        inputs = default_inputs(workload.program, "dataflow")
+        a = np.array(inputs["A"], dtype=float)
+        c = np.array(inputs["C"], dtype=float)
+        Interpreter(workload.program).run("dataflow", inputs)
+        result = np.asarray(inputs["C"], dtype=float)
+        expected = c.copy()
+        n = c.shape[0]
+        for i in range(n):
+            expected[i, : i + 1] *= 1.2
+            for k in range(n):
+                expected[i, : i + 1] += 1.5 * a[i, k] * a[: i + 1, k]
+        np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+    def test_gesummv_matches_numpy(self, by_name):
+        workload = by_name["gesummv"]
+        inputs = default_inputs(workload.program, "dataflow", overrides={"n": 8})
+        a = np.array(inputs["A"], dtype=float)
+        b = np.array(inputs["B"], dtype=float)
+        x = np.array(inputs["x"], dtype=float)
+        Interpreter(workload.program).run("dataflow", inputs)
+        expected = 1.5 * (a @ x) + 1.2 * (b @ x)
+        np.testing.assert_allclose(
+            np.asarray(inputs["y"], dtype=float), expected, rtol=1e-5
+        )
+
+    def test_trisolv_solves_unit_shifted_system(self, by_name):
+        # x[i] = (b[i] - sum_{j<i} L[i][j] x[j]) / (L[i][i] + 1)
+        workload = by_name["trisolv"]
+        inputs = default_inputs(workload.program, "dataflow")
+        low = np.array(inputs["L"], dtype=float)
+        b = np.array(inputs["b"], dtype=float)
+        Interpreter(workload.program).run("dataflow", inputs)
+        x = np.asarray(inputs["x"], dtype=float)
+        n = len(b)
+        expected = np.zeros(n)
+        for i in range(n):
+            expected[i] = (b[i] - low[i, :i] @ expected[:i]) / (low[i, i] + 1.0)
+        np.testing.assert_allclose(x, expected, rtol=1e-5)
+
+
+class TestStats:
+    def test_table2_style_stats_populated(self, suite):
+        for workload in suite:
+            stats = workload.stats()
+            assert stats["op_num"] >= 1
+            assert stats["all_len"] == stats["graph_len"] + stats["op_len"]
+
+    def test_gemver_has_four_operators(self, by_name):
+        assert by_name["gemver"].stats()["op_num"] == 4

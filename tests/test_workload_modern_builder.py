@@ -1,0 +1,82 @@
+"""WorkloadBuilder mechanics tests."""
+
+import pytest
+
+from repro.lang import parse
+from repro.workloads import oplib
+from repro.workloads.modern import WorkloadBuilder
+
+
+class TestBuilder:
+    def test_unary_chains_buffers(self):
+        builder = WorkloadBuilder("t", "image")
+        x = builder.input2d("img")
+        y = builder.unary(oplib.relu, x)
+        z = builder.unary(oplib.relu, y)
+        workload = builder.build()
+        assert y != x and z != y
+        program = workload.program
+        assert len(program.functions) == 3  # two ops + dataflow
+        calls = program.function("dataflow").body.stmts
+        assert len(calls) == 2
+
+    def test_weighted_adds_weight_input(self):
+        builder = WorkloadBuilder("t", "image")
+        x = builder.input2d("img")
+        builder.weighted(oplib.conv3x3, x)
+        workload = builder.build()
+        top = workload.program.function("dataflow")
+        names = [p.name for p in top.params]
+        assert any(name.startswith("w") for name in names)
+
+    def test_scalar_recorded_in_data_and_sweeps(self):
+        builder = WorkloadBuilder("t", "nlp")
+        builder.scalar("len", 8, sweep=(4, 6))
+        workload = builder.build()
+        assert workload.data == {"len": 8}
+        assert workload.dynamic_sweeps == {"len": (4, 6)}
+
+    def test_attention_block_expands_to_four_ops(self):
+        builder = WorkloadBuilder("t", "nlp")
+        x = builder.input2d("x")
+        builder.attention_block(x)
+        workload = builder.build()
+        # matmul + matmul + row_softmax + fusion_add
+        assert len(workload.program.functions) == 5
+
+    def test_built_source_parses_and_profiles(self):
+        from repro.profiler import Profiler
+
+        builder = WorkloadBuilder("t", "image")
+        x = builder.input2d("img")
+        x = builder.unary(oplib.batch_norm, x)
+        builder.scalar("h", 4, sweep=(2, 4))
+        x = builder.dynamic(oplib.seq_scan, x, "h")
+        workload = builder.build()
+        report = Profiler().profile(workload.program, data=workload.merged_data())
+        assert report.costs.cycles > 0
+
+    def test_operator_names_unique(self):
+        builder = WorkloadBuilder("t", "image")
+        x = builder.input2d("img")
+        builder.unary(oplib.relu, x)
+        builder.unary(oplib.relu, x)
+        workload = builder.build()
+        names = workload.program.function_names
+        assert len(names) == len(set(names))
+
+    def test_anchor_needs_no_input(self):
+        builder = WorkloadBuilder("t", "image")
+        out = builder.anchor()
+        workload = builder.build()
+        parse(workload.source)
+        assert out.startswith("b")
+
+    def test_embed_uses_int_ids(self):
+        builder = WorkloadBuilder("t", "nlp")
+        ids = builder.input1d_int("ids")
+        builder.embed(ids)
+        workload = builder.build()
+        top = workload.program.function("dataflow")
+        id_param = next(p for p in top.params if p.name == "ids")
+        assert id_param.type.base == "int"

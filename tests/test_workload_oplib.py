@@ -1,0 +1,142 @@
+"""Operator-library tests: every operator compiles and behaves."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse
+from repro.lang.analysis import OperatorClass, analyze_function
+from repro.sim import Interpreter
+from repro.workloads import oplib
+from repro.workloads.oplib import D
+
+UNARY_OPS = (
+    oplib.relu,
+    oplib.leaky_relu,
+    oplib.batch_norm,
+    oplib.rms_norm,
+    oplib.max_pool,
+    oplib.spp_pool,
+    oplib.upsample2x,
+    oplib.row_softmax,
+    oplib.gelu_poly,
+    oplib.channel_mean,
+)
+
+WEIGHTED_OPS = (
+    oplib.conv3x3,
+    oplib.conv5x5_depthwise,
+    oplib.dilated_conv,
+    oplib.pointwise,
+    oplib.matmul,
+)
+
+
+@pytest.mark.parametrize("factory", UNARY_OPS, ids=lambda f: f.__name__)
+def test_unary_operators_execute(factory):
+    source = factory("op")
+    program = parse(source)
+    src = np.random.default_rng(0).standard_normal((D, D))
+    dst = np.zeros((D, D))
+    result = Interpreter(program).run("op", {"src": src, "dst": dst})
+    assert result.cycles > 0
+    assert np.isfinite(dst).all()
+
+
+@pytest.mark.parametrize("factory", WEIGHTED_OPS, ids=lambda f: f.__name__)
+def test_weighted_operators_execute(factory):
+    source = factory("op")
+    program = parse(source)
+    rng = np.random.default_rng(1)
+    args = {
+        "src": rng.standard_normal((D, D)),
+        "w": rng.standard_normal((D, D)),
+        "dst": np.zeros((D, D)),
+    }
+    result = Interpreter(program).run("op", args)
+    assert result.cycles > 0
+    assert np.abs(args["dst"]).sum() > 0
+
+
+class TestSemantics:
+    def test_relu_clamps_negatives(self):
+        program = parse(oplib.relu("op"))
+        src = -np.ones((D, D))
+        dst = np.full((D, D), 9.0)
+        Interpreter(program).run("op", {"src": src, "dst": dst})
+        assert (dst == 0.0).all()
+
+    def test_relu_is_class_ii(self):
+        func = parse(oplib.relu("op")).function("op")
+        assert analyze_function(func).operator_class is OperatorClass.CLASS_II
+
+    def test_anchor_gen_is_class_i(self):
+        func = parse(oplib.anchor_gen("op")).function("op")
+        assert analyze_function(func).operator_class is OperatorClass.CLASS_I
+
+    def test_row_softmax_rows_sum_to_one(self):
+        program = parse(oplib.row_softmax("op"))
+        src = np.random.default_rng(2).standard_normal((D, D))
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"src": src, "dst": dst})
+        assert np.allclose(dst.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_matmul_matches_numpy(self):
+        program = parse(oplib.matmul("op"))
+        rng = np.random.default_rng(3)
+        src = rng.standard_normal((D, D))
+        w = rng.standard_normal((D, D))
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"src": src, "w": w, "dst": dst})
+        assert np.allclose(dst, src @ w, atol=1e-9)
+
+    def test_roi_crop_respects_dynamic_bounds(self):
+        program = parse(oplib.roi_crop("op"))
+        src = np.ones((D, D))
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"src": src, "dst": dst, "h": 2, "w": 3})
+        assert np.count_nonzero(dst) == 6
+
+    def test_roi_crop_cycles_scale_with_bounds(self):
+        program = parse(oplib.roi_crop("op"))
+
+        def cycles(h, w):
+            return Interpreter(program).run(
+                "op",
+                {"src": np.ones((D, D)), "dst": np.zeros((D, D)), "h": h, "w": w},
+            ).cycles
+
+        assert cycles(8, 8) > cycles(2, 2) * 4
+
+    def test_embed_lookup_gathers_rows(self):
+        program = parse(oplib.embed_lookup("op"))
+        table = np.arange(D * D, dtype=np.float64).reshape(D, D)
+        ids = np.array([3] * D, dtype=np.int64)
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"ids": ids, "table": table, "dst": dst})
+        assert np.allclose(dst, np.tile(table[3], (D, 1)))
+
+    def test_embed_lookup_clamps_out_of_range_ids(self):
+        program = parse(oplib.embed_lookup("op"))
+        table = np.ones((D, D))
+        ids = np.array([-5, 99] + [0] * (D - 2), dtype=np.int64)
+        dst = np.zeros((D, D))
+        result = Interpreter(program).run(
+            "op", {"ids": ids, "table": table, "dst": dst}
+        )
+        assert result.cycles > 0
+        assert np.isfinite(dst).all()
+
+    def test_seq_scan_bound_by_len(self):
+        program = parse(oplib.seq_scan("op"))
+        src = np.ones((D, D))
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"src": src, "dst": dst, "len": 3})
+        assert np.count_nonzero(dst.sum(axis=1)) == 3
+
+    def test_swiglu_gates(self):
+        program = parse(oplib.swiglu("op"))
+        src = np.ones((D, D))
+        gate = np.full((D, D), -1.0)
+        dst = np.zeros((D, D))
+        Interpreter(program).run("op", {"src": src, "gate": gate, "dst": dst})
+        assert np.allclose(dst, -0.1)

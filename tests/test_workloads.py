@@ -1,0 +1,141 @@
+"""Workload suite tests."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse
+from repro.profiler import Profiler
+from repro.workloads import (
+    ACCELERATOR_NAMES,
+    MODERN_NAMES,
+    POLYBENCH_NAMES,
+    Workload,
+    accelerator_params,
+    accelerator_suite,
+    modern_suite,
+    modern_workload,
+    polybench_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def polybench():
+    return polybench_suite()
+
+
+@pytest.fixture(scope="module")
+def modern():
+    return modern_suite()
+
+
+class TestPolybench:
+    def test_names_and_count(self, polybench):
+        assert tuple(w.name for w in polybench) == POLYBENCH_NAMES
+        assert len(polybench) == 10
+
+    def test_all_parse(self, polybench):
+        for workload in polybench:
+            assert workload.program.function_names[-1] == "dataflow"
+
+    def test_all_profile(self, polybench):
+        profiler = Profiler()
+        for workload in polybench:
+            report = profiler.profile(
+                workload.program, data=workload.merged_data() or None
+            )
+            assert report.costs.cycles > 100
+            assert report.costs.area_um2 > 0
+
+    def test_time_step_sweeps_change_cycles(self, polybench):
+        profiler = Profiler()
+        jacobi = next(w for w in polybench if w.name == "jacobi-2d")
+        low = profiler.profile(jacobi.program, data={"tsteps": 1}).costs.cycles
+        high = profiler.profile(jacobi.program, data={"tsteps": 4}).costs.cycles
+        assert high > low * 2
+
+
+class TestModern:
+    def test_names_and_count(self, modern):
+        assert tuple(w.name for w in modern) == MODERN_NAMES
+        assert len(modern) == 14
+
+    def test_categories(self, modern):
+        image = [w for w in modern if w.category == "image"]
+        nlp = [w for w in modern if w.category == "nlp"]
+        assert len(image) == 9
+        assert len(nlp) == 5
+
+    def test_all_have_dynamic_control_flow(self, modern):
+        for workload in modern:
+            assert workload.stats()["dyn_num"] >= 1, workload.name
+
+    def test_t5_is_largest(self, modern):
+        op_counts = {w.name: w.stats()["op_num"] for w in modern}
+        assert max(op_counts, key=op_counts.get) == "t5-base"
+
+    def test_all_profile_and_respond_to_input(self, modern):
+        profiler = Profiler()
+        for workload in modern[:4]:
+            base = profiler.profile(
+                workload.program, data=workload.merged_data()
+            ).costs.cycles
+            name, values = next(iter(workload.dynamic_sweeps.items()))
+            small = profiler.profile(
+                workload.program, data=workload.merged_data({name: values[0]})
+            ).costs.cycles
+            assert small != base
+
+    def test_modern_workload_by_index(self):
+        assert modern_workload(1).name == "image-norm-cnn"
+        assert modern_workload(14).name == "llama"
+        with pytest.raises(IndexError):
+            modern_workload(15)
+
+    def test_class_i_segments_nonempty(self, modern):
+        for workload in modern[:5]:
+            assert len(workload.class_i) >= 1
+
+
+class TestAccelerators:
+    def test_suite(self):
+        suite = accelerator_suite()
+        assert tuple(w.name for w in suite) == ACCELERATOR_NAMES
+
+    def test_dataflow_styles_differ_in_cost(self):
+        results = {}
+        for workload in accelerator_suite():
+            params = accelerator_params(workload.name)
+            report = Profiler(params).profile(workload.program)
+            results[workload.name] = report.costs.cycles
+        assert len(set(results.values())) == 3
+
+    def test_unknown_accelerator_params(self):
+        with pytest.raises(KeyError):
+            accelerator_params("npu9000")
+
+    def test_same_computation_different_schedule(self):
+        sources = [w.source for w in accelerator_suite()]
+        for source in sources:
+            assert "a[i][k] * w[k][j]" in source
+
+
+class TestWorkloadContainer:
+    def test_stats_fields(self):
+        workload = polybench_suite()[1]
+        stats = workload.stats()
+        assert set(stats) == {"all_len", "graph_len", "op_num", "dyn_num", "op_len"}
+        assert stats["all_len"] == stats["graph_len"] + stats["op_len"]
+
+    def test_bundle_merges_data(self):
+        workload = Workload(
+            name="t",
+            source="void op(float a[4], int n) { for (int i = 0; i < n; i++) { a[i] = 1.0; } }\n"
+            "void dataflow(float a[4], int n) { op(a, n); }",
+            data={"n": 2},
+        )
+        bundle = workload.bundle(data={"n": 3})
+        assert "n = 3" in bundle.data_text
+
+    def test_program_cached(self):
+        workload = polybench_suite()[0]
+        assert workload.program is workload.program
