@@ -1,0 +1,148 @@
+"""Profiling-substrate throughput microbenchmark.
+
+Measures programs-profiled-per-second on repeated-program input sweeps
+— the access pattern of corpus building, calibration environments and
+DSE verification — under three configurations:
+
+1. ``one_shot``   — the seed path: tree-walking interpreter, static
+   EDA flow recomputed on every call.
+2. ``memoized_compiled`` — memoized static flow + compiled simulation
+   backend (the default substrate after the performance overhaul).
+3. ``batched``    — the same jobs through ``BatchProfiler``'s process
+   pool.
+
+All three must produce identical cost vectors (the parity gate); the
+results land in ``BENCH_profiling.json`` at the repo root so CI tracks
+the trajectory.
+
+Run:  PYTHONPATH=src python scripts/bench_profiling.py [--repeats N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.profiler import BatchProfiler, ProfileJob, Profiler, StaticProfileCache
+from repro.workloads import modern_suite, polybench_suite
+
+
+def sweep_values(workload, repeats):
+    """Runtime-input variants for one workload (default data included)."""
+    variants = [workload.merged_data() or None]
+    for name, values in (workload.dynamic_sweeps or {}).items():
+        for value in values:
+            variants.append(workload.merged_data({name: int(value)}))
+    while len(variants) < repeats:
+        variants.extend(variants[: repeats - len(variants)])
+    return variants[:repeats]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=6,
+                        help="input variants profiled per workload")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_profiling.json"))
+    args = parser.parse_args()
+
+    workloads = polybench_suite() + modern_suite()
+    plan = [
+        (workload, data)
+        for workload in workloads
+        for data in sweep_values(workload, args.repeats)
+    ]
+    print(f"{len(workloads)} workloads x {args.repeats} input variants "
+          f"= {len(plan)} profiling jobs", flush=True)
+
+    # Both paths get one untimed warmup profile per workload before the
+    # timed sweep, so the sweep numbers measure the repeated-program
+    # steady state this substrate is built for (corpus neighbors,
+    # calibration environments, DSE re-verification).  The seed path has
+    # no caches, so its warmup changes nothing; for the new path the
+    # warmup pays program lowering + the first static flow, reported
+    # separately below as the cold-start cost.
+    seed_profiler = Profiler(backend="interp", memoize=False, max_steps=1_500_000)
+    for workload in workloads:
+        seed_profiler.profile(
+            workload.program,
+            data=workload.merged_data() or None,
+            rng=np.random.default_rng(0),
+        )
+    start = time.perf_counter()
+    seed_costs = [
+        seed_profiler.profile(w.program, data=data, rng=np.random.default_rng(0)).costs
+        for w, data in plan
+    ]
+    one_shot_s = time.perf_counter() - start
+
+    # Memoized static flow + compiled backend.
+    new_profiler = Profiler(
+        backend="compiled", static_cache=StaticProfileCache(), max_steps=1_500_000
+    )
+    start = time.perf_counter()
+    for workload in workloads:
+        new_profiler.profile(
+            workload.program,
+            data=workload.merged_data() or None,
+            rng=np.random.default_rng(0),
+        )
+    cold_start_s = time.perf_counter() - start
+    start = time.perf_counter()
+    new_costs = [
+        new_profiler.profile(w.program, data=data, rng=np.random.default_rng(0)).costs
+        for w, data in plan
+    ]
+    memoized_s = time.perf_counter() - start
+
+    # Batched fan-out over the same jobs (cold worker caches).
+    batch = BatchProfiler(max_workers=args.workers, max_steps=1_500_000)
+    jobs = [ProfileJob(program=w.program, data=data) for w, data in plan]
+    start = time.perf_counter()
+    batch_reports = batch.profile_many(jobs)
+    batched_s = time.perf_counter() - start
+    batch_costs = [
+        report.costs if report is not None else None for report in batch_reports
+    ]
+
+    parity = seed_costs == new_costs == batch_costs
+    result = {
+        "jobs": len(plan),
+        "workloads": len(workloads),
+        "repeats_per_workload": args.repeats,
+        "one_shot_s": round(one_shot_s, 3),
+        "memoized_compiled_s": round(memoized_s, 3),
+        "cold_start_s": round(cold_start_s, 3),
+        "batched_s": round(batched_s, 3),
+        "one_shot_per_s": round(len(plan) / one_shot_s, 2),
+        "memoized_compiled_per_s": round(len(plan) / memoized_s, 2),
+        "batched_per_s": round(len(plan) / batched_s, 2),
+        "speedup_memoized_compiled": round(one_shot_s / memoized_s, 2),
+        "speedup_batched": round(one_shot_s / batched_s, 2),
+        "parity": parity,
+        "batch_workers": args.workers,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    if not parity:
+        print("FAIL: cost vectors differ between configurations", file=sys.stderr)
+        return 1
+    if result["speedup_memoized_compiled"] < 5.0:
+        print(
+            f"WARN: memoized+compiled speedup "
+            f"{result['speedup_memoized_compiled']}x below the 5x target",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

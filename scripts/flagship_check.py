@@ -11,7 +11,7 @@ from repro.workloads import (
 )
 
 t0 = time.time()
-h = EvaluationHarness(HarnessConfig())
+h = EvaluationHarness(HarnessConfig(profile_workers=4))
 wls = polybench_suite() + modern_suite() + accelerator_suite()
 records = h.build_corpus(wls)
 print(f"corpus: {len(records)} records ({time.time()-t0:.0f}s)", flush=True)

@@ -66,8 +66,15 @@ def _read_program(path: str) -> str:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    source = _read_program(args.program)
+    import numpy as np
+
+    paths: list[str] = args.program
     data = _parse_data(args.data) or None
+    if args.batch or len(paths) > 1:
+        if args.per_op:
+            raise SystemExit("--per-op is not available with --batch")
+        return _profile_batch(paths, data, args)
+    source = _read_program(paths[0])
     if args.per_op:
         from .attribution import attribute
 
@@ -75,12 +82,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(report.table())
         print(json.dumps(report.totals.as_dict(), indent=2))
         return 0
-    profiler = Profiler(_params_from_args(args))
-    report = profiler.profile(source, data=data)
+    profiler = Profiler(_params_from_args(args), backend=args.backend)
+    report = profiler.profile(source, data=data, rng=np.random.default_rng(args.seed))
     print(json.dumps(report.costs.as_dict(), indent=2))
     if args.verbose:
         print(report.rtl.think_text(), file=sys.stderr)
     return 0
+
+
+def _profile_batch(paths: list[str], data, args: argparse.Namespace) -> int:
+    """``profile --batch``: fan several programs out over BatchProfiler."""
+    from .profiler import BatchProfiler, ProfileJob
+
+    jobs = [
+        ProfileJob(program=_read_program(path), data=data, seed=args.seed)
+        for path in paths
+    ]
+    batch = BatchProfiler(
+        _params_from_args(args),
+        backend=args.backend,
+        max_workers=args.jobs,
+    )
+    reports = batch.profile_many(jobs)
+    rows = []
+    failures = 0
+    for path, report in zip(paths, reports):
+        if report is None:
+            failures += 1
+            rows.append({"program": path, "error": "simulation failed"})
+        else:
+            rows.append({"program": path, "costs": report.costs.as_dict()})
+    print(json.dumps(rows, indent=2))
+    return 1 if failures == len(rows) else 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -279,13 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--memory-ports", type=int, default=2)
 
     profile = sub.add_parser("profile", help="profile a program through the EDA substrate")
-    profile.add_argument("program", help="program path ('-' for stdin)")
+    profile.add_argument("program", nargs="+", help="program path(s) ('-' for stdin)")
     profile.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
     profile.add_argument("--verbose", action="store_true")
     profile.add_argument(
         "--per-op", action="store_true",
         help="print a per-operator cost breakdown instead of totals only",
     )
+    profile.add_argument(
+        "--batch", action="store_true",
+        help="profile all programs through the batched profiler (JSON array output)",
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool width for --batch (default: bounded by CPU count)",
+    )
+    profile.add_argument(
+        "--backend", choices=("compiled", "interp"), default="compiled",
+        help="simulation backend (identical results; compiled is faster)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
     add_hw_flags(profile)
     profile.set_defaults(func=cmd_profile)
 

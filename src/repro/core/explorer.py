@@ -16,7 +16,7 @@ from typing import Callable, Optional
 
 from ..hls import HardwareParams
 from ..lang import ast
-from ..profiler import Profiler
+from ..profiler import Profiler, StaticProfileCache
 from ..tokenizer import ModelInput
 from .acceleration import CachedPredictor
 from .inputs import bundle_from_program, class_i_segments
@@ -88,11 +88,17 @@ class DesignSpaceExplorer:
         model: CostModel,
         objective: Callable[[dict[str, int]], float] = default_objective,
         use_cache: bool = True,
+        sim_backend: str = "compiled",
     ) -> None:
         self.model = model
         self.objective = objective
+        self.sim_backend = sim_backend
         # Exact mode: ranking fidelity matters more than partial reuse.
         self.predictor = CachedPredictor(model, enabled=use_cache, mode="exact")
+        # Shared by verify_top across explore() calls: re-verifying a
+        # candidate already ground-truthed under the same params only
+        # pays the simulation, not the static EDA flow.
+        self._static_cache = StaticProfileCache()
 
     # -- candidate enumeration -------------------------------------------
 
@@ -182,7 +188,12 @@ class DesignSpaceExplorer:
         """Ground-truth the best *top_k* candidates with the profiler
         (the expensive step DSE tools reserve for finalists)."""
         for point in candidates[:top_k]:
-            profiler = Profiler(point.params, max_steps=max_steps)
+            profiler = Profiler(
+                point.params,
+                max_steps=max_steps,
+                backend=self.sim_backend,
+                static_cache=self._static_cache,
+            )
             report = profiler.profile(point.program, data=data)
             point.actual = report.costs.as_dict()
         return candidates[:top_k]

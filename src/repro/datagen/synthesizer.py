@@ -17,7 +17,7 @@ import numpy as np
 from ..errors import DatasetError, SimulationError
 from ..hls import HardwareParams
 from ..lang import ast
-from ..profiler import Profiler
+from ..profiler import Profiler, StaticProfileCache
 from .astgen import AstGenConfig, AstGenerator
 from .dataflowgen import DataflowGenConfig, DataflowGraphGenerator
 from .formatting import DatasetRecord, direct_format, reasoning_format
@@ -36,6 +36,9 @@ class SynthesizerConfig:
     scalar_base: int = 8
     max_steps: int = 800_000
     seed: int = 0
+    # Simulation backend used while profiling generated programs; the
+    # backends produce identical labels (tests/test_sim_compiler.py).
+    backend: str = "compiled"
     # Bounds for the AST stage.  None = the default generator; ablations
     # can pass e.g. shallow bounds (max_loop_depth=1) to reproduce the
     # paper's characterization of naive synthetic datasets (§2).
@@ -86,6 +89,10 @@ class DatasetSynthesizer:
         )
         self._flow_gen = DataflowGraphGenerator(DataflowGenConfig(), seed=seed + 2)
         self._mutator = LLMStyleMutator(seed=seed + 3)
+        # Generated programs are mostly unique, but mutation retries and
+        # the hardware-parameter sweep revisit (program, params) pairs;
+        # one synthesizer-local cache absorbs those repeats.
+        self._static_cache = StaticProfileCache()
 
     # -- profiling -----------------------------------------------------------
 
@@ -97,7 +104,12 @@ class DatasetSynthesizer:
         kind: str,
         dataset: SynthesizedDataset,
     ) -> Optional[DatasetRecord]:
-        profiler = Profiler(params, max_steps=self.config.max_steps)
+        profiler = Profiler(
+            params,
+            max_steps=self.config.max_steps,
+            backend=self.config.backend,
+            static_cache=self._static_cache,
+        )
         try:
             report = profiler.profile(program, data=data, rng=self._rng)
         except SimulationError:

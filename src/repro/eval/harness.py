@@ -48,7 +48,13 @@ from ..datagen import (
 )
 from ..errors import SimulationError
 from ..hls import HardwareParams
-from ..profiler import METRICS, Profiler
+from ..profiler import (
+    METRICS,
+    BatchProfiler,
+    ProfileJob,
+    Profiler,
+    StaticProfileCache,
+)
 from ..workloads import Workload
 from .metrics import ape
 
@@ -79,6 +85,14 @@ class HarnessConfig:
     use_reasoning_at_eval: bool = False
     seed: int = 0
     max_steps: int = 1_500_000
+    # Simulation backend for all ground-truth profiling: "compiled"
+    # (closure-lowered, default) or "interp" — identical labels either
+    # way (see tests/test_sim_compiler.py).
+    sim_backend: str = "compiled"
+    # Process-pool width for corpus building; 0/1 profiles serially
+    # (still memoized).  The static-profile cache is shared per worker
+    # because jobs are chunked by program digest.
+    profile_workers: int = 0
 
 
 @dataclass
@@ -164,8 +178,20 @@ class EvaluationHarness:
         self.config = config or HarnessConfig()
         self._rng = np.random.default_rng(self.config.seed)
         self._mutator = LLMStyleMutator(seed=self.config.seed + 17)
+        # Shared across every ground-truth call this harness makes, so
+        # input sweeps and repeated evaluations of one workload pay the
+        # static EDA cost (allocation/synthesis/power/RTL) only once.
+        self._static_cache = StaticProfileCache()
 
     # -- ground truth ------------------------------------------------------
+
+    def _profiler(self, params: Optional[HardwareParams] = None) -> Profiler:
+        return Profiler(
+            params or self.config.eval_params,
+            max_steps=self.config.max_steps,
+            backend=self.config.sim_backend,
+            static_cache=self._static_cache,
+        )
 
     def profile_workload(
         self,
@@ -173,10 +199,7 @@ class EvaluationHarness:
         params: Optional[HardwareParams] = None,
         data: Optional[dict[str, Any]] = None,
     ):
-        profiler = Profiler(
-            params or self.config.eval_params, max_steps=self.config.max_steps
-        )
-        return profiler.profile(
+        return self._profiler(params).profile(
             workload.program,
             data=workload.merged_data(data) or None,
             rng=np.random.default_rng(self.config.seed),
@@ -184,19 +207,25 @@ class EvaluationHarness:
 
     # -- training corpus -------------------------------------------------------
 
-    def _neighbor_records(
+    def _neighbor_plan(
         self, workload: Workload, eval_params: Optional[HardwareParams] = None
-    ) -> list[DatasetRecord]:
-        """Profiled near-distribution variants of one workload.
+    ) -> list[tuple[str, HardwareParams, Optional[dict[str, Any]]]]:
+        """Candidate neighbor-profiling jobs for one workload.
 
         Neighbors vary the hardware parameters and the runtime inputs of
         the *original* program; program mutations are left to the
         synthesizer stage.  (Mutated variants of long workloads are
         indistinguishable from the original under sequence truncation
         yet carry different static labels — pure label noise.)
+
+        Each entry is ``(kind, params, data)`` with kind ``"hw"``
+        (hardware-parameter variant: keep every success), ``"sweep"``
+        (runtime-input variant: keep the first
+        ``data_variants_per_workload`` successes, in order) or
+        ``"fallback"`` (no dynamic scalars: one extra hardware variant).
         """
         eval_params = eval_params or self.config.eval_params
-        records: list[DatasetRecord] = []
+        plan: list[tuple[str, HardwareParams, Optional[dict[str, Any]]]] = []
         # Hardware-parameter variants under default runtime data.
         delays = list(
             dict.fromkeys(self.config.neighbor_delays)
@@ -210,71 +239,155 @@ class EvaluationHarness:
             )
             if params == eval_params:
                 continue
-            record = self._profile_into(
-                workload.program, params, workload.merged_data() or None
-            )
-            if record is not None:
-                records.append(record)
+            plan.append(("hw", params, workload.merged_data() or None))
         # Original program under *different* runtime data, eval params.
         sweeps = workload.dynamic_sweeps
-        variants_added = 0
         for name, values in sweeps.items():
             for value in values:
-                if variants_added >= self.config.data_variants_per_workload:
-                    break
                 data = workload.merged_data({name: int(value)})
                 if data == workload.merged_data():
                     continue  # never include the exact eval point
-                record = self._profile_into(workload.program, eval_params, data)
-                if record is not None:
-                    variants_added += 1
-                    records.append(record)
+                plan.append(("sweep", eval_params, data))
         if not sweeps:
             # No dynamic scalars: vary hardware params instead.
             delay = int(self.config.neighbor_delays[0])
             params = HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
-            record = self._profile_into(
-                workload.program, params, workload.merged_data() or None
+            plan.append(("fallback", params, workload.merged_data() or None))
+        return plan
+
+    def _assemble_neighbors(
+        self,
+        workload: Workload,
+        plan: list[tuple[str, HardwareParams, Optional[dict[str, Any]]]],
+        reports: list[Optional[Any]],
+    ) -> list[DatasetRecord]:
+        """Select corpus records from profiled neighbor candidates,
+        mirroring the serial path: every successful hw/fallback variant,
+        plus the first ``data_variants_per_workload`` sweep successes."""
+        records: list[DatasetRecord] = []
+        variants_added = 0
+        for (kind, params, data), report in zip(plan, reports):
+            if report is None:
+                continue
+            if kind == "sweep":
+                if variants_added >= self.config.data_variants_per_workload:
+                    continue
+                variants_added += 1
+            records.append(
+                DatasetRecord(
+                    program=workload.program,
+                    params=params,
+                    data=data,
+                    report=report,
+                    source_kind="external",
+                )
             )
-            if record is not None:
-                records.append(record)
         return records
 
-    def _profile_into(
+    def _neighbor_records(
+        self, workload: Workload, eval_params: Optional[HardwareParams] = None
+    ) -> list[DatasetRecord]:
+        """Profiled near-distribution variants of one workload."""
+        plan = self._neighbor_plan(workload, eval_params)
+        reports = []
+        quota = self.config.data_variants_per_workload
+        sweeps_done = 0
+        for kind, params, data in plan:
+            if kind == "sweep" and sweeps_done >= quota:
+                # Over-quota candidates are never profiled serially.
+                reports.append(None)
+                continue
+            report = self._try_profile(workload.program, params, data)
+            if kind == "sweep" and report is not None:
+                sweeps_done += 1
+            reports.append(report)
+        return self._assemble_neighbors(workload, plan, reports)
+
+    def _try_profile(
         self,
         program,
         params: HardwareParams,
         data: Optional[dict[str, Any]],
-    ) -> Optional[DatasetRecord]:
-        profiler = Profiler(params, max_steps=self.config.max_steps)
+    ):
+        profiler = Profiler(
+            params,
+            max_steps=self.config.max_steps,
+            backend=self.config.sim_backend,
+            static_cache=self._static_cache,
+        )
         try:
-            report = profiler.profile(
+            return profiler.profile(
                 program, data=data, rng=np.random.default_rng(self.config.seed)
             )
         except SimulationError:
             return None
-        return DatasetRecord(
-            program=program if not isinstance(program, str) else program,
-            params=params,
-            data=data,
-            report=report,
-            source_kind="external",
-        )
 
     def build_corpus(
         self,
         workloads: Iterable[Workload],
         include_synth: bool = True,
         params_for: Optional[dict[str, HardwareParams]] = None,
+        workers: Optional[int] = None,
     ) -> list[DatasetRecord]:
-        """Training records: synthesized data + workload neighbors."""
+        """Training records: synthesized data + workload neighbors.
+
+        With ``workers`` > 1 (or ``config.profile_workers``), neighbor
+        profiling fans out over a :class:`BatchProfiler` process pool.
+        The *records* selected are identical to the serial path's; the
+        batch path may profile sweep candidates beyond the per-workload
+        quota (the pool has no cross-job early exit), which the
+        assembly step then discards.  Suite sweeps are a handful of
+        values per workload, so the slack is small.
+        """
         records: list[DatasetRecord] = []
         if include_synth:
             synthesizer = DatasetSynthesizer(self.config.synth)
             records.extend(synthesizer.generate().records)
-        for workload in workloads:
-            eval_params = (params_for or {}).get(workload.name)
-            records.extend(self._neighbor_records(workload, eval_params))
+        workloads = list(workloads)
+        workers = self.config.profile_workers if workers is None else workers
+        if workers and workers > 1:
+            records.extend(self._batched_neighbors(workloads, params_for, workers))
+        else:
+            for workload in workloads:
+                eval_params = (params_for or {}).get(workload.name)
+                records.extend(self._neighbor_records(workload, eval_params))
+        return records
+
+    def _batched_neighbors(
+        self,
+        workloads: list[Workload],
+        params_for: Optional[dict[str, HardwareParams]],
+        workers: int,
+    ) -> list[DatasetRecord]:
+        plans = [
+            self._neighbor_plan(w, (params_for or {}).get(w.name)) for w in workloads
+        ]
+        jobs: list[ProfileJob] = []
+        spans: list[tuple[int, int]] = []
+        for workload, plan in zip(workloads, plans):
+            start = len(jobs)
+            jobs.extend(
+                ProfileJob(
+                    program=workload.program,
+                    data=data,
+                    params=params,
+                    seed=self.config.seed,
+                )
+                for _, params, data in plan
+            )
+            spans.append((start, len(jobs)))
+        batch = BatchProfiler(
+            max_steps=self.config.max_steps,
+            backend=self.config.sim_backend,
+            max_workers=workers,
+            static_cache=self._static_cache,
+        )
+        reports = batch.profile_many(jobs)
+        records: list[DatasetRecord] = []
+        for workload, plan, (start, stop) in zip(workloads, plans, spans):
+            records.extend(
+                self._assemble_neighbors(workload, plan, reports[start:stop])
+            )
         return records
 
     # -- training -------------------------------------------------------------------

@@ -4,19 +4,45 @@ One façade over the whole EDA substrate: given ``{G+Op program, Params,
 data}`` it returns the paper's label vector ``<Power, Area, Flip-Flops,
 Cycles>`` plus the RTL reasoning features.  This plays the role of
 SiliconCompiler + Bambu + OpenROAD + Verilator in the paper's pipeline.
+
+Performance layer (parity-tested against the one-shot path):
+
+* The *static* pipeline (allocate → synthesize → power → RTL features)
+  depends only on ``(program, HardwareParams)``, so it is factored into
+  a :class:`StaticProfile` and memoized in a :class:`StaticProfileCache`
+  keyed by ``(program digest, params)``.  Input sweeps, calibration
+  environments and DSE candidate re-evaluation pay the static cost once.
+* The *dynamic* metric (cycles) is simulated by a selectable backend:
+  ``backend="compiled"`` (closure-compiled, default) or ``"interp"``
+  (the original tree-walking interpreter) — identical results either
+  way (see ``tests/test_sim_compiler.py``).
+* :class:`BatchProfiler` fans many profiling jobs out over a bounded
+  process pool, chunked by program digest so each worker's
+  static-profile and compile caches hit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+import os
+import threading
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
-from .asicflow import estimate_power, synthesize
-from .hls import HardwareParams, RtlFeatures, allocate_program, extract_rtl_features
+from .asicflow import PowerReport, SynthesisResult, estimate_power, synthesize
+from .errors import SimulationError
+from .hls import (
+    AllocationResult,
+    HardwareParams,
+    RtlFeatures,
+    allocate_program,
+    extract_rtl_features,
+)
 from .lang import ast, parse
-from .sim import Interpreter, default_inputs
+from .sim import default_inputs, make_simulator, program_digest
 
 METRICS = ("power", "area", "ff", "cycles")
 STATIC_METRICS = ("power", "area", "ff")
@@ -57,21 +83,131 @@ class ProfileReport:
     ops_executed: int
 
 
+@dataclass(frozen=True)
+class StaticProfile:
+    """Everything the EDA substrate derives from ``(program, params)``
+    alone — valid for any runtime inputs of the same design."""
+
+    digest: str
+    params: HardwareParams
+    allocation: AllocationResult
+    synthesis: SynthesisResult
+    power: PowerReport
+    rtl: RtlFeatures
+
+
+def compute_static_profile(
+    program: ast.Program,
+    params: HardwareParams,
+    digest: Optional[str] = None,
+) -> StaticProfile:
+    """Run the static pipeline once (no caching)."""
+    allocation = allocate_program(program)
+    synthesis = synthesize(program, params, allocation=allocation)
+    power = estimate_power(program, params, allocation=allocation, synthesis=synthesis)
+    rtl = extract_rtl_features(program, params, allocation=allocation)
+    return StaticProfile(
+        digest=digest or program_digest(program),
+        params=params,
+        allocation=allocation,
+        synthesis=synthesis,
+        power=power,
+        rtl=rtl,
+    )
+
+
+class StaticProfileCache:
+    """Bounded LRU of :class:`StaticProfile` keyed by (digest, params).
+
+    Static results are deterministic functions of the key, so sharing a
+    cache across profilers (or the process-wide default) never changes
+    any label — it only skips recomputation.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[tuple[str, HardwareParams], StaticProfile]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        program: ast.Program,
+        params: HardwareParams,
+        digest: Optional[str] = None,
+    ) -> StaticProfile:
+        digest = digest or program_digest(program)
+        key = (digest, params)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        static = compute_static_profile(program, params, digest=digest)
+        with self._lock:
+            self._entries[key] = static
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+        return static
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# Process-wide default cache.  Deterministic contents; bounded size.
+GLOBAL_STATIC_CACHE = StaticProfileCache()
+
+
 class Profiler:
     """Profiles dataflow programs end to end.
 
     Static metrics (power, area, FF) come from the HLS allocation and
-    the ASIC flow; the dynamic metric (cycles) comes from simulating the
-    top function on concrete inputs.
+    the ASIC flow, memoized per ``(program digest, params)``; the
+    dynamic metric (cycles) comes from simulating the top function on
+    concrete inputs with the selected backend.
     """
 
     def __init__(
         self,
         params: Optional[HardwareParams] = None,
         max_steps: int = 5_000_000,
+        backend: str = "compiled",
+        static_cache: Optional[StaticProfileCache] = None,
+        memoize: bool = True,
     ) -> None:
         self.params = params or HardwareParams()
         self._max_steps = max_steps
+        self._backend = backend
+        self._static_cache = (
+            static_cache if static_cache is not None else GLOBAL_STATIC_CACHE
+        )
+        self._memoize = memoize
+
+    def static_profile(
+        self, program: ast.Program | str, digest: Optional[str] = None
+    ) -> StaticProfile:
+        """The memoized static half of :meth:`profile`."""
+        if isinstance(program, str):
+            program = parse(program)
+        if self._memoize:
+            return self._static_cache.get(program, self.params, digest=digest)
+        return compute_static_profile(program, self.params, digest=digest)
 
     def profile(
         self,
@@ -88,26 +224,30 @@ class Profiler:
         """
         if isinstance(program, str):
             program = parse(program)
-        allocation = allocate_program(program)
-        synthesis = synthesize(program, self.params, allocation=allocation)
-        power = estimate_power(
-            program, self.params, allocation=allocation, synthesis=synthesis
-        )
-        rtl = extract_rtl_features(program, self.params, allocation=allocation)
+        # One serialization+hash per call, shared by the static cache
+        # and the compile cache.
+        digest = program_digest(program)
+        static = self.static_profile(program, digest=digest)
         top = top or _default_top(program)
         inputs = default_inputs(program, top, rng=rng, overrides=data)
-        interpreter = Interpreter(program, self.params, max_steps=self._max_steps)
-        simulation = interpreter.run(top, inputs)
+        simulator = make_simulator(
+            program,
+            self.params,
+            max_steps=self._max_steps,
+            backend=self._backend,
+            digest=digest,
+        )
+        simulation = simulator.run(top, inputs)
         costs = CostVector(
-            power_uw=power.total_uw,
-            area_um2=synthesis.area_um2,
-            flip_flops=synthesis.flip_flops,
+            power_uw=static.power.total_uw,
+            area_um2=static.synthesis.area_um2,
+            flip_flops=static.synthesis.flip_flops,
             cycles=simulation.cycles,
         )
         return ProfileReport(
             costs=costs,
-            rtl=rtl,
-            longest_path_ns=synthesis.longest_path_ns,
+            rtl=static.rtl,
+            longest_path_ns=static.synthesis.longest_path_ns,
             ops_executed=simulation.ops_executed,
         )
 
@@ -127,3 +267,171 @@ def profile(
 ) -> CostVector:
     """Convenience one-shot profiling returning just the cost vector."""
     return Profiler(params).profile(program, data=data, top=top).costs
+
+
+# -- batched profiling --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One profiling request for :class:`BatchProfiler`.
+
+    ``seed`` feeds the deterministic runtime-input generator (matching
+    ``Profiler.profile(rng=np.random.default_rng(seed))``); ``params``
+    falls back to the batch profiler's default.
+    """
+
+    program: Any  # ast.Program | str
+    data: Optional[dict[str, Any]] = None
+    params: Optional[HardwareParams] = None
+    top: Optional[str] = None
+    seed: int = 0
+
+
+def _profile_one(
+    job: ProfileJob,
+    default_params: HardwareParams,
+    max_steps: int,
+    backend: str,
+    static_cache: Optional[StaticProfileCache],
+) -> Optional[ProfileReport]:
+    profiler = Profiler(
+        job.params or default_params,
+        max_steps=max_steps,
+        backend=backend,
+        static_cache=static_cache,
+    )
+    try:
+        return profiler.profile(
+            job.program,
+            data=job.data,
+            top=job.top,
+            rng=np.random.default_rng(job.seed),
+        )
+    except SimulationError:
+        return None
+
+
+def _run_chunk(
+    payload: tuple[list[ProfileJob], HardwareParams, int, str]
+) -> list[Optional[ProfileReport]]:
+    """Worker entry point: profile one digest-chunk of jobs.
+
+    Runs in a pool process; the process-local GLOBAL_STATIC_CACHE and
+    compile cache serve every job of the chunk after the first.
+    """
+    jobs, default_params, max_steps, backend = payload
+    return [
+        _profile_one(job, default_params, max_steps, backend, None) for job in jobs
+    ]
+
+
+class BatchProfiler:
+    """Profiles many jobs with shared caches and optional fan-out.
+
+    Jobs are grouped by program digest; each group is dispatched as one
+    unit so a worker computes the group's static profiles and compiled
+    lowering once.  ``max_workers<=1`` (or a pool failure) degrades to
+    the serial path, which still shares this profiler's static cache.
+    Failed simulations yield ``None`` in the result list, mirroring how
+    the corpus builders skip :class:`SimulationError` programs.
+    """
+
+    def __init__(
+        self,
+        params: Optional[HardwareParams] = None,
+        max_steps: int = 5_000_000,
+        backend: str = "compiled",
+        max_workers: Optional[int] = None,
+        static_cache: Optional[StaticProfileCache] = None,
+    ) -> None:
+        self.params = params or HardwareParams()
+        self._max_steps = max_steps
+        self._backend = backend
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self._max_workers = max(1, max_workers)
+        self._static_cache = (
+            static_cache if static_cache is not None else GLOBAL_STATIC_CACHE
+        )
+
+    def profile_many(
+        self, jobs: Sequence[ProfileJob]
+    ) -> list[Optional[ProfileReport]]:
+        """Profile every job, preserving order; ``None`` marks failures."""
+        jobs = [self._parsed(job) for job in jobs]
+        if self._max_workers <= 1 or len(jobs) <= 2:
+            return [self._serial_one(job) for job in jobs]
+        chunks = self._chunk_by_digest(jobs)
+        if len(chunks) == 1:
+            # One program: the pool would recompute the shared static
+            # profile in every worker; serial with a warm cache wins.
+            return [self._serial_one(job) for job in jobs]
+        try:
+            return self._run_parallel(jobs, chunks)
+        except Exception as exc:
+            # Pool creation, pickling or mid-run worker failures degrade
+            # to serial — never to a different answer — but loudly: a
+            # systematic pool problem would otherwise masquerade as a
+            # silent performance cliff.
+            warnings.warn(
+                f"BatchProfiler pool failed ({type(exc).__name__}: {exc}); "
+                f"re-profiling {len(jobs)} jobs serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [self._serial_one(job) for job in jobs]
+
+    def profile_programs(
+        self,
+        programs: Iterable[Any],
+        data: Optional[dict[str, Any]] = None,
+        seed: int = 0,
+    ) -> list[Optional[ProfileReport]]:
+        """Convenience wrapper: one job per program, shared data/seed."""
+        return self.profile_many(
+            [ProfileJob(program=p, data=data, seed=seed) for p in programs]
+        )
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _parsed(job: ProfileJob) -> ProfileJob:
+        if isinstance(job.program, str):
+            return ProfileJob(
+                program=parse(job.program),
+                data=job.data,
+                params=job.params,
+                top=job.top,
+                seed=job.seed,
+            )
+        return job
+
+    def _serial_one(self, job: ProfileJob) -> Optional[ProfileReport]:
+        return _profile_one(
+            job, self.params, self._max_steps, self._backend, self._static_cache
+        )
+
+    @staticmethod
+    def _chunk_by_digest(jobs: list[ProfileJob]) -> list[list[int]]:
+        groups: "OrderedDict[str, list[int]]" = OrderedDict()
+        for index, job in enumerate(jobs):
+            groups.setdefault(program_digest(job.program), []).append(index)
+        return list(groups.values())
+
+    def _run_parallel(
+        self, jobs: list[ProfileJob], chunks: list[list[int]]
+    ) -> list[Optional[ProfileReport]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        results: list[Optional[ProfileReport]] = [None] * len(jobs)
+        workers = min(self._max_workers, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = [
+                ([jobs[i] for i in indices], self.params, self._max_steps, self._backend)
+                for indices in chunks
+            ]
+            for indices, chunk_results in zip(chunks, pool.map(_run_chunk, payloads)):
+                for index, report in zip(indices, chunk_results):
+                    results[index] = report
+        return results

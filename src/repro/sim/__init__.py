@@ -1,13 +1,35 @@
-"""Cycle simulator (Verilator substitute)."""
+"""Cycle simulator (Verilator substitute).
 
+Two backends with identical semantics: the tree-walking
+:class:`Interpreter` and the closure-lowering :class:`CompiledSimulator`
+(see :mod:`repro.sim.compiler`); :func:`make_simulator` selects one via
+``backend="compiled"|"interp"``.
+"""
+
+from .compiler import (
+    SIM_BACKENDS,
+    CompiledProgram,
+    CompiledSimulator,
+    clear_compile_cache,
+    compile_program,
+    make_simulator,
+    program_digest,
+)
 from .cost import CycleCounter
 from .inputs import DEFAULT_DIM, DEFAULT_SCALAR, default_inputs, describe_data
 from .interpreter import Interpreter, SimulationResult
 
 __all__ = [
     "Interpreter",
+    "CompiledSimulator",
+    "CompiledProgram",
     "SimulationResult",
     "CycleCounter",
+    "SIM_BACKENDS",
+    "make_simulator",
+    "compile_program",
+    "clear_compile_cache",
+    "program_digest",
     "default_inputs",
     "describe_data",
     "DEFAULT_DIM",

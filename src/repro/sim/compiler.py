@@ -1,0 +1,770 @@
+"""Compiled simulation backend: AST lowered once into Python code.
+
+The tree-walking :class:`~repro.sim.interpreter.Interpreter` re-dispatches
+on node types, routes every variable access through an environment dict,
+calls a :class:`CycleCounter` method per operation, and drives
+``break``/``continue``/``return`` through Python exceptions.  This module
+lowers each function *once* into a generated Python function — node
+dispatch resolved at compile time, variables held in Python locals,
+cycle accounting inlined as straight-line float arithmetic, control flow
+handled structurally — and caches the lowering by program digest, so
+repeated simulations of the same program (input sweeps, DSE candidate
+re-evaluation, calibration environments) pay the lowering cost once.
+
+Parity contract: for any program/inputs/params, :class:`CompiledSimulator`
+produces a :class:`SimulationResult` whose every field is identical to the
+interpreter's, raises the same :class:`SimulationError` subclasses under
+the same conditions, and enforces ``max_steps`` at exactly the same step
+granularity (one step per executed statement and per evaluated
+expression).  Cycle accounting performs the same float operations in the
+same order, so results match bit for bit.  The parity suite in
+``tests/test_sim_compiler.py`` holds this contract across the bundled
+workload suites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import SimulationError, SimulationLimitExceeded
+from ..hls import HardwareParams
+from ..lang import ast, to_source
+from . import cost as c
+from .cost import _MAX_LANES
+from .interpreter import SimulationResult, _INT_CLAMP
+
+
+def program_digest(program: ast.Program | str) -> str:
+    """Content digest of a program, stable across object identity."""
+    text = program if isinstance(program, str) else to_source(program)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+_COMPARISONS = {"<", ">", "<=", ">=", "==", "!="}
+_LOGICALS = {"&&": "and", "||": "or"}
+_BITWISE = {"&": "&", "|": "|", "^": "^"}
+
+# Counter state threaded through every generated function, in signature
+# and return-tuple order: steps, cycles, ops, loads, stores, branches.
+_COUNTERS = "s, cyc, ops, lds, sts, brs"
+
+
+class _FunctionWriter:
+    """Emits the body of one generated function."""
+
+    def __init__(self, gen: "_CodeGen", func: ast.FunctionDef) -> None:
+        self.gen = gen
+        self.func = func
+        self.lines: list[str] = []
+        self.indent = 1
+        self._temp = 0
+        # Names definitely bound at the current emission point; reads of
+        # any other name need the interpreter's runtime-error fallback.
+        self.bound: set[str] = {param.name for param in func.params}
+        # Current lane-scope locals (prefix product, compute, memory).
+        self.lanes = ("1.0", "1.0", "_m_init")
+        self._lane_depth = 0
+
+    # -- low-level emission --------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"t{self._temp}"
+
+    def tick(self) -> None:
+        self.emit("s += 1")
+        self.emit('if s > MS: raise SimulationLimitExceeded("simulation exceeded %d steps" % MS)')
+
+    def var(self, name: str) -> str:
+        return "V" + name
+
+    # -- cycle accounting (inlined CycleCounter semantics) -------------
+
+    def charge_compute(self, latency: float) -> None:
+        self.emit("ops += 1")
+        self.emit(f"cyc += {latency!r} / {self.lanes[1]}")
+
+    def charge_compute_typed(self, left: str, right: str, fp: float, i: float) -> None:
+        self.emit("ops += 1")
+        self.emit(
+            f"cyc += ({fp!r} if isinstance({left}, float) or isinstance({right}, float)"
+            f" else {i!r}) / {self.lanes[1]}"
+        )
+
+    def charge_load(self) -> None:
+        self.emit("lds += 1")
+        self.emit(f"cyc += R / {self.lanes[2]}")
+
+    def charge_store(self) -> None:
+        self.emit("sts += 1")
+        self.emit(f"cyc += W / {self.lanes[2]}")
+
+    def charge_branch(self) -> None:
+        self.emit("brs += 1")
+        self.emit(f"cyc += {c.BRANCH_COST!r} / {self.lanes[1]}")
+
+    def charge_loop_iteration(self) -> None:
+        self.emit(f"cyc += {c.LOOP_OVERHEAD!r} / {self.lanes[1]}")
+
+    def clamp_num(self, value: str) -> None:
+        """Inline the interpreter's post-arithmetic clamping."""
+        self.emit(f"if isinstance({value}, int):")
+        self.emit(f"    if {value} > {_INT_CLAMP}: {value} = {_INT_CLAMP}")
+        self.emit(f"    elif {value} < {-_INT_CLAMP}: {value} = {-_INT_CLAMP}")
+        self.emit(f"elif isinstance({value}, float):")
+        self.emit(f"    if not math.isfinite({value}): {value} = 0.0")
+        self.emit(f"    elif abs({value}) > 1e30: {value} = 1e30 if {value} > 0 else -1e30")
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, expr: ast.Expr) -> str:
+        """Emit evaluation of *expr*; returns the temp holding its value."""
+        self.tick()
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            value = self.temp()
+            self.emit(f"{value} = {expr.value!r}")
+            return value
+        if isinstance(expr, ast.Var):
+            value = self.temp()
+            if expr.name in self.bound:
+                self.emit(f"{value} = {self.var(expr.name)}")
+            else:
+                self.emit("try:")
+                self.emit(f"    {value} = {self.var(expr.name)}")
+                self.emit("except UnboundLocalError:")
+                self.emit(
+                    f'    raise SimulationError("undefined variable {expr.name!r}") from None'
+                )
+            return value
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.expr(expr.operand)
+            self.charge_compute(c.LOGIC)
+            value = self.temp()
+            if expr.op == "-":
+                self.emit(f"{value} = -{operand}")
+            elif expr.op == "!":
+                self.emit(f"{value} = 0 if {operand} else 1")
+            else:
+                self.emit(f'raise SimulationError("unknown unary operator {expr.op!r}")')
+                self.emit(f"{value} = 0")
+            return value
+        if isinstance(expr, ast.Index):
+            array, selector = self._array_access(expr.base.name, expr.indices)
+            self.charge_load()
+            value = self.temp()
+            self.emit(f"{value} = {array}[{selector}]")
+            self.emit(
+                f"{value} = float({value}) if {array}.dtype == np.float64 else int({value})"
+            )
+            return value
+        if isinstance(expr, ast.CallExpr):
+            return self._call(expr)
+        if isinstance(expr, ast.Ternary):
+            self.charge_branch()
+            cond = self.expr(expr.cond)
+            value = self.temp()
+            saved = set(self.bound)
+            self.emit(f"if {cond}:")
+            self.indent += 1
+            then_value = self.expr(expr.then)
+            self.emit(f"{value} = {then_value}")
+            self.indent -= 1
+            self.bound = set(saved)
+            self.emit("else:")
+            self.indent += 1
+            other_value = self.expr(expr.other)
+            self.emit(f"{value} = {other_value}")
+            self.indent -= 1
+            self.bound = saved
+            return value
+        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+
+    def _binop(self, expr: ast.BinOp) -> str:
+        op = expr.op
+        left = self.expr(expr.left)
+        right = self.expr(expr.right)
+        value = self.temp()
+        if op in ("+", "-"):
+            self.charge_compute_typed(left, right, c.FP_ADD, c.INT_ADD)
+            self.emit(f"{value} = {left} {op} {right}")
+            self.clamp_num(value)
+        elif op == "*":
+            self.charge_compute_typed(left, right, c.FP_MUL, c.INT_MUL)
+            self.emit(f"{value} = {left} * {right}")
+            self.clamp_num(value)
+        elif op in ("/", "%"):
+            self.charge_compute_typed(left, right, c.FP_DIV, c.INT_DIV)
+            self.emit(f"if {right} == 0:")
+            self.emit(f"    {value} = 0")
+            self.emit("else:")
+            self.indent += 1
+            self.emit(f"if isinstance({left}, int) and isinstance({right}, int):")
+            if op == "/":
+                self.emit(f"    {value} = int({left} / {right})")
+            else:
+                self.emit(f"    {value} = {left} - int({left} / {right}) * {right}")
+            self.emit("else:")
+            if op == "/":
+                self.emit(f"    {value} = {left} / {right}")
+            else:
+                self.emit(f"    {value} = float(np.fmod({left}, {right}))")
+            self.clamp_num(value)
+            self.indent -= 1
+        elif op in _COMPARISONS:
+            self.charge_compute(c.CMP)
+            self.emit(f"{value} = 1 if {left} {op} {right} else 0")
+        elif op in _LOGICALS:
+            self.charge_compute(c.LOGIC)
+            self.emit(f"{value} = 1 if ({left} {_LOGICALS[op]} {right}) else 0")
+        elif op in _BITWISE:
+            self.charge_compute(c.LOGIC)
+            self.emit(f"{value} = int({left}) {op} int({right})")
+        elif op in ("<<", ">>"):
+            self.charge_compute(c.LOGIC)
+            self.emit(f"{value} = int({left}) {op} min(62, max(0, int({right})))")
+            self.emit(f"if {value} > {_INT_CLAMP}: {value} = {_INT_CLAMP}")
+            self.emit(f"elif {value} < {-_INT_CLAMP}: {value} = {-_INT_CLAMP}")
+        else:
+            self.charge_compute(c.LOGIC)
+            self.emit(f'raise SimulationError("unknown operator {op!r}")')
+            self.emit(f"{value} = 0")
+        return value
+
+    def _array_access(self, name: str, index_exprs: list[ast.Expr]) -> tuple[str, str]:
+        """Fetch array *name* and evaluate/clamp its indices; returns
+        (array temp, selector temp holding the index tuple).
+
+        The interpreter builds indices with ``zip(index_exprs, shape)``,
+        which truncates at the shorter side: extra index expressions are
+        silently *not evaluated* (no steps ticked), and a rank mismatch
+        is only raised when there are fewer indices than dimensions.
+        The fast path below covers the matching-rank case; the slow path
+        replicates the truncation semantics exactly.
+        """
+        array = self.temp()
+        if name in self.bound:
+            self.emit(f"{array} = {self.var(name)}")
+        else:
+            self.emit("try:")
+            self.emit(f"    {array} = {self.var(name)}")
+            self.emit("except UnboundLocalError:")
+            self.emit(f"    {array} = None")
+        self.emit(f"if not isinstance({array}, np.ndarray):")
+        self.emit(f'    raise SimulationError("{name!r} is not an array")')
+        count = len(index_exprs)
+        selector = self.temp()
+        self.emit(f"if {array}.ndim == {count}:")
+        self.indent += 1
+        index_temps = []
+        for position, index_expr in enumerate(index_exprs):
+            index = self.expr(index_expr)
+            dim = self.temp()
+            self.emit(f"{index} = int({index})")
+            self.emit(f"{dim} = {array}.shape[{position}]")
+            self.emit(f"if not 0 <= {index} < {dim}: {index} = {index} % {dim}")
+            index_temps.append(index)
+        comma = "," if count == 1 else ""
+        self.emit(f"{selector} = ({', '.join(index_temps)}{comma})")
+        self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        ndim = self.temp()
+        collected = self.temp()
+        self.emit(f"{ndim} = {array}.ndim")
+        self.emit(f"{collected} = []")
+        for position, index_expr in enumerate(index_exprs):
+            self.emit(f"if {position} < {ndim}:")
+            self.indent += 1
+            index = self.expr(index_expr)
+            dim = self.temp()
+            self.emit(f"{index} = int({index})")
+            self.emit(f"{dim} = {array}.shape[{position}]")
+            self.emit(f"if not 0 <= {index} < {dim}: {index} = {index} % {dim}")
+            self.emit(f"{collected}.append({index})")
+            self.indent -= 1
+        self.emit(f"if {ndim} > {count}:")
+        self.emit(f'    raise SimulationError("rank mismatch indexing {name!r}")')
+        self.emit(f"{selector} = tuple({collected})")
+        self.indent -= 1
+        return array, selector
+
+    def _call(self, expr: ast.CallExpr) -> str:
+        name = expr.name
+        func = self.gen.functions.get(name)
+        value = self.temp()
+        if func is None:
+            self.emit(f'raise SimulationError("call to unknown function {name!r}")')
+            self.emit(f"{value} = 0")
+            return value
+        if len(func.params) != len(expr.args):
+            message = f"{name!r} expects {len(func.params)} args, got {len(expr.args)}"
+            self.emit(f'raise SimulationError("{message}")')
+            self.emit(f"{value} = 0")
+            return value
+        self.emit(f"cyc += {c.CALL_OVERHEAD!r}")
+        arg_temps = []
+        for param, arg in zip(func.params, expr.args):
+            arg_value = self.expr(arg)
+            if param.type.is_array:
+                self.emit(f"if not isinstance({arg_value}, np.ndarray):")
+                self.emit(
+                    f'    raise SimulationError("argument {param.name!r} of '
+                    f'{name!r} must be an array")'
+                )
+            elif param.type.base == "float":
+                self.emit(f"{arg_value} = float({arg_value})")
+            else:
+                self.emit(f"{arg_value} = int({arg_value})")
+            arg_temps.append(arg_value)
+        started = self.temp()
+        self.emit(f"{started} = cyc")
+        prod, clanes, mlanes = self.lanes
+        args = ", ".join(
+            ["MS", "R", "W", "PE", "MPF", "fcyc", _COUNTERS, prod, clanes, mlanes]
+            + arg_temps
+        )
+        self.emit(f"{_COUNTERS}, {value} = {self.gen.fn_name(name)}({args})")
+        self.emit(
+            f'fcyc["{name}"] = fcyc.get("{name}", 0.0) + (cyc - {started})'
+        )
+        self.emit(f"if {value} is None: {value} = 0")
+        return value
+
+    # -- statements -----------------------------------------------------
+
+    def block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        self.tick()
+        if isinstance(stmt, ast.Decl):
+            self._decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.Block):
+            self.block(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.expr(stmt.value)
+                self.emit(f"return {_COUNTERS}, {value}")
+            else:
+                self.emit(f"return {_COUNTERS}, None")
+        elif isinstance(stmt, ast.Break):
+            self.emit(self.gen_break())
+        elif isinstance(stmt, ast.Continue):
+            self.emit(self.gen_continue())
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr(stmt.expr)
+        else:
+            self.emit(f'raise SimulationError("cannot execute {type(stmt).__name__}")')
+
+    # Break/continue mapping: Python's break/continue bind to the
+    # innermost loop, which is exactly the interpreter's signal scoping.
+    # A `continue` inside a For must still run the step statement, so
+    # For bodies with top-level continues are wrapped (see _for).  The
+    # defaults below only trigger for break/continue outside any loop —
+    # a malformed program either way (the interpreter leaks its internal
+    # signal exception there); raising keeps the generated module valid
+    # Python even when such a statement sits in dead code.
+    def gen_break(self) -> str:
+        return self._break_line
+
+    def gen_continue(self) -> str:
+        return self._continue_line
+
+    _break_line = 'raise SimulationError("break outside loop")'
+    _continue_line = 'raise SimulationError("continue outside loop")'
+
+    def _decl(self, stmt: ast.Decl) -> None:
+        name = self.var(stmt.name)
+        if stmt.type.is_array:
+            dims = []
+            for dim in stmt.type.dims:
+                if dim is None:
+                    dims.append("16")
+                else:
+                    size = self.expr(dim)
+                    self.emit(f"{size} = max(1, int({size}))")
+                    dims.append(size)
+            dtype = "np.float64" if stmt.type.base == "float" else "np.int64"
+            shape = ", ".join(dims)
+            comma = "," if len(dims) == 1 else ""
+            self.emit(f"{name} = np.zeros(({shape}{comma}), dtype={dtype})")
+        elif stmt.init is not None:
+            value = self.expr(stmt.init)
+            cast = "int" if stmt.type.base == "int" else "float"
+            self.emit(f"{name} = {cast}({value})")
+        else:
+            self.emit(f"{name} = {'0.0' if stmt.type.base == 'float' else '0'}")
+        self.bound.add(stmt.name)
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        value = self.expr(stmt.value)
+        target = stmt.target
+        compound = stmt.op != "="
+        if isinstance(target, ast.Var):
+            name = self.var(target.name)
+            old = self.temp()
+            if target.name in self.bound:
+                self.emit(f"{old} = {name}")
+            else:
+                self.emit("try:")
+                self.emit(f"    {old} = {name}")
+                self.emit("except UnboundLocalError:")
+                self.emit(f"    {old} = None")
+            if compound:
+                # env.get(name, 0) for the operand; env.get(name) → None
+                # (when missing) for the coercion check below.
+                operand = self.temp()
+                self.emit(f"{operand} = 0 if {old} is None else {old}")
+                self._apply_compound(stmt.op[0], operand, value)
+            self.emit(
+                f"if isinstance({old}, int) and not isinstance({value}, int): "
+                f"{value} = int({value})"
+            )
+            self.emit(f"{name} = {value}")
+            self.bound.add(target.name)
+            return
+        array, indices = self._array_access(target.base.name, target.indices)
+        if compound:
+            self.charge_load()
+            current = self.temp()
+            self.emit(f"{current} = float({array}[{indices}])")
+            self._apply_compound(stmt.op[0], current, value)
+        self.charge_store()
+        self.emit(f"if {array}.dtype == np.int64:")
+        self.emit(
+            f"    {value} = int(min(max({value}, {-_INT_CLAMP}), {_INT_CLAMP}))"
+        )
+        self.emit(f"{array}[{indices}] = {value}")
+
+    def _apply_compound(self, op: str, current: str, value: str) -> None:
+        """value = _apply_binop(op, current, value), without charging
+        (the interpreter charges only the RHS expression's own ops)."""
+        if op in ("+", "-", "*"):
+            self.emit(f"{value} = {current} {op} {value}")
+            self.clamp_num(value)
+        elif op in ("/", "%"):
+            self.emit(f"if {value} == 0:")
+            self.emit(f"    {value} = 0")
+            self.emit("else:")
+            self.indent += 1
+            self.emit(f"if isinstance({current}, int) and isinstance({value}, int):")
+            if op == "/":
+                self.emit(f"    {value} = int({current} / {value})")
+            else:
+                self.emit(f"    {value} = {current} - int({current} / {value}) * {value}")
+            self.emit("else:")
+            if op == "/":
+                self.emit(f"    {value} = {current} / {value}")
+            else:
+                self.emit(f"    {value} = float(np.fmod({current}, {value}))")
+            self.clamp_num(value)
+            self.indent -= 1
+        elif op in _BITWISE:
+            self.emit(f"{value} = int({current}) {_BITWISE[op]} int({value})")
+        elif op == "<":
+            self.emit(f"{value} = 1 if {current} < {value} else 0")
+        elif op == ">":
+            self.emit(f"{value} = 1 if {current} > {value} else 0")
+        else:
+            self.emit(f'raise SimulationError("unknown operator {op!r}")')
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.stmt(stmt.init)
+        factor = stmt.unroll_factor
+        if factor == 0:
+            factor = 64  # full unroll: capped duplication
+        base_lanes = 1.0 * max(1, factor)
+        outer_lanes = self.lanes
+        self._lane_depth += 1
+        depth = self._lane_depth
+        prod, clanes, mlanes = f"_p{depth}", f"_c{depth}", f"_m{depth}"
+        if stmt.is_parallel:
+            raw = self.temp()
+            self.emit(f"{raw} = {base_lanes!r} * PE")
+            self.emit(f"{prod} = {outer_lanes[0]} * max(1.0, {raw})")
+        else:
+            self.emit(f"{prod} = {outer_lanes[0]} * {max(1.0, base_lanes)!r}")
+        self.emit(f"{clanes} = {prod} if {prod} < {_MAX_LANES!r} else {_MAX_LANES!r}")
+        self.emit(f"{mlanes} = {clanes} if {clanes} < MPF else MPF")
+        self.lanes = (prod, clanes, mlanes)
+        needs_wrapper = any(
+            isinstance(inner, (ast.Break, ast.Continue))
+            for inner in _loop_level_stmts(stmt.body)
+        )
+        self.emit("while True:")
+        self.indent += 1
+        self.tick()
+        if stmt.cond is not None:
+            cond = self.expr(stmt.cond)
+            self.emit(f"if not {cond}: break")
+        self.charge_loop_iteration()
+        saved = set(self.bound)
+        if needs_wrapper:
+            flag = self.temp()
+            self.emit(f"{flag} = False")
+            self.emit("while True:")
+            self.indent += 1
+            old_break, old_continue = self._break_line, self._continue_line
+            self._break_line = f"{flag} = True; break"
+            self._continue_line = "break"
+            self.block(stmt.body)
+            self._break_line, self._continue_line = old_break, old_continue
+            self.emit("break")
+            self.indent -= 1
+            self.emit(f"if {flag}: break")
+        else:
+            self.block(stmt.body)
+        if stmt.step is not None:
+            self.stmt(stmt.step)
+        self.indent -= 1
+        self.bound = saved
+        self.lanes = outer_lanes
+        self._lane_depth -= 1
+
+    def _while(self, stmt: ast.While) -> None:
+        self.emit("while True:")
+        self.indent += 1
+        self.tick()
+        cond = self.expr(stmt.cond)
+        self.emit(f"if not {cond}: break")
+        self.charge_loop_iteration()
+        saved = set(self.bound)
+        old_break, old_continue = self._break_line, self._continue_line
+        self._break_line = "break"
+        self._continue_line = "continue"
+        self.block(stmt.body)
+        self._break_line, self._continue_line = old_break, old_continue
+        self.indent -= 1
+        self.bound = saved
+
+    def _if(self, stmt: ast.If) -> None:
+        self.charge_branch()
+        cond = self.expr(stmt.cond)
+        saved = set(self.bound)
+        self.emit(f"if {cond}:")
+        self.indent += 1
+        self.block(stmt.then)
+        self.emit("pass")
+        self.indent -= 1
+        self.bound = set(saved)
+        if stmt.other is not None:
+            self.emit("else:")
+            self.indent += 1
+            self.block(stmt.other)
+            self.emit("pass")
+            self.indent -= 1
+            self.bound = set(saved)
+
+
+def _loop_level_stmts(block: ast.Block):
+    """Statements belonging to *block*'s loop level: recurses into If
+    and bare Block bodies (whose break/continue bind to this loop) but
+    not into nested loops."""
+    for stmt in block.stmts:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _loop_level_stmts(stmt.then)
+            if stmt.other is not None:
+                yield from _loop_level_stmts(stmt.other)
+        elif isinstance(stmt, ast.Block):
+            yield from _loop_level_stmts(stmt)
+
+
+class _CodeGen:
+    """Generates one Python module of simulation functions per program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.functions = {func.name: func for func in program.functions}
+
+    @staticmethod
+    def fn_name(name: str) -> str:
+        return "_f_" + name
+
+    def generate(self) -> str:
+        parts: list[str] = []
+        for func in self.program.functions:
+            writer = _FunctionWriter(self, func)
+            params = "".join(", " + writer.var(p.name) for p in func.params)
+            parts.append(
+                f"def {self.fn_name(func.name)}"
+                f"(MS, R, W, PE, MPF, fcyc, {_COUNTERS}, _prod0, _clanes0, _m_init{params}):"
+            )
+            # The caller's lane scope is inherited (one shared counter in
+            # the interpreter); pushes inside this function restore
+            # lexically on loop exit.
+            writer.lanes = ("_prod0", "_clanes0", "_m_init")
+            writer.block(func.body)
+            writer.emit(f"return {_COUNTERS}, None")
+            parts.extend(writer.lines)
+            parts.append("")
+        return "\n".join(parts)
+
+
+class CompiledProgram:
+    """All functions of one program lowered to generated Python code."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.specs = {func.name: func for func in program.functions}
+        self.source = _CodeGen(program).generate()
+        namespace: dict[str, Any] = {
+            "np": np,
+            "math": math,
+            "SimulationError": SimulationError,
+            "SimulationLimitExceeded": SimulationLimitExceeded,
+        }
+        exec(compile(self.source, "<repro.sim.compiled>", "exec"), namespace)
+        self.entries = {
+            name: namespace[_CodeGen.fn_name(name)] for name in self.specs
+        }
+
+
+_COMPILE_CACHE: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+_COMPILE_CACHE_LIMIT = 256
+
+
+def compile_program(
+    program: ast.Program, digest: Optional[str] = None
+) -> CompiledProgram:
+    """Lower *program* to Python code, memoized by content digest."""
+    key = digest or program_digest(program)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        return cached
+    compiled = CompiledProgram(program)
+    _COMPILE_CACHE[key] = compiled
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.popitem(last=False)
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+
+
+class CompiledSimulator:
+    """Drop-in replacement for :class:`Interpreter` using generated code.
+
+    Same constructor and ``run`` signature; identical results.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        params: Optional[HardwareParams] = None,
+        max_steps: int = 5_000_000,
+        digest: Optional[str] = None,
+    ) -> None:
+        self._program = program
+        self._params = params or HardwareParams()
+        self._max_steps = max_steps
+        self._compiled = compile_program(program, digest=digest)
+
+    def run(self, function: str, args: dict[str, Any]) -> SimulationResult:
+        """Execute *function* with keyword *args* and return the profile."""
+        if function not in self._compiled.entries:
+            raise SimulationError(f"no function named {function!r}")
+        func = self._compiled.specs[function]
+        bound = self._bind_args(func, args)
+        params = self._params
+        function_cycles: dict[str, float] = {}
+        memory_lanes = min(1.0, float(params.memory_ports))
+        s, cyc, ops, lds, sts, brs, return_value = self._compiled.entries[function](
+            self._max_steps,
+            params.mem_read_delay,
+            params.mem_write_delay,
+            params.pe_count,
+            float(params.memory_ports),
+            function_cycles,
+            0,  # steps
+            0.0,  # cycles
+            0,  # ops
+            0,  # loads
+            0,  # stores
+            0,  # branches
+            1.0,  # lane prefix product
+            1.0,  # compute lanes
+            memory_lanes,
+            *bound,
+        )
+        return SimulationResult(
+            cycles=max(1, int(round(cyc))),
+            ops_executed=ops,
+            loads=lds,
+            stores=sts,
+            branches=brs,
+            return_value=return_value,
+            per_function_cycles={
+                name: max(1, int(round(value)))
+                for name, value in function_cycles.items()
+            },
+        )
+
+    @staticmethod
+    def _bind_args(func: ast.FunctionDef, args: dict[str, Any]) -> list[Any]:
+        bound: list[Any] = []
+        for param in func.params:
+            if param.name not in args:
+                raise SimulationError(
+                    f"missing argument {param.name!r} for {func.name!r}"
+                )
+            value = args[param.name]
+            if param.type.is_array:
+                bound.append(
+                    np.asarray(
+                        value,
+                        dtype=np.float64 if param.type.base == "float" else np.int64,
+                    )
+                )
+            else:
+                bound.append(
+                    float(value) if param.type.base == "float" else int(value)
+                )
+        return bound
+
+
+SIM_BACKENDS = ("compiled", "interp")
+
+
+def make_simulator(
+    program: ast.Program,
+    params: Optional[HardwareParams] = None,
+    max_steps: int = 5_000_000,
+    backend: str = "compiled",
+    digest: Optional[str] = None,
+):
+    """Build a simulator for *program* under the selected *backend*.
+
+    ``digest``, when the caller already computed it, skips re-hashing
+    the program for the compile-cache lookup.
+    """
+    if backend == "compiled":
+        return CompiledSimulator(program, params, max_steps=max_steps, digest=digest)
+    if backend == "interp":
+        from .interpreter import Interpreter
+
+        return Interpreter(program, params, max_steps=max_steps)
+    raise ValueError(
+        f"unknown simulation backend {backend!r}; expected one of {SIM_BACKENDS}"
+    )

@@ -31,51 +31,69 @@ _MAX_LANES = 4096.0
 
 @dataclass
 class CycleCounter:
-    """Accumulates fractional cycles under a stack of lane scopes."""
+    """Accumulates fractional cycles under a stack of lane scopes.
+
+    The lane product is maintained incrementally as a stack of prefix
+    products (same left-to-right multiplication order as folding the
+    raw stack, so the float results are bit-identical) — this keeps
+    per-operation accounting O(1) instead of O(loop depth), which
+    matters because the simulators charge every executed op.
+    """
 
     params: HardwareParams
     cycles: float = 0.0
+    # Prefix products of the pushed lane values: entry i is
+    # lanes_0 * ... * lanes_i folded left-to-right starting from 1.0.
     _lane_stack: list[float] = field(default_factory=list)
     ops_executed: int = 0
     loads: int = 0
     stores: int = 0
     branches: int = 0
+    _compute_lanes: float = 1.0
+    _memory_lanes: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._memory_lanes = min(1.0, float(self.params.memory_ports))
 
     def push_lanes(self, lanes: float) -> None:
-        self._lane_stack.append(max(1.0, lanes))
+        product = self._lane_stack[-1] if self._lane_stack else 1.0
+        product = product * max(1.0, lanes)
+        self._lane_stack.append(product)
+        self._compute_lanes = product if product < _MAX_LANES else _MAX_LANES
+        self._memory_lanes = min(self._compute_lanes, float(self.params.memory_ports))
 
     def pop_lanes(self) -> None:
         self._lane_stack.pop()
+        product = self._lane_stack[-1] if self._lane_stack else 1.0
+        self._compute_lanes = product if product < _MAX_LANES else _MAX_LANES
+        self._memory_lanes = min(self._compute_lanes, float(self.params.memory_ports))
 
     @property
     def compute_lanes(self) -> float:
-        lanes = 1.0
-        for value in self._lane_stack:
-            lanes *= value
-        return min(lanes, _MAX_LANES)
+        return self._compute_lanes
 
     @property
     def memory_lanes(self) -> float:
-        return min(self.compute_lanes, float(self.params.memory_ports))
+        return self._memory_lanes
 
     def compute(self, latency: float, count: int = 1) -> None:
         self.ops_executed += count
-        self.cycles += latency * count / self.compute_lanes
+        self.cycles += latency * count / self._compute_lanes
 
     def load(self, count: int = 1) -> None:
         self.loads += count
-        self.cycles += self.params.mem_read_delay * count / self.memory_lanes
+        self.cycles += self.params.mem_read_delay * count / self._memory_lanes
 
     def store(self, count: int = 1) -> None:
         self.stores += count
-        self.cycles += self.params.mem_write_delay * count / self.memory_lanes
+        self.cycles += self.params.mem_write_delay * count / self._memory_lanes
 
     def branch(self) -> None:
         self.branches += 1
-        self.cycles += BRANCH_COST / self.compute_lanes
+        self.cycles += BRANCH_COST / self._compute_lanes
 
     def loop_iteration(self) -> None:
-        self.cycles += LOOP_OVERHEAD / self.compute_lanes
+        self.cycles += LOOP_OVERHEAD / self._compute_lanes
 
     def call(self) -> None:
         self.cycles += CALL_OVERHEAD

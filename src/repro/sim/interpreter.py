@@ -8,7 +8,7 @@ input-adaptive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
 import numpy as np
@@ -50,11 +50,7 @@ class SimulationResult:
     return_value: Optional[Scalar] = None
     # Cycles attributed to each called operator (inclusive of nested
     # calls), keyed by function name.
-    per_function_cycles: dict[str, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.per_function_cycles is None:
-            self.per_function_cycles = {}
+    per_function_cycles: dict[str, int] = field(default_factory=dict)
 
 
 class Interpreter:

@@ -1,0 +1,126 @@
+"""Memoized static flow and batched profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.hls import HardwareParams
+from repro.profiler import (
+    BatchProfiler,
+    ProfileJob,
+    Profiler,
+    StaticProfileCache,
+    compute_static_profile,
+)
+from repro.lang import parse
+from repro.sim import program_digest
+
+SOURCE = """
+void scale(float a[8], float b[8], int n) {
+  for (int i = 0; i < n; i++) {
+    b[i] = a[i] * 2.0;
+  }
+}
+
+void dataflow(float a[8], float b[8], int n) {
+  scale(a, b, n);
+}
+"""
+
+BAD_SOURCE = """
+void dataflow(float a[8], int n) {
+  while (1 < 2) {
+    a[0] = a[0] + 1.0;
+  }
+}
+"""
+
+
+class TestStaticProfileCache:
+    def test_sweep_hits_cache(self):
+        cache = StaticProfileCache()
+        profiler = Profiler(static_cache=cache)
+        for n in (2, 4, 8):
+            profiler.profile(SOURCE, data={"n": n})
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_params_key_cache(self):
+        cache = StaticProfileCache()
+        program = parse(SOURCE)
+        for delay in (2, 5, 2):
+            params = HardwareParams(mem_read_delay=delay, mem_write_delay=delay)
+            Profiler(params, static_cache=cache).profile(program, data={"n": 4})
+        assert cache.misses == 2  # delay=2 reused on the third call
+
+    def test_memoized_matches_unmemoized(self):
+        cache = StaticProfileCache()
+        memoized = Profiler(static_cache=cache)
+        direct = Profiler(memoize=False)
+        a = memoized.profile(SOURCE, data={"n": 8}, rng=np.random.default_rng(3))
+        b = direct.profile(SOURCE, data={"n": 8}, rng=np.random.default_rng(3))
+        assert a.costs == b.costs
+        assert a.longest_path_ns == b.longest_path_ns
+
+    def test_static_profile_fields(self):
+        program = parse(SOURCE)
+        static = compute_static_profile(program, HardwareParams())
+        assert static.digest == program_digest(program)
+        assert static.synthesis.area_um2 > 0
+        assert static.power.total_uw > 0
+
+    def test_bounded_size(self):
+        cache = StaticProfileCache(maxsize=2)
+        params = HardwareParams()
+        for i in range(4):
+            cache.get(parse(f"int f(int n) {{ return n + {i}; }}"), params)
+        assert len(cache) == 2
+
+
+class TestBatchProfiler:
+    def _jobs(self):
+        jobs = []
+        for n in (2, 4, 6, 8):
+            jobs.append(ProfileJob(program=SOURCE, data={"n": n}))
+        jobs.append(
+            ProfileJob(
+                program=SOURCE,
+                data={"n": 8},
+                params=HardwareParams(mem_read_delay=2, mem_write_delay=2),
+            )
+        )
+        return jobs
+
+    def test_serial_matches_one_shot(self):
+        jobs = self._jobs()
+        batch = BatchProfiler(max_workers=1)
+        reports = batch.profile_many(jobs)
+        assert all(report is not None for report in reports)
+        for job, report in zip(jobs, reports):
+            expected = Profiler(job.params or batch.params).profile(
+                job.program, data=job.data, rng=np.random.default_rng(job.seed)
+            )
+            assert report.costs == expected.costs
+
+    def test_parallel_matches_serial(self):
+        jobs = [
+            ProfileJob(program=SOURCE, data={"n": n}) for n in (2, 4, 6, 8)
+        ] + [ProfileJob(program=BAD_SOURCE), ProfileJob(program=BAD_SOURCE)]
+        serial = BatchProfiler(max_workers=1, max_steps=50_000).profile_many(jobs)
+        parallel = BatchProfiler(max_workers=3, max_steps=50_000).profile_many(jobs)
+        assert len(serial) == len(parallel)
+        for left, right in zip(serial, parallel):
+            if left is None:
+                assert right is None
+            else:
+                assert left.costs == right.costs
+
+    def test_failures_are_none(self):
+        batch = BatchProfiler(max_workers=1, max_steps=10_000)
+        reports = batch.profile_many([ProfileJob(program=BAD_SOURCE)])
+        assert reports == [None]
+
+    def test_profile_programs_wrapper(self):
+        batch = BatchProfiler(max_workers=1)
+        reports = batch.profile_programs([SOURCE, SOURCE], data={"n": 4})
+        assert len(reports) == 2
+        assert reports[0].costs == reports[1].costs

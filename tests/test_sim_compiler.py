@@ -1,0 +1,335 @@
+"""Parity suite: the compiled simulation backend must be
+indistinguishable from the tree-walking interpreter.
+
+Every field of ``SimulationResult`` (cycles, ops, loads, stores,
+branches, return value, per-function cycles) must match exactly across
+the polybench, modern and accelerator suites, across control-flow edge
+cases, and across the ``max_steps`` / ``SimulationLimitExceeded``
+boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, SimulationLimitExceeded
+from repro.lang import parse
+from repro.profiler import Profiler, StaticProfileCache
+from repro.sim import (
+    CompiledSimulator,
+    Interpreter,
+    clear_compile_cache,
+    compile_program,
+    default_inputs,
+    make_simulator,
+    program_digest,
+)
+from repro.workloads import accelerator_suite, modern_suite, polybench_suite
+
+SUITE_WORKLOADS = [
+    pytest.param(workload, id=f"{suite}:{workload.name}")
+    for suite, factory in (
+        ("polybench", polybench_suite),
+        ("modern", modern_suite),
+        ("accelerators", accelerator_suite),
+    )
+    for workload in factory()
+]
+
+
+def run_both(program, function, args, max_steps=1_500_000):
+    """Run both backends on copies of the same inputs; return outcomes
+    as comparable (status, payload) pairs."""
+    outcomes = []
+    for simulator_cls in (Interpreter, CompiledSimulator):
+        fresh = {
+            name: value.copy() if isinstance(value, np.ndarray) else value
+            for name, value in args.items()
+        }
+        simulator = simulator_cls(program, max_steps=max_steps)
+        try:
+            outcomes.append(("ok", simulator.run(function, fresh)))
+        except SimulationLimitExceeded as exc:
+            outcomes.append(("limit", str(exc)))
+        except SimulationError as exc:
+            outcomes.append(("error", str(exc)))
+    return outcomes
+
+
+class TestSuiteParity:
+    @pytest.mark.parametrize("workload", SUITE_WORKLOADS)
+    def test_workload_results_identical(self, workload):
+        program = workload.program
+        inputs = default_inputs(
+            program,
+            "dataflow",
+            rng=np.random.default_rng(0),
+            overrides=workload.merged_data() or None,
+        )
+        interp_result, compiled_result = run_both(program, "dataflow", inputs)
+        assert interp_result[0] == "ok"
+        assert interp_result == compiled_result
+
+    @pytest.mark.parametrize("workload", SUITE_WORKLOADS[:3])
+    def test_profiler_backends_identical(self, workload):
+        data = workload.merged_data() or None
+        reports = {}
+        for backend in ("interp", "compiled"):
+            profiler = Profiler(
+                backend=backend,
+                static_cache=StaticProfileCache(),
+                max_steps=1_500_000,
+            )
+            reports[backend] = profiler.profile(
+                workload.program, data=data, rng=np.random.default_rng(0)
+            )
+        assert reports["interp"].costs == reports["compiled"].costs
+        assert reports["interp"].ops_executed == reports["compiled"].ops_executed
+
+
+EDGE_PROGRAMS = {
+    "break_continue": """
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i == 7) { break; }
+    if (i % 2 == 0) { continue; }
+    acc += i;
+  }
+  return acc;
+}
+""",
+    "while_break_continue": """
+int f(int n) {
+  int i = 0;
+  int acc = 0;
+  while (i < n) {
+    i = i + 1;
+    if (i == 5) { continue; }
+    if (i == 9) { break; }
+    acc = acc + i;
+  }
+  return acc;
+}
+""",
+    "nested_loops": """
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (j > i) { break; }
+      acc += 1;
+      if (acc > 20) { continue; }
+      acc += j;
+    }
+  }
+  return acc;
+}
+""",
+    "early_return": """
+int f(int n) {
+  for (int i = 0; i < n; i++) {
+    if (i == 3) { return i * 10; }
+  }
+  return 0;
+}
+""",
+    "ternary": """
+float f(int n) {
+  float acc = 0.0;
+  for (int i = 0; i < n; i++) {
+    acc = acc + (i % 2 == 0 ? 1.25 : 0.5);
+  }
+  return acc > 2.0 ? acc : 0.0 - acc;
+}
+""",
+    "compound_assigns": """
+int f(int n) {
+  int a = 7;
+  a += 3; a -= 1; a *= 2; a /= 3; a %= 5;
+  int arr[4];
+  for (int i = 0; i < n; i++) {
+    arr[i] += i * 2;
+    arr[i] *= 3;
+    arr[i] /= 2;
+  }
+  return a + arr[1];
+}
+""",
+    "guarded_division": """
+float f(int n) {
+  int z = 0;
+  float x = 5.0 / z;
+  int y = 7 / z;
+  int m = 7 % z;
+  return x + y + m + 3.0 / 2.0 + 7 / 2 + 7 % 3;
+}
+""",
+    "bit_and_shift": """
+int f(int n) {
+  int a = (n & 3) | (n ^ 5);
+  a = a << 2;
+  a = a >> 1;
+  a = a << 100;
+  return a + (n && 1) + (0 || n) + !n + -n;
+}
+""",
+    "recursion": """
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int f(int n) {
+  return fib(n);
+}
+""",
+    "per_function_cycles": """
+void inner(float a[8], int n) {
+  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+}
+void outer(float a[8], int n) {
+  inner(a, n);
+  inner(a, n);
+}
+int f(int n) {
+  float buf[8];
+  outer(buf, n);
+  inner(buf, n);
+  return 1;
+}
+""",
+    "dynamic_array_dim": """
+int f(int n) {
+  int arr[n + 2];
+  for (int i = 0; i < n; i++) { arr[i] = i; }
+  return arr[n - 1];
+}
+""",
+    "index_wraparound": """
+int f(int n) {
+  int arr[5];
+  arr[0 - 1] = 42;
+  arr[7] = 9;
+  return arr[4] + arr[2] + arr[0 - 3];
+}
+""",
+    "int_clamp": """
+int f(int n) {
+  int a = 1;
+  for (int i = 0; i < 40; i++) { a = a * 8; }
+  return a;
+}
+""",
+    "float_clamp": """
+float f(int n) {
+  float a = 1.5;
+  for (int i = 0; i < 300; i++) { a = a * 1000000.0; }
+  return a;
+}
+""",
+    "unrolled_parallel": """
+void op(float a[16], float b[16]) {
+  #pragma unroll 4
+  for (int i = 0; i < 16; i++) {
+    b[i] = a[i] + 1.0;
+  }
+  #pragma parallel
+  for (int i = 0; i < 16; i++) {
+    b[i] = b[i] * 2.0;
+  }
+}
+int f(int n) {
+  float a[16];
+  float b[16];
+  op(a, b);
+  return 0;
+}
+""",
+}
+
+
+class TestEdgeCaseParity:
+    @pytest.mark.parametrize("name", sorted(EDGE_PROGRAMS))
+    def test_edge_program(self, name):
+        program = parse(EDGE_PROGRAMS[name])
+        interp_result, compiled_result = run_both(program, "f", {"n": 10})
+        assert interp_result == compiled_result
+
+    def test_undefined_function(self):
+        program = parse("int f(int n) { return n; }")
+        for simulator_cls in (Interpreter, CompiledSimulator):
+            with pytest.raises(SimulationError):
+                simulator_cls(program).run("missing", {"n": 1})
+
+    def test_missing_argument(self):
+        program = parse("int f(int n) { return n; }")
+        for simulator_cls in (Interpreter, CompiledSimulator):
+            with pytest.raises(SimulationError):
+                simulator_cls(program).run("f", {})
+
+
+class TestMaxStepsParity:
+    def test_limit_boundary_sweep(self):
+        """Both backends must agree on raise/no-raise at every budget:
+        step accounting is tick-for-tick identical."""
+        program = parse(EDGE_PROGRAMS["nested_loops"])
+        for limit in range(1, 260, 3):
+            interp_result, compiled_result = run_both(
+                program, "f", {"n": 6}, max_steps=limit
+            )
+            assert interp_result == compiled_result, f"max_steps={limit}"
+
+    def test_limit_raises_same_type(self):
+        program = parse(EDGE_PROGRAMS["nested_loops"])
+        with pytest.raises(SimulationLimitExceeded):
+            Interpreter(program, max_steps=10).run("f", {"n": 6})
+        with pytest.raises(SimulationLimitExceeded):
+            CompiledSimulator(program, max_steps=10).run("f", {"n": 6})
+
+
+class TestGeneratedProgramParity:
+    def test_fuzz_generated_programs(self):
+        from repro.datagen.astgen import AstGenConfig, AstGenerator
+        from repro.datagen.dataflowgen import DataflowGenConfig, DataflowGraphGenerator
+
+        programs = []
+        ast_gen = AstGenerator(AstGenConfig(), seed=11)
+        flow_gen = DataflowGraphGenerator(DataflowGenConfig(), seed=12)
+        for i in range(8):
+            programs.append(ast_gen.generate_program(n_operators=1 + i % 3))
+        for _ in range(8):
+            program, _ = flow_gen.generate_program()
+            programs.append(program)
+        for program in programs:
+            top = program.function_names[-1]
+            inputs = default_inputs(program, top, rng=np.random.default_rng(7))
+            interp_result, compiled_result = run_both(
+                program, top, inputs, max_steps=400_000
+            )
+            assert interp_result == compiled_result
+
+
+class TestBackendSelection:
+    def test_make_simulator_backends(self):
+        program = parse("int f(int n) { return n; }")
+        assert isinstance(make_simulator(program, backend="interp"), Interpreter)
+        assert isinstance(
+            make_simulator(program, backend="compiled"), CompiledSimulator
+        )
+
+    def test_unknown_backend_rejected(self):
+        program = parse("int f(int n) { return n; }")
+        with pytest.raises(ValueError):
+            make_simulator(program, backend="verilator")
+
+    def test_compile_cache_hits_by_digest(self):
+        clear_compile_cache()
+        program = parse("int f(int n) { return n + 1; }")
+        first = compile_program(program)
+        again = compile_program(parse("int f(int n) { return n + 1; }"))
+        assert first is again  # same digest, same lowering
+
+    def test_digest_tracks_content(self):
+        a = parse("int f(int n) { return n + 1; }")
+        b = parse("int f(int n) { return n + 2; }")
+        assert program_digest(a) != program_digest(b)
+        assert program_digest(a) == program_digest(parse("int f(int n) { return n + 1; }"))
