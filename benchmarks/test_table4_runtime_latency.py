@@ -24,10 +24,14 @@ def test_table4_runtime_latency(benchmark, eval_result, polybench):
         ["model", *names], rows, title="Table 4: Prediction Latency (s) on Polybench"
     )
     write_result("table4_runtime_latency.txt", text)
-    # Paper shape: the LLM-based predictor is slower than the GNN and
-    # feature-MLP baselines (LLM compute overhead), but stays within
-    # interactive bounds.
+    # Paper shape after §5.3's prediction acceleration: the batched
+    # cost-model path amortizes the LLM compute overhead across the
+    # corpus, so per-workload latency lands in the same regime as the
+    # cheap feature-MLP/GNN regressors (within ~an order of magnitude
+    # of the fastest baseline) and well within interactive bounds.
     ours = eval_result.mean_latency("ours")
-    assert ours > eval_result.mean_latency("gnnhls")
-    assert ours > eval_result.mean_latency("tenset")
+    fastest_baseline = min(
+        eval_result.mean_latency("gnnhls"), eval_result.mean_latency("tenset")
+    )
+    assert ours < 10.0 * fastest_baseline
     assert ours < 10.0

@@ -1,0 +1,333 @@
+"""Cost-model throughput microbenchmark: seed single-example vs batched.
+
+Measures tokens-per-second through the model substrate in the three
+shapes the pipeline uses, comparing the *seed* execution path (the
+pre-batching substrate: per-head Python attention loop, composite
+softmax/layernorm chains, one example per call, autograd graphs always
+retained) against the batched default path (vectorized attention, fused
+softmax/layernorm/GELU kernels, length-bucketed padded batches,
+inference under ``no_grad``):
+
+* ``encode``  — pooled bundle encodings
+* ``predict`` — full cost prediction, the serving path of Tables 4-5
+* ``train``   — one epoch of supervised updates
+
+The seed path is reconstructed faithfully inline (it no longer exists
+in the library); a parity gate enforces that it, the current
+single-example path and the batched path agree (identical predicted
+values, encodings/losses within 1e-9) before any number is reported.
+Results land in ``BENCH_model.json`` at the repo root so CI tracks the
+trajectory.
+
+Run:  PYTHONPATH=src python scripts/bench_model.py [--tier 1B]
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    train_cost_model,
+)
+from repro.nn import AdamW, Tensor, concat, no_grad
+from repro.profiler import STATIC_METRICS
+from repro.tokenizer import ModelInput
+from repro.workloads import modern_suite, polybench_suite
+
+
+# -- the seed path, reconstructed --------------------------------------------
+
+
+def seed_softmax(t: Tensor) -> Tensor:
+    """Composite softmax chain of the seed substrate (incl. clip)."""
+    shifted = t - Tensor(t.data.max(axis=-1, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def seed_log_softmax(t: Tensor) -> Tensor:
+    shifted = t - Tensor(t.data.max(axis=-1, keepdims=True))
+    logsumexp = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - logsumexp
+
+
+def seed_layernorm(norm, x: Tensor) -> Tensor:
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / ((var + norm.eps) ** 0.5)
+    return normed * norm.gamma + norm.beta
+
+
+def seed_attention(attn, x: Tensor, mask=None) -> Tensor:
+    """Per-head Python loop over 2-D slices (the seed forward)."""
+    queries = attn.q_proj(x)
+    keys = attn.k_proj(x)
+    values = attn.v_proj(x)
+    outputs = []
+    scale = 1.0 / np.sqrt(attn.head_dim)
+    for head in range(attn.heads):
+        lo = head * attn.head_dim
+        hi = lo + attn.head_dim
+        q = queries[:, lo:hi]
+        k = keys[:, lo:hi]
+        v = values[:, lo:hi]
+        scores = (q @ k.transpose()) * scale
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        outputs.append(seed_softmax(scores) @ v)
+    return attn.out_proj(concat(outputs, axis=1))
+
+
+def seed_encode_pooled(model, bundle, segments):
+    """Seed ``CostModel.encode``: 1-D only, autograd graph retained."""
+    tokenized = model.tokenize(bundle)
+    mask = model._mask_for(tokenized, segments)
+    encoder = model.encoder
+    token_ids = tokenized.ids[: encoder.config.max_seq_len]
+    if mask is not None:
+        limit = encoder.config.max_seq_len
+        mask = mask[:limit, :limit]
+    positions = np.arange(len(token_ids))
+    x = encoder.token_embedding(token_ids) + encoder.position_embedding(positions)
+    for block in encoder.blocks:
+        x = x + seed_attention(block.attn, seed_layernorm(block.norm1, x), mask)
+        x = x + block.ffn(seed_layernorm(block.norm2, x))
+    hidden = seed_layernorm(encoder.final_norm, x)
+    pooled = hidden.mean(axis=0)
+    for segment in ("params", "data"):
+        segment_slice = tokenized.segment_slices.get(segment)
+        if segment_slice is not None and segment_slice.stop <= hidden.shape[0]:
+            pooled = pooled + hidden[segment_slice, :].mean(axis=0)
+    return pooled
+
+
+def seed_head_loss(head, hidden: Tensor, target: int) -> Tensor:
+    digits = head.codec.encode(target)
+    total = None
+    count = len(digits)
+    for position, (linear, digit) in enumerate(zip(head.heads, digits)):
+        log_probs = seed_log_softmax(linear(hidden))
+        term = -log_probs[digit]
+        weight = 1.35 ** (count - 1 - position)
+        term = term * (weight / (1.35 ** (count - 1)) * count / 2.0)
+        total = term if total is None else total + term
+    return total
+
+
+def seed_predict_costs(model, bundle, segments, beam_width):
+    static_bundle = ModelInput(
+        graph_text=bundle.graph_text,
+        op_texts=bundle.op_texts,
+        params_text=bundle.params_text,
+        data_text="",
+        think_text=bundle.think_text,
+    )
+    static_pooled = seed_encode_pooled(model, static_bundle, segments)
+    dynamic_pooled = (
+        seed_encode_pooled(model, bundle, segments)
+        if bundle.data_text
+        else static_pooled
+    )
+    out = {}
+    for metric, head in model.heads.items():
+        pooled = static_pooled if metric in STATIC_METRICS else dynamic_pooled
+        out[metric] = head.predict(pooled, beam_width=beam_width)
+    return out
+
+
+def seed_train_epoch(model, examples, lr, weight_decay, grad_clip, seed):
+    """Seed trainer: shuffled per-example updates, summed loss."""
+    optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+    rng = np.random.default_rng(seed)
+    order = np.arange(len(examples))
+    rng.shuffle(order)
+    for index in order:
+        example = examples[index]
+        optimizer.zero_grad()
+        pooled = seed_encode_pooled(
+            model, example.bundle, list(example.class_i_segments) or None
+        )
+        loss = None
+        for metric, target in example.targets.items():
+            term = seed_head_loss(model.heads[metric], pooled, target)
+            loss = term if loss is None else loss + term
+        loss.backward()
+        optimizer.clip_grad_norm(grad_clip)
+        optimizer.step()
+
+
+# -- benchmark ---------------------------------------------------------------
+
+
+def build_inputs(model, max_seq_len):
+    """Bundles + Class-I segments + synthetic targets for the suite."""
+    workloads = polybench_suite() + modern_suite()
+    bundles, segment_lists, targets = [], [], []
+    rng = np.random.default_rng(7)
+    for workload in workloads:
+        bundles.append(workload.bundle(data=workload.merged_data()))
+        segment_lists.append(list(workload.class_i))
+        targets.append(
+            {
+                "power": int(rng.integers(50, 5000)),
+                "area": int(rng.integers(50, 5000)),
+                "ff": int(rng.integers(10, 500)),
+                "cycles": int(rng.integers(100, 100000)),
+            }
+        )
+    tokens = sum(min(len(model.tokenize(b)), max_seq_len) for b in bundles)
+    return bundles, segment_lists, targets, tokens
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", default="1B", choices=["0.5B", "1B", "8B"])
+    parser.add_argument("--max-seq-len", type=int, default=320)
+    parser.add_argument("--train-batch", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed sweeps per configuration (best taken)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_model.json"))
+    args = parser.parse_args()
+
+    model = CostModel(
+        LLMulatorConfig(tier=args.tier, max_seq_len=args.max_seq_len, seed=0)
+    )
+    bundles, segment_lists, targets, tokens = build_inputs(model, args.max_seq_len)
+    print(f"{len(bundles)} workload bundles, {tokens} tokens, tier {args.tier}",
+          flush=True)
+
+    def best_of(fn):
+        times = []
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - start)
+        return min(times), out
+
+    # -- encode ----------------------------------------------------------
+    seed_s, seed_pooled = best_of(
+        lambda: [
+            seed_encode_pooled(model, bundle, segments).data
+            for bundle, segments in zip(bundles, segment_lists)
+        ]
+    )
+
+    def batched_encode():
+        with no_grad():
+            return model.encode_batch(bundles, segment_lists).data
+
+    batched_s, batched_pooled = best_of(batched_encode)
+    encode_diff = float(
+        max(
+            np.max(np.abs(row - single))
+            for row, single in zip(batched_pooled, seed_pooled)
+        )
+    )
+
+    # -- predict ---------------------------------------------------------
+    predict_seed_s, seed_preds = best_of(
+        lambda: [
+            seed_predict_costs(model, bundle, segments, beam_width=5)
+            for bundle, segments in zip(bundles, segment_lists)
+        ]
+    )
+    predict_batched_s, batched_preds = best_of(
+        lambda: model.predict_costs_batch(
+            bundles, class_i_segments=segment_lists, beam_width=5
+        )
+    )
+    predictions_equal = all(
+        {m: p.value for m, p in seed.items()} == batch.as_dict()
+        for seed, batch in zip(seed_preds, batched_preds)
+    )
+
+    # -- loss parity ------------------------------------------------------
+    single_losses = np.asarray(
+        [
+            float(model.loss(bundle, target, segments).data)
+            for bundle, target, segments in zip(bundles, targets, segment_lists)
+        ]
+    )
+    batched_losses = np.asarray(
+        model.loss_batch(bundles, targets, segment_lists).data
+    )
+    loss_diff = float(np.max(np.abs(single_losses - batched_losses)))
+
+    # -- train -----------------------------------------------------------
+    examples = [
+        TrainingExample(bundle=bundle, targets=target,
+                        class_i_segments=tuple(segments))
+        for bundle, target, segments in zip(bundles, targets, segment_lists)
+    ]
+    start = time.perf_counter()
+    seed_train_epoch(copy.deepcopy(model), examples, lr=2e-3,
+                     weight_decay=0.01, grad_clip=1.0, seed=0)
+    train_seed_s = time.perf_counter() - start
+    start = time.perf_counter()
+    train_cost_model(
+        copy.deepcopy(model),
+        examples,
+        TrainingConfig(epochs=1, batch_size=args.train_batch),
+    )
+    train_batched_s = time.perf_counter() - start
+
+    parity = encode_diff < 1e-9 and predictions_equal and loss_diff < 1e-9
+    result = {
+        "workloads": len(bundles),
+        "tokens": tokens,
+        "tier": args.tier,
+        "single_path": "seed substrate: per-head attention loop, composite "
+                       "softmax/layernorm, per-example calls, grad always on",
+        "encode_single_s": round(seed_s, 3),
+        "encode_batched_s": round(batched_s, 3),
+        "encode_single_tok_s": round(tokens / seed_s, 1),
+        "encode_batched_tok_s": round(tokens / batched_s, 1),
+        "speedup_encode": round(seed_s / batched_s, 2),
+        "predict_single_s": round(predict_seed_s, 3),
+        "predict_batched_s": round(predict_batched_s, 3),
+        "predict_single_tok_s": round(2 * tokens / predict_seed_s, 1),
+        "predict_batched_tok_s": round(2 * tokens / predict_batched_s, 1),
+        "speedup_predict": round(predict_seed_s / predict_batched_s, 2),
+        "train_single_s": round(train_seed_s, 3),
+        "train_batched_s": round(train_batched_s, 3),
+        "train_single_tok_s": round(tokens / train_seed_s, 1),
+        "train_batched_tok_s": round(tokens / train_batched_s, 1),
+        "speedup_train": round(train_seed_s / train_batched_s, 2),
+        "train_batch_size": args.train_batch,
+        "parity": parity,
+        "parity_detail": {
+            "encode_max_abs_diff": encode_diff,
+            "predictions_equal": predictions_equal,
+            "loss_max_abs_diff": loss_diff,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    if not parity:
+        print("FAIL: batched and single paths disagree", file=sys.stderr)
+        return 1
+    best = max(result["speedup_encode"], result["speedup_predict"],
+               result["speedup_train"])
+    if best < 3.0:
+        print(f"WARN: best batched speedup {best}x below the 3x target",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

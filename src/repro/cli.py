@@ -158,7 +158,14 @@ def cmd_train(args: argparse.Namespace) -> int:
     examples = [direct_format(record) for record in records]
     model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
     history = train_cost_model(
-        model, examples, TrainingConfig(epochs=args.epochs, lr=args.lr, seed=args.seed)
+        model,
+        examples,
+        TrainingConfig(
+            epochs=args.epochs,
+            lr=args.lr,
+            seed=args.seed,
+            batch_size=args.batch_size,
+        ),
     )
     save_model(model, args.out)
     print(
@@ -353,6 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--batch-size", type=int, default=1,
+                       help="examples per update (length-bucketed mini-batches)")
     train.add_argument("--seed", type=int, default=0)
     train.set_defaults(func=cmd_train)
 

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, no_grad
 from ..tokenizer import ModelInput
 from .model import CostModel
 from .numeric_head import NumericPrediction
@@ -77,12 +77,61 @@ class CachedPredictor:
     def clear(self) -> None:
         self._cache.clear()
 
+    @staticmethod
+    def _exact_key(bundle: ModelInput) -> str:
+        return _digest(
+            "exact",
+            bundle.graph_text,
+            *bundle.op_texts,
+            bundle.params_text,
+            bundle.data_text,
+            bundle.think_text,
+        )
+
+    def warm(
+        self,
+        bundles: list[ModelInput],
+        class_i_segments=None,
+    ) -> int:
+        """Batch-encode every cache-missing bundle in one encoder pass.
+
+        Exact mode only (decoupled mode caches per-segment vectors, a
+        granularity one batched pass cannot fill).  Subsequent
+        :meth:`predict` calls for the warmed bundles hit the cache, so a
+        DSE sweep pays one ``encode_batch`` instead of N ``encode``
+        calls.  ``class_i_segments`` is shared or per-bundle, following
+        :meth:`CostModel.encode_batch`.  Returns the number of bundles
+        encoded; mirrors exact-mode keys, which (deliberately) do not
+        include the separation segments.
+        """
+        if not self.enabled or self.mode != "exact":
+            return 0
+        per_bundle = self.model._broadcast_segments(class_i_segments, len(bundles))
+        missing: dict[str, tuple[ModelInput, Optional[list]]] = {}
+        for bundle, segments in zip(bundles, per_bundle):
+            key = self._exact_key(bundle)
+            if key not in self._cache and key not in missing:
+                missing[key] = (bundle, segments)
+        if not missing:
+            return 0
+        with no_grad():
+            pooled = self.model.encode_batch(
+                [bundle for bundle, _ in missing.values()],
+                [segments for _, segments in missing.values()],
+            )
+        vectors = np.asarray(pooled.data, dtype=np.float64)
+        for key, vector in zip(missing, vectors):
+            self._cache[key] = vector
+        self.stats.misses += len(missing)
+        return len(missing)
+
     def _segment_vector(self, key: str, bundle: ModelInput) -> np.ndarray:
         if self.enabled and key in self._cache:
             self.stats.hits += 1
             return self._cache[key]
         self.stats.misses += 1
-        pooled = self.model.encode(bundle)
+        with no_grad():
+            pooled = self.model.encode(bundle)
         vector = np.asarray(pooled.data, dtype=np.float64)
         if self.enabled:
             self._cache[key] = vector
@@ -98,25 +147,17 @@ class CachedPredictor:
         """Predict *metric* with segment-level caching."""
         start = time.perf_counter()
         if self.mode == "exact":
-            key = _digest(
-                "exact",
-                bundle.graph_text,
-                *bundle.op_texts,
-                bundle.params_text,
-                bundle.data_text,
-                bundle.think_text,
-            )
+            key = self._exact_key(bundle)
             if self.enabled and key in self._cache:
                 self.stats.hits += 1
                 pooled_vector = self._cache[key]
             else:
                 self.stats.misses += 1
-                pooled_vector = np.asarray(
-                    self.model.encode(
+                with no_grad():
+                    encoded = self.model.encode(
                         bundle, class_i_segments=list(class_i_segments) or None
-                    ).data,
-                    dtype=np.float64,
-                )
+                    )
+                pooled_vector = np.asarray(encoded.data, dtype=np.float64)
                 if self.enabled:
                     self._cache[key] = pooled_vector
             prediction = self.model.heads[metric].predict(

@@ -143,9 +143,17 @@ class DesignSpaceExplorer:
 
     # -- ranking ---------------------------------------------------------------
 
-    def _predict_point(self, point: DesignPoint, data: Optional[dict]) -> None:
-        bundle = bundle_from_program(point.program, params=point.params, data=data)
-        segments = tuple(class_i_segments(point.program))
+    def _predict_point(
+        self,
+        point: DesignPoint,
+        data: Optional[dict],
+        bundle=None,
+        segments: Optional[tuple[str, ...]] = None,
+    ) -> None:
+        if bundle is None:
+            bundle = bundle_from_program(point.program, params=point.params, data=data)
+        if segments is None:
+            segments = tuple(class_i_segments(point.program))
         predicted: dict[str, int] = {}
         for metric in self.model.heads:
             predicted[metric] = self.predictor.predict(
@@ -153,6 +161,22 @@ class DesignSpaceExplorer:
             ).value
         point.predicted = predicted
         point.score = self.objective(predicted)
+
+    def _predict_points(self, points: list[DesignPoint], data: Optional[dict]) -> None:
+        """Score candidates through one batched encoder pass.
+
+        The batch encode fills the predictor's exact-mode cache for
+        every cache-missing candidate at once; the per-metric predict
+        calls below then run on cached pooled vectors.
+        """
+        bundles = [
+            bundle_from_program(point.program, params=point.params, data=data)
+            for point in points
+        ]
+        segments = [tuple(class_i_segments(point.program)) for point in points]
+        self.predictor.warm(bundles, [list(s) for s in segments])
+        for point, bundle, segs in zip(points, bundles, segments):
+            self._predict_point(point, data, bundle=bundle, segments=segs)
 
     def explore(
         self,
@@ -173,8 +197,7 @@ class DesignSpaceExplorer:
             memory_delays=memory_delays,
             max_candidates=max_candidates,
         )
-        for point in candidates:
-            self._predict_point(point, data)
+        self._predict_points(candidates, data)
         candidates.sort(key=lambda point: point.score)
         return candidates
 

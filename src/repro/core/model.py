@@ -10,12 +10,12 @@ metric (cycles) additionally sees the runtime ``data`` segment
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import ModelConfigError
-from ..nn import Module, Tensor, TransformerConfig, TransformerEncoder
+from ..nn import Module, Tensor, TransformerConfig, TransformerEncoder, concat, no_grad
 from ..profiler import METRICS, STATIC_METRICS
 from ..tokenizer import ModelInput, NumericMode, ProgressiveTokenizer, TokenizedInput, VOCAB
 from .numeric_codec import NumericCodec
@@ -84,8 +84,28 @@ class CostModel(Module):
 
     # -- encoding ----------------------------------------------------------
 
+    # Bounded FIFO memo for tokenization: repeated encodes of the same
+    # bundle (DSE sweeps, static/dynamic prediction pairs, training
+    # epochs) skip the pure-Python tokenizer pass.
+    _TOKENIZE_CACHE_LIMIT = 512
+
     def tokenize(self, bundle: ModelInput) -> TokenizedInput:
-        return self.tokenizer.encode_bundle(bundle)
+        key = (
+            bundle.graph_text,
+            tuple(bundle.op_texts),
+            bundle.params_text,
+            bundle.data_text,
+            bundle.think_text,
+        )
+        cache = self.__dict__.setdefault("_tokenize_cache", {})
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        tokenized = self.tokenizer.encode_bundle(bundle)
+        if len(cache) >= self._TOKENIZE_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = tokenized
+        return tokenized
 
     def _mask_for(
         self,
@@ -117,9 +137,135 @@ class CostModel(Module):
         pooled = self.encoder.pool(hidden)
         for segment in ("params", "data"):
             segment_slice = tokenized.segment_slices.get(segment)
-            if segment_slice is not None and segment_slice.stop <= hidden.shape[0]:
-                pooled = pooled + hidden[segment_slice, :].mean(axis=0)
+            if segment_slice is None:
+                continue
+            # A segment straddling the truncation point keeps its
+            # surviving prefix in the pooling emphasis instead of being
+            # silently dropped.
+            stop = min(segment_slice.stop, hidden.shape[0])
+            if stop > segment_slice.start:
+                pooled = pooled + hidden[segment_slice.start : stop, :].mean(axis=0)
         return pooled
+
+    def _broadcast_segments(
+        self,
+        class_i_segments,
+        count: int,
+    ) -> list[Optional[list[str]]]:
+        """Normalize a shared or per-bundle Class-I segment spec."""
+        if class_i_segments is None:
+            return [None] * count
+        items = list(class_i_segments)
+        if all(isinstance(item, str) for item in items):
+            shared = items or None
+            return [shared] * count
+        if len(items) != count:
+            raise ModelConfigError(
+                f"per-bundle class_i_segments has {len(items)} entries "
+                f"for {count} bundles"
+            )
+        return [list(item) if item else None for item in items]
+
+    # Element budget for one sub-batch's attention score tensor
+    # (batch · heads · seq²).  Keeping scores L2/L3-resident matters more
+    # than maximal batching on CPU: oversized batches thrash the cache on
+    # the softmax chain and lose more than the batching saves.
+    _SCORE_BUDGET = 600_000
+
+    def encode_batch(
+        self,
+        bundles: Sequence[ModelInput],
+        class_i_segments=None,
+    ) -> Tensor:
+        """Pooled representations for a batch of bundles → ``(batch, dim)``.
+
+        ``class_i_segments`` is either one segment-name list shared by
+        every bundle or a per-bundle sequence (``None`` entries disable
+        separation for that bundle).  Bundles are length-sorted and
+        chunked into cache-sized sub-batches, each padded to its own
+        max; padding is excluded from attention and pooling, so row *i*
+        matches ``encode(bundles[i], ...)`` up to float tolerance.
+        """
+        bundles = list(bundles)
+        if not bundles:
+            raise ModelConfigError("encode_batch requires at least one bundle")
+        per_bundle = self._broadcast_segments(class_i_segments, len(bundles))
+        tokenized = [self.tokenize(bundle) for bundle in bundles]
+        masks = [
+            self._mask_for(tok, segments)
+            for tok, segments in zip(tokenized, per_bundle)
+        ]
+        limit = self.encoder.config.max_seq_len
+        lengths = [min(len(tok), limit) for tok in tokenized]
+        if len(bundles) <= 1:
+            return self._encode_batch_padded(tokenized, masks, lengths)
+        heads = self.encoder.config.heads
+        order = sorted(range(len(bundles)), key=lambda index: lengths[index])
+        chunks: list[list[int]] = []
+        current: list[int] = []
+        for index in order:
+            # lengths ascend, so the newest member sets the padded width.
+            cost = (len(current) + 1) * heads * lengths[index] ** 2
+            if current and cost > self._SCORE_BUDGET:
+                chunks.append(current)
+                current = []
+            current.append(index)
+        chunks.append(current)
+        pooled_chunks = [
+            self._encode_batch_padded(
+                [tokenized[i] for i in chunk],
+                [masks[i] for i in chunk],
+                [lengths[i] for i in chunk],
+            )
+            for chunk in chunks
+        ]
+        flat_order = [index for chunk in chunks for index in chunk]
+        stacked = concat(pooled_chunks, axis=0)
+        if flat_order == sorted(flat_order):
+            return stacked
+        return stacked[np.argsort(flat_order)]
+
+    def _encode_batch_padded(
+        self,
+        tokenized: list[TokenizedInput],
+        masks: list[Optional[np.ndarray]],
+        lengths: list[int],
+    ) -> Tensor:
+        """One padded encoder pass over pre-tokenized sequences."""
+        batch, seq = len(tokenized), max(lengths)
+        ids = np.zeros((batch, seq), dtype=np.int64)
+        padding = np.zeros((batch, seq))
+        stacked_masks: Optional[np.ndarray] = None
+        if any(mask is not None for mask in masks):
+            stacked_masks = np.zeros((batch, seq, seq))
+        for row, (tok, mask, length) in enumerate(zip(tokenized, masks, lengths)):
+            ids[row, :length] = tok.ids[:length]
+            padding[row, :length] = 1.0
+            if mask is not None:
+                stacked_masks[row, :length, :length] = mask[:length, :length]
+        hidden = self.encoder.encode_batch(
+            ids, padding_mask=padding, masks=stacked_masks
+        )
+        # One combined weight matrix folds the padding-aware mean and
+        # the params/data emphasis means into a single weighted sum.
+        # Must mirror the pooling semantics of ``encode`` (the
+        # single-example reference path) exactly, including the
+        # truncation-straddle clamp — the parity suite in
+        # tests/test_batched_model.py enforces row-equivalence.
+        weights = np.zeros((batch, seq))
+        for row, length in enumerate(lengths):
+            weights[row, :length] = 1.0 / length
+        for segment in ("params", "data"):
+            for row, (tok, length) in enumerate(zip(tokenized, lengths)):
+                segment_slice = tok.segment_slices.get(segment)
+                if segment_slice is None:
+                    continue
+                stop = min(segment_slice.stop, length)
+                if stop > segment_slice.start:
+                    weights[row, segment_slice.start : stop] += 1.0 / (
+                        stop - segment_slice.start
+                    )
+        return (hidden * Tensor(weights[:, :, None])).sum(axis=1)
 
     # -- training ------------------------------------------------------------
 
@@ -141,6 +287,44 @@ class CostModel(Module):
         assert total is not None
         return total
 
+    def loss_batch(
+        self,
+        bundles: Sequence[ModelInput],
+        targets: Sequence[dict[str, int]],
+        class_i_segments=None,
+    ) -> Tensor:
+        """Per-example losses over one batched encoding pass → ``(batch,)``.
+
+        Row *i* equals ``loss(bundles[i], targets[i], ...)`` within float
+        tolerance; examples may carry different metric subsets.
+        """
+        bundles = list(bundles)
+        targets = list(targets)
+        if len(bundles) != len(targets):
+            raise ModelConfigError(
+                f"{len(bundles)} bundles vs {len(targets)} target dicts"
+            )
+        unknown = set().union(*targets, set()) - set(self.heads)
+        if unknown:
+            raise ModelConfigError(f"unknown metrics {sorted(unknown)}")
+        pooled = self.encode_batch(bundles, class_i_segments)
+        batch = len(bundles)
+        total = Tensor(np.zeros(batch))
+        for metric, head in self.heads.items():
+            rows = [i for i, t in enumerate(targets) if metric in t]
+            if not rows:
+                continue
+            values = [int(targets[i][metric]) for i in rows]
+            if len(rows) == batch:
+                total = total + head.loss_batch(pooled, values)
+                continue
+            row_idx = np.asarray(rows)
+            per_row = head.loss_batch(pooled[row_idx], values)
+            scatter = np.zeros((batch, len(rows)))
+            scatter[row_idx, np.arange(len(rows))] = 1.0
+            total = total + Tensor(scatter) @ per_row
+        return total
+
     # -- inference --------------------------------------------------------------
 
     def predict(
@@ -152,10 +336,11 @@ class CostModel(Module):
     ) -> NumericPrediction:
         if metric not in self.heads:
             raise ModelConfigError(f"unknown metric {metric!r}")
-        pooled = self.encode(bundle, class_i_segments)
-        return self.heads[metric].predict(
-            pooled, beam_width=beam_width or self.config.beam_width
-        )
+        with no_grad():
+            pooled = self.encode(bundle, class_i_segments)
+            return self.heads[metric].predict(
+                pooled, beam_width=beam_width or self.config.beam_width
+            )
 
     def predict_costs(
         self,
@@ -177,11 +362,73 @@ class CostModel(Module):
             data_text="",
             think_text=bundle.think_text,
         )
-        static_pooled = self.encode(static_bundle, class_i_segments)
-        dynamic_pooled = (
-            self.encode(bundle, class_i_segments) if bundle.data_text else static_pooled
-        )
-        for metric, head in self.heads.items():
-            pooled = static_pooled if metric in STATIC_METRICS else dynamic_pooled
-            result.per_metric[metric] = head.predict(pooled, beam_width=width)
+        with no_grad():
+            static_pooled = self.encode(static_bundle, class_i_segments)
+            dynamic_pooled = (
+                self.encode(bundle, class_i_segments)
+                if bundle.data_text
+                else static_pooled
+            )
+            for metric, head in self.heads.items():
+                pooled = static_pooled if metric in STATIC_METRICS else dynamic_pooled
+                result.per_metric[metric] = head.predict(pooled, beam_width=width)
         return result
+
+    def predict_costs_batch(
+        self,
+        bundles: Sequence[ModelInput],
+        class_i_segments=None,
+        beam_width: Optional[int] = None,
+    ) -> list[CostPrediction]:
+        """Batched :meth:`predict_costs` — two encoder passes per batch.
+
+        Static metrics read a data-free encoding of every bundle; the
+        dynamic encoding pass only covers bundles that actually carry a
+        ``data`` segment (others reuse their static row, like the single
+        path).  ``class_i_segments`` follows :meth:`encode_batch`.
+        """
+        bundles = list(bundles)
+        if not bundles:
+            return []
+        width = beam_width or self.config.beam_width
+        per_bundle = self._broadcast_segments(class_i_segments, len(bundles))
+        with no_grad():
+            return self._predict_costs_batch_inner(bundles, per_bundle, width)
+
+    def _predict_costs_batch_inner(
+        self,
+        bundles: list[ModelInput],
+        per_bundle: list[Optional[list[str]]],
+        width: int,
+    ) -> list[CostPrediction]:
+        static_bundles = [
+            ModelInput(
+                graph_text=bundle.graph_text,
+                op_texts=bundle.op_texts,
+                params_text=bundle.params_text,
+                data_text="",
+                think_text=bundle.think_text,
+            )
+            for bundle in bundles
+        ]
+        static_pooled = np.asarray(
+            self.encode_batch(static_bundles, per_bundle).data, dtype=np.float64
+        )
+        dynamic_pooled = static_pooled.copy()
+        dynamic_rows = [i for i, bundle in enumerate(bundles) if bundle.data_text]
+        if dynamic_rows:
+            encoded = self.encode_batch(
+                [bundles[i] for i in dynamic_rows],
+                [per_bundle[i] for i in dynamic_rows],
+            )
+            dynamic_pooled[np.asarray(dynamic_rows)] = np.asarray(encoded.data)
+        static_t = Tensor(static_pooled)
+        dynamic_t = Tensor(dynamic_pooled)
+        results = [CostPrediction() for _ in bundles]
+        for metric, head in self.heads.items():
+            hidden = static_t if metric in STATIC_METRICS else dynamic_t
+            for row, prediction in enumerate(
+                head.predict_batch(hidden, beam_width=width)
+            ):
+                results[row].per_metric[metric] = prediction
+        return results

@@ -72,6 +72,28 @@ class DigitClassificationHead(Module):
         assert total is not None
         return total
 
+    def loss_batch(
+        self, hidden: Tensor, targets: list[int], msb_weighting: bool = True
+    ) -> Tensor:
+        """Per-example digit cross-entropy over a ``(batch, dim)`` hidden.
+
+        Returns a ``(batch,)`` tensor whose row *i* equals
+        ``loss(hidden[i], targets[i])`` up to float tolerance.
+        """
+        digits = np.asarray([self.codec.encode(int(t)) for t in targets])
+        rows = np.arange(len(targets))
+        total: Optional[Tensor] = None
+        count = digits.shape[1]
+        for position, head in enumerate(self.heads):
+            log_probs = head(hidden).log_softmax(axis=-1)
+            term = -log_probs[rows, digits[:, position]]
+            if msb_weighting:
+                weight = 1.35 ** (count - 1 - position)
+                term = term * (weight / (1.35 ** (count - 1)) * count / 2.0)
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
     def log_prob_of(self, hidden: Tensor, value: int) -> Tensor:
         """``log π(value | hidden)`` = sum of digit log-probabilities.
 
@@ -88,17 +110,16 @@ class DigitClassificationHead(Module):
 
     # -- inference ----------------------------------------------------------
 
-    def predict(self, hidden: Tensor, beam_width: int = 3) -> NumericPrediction:
+    def _decode_beams(
+        self, probs: list[np.ndarray], beam_width: int
+    ) -> NumericPrediction:
         """Beam-search decode MSB→LSB (paper's error-control mechanism).
 
+        ``probs`` holds one ``(base,)`` probability vector per digit.
         Beams carry summed log-probabilities, so a low-confidence
         high-order digit can be overturned by later digits — the
         ``7XX → 655`` correction the paper describes.
         """
-        probs = [
-            np.asarray(head(hidden).softmax().data, dtype=np.float64)
-            for head in self.heads
-        ]
         # Each beam: (negative log prob, digit list).
         beams: list[tuple[float, list[int]]] = [(0.0, [])]
         for digit_probs in probs:
@@ -122,6 +143,31 @@ class DigitClassificationHead(Module):
             digits=best_digits,
             beam_values=[self.codec.decode(d) for _, d in beams],
         )
+
+    def predict(self, hidden: Tensor, beam_width: int = 3) -> NumericPrediction:
+        """Decode one prediction from a ``(dim,)`` hidden vector."""
+        probs = [
+            np.asarray(head(hidden).softmax().data, dtype=np.float64)
+            for head in self.heads
+        ]
+        return self._decode_beams(probs, beam_width)
+
+    def predict_batch(
+        self, hidden: Tensor, beam_width: int = 3
+    ) -> list[NumericPrediction]:
+        """Decode a ``(batch, dim)`` hidden matrix in one head pass.
+
+        Digit probabilities come from batched matmuls; the (cheap)
+        per-example beam decode is the same code path as ``predict``.
+        """
+        probs = [
+            np.asarray(head(hidden).softmax(axis=-1).data, dtype=np.float64)
+            for head in self.heads
+        ]
+        return [
+            self._decode_beams([p[row] for p in probs], beam_width)
+            for row in range(int(hidden.shape[0]))
+        ]
 
     def greedy_predict(self, hidden: Tensor) -> NumericPrediction:
         """Greedy decode (beam width 1), used by ablations."""

@@ -16,12 +16,13 @@ from .layers import (
 from .optim import Adam, AdamW, Optimizer, SGD
 from .schedulers import ConstantLR, CosineDecay, Scheduler, WarmupCosine
 from .serialization import load_model, save_model
-from .tensor import Tensor, concat, stack
+from .tensor import Tensor, concat, no_grad, stack
 from .transformer import TransformerBlock, TransformerConfig, TransformerEncoder
 
 __all__ = [
     "Tensor",
     "concat",
+    "no_grad",
     "stack",
     "Module",
     "Linear",

@@ -20,7 +20,7 @@ NEG_INF = -1e9
 
 
 class MultiHeadSelfAttention(Module):
-    """Standard scaled-dot-product self-attention (single sequence)."""
+    """Scaled-dot-product self-attention, vectorized over heads and batch."""
 
     def __init__(
         self,
@@ -40,32 +40,45 @@ class MultiHeadSelfAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng)
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        """Apply attention to ``x`` of shape ``(seq, dim)``.
+        """Apply attention to ``x`` of shape ``(seq, dim)`` or
+        ``(batch, seq, dim)``.
 
-        ``mask`` is an additive ``(seq, seq)`` array (0 keeps, large
-        negative removes an interaction).
+        ``mask`` is an additive array (0 keeps, large negative removes an
+        interaction), broadcastable to the ``(batch, heads, seq, seq)``
+        score tensor: ``(seq, seq)``, per-example ``(batch, seq, seq)``,
+        or a fully explicit 4-D mask.
         """
-        seq, dim = x.shape
+        single = x.ndim == 2
+        if single:
+            x = x.reshape(1, *x.shape)
+        batch, seq, dim = x.shape
         queries = self.q_proj(x)
         keys = self.k_proj(x)
         values = self.v_proj(x)
-        outputs = []
-        scale = 1.0 / np.sqrt(self.head_dim)
-        for head in range(self.heads):
-            lo = head * self.head_dim
-            hi = lo + self.head_dim
-            q = queries[:, lo:hi]
-            k = keys[:, lo:hi]
-            v = values[:, lo:hi]
-            scores = (q @ k.transpose()) * scale
-            if mask is not None:
-                scores = scores + Tensor(mask)
-            attn = scores.softmax(axis=-1)
-            outputs.append(attn @ v)
-        from .tensor import concat
 
-        merged = concat(outputs, axis=1)
-        return self.out_proj(merged)
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        # Scale folded into q (a (seq, head_dim) pass, not (seq, seq));
+        # the additive mask is fused into the softmax.
+        q = split_heads(queries) * (1.0 / np.sqrt(self.head_dim))
+        k = split_heads(keys)
+        v = split_heads(values)
+        scores = q @ k.transpose(0, 1, 3, 2)
+        add: Optional[np.ndarray] = None
+        if mask is not None:
+            add = np.asarray(mask, dtype=np.float64)
+            if add.ndim == 2:
+                add = add[None, None, :, :]
+            elif add.ndim == 3:
+                add = add[:, None, :, :]
+        # In-place is safe: the score tensor is a fresh local whose
+        # producer (matmul) backpropagates through q/k, not the scores.
+        attn = scores.softmax(axis=-1, additive=add, inplace=True)
+        context = attn @ v
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        out = self.out_proj(merged)
+        return out.reshape(seq, dim) if single else out
 
 
 def build_attention_mask(

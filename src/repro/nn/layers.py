@@ -189,11 +189,7 @@ class LayerNorm(Module):
         self.eps = eps
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered / ((var + self.eps) ** 0.5)
-        return normed * self.gamma + self.beta
+        return x.standardize(axis=-1, eps=self.eps) * self.gamma + self.beta
 
 
 class Sequential(Module):

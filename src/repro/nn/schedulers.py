@@ -8,12 +8,24 @@ from .optim import Optimizer
 
 
 class Scheduler:
-    """Base class: call :meth:`step` once per training step."""
+    """Base class: call :meth:`step` once per training step.
+
+    The intended protocol is ``start()`` once before the first update,
+    then ``step()`` *after* each ``optimizer.step()``, so update *k*
+    (1-indexed) applies ``lr_at(k - 1)`` — with warmup, the first update
+    runs at the initial warmup rate instead of skipping it.
+    """
 
     def __init__(self, optimizer: Optimizer) -> None:
         self.optimizer = optimizer
         self.base_lr = optimizer.lr
         self._step = 0
+
+    def start(self) -> float:
+        """Apply the step-0 LR without advancing the schedule."""
+        lr = self.lr_at(self._step)
+        self.optimizer.lr = lr
+        return lr
 
     def step(self) -> float:
         self._step += 1
@@ -67,7 +79,10 @@ class WarmupCosine(CosineDecay):
 
     def lr_at(self, step: int) -> float:
         if self.warmup_steps and step <= self.warmup_steps:
-            return self.base_lr * step / self.warmup_steps
+            # Step 0 (what start() applies before the first update) gets
+            # the warmup's initial rate, not 0 — a zero-LR update would
+            # silently discard the first mini-batch's gradient.
+            return self.base_lr * max(step, 1) / self.warmup_steps
         remaining = self.total_steps - self.warmup_steps
         progress = min(1.0, (step - self.warmup_steps) / remaining)
         cosine = 0.5 * (1.0 + math.cos(math.pi * progress))

@@ -14,6 +14,28 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list]
 
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode).
+
+    Inside the context, results of tensor ops carry no parents or
+    backward closures, so intermediates are freed as soon as they go out
+    of scope — the batched prediction paths run whole-corpus encodes
+    without retaining per-layer activations.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum *grad* down to *shape* (reverse of numpy broadcasting)."""
@@ -84,7 +106,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         return Tensor(
             data,
             requires_grad=requires,
@@ -230,11 +252,17 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """tanh-approximated GELU."""
+        """tanh-approximated GELU (buffer-reusing forward)."""
         x = self.data
-        inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)
-        tanh_inner = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + tanh_inner)
+        tanh_inner = np.multiply(x, x)
+        tanh_inner *= 0.044715
+        tanh_inner *= x
+        tanh_inner += x
+        tanh_inner *= np.sqrt(2.0 / np.pi)
+        np.tanh(tanh_inner, out=tanh_inner)
+        out_data = tanh_inner + 1.0
+        out_data *= x
+        out_data *= 0.5
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -313,17 +341,79 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    # -- composite helpers ---------------------------------------------------
+    # -- fused composites ----------------------------------------------------
 
-    def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        exp = shifted.exp()
-        return exp / exp.sum(axis=axis, keepdims=True)
+    def softmax(
+        self,
+        axis: int = -1,
+        additive: Optional[np.ndarray] = None,
+        inplace: bool = False,
+    ) -> "Tensor":
+        """Numerically-stable softmax as one fused op.
+
+        ``additive`` is an optional broadcastable constant (an attention
+        mask) added to the logits before normalization; it does not
+        receive gradients.  Max-subtraction bounds the exponent at zero,
+        so no clipping pass is needed, and the forward reuses one buffer
+        instead of materializing the sub/exp/div chain.
+
+        ``inplace`` overwrites ``self.data`` with the result, avoiding
+        the last full-size allocation.  Only safe when no other consumer
+        reads this tensor's values (its producer's backward must not
+        depend on them either) — attention score tensors qualify.
+        """
+        if inplace:
+            shifted = self.data
+            if additive is not None:
+                np.add(shifted, additive, out=shifted)
+            np.subtract(shifted, shifted.max(axis=axis, keepdims=True), out=shifted)
+        else:
+            scores = self.data if additive is None else self.data + additive
+            shifted = scores - scores.max(axis=axis, keepdims=True)
+        np.exp(shifted, out=shifted)
+        denom = shifted.sum(axis=axis, keepdims=True)
+        out_data = np.divide(shifted, denom, out=shifted)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inner = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate((grad - inner) * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def standardize(self, axis: int = -1, eps: float = 1e-5) -> "Tensor":
+        """Fused ``(x - mean) / sqrt(var + eps)`` over *axis*.
+
+        The normalization core of layernorm as a single graph node: one
+        temporary instead of the mean/sub/square/mean/div chain.
+        """
+        mean = self.data.mean(axis=axis, keepdims=True)
+        centered = self.data - mean
+        var = np.mean(centered * centered, axis=axis, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        out_data = np.multiply(centered, inv, out=centered)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_mean = grad.mean(axis=axis, keepdims=True)
+                proj = (grad * out_data).mean(axis=axis, keepdims=True)
+                self._accumulate((grad - grad_mean - out_data * proj) * inv)
+
+        return self._make(out_data, (self,), backward)
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
-        return shifted - logsumexp
+        """Fused log-softmax: ``x - max - log(sum(exp(x - max)))``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        logsumexp = np.log(exp.sum(axis=axis, keepdims=True))
+        out_data = np.subtract(shifted, logsumexp, out=shifted)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                total = grad.sum(axis=axis, keepdims=True)
+                self._accumulate(grad - np.exp(out_data) * total)
+
+        return self._make(out_data, (self,), backward)
 
     # -- backprop ----------------------------------------------------------------
 
@@ -372,7 +462,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     return Tensor(
         data,
         requires_grad=requires,
@@ -390,7 +480,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.take(grad, index, axis=axis))
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     return Tensor(
         data,
         requires_grad=requires,

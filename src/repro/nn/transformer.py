@@ -8,7 +8,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ModelConfigError
-from .attention import MultiHeadSelfAttention
+from .attention import MultiHeadSelfAttention, NEG_INF
 from .layers import Embedding, GELU, LayerNorm, Linear, Module, Sequential
 from .tensor import Tensor
 
@@ -97,8 +97,63 @@ class TransformerEncoder(Module):
             x = block(x, mask=mask)
         return self.final_norm(x)
 
+    def encode_batch(
+        self,
+        token_ids: np.ndarray,
+        padding_mask: Optional[np.ndarray] = None,
+        masks: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Encode a padded ``(batch, seq)`` id matrix in one pass.
+
+        ``padding_mask`` is ``(batch, seq)`` with nonzero marking real
+        tokens (``None`` = no padding).  ``masks`` is an optional
+        additive attention mask broadcastable to ``(batch, seq, seq)``
+        (e.g. per-example separation masks placed top-left and
+        zero-padded).  Padded key positions are excluded from every
+        token's attention, so real positions get the same hidden states
+        they would in an unpadded single-sequence ``encode``; padded
+        query rows produce garbage that ``pool_batch`` ignores.
+        """
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ModelConfigError("encode_batch expects a (batch, seq) id matrix")
+        limit = self.config.max_seq_len
+        if ids.shape[1] > limit:
+            ids = ids[:, :limit]
+            if padding_mask is not None:
+                padding_mask = np.asarray(padding_mask)[:, :limit]
+            if masks is not None:
+                masks = np.asarray(masks)[..., :limit, :limit]
+        batch, seq = ids.shape
+        attn_mask: Optional[np.ndarray] = None
+        if padding_mask is not None:
+            real = np.asarray(padding_mask, dtype=np.float64) != 0
+            # Block attention *to* padded keys for every query row.
+            attn_mask = np.where(real[:, None, None, :], 0.0, float(NEG_INF))
+        if masks is not None:
+            per_example = np.broadcast_to(
+                np.asarray(masks, dtype=np.float64), (batch, seq, seq)
+            )[:, None, :, :]
+            attn_mask = per_example if attn_mask is None else attn_mask + per_example
+        positions = np.arange(seq)
+        x = self.token_embedding(ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x, mask=attn_mask)
+        return self.final_norm(x)
+
     def pool(self, hidden: Tensor) -> Tensor:
         return hidden.mean(axis=0)
+
+    def pool_batch(
+        self, hidden: Tensor, padding_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Padding-aware mean over the sequence axis → ``(batch, dim)``."""
+        if padding_mask is None:
+            return hidden.mean(axis=1)
+        weights = (np.asarray(padding_mask, dtype=np.float64) != 0).astype(np.float64)
+        counts = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+        masked = hidden * Tensor(weights[:, :, None])
+        return masked.sum(axis=1) / Tensor(counts)
 
     def forward(self, token_ids: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
         return self.pool(self.encode(token_ids, mask=mask))
