@@ -1,0 +1,233 @@
+"""Serve-path load benchmark: closed-loop clients vs single requests.
+
+Drives a real :class:`repro.serve.PredictionServer` (HTTP loopback,
+thread-per-connection, shared micro-batcher) with closed-loop clients
+over a mixed workload stream drawn from ``repro.workloads``
+(polybench + modern suites), and compares against the *single-request
+path*: the same request stream served one call at a time through
+``CostModel.predict_costs`` with a fresh bundle per request and no
+caching — what every CLI invocation pays today, minus even the process
+start and model load the server also amortizes.
+
+Two served phases are reported:
+
+* ``unique``  — every program requested exactly once at concurrency C:
+  isolates the micro-batching gain (no result-cache hits possible).
+* ``mixed``   — C closed-loop clients × R requests drawn (seeded) from
+  the mix with repeats, the service's actual traffic shape: misses run
+  batched, repeats hit the tiered cache.  This is the gated number.
+
+Every served prediction is parity-checked against the direct
+``predict_costs`` values before any number is reported.  Results land
+in ``BENCH_serve.json`` at the repo root so CI tracks the trajectory.
+
+Run:  PYTHONPATH=src python scripts/bench_serve.py [--concurrency 8]
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import CostModel, LLMulatorConfig
+from repro.serve import PredictionEngine, PredictionServer, ServeClient
+from repro.workloads import modern_suite, polybench_suite
+
+
+def build_mix():
+    """The benchmark's workload mix: name → (source, data, bundle, segments)."""
+    mix = {}
+    for workload in polybench_suite() + modern_suite():
+        mix[workload.name] = {
+            "source": workload.source,
+            "data": workload.merged_data() or None,
+            "bundle": workload.bundle(data=workload.merged_data()),
+            "segments": list(workload.class_i),
+        }
+    return mix
+
+
+def request_stream(names, concurrency, per_client, seed=7):
+    """Per-client request sequences (seeded, so runs are comparable)."""
+    rng = np.random.default_rng(seed)
+    return [
+        [names[int(i)] for i in rng.integers(0, len(names), size=per_client)]
+        for _ in range(concurrency)
+    ]
+
+
+def run_direct(model, mix, flat_stream):
+    """The single-request path over the same stream, one call at a time."""
+    from repro.core import bundle_from_program, class_i_segments
+
+    start = time.perf_counter()
+    predictions = {}
+    for name in flat_stream:
+        entry = mix[name]
+        # A fresh bundle per request: the per-call frontend cost the
+        # server's bundle memo avoids.
+        bundle = bundle_from_program(entry["source"], data=entry["data"])
+        prediction = model.predict_costs(
+            bundle, class_i_segments=class_i_segments(entry["source"])
+        )
+        predictions[name] = prediction.as_dict()
+    elapsed = time.perf_counter() - start
+    return elapsed, predictions
+
+
+def run_served(server, client_streams, mix):
+    """Closed-loop clients; returns (wall_s, latencies, responses)."""
+    latencies = []
+    responses = {}
+    errors = []
+    lock = threading.Lock()
+
+    def client_loop(stream):
+        client = ServeClient(server.url, timeout_s=300.0)
+        for name in stream:
+            entry = mix[name]
+            begin = time.perf_counter()
+            try:
+                response = client.predict(entry["source"], data=entry["data"])
+            except Exception as exc:  # noqa: BLE001 - recorded, fails the gate
+                with lock:
+                    errors.append(f"{name}: {exc}")
+                continue
+            took = time.perf_counter() - begin
+            with lock:
+                latencies.append(took)
+                responses[name] = {
+                    metric: value["value"] for metric, value in response.items()
+                }
+
+    threads = [
+        threading.Thread(target=client_loop, args=(stream,))
+        for stream in client_streams
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return wall, latencies, responses, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", default="0.5B", choices=["0.5B", "1B", "8B"])
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--requests-per-client", type=int, default=12)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=10.0)
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_serve.json"))
+    args = parser.parse_args()
+
+    model = CostModel(LLMulatorConfig(tier=args.tier, seed=0))
+    mix = build_mix()
+    names = sorted(mix)
+    client_streams = request_stream(
+        names, args.concurrency, args.requests_per_client
+    )
+    flat_stream = [name for stream in client_streams for name in stream]
+    print(
+        f"{len(names)} workloads, {len(flat_stream)} mixed requests, "
+        f"concurrency {args.concurrency}, tier {args.tier}",
+        flush=True,
+    )
+
+    # -- single-request baseline (same stream, one call at a time) -------
+    direct_s, direct_predictions = run_direct(model, mix, flat_stream)
+    direct_req_s = len(flat_stream) / direct_s
+
+    # -- served ----------------------------------------------------------
+    engine = PredictionEngine.from_model(model)
+    server = PredictionServer(
+        engine,
+        port=0,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    ).start()
+    try:
+        # Phase 1 — unique sweep: each program once, batching gain only.
+        unique_streams = [
+            names[index::args.concurrency] for index in range(args.concurrency)
+        ]
+        unique_wall, _, unique_responses, unique_errors = run_served(
+            server, unique_streams, mix
+        )
+        unique_req_s = len(names) / unique_wall
+
+        # Phase 2 — mixed closed-loop stream (the gated number).
+        mixed_wall, latencies, mixed_responses, mixed_errors = run_served(
+            server, client_streams, mix
+        )
+        mixed_req_s = len(flat_stream) / mixed_wall
+        stats = ServeClient(server.url).stats()
+    finally:
+        server.close()
+
+    errors = unique_errors + mixed_errors
+    served = dict(unique_responses)
+    served.update(mixed_responses)
+    mismatches = {
+        name: {"served": served[name], "direct": direct_predictions[name]}
+        for name in names
+        if served.get(name) != direct_predictions[name]
+    }
+    parity = not errors and not mismatches and len(served) == len(names)
+
+    latencies_ms = sorted(1000.0 * value for value in latencies)
+    speedup = mixed_req_s / direct_req_s
+    result = {
+        "workloads": len(names),
+        "tier": args.tier,
+        "concurrency": args.concurrency,
+        "requests": len(flat_stream),
+        "single_path": "per-request bundle build + predict_costs, no cache "
+                       "(the CLI shape, minus process start and model load)",
+        "single_req_s": round(direct_req_s, 2),
+        "served_unique_req_s": round(unique_req_s, 2),
+        "served_mixed_req_s": round(mixed_req_s, 2),
+        "speedup_unique": round(unique_req_s / direct_req_s, 2),
+        "speedup_mixed": round(speedup, 2),
+        "p50_latency_ms": round(latencies_ms[len(latencies_ms) // 2], 2)
+        if latencies_ms else None,
+        "p95_latency_ms": round(
+            latencies_ms[min(len(latencies_ms) - 1,
+                             int(0.95 * len(latencies_ms)))], 2
+        ) if latencies_ms else None,
+        "batch_size_histogram": stats["batching"]["size_histogram"],
+        "mean_batch_size": stats["batching"]["mean_batch_size"],
+        "result_cache": stats["result_cache"],
+        "parity": parity,
+        "parity_detail": {
+            "programs_checked": len(served),
+            "mismatches": len(mismatches),
+            "client_errors": errors[:5],
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    if not parity:
+        print("FAIL: served and direct predictions disagree", file=sys.stderr)
+        return 1
+    if speedup < 2.0:
+        print(
+            f"WARN: mixed served speedup {speedup:.2f}x below the 2x target",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

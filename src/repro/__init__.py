@@ -15,6 +15,8 @@ Public entry points:
 * :mod:`repro.workloads` -- Polybench kernels, 14 modern applications and
   accelerator mapping case studies.
 * :mod:`repro.eval` -- metrics, the train/eval harness and table renderers.
+* :mod:`repro.serve` -- the persistent prediction service: warm model
+  registry, tiered caching, dynamic micro-batching, HTTP server/client.
 """
 
 from .errors import ReproError

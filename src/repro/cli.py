@@ -14,6 +14,8 @@ Subcommands:
 * ``explore``   — rank mapping candidates (unroll × memory delay) with
   a trained model and ground-truth the finalists.
 * ``workloads`` — list the bundled benchmark suites with Table-2 stats.
+* ``serve``     — run the persistent prediction service (warm models,
+  micro-batching, tiered caches) on an HTTP port.
 
 Example::
 
@@ -21,12 +23,15 @@ Example::
     python -m repro synthesize --out dataset.jsonl --ast 10 --dataflow 20
     python -m repro train dataset.jsonl --out model.npz --epochs 5
     python -m repro predict examples_gemm.c --model model.npz --data n=8
+    python -m repro serve --model model.npz --port 8173
+    python -m repro predict examples_gemm.c --remote http://127.0.0.1:8173
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -40,12 +45,18 @@ def _parse_data(items: list[str]) -> dict:
     data = {}
     for item in items:
         if "=" not in item:
-            raise SystemExit(f"--data expects name=value, got {item!r}")
+            raise SystemExit(f"error: --data expects name=value, got {item!r}")
         name, _, value = item.partition("=")
         try:
             data[name] = int(value)
         except ValueError:
-            data[name] = float(value)
+            try:
+                data[name] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"error: --data value for {name!r} must be numeric, "
+                    f"got {value!r}"
+                ) from None
     return data
 
 
@@ -61,8 +72,12 @@ def _params_from_args(args: argparse.Namespace) -> HardwareParams:
 def _read_program(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
-    with open(path) as handle:
-        return handle.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise SystemExit(f"error: cannot read program {path!r}: {reason}") from None
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -176,23 +191,225 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_predict(args: argparse.Namespace) -> int:
-    from .core import CostModel, LLMulatorConfig, bundle_from_program, class_i_segments
-    from .nn import load_model
+def _load_jsonl_jobs(path: str) -> list[tuple[str, str, dict]]:
+    """Parse a ``predict --jsonl`` file into (label, source, data) jobs.
 
-    source = _read_program(args.program)
-    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
-    load_model(model, args.model)
-    params = _params_from_args(args)
-    bundle = bundle_from_program(source, params=params, data=_parse_data(args.data) or None)
-    prediction = model.predict_costs(
-        bundle, class_i_segments=class_i_segments(source)
-    )
-    output = {
+    Each line is a JSON object with ``"program"`` (a path) or
+    ``"source"`` (inline text), plus an optional ``"data"`` object.
+    """
+    jobs: list[tuple[str, str, dict]] = []
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise SystemExit(f"error: cannot read --jsonl {path!r}: {reason}") from None
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"error: {path}:{number}: invalid JSON: {exc}"
+            ) from None
+        if not isinstance(record, dict) or not (
+            isinstance(record.get("program"), str)
+            or isinstance(record.get("source"), str)
+        ):
+            raise SystemExit(
+                f"error: {path}:{number}: each line needs a 'program' path "
+                "or inline 'source'"
+            )
+        data = record.get("data") or {}
+        if not isinstance(data, dict):
+            raise SystemExit(f"error: {path}:{number}: 'data' must be an object")
+        if isinstance(record.get("program"), str):
+            label = record["program"]
+            source = _read_program(record["program"])
+        else:
+            label = f"{path}:{number}"
+            source = record["source"]
+        jobs.append((label, source, data))
+    if not jobs:
+        raise SystemExit(f"error: no records in --jsonl {path!r}")
+    return jobs
+
+
+def _prediction_output(prediction) -> dict:
+    return {
         metric: {"value": pred.value, "confidence": round(pred.confidence, 3)}
         for metric, pred in prediction.per_metric.items()
     }
-    print(json.dumps(output, indent=2))
+
+
+def _predict_remote(args: argparse.Namespace, jobs: list[tuple[str, str, dict]]):
+    """Route predictions through a running ``repro serve`` instance.
+
+    Jobs are sent concurrently so the server's micro-batcher can
+    coalesce them into batched encoder passes.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .errors import ServeError
+    from .serve import ServeClient
+
+    params = _params_from_args(args)
+    payload_params = {
+        "mem_read_delay": params.mem_read_delay,
+        "mem_write_delay": params.mem_write_delay,
+        "pe_count": params.pe_count,
+        "memory_ports": params.memory_ports,
+    }
+    try:
+        client = ServeClient(args.remote)
+
+        def one(job):
+            _, source, data = job
+            response = client.predict(
+                source, data=data or None, params=payload_params
+            )
+            # Same output contract as the local path: value + 3-decimal
+            # confidence per metric (the server payload carries more).
+            return {
+                metric: {
+                    "value": entry["value"],
+                    "confidence": round(float(entry["confidence"]), 3),
+                }
+                for metric, entry in response.items()
+            }
+
+        if len(jobs) == 1:
+            return [one(jobs[0])]
+        with ThreadPoolExecutor(max_workers=min(8, len(jobs))) as pool:
+            return list(pool.map(one, jobs))
+    except ServeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    if args.program is None and not args.jsonl:
+        raise SystemExit("error: predict needs a program path or --jsonl FILE")
+    if args.program is not None and args.jsonl:
+        raise SystemExit("error: pass either a program path or --jsonl, not both")
+    if args.jsonl and args.data:
+        raise SystemExit(
+            "error: --data does not apply to --jsonl (put a 'data' object "
+            "on each line instead)"
+        )
+    if not args.remote and not args.model:
+        raise SystemExit("error: --model is required unless --remote is given")
+    if args.remote and args.model:
+        raise SystemExit(
+            "error: --model does not apply to --remote (the server chooses "
+            "its own checkpoints; pass 'model' per request via the API)"
+        )
+
+    if args.jsonl:
+        jobs = _load_jsonl_jobs(args.jsonl)
+    else:
+        base_data = _parse_data(args.data)
+        jobs = [(args.program, _read_program(args.program), base_data)]
+
+    if args.remote:
+        responses = _predict_remote(args, jobs)
+        rows = [
+            {"program": label, "predictions": response}
+            for (label, _, _), response in zip(jobs, responses)
+        ]
+    else:
+        from .core import (
+            CostModel,
+            LLMulatorConfig,
+            bundle_from_program,
+            class_i_segments,
+        )
+        from .nn import load_model
+
+        model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
+        try:
+            load_model(model, args.model)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot load model {args.model!r}: {exc}"
+            ) from None
+        params = _params_from_args(args)
+        bundles, segment_lists = [], []
+        for _, source, data in jobs:
+            bundles.append(
+                bundle_from_program(source, params=params, data=data or None)
+            )
+            segment_lists.append(class_i_segments(source))
+        # One batched pass amortizes the (single) model load and the
+        # encoder across every record.
+        predictions = model.predict_costs_batch(
+            bundles, class_i_segments=segment_lists
+        )
+        rows = [
+            {"program": label, "predictions": _prediction_output(prediction)}
+            for (label, _, _), prediction in zip(jobs, predictions)
+        ]
+    if args.jsonl:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(json.dumps(rows[0]["predictions"], indent=2))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry, PredictionEngine, PredictionServer
+
+    registry = ModelRegistry()
+    default_name = None
+    for spec in args.model:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "default", spec
+        if name in registry.names():
+            raise SystemExit(
+                f"error: duplicate model name {name!r}; use NAME=PATH to "
+                "serve several checkpoints"
+            )
+        registry.register(
+            name,
+            path=path,
+            tier=args.tier,
+            seed=args.seed,
+            max_seq_len=args.max_seq_len,
+        )
+        default_name = default_name or name
+    engine = PredictionEngine(registry)
+    from .errors import ServeError
+
+    try:
+        for name in registry.names():
+            registry.get(name)  # eager load + warm-up: fail before binding
+            print(f"loaded model {name!r}", file=sys.stderr)
+    except ServeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    try:
+        server = PredictionServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            default_model=default_name or "default",
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise SystemExit(
+            f"error: cannot bind {args.host}:{args.port}: {reason}"
+        ) from None
+    print(f"serving on {server.url} (models: {', '.join(registry.names())})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining queued requests)", file=sys.stderr)
+        server.close()
     return 0
 
 
@@ -246,7 +463,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
     source = _read_program(args.program)
     model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
-    load_model(model, args.model)
+    try:
+        load_model(model, args.model)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot load model {args.model!r}: {exc}") from None
     explorer = DesignSpaceExplorer(model)
     data = _parse_data(args.data) or None
     points = explorer.explore(
@@ -263,6 +483,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(
             f"{rank:4d}  {point.describe():30s} "
             f"{point.predicted['cycles']:11d} {point.predicted['area']:10d} {actual:>13s}"
+        )
+    if args.verbose:
+        print(
+            "predictor cache: " + json.dumps(explorer.predictor.stats_dict()),
+            file=sys.stderr,
         )
     return 0
 
@@ -366,13 +591,45 @@ def build_parser() -> argparse.ArgumentParser:
     train.set_defaults(func=cmd_train)
 
     predict = sub.add_parser("predict", help="predict costs with a trained model")
-    predict.add_argument("program")
-    predict.add_argument("--model", required=True)
+    predict.add_argument("program", nargs="?", default=None,
+                         help="program path ('-' for stdin); omit with --jsonl")
+    predict.add_argument("--model", default=None,
+                         help="trained checkpoint (.npz); required unless --remote")
     predict.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
     predict.add_argument("--data", action="append", default=[], metavar="NAME=VALUE")
+    predict.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="batch mode: one {'program': path | 'source': text, 'data': {...}} "
+             "JSON object per line, predicted in one batched pass",
+    )
+    predict.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="route through a running 'repro serve' instance instead of "
+             "loading a model locally",
+    )
     predict.add_argument("--seed", type=int, default=0)
     add_hw_flags(predict)
     predict.set_defaults(func=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent prediction service over HTTP"
+    )
+    serve.add_argument(
+        "--model", action="append", required=True, metavar="[NAME=]PATH",
+        help="checkpoint to serve (repeatable; first one is the default model)",
+    )
+    serve.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8173)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch flush size")
+    serve.add_argument("--max-wait-ms", type=float, default=10.0,
+                       help="max time a request waits for batch-mates")
+    serve.add_argument("--max-seq-len", type=int, default=320)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(func=cmd_serve)
 
     calibrate = sub.add_parser(
         "calibrate", help="DPO-calibrate a trained model against the profiler"
@@ -401,6 +658,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--verify-top", type=int, default=3)
     explore.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
     explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--verbose", action="store_true",
+                         help="print predictor cache statistics to stderr")
     explore.set_defaults(func=cmd_explore)
 
     report = sub.add_parser(
@@ -423,7 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -64,18 +64,54 @@ class CachedPredictor:
     """
 
     def __init__(
-        self, model: CostModel, enabled: bool = True, mode: str = "decoupled"
+        self,
+        model: CostModel,
+        enabled: bool = True,
+        mode: str = "decoupled",
+        max_entries: Optional[int] = None,
     ) -> None:
         if mode not in ("decoupled", "exact"):
             raise ValueError(f"unknown cache mode {mode!r}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.model = model
         self.enabled = enabled
         self.mode = mode
+        self.max_entries = max_entries
         self.stats = AccelerationStats()
         self._cache: dict[str, np.ndarray] = {}
 
     def clear(self) -> None:
         self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _lookup(self, key: str) -> Optional[np.ndarray]:
+        """Cache read that refreshes LRU recency on a hit."""
+        vector = self._cache.pop(key, None)
+        if vector is not None:
+            self._cache[key] = vector
+        return vector
+
+    def _store(self, key: str, vector: np.ndarray) -> None:
+        self._cache.pop(key, None)
+        self._cache[key] = vector
+        if self.max_entries is not None:
+            while len(self._cache) > self.max_entries:
+                self._cache.pop(next(iter(self._cache)))
+
+    def stats_dict(self) -> dict:
+        """Introspection snapshot (surfaced at ``/stats`` and by
+        ``explore --verbose``)."""
+        return {
+            "mode": self.mode,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": round(self.stats.hit_rate, 4),
+            "size": len(self._cache),
+            "max_entries": self.max_entries,
+        }
 
     @staticmethod
     def _exact_key(bundle: ModelInput) -> str:
@@ -121,20 +157,22 @@ class CachedPredictor:
             )
         vectors = np.asarray(pooled.data, dtype=np.float64)
         for key, vector in zip(missing, vectors):
-            self._cache[key] = vector
+            self._store(key, vector)
         self.stats.misses += len(missing)
         return len(missing)
 
     def _segment_vector(self, key: str, bundle: ModelInput) -> np.ndarray:
-        if self.enabled and key in self._cache:
-            self.stats.hits += 1
-            return self._cache[key]
+        if self.enabled:
+            cached = self._lookup(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
         self.stats.misses += 1
         with no_grad():
             pooled = self.model.encode(bundle)
         vector = np.asarray(pooled.data, dtype=np.float64)
         if self.enabled:
-            self._cache[key] = vector
+            self._store(key, vector)
         return vector
 
     def predict(
@@ -148,9 +186,9 @@ class CachedPredictor:
         start = time.perf_counter()
         if self.mode == "exact":
             key = self._exact_key(bundle)
-            if self.enabled and key in self._cache:
+            pooled_vector = self._lookup(key) if self.enabled else None
+            if pooled_vector is not None:
                 self.stats.hits += 1
-                pooled_vector = self._cache[key]
             else:
                 self.stats.misses += 1
                 with no_grad():
@@ -159,7 +197,7 @@ class CachedPredictor:
                     )
                 pooled_vector = np.asarray(encoded.data, dtype=np.float64)
                 if self.enabled:
-                    self._cache[key] = pooled_vector
+                    self._store(key, pooled_vector)
             prediction = self.model.heads[metric].predict(
                 Tensor(pooled_vector),
                 beam_width=beam_width or self.model.config.beam_width,

@@ -89,16 +89,28 @@ class DesignSpaceExplorer:
         objective: Callable[[dict[str, int]], float] = default_objective,
         use_cache: bool = True,
         sim_backend: str = "compiled",
+        predictor: Optional[CachedPredictor] = None,
+        static_cache: Optional[StaticProfileCache] = None,
     ) -> None:
+        """``predictor`` / ``static_cache`` let a long-lived service
+        (``repro.serve.PredictionEngine.explorer_for``) share its warm
+        encoding and static-profile caches with DSE sweeps; by default
+        the explorer owns private ones."""
         self.model = model
         self.objective = objective
         self.sim_backend = sim_backend
         # Exact mode: ranking fidelity matters more than partial reuse.
-        self.predictor = CachedPredictor(model, enabled=use_cache, mode="exact")
+        # (Explicit None check: an empty CachedPredictor is falsy.)
+        if predictor is None:
+            predictor = CachedPredictor(model, enabled=use_cache, mode="exact")
+        self.predictor = predictor
         # Shared by verify_top across explore() calls: re-verifying a
         # candidate already ground-truthed under the same params only
-        # pays the simulation, not the static EDA flow.
-        self._static_cache = StaticProfileCache()
+        # pays the simulation, not the static EDA flow.  (Explicit None
+        # check: an empty StaticProfileCache is falsy.)
+        if static_cache is None:
+            static_cache = StaticProfileCache()
+        self._static_cache = static_cache
 
     # -- candidate enumeration -------------------------------------------
 

@@ -68,3 +68,7 @@ class CalibrationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when dataset synthesis or formatting fails."""
+
+
+class ServeError(ReproError):
+    """Raised by the prediction service (engine, server or client)."""

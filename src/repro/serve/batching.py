@@ -1,0 +1,202 @@
+"""Dynamic micro-batching for the prediction service.
+
+Concurrent callers submit single requests; a background worker collects
+them into batches — up to ``max_batch`` items, waiting at most
+``max_wait_ms`` after the first arrival — and flushes each batch through
+one callback (for the engine: one ``predict_costs_batch`` pass).  On
+this one-core substrate the win is amortization, not parallelism: a
+flush of N requests pays the encoder-pass and Python-dispatch overhead
+once instead of N times (see ``CostModel._SCORE_BUDGET``).
+
+Before flushing, a batch is length-bucketed: requests are sorted by
+their estimated sequence length and greedily chunked so one bucket's
+attention score tensor stays within the score budget, mirroring the
+chunking ``encode_batch`` applies internally — short requests are never
+padded out to the longest outlier in the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import ServeError
+
+
+@dataclass
+class BatchStats:
+    """Flush-side counters, including the batch-size histogram."""
+
+    batches: int = 0
+    requests: int = 0
+    size_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record(self, size: int) -> None:
+        self.batches += 1
+        self.requests += size
+        self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "size_histogram": {
+                str(size): count
+                for size, count in sorted(self.size_histogram.items())
+            },
+        }
+
+
+class MicroBatcher:
+    """Request queue with dynamic micro-batching.
+
+    ``flush_fn(items)`` must return one result per item, in order; its
+    return fills the callers' futures.  ``length_of(item)`` (optional)
+    estimates an item's padded sequence length for bucketing;
+    ``score_budget`` is the per-bucket ``batch × length²`` element
+    budget (``None`` disables bucketing).
+    """
+
+    def __init__(
+        self,
+        flush_fn: Callable[[list[Any]], Sequence[Any]],
+        max_batch: int = 8,
+        max_wait_ms: float = 10.0,
+        length_of: Optional[Callable[[Any], int]] = None,
+        score_budget: Optional[int] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServeError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._flush_fn = flush_fn
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._length_of = length_of
+        self._score_budget = score_budget
+        self._queue: Queue = Queue()
+        self._closed = threading.Event()
+        self.stats = BatchStats()
+        self._worker = threading.Thread(
+            target=self._run, name="micro-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, item: Any) -> Future:
+        """Enqueue one request; the future resolves after its flush."""
+        if self._closed.is_set():
+            raise ServeError("batcher is closed")
+        future: Future = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, drain the queue, join the worker.
+
+        Every already-submitted future is resolved (or failed) before
+        the worker exits — a graceful shutdown never drops requests.
+        """
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(None)  # wake the worker if it is blocked
+        self._worker.join(timeout=timeout)
+        # A submit() racing close() can slip an item in after the
+        # worker's final emptiness check; fail it rather than strand
+        # its caller on an unresolved future.
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except Empty:
+                return
+            if entry is not None and not entry[1].done():
+                entry[1].set_exception(ServeError("batcher is closed"))
+
+    # -- worker ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch:
+                self._flush(batch)
+            elif self._closed.is_set() and self._queue.empty():
+                return
+
+    def _collect(self) -> list[tuple[Any, Future]]:
+        """Block for the first request, then gather until ``max_batch``
+        items arrived or ``max_wait_ms`` elapsed since the first."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except Empty:
+            return []
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                entry = self._queue.get(timeout=remaining)
+            except Empty:
+                break
+            if entry is None:
+                break
+            batch.append(entry)
+        return batch
+
+    def _buckets(
+        self, batch: list[tuple[Any, Future]]
+    ) -> list[list[tuple[Any, Future]]]:
+        if self._length_of is None or self._score_budget is None or len(batch) <= 1:
+            return [batch]
+        order = sorted(batch, key=lambda entry: self._length_of(entry[0]))
+        buckets: list[list[tuple[Any, Future]]] = []
+        current: list[tuple[Any, Future]] = []
+        for entry in order:
+            # Ascending lengths: the newest member sets the padded width.
+            cost = (len(current) + 1) * self._length_of(entry[0]) ** 2
+            if current and cost > self._score_budget:
+                buckets.append(current)
+                current = []
+            current.append(entry)
+        buckets.append(current)
+        return buckets
+
+    def _flush(self, batch: list[tuple[Any, Future]]) -> None:
+        try:
+            buckets = self._buckets(batch)
+        except BaseException as exc:  # a bad length_of must not kill the worker
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for bucket in buckets:
+            items = [item for item, _ in bucket]
+            try:
+                results = list(self._flush_fn(items))
+                if len(results) != len(items):
+                    raise ServeError(
+                        f"flush returned {len(results)} results "
+                        f"for {len(items)} requests"
+                    )
+            except BaseException as exc:  # propagate to every caller
+                for _, future in bucket:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+                continue
+            self.stats.record(len(items))
+            for (_, future), result in zip(bucket, results):
+                if not future.cancelled():
+                    future.set_result(result)

@@ -1,0 +1,107 @@
+"""HTTP client for a running ``repro serve`` instance.
+
+Pure stdlib (``urllib``); every failure — unreachable host, non-2xx
+status, malformed body — surfaces as :class:`ServeError` with a
+one-line message, so CLI callers can exit cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+from ..errors import ServeError
+
+
+class ServeClient:
+    """Talks JSON to a :class:`~repro.serve.server.PredictionServer`."""
+
+    def __init__(self, base_url: str, timeout_s: float = 120.0) -> None:
+        base_url = base_url.rstrip("/")
+        if not base_url.startswith(("http://", "https://")):
+            raise ServeError(
+                f"remote URL must start with http:// or https://, got {base_url!r}"
+            )
+        self.base_url = base_url
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                body = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise ServeError(
+                f"{url} returned HTTP {exc.code}" + (f": {detail}" if detail else "")
+            ) from exc
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise ServeError(f"cannot reach {url}: {reason}") from exc
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"{url} returned invalid JSON: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise ServeError(f"{url} returned a non-object JSON body")
+        return parsed
+
+    # -- API -------------------------------------------------------------
+
+    def predict(
+        self,
+        source: str,
+        data: Optional[dict[str, Any]] = None,
+        params: Optional[dict[str, Any]] = None,
+        model: Optional[str] = None,
+        beam_width: Optional[int] = None,
+    ) -> dict:
+        """Per-metric predictions for one program source."""
+        payload: dict[str, Any] = {"program": source}
+        if data:
+            payload["data"] = data
+        if params:
+            payload["params"] = params
+        if model:
+            payload["model"] = model
+        if beam_width:
+            payload["beam_width"] = beam_width
+        return self._request("/predict", payload)["predictions"]
+
+    def profile(
+        self,
+        source: str,
+        data: Optional[dict[str, Any]] = None,
+        params: Optional[dict[str, Any]] = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"program": source}
+        if data:
+            payload["data"] = data
+        if params:
+            payload["params"] = params
+        return self._request("/profile", payload)["costs"]
+
+    def explore(self, source: str, **options) -> dict:
+        payload: dict[str, Any] = {"program": source}
+        payload.update(options)
+        return self._request("/explore", payload)
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")

@@ -1,0 +1,305 @@
+"""Stdlib HTTP front end for the prediction engine.
+
+``ThreadingHTTPServer`` gives one handler thread per connection; every
+``/predict`` handler submits its prepared request to the shared
+:class:`MicroBatcher` and blocks on the future, so concurrent callers
+are transparently coalesced into batched encoder passes.
+
+Endpoints (JSON in / JSON out):
+
+* ``POST /predict`` — ``{"program": source, "data": {...}, "params":
+  {...}, "model": name, "beam_width": k}`` → per-metric predictions.
+* ``POST /profile`` — ground-truth costs through the shared
+  static-profile cache.
+* ``POST /explore`` — rank mapping candidates with the warm model.
+* ``GET /healthz`` — liveness + registered models.
+* ``GET /stats`` — engine, cache and batch-size statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from ..core import CostPrediction
+from ..errors import ReproError, ServeError
+from ..hls import HardwareParams
+from .batching import MicroBatcher
+from .engine import PredictionEngine
+
+_PARAM_FIELDS = (
+    "mem_read_delay",
+    "mem_write_delay",
+    "pe_count",
+    "memory_ports",
+    "clock_period_ns",
+)
+
+
+def params_from_payload(payload: Optional[dict]) -> HardwareParams:
+    """Hardware params from a JSON object (``mem_delay`` sets both
+    read and write delay)."""
+    payload = dict(payload or {})
+    kwargs: dict[str, Any] = {}
+    mem_delay = payload.pop("mem_delay", None)
+    if mem_delay is not None:
+        kwargs["mem_read_delay"] = int(mem_delay)
+        kwargs["mem_write_delay"] = int(mem_delay)
+    for name in _PARAM_FIELDS:
+        if name in payload:
+            value = payload.pop(name)
+            kwargs[name] = float(value) if name == "clock_period_ns" else int(value)
+    if payload:
+        raise ServeError(f"unknown params fields: {sorted(payload)}")
+    return HardwareParams(**kwargs)
+
+
+def prediction_payload(prediction: CostPrediction) -> dict:
+    return {
+        metric: {
+            "value": pred.value,
+            "confidence": round(pred.confidence, 6),
+            "beam_values": list(pred.beam_values),
+        }
+        for metric, pred in prediction.per_metric.items()
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "PredictionServer._Http"  # type: ignore[assignment]
+
+    # One request per connection (HTTP/1.0): handler threads never
+    # linger on keep-alive sockets, so shutdown drains quickly.
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.owner.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError("request body required")
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        owner = self.server.owner
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "models": owner.engine.registry.names(),
+                    "uptime_s": round(time.monotonic() - owner.started_at, 3),
+                },
+            )
+        elif self.path == "/stats":
+            stats = owner.engine.stats_dict()
+            stats["batching"] = owner.batcher.stats.as_dict()
+            self._send_json(200, stats)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        owner = self.server.owner
+        try:
+            payload = self._read_json()
+            if self.path == "/predict":
+                self._send_json(200, owner.handle_predict(payload))
+            elif self.path == "/profile":
+                self._send_json(200, owner.handle_profile(payload))
+            elif self.path == "/explore":
+                self._send_json(200, owner.handle_explore(payload))
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            owner.engine.stats.errors += 1
+            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            owner.engine.stats.errors += 1
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class PredictionServer:
+    """The persistent service: engine + micro-batcher + HTTP listener."""
+
+    class _Http(ThreadingHTTPServer):
+        owner: "PredictionServer"
+
+    def __init__(
+        self,
+        engine: PredictionEngine,
+        host: str = "127.0.0.1",
+        port: int = 8173,
+        max_batch: int = 8,
+        max_wait_ms: float = 10.0,
+        default_model: str = "default",
+        request_timeout_s: float = 120.0,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.default_model = default_model
+        self.request_timeout_s = request_timeout_s
+        self.verbose = verbose
+        self.started_at = time.monotonic()
+        self.batcher = MicroBatcher(
+            engine.predict_requests,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            length_of=self._request_length,
+            score_budget=self._score_budget(engine, default_model),
+        )
+        self._http = self._Http((host, port), _Handler)
+        self._http.owner = self
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    @staticmethod
+    def _score_budget(engine: PredictionEngine, default_model: str) -> Optional[int]:
+        """Per-bucket ``batch × seq²`` budget normalized by head count,
+        matching the ``_SCORE_BUDGET`` chunking inside ``encode_batch``."""
+        from ..core.model import CostModel
+
+        try:
+            model = engine.registry.get(default_model)
+        except ServeError:
+            return None
+        return CostModel._SCORE_BUDGET // max(1, model.encoder.config.heads)
+
+    def _request_length(self, request) -> int:
+        try:
+            model = self.engine.registry.get(request.model)
+        except ServeError:
+            # Unknown model: bucket by 0; the flush itself raises the
+            # real error into the request's future.
+            return 0
+        limit = model.encoder.config.max_seq_len
+        return min(len(model.tokenize(request.bundle)), limit)
+
+    # -- request handling (called from handler threads) ------------------
+
+    def handle_predict(self, payload: dict) -> dict:
+        source = payload.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError("'program' must be non-empty program source text")
+        request = self.engine.build_request(
+            source,
+            data=payload.get("data") or None,
+            params=params_from_payload(payload.get("params")),
+            model=payload.get("model") or self.default_model,
+            beam_width=payload.get("beam_width"),
+        )
+        future = self.batcher.submit(request)
+        prediction = future.result(timeout=self.request_timeout_s)
+        return {"model": request.model, "predictions": prediction_payload(prediction)}
+
+    def handle_profile(self, payload: dict) -> dict:
+        source = payload.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError("'program' must be non-empty program source text")
+        costs = self.engine.profile(
+            source,
+            data=payload.get("data") or None,
+            params=params_from_payload(payload.get("params")),
+        )
+        return {"costs": costs}
+
+    def handle_explore(self, payload: dict) -> dict:
+        source = payload.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError("'program' must be non-empty program source text")
+        model = payload.get("model") or self.default_model
+        explorer = self.engine.explorer_for(model)
+        # Handler threads must not drive the shared model concurrently
+        # with the micro-batcher worker (see PredictionEngine.lock).
+        with self.engine.lock:
+            points = explorer.explore(
+                source,
+                data=payload.get("data") or None,
+                unroll_factors=tuple(payload.get("unroll") or (1, 2, 4)),
+                memory_delays=tuple(payload.get("mem_delays") or (10,)),
+                max_candidates=int(payload.get("max_candidates") or 16),
+            )
+        verify_top = int(payload.get("verify_top") or 0)
+        if verify_top:
+            explorer.verify_top(
+                points, top_k=verify_top, data=payload.get("data") or None
+            )
+        return {
+            "model": model,
+            "candidates": [
+                {
+                    "design": point.describe(),
+                    "predicted": point.predicted,
+                    "score": point.score,
+                    "actual": point.actual,
+                }
+                for point in points
+            ],
+            "cache": explorer.predictor.stats_dict(),
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PredictionServer":
+        """Serve in a background thread (tests, benches, embedding)."""
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._serving = True
+        try:
+            self._http.serve_forever()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Graceful shutdown: stop listening, then drain the batcher."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.batcher.close(timeout=30.0)

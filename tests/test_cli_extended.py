@@ -167,3 +167,121 @@ class TestExploreCommand:
         assert len(lines) == 3
         assert "-" not in lines[1].split()[-1]
         assert lines[2].split()[-1] == "-"
+
+    def test_explore_verbose_prints_cache_stats(
+        self, program_file, model_file, capsys
+    ):
+        code = main(
+            [
+                "explore", program_file, "--model", model_file,
+                "--data", "n=8", "--unroll", "1", "2",
+                "--max-candidates", "2", "--verify-top", "0", "--verbose",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "predictor cache:" in err
+        for key in ("hits", "misses", "size", "max_entries"):
+            assert key in err
+
+
+class TestRobustErrors:
+    """ISSUE-3 satellite: frontend failures exit with a one-line
+    message and nonzero status instead of a traceback."""
+
+    def test_missing_program_file(self, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "/does/not/exist.c", "--model", model_file])
+        assert str(excinfo.value.code).startswith("error:")
+
+    def test_non_numeric_data_value(self, program_file, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", program_file, "--model", model_file,
+                  "--data", "n=abc"])
+        assert "must be numeric" in str(excinfo.value.code)
+
+    def test_missing_model_checkpoint(self, program_file, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", program_file,
+                  "--model", str(tmp_path / "missing.npz")])
+        assert str(excinfo.value.code).startswith("error:")
+
+    def test_predict_requires_program_or_jsonl(self, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--model", model_file])
+        assert "program path or --jsonl" in str(excinfo.value.code)
+
+    def test_bad_remote_scheme(self, program_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", program_file, "--remote", "gopher://nope"])
+        assert str(excinfo.value.code).startswith("error:")
+
+    def test_unreachable_remote(self, program_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", program_file, "--remote", "http://127.0.0.1:9"])
+        code = str(excinfo.value.code)
+        assert code.startswith("error:") and "\n" not in code
+
+    def test_jsonl_invalid_line_reports_line_number(self, model_file, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"source": "void dataflow() { }"}\nnot json\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--model", model_file, "--jsonl", str(path)])
+        assert ":2:" in str(excinfo.value.code)
+
+    def test_jsonl_line_without_program_rejected(self, model_file, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"data": {"n": 4}}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--model", model_file, "--jsonl", str(path)])
+        assert "'program' path" in str(excinfo.value.code)
+
+
+class TestPredictJsonl:
+    def test_batched_jsonl_matches_single_predictions(
+        self, program_file, model_file, tmp_path, capsys
+    ):
+        import json as json_mod
+
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            json_mod.dumps({"program": program_file, "data": {"n": 4}})
+            + "\n"
+            + json_mod.dumps({"source": PROGRAM, "data": {"n": 8}})
+            + "\n"
+        )
+        code = main(["predict", "--model", model_file, "--jsonl", str(jobs)])
+        assert code == 0
+        rows = json_mod.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert rows[0]["program"] == program_file
+
+        # Row parity with the single-program path (same model/data).
+        code = main(["predict", program_file, "--model", model_file,
+                     "--data", "n=4"])
+        assert code == 0
+        single = json_mod.loads(capsys.readouterr().out)
+        batched = {
+            metric: entry["value"]
+            for metric, entry in rows[0]["predictions"].items()
+        }
+        assert batched == {
+            metric: entry["value"] for metric, entry in single.items()
+        }
+
+    def test_jsonl_non_string_program_with_source_rejected_safely(
+        self, model_file, tmp_path, capsys
+    ):
+        import json as json_mod
+
+        # A non-string 'program' must not win over a valid 'source'
+        # (open(3) would read an arbitrary file descriptor).
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json_mod.dumps({"program": 3, "source": PROGRAM, "data": {"n": 4}})
+            + "\n"
+        )
+        code = main(["predict", "--model", model_file, "--jsonl", str(path)])
+        assert code == 0
+        rows = json_mod.loads(capsys.readouterr().out)
+        assert rows[0]["program"].endswith(":1")
