@@ -17,9 +17,13 @@ Two served phases are reported:
   the mix with repeats, the service's actual traffic shape: misses run
   batched, repeats hit the tiered cache.  This is the gated number.
 
-Every served prediction is parity-checked against the direct
-``predict_costs`` values before any number is reported.  Results land
-in ``BENCH_serve.json`` at the repo root so CI tracks the trajectory.
+The served stack is constructed through the public ``repro.api``
+surface (a :class:`Session` owns the engine; clients speak the typed
+``PredictJob``/``Prediction`` codec), so the parity gate exercises the
+exact path every frontend uses.  Every served prediction is
+parity-checked against the direct ``predict_costs`` values before any
+number is reported.  Results land in ``BENCH_serve.json`` at the repo
+root so CI tracks the trajectory.
 
 Run:  PYTHONPATH=src python scripts/bench_serve.py [--concurrency 8]
 """
@@ -35,8 +39,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro.api import PredictJob, Session
 from repro.core import CostModel, LLMulatorConfig
-from repro.serve import PredictionEngine, PredictionServer, ServeClient
+from repro.serve import PredictionServer, ServeClient
 from repro.workloads import modern_suite, polybench_suite
 
 
@@ -94,7 +99,12 @@ def run_served(server, client_streams, mix):
             entry = mix[name]
             begin = time.perf_counter()
             try:
-                response = client.predict(entry["source"], data=entry["data"])
+                # The typed Predictor path: codec-encoded PredictJob in,
+                # codec-decoded Prediction out — the same protocol the
+                # CLI's --remote mode speaks.
+                prediction = client.predict_job(
+                    PredictJob(source=entry["source"], data=entry["data"], label=name)
+                )
             except Exception as exc:  # noqa: BLE001 - recorded, fails the gate
                 with lock:
                     errors.append(f"{name}: {exc}")
@@ -102,9 +112,7 @@ def run_served(server, client_streams, mix):
             took = time.perf_counter() - begin
             with lock:
                 latencies.append(took)
-                responses[name] = {
-                    metric: value["value"] for metric, value in response.items()
-                }
+                responses[name] = prediction.as_dict()
 
     threads = [
         threading.Thread(target=client_loop, args=(stream,))
@@ -148,9 +156,11 @@ def main() -> int:
     direct_req_s = len(flat_stream) / direct_s
 
     # -- served ----------------------------------------------------------
-    engine = PredictionEngine.from_model(model)
+    # The served stack is built the way every frontend now builds it:
+    # a Session facade owning the warm engine and caches.
+    session = Session.from_model(model)
     server = PredictionServer(
-        engine,
+        session=session,
         port=0,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,

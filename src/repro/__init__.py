@@ -17,6 +17,9 @@ Public entry points:
 * :mod:`repro.eval` -- metrics, the train/eval harness and table renderers.
 * :mod:`repro.serve` -- the persistent prediction service: warm model
   registry, tiered caching, dynamic micro-batching, HTTP server/client.
+* :mod:`repro.api` -- the typed public facade every frontend routes
+  through: ``Session``, the ``Predictor`` protocol, frozen job/result
+  dataclasses and their versioned JSON codec.
 """
 
 from .errors import ReproError

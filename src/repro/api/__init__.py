@@ -1,0 +1,63 @@
+"""The public, typed prediction API — the single surface every
+frontend routes through.
+
+* :class:`Session` — the local facade: warm models, tiered caches,
+  prediction / profiling / exploration.
+* :class:`Predictor` — the protocol shared by :class:`Session` and the
+  remote :class:`~repro.serve.client.ServeClient`.
+* :mod:`~repro.api.types` — frozen request/result dataclasses.
+* :mod:`~repro.api.codec` — the versioned JSON wire format.
+
+Quickstart::
+
+    from repro.api import ExploreJob, PredictJob, Session
+
+    session = Session(models="model.npz")
+    prediction = session.predict_job(PredictJob(source=source, data={"n": 8}))
+    ranking = session.explore(ExploreJob(source=source, verify_top=3))
+"""
+
+from .codec import (
+    SCHEMA_VERSION,
+    CodecError,
+    dumps,
+    from_payload,
+    loads,
+    predict_jobs_from_jsonl,
+    read_program,
+    to_payload,
+)
+from .session import Predictor, Session
+from .types import (
+    DesignChoice,
+    ExploreJob,
+    ExploreReport,
+    MetricPrediction,
+    PredictJob,
+    Prediction,
+    ProfileJob,
+    ProfileReport,
+    prediction_from_cost,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CodecError",
+    "DesignChoice",
+    "ExploreJob",
+    "ExploreReport",
+    "MetricPrediction",
+    "PredictJob",
+    "Prediction",
+    "Predictor",
+    "ProfileJob",
+    "ProfileReport",
+    "Session",
+    "dumps",
+    "from_payload",
+    "loads",
+    "prediction_from_cost",
+    "predict_jobs_from_jsonl",
+    "read_program",
+    "to_payload",
+]

@@ -1,0 +1,420 @@
+"""Versioned JSON codec for the API dataclasses.
+
+One wire format shared by the CLI (``predict --jsonl``), the HTTP
+server and :class:`~repro.serve.client.ServeClient`: every payload is a
+JSON object carrying ``"schema"`` (the codec version) and ``"kind"``
+(the dataclass it encodes).  Decoding a payload with a missing or
+different schema version fails loudly with :class:`CodecError` instead
+of mis-parsing — wire mismatches between client and server versions
+surface as one-line errors, never as silently wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Optional, Type
+
+from ..errors import ReproError
+from ..hls import HardwareParams
+from .types import (
+    DesignChoice,
+    ExploreJob,
+    ExploreReport,
+    MetricPrediction,
+    PredictJob,
+    Prediction,
+    ProfileJob,
+    ProfileReport,
+)
+
+SCHEMA_VERSION = 1
+
+PARAM_FIELDS = (
+    "mem_read_delay",
+    "mem_write_delay",
+    "pe_count",
+    "memory_ports",
+    "clock_period_ns",
+)
+
+
+class CodecError(ReproError):
+    """Raised when a payload cannot be encoded or decoded."""
+
+
+# -- hardware params -------------------------------------------------------
+
+
+def params_to_payload(params: Optional[HardwareParams]) -> Optional[dict]:
+    if params is None:
+        return None
+    return {
+        "mem_read_delay": params.mem_read_delay,
+        "mem_write_delay": params.mem_write_delay,
+        "pe_count": params.pe_count,
+        "memory_ports": params.memory_ports,
+        "clock_period_ns": params.clock_period_ns,
+    }
+
+
+def params_from_payload(payload: Optional[dict]) -> Optional[HardwareParams]:
+    """Hardware params from a JSON object.  ``mem_delay`` is accepted as
+    shorthand that sets both read and write delay."""
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise CodecError(f"'params' must be an object, got {type(payload).__name__}")
+    payload = dict(payload)
+    kwargs: dict[str, Any] = {}
+    mem_delay = payload.pop("mem_delay", None)
+    if mem_delay is not None:
+        kwargs["mem_read_delay"] = int(mem_delay)
+        kwargs["mem_write_delay"] = int(mem_delay)
+    for name in PARAM_FIELDS:
+        if name in payload:
+            value = payload.pop(name)
+            kwargs[name] = float(value) if name == "clock_period_ns" else int(value)
+    if payload:
+        raise CodecError(f"unknown params fields: {sorted(payload)}")
+    try:
+        return HardwareParams(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"invalid params: {exc}") from None
+
+
+# -- per-type encoders/decoders --------------------------------------------
+
+
+def _require(payload: dict, name: str, types: tuple, kind: str):
+    value = payload.get(name)
+    if not isinstance(value, types) or isinstance(value, bool):
+        expected = "/".join(t.__name__ for t in types)
+        raise CodecError(
+            f"{kind} payload field {name!r} must be {expected}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _optional_data(payload: dict, kind: str) -> Optional[dict]:
+    data = payload.get("data")
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise CodecError(f"{kind} payload field 'data' must be an object")
+    return data
+
+
+def _encode_predict_job(job: PredictJob) -> dict:
+    return {
+        "program": job.source,
+        "data": dict(job.data) if job.data else None,
+        "params": params_to_payload(job.params),
+        "model": job.model,
+        "beam_width": job.beam_width,
+        "label": job.label,
+    }
+
+
+def _decode_predict_job(payload: dict) -> PredictJob:
+    return PredictJob(
+        source=_require(payload, "program", (str,), "predict_job"),
+        data=_optional_data(payload, "predict_job"),
+        params=params_from_payload(payload.get("params")),
+        model=payload.get("model"),
+        beam_width=payload.get("beam_width"),
+        label=str(payload.get("label") or ""),
+    )
+
+
+def _encode_profile_job(job: ProfileJob) -> dict:
+    return {
+        "program": job.source,
+        "data": dict(job.data) if job.data else None,
+        "params": params_to_payload(job.params),
+        "seed": job.seed,
+        "max_steps": job.max_steps,
+        "backend": job.backend,
+        "label": job.label,
+    }
+
+
+def _decode_profile_job(payload: dict) -> ProfileJob:
+    max_steps = payload.get("max_steps")
+    if max_steps is not None:
+        if isinstance(max_steps, bool) or not isinstance(max_steps, int):
+            raise CodecError(
+                "profile_job payload field 'max_steps' must be an integer, "
+                f"got {max_steps!r}"
+            )
+    return ProfileJob(
+        source=_require(payload, "program", (str,), "profile_job"),
+        data=_optional_data(payload, "profile_job"),
+        params=params_from_payload(payload.get("params")),
+        seed=int(payload.get("seed") or 0),
+        max_steps=max_steps,
+        backend=str(payload.get("backend") or "compiled"),
+        label=str(payload.get("label") or ""),
+    )
+
+
+def _encode_explore_job(job: ExploreJob) -> dict:
+    return {
+        "program": job.source,
+        "data": dict(job.data) if job.data else None,
+        "unroll_factors": list(job.unroll_factors),
+        "memory_delays": list(job.memory_delays),
+        "max_candidates": job.max_candidates,
+        "verify_top": job.verify_top,
+        "model": job.model,
+        "label": job.label,
+    }
+
+
+def _decode_explore_job(payload: dict) -> ExploreJob:
+    # Explicit None checks: an encoded empty sweep or zero budget must
+    # round-trip as-is, not silently decode to the defaults.
+    unroll = payload.get("unroll_factors")
+    delays = payload.get("memory_delays")
+    max_candidates = payload.get("max_candidates")
+    verify_top = payload.get("verify_top")
+    return ExploreJob(
+        source=_require(payload, "program", (str,), "explore_job"),
+        data=_optional_data(payload, "explore_job"),
+        unroll_factors=(1, 2, 4) if unroll is None else tuple(int(v) for v in unroll),
+        memory_delays=(10,) if delays is None else tuple(int(v) for v in delays),
+        max_candidates=16 if max_candidates is None else int(max_candidates),
+        verify_top=0 if verify_top is None else int(verify_top),
+        model=payload.get("model"),
+        label=str(payload.get("label") or ""),
+    )
+
+
+def _encode_prediction(prediction: Prediction) -> dict:
+    return {
+        "model": prediction.model,
+        "label": prediction.label,
+        "metrics": {
+            metric: {
+                "value": pred.value,
+                "confidence": pred.confidence,
+                "beam_values": list(pred.beam_values),
+            }
+            for metric, pred in prediction.metrics.items()
+        },
+    }
+
+
+def _decode_prediction(payload: dict) -> Prediction:
+    metrics_payload = _require(payload, "metrics", (dict,), "prediction")
+    metrics = {}
+    for metric, entry in metrics_payload.items():
+        if not isinstance(entry, dict) or "value" not in entry:
+            raise CodecError(f"prediction metric {metric!r} entry is malformed")
+        metrics[metric] = MetricPrediction(
+            value=int(entry["value"]),
+            confidence=float(entry.get("confidence", 0.0)),
+            beam_values=tuple(int(v) for v in entry.get("beam_values") or ()),
+        )
+    return Prediction(
+        metrics=metrics,
+        model=str(payload.get("model") or "default"),
+        label=str(payload.get("label") or ""),
+    )
+
+
+def _encode_profile_report(report: ProfileReport) -> dict:
+    return {
+        "costs": dict(report.costs),
+        "rtl_think": report.rtl_think,
+        "label": report.label,
+    }
+
+
+def _decode_profile_report(payload: dict) -> ProfileReport:
+    costs = _require(payload, "costs", (dict,), "profile_report")
+    return ProfileReport(
+        costs={str(k): int(v) for k, v in costs.items()},
+        rtl_think=str(payload.get("rtl_think") or ""),
+        label=str(payload.get("label") or ""),
+    )
+
+
+def _encode_explore_report(report: ExploreReport) -> dict:
+    return {
+        "model": report.model,
+        "cache_stats": dict(report.cache_stats),
+        "candidates": [
+            {
+                "design": choice.design,
+                "predicted": dict(choice.predicted),
+                "score": choice.score,
+                "actual": dict(choice.actual) if choice.actual is not None else None,
+            }
+            for choice in report.candidates
+        ],
+    }
+
+
+def _decode_explore_report(payload: dict) -> ExploreReport:
+    rows = _require(payload, "candidates", (list,), "explore_report")
+    candidates = []
+    for row in rows:
+        if not isinstance(row, dict) or "design" not in row:
+            raise CodecError("explore_report candidate entry is malformed")
+        actual = row.get("actual")
+        candidates.append(
+            DesignChoice(
+                design=str(row["design"]),
+                predicted={str(k): int(v) for k, v in (row.get("predicted") or {}).items()},
+                score=float(row.get("score") or 0.0),
+                actual={str(k): int(v) for k, v in actual.items()}
+                if isinstance(actual, dict)
+                else None,
+            )
+        )
+    return ExploreReport(
+        candidates=tuple(candidates),
+        model=str(payload.get("model") or "default"),
+        cache_stats=dict(payload.get("cache_stats") or {}),
+    )
+
+
+_CODECS: dict[str, tuple[Type, Any, Any]] = {
+    "predict_job": (PredictJob, _encode_predict_job, _decode_predict_job),
+    "profile_job": (ProfileJob, _encode_profile_job, _decode_profile_job),
+    "explore_job": (ExploreJob, _encode_explore_job, _decode_explore_job),
+    "prediction": (Prediction, _encode_prediction, _decode_prediction),
+    "profile_report": (ProfileReport, _encode_profile_report, _decode_profile_report),
+    "explore_report": (ExploreReport, _encode_explore_report, _decode_explore_report),
+}
+_KIND_OF: dict[Type, str] = {cls: kind for kind, (cls, _, _) in _CODECS.items()}
+
+
+# -- public surface --------------------------------------------------------
+
+
+def to_payload(obj: Any) -> dict:
+    """Encode an API dataclass into a versioned JSON-ready dict."""
+    kind = _KIND_OF.get(type(obj))
+    if kind is None:
+        raise CodecError(f"cannot encode {type(obj).__name__}; not an API type")
+    _, encode, _ = _CODECS[kind]
+    payload = {"schema": SCHEMA_VERSION, "kind": kind}
+    payload.update(encode(obj))
+    return payload
+
+
+def from_payload(payload: Any, expect: Optional[str] = None) -> Any:
+    """Decode a versioned payload back into its API dataclass.
+
+    ``expect`` (a kind name like ``"prediction"``) makes a wrong-kind
+    payload fail with a clear message instead of returning a surprise
+    type to the caller.
+    """
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"payload must be a JSON object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema is None:
+        raise CodecError(
+            "payload has no 'schema' field; refusing to guess the wire format"
+        )
+    if schema != SCHEMA_VERSION:
+        raise CodecError(
+            f"unsupported schema version {schema!r}; this build speaks "
+            f"version {SCHEMA_VERSION}"
+        )
+    kind = payload.get("kind")
+    if kind not in _CODECS:
+        raise CodecError(f"unknown payload kind {kind!r}")
+    if expect is not None and kind != expect:
+        raise CodecError(f"expected a {expect!r} payload, got {kind!r}")
+    _, _, decode = _CODECS[kind]
+    return decode(payload)
+
+
+def dumps(obj: Any) -> str:
+    return json.dumps(to_payload(obj))
+
+
+def loads(text: str) -> Any:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from None
+    return from_payload(payload)
+
+
+# -- job files -------------------------------------------------------------
+
+
+def read_program(path: str) -> str:
+    """Program source from *path* (``-`` reads stdin)."""
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise CodecError(f"cannot read program {path!r}: {reason}") from None
+
+
+def predict_jobs_from_jsonl(
+    path: str,
+    params: Optional[HardwareParams] = None,
+    model: Optional[str] = None,
+) -> list[PredictJob]:
+    """Parse a ``predict --jsonl`` job file.
+
+    Each line is a JSON object with ``"program"`` (a path) or
+    ``"source"`` (inline text), plus an optional ``"data"`` object.
+    *params*/*model* apply to every job.
+    """
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise CodecError(f"cannot read --jsonl {path!r}: {reason}") from None
+    jobs: list[PredictJob] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CodecError(f"{path}:{number}: invalid JSON: {exc}") from None
+        if not isinstance(record, dict) or not (
+            isinstance(record.get("program"), str)
+            or isinstance(record.get("source"), str)
+        ):
+            raise CodecError(
+                f"{path}:{number}: each line needs a 'program' path "
+                "or inline 'source'"
+            )
+        data = record.get("data") or {}
+        if not isinstance(data, dict):
+            raise CodecError(f"{path}:{number}: 'data' must be an object")
+        if isinstance(record.get("program"), str):
+            label = record["program"]
+            source = read_program(record["program"])
+        else:
+            label = f"{path}:{number}"
+            source = record["source"]
+        jobs.append(
+            PredictJob(
+                source=source,
+                data=data or None,
+                params=params,
+                model=model,
+                label=label,
+            )
+        )
+    if not jobs:
+        raise CodecError(f"no records in --jsonl {path!r}")
+    return jobs

@@ -1,0 +1,155 @@
+"""Typed request/result dataclasses of the public prediction API.
+
+Every frontend — CLI, HTTP server, :class:`~repro.serve.client.ServeClient`,
+evaluation harness — speaks these types.  Jobs describe *what* to
+compute at the source level (program text, runtime data, hardware
+parameters); results carry the computed values plus the provenance a
+caller needs to line answers up with requests (``label``, ``model``).
+
+All types are frozen: a job can be built once and submitted to any
+:class:`~repro.api.session.Predictor` (local or remote) without the
+backend mutating it, and results are safe to share across threads.
+The wire representation lives in :mod:`repro.api.codec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..hls import HardwareParams
+
+
+@dataclass(frozen=True)
+class PredictJob:
+    """One cost-prediction request.
+
+    ``model`` of ``None`` means the predictor's default model; ``label``
+    is echoed into the :class:`Prediction` so batched callers can match
+    answers to requests.
+    """
+
+    source: str
+    data: Optional[Mapping[str, Any]] = None
+    params: Optional[HardwareParams] = None
+    model: Optional[str] = None
+    beam_width: Optional[int] = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One ground-truth profiling request (the EDA substrate).
+
+    ``max_steps`` of ``None`` uses the profiler's own default budget;
+    ``seed`` feeds the deterministic runtime-input generator.
+    """
+
+    source: str
+    data: Optional[Mapping[str, Any]] = None
+    params: Optional[HardwareParams] = None
+    seed: int = 0
+    max_steps: Optional[int] = None
+    backend: str = "compiled"
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ExploreJob:
+    """One design-space exploration request: rank mapping candidates
+    (unroll × memory delay) with the cost model, optionally verifying
+    the ``verify_top`` finalists against the profiler."""
+
+    source: str
+    data: Optional[Mapping[str, Any]] = None
+    unroll_factors: tuple[int, ...] = (1, 2, 4)
+    memory_delays: tuple[int, ...] = (10,)
+    max_candidates: int = 16
+    verify_top: int = 0
+    model: Optional[str] = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class MetricPrediction:
+    """One metric's predicted value with confidence information."""
+
+    value: int
+    confidence: float
+    beam_values: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Per-metric predictions for one :class:`PredictJob`."""
+
+    metrics: Mapping[str, MetricPrediction] = field(default_factory=dict)
+    model: str = "default"
+    label: str = ""
+
+    def value(self, metric: str) -> int:
+        return self.metrics[metric].value
+
+    def confidence(self, metric: str) -> float:
+        return self.metrics[metric].confidence
+
+    def as_dict(self) -> dict[str, int]:
+        return {metric: pred.value for metric, pred in self.metrics.items()}
+
+    def cli_dict(self, ndigits: int = 3) -> dict:
+        """The CLI/JSONL output shape shared by local and remote paths."""
+        return {
+            metric: {
+                "value": pred.value,
+                "confidence": round(pred.confidence, ndigits),
+            }
+            for metric, pred in self.metrics.items()
+        }
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Ground-truth costs for one :class:`ProfileJob`.
+
+    ``rtl_think`` carries the static substrate's RTL feature text (the
+    ``profile --verbose`` output); empty when the producer skipped it.
+    """
+
+    costs: Mapping[str, int] = field(default_factory=dict)
+    rtl_think: str = ""
+    label: str = ""
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.costs)
+
+
+@dataclass(frozen=True)
+class DesignChoice:
+    """One ranked design-space candidate."""
+
+    design: str
+    predicted: Mapping[str, int] = field(default_factory=dict)
+    score: float = 0.0
+    actual: Optional[Mapping[str, int]] = None
+
+
+@dataclass(frozen=True)
+class ExploreReport:
+    """Ranked candidates (best first) for one :class:`ExploreJob`."""
+
+    candidates: tuple[DesignChoice, ...] = ()
+    model: str = "default"
+    cache_stats: Mapping[str, Any] = field(default_factory=dict)
+
+
+def prediction_from_cost(cost: Any, model: str = "default", label: str = "") -> Prediction:
+    """Lift a :class:`repro.core.CostPrediction` into the API type."""
+    metrics = {
+        metric: MetricPrediction(
+            value=int(pred.value),
+            confidence=float(pred.confidence),
+            beam_values=tuple(int(v) for v in pred.beam_values),
+        )
+        for metric, pred in cost.per_metric.items()
+    }
+    return Prediction(metrics=metrics, model=model, label=label)

@@ -70,18 +70,17 @@ def _params_from_args(args: argparse.Namespace) -> HardwareParams:
 
 
 def _read_program(path: str) -> str:
-    if path == "-":
-        return sys.stdin.read()
+    from .api import CodecError, read_program
+
     try:
-        with open(path) as handle:
-            return handle.read()
-    except OSError as exc:
-        reason = exc.strerror or exc
-        raise SystemExit(f"error: cannot read program {path!r}: {reason}") from None
+        return read_program(path)
+    except CodecError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    import numpy as np
+    from .api import ProfileJob, Session
+    from .errors import ReproError
 
     paths: list[str] = args.program
     data = _parse_data(args.data) or None
@@ -97,11 +96,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(report.table())
         print(json.dumps(report.totals.as_dict(), indent=2))
         return 0
-    profiler = Profiler(_params_from_args(args), backend=args.backend)
-    report = profiler.profile(source, data=data, rng=np.random.default_rng(args.seed))
-    print(json.dumps(report.costs.as_dict(), indent=2))
+    session = Session()
+    try:
+        report = session.profile(
+            ProfileJob(
+                source=source,
+                data=data,
+                params=_params_from_args(args),
+                seed=args.seed,
+                backend=args.backend,
+                label=paths[0],
+            )
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(json.dumps(report.as_dict(), indent=2))
     if args.verbose:
-        print(report.rtl.think_text(), file=sys.stderr)
+        print(report.rtl_think, file=sys.stderr)
     return 0
 
 
@@ -191,104 +202,23 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_jsonl_jobs(path: str) -> list[tuple[str, str, dict]]:
-    """Parse a ``predict --jsonl`` file into (label, source, data) jobs.
+def _build_predictor(args: argparse.Namespace):
+    """The :class:`repro.api.Predictor` the flags ask for: a remote
+    :class:`ServeClient` or a local :class:`Session` — the *only*
+    difference between ``predict`` and ``predict --remote``."""
+    if args.remote:
+        from .serve import ServeClient
 
-    Each line is a JSON object with ``"program"`` (a path) or
-    ``"source"`` (inline text), plus an optional ``"data"`` object.
-    """
-    jobs: list[tuple[str, str, dict]] = []
-    try:
-        with open(path) as handle:
-            lines = handle.readlines()
-    except OSError as exc:
-        reason = exc.strerror or exc
-        raise SystemExit(f"error: cannot read --jsonl {path!r}: {reason}") from None
-    for number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise SystemExit(
-                f"error: {path}:{number}: invalid JSON: {exc}"
-            ) from None
-        if not isinstance(record, dict) or not (
-            isinstance(record.get("program"), str)
-            or isinstance(record.get("source"), str)
-        ):
-            raise SystemExit(
-                f"error: {path}:{number}: each line needs a 'program' path "
-                "or inline 'source'"
-            )
-        data = record.get("data") or {}
-        if not isinstance(data, dict):
-            raise SystemExit(f"error: {path}:{number}: 'data' must be an object")
-        if isinstance(record.get("program"), str):
-            label = record["program"]
-            source = _read_program(record["program"])
-        else:
-            label = f"{path}:{number}"
-            source = record["source"]
-        jobs.append((label, source, data))
-    if not jobs:
-        raise SystemExit(f"error: no records in --jsonl {path!r}")
-    return jobs
+        return ServeClient(args.remote)
+    from .api import Session
 
-
-def _prediction_output(prediction) -> dict:
-    return {
-        metric: {"value": pred.value, "confidence": round(pred.confidence, 3)}
-        for metric, pred in prediction.per_metric.items()
-    }
-
-
-def _predict_remote(args: argparse.Namespace, jobs: list[tuple[str, str, dict]]):
-    """Route predictions through a running ``repro serve`` instance.
-
-    Jobs are sent concurrently so the server's micro-batcher can
-    coalesce them into batched encoder passes.
-    """
-    from concurrent.futures import ThreadPoolExecutor
-
-    from .errors import ServeError
-    from .serve import ServeClient
-
-    params = _params_from_args(args)
-    payload_params = {
-        "mem_read_delay": params.mem_read_delay,
-        "mem_write_delay": params.mem_write_delay,
-        "pe_count": params.pe_count,
-        "memory_ports": params.memory_ports,
-    }
-    try:
-        client = ServeClient(args.remote)
-
-        def one(job):
-            _, source, data = job
-            response = client.predict(
-                source, data=data or None, params=payload_params
-            )
-            # Same output contract as the local path: value + 3-decimal
-            # confidence per metric (the server payload carries more).
-            return {
-                metric: {
-                    "value": entry["value"],
-                    "confidence": round(float(entry["confidence"]), 3),
-                }
-                for metric, entry in response.items()
-            }
-
-        if len(jobs) == 1:
-            return [one(jobs[0])]
-        with ThreadPoolExecutor(max_workers=min(8, len(jobs))) as pool:
-            return list(pool.map(one, jobs))
-    except ServeError as exc:
-        raise SystemExit(f"error: {exc}") from None
+    return Session(models={"default": args.model}, tier=args.tier, seed=args.seed)
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    from .api import CodecError, PredictJob, predict_jobs_from_jsonl
+    from .errors import ReproError
+
     if args.program is None and not args.jsonl:
         raise SystemExit("error: predict needs a program path or --jsonl FILE")
     if args.program is not None and args.jsonl:
@@ -306,50 +236,36 @@ def cmd_predict(args: argparse.Namespace) -> int:
             "its own checkpoints; pass 'model' per request via the API)"
         )
 
+    params = _params_from_args(args)
     if args.jsonl:
-        jobs = _load_jsonl_jobs(args.jsonl)
+        try:
+            jobs = predict_jobs_from_jsonl(args.jsonl, params=params)
+        except CodecError as exc:
+            raise SystemExit(f"error: {exc}") from None
     else:
         base_data = _parse_data(args.data)
-        jobs = [(args.program, _read_program(args.program), base_data)]
-
-    if args.remote:
-        responses = _predict_remote(args, jobs)
-        rows = [
-            {"program": label, "predictions": response}
-            for (label, _, _), response in zip(jobs, responses)
-        ]
-    else:
-        from .core import (
-            CostModel,
-            LLMulatorConfig,
-            bundle_from_program,
-            class_i_segments,
-        )
-        from .nn import load_model
-
-        model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
-        try:
-            load_model(model, args.model)
-        except OSError as exc:
-            raise SystemExit(
-                f"error: cannot load model {args.model!r}: {exc}"
-            ) from None
-        params = _params_from_args(args)
-        bundles, segment_lists = [], []
-        for _, source, data in jobs:
-            bundles.append(
-                bundle_from_program(source, params=params, data=data or None)
+        jobs = [
+            PredictJob(
+                source=_read_program(args.program),
+                data=base_data or None,
+                params=params,
+                label=args.program,
             )
-            segment_lists.append(class_i_segments(source))
-        # One batched pass amortizes the (single) model load and the
-        # encoder across every record.
-        predictions = model.predict_costs_batch(
-            bundles, class_i_segments=segment_lists
-        )
-        rows = [
-            {"program": label, "predictions": _prediction_output(prediction)}
-            for (label, _, _), prediction in zip(jobs, predictions)
         ]
+
+    # One code path for local and remote: both predictors batch the
+    # jobs (one encoder pass locally; concurrent submissions feeding
+    # the server's micro-batcher remotely) and report failures as
+    # one-line ReproErrors, so the two modes exit identically on the
+    # same failure.
+    try:
+        predictions = _build_predictor(args).predict_jobs(jobs)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    rows = [
+        {"program": job.label, "predictions": prediction.cli_dict()}
+        for job, prediction in zip(jobs, predictions)
+    ]
     if args.jsonl:
         print(json.dumps(rows, indent=2))
     else:
@@ -358,44 +274,36 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import ModelRegistry, PredictionEngine, PredictionServer
+    from .api import Session
+    from .errors import ServeError
+    from .serve import PredictionServer
 
-    registry = ModelRegistry()
-    default_name = None
+    models: dict[str, str] = {}
     for spec in args.model:
         name, sep, path = spec.partition("=")
         if not sep:
             name, path = "default", spec
-        if name in registry.names():
+        if name in models:
             raise SystemExit(
                 f"error: duplicate model name {name!r}; use NAME=PATH to "
                 "serve several checkpoints"
             )
-        registry.register(
-            name,
-            path=path,
-            tier=args.tier,
-            seed=args.seed,
-            max_seq_len=args.max_seq_len,
-        )
-        default_name = default_name or name
-    engine = PredictionEngine(registry)
-    from .errors import ServeError
-
+        models[name] = path
+    session = Session(
+        models=models, tier=args.tier, seed=args.seed, max_seq_len=args.max_seq_len
+    )
     try:
-        for name in registry.names():
-            registry.get(name)  # eager load + warm-up: fail before binding
+        for name in session.load_models():  # eager load: fail before binding
             print(f"loaded model {name!r}", file=sys.stderr)
     except ServeError as exc:
         raise SystemExit(f"error: {exc}") from None
     try:
         server = PredictionServer(
-            engine,
+            session=session,
             host=args.host,
             port=args.port,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
-            default_model=default_name or "default",
             verbose=args.verbose,
         )
     except OSError as exc:
@@ -403,7 +311,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: cannot bind {args.host}:{args.port}: {reason}"
         ) from None
-    print(f"serving on {server.url} (models: {', '.join(registry.names())})",
+    print(f"serving on {server.url} (models: {', '.join(session.models())})",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -458,35 +366,37 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    from .core import CostModel, DesignSpaceExplorer, LLMulatorConfig
-    from .nn import load_model
+    from .api import ExploreJob, Session
+    from .errors import ReproError
 
     source = _read_program(args.program)
-    model = CostModel(LLMulatorConfig(tier=args.tier, seed=args.seed))
-    try:
-        load_model(model, args.model)
-    except OSError as exc:
-        raise SystemExit(f"error: cannot load model {args.model!r}: {exc}") from None
-    explorer = DesignSpaceExplorer(model)
-    data = _parse_data(args.data) or None
-    points = explorer.explore(
-        source,
-        data=data,
-        unroll_factors=tuple(args.unroll),
-        memory_delays=tuple(args.mem_delays),
-        max_candidates=args.max_candidates,
+    session = Session(
+        models={"default": args.model}, tier=args.tier, seed=args.seed
     )
-    explorer.verify_top(points, top_k=args.verify_top, data=data)
+    try:
+        report = session.explore(
+            ExploreJob(
+                source=source,
+                data=_parse_data(args.data) or None,
+                unroll_factors=tuple(args.unroll),
+                memory_delays=tuple(args.mem_delays),
+                max_candidates=args.max_candidates,
+                verify_top=args.verify_top,
+                label=args.program,
+            )
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
     print(f"{'rank':>4s}  {'design':30s} {'pred cycles':>11s} {'pred area':>10s} {'actual cycles':>13s}")
-    for rank, point in enumerate(points, start=1):
-        actual = str(point.actual["cycles"]) if point.actual else "-"
+    for rank, choice in enumerate(report.candidates, start=1):
+        actual = str(choice.actual["cycles"]) if choice.actual else "-"
         print(
-            f"{rank:4d}  {point.describe():30s} "
-            f"{point.predicted['cycles']:11d} {point.predicted['area']:10d} {actual:>13s}"
+            f"{rank:4d}  {choice.design:30s} "
+            f"{choice.predicted['cycles']:11d} {choice.predicted['area']:10d} {actual:>13s}"
         )
     if args.verbose:
         print(
-            "predictor cache: " + json.dumps(explorer.predictor.stats_dict()),
+            "predictor cache: " + json.dumps(dict(report.cache_stats)),
             file=sys.stderr,
         )
     return 0

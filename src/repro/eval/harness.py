@@ -477,13 +477,20 @@ class EvaluationHarness:
         metrics: tuple[str, ...] = tuple(METRICS),
         params_for: Optional[dict[str, HardwareParams]] = None,
         engine: Optional["Any"] = None,
+        session: Optional["Any"] = None,
     ) -> EvalResult:
         """Score every available model on every workload.
 
-        With ``engine`` (a :class:`repro.serve.PredictionEngine`), the
-        cost-model predictions route through the shared warm engine —
-        zoo members are adopted into its registry and repeated
-        evaluations hit its tiered caches instead of re-encoding."""
+        With ``session`` (a :class:`repro.api.Session`), the cost-model
+        predictions route through the shared warm serving stack — zoo
+        members are adopted into its registry and repeated evaluations
+        hit its tiered caches instead of re-encoding.  ``engine`` (a
+        :class:`repro.serve.PredictionEngine`) is the older spelling of
+        the same routing and is wrapped in a session."""
+        if session is None and engine is not None:
+            from ..api.session import Session
+
+            session = Session(engine=engine)
         result = EvalResult()
         workloads = list(workloads)
         truths = {}
@@ -502,7 +509,7 @@ class EvaluationHarness:
                 # the whole corpus (paper §5.3's serving shape).
                 self._predict_all_batched(
                     model_name, model, workloads, params_for, metrics, rows,
-                    engine=engine,
+                    session=session,
                 )
             else:
                 for workload in workloads:
@@ -527,10 +534,10 @@ class EvaluationHarness:
         params_for: Optional[dict[str, HardwareParams]],
         metrics: tuple[str, ...],
         rows: dict[str, WorkloadResult],
-        engine: Optional["Any"] = None,
+        session: Optional["Any"] = None,
     ) -> None:
         """Score every workload with one ``predict_costs_batch`` call
-        (or through a shared :class:`repro.serve.PredictionEngine`)."""
+        (or through a shared :class:`repro.api.Session`)."""
         bundles = []
         segment_lists = []
         # Timer covers bundle construction too, so latency_s stays
@@ -549,22 +556,26 @@ class EvaluationHarness:
                 )
             )
             segment_lists.append(list(workload.class_i))
-        if engine is not None:
-            engine.adopt(model_name, model)
-            costs_list = engine.predict_bundles(
+        if session is not None:
+            # The typed-facade route: adopt the zoo member into the
+            # session's warm registry and consume api Predictions.
+            session.adopt(model_name, model)
+            predictions = session.predict_bundles(
                 bundles, segment_lists, model=model_name, beam_width=5
             )
+            metric_rows = [prediction.metrics for prediction in predictions]
         else:
             costs_list = model.predict_costs_batch(
                 bundles, class_i_segments=segment_lists, beam_width=5
             )
+            metric_rows = [costs.per_metric for costs in costs_list]
         per_workload_s = (time.perf_counter() - start) / max(1, len(workloads))
-        for workload, costs in zip(workloads, costs_list):
+        for workload, per_metric in zip(workloads, metric_rows):
             row = rows[workload.name]
-            for metric, pred in costs.per_metric.items():
+            for metric, pred in per_metric.items():
                 row.confidences[metric] = pred.confidence
                 row.beam_values[metric] = list(pred.beam_values)
-            row.predictions = {m: costs.value(m) for m in metrics}
+            row.predictions = {m: per_metric[m].value for m in metrics}
             row.latency_s = per_workload_s
 
     def _predict_all(

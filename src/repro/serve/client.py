@@ -3,6 +3,12 @@
 Pure stdlib (``urllib``); every failure — unreachable host, non-2xx
 status, malformed body — surfaces as :class:`ServeError` with a
 one-line message, so CLI callers can exit cleanly.
+
+The client implements the :class:`repro.api.Predictor` protocol
+(:meth:`predict_job` / :meth:`predict_jobs` over the versioned codec),
+so callers written against the protocol swap between a local
+:class:`repro.api.Session` and this remote client with a constructor
+change.
 """
 
 from __future__ import annotations
@@ -10,9 +16,12 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..errors import ServeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..api.types import PredictJob, Prediction
 
 
 class ServeClient:
@@ -59,6 +68,29 @@ class ServeClient:
         if not isinstance(parsed, dict):
             raise ServeError(f"{url} returned a non-object JSON body")
         return parsed
+
+    # -- typed Predictor protocol ----------------------------------------
+
+    def predict_job(self, job: "PredictJob") -> "Prediction":
+        """Answer one typed job (the :class:`repro.api.Predictor` path)."""
+        from ..api.codec import from_payload, to_payload
+
+        payload = self._request("/predict", to_payload(job))
+        return from_payload(payload, expect="prediction")
+
+    def predict_jobs(self, jobs: Sequence["PredictJob"]) -> list["Prediction"]:
+        """Answer several jobs, preserving order.
+
+        Jobs are sent concurrently so the server's micro-batcher can
+        coalesce them into batched encoder passes.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        jobs = list(jobs)
+        if len(jobs) <= 1:
+            return [self.predict_job(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=min(8, len(jobs))) as pool:
+            return list(pool.map(self.predict_job, jobs))
 
     # -- API -------------------------------------------------------------
 

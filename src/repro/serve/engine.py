@@ -168,8 +168,13 @@ class PredictionEngine:
         max_encoding_entries: int = 2048,
         static_cache: Optional[StaticProfileCache] = None,
     ) -> None:
-        self.registry = registry or ModelRegistry()
-        self.static_cache = static_cache or StaticProfileCache()
+        self.registry = registry if registry is not None else ModelRegistry()
+        # Explicit None check: an empty StaticProfileCache is falsy, so
+        # `static_cache or ...` would silently discard an injected
+        # (shared) empty cache and break cross-component cache sharing.
+        self.static_cache = (
+            static_cache if static_cache is not None else StaticProfileCache()
+        )
         self.stats = EngineStats()
         self.max_result_entries = max_result_entries
         self.max_encoding_entries = max_encoding_entries

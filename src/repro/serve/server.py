@@ -1,14 +1,24 @@
-"""Stdlib HTTP front end for the prediction engine.
+"""Stdlib HTTP front end for the prediction service.
 
 ``ThreadingHTTPServer`` gives one handler thread per connection; every
 ``/predict`` handler submits its prepared request to the shared
 :class:`MicroBatcher` and blocks on the future, so concurrent callers
 are transparently coalesced into batched encoder passes.
 
+The handlers are thin adapters over a :class:`repro.api.Session`: each
+one decodes the request body into an API job dataclass, lets the
+session compute, and encodes the result back.  Two body formats are
+accepted on every POST route:
+
+* **versioned** — a :mod:`repro.api.codec` payload (has ``"schema"``);
+  the response is the codec encoding of the result dataclass.  This is
+  what :meth:`ServeClient.predict_job` speaks.
+* **legacy** — the bare field layout (``{"program": ..., "data": ...,
+  "params": ..., ...}``); the response keeps the original layout.
+
 Endpoints (JSON in / JSON out):
 
-* ``POST /predict`` — ``{"program": source, "data": {...}, "params":
-  {...}, "model": name, "beam_width": k}`` → per-metric predictions.
+* ``POST /predict`` — per-metric predictions.
 * ``POST /profile`` — ground-truth costs through the shared
   static-profile cache.
 * ``POST /explore`` — rank mapping candidates with the warm model.
@@ -18,11 +28,12 @@ Endpoints (JSON in / JSON out):
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core import CostPrediction
 from ..errors import ReproError, ServeError
@@ -30,31 +41,16 @@ from ..hls import HardwareParams
 from .batching import MicroBatcher
 from .engine import PredictionEngine
 
-_PARAM_FIELDS = (
-    "mem_read_delay",
-    "mem_write_delay",
-    "pe_count",
-    "memory_ports",
-    "clock_period_ns",
-)
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..api.session import Session
 
 
 def params_from_payload(payload: Optional[dict]) -> HardwareParams:
     """Hardware params from a JSON object (``mem_delay`` sets both
-    read and write delay)."""
-    payload = dict(payload or {})
-    kwargs: dict[str, Any] = {}
-    mem_delay = payload.pop("mem_delay", None)
-    if mem_delay is not None:
-        kwargs["mem_read_delay"] = int(mem_delay)
-        kwargs["mem_write_delay"] = int(mem_delay)
-    for name in _PARAM_FIELDS:
-        if name in payload:
-            value = payload.pop(name)
-            kwargs[name] = float(value) if name == "clock_period_ns" else int(value)
-    if payload:
-        raise ServeError(f"unknown params fields: {sorted(payload)}")
-    return HardwareParams(**kwargs)
+    read and write delay).  Thin wrapper over the shared codec."""
+    from ..api.codec import params_from_payload as decode_params
+
+    return decode_params(dict(payload or {}))
 
 
 def prediction_payload(prediction: CostPrediction) -> dict:
@@ -142,33 +138,47 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class PredictionServer:
-    """The persistent service: engine + micro-batcher + HTTP listener."""
+    """The persistent service: session + micro-batcher + HTTP listener."""
 
     class _Http(ThreadingHTTPServer):
         owner: "PredictionServer"
 
     def __init__(
         self,
-        engine: PredictionEngine,
+        engine: Optional[PredictionEngine] = None,
         host: str = "127.0.0.1",
         port: int = 8173,
         max_batch: int = 8,
         max_wait_ms: float = 10.0,
-        default_model: str = "default",
+        default_model: Optional[str] = None,
         request_timeout_s: float = 120.0,
         verbose: bool = False,
+        session: Optional["Session"] = None,
     ) -> None:
-        self.engine = engine
-        self.default_model = default_model
+        from ..api.session import Session
+
+        if session is None:
+            if engine is None:
+                raise ServeError("PredictionServer needs a session or an engine")
+            # Engine-only construction keeps the historical contract:
+            # requests without "model" go to the checkpoint named
+            # "default" (and 400 if none exists), never to an arbitrary
+            # sort-order pick from a multi-model registry.
+            session = Session(engine=engine, default_model=default_model or "default")
+        elif engine is not None and engine is not session.engine:
+            raise ServeError("pass either a session or an engine, not both")
+        self.session = session
+        self.engine = session.engine
+        self.default_model = default_model or session.default_model
         self.request_timeout_s = request_timeout_s
         self.verbose = verbose
         self.started_at = time.monotonic()
         self.batcher = MicroBatcher(
-            engine.predict_requests,
+            self.engine.predict_requests,
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             length_of=self._request_length,
-            score_budget=self._score_budget(engine, default_model),
+            score_budget=self._score_budget(self.engine, self.default_model),
         )
         self._http = self._Http((host, port), _Handler)
         self._http.owner = self
@@ -200,65 +210,113 @@ class PredictionServer:
 
     # -- request handling (called from handler threads) ------------------
 
-    def handle_predict(self, payload: dict) -> dict:
+    @staticmethod
+    def _checked_source(payload: dict) -> str:
         source = payload.get("program")
         if not isinstance(source, str) or not source.strip():
             raise ServeError("'program' must be non-empty program source text")
-        request = self.engine.build_request(
-            source,
-            data=payload.get("data") or None,
-            params=params_from_payload(payload.get("params")),
-            model=payload.get("model") or self.default_model,
-            beam_width=payload.get("beam_width"),
+        return source
+
+    def _decode_job(self, payload: dict, kind: str, legacy) -> tuple:
+        """One POST body → API job step for every route: versioned codec
+        payloads (carrying ``"schema"``) decode through the codec, bare
+        legacy layouts through *legacy*.  Returns ``(job, versioned)``."""
+        from ..api.codec import from_payload
+
+        if "schema" in payload:
+            job = from_payload(payload, expect=kind)
+            if not job.source.strip():
+                raise ServeError("'program' must be non-empty program source text")
+            return job, True
+        return legacy(payload), False
+
+    def handle_predict(self, payload: dict) -> dict:
+        from ..api.codec import to_payload
+        from ..api.types import PredictJob, prediction_from_cost
+
+        job, versioned = self._decode_job(
+            payload,
+            "predict_job",
+            lambda p: PredictJob(
+                source=self._checked_source(p),
+                data=p.get("data") or None,
+                params=params_from_payload(p.get("params")),
+                model=p.get("model"),
+                beam_width=p.get("beam_width"),
+            ),
         )
+        request = self.engine.build_request(
+            job.source,
+            data=dict(job.data) if job.data else None,
+            params=job.params,
+            model=job.model or self.default_model,
+            beam_width=job.beam_width,
+        )
+        # The one server-specific step: route through the shared
+        # micro-batcher so concurrent handler threads coalesce into
+        # batched encoder passes.
         future = self.batcher.submit(request)
         prediction = future.result(timeout=self.request_timeout_s)
+        if versioned:
+            return to_payload(
+                prediction_from_cost(prediction, model=request.model, label=job.label)
+            )
         return {"model": request.model, "predictions": prediction_payload(prediction)}
 
     def handle_profile(self, payload: dict) -> dict:
-        source = payload.get("program")
-        if not isinstance(source, str) or not source.strip():
-            raise ServeError("'program' must be non-empty program source text")
-        costs = self.engine.profile(
-            source,
-            data=payload.get("data") or None,
-            params=params_from_payload(payload.get("params")),
+        from ..api.codec import to_payload
+        from ..api.types import ProfileJob
+
+        job, versioned = self._decode_job(
+            payload,
+            "profile_job",
+            lambda p: ProfileJob(
+                source=self._checked_source(p),
+                data=p.get("data") or None,
+                params=params_from_payload(p.get("params")),
+            ),
         )
-        return {"costs": costs}
+        # Server policy: the per-request simulation budget is a hard
+        # ceiling — client-supplied values may only lower it.
+        budget = 2_000_000
+        if job.max_steps is not None:
+            budget = min(job.max_steps, budget)
+        job = dataclasses.replace(job, max_steps=budget)
+        report = self.session.profile(job)
+        if versioned:
+            return to_payload(report)
+        return {"costs": report.as_dict()}
 
     def handle_explore(self, payload: dict) -> dict:
-        source = payload.get("program")
-        if not isinstance(source, str) or not source.strip():
-            raise ServeError("'program' must be non-empty program source text")
-        model = payload.get("model") or self.default_model
-        explorer = self.engine.explorer_for(model)
-        # Handler threads must not drive the shared model concurrently
-        # with the micro-batcher worker (see PredictionEngine.lock).
-        with self.engine.lock:
-            points = explorer.explore(
-                source,
-                data=payload.get("data") or None,
-                unroll_factors=tuple(payload.get("unroll") or (1, 2, 4)),
-                memory_delays=tuple(payload.get("mem_delays") or (10,)),
-                max_candidates=int(payload.get("max_candidates") or 16),
-            )
-        verify_top = int(payload.get("verify_top") or 0)
-        if verify_top:
-            explorer.verify_top(
-                points, top_k=verify_top, data=payload.get("data") or None
-            )
+        from ..api.codec import to_payload
+        from ..api.types import ExploreJob
+
+        job, versioned = self._decode_job(
+            payload,
+            "explore_job",
+            lambda p: ExploreJob(
+                source=self._checked_source(p),
+                data=p.get("data") or None,
+                unroll_factors=tuple(p.get("unroll") or (1, 2, 4)),
+                memory_delays=tuple(p.get("mem_delays") or (10,)),
+                max_candidates=int(p.get("max_candidates") or 16),
+                verify_top=int(p.get("verify_top") or 0),
+                model=p.get("model"),
+            ),
+        )
+        # Resolve the default against the *server's* routing default,
+        # matching /predict (the session may have a different one).
+        job = dataclasses.replace(job, model=job.model or self.default_model)
+        report = self.session.explore(job)
+        # Both response shapes come from the one codec encoding, so the
+        # candidate row layout cannot drift between them.
+        encoded = to_payload(report)
+        if versioned:
+            return encoded
         return {
-            "model": model,
-            "candidates": [
-                {
-                    "design": point.describe(),
-                    "predicted": point.predicted,
-                    "score": point.score,
-                    "actual": point.actual,
-                }
-                for point in points
-            ],
-            "cache": explorer.predictor.stats_dict(),
+            "model": encoded["model"],
+            "candidates": encoded["candidates"],
+            "cache": encoded["cache_stats"],
         }
 
     # -- lifecycle -------------------------------------------------------
