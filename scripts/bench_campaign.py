@@ -1,0 +1,259 @@
+"""Campaign bench: kill/resume journal parity + model-guided acceleration.
+
+Exercises the two contracts the campaign subsystem exists for:
+
+* **Resume parity** — an uninterrupted ``campaign run`` and a run that
+  is stopped mid-flight (fresh-evaluation cap, the programmatic stand-in
+  for SIGKILL) with a simulated mid-write partial record appended, then
+  resumed, must produce **byte-identical** journals.  This is the hard
+  gate: if it fails, the checkpoint machinery is broken and no number
+  below is reported.
+* **Acceleration** — the paper's motivating metric: after adapting the
+  cost model on half of each cell's candidate space (the designs a DSE
+  tool has already paid to profile, mirroring ``benchmarks/
+  test_dse_search_efficiency.py``), model-guided search must reach the
+  seeded random baseline's best true objective with **fewer** fresh
+  ground-truth evaluations (summed across cells; gated in full mode,
+  reported in ``--smoke``).
+
+Also reported: replay throughput (a completed journal re-run end to end
+with zero profiling — what ``campaign report`` and warm-restart cost),
+per-strategy hypervolume, and shared static-cache hit rates.  Results
+land in ``BENCH_campaign.json`` at the repo root so CI tracks the
+trajectory.
+
+Run:  PYTHONPATH=src python scripts/bench_campaign.py [--smoke]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import Session
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    WorkloadSpec,
+    enumerate_cell_candidates,
+)
+from repro.core import (
+    CostModel,
+    LLMulatorConfig,
+    TrainingConfig,
+    TrainingExample,
+    bundle_from_program,
+    evaluate_point,
+    train_cost_model,
+)
+from repro.errors import CampaignInterrupted
+from repro.lang import parse
+
+
+def build_spec(smoke: bool) -> CampaignSpec:
+    if smoke:
+        return CampaignSpec(
+            name="bench-campaign-smoke",
+            workloads=(WorkloadSpec(name="2mm"),),
+            strategies=("random", "model_guided", "annealing"),
+            objectives=("energy_delay",),
+            budget=6,
+            unroll_factors=(1, 2, 4),
+            static_source="asicflow",
+        )
+    return CampaignSpec(
+        name="bench-campaign",
+        workloads=(WorkloadSpec(name="2mm"), WorkloadSpec(name="3mm")),
+        strategies=("random", "model_guided", "evolutionary", "annealing"),
+        objectives=("energy_delay", "area_delay"),
+        budget=10,
+        unroll_factors=(1, 2, 4, 8),
+        max_candidates=64,
+        static_source="asicflow",
+    )
+
+
+def adapt_model(spec: CampaignSpec, epochs: int) -> tuple[CostModel, int]:
+    """Static-stage adaptation on half of each cell's candidate space —
+    the profiled designs an exploration tool already owns."""
+    model = CostModel(LLMulatorConfig(tier="0.5B", seed=0))
+    examples = []
+    for workload in spec.workloads:
+        source, data = workload.resolve()
+        program = parse(source)
+        for params in spec.hardware:
+            candidates = enumerate_cell_candidates(
+                program, params, spec.unroll_factors, spec.max_candidates
+            )
+            for point in candidates[::2]:
+                actual = evaluate_point(point, data=data or None)
+                examples.append(
+                    TrainingExample(
+                        bundle=bundle_from_program(
+                            point.program, params=params, data=data or None
+                        ),
+                        targets=actual,
+                    )
+                )
+    train_cost_model(
+        model, examples, TrainingConfig(epochs=epochs, lr=3e-3, seed=0)
+    )
+    return model, len(examples)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI (acceleration reported, not gated)")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="adaptation epochs (default 8, smoke 3)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_campaign.json"))
+    args = parser.parse_args()
+
+    spec = build_spec(args.smoke)
+    epochs = args.epochs if args.epochs is not None else (3 if args.smoke else 8)
+
+    print(f"adapting 0.5B model on half the candidate space ({epochs} epochs)",
+          flush=True)
+    start = time.perf_counter()
+    model, n_examples = adapt_model(spec, epochs)
+    adapt_s = time.perf_counter() - start
+    print(f"adapted on {n_examples} profiled designs in {adapt_s:.1f}s", flush=True)
+
+    workdir = tempfile.mkdtemp(prefix="bench_campaign_")
+    journal_a = os.path.join(workdir, "uninterrupted.jsonl")
+    journal_b = os.path.join(workdir, "killed_and_resumed.jsonl")
+
+    def runner(journal_path):
+        # A fresh Session per run: resume must not depend on warm
+        # prediction caches carried over from the uninterrupted run.
+        return CampaignRunner(
+            spec, journal_path, predictor=Session.from_model(model)
+        )
+
+    # -- uninterrupted run ------------------------------------------------
+    start = time.perf_counter()
+    result = runner(journal_a).run()
+    fresh_s = time.perf_counter() - start
+    print(f"uninterrupted: {result.evaluated} evaluations in {fresh_s:.1f}s",
+          flush=True)
+
+    # -- killed run + resume ---------------------------------------------
+    cap = max(1, result.evaluated // 2)
+    try:
+        runner(journal_b).run(max_evaluations=cap)
+        raise SystemExit("bench error: expected the capped run to be interrupted")
+    except CampaignInterrupted:
+        pass
+    with open(journal_b, "ab") as handle:
+        handle.write(b'{"actual":{"cycles":12')  # the record in flight at kill
+    start = time.perf_counter()
+    resumed = runner(journal_b).run(resume=True)
+    resume_s = time.perf_counter() - start
+    with open(journal_a, "rb") as handle:
+        bytes_a = handle.read()
+    with open(journal_b, "rb") as handle:
+        bytes_b = handle.read()
+    parity = bytes_a == bytes_b
+    print(f"killed at {cap} evaluations; resume added {resumed.evaluated} "
+          f"fresh + {resumed.replayed} replayed in {resume_s:.1f}s; "
+          f"journal parity: {parity}", flush=True)
+    if not parity:
+        raise SystemExit(
+            "PARITY FAILURE: resumed journal differs from the uninterrupted "
+            "run; refusing to report benchmark numbers"
+        )
+
+    # -- pure replay (campaign report / warm restart cost) ----------------
+    start = time.perf_counter()
+    replay = runner(journal_a).run(resume=True)
+    replay_s = time.perf_counter() - start
+    assert replay.evaluated == 0 and replay.replayed == result.evaluated
+
+    # -- acceleration ------------------------------------------------------
+    report = CampaignReport.from_journal(journal_a, spec)
+    guided_total = 0
+    random_total = 0
+    rows = []
+    reached_everywhere = True
+    for row in report.comparisons:
+        guided = row.evaluations.get("model_guided")
+        random_evals = row.evaluations.get("random")
+        rows.append(
+            {
+                "workload": row.workload,
+                "objective": row.objective,
+                "random_best": row.target,
+                "random_evals": random_evals,
+                "model_guided_evals": guided,
+                "final_best": {k: v for k, v in row.final_best.items()},
+            }
+        )
+        if guided is None or random_evals is None:
+            reached_everywhere = False
+            continue
+        guided_total += guided
+        random_total += random_evals
+    accelerated = reached_everywhere and guided_total < random_total
+    print(f"acceleration: model-guided reached every random best in "
+          f"{guided_total} evaluations vs random's {random_total} "
+          f"(reached everywhere: {reached_everywhere})", flush=True)
+    if not args.smoke and not accelerated:
+        raise SystemExit(
+            "ACCELERATION FAILURE: model-guided search did not reach the "
+            "random baseline's best objective with fewer ground-truth "
+            f"evaluations ({guided_total} vs {random_total})"
+        )
+
+    payload = {
+        "campaign": spec.name,
+        "mode": "smoke" if args.smoke else "full",
+        "cells": spec.cell_count,
+        "budget": spec.budget,
+        "adaptation_examples": n_examples,
+        "adaptation_epochs": epochs,
+        "adaptation_s": round(adapt_s, 2),
+        "evaluations": result.evaluated,
+        "fresh_run_s": round(fresh_s, 2),
+        "resume_fresh_evals": resumed.evaluated,
+        "resume_replayed_evals": resumed.replayed,
+        "resume_s": round(resume_s, 2),
+        "replay_s": round(replay_s, 2),
+        "replay_speedup": round(fresh_s / replay_s, 2) if replay_s else None,
+        "journal_parity": parity,
+        "acceleration": {
+            "gated": not args.smoke,
+            "model_guided_evals_total": guided_total,
+            "random_evals_total": random_total,
+            "reached_everywhere": reached_everywhere,
+            "accelerated": accelerated,
+            "per_cell": rows,
+        },
+        "hypervolume_by_strategy": {
+            strategy: round(
+                sum(
+                    cell.hypervolume
+                    for cell in report.cells
+                    if cell.cell.strategy == strategy
+                ),
+                2,
+            )
+            for strategy in spec.strategies
+        },
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Resumable multi-objective search campaigns (workloads × hardware ×
+strategies × objectives) over the prediction stack.
+
+The campaign subsystem scales a single ``explore`` invocation into a
+repeatable grid sweep: a frozen :class:`CampaignSpec` declares the
+grid, a :class:`CampaignRunner` executes it through any
+:class:`repro.api.Predictor` (local session or remote service) while
+journaling every ground-truth evaluation, and a
+:class:`CampaignReport` derives traces, Pareto fronts, hypervolume and
+the paper's acceleration metric from the journal alone.
+"""
+
+from .journal import CampaignJournal
+from .objectives import (
+    OBJECTIVES,
+    Objective,
+    exact_static_costs,
+    get_objective,
+    objective_names,
+)
+from .report import CampaignReport, CellReport, ComparisonRow
+from .runner import (
+    CampaignCell,
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    build_cells,
+    design_key,
+    design_label,
+    enumerate_cell_candidates,
+)
+from .spec import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignSpec,
+    WorkloadSpec,
+    load_spec,
+    save_spec,
+    spec_digest,
+    spec_from_payload,
+    spec_to_payload,
+)
+from .strategies import STRATEGY_NAMES, get_strategy, needs_model
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignCell",
+    "CampaignJournal",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellReport",
+    "CellResult",
+    "ComparisonRow",
+    "OBJECTIVES",
+    "Objective",
+    "STRATEGY_NAMES",
+    "WorkloadSpec",
+    "build_cells",
+    "design_key",
+    "design_label",
+    "enumerate_cell_candidates",
+    "exact_static_costs",
+    "get_objective",
+    "load_spec",
+    "needs_model",
+    "objective_names",
+    "save_spec",
+    "spec_digest",
+    "spec_from_payload",
+    "spec_to_payload",
+]

@@ -1,0 +1,232 @@
+"""Append-only JSONL checkpoint of a campaign's ground-truth evaluations.
+
+Every expensive evaluation (synthesis + simulation of one design) is
+journaled the moment it completes, so a killed campaign loses at most
+the evaluation in flight.  ``resume`` replays the journal: because the
+runner is deterministic under the spec seed, the resumed run asks for
+exactly the evaluations the journal holds, in the same order — replay
+answers them for free and the run continues appending where the journal
+stops.  An uninterrupted run and a kill/resume run therefore produce
+**byte-identical** journals (the parity gate in
+``scripts/bench_campaign.py``).
+
+Line format (compact, sorted keys, no timestamps — determinism is the
+whole point):
+
+* header — ``{"campaign": name, "kind": "header", "schema": 1,
+  "spec_digest": md5-of-spec-payload}``
+* eval   — ``{"actual": {...}, "cell": cell-id, "design": design-key,
+  "kind": "eval"}``
+
+A truncated trailing line (the record being written when the process
+died) is detected on resume and dropped before appending continues.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Optional, TextIO
+
+from ..errors import CampaignError
+from .spec import CAMPAIGN_SCHEMA_VERSION, CampaignSpec, spec_digest
+
+__all__ = ["CampaignJournal"]
+
+
+def _dump_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _checked_eval(record: dict, path: str, number: int) -> dict:
+    """An eval record with its required fields verified — corrupt or
+    hand-edited journals must fail with the module's one-line
+    CampaignError, never a raw KeyError deep in replay/reporting."""
+    if (
+        not isinstance(record.get("cell"), str)
+        or not isinstance(record.get("design"), str)
+        or not isinstance(record.get("actual"), dict)
+    ):
+        raise CampaignError(
+            f"{path}:{number}: malformed eval record (needs string 'cell' "
+            "and 'design' plus an 'actual' object)"
+        )
+    for value in record["actual"].values():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CampaignError(
+                f"{path}:{number}: eval record 'actual' values must be numeric"
+            )
+    return record
+
+
+def _load_records(path: str) -> tuple[list[dict], int, bool]:
+    """Parse and validate a journal file: the single definition of what
+    a well-formed journal is, shared by resume and reporting.
+
+    Returns ``(records, kept_bytes, truncated)`` where *records* is the
+    validated header + eval records, *kept_bytes* the byte length of the
+    complete lines, and *truncated* whether a partial trailing line (the
+    record in flight when the run died — dropped even if it happens to
+    parse; the deterministic resume re-appends it verbatim) must be cut
+    before appending continues.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise CampaignError(f"cannot read journal {path!r}: {reason}") from None
+    lines = blob.split(b"\n")
+    trailing = lines.pop()  # b"" for a complete final line
+    records: list[dict] = []
+    kept_bytes = 0
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise CampaignError(f"{path}:{number}: corrupt journal line") from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise CampaignError(f"{path}:{number}: malformed journal record")
+        if number == 1 and record["kind"] == "header":
+            pass  # header contents are checked against the spec by the caller
+        elif record["kind"] == "eval":
+            record = _checked_eval(record, path, number)
+        else:
+            raise CampaignError(
+                f"{path}:{number}: unexpected journal record kind "
+                f"{record['kind']!r}"
+            )
+        records.append(record)
+        kept_bytes += len(line) + 1
+    if not records or records[0].get("kind") != "header":
+        raise CampaignError(f"{path}: journal has no header line")
+    return records, kept_bytes, bool(trailing)
+
+
+class CampaignJournal:
+    """One campaign's evaluation checkpoint file.
+
+    Build with :meth:`create` (fresh run) or :meth:`open_resume`
+    (continue an interrupted run); then :meth:`pop_replay` answers
+    journaled evaluations and :meth:`append` checkpoints fresh ones.
+    """
+
+    def __init__(self, path: str, spec: CampaignSpec) -> None:
+        self.path = path
+        self.spec = spec
+        self.replayed = 0
+        self.appended = 0
+        self._queues: dict[str, deque[dict]] = {}
+        self._handle: Optional[TextIO] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, spec: CampaignSpec, overwrite: bool = False
+    ) -> "CampaignJournal":
+        """Start a fresh journal; refuses to clobber an existing one
+        unless *overwrite* (an existing journal usually means the caller
+        wanted ``resume``)."""
+        if os.path.exists(path) and not overwrite:
+            raise CampaignError(
+                f"journal {path!r} already exists; resume it or pass overwrite"
+            )
+        journal = cls(path, spec)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        journal._handle = open(path, "w")
+        journal._handle.write(_dump_line(journal._header()))
+        journal._handle.flush()
+        return journal
+
+    @classmethod
+    def open_resume(cls, path: str, spec: CampaignSpec) -> "CampaignJournal":
+        """Load an existing journal for replay + continued appending."""
+        records, kept_bytes, truncated = _load_records(path)
+        journal = cls(path, spec)
+        header = records[0]
+        expected = journal._header()
+        for key in ("schema", "spec_digest"):
+            if header.get(key) != expected[key]:
+                raise CampaignError(
+                    f"journal {path!r} was written for a different "
+                    f"{'schema' if key == 'schema' else 'campaign spec'} "
+                    f"({key} {header.get(key)!r} != {expected[key]!r}); "
+                    "refusing to mix campaigns"
+                )
+        for record in records[1:]:
+            journal._queues.setdefault(record["cell"], deque()).append(record)
+        if truncated:
+            with open(path, "rb+") as handle:
+                handle.truncate(kept_bytes)
+        journal._handle = open(path, "a")
+        return journal
+
+    def _header(self) -> dict:
+        return {
+            "campaign": self.spec.name,
+            "kind": "header",
+            "schema": CAMPAIGN_SCHEMA_VERSION,
+            "spec_digest": spec_digest(self.spec),
+        }
+
+    # -- replay / append -------------------------------------------------
+
+    def pop_replay(self, cell_id: str, design: str) -> Optional[dict[str, int]]:
+        """The journaled costs for the next evaluation of *cell_id*, or
+        None once the cell's journaled prefix is exhausted.
+
+        The runner is deterministic, so the next requested design must
+        match the next journaled record; a mismatch means the journal
+        was written by different code, spec resolution or model — a loud
+        error beats silently grafting the wrong labels onto a design.
+        """
+        queue = self._queues.get(cell_id)
+        if not queue:
+            return None
+        record = queue.popleft()
+        if record["design"] != design:
+            raise CampaignError(
+                f"journal mismatch in cell {cell_id!r}: journaled evaluation "
+                f"of {record['design']!r} but the run requested {design!r}; "
+                "the journal was produced by a different spec, model or code "
+                "version"
+            )
+        self.replayed += 1
+        return {str(k): int(v) for k, v in record["actual"].items()}
+
+    def pending_replays(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def append(self, cell_id: str, design: str, actual: dict[str, int]) -> None:
+        if self._handle is None:
+            raise CampaignError("journal is closed")
+        record = {
+            "actual": {str(k): int(v) for k, v in actual.items()},
+            "cell": cell_id,
+            "design": design,
+            "kind": "eval",
+        }
+        self._handle.write(_dump_line(record))
+        self._handle.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @staticmethod
+    def read_records(path: str) -> list[dict]:
+        """All journal records (header first) for reporting; tolerates a
+        truncated trailing line the same way resume does."""
+        records, _, _ = _load_records(path)
+        return records

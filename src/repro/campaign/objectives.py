@@ -1,0 +1,144 @@
+"""Campaign objectives: latency composed with ASIC-flow power/area.
+
+The paper's cost vector ``<Power, Area, FF, Cycles>`` spans performance
+and implementation cost; a campaign cell optimizes one *scalar*
+composition of it (for the search trajectory) while the report keeps
+the *multi-objective* view (a 2-D Pareto front + hypervolume over the
+objective's ``front`` metrics).
+
+Static metrics are special: power and area are deterministic functions
+of ``(program, params)`` that the ASIC flow (:mod:`repro.asicflow`)
+computes in microseconds — no simulation needed.  A campaign can
+therefore rank candidates with *exact* static metrics from
+:func:`exact_static_costs` and spend the learned model only on the
+dynamic metric (cycles), mirroring how a real DSE tool mixes cheap EDA
+estimates with a learned latency surrogate
+(``CampaignSpec.static_source = "asicflow"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..errors import CampaignError
+from ..hls import HardwareParams
+from ..lang import ast, parse
+from ..profiler import StaticProfileCache
+
+__all__ = [
+    "Objective",
+    "OBJECTIVES",
+    "get_objective",
+    "objective_names",
+    "exact_static_costs",
+]
+
+CostDict = Mapping[str, int]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named scalarization plus its multi-objective projection.
+
+    ``scalar`` maps a cost dict to the minimized value; ``front`` names
+    the two cost-vector metrics the report's Pareto front and
+    hypervolume are computed over.
+    """
+
+    name: str
+    description: str
+    scalar: Callable[[CostDict], float]
+    front: tuple[str, str]
+
+    def __call__(self, costs: CostDict) -> float:
+        return self.scalar(costs)
+
+    def front_point(self, costs: CostDict) -> tuple[float, float]:
+        return (float(costs[self.front[0]]), float(costs[self.front[1]]))
+
+
+def _cycles(costs: CostDict) -> float:
+    return float(costs["cycles"])
+
+
+def _area_delay(costs: CostDict) -> float:
+    return float(costs["cycles"]) * float(costs["area"])
+
+
+def _energy_delay(costs: CostDict) -> float:
+    # power µW × cycles ∝ energy: the EDP-style target that finally
+    # feeds asicflow.estimate_power into an exploration objective.
+    return float(costs["cycles"]) * float(costs["power"])
+
+
+def _energy_delay_area(costs: CostDict) -> float:
+    return float(costs["cycles"]) * float(costs["power"]) * float(costs["area"])
+
+
+OBJECTIVES: dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective(
+            name="latency",
+            description="cycles alone (pure performance)",
+            scalar=_cycles,
+            front=("cycles", "area"),
+        ),
+        Objective(
+            name="area_delay",
+            description="cycles x area (the explorer's classic ADP target)",
+            scalar=_area_delay,
+            front=("cycles", "area"),
+        ),
+        Objective(
+            name="energy_delay",
+            description="cycles x power (EDP; power from the ASIC flow)",
+            scalar=_energy_delay,
+            front=("cycles", "power"),
+        ),
+        Objective(
+            name="energy_delay_area",
+            description="cycles x power x area (EDAP, the full trade-off)",
+            scalar=_energy_delay_area,
+            front=("cycles", "power"),
+        ),
+    )
+}
+
+
+def objective_names() -> tuple[str, ...]:
+    return tuple(sorted(OBJECTIVES))
+
+
+def get_objective(name: str) -> Objective:
+    objective = OBJECTIVES.get(name)
+    if objective is None:
+        raise CampaignError(
+            f"unknown objective {name!r}; choose from {', '.join(objective_names())}"
+        )
+    return objective
+
+
+def exact_static_costs(
+    program: ast.Program | str,
+    params: Optional[HardwareParams] = None,
+    static_cache: Optional[StaticProfileCache] = None,
+) -> dict[str, int]:
+    """Exact ``power``/``area``/``ff`` from the ASIC flow (no simulation).
+
+    Goes through *static_cache* when given, so a campaign sharing one
+    cache across cells pays each ``(program, params)`` static pipeline
+    once no matter how many strategies and objectives revisit it.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    params = params or HardwareParams()
+    if static_cache is None:
+        static_cache = StaticProfileCache()
+    static = static_cache.get(program, params)
+    return {
+        "power": static.power.total_uw,
+        "area": static.synthesis.area_um2,
+        "ff": static.synthesis.flip_flops,
+    }

@@ -1,0 +1,255 @@
+"""Campaign reporting: traces, Pareto fronts, hypervolume, acceleration.
+
+A report is built **from the journal alone** (plus the spec): every
+journal record carries the full ground-truth cost vector, and records
+appear in evaluation order per cell, so the best-so-far trace, the
+per-cell Pareto front, the hypervolume and the paper's acceleration
+metric (ground-truth evaluations a strategy needs to reach the random
+baseline's best) are all recomputable without a model or a profiler —
+``campaign report`` is free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.pareto import hypervolume_2d, pareto_front
+from ..core.search import SearchTrace
+from ..errors import CampaignError
+from .journal import CampaignJournal
+from .objectives import get_objective
+from .runner import CampaignCell, build_cells, design_label
+from .spec import CampaignSpec, spec_digest
+
+__all__ = ["CampaignReport", "CellReport", "ComparisonRow"]
+
+
+@dataclass
+class CellReport:
+    """One cell's journaled outcome."""
+
+    cell: CampaignCell
+    trace: SearchTrace
+    costs: list[dict[str, int]] = field(default_factory=list)
+    designs: list[str] = field(default_factory=list)
+    front: list[tuple[float, float]] = field(default_factory=list)
+    hypervolume: float = 0.0
+    best_design: str = ""
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.trace.best_objective)
+
+    @property
+    def final_best(self) -> Optional[float]:
+        return None if self.trace.is_empty else self.trace.final_best
+
+    def as_dict(self) -> dict:
+        return {
+            "cell": self.cell.cell_id,
+            "workload": self.cell.workload,
+            "hardware": self.cell.params.describe(),
+            "strategy": self.cell.strategy,
+            "objective": self.cell.objective,
+            "evaluations": self.evaluations,
+            "final_best": self.final_best,
+            "best_design": self.best_design,
+            "pareto_front": [list(point) for point in self.front],
+            "hypervolume": self.hypervolume,
+        }
+
+
+@dataclass
+class ComparisonRow:
+    """Strategy comparison within one (workload, hardware, objective)
+    group — the paper's Table-5-style acceleration view."""
+
+    workload: str
+    hardware_index: int
+    objective: str
+    target: Optional[float]  # the random baseline's final best
+    evaluations: dict[str, Optional[int]] = field(default_factory=dict)
+    final_best: dict[str, Optional[float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "hardware_index": self.hardware_index,
+            "objective": self.objective,
+            "random_best": self.target,
+            "evaluations_to_reach_random_best": dict(self.evaluations),
+            "final_best": dict(self.final_best),
+        }
+
+
+class CampaignReport:
+    """Derived views over one campaign journal."""
+
+    def __init__(self, spec: CampaignSpec, cells: list[CellReport]) -> None:
+        self.spec = spec
+        self.cells = cells
+        self.comparisons = _compare_strategies(spec, cells)
+
+    @classmethod
+    def from_journal(cls, journal_path: str, spec: CampaignSpec) -> "CampaignReport":
+        records = CampaignJournal.read_records(journal_path)
+        header = records[0]
+        digest = spec_digest(spec)
+        if header.get("spec_digest") != digest:
+            raise CampaignError(
+                f"journal {journal_path!r} was written for a different "
+                f"campaign spec (digest {header.get('spec_digest')!r} != "
+                f"{digest!r})"
+            )
+        by_cell: dict[str, list[dict]] = {}
+        for record in records[1:]:
+            if record.get("kind") != "eval":
+                continue
+            by_cell.setdefault(record["cell"], []).append(record)
+        declared = build_cells(spec)
+        cells = [
+            _cell_report(cell, by_cell.get(cell.cell_id, [])) for cell in declared
+        ]
+        unknown = sorted(set(by_cell) - {cell.cell_id for cell in declared})
+        if unknown:
+            raise CampaignError(
+                f"journal {journal_path!r} holds cells the spec does not "
+                f"declare: {unknown}"
+            )
+        _fill_hypervolumes(cells)
+        return cls(spec, cells)
+
+    # -- rendering -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign": self.spec.name,
+            "budget": self.spec.budget,
+            "cells": [cell.as_dict() for cell in self.cells],
+            "comparisons": [row.as_dict() for row in self.comparisons],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def table(self) -> str:
+        """Human-readable per-cell table + strategy comparison."""
+        lines = [
+            f"campaign {self.spec.name!r}: "
+            f"{len(self.cells)} cells, budget {self.spec.budget}",
+            "",
+            f"{'cell':44s} {'evals':>5s} {'final best':>14s} "
+            f"{'hv':>12s}  best design",
+        ]
+        for cell in self.cells:
+            best = "-" if cell.final_best is None else f"{cell.final_best:.4g}"
+            lines.append(
+                f"{cell.cell.cell_id:44s} {cell.evaluations:5d} {best:>14s} "
+                f"{cell.hypervolume:12.4g}  "
+                f"{design_label(cell.best_design) if cell.best_design else '-'}"
+            )
+        if self.comparisons:
+            lines.append("")
+            strategies = list(self.spec.strategies)
+            header = f"{'workload':14s} {'hw':>3s} {'objective':18s}"
+            for name in strategies:
+                header += f" {name + ' evals':>20s}"
+            lines.append(header + "   (evaluations to reach the random best)")
+            for row in self.comparisons:
+                text = f"{row.workload:14s} {row.hardware_index:3d} {row.objective:18s}"
+                for name in strategies:
+                    evals = row.evaluations.get(name)
+                    text += f" {'-' if evals is None else evals:>20}"
+                lines.append(text)
+        return "\n".join(lines)
+
+
+def _cell_report(cell: CampaignCell, records: list[dict]) -> CellReport:
+    objective = get_objective(cell.objective)
+    trace = SearchTrace(strategy=cell.strategy)
+    costs: list[dict[str, int]] = []
+    designs: list[str] = []
+    best_value: Optional[float] = None
+    best_design = ""
+    for record in records:
+        actual = {str(k): int(v) for k, v in record["actual"].items()}
+        value = objective.scalar(actual)
+        costs.append(actual)
+        designs.append(str(record["design"]))
+        if best_value is None or value < best_value:
+            best_value, best_design = value, str(record["design"])
+        previous = trace.best_objective[-1] if trace.best_objective else value
+        trace.best_objective.append(min(previous, value))
+    report = CellReport(
+        cell=cell, trace=trace, costs=costs, designs=designs, best_design=best_design
+    )
+    if costs:
+        points = [objective.front_point(actual) for actual in costs]
+        report.front = sorted(points[i] for i in pareto_front(points))
+    return report
+
+
+def _fill_hypervolumes(cells: list[CellReport]) -> None:
+    """Hypervolume per cell against one reference shared by its
+    (workload, hardware, objective) group.
+
+    A per-cell reference (each cell's own worst costs) would make the
+    numbers incomparable across strategies: a strategy that evaluates
+    one terrible design inflates its own reference box and with it its
+    volume.  The shared reference is 1.1 x the componentwise worst over
+    *every* strategy's evaluations in the group, so a larger
+    hypervolume always means a better frontier.
+    """
+    groups: dict[tuple[str, int, str], list[CellReport]] = {}
+    for cell in cells:
+        key = (cell.cell.workload, cell.cell.hardware_index, cell.cell.objective)
+        groups.setdefault(key, []).append(cell)
+    for members in groups.values():
+        objective = get_objective(members[0].cell.objective)
+        points = [
+            objective.front_point(actual)
+            for member in members
+            for actual in member.costs
+        ]
+        if not points:
+            continue
+        reference = (
+            1.1 * max(point[0] for point in points),
+            1.1 * max(point[1] for point in points),
+        )
+        for member in members:
+            if member.costs:
+                member.hypervolume = hypervolume_2d(
+                    [objective.front_point(actual) for actual in member.costs],
+                    reference,
+                )
+
+
+def _compare_strategies(
+    spec: CampaignSpec, cells: list[CellReport]
+) -> list[ComparisonRow]:
+    groups: dict[tuple[str, int, str], dict[str, CellReport]] = {}
+    for cell in cells:
+        key = (cell.cell.workload, cell.cell.hardware_index, cell.cell.objective)
+        groups.setdefault(key, {})[cell.cell.strategy] = cell
+    rows = []
+    for (workload, hw_index, objective), by_strategy in groups.items():
+        baseline = by_strategy.get("random")
+        target = baseline.final_best if baseline is not None else None
+        row = ComparisonRow(
+            workload=workload,
+            hardware_index=hw_index,
+            objective=objective,
+            target=target,
+        )
+        for strategy, cell in sorted(by_strategy.items()):
+            row.final_best[strategy] = cell.final_best
+            row.evaluations[strategy] = (
+                None
+                if target is None or cell.trace.is_empty
+                else cell.trace.evaluations_to_reach(target)
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,374 @@
+"""Campaign execution: the grid loop over cells with journaled resume.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
+deterministic sequence of cells (workload × hardware × strategy ×
+objective), executes each cell's search strategy, and checkpoints every
+ground-truth evaluation through a
+:class:`~repro.campaign.journal.CampaignJournal`.  Model predictions
+flow through any :class:`repro.api.Predictor` — a local
+:class:`~repro.api.Session` or a remote
+:class:`~repro.serve.client.ServeClient` — so a campaign runs against a
+shared prediction service with a constructor swap.  Ground truth is
+always computed locally through one :class:`StaticProfileCache` shared
+by every cell: the same ``(program, params)`` revisited by another
+strategy or objective pays the static EDA flow once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..api.session import Predictor
+from ..api.types import PredictJob
+from ..core.explorer import DesignPoint, MappingChoice, apply_mapping
+from ..core.search import SearchTrace
+from ..errors import CampaignError, CampaignInterrupted
+from ..hls import HardwareParams
+from ..lang import ast, parse, to_source
+from ..profiler import Profiler, StaticProfileCache
+from .journal import CampaignJournal
+from .objectives import exact_static_costs, get_objective
+from .spec import CampaignSpec
+from .strategies import get_strategy, needs_model
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CellResult",
+    "build_cells",
+    "design_key",
+    "design_label",
+    "enumerate_cell_candidates",
+]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell: a workload under fixed hardware, searched by one
+    strategy toward one objective."""
+
+    index: int
+    workload: str
+    source: str
+    data: tuple[tuple[str, int], ...]
+    hardware_index: int
+    params: HardwareParams
+    strategy: str
+    objective: str
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"w={self.workload}|hw={self.hardware_index}"
+            f"|strat={self.strategy}|obj={self.objective}"
+        )
+
+    def data_dict(self) -> Optional[dict[str, int]]:
+        return dict(self.data) or None
+
+
+def build_cells(spec: CampaignSpec) -> list[CampaignCell]:
+    """The deterministic cell order every run and resume walks."""
+    cells = []
+    resolved = [workload.resolve() for workload in spec.workloads]
+    grid = itertools.product(
+        zip(spec.workloads, resolved),
+        enumerate(spec.hardware),
+        spec.strategies,
+        spec.objectives,
+    )
+    for index, ((workload, (source, data)), (hw_index, params), strategy, objective) in enumerate(grid):
+        cells.append(
+            CampaignCell(
+                index=index,
+                workload=workload.name,
+                source=source,
+                data=tuple(sorted((str(k), v) for k, v in data.items())),
+                hardware_index=hw_index,
+                params=params,
+                strategy=strategy,
+                objective=objective,
+            )
+        )
+    return cells
+
+
+def design_key(point: DesignPoint) -> str:
+    """Canonical identity of a design inside a cell's journal records:
+    ``<params> :: <choices>`` (choices part empty for the baseline)."""
+    choices = " ".join(
+        f"{choice.function}#L{choice.loop_index}"
+        f":u{choice.unroll}:p{int(choice.parallel)}"
+        for choice in point.choices
+    )
+    return f"{point.params.describe()} :: {choices}"
+
+
+def design_label(key: str) -> str:
+    """The human-readable mapping part of a design key."""
+    _, _, choices = key.partition(" :: ")
+    return choices or "baseline"
+
+
+def enumerate_cell_candidates(
+    program: ast.Program,
+    params: HardwareParams,
+    unroll_factors: Sequence[int],
+    max_candidates: int,
+) -> list[DesignPoint]:
+    """Cartesian product of per-operator unroll choices under the
+    cell's full hardware parameters.
+
+    Mirrors :meth:`DesignSpaceExplorer.enumerate_candidates` but keeps
+    the cell's :class:`HardwareParams` intact (the explorer rebuilds
+    params from its memory-delay sweep, dropping pe_count etc.) —
+    campaign hardware variants are first-class grid axes, not a
+    candidate dimension.
+    """
+    operators = [
+        func.name
+        for func in program.functions
+        if func is not program.functions[-1] and ast.loops_in(func.body)
+    ]
+    if not operators:
+        # No operator loops → no mapping decisions: an empty design
+        # space, not a single degenerate "baseline" candidate.  The
+        # runner records such cells as empty traces instead of spending
+        # budget re-evaluating an unmappable program.
+        return []
+    per_op_options = []
+    for name in operators:
+        loops = ast.loops_in(program.function(name).body)
+        innermost = len(loops) - 1
+        per_op_options.append(
+            [
+                MappingChoice(function=name, loop_index=innermost, unroll=factor)
+                for factor in unroll_factors
+            ]
+        )
+    candidates: list[DesignPoint] = []
+    for combo in itertools.product(*per_op_options):
+        mapped = apply_mapping(program, tuple(combo))
+        candidates.append(
+            DesignPoint(program=mapped, params=params, choices=tuple(combo))
+        )
+        if len(candidates) >= max_candidates:
+            break
+    return candidates
+
+
+@dataclass
+class CellResult:
+    """One executed cell: its trace plus bookkeeping counters."""
+
+    cell: CampaignCell
+    trace: SearchTrace
+    candidates: int
+    replayed: int
+    evaluated: int
+
+    @property
+    def final_best(self) -> Optional[float]:
+        return None if self.trace.is_empty else self.trace.final_best
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` invocation."""
+
+    spec: CampaignSpec
+    journal_path: str
+    cells: list[CellResult] = field(default_factory=list)
+    completed: bool = True
+    replayed: int = 0
+    evaluated: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "campaign": self.spec.name,
+            "cells_total": self.spec.cell_count,
+            "cells_run": len(self.cells),
+            "completed": self.completed,
+            "evaluations_fresh": self.evaluated,
+            "evaluations_replayed": self.replayed,
+            "journal": self.journal_path,
+        }
+
+
+class _StopCampaign(Exception):
+    """Internal: the fresh-evaluation cap was reached."""
+
+
+class CampaignRunner:
+    """Executes a campaign spec cell by cell with journaled resume.
+
+    ``predictor`` answers the model-guided cells' ranking queries and
+    may be None for specs whose strategies are all model-free.
+    ``max_evaluations`` caps *fresh* (non-replayed) ground-truth
+    evaluations — the programmatic stand-in for killing the process
+    mid-flight, used by the bench and CI to exercise resume.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        journal_path: str,
+        predictor: Optional[Predictor] = None,
+        static_cache: Optional[StaticProfileCache] = None,
+        max_steps: int = 2_000_000,
+        sim_backend: str = "compiled",
+    ) -> None:
+        self.spec = spec
+        self.journal_path = journal_path
+        self.predictor = predictor
+        # Explicit None check: an empty StaticProfileCache is falsy.
+        if static_cache is None:
+            static_cache = StaticProfileCache()
+        self.static_cache = static_cache
+        self._max_steps = max_steps
+        self._sim_backend = sim_backend
+        if spec.needs_model() and predictor is None:
+            raise CampaignError(
+                "spec contains a model-guided strategy; the runner needs a "
+                "predictor (Session or ServeClient)"
+            )
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        overwrite: bool = False,
+        max_evaluations: Optional[int] = None,
+    ) -> CampaignResult:
+        if resume:
+            journal = CampaignJournal.open_resume(self.journal_path, self.spec)
+        else:
+            journal = CampaignJournal.create(
+                self.journal_path, self.spec, overwrite=overwrite
+            )
+        result = CampaignResult(spec=self.spec, journal_path=self.journal_path)
+        with journal:
+            try:
+                for cell in build_cells(self.spec):
+                    result.cells.append(self._run_cell(cell, journal, max_evaluations))
+            except _StopCampaign:
+                result.completed = False
+            result.replayed = journal.replayed
+            result.evaluated = journal.appended
+        if result.completed and journal.pending_replays():
+            raise CampaignError(
+                f"journal {self.journal_path!r} holds "
+                f"{journal.pending_replays()} evaluations the spec never "
+                "requested; it was produced by a different spec or code "
+                "version"
+            )
+        if not result.completed:
+            interrupted = CampaignInterrupted(
+                f"campaign stopped after {result.evaluated} fresh evaluations "
+                f"({result.replayed} replayed); resume with the same spec and "
+                f"journal {self.journal_path!r}",
+            )
+            interrupted.result = result
+            raise interrupted
+        return result
+
+    def _run_cell(
+        self,
+        cell: CampaignCell,
+        journal: CampaignJournal,
+        max_evaluations: Optional[int],
+    ) -> CellResult:
+        program = parse(cell.source)
+        candidates = enumerate_cell_candidates(
+            program, cell.params, self.spec.unroll_factors, self.spec.max_candidates
+        )
+        objective = get_objective(cell.objective)
+        if not candidates:
+            return CellResult(
+                cell=cell,
+                trace=SearchTrace(strategy=cell.strategy),
+                candidates=0,
+                replayed=0,
+                evaluated=0,
+            )
+        if needs_model(cell.strategy):
+            self._predict(cell, candidates, objective)
+        replayed_before = journal.replayed
+        appended_before = journal.appended
+        data = cell.data_dict()
+        profiler = Profiler(
+            cell.params,
+            max_steps=self._max_steps,
+            backend=self._sim_backend,
+            static_cache=self.static_cache,
+        )
+
+        def evaluate(point: DesignPoint) -> None:
+            key = design_key(point)
+            cached = journal.pop_replay(cell.cell_id, key)
+            if cached is not None:
+                point.actual = cached
+                return
+            if (
+                max_evaluations is not None
+                and journal.appended >= max_evaluations
+            ):
+                raise _StopCampaign()
+            report = profiler.profile(
+                point.program,
+                data=data,
+                rng=np.random.default_rng(self.spec.seed),
+            )
+            point.actual = report.costs.as_dict()
+            journal.append(cell.cell_id, key, point.actual)
+
+        strategy = get_strategy(cell.strategy)
+        rng = np.random.default_rng([self.spec.seed, cell.index])
+        budget = min(self.spec.budget, len(candidates))
+        trace = strategy(candidates, budget, objective.scalar, rng, evaluate)
+        return CellResult(
+            cell=cell,
+            trace=trace,
+            candidates=len(candidates),
+            replayed=journal.replayed - replayed_before,
+            evaluated=journal.appended - appended_before,
+        )
+
+    def _predict(
+        self,
+        cell: CampaignCell,
+        candidates: list[DesignPoint],
+        objective,
+    ) -> None:
+        """Fill ``point.predicted`` for a model-guided cell through the
+        Predictor protocol (one batched pass, local or remote)."""
+        assert self.predictor is not None
+        data = cell.data_dict()
+        jobs = [
+            PredictJob(
+                source=to_source(point.program),
+                data=data,
+                params=cell.params,
+                label=design_key(point),
+            )
+            for point in candidates
+        ]
+        predictions = self.predictor.predict_jobs(jobs)
+        for point, prediction in zip(candidates, predictions):
+            predicted = prediction.as_dict()
+            if self.spec.static_source == "asicflow":
+                # Exact EDA statics (shared cache): the learned model is
+                # spent only on the dynamic metric.
+                predicted.update(
+                    exact_static_costs(
+                        point.program, point.params, self.static_cache
+                    )
+                )
+            point.predicted = predicted
+            point.score = objective.scalar(predicted)

@@ -1,0 +1,322 @@
+"""Campaign specification: a frozen grid declaration + versioned codec.
+
+A :class:`CampaignSpec` declares the full cross product a campaign
+executes — workloads × hardware variants × search strategies ×
+objectives — plus the shared knobs (evaluation budget per cell, seed,
+unroll sweep).  It is frozen so a spec can be digested once and the
+digest stamped into the journal header: ``campaign resume`` refuses a
+journal written under a different spec instead of silently mixing two
+campaigns' evaluations.
+
+The wire format follows :mod:`repro.api.codec`: a JSON object carrying
+``"schema"`` (:data:`CAMPAIGN_SCHEMA_VERSION`) and ``"kind"``
+(``"campaign_spec"``), decoded loudly via :class:`CampaignError` on any
+mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..api.codec import params_from_payload, params_to_payload
+from ..errors import CampaignError, ReproError
+from ..hls import HardwareParams
+from .objectives import get_objective
+from .strategies import get_strategy
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignSpec",
+    "WorkloadSpec",
+    "spec_digest",
+    "spec_from_payload",
+    "spec_to_payload",
+    "load_spec",
+    "save_spec",
+]
+
+CAMPAIGN_SCHEMA_VERSION = 1
+
+_SUITES = ("polybench", "linalg", "modern", "accelerators")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One campaign workload: a bundled suite member or inline source.
+
+    ``source`` of ``""`` resolves ``name`` against the bundled suites
+    (:mod:`repro.workloads`); ``data`` overrides (or, for inline
+    sources, provides) the runtime inputs.
+    """
+
+    name: str
+    source: str = ""
+    data: Optional[Mapping[str, Any]] = None
+
+    def resolve(self) -> tuple[str, dict[str, Any]]:
+        """The program source and runtime inputs this spec names."""
+        if self.source:
+            return self.source, dict(self.data or {})
+        workload = _suite_workload(self.name)
+        data = workload.merged_data(dict(self.data) if self.data else None)
+        return workload.source, data
+
+
+def _suite_workload(name: str):
+    from ..workloads import (
+        accelerator_suite,
+        linalg_suite,
+        modern_suite,
+        polybench_suite,
+    )
+
+    suites = (polybench_suite, linalg_suite, modern_suite, accelerator_suite)
+    for suite in suites:
+        for workload in suite():
+            if workload.name == name:
+                return workload
+    raise CampaignError(
+        f"workload {name!r} is not in the bundled suites {_SUITES} "
+        "and carries no inline source"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full campaign grid.  Cells are the cross product
+    ``workloads × hardware × strategies × objectives``, each searched
+    for ``budget`` ground-truth evaluations."""
+
+    name: str
+    workloads: tuple[WorkloadSpec, ...]
+    hardware: tuple[HardwareParams, ...] = (HardwareParams(),)
+    strategies: tuple[str, ...] = ("random", "model_guided")
+    objectives: tuple[str, ...] = ("area_delay",)
+    budget: int = 8
+    seed: int = 0
+    unroll_factors: tuple[int, ...] = (1, 2, 4)
+    max_candidates: int = 32
+    # Where the *static* metrics of ranking predictions come from:
+    # "model" reads the cost model's power/area/ff heads, "asicflow"
+    # overwrites them with exact EDA values (cheap, no simulation) so
+    # the learned model is spent only on cycles.
+    static_source: str = "model"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign spec needs a non-empty name")
+        for label, values in (
+            ("workloads", self.workloads),
+            ("hardware", self.hardware),
+            ("strategies", self.strategies),
+            ("objectives", self.objectives),
+            ("unroll_factors", self.unroll_factors),
+        ):
+            if not values:
+                raise CampaignError(f"campaign spec needs at least one of {label}")
+        if self.budget < 1:
+            raise CampaignError("campaign budget must be >= 1")
+        if self.max_candidates < 1:
+            raise CampaignError("max_candidates must be >= 1")
+        if self.static_source not in ("model", "asicflow"):
+            raise CampaignError(
+                f"static_source must be 'model' or 'asicflow', "
+                f"got {self.static_source!r}"
+            )
+        for strategy in self.strategies:
+            get_strategy(strategy)
+        for objective in self.objectives:
+            get_objective(objective)
+        if len(set(self.strategies)) != len(self.strategies):
+            raise CampaignError("duplicate strategies in campaign spec")
+        if len(set(self.objectives)) != len(self.objectives):
+            raise CampaignError("duplicate objectives in campaign spec")
+        # Workload names key journal cell ids: two workloads sharing a
+        # name would merge their journal records into one cell and
+        # silently corrupt every derived report.  The same kernel under
+        # different data is fine — give each variant its own name.
+        names = [workload.name for workload in self.workloads]
+        if len(set(names)) != len(names):
+            raise CampaignError(
+                "duplicate workload names in campaign spec; name each "
+                "variant distinctly (e.g. 'gemm-n8', 'gemm-n16')"
+            )
+
+    @property
+    def cell_count(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.hardware)
+            * len(self.strategies)
+            * len(self.objectives)
+        )
+
+    def needs_model(self) -> bool:
+        from .strategies import needs_model
+
+        return any(needs_model(strategy) for strategy in self.strategies)
+
+
+# -- codec ------------------------------------------------------------------
+
+
+def _workload_to_payload(workload: WorkloadSpec) -> dict:
+    return {
+        "name": workload.name,
+        "source": workload.source,
+        "data": dict(workload.data) if workload.data else None,
+    }
+
+
+_WORKLOAD_FIELDS = frozenset({"name", "source", "data"})
+
+
+def _workload_from_payload(payload: Any) -> WorkloadSpec:
+    if not isinstance(payload, dict) or not isinstance(payload.get("name"), str):
+        raise CampaignError("each workload entry needs a string 'name'")
+    unknown = sorted(set(payload) - _WORKLOAD_FIELDS)
+    if unknown:
+        raise CampaignError(
+            f"workload {payload['name']!r} has unknown fields {unknown}; "
+            f"expected {sorted(_WORKLOAD_FIELDS)}"
+        )
+    data = payload.get("data")
+    if data is not None and not isinstance(data, dict):
+        raise CampaignError(f"workload {payload['name']!r} 'data' must be an object")
+    return WorkloadSpec(
+        name=payload["name"],
+        source=str(payload.get("source") or ""),
+        data=data,
+    )
+
+
+def spec_to_payload(spec: CampaignSpec) -> dict:
+    return {
+        "schema": CAMPAIGN_SCHEMA_VERSION,
+        "kind": "campaign_spec",
+        "name": spec.name,
+        "workloads": [_workload_to_payload(w) for w in spec.workloads],
+        "hardware": [params_to_payload(params) for params in spec.hardware],
+        "strategies": list(spec.strategies),
+        "objectives": list(spec.objectives),
+        "budget": spec.budget,
+        "seed": spec.seed,
+        "unroll_factors": list(spec.unroll_factors),
+        "max_candidates": spec.max_candidates,
+        "static_source": spec.static_source,
+    }
+
+
+def spec_from_payload(payload: Any) -> CampaignSpec:
+    if not isinstance(payload, dict):
+        raise CampaignError(
+            f"campaign spec payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema is None:
+        raise CampaignError(
+            "campaign spec has no 'schema' field; refusing to guess the format"
+        )
+    if schema != CAMPAIGN_SCHEMA_VERSION:
+        raise CampaignError(
+            f"unsupported campaign schema version {schema!r}; this build "
+            f"speaks version {CAMPAIGN_SCHEMA_VERSION}"
+        )
+    kind = payload.get("kind")
+    if kind != "campaign_spec":
+        raise CampaignError(f"expected a 'campaign_spec' payload, got {kind!r}")
+    known = {
+        "schema", "kind", "name", "workloads", "hardware", "strategies",
+        "objectives", "budget", "seed", "unroll_factors", "max_candidates",
+        "static_source",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        # A misspelled field ("strategy", "unroll_factor") silently
+        # decoding to defaults would burn the whole ground-truth budget
+        # on the wrong grid; mirror repro.api.codec's loud rejection.
+        raise CampaignError(
+            f"campaign spec has unknown fields {unknown}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list):
+        raise CampaignError("campaign spec field 'workloads' must be a list")
+    hardware_payload = payload.get("hardware")
+    if hardware_payload is None:
+        hardware: tuple[HardwareParams, ...] = (HardwareParams(),)
+    elif isinstance(hardware_payload, list):
+        try:
+            decoded = [params_from_payload(entry) for entry in hardware_payload]
+        except ReproError as exc:
+            raise CampaignError(f"invalid hardware entry: {exc}") from None
+        if any(entry is None for entry in decoded):
+            raise CampaignError("hardware entries must be params objects, not null")
+        hardware = tuple(decoded)  # type: ignore[arg-type]
+    else:
+        raise CampaignError("campaign spec field 'hardware' must be a list")
+
+    def str_tuple(name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+        value = payload.get(name)
+        if value is None:
+            return default
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise CampaignError(f"campaign spec field {name!r} must be a string list")
+        return tuple(value)
+
+    # Explicit None checks throughout: an encoded budget of 0 (or empty
+    # static_source) must reach __post_init__'s loud validation, not be
+    # silently replaced with a default.
+    unroll = payload.get("unroll_factors")
+    budget = payload.get("budget")
+    seed = payload.get("seed")
+    max_candidates = payload.get("max_candidates")
+    static_source = payload.get("static_source")
+    name = payload.get("name")
+    try:
+        return CampaignSpec(
+            name="" if name is None else str(name),
+            workloads=tuple(_workload_from_payload(w) for w in workloads),
+            hardware=hardware,
+            strategies=str_tuple("strategies", ("random", "model_guided")),
+            objectives=str_tuple("objectives", ("area_delay",)),
+            budget=8 if budget is None else int(budget),
+            seed=0 if seed is None else int(seed),
+            unroll_factors=(1, 2, 4)
+            if unroll is None
+            else tuple(int(v) for v in unroll),
+            max_candidates=32 if max_candidates is None else int(max_candidates),
+            static_source="model" if static_source is None else str(static_source),
+        )
+    except (TypeError, ValueError) as exc:
+        raise CampaignError(f"invalid campaign spec: {exc}") from None
+
+
+def spec_digest(spec: CampaignSpec) -> str:
+    """Stable digest of the spec's wire form (journal header stamp)."""
+    canonical = json.dumps(spec_to_payload(spec), sort_keys=True)
+    return hashlib.md5(canonical.encode("utf-8")).hexdigest()
+
+
+def save_spec(spec: CampaignSpec, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(spec_to_payload(spec), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_spec(path: str) -> CampaignSpec:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise CampaignError(f"cannot read campaign spec {path!r}: {reason}") from None
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"{path}: invalid JSON: {exc}") from None
+    return spec_from_payload(payload)

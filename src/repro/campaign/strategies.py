@@ -1,0 +1,84 @@
+"""Uniform strategy registry for campaign cells.
+
+Adapts the heterogeneous signatures of :mod:`repro.core.search` to one
+shape the runner can dispatch on: ``(candidates, budget, objective,
+rng, evaluate) -> SearchTrace``.  ``model_guided`` is the only strategy
+that consumes model predictions (the runner fills ``point.predicted``
+before dispatching it); the rest are model-free baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.explorer import DesignPoint
+from ..core.search import (
+    SearchTrace,
+    annealing_search,
+    evolutionary_search,
+    model_guided_search,
+    random_search,
+)
+from ..errors import CampaignError
+
+__all__ = ["STRATEGY_NAMES", "get_strategy", "needs_model"]
+
+Objective = Callable[[dict], float]
+Evaluator = Callable[[DesignPoint], None]
+StrategyFn = Callable[
+    [list[DesignPoint], int, Objective, np.random.Generator, Optional[Evaluator]],
+    SearchTrace,
+]
+
+
+def _random(candidates, budget, objective, rng, evaluate) -> SearchTrace:
+    return random_search(
+        candidates, budget, objective=objective, rng=rng, evaluate=evaluate
+    )
+
+
+def _model_guided(candidates, budget, objective, rng, evaluate) -> SearchTrace:
+    return model_guided_search(
+        None, candidates, budget, objective=objective, evaluate=evaluate
+    )
+
+
+def _evolutionary(candidates, budget, objective, rng, evaluate) -> SearchTrace:
+    return evolutionary_search(
+        candidates, budget, objective=objective, rng=rng, evaluate=evaluate
+    )
+
+
+def _annealing(candidates, budget, objective, rng, evaluate) -> SearchTrace:
+    return annealing_search(
+        candidates, budget, objective=objective, rng=rng, evaluate=evaluate
+    )
+
+
+_STRATEGIES: dict[str, StrategyFn] = {
+    "random": _random,
+    "model_guided": _model_guided,
+    "evolutionary": _evolutionary,
+    "annealing": _annealing,
+}
+
+STRATEGY_NAMES: tuple[str, ...] = tuple(sorted(_STRATEGIES))
+
+_NEEDS_MODEL = frozenset({"model_guided"})
+
+
+def get_strategy(name: str) -> StrategyFn:
+    strategy = _STRATEGIES.get(name)
+    if strategy is None:
+        raise CampaignError(
+            f"unknown strategy {name!r}; choose from {', '.join(STRATEGY_NAMES)}"
+        )
+    return strategy
+
+
+def needs_model(name: str) -> bool:
+    """True when the named strategy ranks candidates with a cost model."""
+    get_strategy(name)  # validate the name loudly
+    return name in _NEEDS_MODEL

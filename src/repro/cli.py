@@ -16,6 +16,9 @@ Subcommands:
 * ``workloads`` — list the bundled benchmark suites with Table-2 stats.
 * ``serve``     — run the persistent prediction service (warm models,
   micro-batching, tiered caches) on an HTTP port.
+* ``campaign``  — ``run``/``resume``/``report`` resumable
+  multi-objective search campaigns (workloads × hardware × strategies
+  × objectives) with a journaled evaluation checkpoint.
 
 Example::
 
@@ -402,6 +405,99 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_predictor(args: argparse.Namespace, spec):
+    """The Predictor a campaign's model-guided cells rank through, or
+    None for all-model-free specs (mirrors ``predict``'s local/remote
+    constructor swap)."""
+    if not spec.needs_model():
+        if args.model or args.remote:
+            print(
+                "note: spec has no model-guided strategy; --model/--remote unused",
+                file=sys.stderr,
+            )
+        return None
+    if args.remote and args.model:
+        raise SystemExit("error: pass either --model or --remote, not both")
+    if args.remote:
+        from .serve import ServeClient
+
+        return ServeClient(args.remote)
+    if not args.model:
+        raise SystemExit(
+            "error: spec contains a model-guided strategy; pass --model "
+            "CHECKPOINT or --remote URL"
+        )
+    from .api import Session
+
+    return Session(models={"default": args.model}, tier=args.tier, seed=args.seed)
+
+
+def _run_campaign(args: argparse.Namespace, resume: bool) -> int:
+    from .campaign import CampaignReport, CampaignRunner, load_spec
+    from .errors import CampaignInterrupted, ReproError
+
+    try:
+        spec = load_spec(args.spec)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    predictor = _campaign_predictor(args, spec)
+    runner = CampaignRunner(spec, args.journal, predictor=predictor)
+    try:
+        result = runner.run(
+            resume=resume,
+            overwrite=getattr(args, "overwrite", False),
+            max_evaluations=args.max_evals,
+        )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        # The hint must rebuild the *same* predictor: a missing --tier
+        # or --seed would load the checkpoint under a different config,
+        # change the model-guided ranking and fail the journal replay.
+        print(
+            f"resume with: python -m repro campaign resume --spec {args.spec} "
+            f"--journal {args.journal}"
+            + (f" --model {args.model}" if args.model else "")
+            + (f" --remote {args.remote}" if args.remote else "")
+            + (f" --tier {args.tier}" if args.model and args.tier != "0.5B" else "")
+            + (f" --seed {args.seed}" if args.model and args.seed != 0 else ""),
+            file=sys.stderr,
+        )
+        return 3
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(json.dumps(result.summary(), indent=2))
+    try:
+        report = CampaignReport.from_journal(args.journal, spec)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.table(), file=sys.stderr)
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _run_campaign(args, resume=False)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _run_campaign(args, resume=True)
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import CampaignReport, load_spec
+    from .errors import ReproError
+
+    try:
+        spec = load_spec(args.spec)
+        report = CampaignReport.from_journal(args.journal, spec)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.table())
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .eval.report import missing_experiments, write_report
 
@@ -571,6 +667,56 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--verbose", action="store_true",
                          help="print predictor cache statistics to stderr")
     explore.set_defaults(func=cmd_explore)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable multi-objective search campaigns over "
+             "workloads x hardware x strategies",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_flags(p: argparse.ArgumentParser, runs: bool) -> None:
+        p.add_argument("--spec", required=True, metavar="FILE",
+                       help="campaign spec JSON (see repro.campaign.save_spec)")
+        p.add_argument("--journal", required=True, metavar="FILE",
+                       help="append-only JSONL evaluation checkpoint")
+        if runs:
+            p.add_argument("--model", default=None,
+                           help="trained checkpoint for model-guided cells")
+            p.add_argument("--remote", default=None, metavar="URL",
+                           help="rank through a running 'repro serve' instead")
+            p.add_argument("--tier", default="0.5B", choices=("0.5B", "1B", "8B"))
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument(
+                "--max-evals", type=int, default=None, metavar="N",
+                help="stop after N fresh ground-truth evaluations (exit 3; "
+                     "the journal keeps the finished prefix for resume)",
+            )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign from scratch, journaling every evaluation"
+    )
+    add_campaign_flags(campaign_run, runs=True)
+    campaign_run.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing journal instead of refusing",
+    )
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign by replaying its journal"
+    )
+    add_campaign_flags(campaign_resume, runs=True)
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="derive traces, Pareto fronts and the strategy "
+                       "comparison from a journal (no model needed)"
+    )
+    add_campaign_flags(campaign_report, runs=False)
+    campaign_report.add_argument("--json", action="store_true",
+                                 help="machine-readable report")
+    campaign_report.set_defaults(func=cmd_campaign_report)
 
     report = sub.add_parser(
         "report", help="assemble results/ tables into one markdown report"

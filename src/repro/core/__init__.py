@@ -22,7 +22,9 @@ from .numeric_codec import NumericCodec, tradeoff_table
 from .pareto import dominates, hypervolume_2d, pareto_front, pareto_points
 from .search import (
     SearchTrace,
+    annealing_search,
     evaluate_point,
+    evolutionary_search,
     model_guided_search,
     random_search,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "evaluate_point",
     "model_guided_search",
     "random_search",
+    "evolutionary_search",
+    "annealing_search",
     "dominates",
     "pareto_front",
     "pareto_points",

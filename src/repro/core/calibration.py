@@ -268,8 +268,12 @@ class DynamicCalibrator:
             if adapter is not None:
                 for name, value in adapter.state_dict().items():
                     state[f"{prefix}.{name}"] = value
+        # Explicit len()/None checks, mirroring the falsy-cache rule for
+        # injected cache objects: if _pooled_cache ever becomes a
+        # cache-like object with custom truthiness, `or` would silently
+        # skip persisting the standardization statistics.
         if self._adapter_in is not None and (
-            self._pooled_cache or self._frozen_stats is not None
+            len(self._pooled_cache) > 0 or self._frozen_stats is not None
         ):
             mu, sigma = self._cache_stats()
             state["__stats__.mu"] = mu

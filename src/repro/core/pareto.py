@@ -88,17 +88,24 @@ def hypervolume_2d(
     """Hypervolume dominated by a 2-D front relative to *reference*.
 
     The reference point must be (weakly) worse than every cost in both
-    objectives; points outside the reference box contribute nothing.
-    Larger hypervolume = better frontier.  This is the standard quality
-    indicator for comparing explorers (e.g. model-guided vs. random).
+    objectives — every point must lie inside the reference box.  A
+    point outside the box is a loud :class:`ValueError`: silently
+    ignoring it (or folding it in) would report a volume for a
+    different frontier than the caller handed in, and the comparison
+    built on it (e.g. model-guided vs. random) would be garbage.
+    Larger hypervolume = better frontier.
     """
     ref_x, ref_y = float(reference[0]), float(reference[1])
-    front_idx = pareto_front([(float(x), float(y)) for x, y in costs])
-    front = sorted(
-        (float(costs[i][0]), float(costs[i][1]))
-        for i in front_idx
-        if costs[i][0] <= ref_x and costs[i][1] <= ref_y
-    )
+    points = [(float(x), float(y)) for x, y in costs]
+    for x, y in points:
+        if x > ref_x or y > ref_y:
+            raise ValueError(
+                f"hypervolume reference {(ref_x, ref_y)} must weakly "
+                f"dominate-from-above every cost; ({x}, {y}) lies outside "
+                "the reference box"
+            )
+    front_idx = pareto_front(points)
+    front = sorted(points[i] for i in front_idx)
     volume = 0.0
     prev_y = ref_y
     for x, y in front:

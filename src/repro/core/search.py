@@ -4,13 +4,22 @@ The paper's §1 motivates cost models by their role inside design space
 exploration: a model that ranks candidates well lets the DSE tool spend
 its expensive ground-truth evaluations (synthesis + simulation) on the
 most promising designs.  This module makes that claim measurable by
-running *model-guided* search against a *random* baseline under the
-same evaluation budget and recording the best-so-far true objective
+running *model-guided* search against model-free baselines — uniform
+random sampling, an evolutionary search and simulated annealing — under
+the same evaluation budget and recording the best-so-far true objective
 after each evaluation.
+
+Every strategy accepts an ``evaluate`` hook so an orchestrator (the
+campaign runner) can intercept ground-truth evaluations — journaling
+them, replaying them from a checkpoint — without the strategy knowing;
+the default hook is :func:`evaluate_point`.  Every stochastic strategy
+is deterministic under its ``rng``: the same seeded generator replays
+the identical evaluation order.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -19,7 +28,14 @@ import numpy as np
 from ..profiler import Profiler
 from .explorer import DesignPoint, DesignSpaceExplorer, default_objective
 
-__all__ = ["SearchTrace", "evaluate_point", "model_guided_search", "random_search"]
+__all__ = [
+    "SearchTrace",
+    "annealing_search",
+    "evaluate_point",
+    "evolutionary_search",
+    "model_guided_search",
+    "random_search",
+]
 
 
 @dataclass
@@ -31,9 +47,17 @@ class SearchTrace:
     best_objective: list[float] = field(default_factory=list)
 
     @property
+    def is_empty(self) -> bool:
+        """True when the search recorded no ground-truth evaluations
+        (e.g. a campaign cell whose design space enumerated empty)."""
+        return not self.best_objective
+
+    @property
     def final_best(self) -> float:
         if not self.best_objective:
-            raise ValueError("empty search trace")
+            raise ValueError(
+                "empty search trace has no final_best; check is_empty first"
+            )
         return self.best_objective[-1]
 
     def evaluations_to_reach(self, target: float) -> Optional[int]:
@@ -58,6 +82,26 @@ def evaluate_point(
     return point.actual
 
 
+Evaluator = Callable[[DesignPoint], None]
+
+
+def _ensure_actual(
+    point: DesignPoint,
+    data: Optional[dict[str, Any]],
+    evaluate: Optional[Evaluator],
+) -> None:
+    if point.actual is not None:
+        return
+    if evaluate is not None:
+        evaluate(point)
+        if point.actual is None:
+            raise ValueError(
+                "evaluate hook returned without setting point.actual"
+            )
+    else:
+        evaluate_point(point, data=data)
+
+
 def _record(
     trace: SearchTrace,
     point: DesignPoint,
@@ -75,6 +119,7 @@ def model_guided_search(
     budget: int,
     data: Optional[dict[str, Any]] = None,
     objective: Callable[[dict[str, int]], float] = default_objective,
+    evaluate: Optional[Evaluator] = None,
 ) -> SearchTrace:
     """Verify candidates in the model's predicted order.
 
@@ -95,8 +140,7 @@ def model_guided_search(
     ranked = sorted(candidates, key=lambda p: objective(p.predicted))
     trace = SearchTrace(strategy="model-guided")
     for point in ranked[:budget]:
-        if point.actual is None:
-            evaluate_point(point, data=data)
+        _ensure_actual(point, data, evaluate)
         _record(trace, point, objective)
     return trace
 
@@ -107,6 +151,7 @@ def random_search(
     data: Optional[dict[str, Any]] = None,
     objective: Callable[[dict[str, int]], float] = default_objective,
     rng: Optional[np.random.Generator] = None,
+    evaluate: Optional[Evaluator] = None,
 ) -> SearchTrace:
     """Verify uniformly random candidates — the model-free baseline."""
     if budget < 1:
@@ -116,7 +161,175 @@ def random_search(
     trace = SearchTrace(strategy="random")
     for index in order[:budget]:
         point = candidates[int(index)]
-        if point.actual is None:
-            evaluate_point(point, data=data)
+        _ensure_actual(point, data, evaluate)
         _record(trace, point, objective)
+    return trace
+
+
+# -- genome view of the enumerated space ------------------------------------
+#
+# Candidates enumerated as a cartesian product (per-operator unroll
+# choices × hardware variants) share a coordinate structure: position i
+# of every candidate's signature names the same decision.  The
+# evolutionary and annealing strategies exploit that structure when it
+# holds (crossover / single-coordinate neighborhoods) and degrade to
+# random picks when it does not, so they stay correct on arbitrary
+# candidate lists.
+
+
+def _signature(point: DesignPoint) -> tuple:
+    coords = [("params", point.params.describe())]
+    coords.extend(
+        (f"{choice.function}#L{choice.loop_index}", (choice.unroll, choice.parallel))
+        for choice in point.choices
+    )
+    return tuple(coords)
+
+
+def _coordinate_view(
+    candidates: list[DesignPoint],
+) -> Optional[tuple[list[tuple], dict[tuple, int]]]:
+    """Signatures + signature→index lookup, or None when the candidates
+    do not share one coordinate structure."""
+    signatures = [_signature(point) for point in candidates]
+    axes = [tuple(name for name, _ in sig) for sig in signatures]
+    if len(set(axes)) != 1:
+        return None
+    lookup = {sig: index for index, sig in enumerate(signatures)}
+    if len(lookup) != len(signatures):
+        return None  # duplicate designs: genome lookup would alias them
+    return signatures, lookup
+
+
+def evolutionary_search(
+    candidates: list[DesignPoint],
+    budget: int,
+    data: Optional[dict[str, Any]] = None,
+    objective: Callable[[dict[str, int]], float] = default_objective,
+    rng: Optional[np.random.Generator] = None,
+    population_size: int = 4,
+    mutation_rate: float = 0.3,
+    evaluate: Optional[Evaluator] = None,
+) -> SearchTrace:
+    """Genetic search over the enumerated space (model-free).
+
+    Seeds a random population, then repeatedly crosses two
+    tournament-selected parents coordinate-wise and mutates one
+    coordinate to a value seen elsewhere in the space.  Offspring that
+    fall outside the candidate list (or repeat an evaluated design)
+    become random immigrants, so the full budget is always spent on
+    distinct designs.
+    """
+    if budget < 1:
+        raise ValueError("search budget must be >= 1")
+    if population_size < 2:
+        raise ValueError("population_size must be >= 2")
+    rng = rng or np.random.default_rng(0)
+    trace = SearchTrace(strategy="evolutionary")
+    if not candidates:
+        return trace
+    view = _coordinate_view(candidates)
+    unevaluated = set(range(len(candidates)))
+    scored: list[tuple[float, int]] = []  # (objective, index) of evaluated
+
+    def run_one(index: int) -> None:
+        point = candidates[index]
+        _ensure_actual(point, data, evaluate)
+        _record(trace, point, objective)
+        scored.append((objective(point.actual), index))
+        unevaluated.discard(index)
+
+    def random_unevaluated() -> int:
+        pool = sorted(unevaluated)
+        return pool[int(rng.integers(len(pool)))]
+
+    def tournament() -> int:
+        a, b = (scored[int(rng.integers(len(scored)))] for _ in range(2))
+        return a[1] if a[0] <= b[0] else b[1]
+
+    for _ in range(min(population_size, budget, len(candidates))):
+        run_one(random_unevaluated())
+    while len(trace.best_objective) < budget and unevaluated:
+        child: Optional[int] = None
+        if view is not None:
+            signatures, lookup = view
+            mother, father = tournament(), tournament()
+            genes = [
+                signatures[mother][i] if rng.random() < 0.5 else signatures[father][i]
+                for i in range(len(signatures[mother]))
+            ]
+            if rng.random() < mutation_rate:
+                axis = int(rng.integers(len(genes)))
+                alleles = sorted({sig[axis] for sig in signatures})
+                genes[axis] = alleles[int(rng.integers(len(alleles)))]
+            child = lookup.get(tuple(genes))
+        if child is None or child not in unevaluated:
+            child = random_unevaluated()  # random immigrant
+        run_one(child)
+    return trace
+
+
+def annealing_search(
+    candidates: list[DesignPoint],
+    budget: int,
+    data: Optional[dict[str, Any]] = None,
+    objective: Callable[[dict[str, int]], float] = default_objective,
+    rng: Optional[np.random.Generator] = None,
+    initial_temp: float = 0.35,
+    cooling: float = 0.85,
+    evaluate: Optional[Evaluator] = None,
+) -> SearchTrace:
+    """Simulated annealing over the enumerated space (model-free).
+
+    Walks single-coordinate neighbors of the current design, accepting
+    an uphill move with probability ``exp(-relative_delta / temp)``
+    under a geometrically cooling temperature.  Each budget unit is a
+    fresh ground-truth evaluation (already-evaluated designs are never
+    proposed again), so the trace is comparable point-for-point with
+    the other strategies.
+    """
+    if budget < 1:
+        raise ValueError("search budget must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    trace = SearchTrace(strategy="annealing")
+    if not candidates:
+        return trace
+    view = _coordinate_view(candidates)
+    unevaluated = set(range(len(candidates)))
+
+    def run_one(index: int) -> float:
+        point = candidates[index]
+        _ensure_actual(point, data, evaluate)
+        _record(trace, point, objective)
+        unevaluated.discard(index)
+        return objective(point.actual)
+
+    def neighbors(index: int) -> list[int]:
+        if view is None:
+            return []
+        signatures, _ = view
+        home = signatures[index]
+        return sorted(
+            other
+            for other in unevaluated
+            if sum(a != b for a, b in zip(signatures[other], home)) == 1
+        )
+
+    current = int(rng.integers(len(candidates)))
+    current_value = run_one(current)
+    temp = initial_temp
+    while len(trace.best_objective) < budget and unevaluated:
+        options = neighbors(current)
+        if options:
+            proposal = options[int(rng.integers(len(options)))]
+        else:
+            pool = sorted(unevaluated)
+            proposal = pool[int(rng.integers(len(pool)))]
+        value = run_one(proposal)
+        scale = max(abs(current_value), 1e-9)
+        if value <= current_value or rng.random() < math.exp(
+            -(value - current_value) / (scale * max(temp, 1e-9))
+        ):
+            current, current_value = proposal, value
+        temp *= cooling
     return trace

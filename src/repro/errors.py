@@ -72,3 +72,13 @@ class DatasetError(ReproError):
 
 class ServeError(ReproError):
     """Raised by the prediction service (engine, server or client)."""
+
+
+class CampaignError(ReproError):
+    """Raised by the campaign subsystem (spec, journal, runner, report)."""
+
+
+class CampaignInterrupted(CampaignError):
+    """Raised when a campaign run stops before completing every cell
+    (evaluation cap reached); the journal holds the finished prefix and
+    ``campaign resume`` continues from it."""

@@ -1,0 +1,569 @@
+"""Tests for the campaign subsystem: spec codec, journal resume,
+runner determinism, objectives and reporting."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.campaign import (
+    CampaignJournal,
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    WorkloadSpec,
+    build_cells,
+    design_key,
+    enumerate_cell_candidates,
+    exact_static_costs,
+    get_objective,
+    load_spec,
+    needs_model,
+    objective_names,
+    save_spec,
+    spec_digest,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.core import CostModel, LLMulatorConfig
+from repro.errors import CampaignError, CampaignInterrupted
+from repro.hls import HardwareParams
+from repro.lang import parse
+from repro.profiler import Profiler, StaticProfileCache
+
+SOURCE = """
+void scale(float a[8], float b[8]) {
+  for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0 + 1.0; }
+}
+void shift(float b[8], float c[8]) {
+  for (int i = 0; i < 8; i++) { c[i] = b[i] + 3.0; }
+}
+void dataflow(float a[8], float b[8], float c[8]) {
+  scale(a, b);
+  shift(b, c);
+}
+"""
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        name="test",
+        workloads=(WorkloadSpec(name="inline", source=SOURCE),),
+        strategies=("random", "annealing"),
+        objectives=("energy_delay",),
+        budget=4,
+        unroll_factors=(1, 2),
+        seed=3,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpec:
+    def test_payload_round_trip(self):
+        spec = small_spec(
+            hardware=(HardwareParams(), HardwareParams(mem_read_delay=5, mem_write_delay=5)),
+            objectives=("area_delay", "latency"),
+        )
+        assert spec_from_payload(spec_to_payload(spec)) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        spec = small_spec()
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_digest_stable_and_sensitive(self):
+        assert spec_digest(small_spec()) == spec_digest(small_spec())
+        assert spec_digest(small_spec()) != spec_digest(small_spec(budget=5))
+
+    def test_schema_version_checked(self):
+        payload = spec_to_payload(small_spec())
+        payload["schema"] = 99
+        with pytest.raises(CampaignError, match="schema version"):
+            spec_from_payload(payload)
+        del payload["schema"]
+        with pytest.raises(CampaignError, match="no 'schema'"):
+            spec_from_payload(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = spec_to_payload(small_spec())
+        payload["kind"] = "predict_job"
+        with pytest.raises(CampaignError, match="campaign_spec"):
+            spec_from_payload(payload)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CampaignError, match="unknown strategy"):
+            small_spec(strategies=("gradient_descent",))
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(CampaignError, match="unknown objective"):
+            small_spec(objectives=("happiness",))
+
+    def test_empty_grid_axes_rejected(self):
+        with pytest.raises(CampaignError, match="at least one"):
+            small_spec(workloads=())
+        with pytest.raises(CampaignError, match="at least one"):
+            small_spec(hardware=())
+
+    def test_budget_validated(self):
+        with pytest.raises(CampaignError, match="budget"):
+            small_spec(budget=0)
+
+    def test_falsy_payload_values_hit_validation(self):
+        # Explicit None-vs-falsy: an encoded 0/"" must reach the loud
+        # validation, not be silently replaced by the field default.
+        for field, message in (
+            ({"budget": 0}, "budget"),
+            ({"max_candidates": 0}, "max_candidates"),
+            ({"static_source": ""}, "static_source"),
+            ({"name": ""}, "name"),
+        ):
+            payload = spec_to_payload(small_spec())
+            payload.update(field)
+            with pytest.raises(CampaignError, match=message):
+                spec_from_payload(payload)
+
+    def test_unknown_payload_fields_rejected(self):
+        # A misspelled field silently decoding to defaults would run
+        # the wrong grid; mirror repro.api.codec's loud rejection.
+        payload = spec_to_payload(small_spec())
+        payload["strategy"] = ["annealing"]  # typo for "strategies"
+        with pytest.raises(CampaignError, match="unknown fields.*strategy"):
+            spec_from_payload(payload)
+        payload = spec_to_payload(small_spec())
+        payload["workloads"][0]["inputs"] = {"n": 8}  # typo for "data"
+        with pytest.raises(CampaignError, match="unknown fields.*inputs"):
+            spec_from_payload(payload)
+
+    def test_duplicate_workload_names_rejected(self):
+        # Workload names key journal cell ids; a collision would merge
+        # two cells' records into one corrupted report.
+        with pytest.raises(CampaignError, match="duplicate workload names"):
+            small_spec(
+                workloads=(
+                    WorkloadSpec(name="inline", source=SOURCE),
+                    WorkloadSpec(name="inline", source=SOURCE, data={"n": 12}),
+                )
+            )
+
+    def test_suite_workload_resolves(self):
+        source, data = WorkloadSpec(name="trisolv").resolve()
+        assert "trisolv" in source
+        assert isinstance(data, dict)
+
+    def test_unknown_suite_workload_rejected(self):
+        with pytest.raises(CampaignError, match="not in the bundled suites"):
+            WorkloadSpec(name="nonexistent_workload").resolve()
+
+    def test_cell_order_is_deterministic(self):
+        spec = small_spec(objectives=("energy_delay", "area_delay"))
+        ids = [cell.cell_id for cell in build_cells(spec)]
+        assert ids == [cell.cell_id for cell in build_cells(spec)]
+        assert len(ids) == len(set(ids)) == spec.cell_count
+
+    def test_needs_model(self):
+        assert not small_spec().needs_model()
+        assert small_spec(strategies=("model_guided",)).needs_model()
+        assert needs_model("model_guided") and not needs_model("random")
+
+
+class TestObjectives:
+    COSTS = {"cycles": 100, "area": 7, "power": 3, "ff": 2}
+
+    def test_scalar_compositions(self):
+        assert get_objective("latency")(self.COSTS) == 100.0
+        assert get_objective("area_delay")(self.COSTS) == 700.0
+        assert get_objective("energy_delay")(self.COSTS) == 300.0
+        assert get_objective("energy_delay_area")(self.COSTS) == 2100.0
+
+    def test_front_point_follows_objective(self):
+        assert get_objective("energy_delay").front_point(self.COSTS) == (100.0, 3.0)
+        assert get_objective("area_delay").front_point(self.COSTS) == (100.0, 7.0)
+
+    def test_unknown_name_is_loud(self):
+        with pytest.raises(CampaignError, match="unknown objective"):
+            get_objective("nope")
+        assert "energy_delay" in objective_names()
+
+    def test_exact_static_costs_match_profiler(self):
+        program = parse(SOURCE)
+        params = HardwareParams(mem_read_delay=5, mem_write_delay=5)
+        static = exact_static_costs(program, params)
+        report = Profiler(params).profile(program)
+        assert static["power"] == report.costs["power"]
+        assert static["area"] == report.costs["area"]
+        assert static["ff"] == report.costs["ff"]
+        assert "cycles" not in static  # dynamic metric stays the model's job
+
+    def test_exact_static_costs_shares_cache(self):
+        cache = StaticProfileCache()
+        program = parse(SOURCE)
+        exact_static_costs(program, static_cache=cache)
+        assert cache.misses == 1
+        exact_static_costs(program, static_cache=cache)
+        assert cache.hits == 1
+
+
+class TestJournal:
+    def test_create_refuses_existing(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        spec = small_spec()
+        CampaignJournal.create(path, spec).close()
+        with pytest.raises(CampaignError, match="already exists"):
+            CampaignJournal.create(path, spec)
+        CampaignJournal.create(path, spec, overwrite=True).close()
+
+    def test_resume_rejects_other_spec(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CampaignJournal.create(path, small_spec()).close()
+        with pytest.raises(CampaignError, match="different"):
+            CampaignJournal.open_resume(path, small_spec(budget=9))
+
+    def test_resume_drops_partial_trailing_record(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        spec = small_spec()
+        journal = CampaignJournal.create(path, spec)
+        journal.append("cell-a", "design-1", {"cycles": 10})
+        journal.close()
+        complete = open(path, "rb").read()
+        with open(path, "ab") as handle:
+            handle.write(b'{"actual":{"cycles":99')  # killed mid-write
+        resumed = CampaignJournal.open_resume(path, spec)
+        assert resumed.pop_replay("cell-a", "design-1") == {"cycles": 10}
+        assert resumed.pop_replay("cell-a", "design-2") is None
+        resumed.close()
+        assert open(path, "rb").read() == complete
+
+    def test_replay_mismatch_is_loud(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        spec = small_spec()
+        journal = CampaignJournal.create(path, spec)
+        journal.append("cell-a", "design-1", {"cycles": 10})
+        journal.close()
+        resumed = CampaignJournal.open_resume(path, spec)
+        with pytest.raises(CampaignError, match="journal mismatch"):
+            resumed.pop_replay("cell-a", "another-design")
+
+    def test_malformed_eval_record_is_one_line_error(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        spec = small_spec()
+        journal = CampaignJournal.create(path, spec)
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind":"eval"}\n')  # hand-edited/corrupt record
+        with pytest.raises(CampaignError, match="malformed eval record"):
+            CampaignJournal.open_resume(path, spec)
+        with pytest.raises(CampaignError, match="malformed eval record"):
+            CampaignJournal.read_records(path)
+
+    def test_non_numeric_actual_rejected(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        spec = small_spec()
+        CampaignJournal.create(path, spec).close()
+        with open(path, "a") as handle:
+            handle.write(
+                '{"actual":{"cycles":"many"},"cell":"c","design":"d",'
+                '"kind":"eval"}\n'
+            )
+        with pytest.raises(CampaignError, match="numeric"):
+            CampaignJournal.open_resume(path, spec)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind":"eval","cell":"x","design":"d","actual":{}}\n')
+        with pytest.raises(CampaignError, match="header"):
+            CampaignJournal.open_resume(path, small_spec())
+
+
+class TestRunner:
+    def run_spec(self, tmp_path, spec, name="j.jsonl", **kwargs):
+        path = str(tmp_path / name)
+        runner = CampaignRunner(spec, path)
+        return runner.run(**kwargs), path
+
+    def test_full_run_journals_every_evaluation(self, tmp_path):
+        spec = small_spec()
+        result, path = self.run_spec(tmp_path, spec)
+        assert result.completed
+        assert result.evaluated == sum(cell.evaluated for cell in result.cells)
+        records = CampaignJournal.read_records(path)
+        assert records[0]["kind"] == "header"
+        assert len(records) - 1 == result.evaluated
+        assert all(set(r["actual"]) == {"power", "area", "ff", "cycles"}
+                   for r in records[1:])
+
+    def test_interrupt_then_resume_matches_uninterrupted(self, tmp_path):
+        spec = small_spec()
+        _, path_a = self.run_spec(tmp_path, spec, name="a.jsonl")
+        runner_b = CampaignRunner(spec, str(tmp_path / "b.jsonl"))
+        with pytest.raises(CampaignInterrupted):
+            runner_b.run(max_evaluations=3)
+        resumed = CampaignRunner(spec, str(tmp_path / "b.jsonl")).run(resume=True)
+        assert resumed.completed and resumed.replayed == 3
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+
+    def test_resume_after_complete_replays_everything(self, tmp_path):
+        spec = small_spec()
+        result, path = self.run_spec(tmp_path, spec)
+        replay = CampaignRunner(spec, path).run(resume=True)
+        assert replay.evaluated == 0
+        assert replay.replayed == result.evaluated
+
+    def test_same_seed_same_journal_distinct_seed_diverges(self, tmp_path):
+        spec = small_spec(strategies=("random", "evolutionary", "annealing"))
+        _, path_a = self.run_spec(tmp_path, spec, name="a.jsonl")
+        _, path_b = self.run_spec(tmp_path, spec, name="b.jsonl")
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+        _, path_c = self.run_spec(
+            tmp_path, small_spec(strategies=("random", "evolutionary", "annealing"), seed=4),
+            name="c.jsonl",
+        )
+        a_evals = [r["design"] for r in CampaignJournal.read_records(path_a)[1:]]
+        c_evals = [r["design"] for r in CampaignJournal.read_records(path_c)[1:]]
+        assert a_evals != c_evals
+
+    def test_model_guided_needs_predictor(self, tmp_path):
+        spec = small_spec(strategies=("model_guided",))
+        with pytest.raises(CampaignError, match="needs a predictor"):
+            CampaignRunner(spec, str(tmp_path / "j.jsonl"))
+
+    def test_model_guided_through_session(self, tmp_path):
+        spec = small_spec(
+            strategies=("random", "model_guided"), static_source="asicflow"
+        )
+        session = Session.from_model(CostModel(LLMulatorConfig(tier="0.5B")))
+        path = str(tmp_path / "j.jsonl")
+        result = CampaignRunner(spec, path, predictor=session).run()
+        assert result.completed
+        guided = [c for c in result.cells if c.cell.strategy == "model_guided"]
+        assert guided and all(cell.evaluated > 0 for cell in guided)
+
+    def test_asicflow_statics_are_exact_in_predictions(self, tmp_path):
+        spec = small_spec(strategies=("model_guided",), static_source="asicflow")
+        session = Session.from_model(CostModel(LLMulatorConfig(tier="0.5B")))
+        runner = CampaignRunner(spec, str(tmp_path / "j.jsonl"), predictor=session)
+        cell = build_cells(spec)[0]
+        program = parse(cell.source)
+        candidates = enumerate_cell_candidates(
+            program, cell.params, spec.unroll_factors, spec.max_candidates
+        )
+        runner._predict(cell, candidates, get_objective(cell.objective))
+        for point in candidates:
+            exact = exact_static_costs(point.program, point.params)
+            assert point.predicted["power"] == exact["power"]
+            assert point.predicted["area"] == exact["area"]
+
+    def test_journal_with_extra_cells_rejected(self, tmp_path):
+        wide = small_spec(objectives=("energy_delay", "area_delay"))
+        narrow = small_spec()
+        _, path = self.run_spec(tmp_path, wide)
+        # Force the narrow spec onto the wide journal by faking the digest
+        # guard away: report must still notice the undeclared cells.
+        records = CampaignJournal.read_records(path)
+        records[0]["spec_digest"] = spec_digest(narrow)
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+        with pytest.raises(CampaignError, match="never requested|does not declare"):
+            CampaignRunner(narrow, path).run(resume=True)
+
+    def test_zero_candidate_cell_yields_empty_trace(self, tmp_path):
+        loopless = """
+void dataflow(int n) { int x = n; }
+"""
+        spec = small_spec(
+            workloads=(WorkloadSpec(name="loopless", source=loopless),),
+            strategies=("random",),
+        )
+        result, path = self.run_spec(tmp_path, spec)
+        assert result.completed and result.evaluated == 0
+        assert result.cells[0].trace.is_empty
+        assert result.cells[0].final_best is None
+        report = CampaignReport.from_journal(path, spec)
+        assert report.cells[0].final_best is None
+        assert "-" in report.table()
+
+    def test_shared_static_cache_hits_across_cells(self, tmp_path):
+        cache = StaticProfileCache()
+        spec = small_spec(objectives=("energy_delay", "area_delay"))
+        runner = CampaignRunner(spec, str(tmp_path / "j.jsonl"), static_cache=cache)
+        runner.run()
+        # The second objective's cells revisit the same (program, params)
+        # design points, so the static EDA flow is paid once per design.
+        assert cache.hits > 0
+
+
+class TestReport:
+    def build(self, tmp_path, spec=None):
+        spec = spec or small_spec(objectives=("energy_delay", "area_delay"))
+        path = str(tmp_path / "j.jsonl")
+        CampaignRunner(spec, path).run()
+        return spec, path, CampaignReport.from_journal(path, spec)
+
+    def test_traces_match_budget(self, tmp_path):
+        spec, _, report = self.build(tmp_path)
+        for cell in report.cells:
+            assert 1 <= cell.evaluations <= spec.budget
+            assert cell.trace.best_objective == sorted(
+                cell.trace.best_objective, reverse=True
+            )
+
+    def test_front_and_hypervolume(self, tmp_path):
+        _, _, report = self.build(tmp_path)
+        for cell in report.cells:
+            assert cell.front, "non-empty cells must have a front"
+            assert cell.hypervolume >= 0.0
+
+    def test_hypervolume_reference_shared_within_group(self, tmp_path):
+        # Comparable across strategies: the group's shared reference
+        # means a frontier that dominates another cell's frontier can
+        # never report a smaller hypervolume.
+        from repro.core import dominates
+
+        _, _, report = self.build(tmp_path)
+        groups = {}
+        for cell in report.cells:
+            key = (cell.cell.workload, cell.cell.hardware_index, cell.cell.objective)
+            groups.setdefault(key, []).append(cell)
+        for members in groups.values():
+            for a in members:
+                for b in members:
+                    a_dominates_b = all(
+                        any(
+                            dominates(pa, pb) or tuple(pa) == tuple(pb)
+                            for pa in a.front
+                        )
+                        for pb in b.front
+                    )
+                    if a_dominates_b:
+                        assert a.hypervolume >= b.hypervolume - 1e-9
+
+    def test_comparison_targets_random(self, tmp_path):
+        spec, _, report = self.build(tmp_path)
+        assert report.comparisons
+        for row in report.comparisons:
+            assert row.target is not None
+            assert row.evaluations["random"] is not None
+            # random trivially reaches its own best within its trace
+            assert row.evaluations["random"] <= spec.budget
+
+    def test_digest_mismatch_is_loud(self, tmp_path):
+        spec, path, _ = self.build(tmp_path)
+        with pytest.raises(CampaignError, match="different"):
+            CampaignReport.from_journal(path, small_spec(budget=9))
+
+    def test_json_round_trips(self, tmp_path):
+        _, _, report = self.build(tmp_path)
+        payload = json.loads(report.to_json())
+        assert payload["campaign"] == report.spec.name
+        assert len(payload["cells"]) == len(report.cells)
+
+    def test_table_renders_every_cell(self, tmp_path):
+        spec, _, report = self.build(tmp_path)
+        text = report.table()
+        for cell in build_cells(spec):
+            assert cell.cell_id in text
+
+
+class TestDesignKey:
+    def test_key_distinguishes_choices_and_params(self):
+        program = parse(SOURCE)
+        points = enumerate_cell_candidates(
+            program, HardwareParams(), (1, 2), 16
+        ) + enumerate_cell_candidates(
+            program, HardwareParams(mem_read_delay=5, mem_write_delay=5), (1, 2), 16
+        )
+        keys = [design_key(point) for point in points]
+        assert len(keys) == len(set(keys))
+
+    def test_candidates_keep_cell_params(self):
+        program = parse(SOURCE)
+        params = HardwareParams(
+            mem_read_delay=5, mem_write_delay=7, pe_count=8, memory_ports=4
+        )
+        for point in enumerate_cell_candidates(program, params, (1, 2), 16):
+            assert point.params == params
+
+
+class TestCampaignCli:
+    """``python -m repro campaign run|resume|report``."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        save_spec(small_spec(), path)
+        return path
+
+    def _main(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_run_resume_report_cycle(self, tmp_path, spec_file, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        code = self._main(
+            ["campaign", "run", "--spec", spec_file, "--journal", journal,
+             "--max-evals", "3"]
+        )
+        assert code == 3  # interrupted, journal holds the prefix
+        code = self._main(
+            ["campaign", "resume", "--spec", spec_file, "--journal", journal]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["completed"] is True
+        assert summary["evaluations_replayed"] == 3
+        code = self._main(
+            ["campaign", "report", "--spec", spec_file, "--journal", journal,
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "test"
+        assert payload["comparisons"]
+
+    def test_run_refuses_existing_journal(self, tmp_path, spec_file):
+        journal = str(tmp_path / "j.jsonl")
+        assert self._main(
+            ["campaign", "run", "--spec", spec_file, "--journal", journal]
+        ) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(
+                ["campaign", "run", "--spec", spec_file, "--journal", journal]
+            )
+        assert "already exists" in str(excinfo.value.code)
+        assert self._main(
+            ["campaign", "run", "--spec", spec_file, "--journal", journal,
+             "--overwrite"]
+        ) == 0
+
+    def test_missing_spec_is_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(
+                ["campaign", "run", "--spec", str(tmp_path / "none.json"),
+                 "--journal", str(tmp_path / "j.jsonl")]
+            )
+        assert str(excinfo.value.code).startswith("error:")
+
+    def test_model_guided_requires_model_flag(self, tmp_path):
+        spec_path = str(tmp_path / "spec.json")
+        save_spec(small_spec(strategies=("model_guided",)), spec_path)
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(
+                ["campaign", "run", "--spec", spec_path,
+                 "--journal", str(tmp_path / "j.jsonl")]
+            )
+        assert "--model" in str(excinfo.value.code)
+
+    def test_report_without_journal_is_one_line_error(self, tmp_path, spec_file):
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(
+                ["campaign", "report", "--spec", spec_file,
+                 "--journal", str(tmp_path / "missing.jsonl")]
+            )
+        assert str(excinfo.value.code).startswith("error:")

@@ -221,3 +221,46 @@ class TestCalibrator:
         calibrator = DynamicCalibrator(model, config)
         history = calibrator.run(environment((16, 24)), iterations=2)
         assert len(history.iteration_mape) == 2
+
+
+class TestSaveStatsTruthiness:
+    """Regression for the injected-cache truthiness audit: save() must
+    decide whether to persist standardization statistics via explicit
+    len()/None checks, never via object truthiness."""
+
+    def test_frozen_stats_saved_with_empty_pooled_cache(self, tmp_path):
+        import numpy as np
+
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        dim = model.encoder.config.dim
+        calibrator._frozen_stats = (np.zeros(dim), np.ones(dim))
+        assert len(calibrator._pooled_cache) == 0  # the truthiness trap
+        path = str(tmp_path / "policy.npz")
+        calibrator.save(path)
+        with np.load(path) as archive:
+            names = set(archive.files)
+        assert "__stats__.mu" in names and "__stats__.sigma" in names
+
+    def test_no_stats_saved_without_cache_or_frozen_stats(self, tmp_path):
+        import numpy as np
+
+        model = CostModel(LLMulatorConfig(tier="0.5B", max_seq_len=256))
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        path = str(tmp_path / "policy.npz")
+        calibrator.save(path)
+        with np.load(path) as archive:
+            assert not any(name.startswith("__stats__") for name in archive.files)
+
+    def test_live_cache_stats_saved(self, tmp_path):
+        import numpy as np
+
+        model = trained_model()
+        calibrator = DynamicCalibrator(model, CalibrationConfig(seed=0))
+        calibrator.run(environment(), iterations=1)
+        assert len(calibrator._pooled_cache) > 0
+        path = str(tmp_path / "policy.npz")
+        calibrator.save(path)
+        with np.load(path) as archive:
+            names = set(archive.files)
+        assert "__stats__.mu" in names and "__stats__.sigma" in names

@@ -141,8 +141,17 @@ class TestHypervolume:
         with_dominated = hypervolume_2d([(2, 2), (5, 5)], reference=(10, 10))
         assert with_dominated == pytest.approx(lone)
 
-    def test_point_outside_reference_ignored(self):
-        assert hypervolume_2d([(20, 20)], reference=(10, 10)) == 0.0
+    def test_point_outside_reference_rejected(self):
+        # Silently ignoring an out-of-box point would report the volume
+        # of a different frontier than the caller handed in.
+        with pytest.raises(ValueError, match="reference"):
+            hypervolume_2d([(20, 20)], reference=(10, 10))
+        with pytest.raises(ValueError, match="reference"):
+            hypervolume_2d([(2, 2), (5, 20)], reference=(10, 10))
+
+    def test_point_on_reference_boundary_allowed(self):
+        assert hypervolume_2d([(10, 10)], reference=(10, 10)) == 0.0
+        assert hypervolume_2d([(2, 10), (10, 2)], reference=(10, 10)) == 0.0
 
     @given(
         st.lists(

@@ -127,3 +127,165 @@ class TestEndToEnd:
         trace = model_guided_search(explorer, points, budget=2)
         assert all(p.actual is not None for p in trace.evaluated)
         assert len(trace.best_objective) == 2
+
+
+def _rich_candidates(n_ops=2, factors=(1, 2, 4)):
+    """A product-structured space (what the campaign enumerates)."""
+    from repro.campaign import enumerate_cell_candidates
+
+    program = parse(SOURCE)
+    # SOURCE has a single op; synthesize a second by reusing unroll
+    # factors on the same loop via hardware variants instead.
+    points = []
+    for delay in (5, 10):
+        points.extend(
+            enumerate_cell_candidates(
+                program,
+                HardwareParams(mem_read_delay=delay, mem_write_delay=delay),
+                factors,
+                64,
+            )
+        )
+    for i, point in enumerate(points):
+        point.actual = {"cycles": 100 + ((i * 7) % 13), "area": 10, "ff": 1, "power": 2}
+    return points
+
+
+class TestIsEmpty:
+    def test_empty_and_nonempty(self):
+        assert SearchTrace(strategy="x").is_empty
+        trace = SearchTrace(strategy="x", best_objective=[1.0])
+        assert not trace.is_empty
+        assert trace.final_best == 1.0
+
+    def test_final_best_message_mentions_is_empty(self):
+        with pytest.raises(ValueError, match="is_empty"):
+            SearchTrace(strategy="x").final_best
+
+
+class TestNewStrategies:
+    def _run(self, strategy, seed, budget=6, **kwargs):
+        from repro.core import annealing_search, evolutionary_search
+
+        fn = {"evolutionary": evolutionary_search, "annealing": annealing_search}[
+            strategy
+        ]
+        return fn(
+            _rich_candidates(),
+            budget,
+            objective=_objective,
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    def test_budget_respected_and_monotone(self):
+        for strategy in ("evolutionary", "annealing"):
+            trace = self._run(strategy, seed=1)
+            assert len(trace.best_objective) == 6
+            assert all(
+                later <= earlier
+                for earlier, later in zip(
+                    trace.best_objective, trace.best_objective[1:]
+                )
+            )
+
+    def test_no_design_evaluated_twice(self):
+        for strategy in ("evolutionary", "annealing"):
+            trace = self._run(strategy, seed=2, budget=8)
+            assert len({id(p) for p in trace.evaluated}) == len(trace.evaluated)
+
+    def test_full_budget_finds_optimum(self):
+        points = _rich_candidates()
+        from repro.core import annealing_search, evolutionary_search
+
+        optimum = min(float(p.actual["cycles"]) for p in points)
+        for fn in (evolutionary_search, annealing_search):
+            trace = fn(
+                points,
+                len(points),
+                objective=_objective,
+                rng=np.random.default_rng(0),
+            )
+            assert trace.final_best == optimum
+
+    def test_budget_validated(self):
+        from repro.core import annealing_search, evolutionary_search
+
+        for fn in (evolutionary_search, annealing_search):
+            with pytest.raises(ValueError):
+                fn(_rich_candidates(), budget=0)
+
+    def test_empty_candidates_yield_empty_trace(self):
+        from repro.core import annealing_search, evolutionary_search
+
+        for fn in (evolutionary_search, annealing_search):
+            assert fn([], budget=3).is_empty
+
+
+class TestStrategySeeding:
+    """Identical seed → identical trace; distinct seeds diverge
+    (for every strategy, old and new)."""
+
+    def _evaluation_order(self, strategy, seed):
+        from repro.core import annealing_search, evolutionary_search
+
+        points = _rich_candidates()
+        if strategy == "model_guided":
+            for point in points:
+                point.predicted = dict(point.actual)
+            trace = model_guided_search(
+                None, points, budget=6, objective=_objective
+            )
+        else:
+            fn = {
+                "random": random_search,
+                "evolutionary": evolutionary_search,
+                "annealing": annealing_search,
+            }[strategy]
+            trace = fn(
+                points, 6, objective=_objective, rng=np.random.default_rng(seed)
+            )
+        return [points.index(p) for p in trace.evaluated]
+
+    @pytest.mark.parametrize(
+        "strategy", ["random", "model_guided", "evolutionary", "annealing"]
+    )
+    def test_identical_seed_identical_trace(self, strategy):
+        assert self._evaluation_order(strategy, 11) == self._evaluation_order(
+            strategy, 11
+        )
+
+    @pytest.mark.parametrize("strategy", ["random", "evolutionary", "annealing"])
+    def test_distinct_seeds_diverge(self, strategy):
+        orders = {tuple(self._evaluation_order(strategy, seed)) for seed in range(6)}
+        assert len(orders) > 1, f"{strategy} ignores its rng"
+
+
+class TestEvaluateHook:
+    def test_hook_replaces_profiler(self):
+        calls = []
+
+        def fake_evaluate(point):
+            calls.append(point)
+            point.actual = {"cycles": 42 + len(calls), "area": 1, "ff": 1, "power": 1}
+
+        program = parse(SOURCE)
+        points = [
+            DesignPoint(program=program, params=HardwareParams())
+            for _ in range(4)
+        ]
+        trace = random_search(
+            points, budget=3, objective=_objective,
+            rng=np.random.default_rng(0), evaluate=fake_evaluate,
+        )
+        assert len(calls) == 3
+        assert trace.final_best == 43.0
+
+    def test_hook_must_set_actual(self):
+        program = parse(SOURCE)
+        points = [DesignPoint(program=program, params=HardwareParams())]
+        with pytest.raises(ValueError, match="evaluate hook"):
+            random_search(
+                points, budget=1, objective=_objective,
+                rng=np.random.default_rng(0), evaluate=lambda point: None,
+            )
