@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""Repo-specific AST lint for bug classes this codebase has actually hit.
+
+Rules (all reported as ``file:line: RULE message``, exit 1 on findings):
+
+* ``REPRO001`` falsy-or default on a container-like optional parameter:
+  ``param or DEFAULT`` silently replaces an *empty* container with the
+  default (the falsy-cache bug class — an injected empty cache must not
+  fall through to the global one).  Write ``param if param is not None
+  else DEFAULT``.
+* ``REPRO002`` field assignment on ``self`` inside a
+  ``@dataclass(frozen=True)`` — raises ``FrozenInstanceError`` at
+  runtime; initialize via ``object.__setattr__`` in ``__post_init__``
+  or compute in a property.
+* ``REPRO003`` bare ``except:`` — swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch ``Exception`` (or narrower).
+* ``REPRO004`` nondeterminism in journal/codec modules:
+  ``time.time``/``datetime.now``/``uuid.uuid4``/``random.*`` in a
+  module whose path contains ``journal`` or ``codec``.  Replay parity
+  requires those files to be deterministic functions of their inputs.
+
+Usage::
+
+    python scripts/lint_repro.py [PATH ...]      # default: src/
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+# Parameter names / annotation fragments that suggest a container (for
+# which falsy and None are different states).
+CONTAINERISH_NAMES = re.compile(
+    r"(cache|entries|queue|jobs|records|items|pool|journal|buffer|batch|"
+    r"registry|results|issues|reasons)$",
+    re.IGNORECASE,
+)
+CONTAINERISH_ANNOTATIONS = re.compile(
+    r"\b(dict|list|set|tuple|Dict|List|Set|Tuple|Sequence|Mapping|"
+    r"Iterable|Collection|OrderedDict|deque)\b|Cache\b"
+)
+NONDETERMINISTIC_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+DETERMINISM_CRITICAL = re.compile(r"(journal|codec)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _annotation_text(node: ast.AST | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return ""
+
+
+def _optional_container_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names whose default is ``None`` and whose name or
+    annotation suggests a container — the REPRO001 suspects."""
+    suspects: set[str] = set()
+    args = func.args
+    positional = args.posonlyargs + args.args
+    defaults: list[tuple[ast.arg, ast.expr | None]] = []
+    pad = len(positional) - len(args.defaults)
+    for index, arg in enumerate(positional):
+        default = args.defaults[index - pad] if index >= pad else None
+        defaults.append((arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        defaults.append((arg, default))
+    for arg, default in defaults:
+        if not (isinstance(default, ast.Constant) and default.value is None):
+            continue
+        annotation = _annotation_text(arg.annotation)
+        if CONTAINERISH_NAMES.search(arg.arg) or CONTAINERISH_ANNOTATIONS.search(
+            annotation
+        ):
+            suspects.add(arg.arg)
+    return suspects
+
+
+def _empty_fallback(node: ast.expr) -> bool:
+    """True for fallbacks where empty-in means empty-out anyway:
+    ``x or {}``, ``x or []``, ``x or ()``, ``x or dict()``, ``x or None``.
+    Those are content-equivalent for an empty container, so REPRO001
+    only fires on fallbacks that would *replace* the empty container
+    (the ``cache or GLOBAL_CACHE`` bug)."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Tuple, ast.Set)):
+        return not getattr(node, "elts", None) and not getattr(node, "keys", None)
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"dict", "list", "set", "tuple", "frozenset"}
+        and not node.args
+        and not node.keywords
+    ):
+        return True
+    return False
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = _annotation_text(decorator.func)
+        if not name.endswith("dataclass"):
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._suspect_stack: list[set[str]] = []
+        self._frozen_depth = 0
+        self._determinism_critical = bool(
+            DETERMINISM_CRITICAL.search(self.path.name)
+        )
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # -- REPRO001: falsy-or on optional container params -----------------
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._suspect_stack.append(_optional_container_params(node))
+        self.generic_visit(node)
+        self._suspect_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        if (
+            isinstance(node.op, ast.Or)
+            and self._suspect_stack
+            and not _empty_fallback(node.values[-1])
+        ):
+            suspects = self._suspect_stack[-1]
+            for value in node.values[:-1]:
+                if isinstance(value, ast.Name) and value.id in suspects:
+                    self._report(
+                        node,
+                        "REPRO001",
+                        f"'{value.id} or ...' treats an empty container like "
+                        f"None; use '{value.id} if {value.id} is not None "
+                        "else ...'",
+                    )
+        self.generic_visit(node)
+
+    # -- REPRO002: mutation inside frozen dataclasses --------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        frozen = _is_frozen_dataclass(node)
+        if frozen:
+            self._frozen_depth += 1
+        self.generic_visit(node)
+        if frozen:
+            self._frozen_depth -= 1
+
+    def _check_self_assign(self, target: ast.expr, node: ast.AST) -> None:
+        if (
+            self._frozen_depth
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self._report(
+                node,
+                "REPRO002",
+                f"assignment to 'self.{target.attr}' inside a frozen "
+                "dataclass raises FrozenInstanceError; use "
+                "object.__setattr__ in __post_init__",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_self_assign(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_self_assign(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_self_assign(node.target, node)
+        self.generic_visit(node)
+
+    # -- REPRO003: bare except -------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node,
+                "REPRO003",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception or narrower",
+            )
+        self.generic_visit(node)
+
+    # -- REPRO004: nondeterminism in journal/codec modules ---------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._determinism_critical and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            base = node.func.value
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+            if (base_name, attr) in NONDETERMINISTIC_CALLS or base_name == "random":
+                self._report(
+                    node,
+                    "REPRO004",
+                    f"'{base_name}.{attr}()' in a {self._module_kind()} module "
+                    "breaks replay determinism; derive values from the "
+                    "journaled inputs instead",
+                )
+        self.generic_visit(node)
+
+    def _module_kind(self) -> str:
+        match = DETERMINISM_CRITICAL.search(self.path.name)
+        return match.group(1) if match else "determinism-critical"
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        return [Finding(path, getattr(exc, "lineno", 0) or 0, "REPRO000",
+                        f"cannot lint: {exc}")]
+    linter = _Linter(path)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_paths(paths: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or ["src"]
+    findings = lint_paths(paths)
+    for finding in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(finding)
+    checked = paths if len(paths) > 1 else paths[0]
+    if findings:
+        print(f"lint_repro: {len(findings)} finding(s) in {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"lint_repro: clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

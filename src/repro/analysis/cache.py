@@ -1,0 +1,124 @@
+"""Digest-keyed cache of analysis facts.
+
+Mirrors the :class:`repro.profiler.StaticProfileCache` contract —
+bounded LRU, thread-safe, hit/miss counters, a process-wide default —
+keyed by the program content digest so serve handlers and campaign
+cells validating the same program pay the analysis once.
+
+An explicit ``None`` check is required when threading a cache through
+constructors: an empty :class:`AnalysisCache` is falsy-free by design
+(it defines no ``__bool__``), but ``len()`` consumers exist, so never
+write ``cache or GLOBAL_ANALYSIS_CACHE``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang import ast, parse
+from ..sim import program_digest
+from .dependence import DependenceReport, analyze_dependences
+from .validate import ProgramValidator, ValidationReport
+
+__all__ = ["AnalysisCache", "GLOBAL_ANALYSIS_CACHE", "ProgramAnalysis"]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Everything the analysis layer derives from one program."""
+
+    digest: str
+    program: ast.Program
+    validation: ValidationReport
+    dependences: "OrderedDict[str, DependenceReport]"
+
+    @property
+    def ok(self) -> bool:
+        return self.validation.ok
+
+    def report(self, function: str) -> Optional[DependenceReport]:
+        return self.dependences.get(function)
+
+
+def compute_analysis(
+    program: ast.Program | str, digest: Optional[str] = None
+) -> ProgramAnalysis:
+    """Run validation + dependence analysis once (no caching)."""
+    source_digest = digest or program_digest(program)
+    validation = ProgramValidator().validate(program)
+    dependences: "OrderedDict[str, DependenceReport]" = OrderedDict()
+    if isinstance(program, str):
+        if validation.ok or validation.functions:
+            program = parse(program)
+        else:
+            # unparsable source: keep an empty program placeholder
+            program = ast.Program(functions=[])
+    if validation.functions:
+        for func in program.functions:
+            dependences[func.name] = analyze_dependences(func)
+    return ProgramAnalysis(
+        digest=source_digest,
+        program=program,
+        validation=validation,
+        dependences=dependences,
+    )
+
+
+class AnalysisCache:
+    """Bounded LRU of :class:`ProgramAnalysis` keyed by content digest.
+
+    Analysis is a deterministic function of the source text, so sharing
+    a cache across threads or subsystems never changes a verdict — it
+    only skips recomputation.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[str, ProgramAnalysis]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, program: ast.Program | str, digest: Optional[str] = None
+    ) -> ProgramAnalysis:
+        digest = digest or program_digest(program)
+        with self._lock:
+            cached = self._entries.get(digest)
+            if cached is not None:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        analysis = compute_analysis(program, digest=digest)
+        with self._lock:
+            self._entries[digest] = analysis
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+        return analysis
+
+    def validate(
+        self, program: ast.Program | str, digest: Optional[str] = None
+    ) -> ValidationReport:
+        return self.get(program, digest=digest).validation
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# Process-wide default cache.  Deterministic contents; bounded size.
+GLOBAL_ANALYSIS_CACHE = AnalysisCache()

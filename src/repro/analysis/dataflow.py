@@ -1,0 +1,691 @@
+"""Per-statement dataflow analysis over the loop-tree IR.
+
+This is the fact layer the dependence/legality/validation stack builds
+on (the Exo/SYS_ATL ``rewrite/dataflow.py`` role): every assignment in
+an operator function becomes a :class:`Statement` carrying its array
+reads/writes as affine subscript expressions, annotated with the loop
+nest it executes under.  A forward pass over the linearized statement
+order computes reaching definitions, definitely-undefined reads and the
+live-out arrays of every loop nest.
+
+The loop structure mirrors :mod:`repro.ir.looptree` (each
+:class:`LoopDesc` corresponds to one lowered ``LoopNode``) but keeps
+the information lowering drops — per-statement subscripts, comparison
+direction and signed steps — because dependence distances need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..ir.looptree import LoopTree, lower_function
+from ..lang import ast
+
+__all__ = [
+    "AffineExpr",
+    "ArrayAccess",
+    "FunctionDataflow",
+    "LoopDesc",
+    "Statement",
+    "UndefinedRead",
+    "affine_of",
+    "analyze_dataflow",
+]
+
+
+# -- affine subscript expressions --------------------------------------
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``sum(coeff * var) + constant`` or a non-affine marker."""
+
+    terms: tuple[tuple[str, int], ...] = ()
+    constant: int = 0
+    affine: bool = True
+
+    NON_AFFINE: "AffineExpr" = None  # type: ignore[assignment]  # set below
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.affine and not self.terms
+
+    def coeff(self, var: str) -> int:
+        for name, value in self.terms:
+            if name == var:
+                return value
+        return 0
+
+    def __str__(self) -> str:
+        if not self.affine:
+            return "<non-affine>"
+        parts = []
+        for name, value in self.terms:
+            if value == 1:
+                parts.append(name)
+            elif value == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{value}*{name}")
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        text = "+".join(parts)
+        return text.replace("+-", "-")
+
+
+AffineExpr.NON_AFFINE = AffineExpr(affine=False)
+
+
+def _combine(
+    left: AffineExpr, right: AffineExpr, sign: int
+) -> AffineExpr:
+    coeffs = dict(left.terms)
+    for name, value in right.terms:
+        coeffs[name] = coeffs.get(name, 0) + sign * value
+    terms = tuple(sorted((n, v) for n, v in coeffs.items() if v != 0))
+    return AffineExpr(terms=terms, constant=left.constant + sign * right.constant)
+
+
+def affine_of(expr: ast.Expr) -> AffineExpr:
+    """Best-effort affine form of *expr*; ``AffineExpr.NON_AFFINE`` when
+    the expression falls outside ``c0 + sum(ci * vi)``."""
+    if isinstance(expr, ast.IntLit):
+        return AffineExpr(constant=expr.value)
+    if isinstance(expr, ast.Var):
+        return AffineExpr(terms=((expr.name, 1),))
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = affine_of(expr.operand)
+        if not inner.affine:
+            return AffineExpr.NON_AFFINE
+        return AffineExpr(
+            terms=tuple((n, -v) for n, v in inner.terms),
+            constant=-inner.constant,
+        )
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("+", "-"):
+            left = affine_of(expr.left)
+            right = affine_of(expr.right)
+            if not (left.affine and right.affine):
+                return AffineExpr.NON_AFFINE
+            return _combine(left, right, 1 if expr.op == "+" else -1)
+        if expr.op == "*":
+            left = affine_of(expr.left)
+            right = affine_of(expr.right)
+            if not (left.affine and right.affine):
+                return AffineExpr.NON_AFFINE
+            if left.is_constant:
+                scale, scaled = left.constant, right
+            elif right.is_constant:
+                scale, scaled = right.constant, left
+            else:
+                return AffineExpr.NON_AFFINE
+            return AffineExpr(
+                terms=tuple(
+                    (n, v * scale) for n, v in scaled.terms if v * scale != 0
+                ),
+                constant=scaled.constant * scale,
+            )
+    return AffineExpr.NON_AFFINE
+
+
+# -- loop descriptors ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopDesc:
+    """One loop level with everything dependence analysis needs.
+
+    ``step`` is *signed* (``-1`` for a countdown loop); ``bound`` is the
+    compile-time comparison bound (``None`` when symbolic) and ``op``
+    the comparison operator, so value ranges and iteration distances
+    can be derived exactly.  ``order``/``end_order`` position the loop
+    in the function's pre-order statement sequence (used for fusion
+    adjacency).
+    """
+
+    index: int
+    var: str
+    depth: int
+    parent: Optional[int]
+    start: Optional[int]
+    bound: Optional[int]
+    bound_symbol: Optional[str]
+    op: str
+    step: Optional[int]
+    order: int = 0
+    end_order: int = 0
+    is_while: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.var}#{self.index}"
+
+    @property
+    def is_canonical(self) -> bool:
+        return not self.is_while and self.start is not None and self.step not in (None, 0)
+
+    @property
+    def is_static(self) -> bool:
+        return self.is_canonical and self.bound is not None
+
+    def value_range(self) -> Optional[tuple[int, int]]:
+        """Inclusive ``(lo, hi)`` range the induction variable covers,
+        or ``None`` when the loop is not fully static."""
+        if not self.is_static:
+            return None
+        assert self.start is not None and self.bound is not None
+        if self.op == "<":
+            lo, hi = self.start, self.bound - 1
+        elif self.op == "<=":
+            lo, hi = self.start, self.bound
+        elif self.op == ">":
+            lo, hi = self.bound + 1, self.start
+        elif self.op == ">=":
+            lo, hi = self.bound, self.start
+        else:
+            return None
+        if lo > hi:
+            return None  # zero-trip loop
+        return lo, hi
+
+
+# -- statements ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One subscripted array reference inside a statement."""
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+    is_write: bool
+    opaque: bool = False  # passed to a call: contents unknown
+
+    @property
+    def is_affine(self) -> bool:
+        return not self.opaque and all(s.affine for s in self.subscripts)
+
+    def __str__(self) -> str:
+        if self.opaque:
+            return f"{self.array}[?]"
+        subs = "".join(f"[{s}]" for s in self.subscripts)
+        return f"{self.array}{subs}"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One straight-line statement annotated with its loop nest."""
+
+    index: int
+    function: str
+    kind: str  # "assign" | "decl" | "cond" | "expr" | "return" | "header"
+    loop_ids: tuple[int, ...]
+    reads: tuple[ArrayAccess, ...] = ()
+    writes: tuple[ArrayAccess, ...] = ()
+    scalar_reads: frozenset[str] = frozenset()
+    scalar_defs: frozenset[str] = frozenset()
+    is_reduction: bool = False
+    order: int = 0
+    text: str = ""
+    guarded: bool = False  # under an If/While: may not execute every iteration
+
+    @property
+    def depth(self) -> int:
+        return len(self.loop_ids)
+
+
+@dataclass(frozen=True)
+class UndefinedRead:
+    """A read with no textually-preceding definition."""
+
+    statement: int
+    name: str
+    kind: str  # "scalar" | "array" | "uninitialized-local"
+
+    def describe(self) -> str:
+        if self.kind == "scalar":
+            return f"scalar {self.name!r} read before any definition"
+        if self.kind == "array":
+            return f"array {self.name!r} read but never defined or written"
+        return f"local array {self.name!r} read before any write"
+
+
+@dataclass
+class FunctionDataflow:
+    """Dataflow facts for one function."""
+
+    function: str
+    tree: LoopTree
+    loops: tuple[LoopDesc, ...]
+    statements: tuple[Statement, ...]
+    params: tuple[str, ...]
+    array_params: frozenset[str]
+    scalar_params: frozenset[str]
+    local_arrays: frozenset[str]
+    reaching: dict[int, dict[str, frozenset[int]]] = field(default_factory=dict)
+    undefined_reads: tuple[UndefinedRead, ...] = ()
+    live_out: frozenset[str] = frozenset()
+
+    def loop(self, index: int) -> LoopDesc:
+        return self.loops[index]
+
+    def loop_chain(self, statement: Statement) -> tuple[LoopDesc, ...]:
+        return tuple(self.loops[i] for i in statement.loop_ids)
+
+    def statements_in(self, loop_index: int) -> list[Statement]:
+        return [s for s in self.statements if loop_index in s.loop_ids]
+
+    def children_of(self, loop_index: Optional[int]) -> list[LoopDesc]:
+        return [l for l in self.loops if l.parent == loop_index]
+
+    def accesses(self) -> Iterator[tuple[Statement, ArrayAccess]]:
+        for statement in self.statements:
+            for access in statement.reads + statement.writes:
+                yield statement, access
+
+    def loop_live_out(self, loop_index: int) -> frozenset[str]:
+        """Arrays written inside the loop that are observable after it:
+        read by a later statement outside the loop, or escaping through
+        an array parameter."""
+        inside = [s for s in self.statements if loop_index in s.loop_ids]
+        if not inside:
+            return frozenset()
+        written = {a.array for s in inside for a in s.writes}
+        last_order = max(s.order for s in inside)
+        live = {name for name in written if name in self.array_params}
+        for statement in self.statements:
+            if loop_index in statement.loop_ids or statement.order <= last_order:
+                continue
+            for access in statement.reads:
+                if access.array in written:
+                    live.add(access.array)
+        return frozenset(live)
+
+
+# -- extraction ---------------------------------------------------------
+
+
+def _expr_accesses(expr: ast.Expr) -> tuple[list[ArrayAccess], set[str]]:
+    """Array reads and scalar reads of an expression subtree."""
+    accesses: list[ArrayAccess] = []
+    scalars: set[str] = set()
+    subscript_bases: set[int] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Index):
+            accesses.append(
+                ArrayAccess(
+                    array=node.base.name,
+                    subscripts=tuple(affine_of(i) for i in node.indices),
+                    is_write=False,
+                )
+            )
+            subscript_bases.add(id(node.base))
+        elif isinstance(node, ast.Var) and id(node) not in subscript_bases:
+            scalars.add(node.name)
+        elif isinstance(node, ast.CallExpr):
+            for arg in node.args:
+                if isinstance(arg, ast.Var):
+                    # Array arguments of nested calls are opaque: the
+                    # callee may read or write anything in them.
+                    accesses.append(
+                        ArrayAccess(array=arg.name, subscripts=(), is_write=False, opaque=True)
+                    )
+                    accesses.append(
+                        ArrayAccess(array=arg.name, subscripts=(), is_write=True, opaque=True)
+                    )
+    # Var nodes serving as Index bases are array references, not scalar
+    # reads; drop any that slipped in via walk order.
+    array_names = {a.array for a in accesses}
+    scalars -= array_names
+    return accesses, scalars
+
+
+def _same_access(a: ArrayAccess, b: ArrayAccess) -> bool:
+    return (
+        a.array == b.array
+        and a.is_affine
+        and b.is_affine
+        and a.subscripts == b.subscripts
+    )
+
+
+def _parse_step(stmt: Optional[ast.Stmt], var: str) -> Optional[int]:
+    """Signed step of a canonical ``for`` increment, else ``None``."""
+    if not isinstance(stmt, ast.Assign):
+        return None
+    target = stmt.target
+    if not isinstance(target, ast.Var) or target.name != var:
+        return None
+    if stmt.op in ("+=", "-=") and isinstance(stmt.value, ast.IntLit):
+        magnitude = stmt.value.value
+        return magnitude if stmt.op == "+=" else -magnitude
+    if stmt.op == "=" and isinstance(stmt.value, ast.BinOp):
+        binop = stmt.value
+        if (
+            binop.op in ("+", "-")
+            and isinstance(binop.left, ast.Var)
+            and binop.left.name == var
+            and isinstance(binop.right, ast.IntLit)
+        ):
+            return binop.right.value if binop.op == "+" else -binop.right.value
+    return None
+
+
+def analyze_dataflow(func: ast.FunctionDef) -> FunctionDataflow:
+    """Extract loop descriptors, annotated statements and reaching
+    definitions from one function."""
+    loops: list[LoopDesc] = []
+    statements: list[Statement] = []
+    local_arrays: set[str] = set()
+    order_counter = [0]
+    # Names known to be scalars when they appear as call arguments:
+    # scalar params, scalar declarations and loop induction variables.
+    scalar_names: set[str] = {p.name for p in func.params if not p.type.is_array}
+
+    def next_order() -> int:
+        order_counter[0] += 1
+        return order_counter[0]
+
+    def expr_accesses(
+        expr: ast.Expr,
+    ) -> tuple[list[ArrayAccess], list[ArrayAccess], set[str]]:
+        """Array reads, array writes (opaque call args) and scalar reads
+        of one expression, with known-scalar call arguments reclassified
+        as scalar reads instead of phantom opaque arrays."""
+        accesses, scalars = _expr_accesses(expr)
+        reads: list[ArrayAccess] = []
+        writes: list[ArrayAccess] = []
+        for access in accesses:
+            if access.opaque and access.array in scalar_names:
+                if not access.is_write:
+                    scalars.add(access.array)
+                continue
+            (writes if access.is_write else reads).append(access)
+        return reads, writes, scalars
+
+    def add_statement(
+        kind: str,
+        loop_path: tuple[int, ...],
+        reads: list[ArrayAccess],
+        writes: list[ArrayAccess],
+        scalar_reads: set[str],
+        scalar_defs: set[str],
+        is_reduction: bool = False,
+        text: str = "",
+        guarded: bool = False,
+    ) -> None:
+        statements.append(
+            Statement(
+                index=len(statements),
+                function=func.name,
+                kind=kind,
+                loop_ids=loop_path,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                scalar_reads=frozenset(scalar_reads),
+                scalar_defs=frozenset(scalar_defs),
+                is_reduction=is_reduction,
+                order=next_order(),
+                text=text,
+                guarded=guarded,
+            )
+        )
+
+    def visit_for(
+        stmt: ast.For, loop_path: tuple[int, ...], guarded: bool
+    ) -> None:
+        var = None
+        start = None
+        op = "?"
+        bound = None
+        bound_symbol = None
+        if isinstance(stmt.cond, ast.BinOp) and isinstance(stmt.cond.left, ast.Var):
+            var = stmt.cond.left.name
+            op = stmt.cond.op
+            bound_expr = stmt.cond.right
+            if isinstance(bound_expr, ast.IntLit):
+                bound = bound_expr.value
+            elif isinstance(bound_expr, ast.Var):
+                bound_symbol = bound_expr.name
+            else:
+                bound_symbol = f"<expr:{var}>"
+        header_reads: set[str] = set()
+        header_defs: set[str] = set()
+        if isinstance(stmt.init, ast.Decl):
+            header_defs.add(stmt.init.name)
+            if var is None:
+                var = stmt.init.name
+            if isinstance(stmt.init.init, ast.IntLit):
+                start = stmt.init.init.value
+        elif isinstance(stmt.init, ast.Assign) and isinstance(stmt.init.target, ast.Var):
+            header_defs.add(stmt.init.target.name)
+            if var is None:
+                var = stmt.init.target.name
+            if isinstance(stmt.init.value, ast.IntLit):
+                start = stmt.init.value.value
+        if var is None:
+            var = "<loop>"
+        scalar_names.add(var)
+        if stmt.cond is not None:
+            _, _, cond_scalars = expr_accesses(stmt.cond)
+            header_reads |= cond_scalars - {var}
+        step = _parse_step(stmt.step, var)
+        index = len(loops)
+        desc_order = next_order()
+        loops.append(
+            LoopDesc(
+                index=index,
+                var=var,
+                depth=len(loop_path),
+                parent=loop_path[-1] if loop_path else None,
+                start=start,
+                bound=bound,
+                bound_symbol=bound_symbol,
+                op=op,
+                step=step,
+                order=desc_order,
+            )
+        )
+        add_statement(
+            "header", loop_path, [], [], header_reads, header_defs | {var},
+            text=f"for {var}", guarded=guarded,
+        )
+        visit(stmt.body.stmts, loop_path + (index,), guarded)
+        loops[index] = LoopDesc(
+            **{**loops[index].__dict__, "end_order": order_counter[0]}
+        )
+
+    def visit(
+        stmts: list[ast.Stmt], loop_path: tuple[int, ...], guarded: bool = False
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.For):
+                visit_for(stmt, loop_path, guarded)
+            elif isinstance(stmt, ast.While):
+                index = len(loops)
+                desc_order = next_order()
+                loops.append(
+                    LoopDesc(
+                        index=index,
+                        var=f"<while#{index}>",
+                        depth=len(loop_path),
+                        parent=loop_path[-1] if loop_path else None,
+                        start=None,
+                        bound=None,
+                        bound_symbol="<while>",
+                        op="?",
+                        step=None,
+                        order=desc_order,
+                        is_while=True,
+                    )
+                )
+                reads, call_writes, scalars = expr_accesses(stmt.cond)
+                add_statement(
+                    "cond", loop_path, reads, call_writes, scalars, set(), guarded=guarded
+                )
+                visit(stmt.body.stmts, loop_path + (index,), True)
+                loops[index] = LoopDesc(
+                    **{**loops[index].__dict__, "end_order": order_counter[0]}
+                )
+            elif isinstance(stmt, ast.If):
+                reads, call_writes, scalars = expr_accesses(stmt.cond)
+                add_statement(
+                    "cond", loop_path, reads, call_writes, scalars, set(), guarded=guarded
+                )
+                visit(stmt.then.stmts, loop_path, True)
+                if stmt.other is not None:
+                    visit(stmt.other.stmts, loop_path, True)
+            elif isinstance(stmt, ast.Block):
+                visit(stmt.stmts, loop_path, guarded)
+            elif isinstance(stmt, ast.Assign):
+                reads, writes, scalars = expr_accesses(stmt.value)
+                scalar_defs: set[str] = set()
+                is_reduction = False
+                if isinstance(stmt.target, ast.Index):
+                    subscripts = tuple(affine_of(i) for i in stmt.target.indices)
+                    for idx_expr in stmt.target.indices:
+                        idx_reads, idx_writes, idx_scalars = expr_accesses(idx_expr)
+                        reads.extend(idx_reads)
+                        writes.extend(idx_writes)
+                        scalars |= idx_scalars
+                    write = ArrayAccess(
+                        array=stmt.target.base.name,
+                        subscripts=subscripts,
+                        is_write=True,
+                    )
+                    writes.append(write)
+                    if stmt.op in ("+=", "*="):
+                        reads.append(
+                            ArrayAccess(
+                                array=write.array,
+                                subscripts=subscripts,
+                                is_write=False,
+                            )
+                        )
+                        is_reduction = True
+                    elif stmt.op == "=" and isinstance(stmt.value, ast.BinOp):
+                        if stmt.value.op in ("+", "*") and any(
+                            _same_access(read, write) for read in reads
+                        ):
+                            is_reduction = True
+                    elif stmt.op != "=":
+                        reads.append(
+                            ArrayAccess(
+                                array=write.array,
+                                subscripts=subscripts,
+                                is_write=False,
+                            )
+                        )
+                else:
+                    scalar_defs.add(stmt.target.name)
+                    scalar_names.add(stmt.target.name)
+                    if stmt.op != "=":
+                        scalars.add(stmt.target.name)
+                target_text = (
+                    str(writes[-1])
+                    if isinstance(stmt.target, ast.Index) and writes
+                    else getattr(stmt.target, "name", "?")
+                )
+                add_statement(
+                    "assign", loop_path, reads, writes, scalars, scalar_defs,
+                    is_reduction=is_reduction, text=f"{target_text} {stmt.op} ...",
+                    guarded=guarded,
+                )
+            elif isinstance(stmt, ast.Decl):
+                if stmt.type.is_array:
+                    local_arrays.add(stmt.name)
+                    dim_scalars: set[str] = set()
+                    for dim in stmt.type.dims:
+                        if dim is not None:
+                            _, _, dim_reads = expr_accesses(dim)
+                            dim_scalars |= dim_reads
+                    add_statement(
+                        "decl", loop_path, [], [], dim_scalars, set(),
+                        text=f"decl {stmt.name}", guarded=guarded,
+                    )
+                else:
+                    scalar_names.add(stmt.name)
+                    reads, call_writes, scalars = (
+                        expr_accesses(stmt.init)
+                        if stmt.init is not None
+                        else ([], [], set())
+                    )
+                    add_statement(
+                        "decl", loop_path, reads, call_writes, scalars, {stmt.name},
+                        text=f"decl {stmt.name}", guarded=guarded,
+                    )
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    reads, call_writes, scalars = expr_accesses(stmt.value)
+                    add_statement(
+                        "return", loop_path, reads, call_writes, scalars, set(),
+                        guarded=guarded,
+                    )
+            elif isinstance(stmt, ast.ExprStmt):
+                reads, call_writes, scalars = expr_accesses(stmt.expr)
+                add_statement(
+                    "expr", loop_path, reads, call_writes, scalars, set(),
+                    guarded=guarded,
+                )
+
+    visit(func.body.stmts, ())
+
+    array_params = frozenset(p.name for p in func.params if p.type.is_array)
+    scalar_params = frozenset(p.name for p in func.params if not p.type.is_array)
+
+    # Forward pass: reaching definitions (may-reach, array granularity)
+    # and definitely-undefined reads in textual order.
+    defined_scalars = set(scalar_params)
+    array_defs: dict[str, set[int]] = {}
+    written_locals: set[str] = set()
+    reaching: dict[int, dict[str, frozenset[int]]] = {}
+    undefined: list[UndefinedRead] = []
+    for statement in statements:
+        snapshot: dict[str, frozenset[int]] = {}
+        for name in sorted(statement.scalar_reads):
+            if name not in defined_scalars:
+                undefined.append(UndefinedRead(statement.index, name, "scalar"))
+        for access in statement.reads:
+            snapshot.setdefault(
+                access.array, frozenset(array_defs.get(access.array, ()))
+            )
+            if access.array in array_params:
+                continue
+            if access.array in local_arrays:
+                if access.array not in written_locals:
+                    undefined.append(
+                        UndefinedRead(
+                            statement.index, access.array, "uninitialized-local"
+                        )
+                    )
+                    written_locals.add(access.array)  # report once
+                continue
+            if access.array not in array_defs:
+                undefined.append(UndefinedRead(statement.index, access.array, "array"))
+        if snapshot:
+            reaching[statement.index] = snapshot
+        defined_scalars |= statement.scalar_defs
+        for access in statement.writes:
+            array_defs.setdefault(access.array, set()).add(statement.index)
+            written_locals.add(access.array)
+
+    live_out = frozenset(name for name in array_defs if name in array_params)
+
+    return FunctionDataflow(
+        function=func.name,
+        tree=lower_function(func),
+        loops=tuple(loops),
+        statements=tuple(statements),
+        params=tuple(p.name for p in func.params),
+        array_params=array_params,
+        scalar_params=scalar_params,
+        local_arrays=frozenset(local_arrays),
+        reaching=reaching,
+        undefined_reads=tuple(undefined),
+        live_out=live_out,
+    )

@@ -1,0 +1,442 @@
+"""Dependence analysis over the dataflow facts.
+
+Classifies every pair of conflicting array accesses (at least one a
+write, same array, sharing a loop nest) into flow / anti / output
+dependences with a *distance vector* over the common loops: each entry
+is an exact iteration distance when the subscripts pin it down, or
+``"*"`` (unknown) when they do not.  Non-affine subscripts, opaque
+call arguments and symbolic strides all degrade to ``"*"`` — the
+analysis is conservative, never unsound: a reported absence of
+dependence is a proof, a ``"*"`` is an admission of ignorance.
+
+Scalars are handled separately: a scalar read inside a loop nest whose
+every read site is preceded (same loop body) by a definition is
+*privatizable* and carries nothing; anything else (accumulators,
+cross-loop temporaries) becomes an all-``"*"`` dependence.
+
+The distance convention: a dependence ``src -> dst`` with distance
+``d`` means iteration ``i`` of ``src`` and iteration ``i + d`` of
+``dst`` touch the same element, with ``d`` lexicographically positive,
+or ``d = 0`` and ``src`` textually before ``dst``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..lang import ast
+from .dataflow import (
+    AffineExpr,
+    ArrayAccess,
+    FunctionDataflow,
+    LoopDesc,
+    Statement,
+    analyze_dataflow,
+)
+
+__all__ = [
+    "Dependence",
+    "DependenceReport",
+    "analyze_dependences",
+    "analyze_program_dependences",
+    "direction_vectors",
+]
+
+Delta = Union[int, str]  # int distance or "*" (unknown)
+
+_INDEPENDENT = object()  # sentinel: subscripts can never collide
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge ``src -> dst`` over a common loop nest."""
+
+    array: str
+    kind: str  # "flow" | "anti" | "output" | "scalar"
+    src: int  # statement index
+    dst: int
+    loop_ids: tuple[int, ...]  # common loops, outermost first
+    loop_vars: tuple[str, ...]
+    deltas: tuple[Delta, ...]
+
+    @property
+    def is_loop_independent(self) -> bool:
+        return all(d == 0 for d in self.deltas)
+
+    @property
+    def carried_level(self) -> Optional[int]:
+        """0-based index (into ``loop_ids``) of the outermost loop that
+        may carry this dependence; ``None`` when loop-independent."""
+        for level, delta in enumerate(self.deltas):
+            if delta == "*" or delta != 0:
+                return level
+        return None
+
+    @property
+    def directions(self) -> tuple[str, ...]:
+        out = []
+        for delta in self.deltas:
+            if delta == "*":
+                out.append("*")
+            elif delta == 0:
+                out.append("=")
+            elif isinstance(delta, int) and delta > 0:
+                out.append("<")
+            else:
+                out.append(">")
+        return tuple(out)
+
+    def describe(self) -> str:
+        vec = ", ".join(
+            f"{var}:{'*' if d == '*' else d}"
+            for var, d in zip(self.loop_vars, self.deltas)
+        )
+        scope = f" ({vec})" if vec else " (loop-independent)"
+        return f"{self.kind} dependence on {self.array!r} S{self.src}->S{self.dst}{scope}"
+
+
+def direction_vectors(dep: Dependence) -> list[tuple[str, ...]]:
+    """All plausible direction vectors of *dep*: each ``"*"`` expands to
+    ``{<,=,>}``, filtered to lexicographically non-negative vectors (a
+    dependence cannot point backwards in time)."""
+    choices: list[tuple[str, ...]] = []
+    for delta in dep.deltas:
+        if delta == "*":
+            choices.append(("<", "=", ">"))
+        elif delta == 0:
+            choices.append(("=",))
+        elif isinstance(delta, int) and delta > 0:
+            choices.append(("<",))
+        else:
+            choices.append((">",))
+    plausible = []
+    for vector in itertools.product(*choices):
+        ok = True
+        for direction in vector:
+            if direction == "<":
+                break
+            if direction == ">":
+                ok = False
+                break
+        if ok:
+            plausible.append(vector)
+    return plausible
+
+
+@dataclass
+class DependenceReport:
+    """All dependences of one function."""
+
+    function: str
+    dataflow: FunctionDataflow
+    dependences: tuple[Dependence, ...]
+
+    def carried_by(self, loop_index: int) -> list[Dependence]:
+        """Dependences that the given loop may carry."""
+        out = []
+        for dep in self.dependences:
+            if loop_index not in dep.loop_ids:
+                continue
+            level = dep.loop_ids.index(loop_index)
+            carried = dep.carried_level
+            if carried is not None and carried <= level and (
+                dep.deltas[level] == "*" or carried == level
+            ):
+                out.append(dep)
+        return out
+
+    def between(self, src_loop: int, dst_loop: int) -> list[Dependence]:
+        """Dependences from a statement inside *src_loop* to a statement
+        inside *dst_loop* (loop bodies, including nested levels)."""
+        flow = self.dataflow
+        out = []
+        for dep in self.dependences:
+            src_loops = flow.statements[dep.src].loop_ids
+            dst_loops = flow.statements[dep.dst].loop_ids
+            if src_loop in src_loops and dst_loop in dst_loops:
+                out.append(dep)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        counts = {"flow": 0, "anti": 0, "output": 0, "scalar": 0}
+        carried = 0
+        independent = 0
+        unknown = 0
+        for dep in self.dependences:
+            counts[dep.kind] += 1
+            if dep.is_loop_independent:
+                independent += 1
+            else:
+                carried += 1
+            if "*" in dep.deltas:
+                unknown += 1
+        counts.update(
+            total=len(self.dependences),
+            loop_carried=carried,
+            loop_independent=independent,
+            unknown_distance=unknown,
+        )
+        return counts
+
+
+# -- pairwise subscript test -------------------------------------------
+
+
+def _common_prefix(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)
+
+
+def _position_constraint(
+    src_sub: AffineExpr,
+    dst_sub: AffineExpr,
+    common_vars: dict[str, LoopDesc],
+):
+    """Constraint one subscript position places on the distance vector.
+
+    Returns ``_INDEPENDENT`` (no collision possible), ``None`` (no
+    usable constraint — distances stay unknown), or ``(var, distance)``
+    pinning one loop's iteration distance.
+
+    Derivation: the position collides when ``src(i) = dst(i + d)``;
+    with identical coefficients on every variable this reduces to
+    ``sum(coeff(v_k) * dvar_k) = const(src) - const(dst)`` where
+    ``dvar`` is the distance in induction-variable value space.
+    """
+    if not (src_sub.affine and dst_sub.affine):
+        return None
+    names = set(src_sub.variables) | set(dst_sub.variables)
+    for name in names:
+        if src_sub.coeff(name) != dst_sub.coeff(name):
+            return None  # constraint depends on the iteration point
+    constant = src_sub.constant - dst_sub.constant
+    carriers = [
+        name
+        for name in names
+        if name in common_vars and dst_sub.coeff(name) != 0
+    ]
+    free = [name for name in names if name not in common_vars]
+    if free and carriers:
+        return None  # a free (inner/unknown) variable absorbs anything
+    if not carriers:
+        if free:
+            return None
+        # Both subscripts constant in the common loops: collide iff the
+        # constants match.
+        return None if constant == 0 else _INDEPENDENT
+    if len(carriers) > 1:
+        return None  # coupled subscript (i+j): stay conservative
+    var = carriers[0]
+    coeff = dst_sub.coeff(var)
+    if constant % coeff != 0:
+        return _INDEPENDENT
+    value_delta = constant // coeff
+    loop = common_vars[var]
+    if loop.step in (None, 0):
+        return None
+    if value_delta % loop.step != 0:
+        return _INDEPENDENT  # distance not reachable with this stride
+    return var, value_delta // loop.step
+
+
+def _distance_vector(
+    src: ArrayAccess,
+    dst: ArrayAccess,
+    common: tuple[LoopDesc, ...],
+) -> Optional[tuple[Delta, ...]]:
+    """Distance vector for ``src`` at iteration ``i`` and ``dst`` at
+    ``i + d`` touching the same element; ``None`` when the accesses
+    provably never collide."""
+    deltas: dict[str, Delta] = {loop.var: "*" for loop in common}
+    if src.opaque or dst.opaque:
+        return tuple(deltas[loop.var] for loop in common)
+    if len(src.subscripts) != len(dst.subscripts):
+        # Rank mismatch: malformed program; stay conservative.
+        return tuple(deltas[loop.var] for loop in common)
+    common_vars = {loop.var: loop for loop in common if not loop.is_while}
+    for src_sub, dst_sub in zip(src.subscripts, dst.subscripts):
+        constraint = _position_constraint(src_sub, dst_sub, common_vars)
+        if constraint is _INDEPENDENT:
+            return None
+        if constraint is None:
+            continue
+        var, distance = constraint
+        known = deltas[var]
+        if known != "*" and known != distance:
+            return None  # two positions demand different distances
+        deltas[var] = distance
+    return tuple(deltas[loop.var] for loop in common)
+
+
+def _plausible(deltas: tuple[Delta, ...], src: Statement, dst: Statement) -> bool:
+    """True when the vector can be lexicographically positive, or is
+    all-zero with *src* executing before *dst* at equal iterations."""
+    for delta in deltas:
+        if delta == "*":
+            return True
+        if isinstance(delta, int) and delta > 0:
+            return True
+        if isinstance(delta, int) and delta < 0:
+            return False
+    # all zeros: loop-independent; needs program order
+    if src.index != dst.index:
+        return src.order < dst.order
+    # same statement at the same iteration: reads happen before the
+    # write, so only read -> write (anti) order holds
+    return True
+
+
+# -- driver ------------------------------------------------------------
+
+
+def _array_dependences(flow: FunctionDataflow) -> list[Dependence]:
+    by_array: dict[str, list[tuple[Statement, ArrayAccess]]] = {}
+    for statement, access in flow.accesses():
+        by_array.setdefault(access.array, []).append((statement, access))
+    deps: list[Dependence] = []
+    for array in sorted(by_array):
+        entries = by_array[array]
+        for (stmt_a, acc_a), (stmt_b, acc_b) in itertools.combinations_with_replacement(
+            entries, 2
+        ):
+            if stmt_a.index == stmt_b.index and acc_a is acc_b:
+                # an access does not depend on itself at the same
+                # iteration; carried self-dependences surface through
+                # the ordered pairs below
+                if not acc_a.is_write:
+                    continue
+            if not (acc_a.is_write or acc_b.is_write):
+                continue
+            ordered = [(stmt_a, acc_a, stmt_b, acc_b)]
+            if not (stmt_a.index == stmt_b.index and acc_a is acc_b):
+                ordered.append((stmt_b, acc_b, stmt_a, acc_a))
+            for src_stmt, src_acc, dst_stmt, dst_acc in ordered:
+                common_ids = _common_prefix(src_stmt.loop_ids, dst_stmt.loop_ids)
+                common = tuple(flow.loops[i] for i in common_ids)
+                deltas = _distance_vector(src_acc, dst_acc, common)
+                if deltas is None:
+                    continue
+                if src_stmt.index == dst_stmt.index and src_acc is dst_acc:
+                    # write vs itself across iterations: output dep
+                    # needs a genuinely nonzero distance
+                    if all(d == 0 for d in deltas):
+                        continue
+                if not _plausible(deltas, src_stmt, dst_stmt):
+                    continue
+                if src_stmt.index == dst_stmt.index and all(
+                    d == 0 for d in deltas
+                ):
+                    # same statement, same iteration: the only real
+                    # ordering is read-before-write (anti)
+                    if not (not src_acc.is_write and dst_acc.is_write):
+                        continue
+                if src_acc.is_write and dst_acc.is_write:
+                    kind = "output"
+                elif src_acc.is_write:
+                    kind = "flow"
+                else:
+                    kind = "anti"
+                deps.append(
+                    Dependence(
+                        array=array,
+                        kind=kind,
+                        src=src_stmt.index,
+                        dst=dst_stmt.index,
+                        loop_ids=common_ids,
+                        loop_vars=tuple(l.var for l in common),
+                        deltas=deltas,
+                    )
+                )
+    # deduplicate (identical edges can arise from symmetric pairs)
+    unique = {}
+    for dep in deps:
+        key = (dep.array, dep.kind, dep.src, dep.dst, dep.deltas, dep.loop_ids)
+        unique.setdefault(key, dep)
+    return list(unique.values())
+
+
+def _scalar_dependences(flow: FunctionDataflow) -> list[Dependence]:
+    """Conservative dependences through scalar temporaries.
+
+    A scalar whose every in-loop read is preceded, in the same loop
+    body, by a definition is privatizable (each iteration is
+    self-contained) and carries nothing.  Everything else — classic
+    accumulators (``s = s + ...``), values flowing across loop
+    boundaries — becomes an all-unknown dependence over the common
+    loops of each (def, use) pair.
+    """
+    induction = {loop.var for loop in flow.loops}
+    defs: dict[str, list[Statement]] = {}
+    uses: dict[str, list[Statement]] = {}
+    for statement in flow.statements:
+        if statement.kind == "header":
+            continue
+        for name in statement.scalar_defs:
+            if name not in induction:
+                defs.setdefault(name, []).append(statement)
+        for name in statement.scalar_reads:
+            if name not in induction and name not in flow.scalar_params:
+                uses.setdefault(name, []).append(statement)
+    deps: list[Dependence] = []
+    for name, read_sites in sorted(uses.items()):
+        def_sites = defs.get(name, [])
+        loop_reads = [s for s in read_sites if s.loop_ids]
+        loop_defs = [s for s in def_sites if s.loop_ids]
+        if not loop_reads and not loop_defs:
+            continue  # straight-line scalar traffic: no loop semantics
+        privatizable = bool(def_sites) and all(
+            any(
+                d.order < r.order and d.loop_ids == r.loop_ids
+                for d in def_sites
+            )
+            for r in read_sites
+        )
+        if privatizable:
+            continue
+        for d in def_sites:
+            for r in read_sites:
+                common_ids = _common_prefix(d.loop_ids, r.loop_ids)
+                if not common_ids and not (d.loop_ids or r.loop_ids):
+                    continue
+                deps.append(
+                    Dependence(
+                        array=name,
+                        kind="scalar",
+                        src=d.index,
+                        dst=r.index,
+                        loop_ids=common_ids,
+                        loop_vars=tuple(flow.loops[i].var for i in common_ids),
+                        deltas=tuple("*" for _ in common_ids),
+                    )
+                )
+    unique = {}
+    for dep in deps:
+        key = (dep.array, dep.src, dep.dst, dep.loop_ids)
+        unique.setdefault(key, dep)
+    return list(unique.values())
+
+
+def analyze_dependences(
+    func: ast.FunctionDef, flow: Optional[FunctionDataflow] = None
+) -> DependenceReport:
+    """Full dependence report for one function."""
+    if flow is None:
+        flow = analyze_dataflow(func)
+    deps = _array_dependences(flow) + _scalar_dependences(flow)
+    deps.sort(key=lambda d: (d.src, d.dst, d.array, d.kind, d.deltas == ()))
+    return DependenceReport(
+        function=func.name, dataflow=flow, dependences=tuple(deps)
+    )
+
+
+def analyze_program_dependences(
+    program: ast.Program,
+) -> dict[str, DependenceReport]:
+    """Dependence reports for every function in the program."""
+    return {func.name: analyze_dependences(func) for func in program.functions}

@@ -1,0 +1,593 @@
+"""Transform legality verdicts over the dependence facts.
+
+Each ``can_*`` query answers one question the future rewrite engine
+must ask before touching a loop nest, and answers it with evidence: a
+:class:`LegalityVerdict` is falsy when the transform is unsafe and its
+``reasons`` cite the structural obstacle or the concrete dependence
+that would be violated.  The analyses are conservative — ``ok=True``
+is a proof obligation we accept (the transformed program computes
+bit-identical results under the interpreter), ``ok=False`` may be a
+false alarm but never the reverse.
+
+All queries take either an :class:`ast.FunctionDef` or a prebuilt
+:class:`DependenceReport` (so callers holding a cached report pay the
+analysis once), and loops are named by label (``"j#2"``), bare
+induction variable (when unambiguous) or loop index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import AnalysisError
+from ..lang import ast
+from .dataflow import FunctionDataflow, LoopDesc
+from .dependence import DependenceReport, analyze_dependences, direction_vectors
+
+__all__ = [
+    "LegalityVerdict",
+    "can_fuse",
+    "can_interchange",
+    "can_tile",
+    "can_unroll",
+    "legality_matrix",
+]
+
+LoopKey = Union[int, str]
+
+
+@dataclass(frozen=True)
+class LegalityVerdict:
+    """The answer to one legality query."""
+
+    ok: bool
+    reasons: tuple[str, ...] = ()
+    transform: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        status = "legal" if self.ok else "illegal"
+        head = f"{self.transform}: {status}" if self.transform else status
+        if not self.reasons:
+            return head
+        return head + " — " + "; ".join(self.reasons)
+
+
+def _report_of(target: Union[ast.FunctionDef, DependenceReport]) -> DependenceReport:
+    if isinstance(target, DependenceReport):
+        return target
+    return analyze_dependences(target)
+
+
+def _resolve_loop(flow: FunctionDataflow, key: LoopKey) -> LoopDesc:
+    if isinstance(key, int):
+        if 0 <= key < len(flow.loops):
+            return flow.loops[key]
+        raise AnalysisError(
+            f"function {flow.function!r} has no loop #{key} "
+            f"(it has {len(flow.loops)} loops)"
+        )
+    matches = [l for l in flow.loops if l.label == key]
+    if not matches:
+        matches = [l for l in flow.loops if l.var == key]
+    if not matches:
+        raise AnalysisError(
+            f"function {flow.function!r} has no loop named {key!r}; "
+            f"known loops: {', '.join(l.label for l in flow.loops) or 'none'}"
+        )
+    if len(matches) > 1:
+        raise AnalysisError(
+            f"loop name {key!r} is ambiguous in {flow.function!r}; "
+            f"use a label: {', '.join(l.label for l in matches)}"
+        )
+    return matches[0]
+
+
+def _chain_between(
+    flow: FunctionDataflow, outer: LoopDesc, inner: LoopDesc
+) -> list[LoopDesc]:
+    """The nesting chain ``[outer, ..., inner]``; raises when *inner*
+    is not nested under *outer*."""
+    chain = [inner]
+    cursor = inner
+    while cursor.parent is not None and cursor.index != outer.index:
+        cursor = flow.loops[cursor.parent]
+        chain.append(cursor)
+    if cursor.index != outer.index:
+        raise AnalysisError(
+            f"loop {inner.label!r} is not nested inside {outer.label!r} "
+            f"in {flow.function!r}"
+        )
+    chain.reverse()
+    return chain
+
+
+def _band_structural_reasons(
+    flow: FunctionDataflow, band: list[LoopDesc]
+) -> list[str]:
+    """Structural obstacles to permuting the loops of *band* (outermost
+    first): non-canonical headers, bounds that vary inside the band,
+    imperfect nesting between the band's levels."""
+    reasons: list[str] = []
+    band_vars = {loop.var for loop in band}
+    for loop in band:
+        if loop.is_while:
+            reasons.append(f"loop {loop.label} is a while loop")
+            continue
+        if not loop.is_canonical:
+            reasons.append(
+                f"loop {loop.label} has a non-canonical header "
+                "(unknown start or step)"
+            )
+        if loop.bound_symbol is not None:
+            if loop.bound_symbol in band_vars:
+                reasons.append(
+                    f"loop {loop.label} has a triangular bound "
+                    f"(depends on {loop.bound_symbol!r})"
+                )
+            elif loop.bound_symbol not in flow.scalar_params:
+                reasons.append(
+                    f"loop {loop.label} bound {loop.bound_symbol!r} is not "
+                    "provably invariant in the band"
+                )
+    outer, inner = band[0], band[-1]
+    loose = [
+        s
+        for s in flow.statements
+        if outer.index in s.loop_ids
+        and inner.index not in s.loop_ids
+        and s.kind != "header"
+    ]
+    if loose:
+        sample = loose[0]
+        reasons.append(
+            f"imperfect nest: statement S{sample.index} ({sample.text or sample.kind}) "
+            f"sits between {outer.label} and {inner.label}"
+        )
+    return reasons
+
+
+def _lex_nonnegative(vector: tuple[str, ...]) -> bool:
+    for direction in vector:
+        if direction == "<":
+            return True
+        if direction == ">":
+            return False
+    return True  # all "="
+
+
+def can_interchange(
+    target: Union[ast.FunctionDef, DependenceReport],
+    outer: LoopKey,
+    inner: LoopKey,
+) -> LegalityVerdict:
+    """May *outer* and *inner* (a nested pair) swap positions?
+
+    Legal iff the band is structurally permutable and no plausible
+    dependence direction vector becomes lexicographically negative
+    after swapping the two levels.
+    """
+    report = _report_of(target)
+    flow = report.dataflow
+    outer_loop = _resolve_loop(flow, outer)
+    inner_loop = _resolve_loop(flow, inner)
+    name = f"interchange({outer_loop.label},{inner_loop.label})"
+    if outer_loop.index == inner_loop.index:
+        return LegalityVerdict(False, ("cannot interchange a loop with itself",), name)
+    try:
+        band = _chain_between(flow, outer_loop, inner_loop)
+    except AnalysisError as exc:
+        return LegalityVerdict(False, (str(exc),), name)
+    reasons = _band_structural_reasons(flow, band)
+    if reasons:
+        return LegalityVerdict(False, tuple(reasons), name)
+    for dep in report.dependences:
+        if (
+            outer_loop.index not in dep.loop_ids
+            or inner_loop.index not in dep.loop_ids
+        ):
+            continue
+        p_out = dep.loop_ids.index(outer_loop.index)
+        p_in = dep.loop_ids.index(inner_loop.index)
+        for vector in direction_vectors(dep):
+            swapped = list(vector)
+            swapped[p_out], swapped[p_in] = swapped[p_in], swapped[p_out]
+            if not _lex_nonnegative(tuple(swapped)):
+                reasons.append(
+                    f"{dep.describe()} has direction ({', '.join(vector)}); "
+                    "swapping would reverse it"
+                )
+                break
+    if reasons:
+        return LegalityVerdict(False, tuple(reasons), name)
+    return LegalityVerdict(True, (), name)
+
+
+def can_tile(
+    target: Union[ast.FunctionDef, DependenceReport],
+    loops: Union[LoopKey, list, tuple],
+) -> LegalityVerdict:
+    """May the given loop band be tiled (strip-mined and interchanged)?
+
+    A single loop strip-mines unconditionally (iteration order is
+    unchanged).  A band of two or more loops must be *fully
+    permutable*: every plausible dependence direction vector that is
+    not already satisfied outside the band must be non-negative at
+    every band level.
+    """
+    report = _report_of(target)
+    flow = report.dataflow
+    keys = [loops] if isinstance(loops, (int, str)) else list(loops)
+    if not keys:
+        return LegalityVerdict(False, ("empty loop band",), "tile()")
+    band = [_resolve_loop(flow, key) for key in keys]
+    name = f"tile({','.join(l.label for l in band)})"
+    band = sorted(band, key=lambda l: l.depth)
+    if len(band) == 1:
+        loop = band[0]
+        if loop.is_while or not loop.is_canonical:
+            return LegalityVerdict(
+                False, (f"loop {loop.label} has a non-canonical header",), name
+            )
+        return LegalityVerdict(True, (), name)
+    try:
+        chain = _chain_between(flow, band[0], band[-1])
+    except AnalysisError as exc:
+        return LegalityVerdict(False, (str(exc),), name)
+    if [l.index for l in chain] != [l.index for l in band]:
+        return LegalityVerdict(
+            False,
+            (
+                "tile band must be a contiguous nesting chain; got "
+                + ", ".join(l.label for l in band),
+            ),
+            name,
+        )
+    reasons = _band_structural_reasons(flow, band)
+    if reasons:
+        return LegalityVerdict(False, tuple(reasons), name)
+    band_ids = {l.index for l in band}
+    for dep in report.dependences:
+        positions = [
+            i for i, loop_id in enumerate(dep.loop_ids) if loop_id in band_ids
+        ]
+        if not positions:
+            continue
+        first_band = min(positions)
+        for vector in direction_vectors(dep):
+            if any(d == "<" for d in vector[:first_band]):
+                continue  # carried above the band: unaffected by tiling
+            if any(vector[p] == ">" for p in positions):
+                reasons.append(
+                    f"{dep.describe()} has direction ({', '.join(vector)}); "
+                    "the band is not fully permutable"
+                )
+                break
+    if reasons:
+        return LegalityVerdict(False, tuple(reasons), name)
+    return LegalityVerdict(True, (), name)
+
+
+# -- fusion ------------------------------------------------------------
+
+
+def _headers_match(a: LoopDesc, b: LoopDesc) -> bool:
+    return (
+        a.is_canonical
+        and b.is_canonical
+        and a.start == b.start
+        and a.step == b.step
+        and a.op == b.op
+        and a.bound == b.bound
+        and a.bound_symbol == b.bound_symbol
+    )
+
+
+def _fusion_delta(
+    src_sub, dst_sub, var_a: str, var_b: str, outer_vars: set, step: int
+):
+    """Alignment constraint one subscript position places on fusing two
+    sibling loops: ``_INDEPENDENT``-like ``"none"`` (no collision),
+    ``None`` (no constraint), ``"unknown"``, or an int iteration delta
+    ``t`` such that source iteration ``i`` collides with sink iteration
+    ``i + t``."""
+    if not (src_sub.affine and dst_sub.affine):
+        return "unknown"
+    ca = src_sub.coeff(var_a)
+    cb = dst_sub.coeff(var_b)
+    # Terms in variables other than the fused pair: outer loop vars must
+    # agree (same outer iteration); anything else is a free inner var.
+    for name in src_sub.variables:
+        if name == var_a:
+            continue
+        if name in outer_vars:
+            if src_sub.coeff(name) != dst_sub.coeff(name):
+                return "unknown"
+        else:
+            return None  # free inner variable absorbs the constraint
+    for name in dst_sub.variables:
+        if name == var_b:
+            continue
+        if name in outer_vars:
+            if src_sub.coeff(name) != dst_sub.coeff(name):
+                return "unknown"
+        else:
+            return None
+    if ca == 0 and cb == 0:
+        return None if src_sub.constant == dst_sub.constant else "none"
+    if ca == 0 or cb == 0 or ca != cb:
+        return "unknown"
+    value_delta = src_sub.constant - dst_sub.constant
+    if value_delta % ca != 0:
+        return "none"
+    value_delta //= ca
+    if value_delta % step != 0:
+        return "none"
+    return value_delta // step
+
+
+def can_fuse(
+    target: Union[ast.FunctionDef, DependenceReport],
+    first: LoopKey,
+    second: LoopKey,
+) -> LegalityVerdict:
+    """May two adjacent sibling loops merge into one?
+
+    Requires identical headers and that every element-level collision
+    from the first loop's body to the second's has a non-negative
+    alignment: the sink iteration must not precede the source iteration
+    once the bodies interleave.
+    """
+    report = _report_of(target)
+    flow = report.dataflow
+    loop_a = _resolve_loop(flow, first)
+    loop_b = _resolve_loop(flow, second)
+    name = f"fuse({loop_a.label},{loop_b.label})"
+    reasons: list[str] = []
+    if loop_a.index == loop_b.index:
+        return LegalityVerdict(False, ("cannot fuse a loop with itself",), name)
+    if loop_a.order > loop_b.order:
+        loop_a, loop_b = loop_b, loop_a
+    if loop_a.parent != loop_b.parent:
+        return LegalityVerdict(
+            False,
+            (f"loops {loop_a.label} and {loop_b.label} are not siblings",),
+            name,
+        )
+    if not _headers_match(loop_a, loop_b):
+        return LegalityVerdict(
+            False,
+            (
+                f"loop headers differ: {loop_a.label} is "
+                f"[{loop_a.start}, {loop_a.op} {loop_a.bound_symbol or loop_a.bound}, "
+                f"step {loop_a.step}] but {loop_b.label} is "
+                f"[{loop_b.start}, {loop_b.op} {loop_b.bound_symbol or loop_b.bound}, "
+                f"step {loop_b.step}]",
+            ),
+            name,
+        )
+    # Adjacency: nothing may execute between the two loops.
+    for statement in flow.statements:
+        if (
+            loop_a.end_order < statement.order < loop_b.order
+            and loop_a.index not in statement.loop_ids
+            and loop_b.index not in statement.loop_ids
+        ):
+            return LegalityVerdict(
+                False,
+                (
+                    f"loops are not adjacent: statement S{statement.index} "
+                    f"({statement.text or statement.kind}) executes between them",
+                ),
+                name,
+            )
+    outer_vars = set()
+    cursor = loop_a.parent
+    while cursor is not None:
+        outer_vars.add(flow.loops[cursor].var)
+        cursor = flow.loops[cursor].parent
+    induction = {l.var for l in flow.loops}
+    stmts_a = [s for s in flow.statements if loop_a.index in s.loop_ids]
+    stmts_b = [s for s in flow.statements if loop_b.index in s.loop_ids]
+    assert loop_a.step is not None
+    for sa in stmts_a:
+        for sb in stmts_b:
+            # scalar traffic across the fusion seam (induction vars are
+            # structural, re-established by each loop's own header)
+            crossing = {
+                n
+                for n in sa.scalar_defs & sb.scalar_reads
+                if n not in induction
+            }
+            if crossing:
+                reasons.append(
+                    f"scalar {sorted(crossing)[0]!r} flows from S{sa.index} "
+                    f"into S{sb.index} across the fusion seam"
+                )
+                continue
+            for acc_a in sa.reads + sa.writes:
+                for acc_b in sb.reads + sb.writes:
+                    if acc_a.array != acc_b.array:
+                        continue
+                    if not (acc_a.is_write or acc_b.is_write):
+                        continue
+                    if acc_a.opaque or acc_b.opaque:
+                        reasons.append(
+                            f"array {acc_a.array!r} is passed to a call: "
+                            "element collisions are unknown"
+                        )
+                        continue
+                    if len(acc_a.subscripts) != len(acc_b.subscripts):
+                        reasons.append(
+                            f"array {acc_a.array!r} is accessed with "
+                            "mismatched rank across the loops"
+                        )
+                        continue
+                    delta: object = "*"
+                    dead = False
+                    for pa, pb in zip(acc_a.subscripts, acc_b.subscripts):
+                        constraint = _fusion_delta(
+                            pa, pb, loop_a.var, loop_b.var, outer_vars, loop_a.step
+                        )
+                        if constraint == "none":
+                            dead = True
+                            break
+                        if constraint is None:
+                            continue
+                        if constraint == "unknown":
+                            delta = "unknown"
+                            continue
+                        if isinstance(delta, int) and delta != constraint:
+                            dead = True
+                            break
+                        if delta != "unknown":
+                            delta = constraint
+                    if dead:
+                        continue
+                    if delta == "unknown" or delta == "*":
+                        reasons.append(
+                            f"collision on {acc_a.array!r} between S{sa.index} "
+                            f"({acc_a}) and S{sb.index} ({acc_b}) has unknown "
+                            "alignment"
+                        )
+                    elif isinstance(delta, int) and delta < 0:
+                        kind = (
+                            "output"
+                            if acc_a.is_write and acc_b.is_write
+                            else ("flow" if acc_a.is_write else "anti")
+                        )
+                        reasons.append(
+                            f"{kind} dependence on {acc_a.array!r}: iteration i "
+                            f"of {loop_a.label} ({acc_a}) reaches iteration "
+                            f"i{delta} of {loop_b.label} ({acc_b}); fusing would "
+                            "reverse it"
+                        )
+    if reasons:
+        # deduplicate while keeping order
+        seen: dict[str, None] = {}
+        for reason in reasons:
+            seen.setdefault(reason)
+        return LegalityVerdict(False, tuple(seen), name)
+    return LegalityVerdict(True, (), name)
+
+
+def can_unroll(
+    target: Union[ast.FunctionDef, DependenceReport],
+    loop: LoopKey,
+    factor: int = 2,
+) -> LegalityVerdict:
+    """May the loop unroll by *factor* (0 = full unroll)?
+
+    An innermost loop unrolls unconditionally (body replication keeps
+    iteration order).  A loop with inner loops implies unroll-and-jam,
+    which is illegal when a dependence carried at the jammed level
+    with distance < factor flips direction at a deeper level.
+    """
+    report = _report_of(target)
+    flow = report.dataflow
+    desc = _resolve_loop(flow, loop)
+    name = f"unroll({desc.label},factor={factor or 'full'})"
+    if desc.is_while or not desc.is_canonical:
+        return LegalityVerdict(
+            False, (f"loop {desc.label} has a non-canonical header",), name
+        )
+    if factor == 0 and not desc.is_static:
+        return LegalityVerdict(
+            False,
+            (
+                f"full unroll needs a static trip count; loop {desc.label} "
+                f"bound is {desc.bound_symbol!r}",
+            ),
+            name,
+        )
+    children = flow.children_of(desc.index)
+    if not children:
+        return LegalityVerdict(True, (), name)
+    # unroll-and-jam path
+    reasons: list[str] = []
+    loose = [
+        s
+        for s in flow.statements
+        if s.loop_ids
+        and s.loop_ids[-1] == desc.index
+        and s.kind != "header"
+    ]
+    if loose:
+        sample = loose[0]
+        reasons.append(
+            f"unroll-and-jam needs a perfect nest: statement S{sample.index} "
+            f"({sample.text or sample.kind}) sits directly in {desc.label}"
+        )
+        return LegalityVerdict(False, tuple(reasons), name)
+    for dep in report.dependences:
+        if desc.index not in dep.loop_ids:
+            continue
+        level = dep.loop_ids.index(desc.index)
+        if len(dep.loop_ids) <= level + 1:
+            continue  # nothing deeper to flip
+        delta = dep.deltas[level]
+        if isinstance(delta, int) and factor > 0 and 0 < delta and delta >= factor:
+            continue  # the colliding iterations are never jammed together
+        for vector in direction_vectors(dep):
+            if vector[level] == "<" and any(
+                d == ">" for d in vector[level + 1 :]
+            ):
+                reasons.append(
+                    f"{dep.describe()} has direction ({', '.join(vector)}); "
+                    f"jamming {desc.label} would reverse the inner level"
+                )
+                break
+    if reasons:
+        return LegalityVerdict(False, tuple(reasons), name)
+    return LegalityVerdict(True, (), name)
+
+
+# -- the summary matrix (CLI / JSON) -----------------------------------
+
+
+def legality_matrix(func: ast.FunctionDef) -> dict:
+    """Every standard legality query the function's loop structure
+    admits, as one JSON-friendly dict (the CLI's payload)."""
+    report = analyze_dependences(func)
+    flow = report.dataflow
+
+    def row(verdict: LegalityVerdict) -> dict:
+        return {
+            "transform": verdict.transform,
+            "ok": verdict.ok,
+            "reasons": list(verdict.reasons),
+        }
+
+    interchange = []
+    tile = []
+    unroll = []
+    fuse = []
+    for loop in flow.loops:
+        unroll.append(row(can_unroll(report, loop.index, factor=2)))
+        for child in flow.children_of(loop.index):
+            interchange.append(row(can_interchange(report, loop.index, child.index)))
+            tile.append(row(can_tile(report, [loop.index, child.index])))
+    for parent in [None] + [l.index for l in flow.loops]:
+        siblings = sorted(flow.children_of(parent), key=lambda l: l.order)
+        for a, b in zip(siblings, siblings[1:]):
+            fuse.append(row(can_fuse(report, a.index, b.index)))
+    return {
+        "function": flow.function,
+        "loops": [
+            {
+                "label": loop.label,
+                "depth": loop.depth,
+                "start": loop.start,
+                "bound": loop.bound if loop.bound is not None else loop.bound_symbol,
+                "step": loop.step,
+            }
+            for loop in flow.loops
+        ],
+        "interchange": interchange,
+        "tile": tile,
+        "fuse": fuse,
+        "unroll": unroll,
+    }

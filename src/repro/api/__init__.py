@@ -26,6 +26,7 @@ from .codec import (
     predict_jobs_from_jsonl,
     read_program,
     to_payload,
+    validate_source,
 )
 from .session import Predictor, Session
 from .types import (
@@ -60,4 +61,5 @@ __all__ = [
     "predict_jobs_from_jsonl",
     "read_program",
     "to_payload",
+    "validate_source",
 ]

@@ -351,16 +351,43 @@ def loads(text: str) -> Any:
 # -- job files -------------------------------------------------------------
 
 
-def read_program(path: str) -> str:
-    """Program source from *path* (``-`` reads stdin)."""
+def read_program(path: str, validate: bool = True) -> str:
+    """Program source from *path* (``-`` reads stdin).
+
+    With ``validate`` (the default) the source is admission-checked by
+    :class:`repro.analysis.ProgramValidator` before anything downstream
+    touches it: definite errors (parse failures, undefined reads,
+    unknown operators, bad arities, provable out-of-bounds subscripts)
+    raise a one-line :class:`CodecError` whose ``reasons`` attribute
+    lists every finding.  Warnings never block ingestion.
+    """
     if path == "-":
-        return sys.stdin.read()
-    try:
-        with open(path) as handle:
-            return handle.read()
-    except OSError as exc:
-        reason = exc.strerror or exc
-        raise CodecError(f"cannot read program {path!r}: {reason}") from None
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as exc:
+            reason = exc.strerror or exc
+            raise CodecError(f"cannot read program {path!r}: {reason}") from None
+    if validate:
+        validate_source(source, origin=path)
+    return source
+
+
+def validate_source(source: str, origin: str = "<source>") -> None:
+    """Admission-check program text; raise :class:`CodecError` (with a
+    structured ``reasons`` list) on any validation error."""
+    from ..analysis.cache import GLOBAL_ANALYSIS_CACHE
+
+    report = GLOBAL_ANALYSIS_CACHE.validate(source)
+    if report.ok:
+        return
+    reasons = report.reasons()
+    suffix = f" (+{len(reasons) - 1} more)" if len(reasons) > 1 else ""
+    error = CodecError(f"invalid program {origin!r}: {reasons[0]}{suffix}")
+    error.reasons = reasons
+    raise error
 
 
 def predict_jobs_from_jsonl(

@@ -284,6 +284,15 @@ class CampaignRunner:
         journal: CampaignJournal,
         max_evaluations: Optional[int],
     ) -> CellResult:
+        from ..analysis.cache import GLOBAL_ANALYSIS_CACHE
+
+        report = GLOBAL_ANALYSIS_CACHE.validate(cell.source)
+        if not report.ok:
+            reasons = report.reasons()
+            raise CampaignError(
+                f"cell {cell.cell_id!r} rejected at admission: {reasons[0]}"
+                + (f" (+{len(reasons) - 1} more)" if len(reasons) > 1 else "")
+            )
         program = parse(cell.source)
         candidates = enumerate_cell_candidates(
             program, cell.params, self.spec.unroll_factors, self.spec.max_candidates

@@ -4,8 +4,9 @@ Subcommands:
 
 * ``profile``   — run the EDA substrate on a dataflow program and print
   its ``<Power, Area, FF, Cycles>`` vector and RTL features.
-* ``analyze``   — classify operators (Class I/II) and show Table-2 style
-  statistics.
+* ``analyze``   — validate a program, classify operators (Class I/II),
+  and print the dependence summary and transform-legality matrix from
+  the static analysis layer (``--json`` for the machine form).
 * ``synthesize``— generate a profiled training dataset to JSONL.
 * ``train``     — train a cost model on a JSONL dataset and save it.
 * ``predict``   — load a trained model and predict a program's costs.
@@ -145,19 +146,105 @@ def _profile_batch(paths: list[str], data, args: argparse.Namespace) -> int:
     return 1 if failures == len(rows) else 0
 
 
+def _analyze_source(args: argparse.Namespace) -> str:
+    """Resolve the analyze target: a file path or a bundled workload."""
+    if args.workload:
+        if args.program:
+            raise SystemExit("error: pass a program path or --workload, not both")
+        from .campaign.spec import WorkloadSpec
+        from .errors import ReproError
+
+        try:
+            source, _ = WorkloadSpec(name=args.workload).resolve()
+        except ReproError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        return source
+    if not args.program:
+        raise SystemExit("error: analyze needs a program path or --workload NAME")
+    try:
+        with open(args.program, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot read program {args.program!r}: "
+            f"{exc.strerror or exc}"
+        ) from None
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    source = _read_program(args.program)
-    program = parse(source)
-    reports = classify_operators(program)
-    for name, report in reports.items():
-        dynamic = ",".join(report.dynamic_params) or "-"
+    from .analysis import GLOBAL_ANALYSIS_CACHE, legality_matrix
+
+    source = _analyze_source(args)
+    analysis = GLOBAL_ANALYSIS_CACHE.get(source)
+    validation = analysis.validation
+    program = analysis.program
+
+    if args.json:
+        payload = {
+            "digest": analysis.digest,
+            "validation": validation.as_dict(),
+            "dependences": {
+                name: report.summary()
+                for name, report in analysis.dependences.items()
+            },
+            "legality": {
+                func.name: legality_matrix(func) for func in program.functions
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if validation.ok else 1
+
+    if validation.functions:
+        reports = classify_operators(program)
+        for name, report in reports.items():
+            dynamic = ",".join(report.dynamic_params) or "-"
+            print(
+                f"{name}: {report.operator_class.value} "
+                f"loops={report.loop_count} branches={report.branch_count} "
+                f"dynamic_params={dynamic}"
+            )
+        print(f"total dynamic parameters: {count_dynamic_parameters(program)}")
+
+    status = "ok" if validation.ok else "INVALID"
+    print(
+        f"validation: {status} ({len(validation.errors)} errors, "
+        f"{len(validation.warnings)} warnings)"
+    )
+    for issue in validation.issues:
+        print(f"  {issue.describe()}")
+
+    for name, report in analysis.dependences.items():
+        summary = report.summary()
         print(
-            f"{name}: {report.operator_class.value} "
-            f"loops={report.loop_count} branches={report.branch_count} "
-            f"dynamic_params={dynamic}"
+            f"dependences in '{name}': total={summary['total']} "
+            f"flow={summary['flow']} anti={summary['anti']} "
+            f"output={summary['output']} scalar={summary['scalar']} "
+            f"loop_carried={summary['loop_carried']}"
         )
-    print(f"total dynamic parameters: {count_dynamic_parameters(program)}")
-    return 0
+        shown = report.dependences[:_ANALYZE_MAX_DEPS]
+        for dep in shown:
+            print(f"  {dep.describe()}")
+        hidden = len(report.dependences) - len(shown)
+        if hidden > 0:
+            print(f"  ... (+{hidden} more; use --json for the full list)")
+
+    for func in program.functions:
+        matrix = legality_matrix(func)
+        if not matrix["loops"]:
+            continue
+        loops = ", ".join(loop["label"] for loop in matrix["loops"])
+        print(f"legality in '{func.name}' (loops: {loops}):")
+        for section in ("interchange", "tile", "fuse", "unroll"):
+            for row in matrix[section]:
+                verdict = "legal" if row["ok"] else "illegal"
+                print(f"  {row['transform']}: {verdict}")
+                if not row["ok"]:
+                    for reason in row["reasons"][:2]:
+                        print(f"      - {reason}")
+    return 0 if validation.ok else 1
+
+
+_ANALYZE_MAX_DEPS = 16
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
@@ -573,8 +660,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_hw_flags(profile)
     profile.set_defaults(func=cmd_profile)
 
-    analyze = sub.add_parser("analyze", help="classify operators (Class I/II)")
-    analyze.add_argument("program")
+    analyze = sub.add_parser(
+        "analyze",
+        help="validate a program and print operator classes, dependences "
+             "and the transform-legality matrix",
+    )
+    analyze.add_argument("program", nargs="?", default=None)
+    analyze.add_argument(
+        "--workload",
+        help="analyze a bundled workload by name (e.g. gemm) instead of a file",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full analysis (validation, dependences, legality) as JSON",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     synthesize = sub.add_parser("synthesize", help="generate a training dataset")

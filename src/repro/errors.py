@@ -33,6 +33,23 @@ class AnalysisError(ReproError):
     """Raised when static analysis is asked about unknown entities."""
 
 
+class ValidationError(ReproError):
+    """Raised when program validation rejects an ingested program.
+
+    ``reasons`` holds one line per validation error so ingestion
+    boundaries (codec, serve, campaign) can surface structured detail.
+    """
+
+    def __init__(self, message: str, reasons: list[str] | None = None) -> None:
+        reasons = list(reasons or [])
+        if reasons:
+            message = f"{message}: {reasons[0]}" + (
+                f" (+{len(reasons) - 1} more)" if len(reasons) > 1 else ""
+            )
+        super().__init__(message)
+        self.reasons = reasons
+
+
 class LoweringError(ReproError):
     """Raised when an AST cannot be lowered to the requested IR."""
 

@@ -51,13 +51,27 @@ class ServeClient:
                 body = response.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             detail = ""
+            reasons: list[str] = []
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+                parsed_error = json.loads(exc.read().decode("utf-8"))
+                detail = parsed_error.get("error", "")
+                raw_reasons = parsed_error.get("reasons", [])
+                if isinstance(raw_reasons, list):
+                    reasons = [str(reason) for reason in raw_reasons]
             except Exception:
                 pass
-            raise ServeError(
-                f"{url} returned HTTP {exc.code}" + (f": {detail}" if detail else "")
-            ) from exc
+            message = f"{url} returned HTTP {exc.code}" + (
+                f": {detail}" if detail else ""
+            )
+            if reasons and reasons[0] not in message:
+                # Validation rejections carry structured reasons; surface
+                # the first one inline and keep the rest on the exception.
+                message += f" — {reasons[0]}"
+                if len(reasons) > 1:
+                    message += f" (+{len(reasons) - 1} more)"
+            error = ServeError(message)
+            error.reasons = reasons
+            raise error from exc
         except (urllib.error.URLError, OSError, ValueError) as exc:
             reason = getattr(exc, "reason", exc)
             raise ServeError(f"cannot reach {url}: {reason}") from exc

@@ -42,6 +42,7 @@ from .batching import MicroBatcher
 from .engine import PredictionEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..analysis.cache import AnalysisCache
     from ..api.session import Session
 
 
@@ -131,7 +132,13 @@ class _Handler(BaseHTTPRequestHandler):
                 return
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             owner.engine.stats.errors += 1
-            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+            body = {"error": f"{type(exc).__name__}: {exc}"}
+            reasons = getattr(exc, "reasons", None)
+            if reasons:
+                # Structured validation detail: one line per finding, so
+                # clients can show why the program was rejected.
+                body["reasons"] = list(reasons)
+            self._send_json(400, body)
         except Exception as exc:  # pragma: no cover - defensive
             owner.engine.stats.errors += 1
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
@@ -154,8 +161,16 @@ class PredictionServer:
         request_timeout_s: float = 120.0,
         verbose: bool = False,
         session: Optional["Session"] = None,
+        analysis_cache: Optional["AnalysisCache"] = None,
     ) -> None:
+        from ..analysis.cache import GLOBAL_ANALYSIS_CACHE
         from ..api.session import Session
+
+        # Explicit None check: an empty AnalysisCache is a valid
+        # injected cache and must not fall through to the global one.
+        self.analysis_cache = (
+            analysis_cache if analysis_cache is not None else GLOBAL_ANALYSIS_CACHE
+        )
 
         if session is None:
             if engine is None:
@@ -220,15 +235,26 @@ class PredictionServer:
     def _decode_job(self, payload: dict, kind: str, legacy) -> tuple:
         """One POST body → API job step for every route: versioned codec
         payloads (carrying ``"schema"``) decode through the codec, bare
-        legacy layouts through *legacy*.  Returns ``(job, versioned)``."""
+        legacy layouts through *legacy*.  Returns ``(job, versioned)``.
+
+        Every decoded program is admission-checked through the server's
+        analysis cache: invalid programs raise
+        :class:`~repro.errors.ValidationError` (a 400 with structured
+        ``reasons``) before any simulation or encoding work starts.
+        """
         from ..api.codec import from_payload
 
         if "schema" in payload:
             job = from_payload(payload, expect=kind)
             if not job.source.strip():
                 raise ServeError("'program' must be non-empty program source text")
-            return job, True
-        return legacy(payload), False
+            versioned = True
+        else:
+            job, versioned = legacy(payload), False
+        self.analysis_cache.validate(job.source).raise_if_invalid(
+            f"{kind} rejected at ingestion"
+        )
+        return job, versioned
 
     def handle_predict(self, payload: dict) -> dict:
         from ..api.codec import to_payload

@@ -1,0 +1,208 @@
+"""Dataflow layer: affine subscripts, loop descriptors, statement
+read/write sets, reaching definitions and undefined-read detection."""
+
+import pytest
+
+from repro.analysis import affine_of, analyze_dataflow
+from repro.analysis.dataflow import AffineExpr
+from repro.lang import ast, parse
+
+
+def flow_of(source: str, name: str = "dataflow"):
+    return analyze_dataflow(parse(source).function(name))
+
+
+GEMM = """
+void dataflow(float A[8][8], float B[8][8], float C[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+"""
+
+
+class TestAffineExpr:
+    def exprs(self, source):
+        program = parse(f"void dataflow(float a[8], int n) {{ {source} }}")
+        func = program.function("dataflow")
+        return [node for node in ast.walk(func) if isinstance(node, ast.Index)]
+
+    def test_linear_subscript(self):
+        (index,) = self.exprs("for (int i = 0; i < 8; i++) { a[2*i+1] = 0.0; }")
+        expr = affine_of(index.indices[0])
+        assert expr.affine
+        assert expr.coeff("i") == 2
+        assert expr.constant == 1
+
+    def test_subtraction_and_negation(self):
+        (index,) = self.exprs("for (int i = 0; i < 8; i++) { a[7-i] = 0.0; }")
+        expr = affine_of(index.indices[0])
+        assert expr.coeff("i") == -1
+        assert expr.constant == 7
+
+    def test_constant_subscript(self):
+        (index,) = self.exprs("a[3] = 0.0;")
+        expr = affine_of(index.indices[0])
+        assert expr.is_constant
+        assert expr.constant == 3
+
+    def test_product_of_variables_is_non_affine(self):
+        (index,) = self.exprs(
+            "for (int i = 0; i < 4; i++) { a[i*i] = 0.0; }"
+        )
+        expr = affine_of(index.indices[0])
+        assert not expr.affine
+        assert expr is AffineExpr.NON_AFFINE
+
+
+class TestLoopDescriptors:
+    def test_gemm_nest_depths_and_chain(self):
+        flow = flow_of(GEMM)
+        assert [loop.var for loop in flow.loops] == ["i", "j", "k"]
+        assert [loop.depth for loop in flow.loops] == [0, 1, 2]
+        (stmt,) = [s for s in flow.statements if s.kind == "assign"]
+        assert [loop.index for loop in flow.loop_chain(stmt)] == [0, 1, 2]
+        assert [c.var for c in flow.children_of(0)] == ["j"]
+        assert [c.var for c in flow.children_of(None)] == ["i"]
+
+    def test_static_value_range(self):
+        flow = flow_of(GEMM)
+        loop = flow.loop(0)
+        assert loop.is_canonical and loop.is_static
+        assert loop.value_range() == (0, 7)
+
+    def test_downward_loop_negative_step(self):
+        flow = flow_of(
+            """
+            void dataflow(float a[8]) {
+              for (int i = 6; i >= 1; i -= 1) { a[i] = a[i+1]; }
+            }
+            """
+        )
+        loop = flow.loop(0)
+        assert loop.step == -1
+        assert loop.value_range() == (1, 6)
+
+    def test_symbolic_bound_records_symbol(self):
+        flow = flow_of(
+            """
+            void dataflow(float a[8], int n) {
+              for (int i = 0; i < n; i++) { a[i] = 0.0; }
+            }
+            """
+        )
+        loop = flow.loop(0)
+        assert loop.bound is None
+        assert loop.bound_symbol == "n"
+        assert loop.value_range() is None
+        assert "n" in flow.scalar_params
+
+
+class TestStatements:
+    def test_gemm_reduction_statement(self):
+        flow = flow_of(GEMM)
+        body = [s for s in flow.statements if s.kind == "assign"]
+        assert len(body) == 1
+        stmt = body[0]
+        assert stmt.is_reduction
+        assert {a.array for a in stmt.writes} == {"C"}
+        assert {a.array for a in stmt.reads} == {"A", "B", "C"}
+        assert stmt.loop_ids == (0, 1, 2)
+
+    def test_live_out_is_written_array_params(self):
+        flow = flow_of(GEMM)
+        assert flow.live_out == frozenset({"C"})
+
+    def test_call_arguments_become_opaque_accesses(self):
+        program = parse(
+            """
+            void helper(float a[8], float b[8]) {
+              for (int i = 0; i < 8; i++) { b[i] = a[i]; }
+            }
+            void dataflow(float a[8], float b[8], int n) { helper(a, b); }
+            """
+        )
+        flow = analyze_dataflow(program.function("dataflow"))
+        (call,) = [s for s in flow.statements if s.kind == "expr"]
+        assert {a.array for a in call.reads} == {"a", "b"}
+        assert {a.array for a in call.writes} == {"a", "b"}
+        assert all(a.opaque for a in call.reads + call.writes)
+
+    def test_scalar_call_argument_not_an_array_access(self):
+        program = parse(
+            """
+            void helper(float a[8], int n) {
+              for (int i = 0; i < n; i++) { a[i] = 0.0; }
+            }
+            void dataflow(float a[8], int n) { helper(a, n); }
+            """
+        )
+        flow = analyze_dataflow(program.function("dataflow"))
+        (call,) = [s for s in flow.statements if s.kind == "expr"]
+        assert {a.array for a in call.reads} == {"a"}
+        assert "n" in call.scalar_reads
+
+
+class TestUndefinedReads:
+    def test_undefined_array_read(self):
+        flow = flow_of(
+            """
+            void dataflow(float b[8]) {
+              for (int i = 0; i < 8; i++) { b[i] = q[i]; }
+            }
+            """
+        )
+        assert [(u.name, u.kind) for u in flow.undefined_reads] == [
+            ("q", "array")
+        ]
+
+    def test_undefined_scalar_read(self):
+        flow = flow_of(
+            "void dataflow(float b[8]) { b[0] = x; }"
+        )
+        assert [(u.name, u.kind) for u in flow.undefined_reads] == [
+            ("x", "scalar")
+        ]
+
+    def test_uninitialized_local_array_read(self):
+        flow = flow_of(
+            """
+            void dataflow(float b[8]) {
+              float t[8];
+              for (int i = 0; i < 8; i++) { b[i] = t[i]; }
+            }
+            """
+        )
+        kinds = {u.kind for u in flow.undefined_reads}
+        assert kinds == {"uninitialized-local"}
+
+    def test_params_and_written_locals_are_defined(self):
+        flow = flow_of(
+            """
+            void dataflow(float a[8], float b[8]) {
+              float t[8];
+              for (int i = 0; i < 8; i++) { t[i] = a[i]; }
+              for (int i = 0; i < 8; i++) { b[i] = t[i]; }
+            }
+            """
+        )
+        assert flow.undefined_reads == ()
+
+
+class TestPolybenchDataflow:
+    def test_every_kernel_analyzes_without_undefined_reads(self):
+        from repro.workloads import polybench_suite
+
+        for workload in polybench_suite():
+            program = parse(workload.source)
+            for func in program.functions:
+                flow = analyze_dataflow(func)
+                assert flow.undefined_reads == (), (
+                    workload.name,
+                    [u.describe() for u in flow.undefined_reads],
+                )
+                assert flow.statements, workload.name

@@ -1,0 +1,175 @@
+"""Dependence classification: golden summaries over every polybench
+kernel, distance/direction vectors on textbook nests, and the scalar
+privatization rule."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_dependences,
+    analyze_program_dependences,
+    direction_vectors,
+)
+from repro.lang import parse
+from repro.workloads import polybench_suite
+
+# Golden per-kernel dependence-class counts (the first function of each
+# workload is its kernel).  Regenerate with
+# ``python -m repro analyze --workload NAME --json`` if the analysis
+# becomes more precise — counts may only change with an explanation.
+POLYBENCH_GOLDEN = {
+    "adi": dict(total=158, flow=56, anti=56, output=46, scalar=0, loop_carried=158),
+    "atax": dict(total=12, flow=6, anti=2, output=4, scalar=0, loop_carried=6),
+    "bicg": dict(total=10, flow=4, anti=2, output=4, scalar=0, loop_carried=6),
+    "correlation": dict(total=71, flow=30, anti=17, output=24, scalar=0, loop_carried=17),
+    "covariance": dict(total=43, flow=18, anti=11, output=14, scalar=0, loop_carried=18),
+    "deriche": dict(total=24, flow=4, anti=0, output=0, scalar=20, loop_carried=20),
+    "fdtd-2d": dict(total=24, flow=9, anti=9, output=6, scalar=0, loop_carried=24),
+    "heat-3d": dict(total=6, flow=2, anti=2, output=2, scalar=0, loop_carried=6),
+    "jacobi-2d": dict(total=6, flow=2, anti=2, output=2, scalar=0, loop_carried=6),
+    "seidel-2d": dict(total=19, flow=9, anti=9, output=1, scalar=0, loop_carried=19),
+}
+
+
+def kernel_report(source: str):
+    program = parse(source)
+    kernel = program.functions[0]
+    return analyze_dependences(kernel)
+
+
+class TestPolybenchGolden:
+    @pytest.mark.parametrize("name", sorted(POLYBENCH_GOLDEN))
+    def test_kernel_dependence_summary(self, name):
+        workload = {w.name: w for w in polybench_suite()}[name]
+        summary = kernel_report(workload.source).summary()
+        expected = POLYBENCH_GOLDEN[name]
+        got = {key: summary[key] for key in expected}
+        assert got == expected
+
+    def test_program_level_analysis_covers_all_functions(self):
+        workload = {w.name: w for w in polybench_suite()}["jacobi-2d"]
+        reports = analyze_program_dependences(parse(workload.source))
+        assert set(reports) == {
+            f.name for f in parse(workload.source).functions
+        }
+
+
+GEMM = """
+void dataflow(float A[8][8], float B[8][8], float C[8][8]) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) {
+      for (int k = 0; k < 8; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+"""
+
+
+class TestDistanceVectors:
+    def test_gemm_reduction_carried_by_k_only(self):
+        report = analyze_dependences(parse(GEMM).function("dataflow"))
+        on_c = [d for d in report.dependences if d.array == "C"]
+        kinds = sorted(d.kind for d in on_c)
+        assert kinds == ["anti", "flow", "output"]
+        for dep in on_c:
+            assert dep.deltas[:2] == (0, 0)
+            assert dep.deltas[2] == "*"
+            assert dep.carried_level == 2
+
+    def test_stencil_distance_vector(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8]) {
+              for (int i = 1; i < 8; i++) { a[i] = a[i-1] + 1.0; }
+            }
+            """
+        )
+        flows = [d for d in report.dependences if d.kind == "flow"]
+        assert len(flows) == 1
+        assert flows[0].deltas == (1,)
+        assert not flows[0].is_loop_independent
+        assert direction_vectors(flows[0]) == [("<",)]
+
+    def test_loop_independent_dependence(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8], float b[8]) {
+              for (int i = 0; i < 8; i++) {
+                a[i] = b[i];
+                b[i] = a[i] + 1.0;
+              }
+            }
+            """
+        )
+        flows = [
+            d for d in report.dependences
+            if d.kind == "flow" and d.array == "a"
+        ]
+        assert flows and all(d.is_loop_independent for d in flows)
+
+    def test_unknown_distance_expands_to_all_directions(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8], int idx[8]) {
+              for (int i = 0; i < 8; i++) { a[idx[i]] = a[idx[i]] + 1.0; }
+            }
+            """
+        )
+        starred = [d for d in report.dependences if "*" in d.deltas]
+        assert starred
+        directions = direction_vectors(starred[0])
+        assert set(directions) >= {("<",), ("=",)}
+
+    def test_different_constant_subscripts_independent(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8]) {
+              for (int i = 0; i < 4; i++) {
+                a[0] = a[0] + 1.0;
+                a[1] = a[1] + 2.0;
+              }
+            }
+            """
+        )
+        # a[0] and a[1] never alias: every dependence stays within one
+        # statement's own location.
+        assert all(d.src == d.dst for d in report.dependences)
+
+
+class TestScalarDependences:
+    def test_privatizable_temporary_not_reported(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8], float b[8]) {
+              for (int i = 0; i < 8; i++) {
+                float t = a[i] * 2.0;
+                b[i] = t + 1.0;
+              }
+            }
+            """
+        )
+        assert not [d for d in report.dependences if d.kind == "scalar"]
+
+    def test_cross_iteration_scalar_reported(self):
+        report = kernel_report(
+            """
+            void dataflow(float a[8], float b[8]) {
+              float s = 0.0;
+              for (int i = 0; i < 8; i++) {
+                b[i] = s;
+                s = a[i];
+              }
+            }
+            """
+        )
+        scalars = [d for d in report.dependences if d.kind == "scalar"]
+        assert scalars
+        assert {d.array for d in scalars} == {"s"}
+
+    def test_induction_variables_never_dependences(self):
+        report = analyze_dependences(parse(GEMM).function("dataflow"))
+        assert not [
+            d for d in report.dependences
+            if d.array in {"i", "j", "k"}
+        ]

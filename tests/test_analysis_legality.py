@@ -1,0 +1,264 @@
+"""Legality verdicts proven against execution.
+
+The acceptance contract for the analysis layer: every transform the
+legality checker approves must leave polybench kernels *bit-identical*
+under the interpreter, and every verdict kind must reject at least one
+genuinely illegal case with a cited dependence reason.  For
+interchange we additionally show the converse on seidel-2d: executing
+the rejected transform really does change the answer.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_dependences,
+    can_fuse,
+    can_interchange,
+    can_tile,
+    can_unroll,
+    legality_matrix,
+)
+from repro.errors import AnalysisError
+from repro.lang import ast, parse
+from repro.sim import default_inputs
+from repro.sim.interpreter import Interpreter
+from repro.workloads import polybench_suite
+
+POLYBENCH = {w.name: w for w in polybench_suite()}
+
+
+# -- execution harness -----------------------------------------------------
+
+
+def collect_loops(func):
+    """For/While nodes in the same pre-order as ``analyze_dataflow``,
+    so positional indices line up with ``LoopDesc.index``."""
+    out = []
+
+    def visit(stmts):
+        for s in stmts:
+            if isinstance(s, ast.For):
+                out.append(s)
+                visit(s.body.stmts)
+            elif isinstance(s, ast.While):
+                out.append(s)
+                visit(s.body.stmts)
+            elif isinstance(s, ast.If):
+                visit(s.then.stmts)
+                if s.other is not None:
+                    visit(s.other.stmts)
+            elif isinstance(s, ast.Block):
+                visit(s.stmts)
+
+    visit(func.body.stmts)
+    return out
+
+
+def interchanged(program, fname, outer, inner):
+    """A deep copy of *program* with the two loops' headers swapped."""
+    program = copy.deepcopy(program)
+    loops = collect_loops(program.function(fname))
+    a, b = loops[outer], loops[inner]
+    a.init, b.init = b.init, a.init
+    a.cond, b.cond = b.cond, a.cond
+    a.step, b.step = b.step, a.step
+    return program
+
+
+def run_arrays(program, fname, data):
+    """Final contents of every array argument (arrays are passed by
+    reference and mutated in place)."""
+    args = default_inputs(
+        program, fname, rng=np.random.default_rng(7), overrides=data
+    )
+    Interpreter(program).run(fname, args)
+    return {k: v.copy() for k, v in args.items() if isinstance(v, np.ndarray)}
+
+
+def bit_identical(base, other):
+    assert set(base) == set(other)
+    return all(np.array_equal(base[k], other[k]) for k in base)
+
+
+# -- approved transforms must preserve results -----------------------------
+
+
+def approved_interchanges():
+    cases = []
+    for name, workload in sorted(POLYBENCH.items()):
+        program = parse(workload.source)
+        kernel = program.functions[0]
+        report = analyze_dependences(kernel)
+        flow = report.dataflow
+        for loop in flow.loops:
+            for child in flow.children_of(loop.index):
+                verdict = can_interchange(report, loop.index, child.index)
+                if verdict.ok:
+                    cases.append(
+                        (name, loop.index, child.index, loop.label, child.label)
+                    )
+    return cases
+
+
+class TestApprovedInterchangesAreExact:
+    @pytest.mark.parametrize(
+        "name,outer,inner,outer_label,inner_label",
+        approved_interchanges(),
+        ids=lambda v: str(v),
+    )
+    def test_bit_identical_after_interchange(
+        self, name, outer, inner, outer_label, inner_label
+    ):
+        workload = POLYBENCH[name]
+        program = parse(workload.source)
+        fname = program.functions[0].name
+        swapped = interchanged(program, fname, outer, inner)
+        base = run_arrays(program, fname, workload.data)
+        after = run_arrays(swapped, fname, workload.data)
+        assert bit_identical(base, after), (
+            f"{name}: approved interchange({outer_label},{inner_label}) "
+            "changed results"
+        )
+
+    def test_suite_exercises_many_interchanges(self):
+        # The parity sweep must stay a real acceptance test, not decay
+        # to an empty parameterization if the checker regresses to
+        # rejecting everything.
+        assert len(approved_interchanges()) >= 10
+
+
+class TestRejectedTransformsCiteDependences:
+    def test_seidel_interchange_rejected_and_actually_diverges(self):
+        workload = POLYBENCH["seidel-2d"]
+        program = parse(workload.source)
+        kernel = program.functions[0]
+        report = analyze_dependences(kernel)
+        verdict = can_interchange(report, "i", "j")
+        assert not verdict.ok
+        assert any("dependence" in r and "direction" in r for r in verdict.reasons)
+        # Converse: running the rejected interchange changes the answer.
+        swapped = interchanged(program, kernel.name, 1, 2)
+        base = run_arrays(program, kernel.name, workload.data)
+        after = run_arrays(swapped, kernel.name, workload.data)
+        assert not bit_identical(base, after)
+
+    def test_seidel_time_spatial_interchange_rejected(self):
+        workload = POLYBENCH["seidel-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        verdict = can_interchange(report, "t", "i")
+        assert not verdict.ok
+        assert verdict.reasons
+
+    def test_seidel_tile_rejected(self):
+        workload = POLYBENCH["seidel-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        verdict = can_tile(report, ["i", "j"])
+        assert not verdict.ok
+        assert any("dependence" in r for r in verdict.reasons)
+
+    def test_jacobi_fuse_rejected_with_cited_anti_dependence(self):
+        workload = POLYBENCH["jacobi-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        flow = report.dataflow
+        spatial = [l for l in flow.loops if l.depth == 1]
+        assert len(spatial) == 2
+        verdict = can_fuse(report, spatial[0].index, spatial[1].index)
+        assert not verdict.ok
+        assert any(
+            "dependence" in r and "revers" in r for r in verdict.reasons
+        )
+
+    def test_unroll_and_jam_rejected_on_carried_outer_dependence(self):
+        report = analyze_dependences(
+            parse(
+                """
+                void dataflow(float a[8][8]) {
+                  for (int i = 1; i < 8; i++) {
+                    for (int j = 0; j < 7; j++) {
+                      a[i][j] = a[i-1][j+1] + 1.0;
+                    }
+                  }
+                }
+                """
+            ).function("dataflow")
+        )
+        verdict = can_unroll(report, "i", factor=2)
+        assert not verdict.ok
+        assert any("dependence" in r and "jam" in r for r in verdict.reasons)
+
+
+class TestLegalCasesBeyondInterchange:
+    def test_elementwise_fusion_legal_and_exact(self):
+        source = """
+        void dataflow(float a[8], float b[8], float c[8]) {
+          for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0; }
+          for (int i = 0; i < 8; i++) { c[i] = b[i] + 1.0; }
+        }
+        """
+        fused_source = """
+        void dataflow(float a[8], float b[8], float c[8]) {
+          for (int i = 0; i < 8; i++) {
+            b[i] = a[i] * 2.0;
+            c[i] = b[i] + 1.0;
+          }
+        }
+        """
+        program = parse(source)
+        report = analyze_dependences(program.function("dataflow"))
+        flow = report.dataflow
+        roots = flow.children_of(None)
+        verdict = can_fuse(report, roots[0].index, roots[1].index)
+        assert verdict.ok, verdict.reasons
+        base = run_arrays(program, "dataflow", {})
+        fused = run_arrays(parse(fused_source), "dataflow", {})
+        assert bit_identical(base, fused)
+
+    def test_innermost_unroll_always_legal(self):
+        workload = POLYBENCH["gemm"] if "gemm" in POLYBENCH else None
+        source = workload.source if workload else POLYBENCH["jacobi-2d"].source
+        report = analyze_dependences(parse(source).functions[0])
+        flow = report.dataflow
+        innermost = [
+            l for l in flow.loops if not flow.children_of(l.index)
+        ]
+        for loop in innermost:
+            assert can_unroll(report, loop.index, factor=2).ok
+
+    def test_jacobi_spatial_tile_legal(self):
+        workload = POLYBENCH["jacobi-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        flow = report.dataflow
+        for loop in flow.loops:
+            for child in flow.children_of(loop.index):
+                if loop.depth >= 1:
+                    assert can_tile(report, [loop.index, child.index]).ok
+
+
+class TestVerdictPlumbing:
+    def test_unknown_loop_raises_analysis_error(self):
+        workload = POLYBENCH["jacobi-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        with pytest.raises(AnalysisError):
+            can_interchange(report, "zz", "i")
+
+    def test_verdict_is_truthy_iff_ok(self):
+        workload = POLYBENCH["seidel-2d"]
+        report = analyze_dependences(parse(workload.source).functions[0])
+        assert not can_interchange(report, "i", "j")
+        assert can_unroll(report, "j", factor=2)
+
+    def test_legality_matrix_shape(self):
+        workload = POLYBENCH["jacobi-2d"]
+        kernel = parse(workload.source).functions[0]
+        matrix = legality_matrix(kernel)
+        assert set(matrix) == {
+            "function", "loops", "interchange", "tile", "fuse", "unroll",
+        }
+        assert len(matrix["unroll"]) == len(matrix["loops"])
+        for row in matrix["interchange"] + matrix["fuse"]:
+            assert set(row) == {"transform", "ok", "reasons"}
+            if not row["ok"]:
+                assert row["reasons"]

@@ -1,0 +1,311 @@
+"""Program validation and its ingestion boundaries.
+
+The validator's contract: programs it accepts never crash the
+interpreter with a static-error class (undefined name, unknown
+function, rank mismatch), and programs it rejects are refused at every
+doorway — ``read_program``, the serve HTTP layer (400 with structured
+reasons, not a 500), and campaign cell admission."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    ProgramValidator,
+    validate_program,
+    validate_or_raise,
+)
+from repro.errors import ValidationError
+from repro.lang import parse
+
+VALID = """
+void dataflow(float a[8], float b[8]) {
+  for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0; }
+}
+"""
+
+
+def codes(report):
+    return sorted({issue.code for issue in report.issues})
+
+
+class TestIssueClasses:
+    def test_valid_program_clean(self):
+        report = validate_program(VALID)
+        assert report.ok
+        assert report.issues == ()
+        assert report.functions == ("dataflow",)
+
+    def test_parse_error_single_issue(self):
+        report = validate_program("void dataflow( {")
+        assert not report.ok
+        assert codes(report) == ["parse"]
+        assert report.functions == ()
+
+    def test_undefined_array_read(self):
+        report = validate_program(
+            """
+            void dataflow(float b[8]) {
+              for (int i = 0; i < 8; i++) { b[i] = q[i]; }
+            }
+            """
+        )
+        assert not report.ok
+        assert "undefined-read" in codes(report)
+
+    def test_always_oob_constant_subscript_is_error(self):
+        report = validate_program(
+            "void dataflow(float a[4], float b[4]) { b[0] = a[7]; }"
+        )
+        assert not report.ok
+        assert "oob-subscript" in codes(report)
+        assert any("clamp" in issue.message for issue in report.errors)
+
+    def test_straddling_range_is_warning(self):
+        report = validate_program(
+            """
+            void dataflow(float a[4], float b[8]) {
+              for (int i = 0; i < 8; i++) { b[i] = a[i]; }
+            }
+            """
+        )
+        assert report.ok  # warnings don't invalidate
+        assert any(issue.code == "oob-subscript" for issue in report.warnings)
+
+    def test_guarded_oob_downgraded_to_warning(self):
+        report = validate_program(
+            """
+            void dataflow(float a[4], float b[8], int n) {
+              for (int i = 0; i < 8; i++) {
+                if (i < n) { b[i] = a[7]; }
+              }
+            }
+            """
+        )
+        assert report.ok
+        assert any(issue.code == "oob-subscript" for issue in report.warnings)
+
+    def test_rank_mismatch_is_error(self):
+        report = validate_program(
+            "void dataflow(float a[4][4], float b[4]) { b[0] = a[1]; }"
+        )
+        assert not report.ok
+        assert "rank-mismatch" in codes(report)
+
+    def test_unknown_call_is_error(self):
+        report = validate_program(
+            "void dataflow(float a[8]) { helper(a); }"
+        )
+        assert not report.ok
+        assert "unknown-call" in codes(report)
+        assert any("no builtins" in issue.message for issue in report.errors)
+
+    def test_call_arity_is_error(self):
+        report = validate_program(
+            """
+            void helper(float a[8], int n) { a[0] = n; }
+            void dataflow(float a[8], int n) { helper(a); }
+            """
+        )
+        assert not report.ok
+        assert "call-arity" in codes(report)
+
+    def test_while_loop_is_warning(self):
+        report = validate_program(
+            """
+            void dataflow(float a[8], int n) {
+              int i = 0;
+              while (i < n) { a[0] = a[0] + 1.0; i = i + 1; }
+            }
+            """
+        )
+        assert report.ok
+        assert report.warnings
+
+    def test_report_reasons_are_one_line_errors(self):
+        report = validate_program(
+            "void dataflow(float a[4], float b[4]) { b[0] = a[7]; }"
+        )
+        reasons = report.reasons()
+        assert reasons
+        for reason in reasons:
+            assert "\n" not in reason
+            assert reason.startswith("error[")
+
+    def test_raise_if_invalid(self):
+        report = validate_program(
+            "void dataflow(float b[8]) { b[0] = q[0]; }"
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            report.raise_if_invalid("unit test")
+        assert excinfo.value.reasons == report.reasons()
+
+    def test_validator_accepts_parsed_program_objects(self):
+        report = ProgramValidator().validate(parse(VALID))
+        assert report.ok
+
+
+class TestAnalysisCache:
+    def test_cache_hit_on_identical_source(self):
+        cache = AnalysisCache(maxsize=4)
+        first = cache.get(VALID)
+        second = cache.get(VALID)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_empty_cache_is_not_falsy_footgun(self):
+        # The bug class REPRO001 lints for: an injected empty cache must
+        # be distinguishable from None without relying on truthiness.
+        cache = AnalysisCache()
+        assert len(cache) == 0
+        assert (cache if cache is not None else None) is cache
+
+
+class TestIngestionBoundaries:
+    def test_read_program_rejects_invalid_file(self, tmp_path):
+        from repro.api import CodecError, read_program
+
+        path = tmp_path / "bad.c"
+        path.write_text(
+            "void dataflow(float b[8]) { b[0] = q[0]; }"
+        )
+        with pytest.raises(CodecError) as excinfo:
+            read_program(str(path))
+        assert "undefined-read" in str(excinfo.value)
+        assert excinfo.value.reasons
+
+    def test_read_program_validate_flag_off(self, tmp_path):
+        from repro.api import read_program
+
+        path = tmp_path / "bad.c"
+        path.write_text(
+            "void dataflow(float b[8]) { b[0] = q[0]; }"
+        )
+        assert "q[0]" in read_program(str(path), validate=False)
+
+    def test_validate_source_helper(self):
+        from repro.api import validate_source
+
+        validate_source(VALID)
+        with pytest.raises(Exception) as excinfo:
+            validate_source("void dataflow(float b[8]) { b[0] = q[0]; }")
+        assert "undefined-read" in str(excinfo.value)
+
+    def test_campaign_cell_admission_rejects_invalid_source(self, tmp_path):
+        from repro.campaign import CampaignRunner, CampaignSpec, WorkloadSpec
+        from repro.errors import CampaignError
+
+        spec = CampaignSpec(
+            name="bad",
+            workloads=(
+                WorkloadSpec(
+                    name="inline",
+                    source="void dataflow(float b[8]) { b[0] = q[0]; }",
+                ),
+            ),
+            strategies=("random",),
+            objectives=("area_delay",),
+            budget=2,
+        )
+        runner = CampaignRunner(spec, str(tmp_path / "j.jsonl"))
+        with pytest.raises(CampaignError) as excinfo:
+            runner.run()
+        message = str(excinfo.value)
+        assert "rejected at admission" in message
+        assert "undefined-read" in message
+
+
+class TestServeBoundary:
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.core import CostModel, LLMulatorConfig
+        from repro.serve import PredictionEngine, PredictionServer
+
+        engine = PredictionEngine.from_model(
+            CostModel(LLMulatorConfig(tier="0.5B", seed=0))
+        )
+        server = PredictionServer(engine, port=0, max_batch=2).start()
+        yield server
+        server.close()
+
+    def test_invalid_program_is_400_with_reasons(self, server):
+        from repro.errors import ServeError
+        from repro.serve import ServeClient
+
+        client = ServeClient(server.url, timeout_s=60.0)
+        with pytest.raises(ServeError) as excinfo:
+            client.predict(
+                "void dataflow(float b[8]) { b[0] = q[0]; }", data={}
+            )
+        message = str(excinfo.value)
+        assert "HTTP 400" in message
+        assert "undefined-read" in message
+        assert excinfo.value.reasons
+        assert all("\n" not in reason for reason in excinfo.value.reasons)
+
+    def test_valid_program_still_served(self, server):
+        from repro.serve import ServeClient
+
+        client = ServeClient(server.url, timeout_s=60.0)
+        predictions = client.predict(VALID, data={})
+        assert set(predictions) == {"power", "area", "ff", "cycles"}
+
+
+class TestAcceptedProgramsDoNotCrash:
+    """Property: programs the validator accepts never hit a static
+    error class in the interpreter (undefined name, unknown function,
+    rank mismatch, missing argument)."""
+
+    STATIC_ERRORS = (
+        "undefined variable",
+        "unknown function",
+        "rank mismatch",
+        "is not an array",
+        "missing argument",
+    )
+
+    def test_generated_programs(self):
+        from repro.datagen.astgen import AstGenerator
+        from repro.errors import SimulationError
+        from repro.lang import to_source
+        from repro.sim import default_inputs
+        from repro.sim.interpreter import Interpreter
+
+        accepted = 0
+        for seed in range(25):
+            program = AstGenerator(seed=seed).generate_program(n_operators=2)
+            source = to_source(program)
+            report = validate_program(source)
+            if not report.ok:
+                continue
+            accepted += 1
+            parsed = parse(source)
+            args = default_inputs(
+                parsed, "dataflow", rng=np.random.default_rng(seed)
+            )
+            try:
+                Interpreter(parsed, max_steps=200000).run("dataflow", args)
+            except SimulationError as exc:
+                message = str(exc)
+                assert not any(
+                    fragment in message for fragment in self.STATIC_ERRORS
+                ), f"validator accepted a program that crashed: {message}"
+        assert accepted >= 10  # the property must actually be exercised
+
+    def test_polybench_all_accepted_and_run(self):
+        from repro.sim import default_inputs
+        from repro.sim.interpreter import Interpreter
+        from repro.workloads import polybench_suite
+
+        for workload in polybench_suite():
+            report = validate_program(workload.source)
+            assert report.ok, (workload.name, report.reasons())
+            program = parse(workload.source)
+            fname = program.functions[0].name
+            args = default_inputs(
+                program, fname, rng=np.random.default_rng(1),
+                overrides=workload.data,
+            )
+            Interpreter(program).run(fname, args)

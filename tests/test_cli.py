@@ -91,6 +91,42 @@ class TestCli:
         assert "scale: class_ii" in output
         assert "total dynamic parameters: 1" in output
 
+    def test_analyze_prints_validation_and_dependences(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        output = capsys.readouterr().out
+        assert "validation: ok" in output
+        assert "dependences in 'scale'" in output
+        assert "legality in 'scale'" in output
+
+    def test_analyze_workload_by_name(self, capsys):
+        assert main(["analyze", "--workload", "jacobi-2d"]) == 0
+        output = capsys.readouterr().out
+        assert "validation: ok" in output
+        assert "fuse(" in output and "illegal" in output
+
+    def test_analyze_json_payload(self, program_file, capsys):
+        assert main(["analyze", program_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"digest", "validation", "dependences", "legality"}
+        assert payload["validation"]["ok"] is True
+        assert "scale" in payload["legality"]
+
+    def test_analyze_invalid_program_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("void dataflow(float b[8]) { b[0] = q[0]; }")
+        assert main(["analyze", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "validation: INVALID" in output
+        assert "undefined-read" in output
+
+    def test_analyze_needs_exactly_one_target(self, program_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze"])
+        assert str(excinfo.value.code).startswith("error:")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", program_file, "--workload", "jacobi-2d"])
+        assert "not both" in str(excinfo.value.code)
+
     def test_bad_data_argument(self, program_file):
         with pytest.raises(SystemExit):
             main(["profile", program_file, "--data", "nonsense"])

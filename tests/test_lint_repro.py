@@ -1,0 +1,215 @@
+"""The repo lint (``scripts/lint_repro.py``): clean on ``src/`` and
+able to catch a seeded instance of each bug class it exists for."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_PATH = REPO_ROOT / "scripts" / "lint_repro.py"
+
+spec = importlib.util.spec_from_file_location("lint_repro", LINT_PATH)
+lint_repro = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_repro)
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_repro.lint_file(path)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestCleanOnRepo:
+    def test_src_is_clean(self):
+        findings = lint_repro.lint_paths([str(REPO_ROOT / "src")])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_scripts_are_clean(self):
+        findings = lint_repro.lint_paths([str(LINT_PATH)])
+        assert findings == []
+
+
+class TestFalsyCacheRule:
+    def test_catches_seeded_falsy_cache_regression(self, tmp_path):
+        # The exact PR 3/4/5 bug class: `cache or GLOBAL_CACHE` silently
+        # replaces an injected *empty* cache with the global one.
+        findings = lint_source(
+            tmp_path,
+            """
+            GLOBAL_CACHE = {}
+
+            def lookup(key, cache: dict | None = None):
+                cache = cache or GLOBAL_CACHE
+                return cache.get(key)
+            """,
+        )
+        assert rules(findings) == ["REPRO001"]
+        assert "is not None" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_container_name_without_annotation_still_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def drain(entries=None):
+                return entries or default_entries()
+            """,
+        )
+        assert rules(findings) == ["REPRO001"]
+
+    def test_empty_literal_fallback_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def merge(overrides: dict | None = None, items: list | None = None):
+                a = overrides or {}
+                b = items or []
+                c = overrides or dict()
+                return a, b, c
+            """,
+        )
+        assert findings == []
+
+    def test_non_container_param_not_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def greet(name: str | None = None):
+                return name or "anonymous"
+            """,
+        )
+        assert findings == []
+
+
+class TestFrozenDataclassRule:
+    def test_catches_field_mutation(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Point:
+                x: int
+
+                def shift(self):
+                    self.x += 1
+            """,
+        )
+        assert rules(findings) == ["REPRO002"]
+
+    def test_unfrozen_dataclass_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Point:
+                x: int
+
+                def shift(self):
+                    self.x += 1
+            """,
+        )
+        assert findings == []
+
+
+class TestBareExceptRule:
+    def test_catches_bare_except(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+        )
+        assert rules(findings) == ["REPRO003"]
+
+    def test_typed_except_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            """,
+        )
+        assert findings == []
+
+
+class TestDeterminismRule:
+    def test_catches_wall_clock_in_journal_module(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            name="journal_store.py",
+        )
+        assert rules(findings) == ["REPRO004"]
+        assert "replay determinism" in findings[0].message
+
+    def test_catches_uuid_in_codec_module(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import uuid
+
+            def fresh_id():
+                return uuid.uuid4()
+            """,
+            name="codec.py",
+        )
+        assert rules(findings) == ["REPRO004"]
+
+    def test_wall_clock_fine_outside_critical_modules(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            name="bench.py",
+        )
+        assert findings == []
+
+
+class TestOutputContract:
+    def test_findings_print_file_line_rule(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+        )
+        line = str(findings[0])
+        path, lineno, rest = line.split(":", 2)
+        assert path.endswith("mod.py")
+        assert lineno.isdigit()
+        assert rest.strip().startswith("REPRO003")
+
+    def test_main_exit_codes(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert lint_repro.main([str(bad)]) == 1
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert lint_repro.main([str(good)]) == 0
