@@ -1,0 +1,269 @@
+"""Rewrite bench: polybench parity sweep + rewrite-axis campaign win.
+
+Exercises the two contracts the rewrite engine exists for:
+
+* **Parity gate** — every rewrite sequence the enumerator emits on the
+  polybench suite must validate clean and leave the interpreter's
+  output arrays **bit-identical** to the original program.  This is
+  the hard gate: if any sequence diverges, the legality analysis
+  approved a wrong transform and no number below is reported.  The
+  sweep also checks that every rule kind rejected at least one
+  candidate with a cited reason — an engine that refuses nothing is
+  not being gated by the analysis.
+* **Search-dimension win** — a small campaign over mvt / gemver / atax
+  with the rewrite axis enabled (baseline + the enumerator's top
+  sequences) × two hardware variants under the ``latency`` objective.
+  Full mode gates on at least two kernels having a (rewrite, hardware)
+  cell whose best simulated cycle count is **strictly lower** than the
+  best hardware-only cell from the same budget.
+
+Results land in ``BENCH_rewrite.json`` at the repo root so CI tracks
+the trajectory.
+
+Run:  PYTHONPATH=src python scripts/bench_rewrite.py [--smoke]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    RewriteSpec,
+    WorkloadSpec,
+)
+from repro.hls import HardwareParams
+from repro.lang import parse
+from repro.profiler import Profiler
+from repro.rewrite import (
+    REWRITE_KINDS,
+    RewriteSequence,
+    bit_parity,
+    enumerate_sequences,
+    enumerate_steps,
+)
+from repro.workloads import linalg_suite, polybench_suite
+
+SUITES = {w.name: w for w in polybench_suite()}
+SUITES.update({w.name: w for w in linalg_suite()})
+
+CAMPAIGN_KERNELS = ("mvt", "gemver", "atax")
+
+
+def parity_sweep(kernels, max_len: int, top_k: int) -> dict:
+    """Enumerate on every kernel; replay + bit-check every sequence."""
+    checked = 0
+    failures = []
+    rejected_kinds: dict[str, int] = {kind: 0 for kind in REWRITE_KINDS}
+    per_kernel = {}
+    for name in kernels:
+        source = SUITES[name].source
+        for candidate in enumerate_steps(source):
+            if not candidate.ok:
+                if not candidate.reasons or not candidate.reasons[0]:
+                    failures.append(f"{name}: rejection without a reason")
+                rejected_kinds[candidate.step.kind] += 1
+        sequences = enumerate_sequences(source, max_len=max_len, top_k=top_k)
+        for ranked in sequences:
+            result = RewriteSequence(steps=ranked.steps).apply(source)
+            checked += 1
+            if not bit_parity(source, result.program):
+                failures.append(f"{name}: {ranked.describe()} diverged")
+        per_kernel[name] = len(sequences)
+        print(f"  {name}: {len(sequences)} sequences bit-checked", flush=True)
+    return {
+        "kernels": len(per_kernel),
+        "sequences_checked": checked,
+        "sequences_per_kernel": per_kernel,
+        "rejected_by_kind": rejected_kinds,
+        "failures": failures,
+    }
+
+
+def build_spec(smoke: bool) -> tuple[CampaignSpec, dict]:
+    """Campaign grid: each kernel gets its best rewrite sequences as
+    rewrite-axis entries next to the shared baseline.
+
+    Selection is two-stage, mirroring how the engine is meant to be
+    driven: the profitability model prunes the legal space to a
+    top-k beam, then the simulator ranks the survivors by actual
+    cycles on the default hardware.  Only sequences that are
+    bit-verified *and* strictly faster than the unrewritten kernel
+    enter the campaign."""
+    kernels = CAMPAIGN_KERNELS[:1] if smoke else CAMPAIGN_KERNELS
+    per_kernel = 1 if smoke else 2
+    beam = 16
+    rewrites = [RewriteSpec(name="base")]
+    chosen = {}
+    for name in kernels:
+        workload = SUITES[name]
+        source = workload.source
+        data = dict(workload.data) if workload.data else None
+        program = parse(source)
+        baseline_cycles = _cycles(program, data)
+        scored = []
+        for sequence in enumerate_sequences(source, max_len=2, top_k=beam):
+            # admission: a rewrite enters the campaign only bit-verified
+            replay = RewriteSequence(steps=sequence.steps).apply(source)
+            if not bit_parity(source, replay.program):
+                raise SystemExit(
+                    f"PARITY FAILURE: {name}: {sequence.describe()} diverged; "
+                    "refusing to run the campaign on it"
+                )
+            cycles = _cycles(replay.program, data)
+            if cycles < baseline_cycles:
+                scored.append((cycles, sequence))
+        scored.sort(key=lambda entry: entry[0])
+        print(f"  {name}: {len(scored)}/{beam} sequences beat "
+              f"{baseline_cycles} baseline cycles", flush=True)
+        for i, (cycles, sequence) in enumerate(scored[:per_kernel]):
+            rewrites.append(
+                RewriteSpec(
+                    name=f"{name}-r{i}", steps=sequence.steps, workload=name
+                )
+            )
+            chosen.setdefault(name, []).append(sequence.describe())
+    hardware = (
+        (HardwareParams(),)
+        if smoke
+        else (HardwareParams(), HardwareParams(mem_read_delay=5, mem_write_delay=5))
+    )
+    spec = CampaignSpec(
+        name="bench-rewrite-smoke" if smoke else "bench-rewrite",
+        workloads=tuple(WorkloadSpec(name=name) for name in kernels),
+        hardware=hardware,
+        strategies=("random",),
+        objectives=("latency",),
+        # budget >= per-cell candidate count: cells evaluate their whole
+        # mapping space, so best-cell comparisons carry no search noise
+        budget=2 if smoke else 8,
+        unroll_factors=(1, 2),
+        max_candidates=8,
+        static_source="asicflow",
+        rewrites=tuple(rewrites),
+    )
+    return spec, chosen
+
+
+def _cycles(program, data) -> int:
+    report = Profiler(HardwareParams()).profile(program, data=data)
+    return report.costs.as_dict()["cycles"]
+
+
+def campaign_comparison(spec: CampaignSpec) -> list[dict]:
+    """Best latency per (workload, rewrite-or-baseline) over all cells."""
+    workdir = tempfile.mkdtemp(prefix="bench_rewrite_")
+    journal = os.path.join(workdir, "journal.jsonl")
+    CampaignRunner(spec, journal).run()
+    report = CampaignReport.from_journal(journal, spec)
+    best: dict[tuple[str, bool], tuple[float, str]] = {}
+    for cell in report.cells:
+        if cell.final_best is None:
+            continue
+        is_rewrite = cell.cell.rewrite != "base"
+        key = (cell.cell.workload, is_rewrite)
+        value = (cell.final_best, cell.cell.rewrite)
+        if key not in best or value[0] < best[key][0]:
+            best[key] = value
+    rows = []
+    for workload in sorted({w.name for w in spec.workloads}):
+        baseline = best.get((workload, False))
+        rewritten = best.get((workload, True))
+        improved = (
+            baseline is not None
+            and rewritten is not None
+            and rewritten[0] < baseline[0]
+        )
+        rows.append(
+            {
+                "workload": workload,
+                "baseline_best_cycles": baseline[0] if baseline else None,
+                "rewrite_best_cycles": rewritten[0] if rewritten else None,
+                "best_rewrite": rewritten[1] if rewritten else None,
+                "improved": improved,
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep for CI (win reported, not gated)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_rewrite.json"))
+    args = parser.parse_args()
+
+    kernels = sorted(
+        w.name for w in polybench_suite()
+    ) if not args.smoke else ["jacobi-2d", "atax"]
+    max_len, top_k = (2, 4) if not args.smoke else (1, 2)
+
+    print(f"parity sweep over {len(kernels)} polybench kernels "
+          f"(max_len={max_len}, top_k={top_k})", flush=True)
+    start = time.perf_counter()
+    parity = parity_sweep(kernels, max_len, top_k)
+    parity_s = time.perf_counter() - start
+    print(f"bit-checked {parity['sequences_checked']} sequences in "
+          f"{parity_s:.1f}s; rejections by kind: {parity['rejected_by_kind']}",
+          flush=True)
+    if parity["failures"]:
+        for failure in parity["failures"]:
+            print(f"PARITY FAILURE: {failure}", file=sys.stderr)
+        raise SystemExit(
+            "parity sweep failed; refusing to report benchmark numbers"
+        )
+    missing = [k for k, n in parity["rejected_by_kind"].items() if n == 0]
+    if missing and not args.smoke:
+        raise SystemExit(
+            f"no rejected candidate for rule kind(s) {missing}; the "
+            "legality gate is not exercising them"
+        )
+
+    spec, chosen = build_spec(args.smoke)
+    print(f"campaign: {spec.cell_count} cells, budget {spec.budget}; "
+          f"rewrites under test: {chosen}", flush=True)
+    start = time.perf_counter()
+    rows = campaign_comparison(spec)
+    campaign_s = time.perf_counter() - start
+    wins = sum(1 for row in rows if row["improved"])
+    for row in rows:
+        print(f"  {row['workload']}: baseline {row['baseline_best_cycles']} "
+              f"vs rewrite {row['rewrite_best_cycles']} "
+              f"({row['best_rewrite']}) "
+              f"{'WIN' if row['improved'] else 'no win'}", flush=True)
+    if not args.smoke and wins < 2:
+        raise SystemExit(
+            f"rewrite axis won on only {wins} kernel(s); the gate needs 2"
+        )
+
+    payload = {
+        "bench": "rewrite",
+        "mode": "smoke" if args.smoke else "full",
+        "parity": {k: v for k, v in parity.items() if k != "failures"},
+        "parity_seconds": round(parity_s, 2),
+        "campaign": {
+            "cells": spec.cell_count,
+            "budget": spec.budget,
+            "rewrites": chosen,
+            "comparison": rows,
+            "wins": wins,
+            "seconds": round(campaign_s, 2),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

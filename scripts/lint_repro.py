@@ -18,10 +18,16 @@ Rules (all reported as ``file:line: RULE message``, exit 1 on findings):
   ``time.time``/``datetime.now``/``uuid.uuid4``/``random.*`` in a
   module whose path contains ``journal`` or ``codec``.  Replay parity
   requires those files to be deterministic functions of their inputs.
+* ``REPRO005`` ``assert`` used to validate a function parameter in
+  non-test source: asserts vanish under ``python -O``, so input
+  validation must raise a typed ``repro.errors`` exception instead.
+  Fires when the assert's test reads a bare name that is a parameter of
+  the enclosing function (``self``/``cls`` excluded); asserts on locals
+  (internal invariants) stay allowed.  Test files are exempt.
 
 Usage::
 
-    python scripts/lint_repro.py [PATH ...]      # default: src/
+    python scripts/lint_repro.py [PATH ...]      # default: src/ scripts/
 """
 
 from __future__ import annotations
@@ -53,6 +59,25 @@ NONDETERMINISTIC_CALLS = {
     ("uuid", "uuid4"),
 }
 DETERMINISM_CRITICAL = re.compile(r"(journal|codec)")
+
+
+def _is_test_file(path: Path) -> bool:
+    """REPRO005 exemption: pytest asserts are the assertion idiom."""
+    if any(part in ("tests", "test") for part in path.parts):
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def _parameter_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """All parameter names of *func*, minus the receiver."""
+    args = func.args
+    names = {arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs}
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    names.discard("self")
+    names.discard("cls")
+    return names
 
 
 class Finding:
@@ -142,7 +167,9 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.findings: list[Finding] = []
         self._suspect_stack: list[set[str]] = []
+        self._param_stack: list[set[str]] = []
         self._frozen_depth = 0
+        self._testish = _is_test_file(path)
         self._determinism_critical = bool(
             DETERMINISM_CRITICAL.search(self.path.name)
         )
@@ -156,7 +183,9 @@ class _Linter(ast.NodeVisitor):
 
     def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         self._suspect_stack.append(_optional_container_params(node))
+        self._param_stack.append(_parameter_names(node))
         self.generic_visit(node)
+        self._param_stack.pop()
         self._suspect_stack.pop()
 
     visit_FunctionDef = _visit_function
@@ -254,6 +283,28 @@ class _Linter(ast.NodeVisitor):
         match = DETERMINISM_CRITICAL.search(self.path.name)
         return match.group(1) if match else "determinism-critical"
 
+    # -- REPRO005: assert-based input validation -------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if not self._testish and self._param_stack:
+            params = self._param_stack[-1]
+            asserted = sorted(
+                {
+                    name.id
+                    for name in ast.walk(node.test)
+                    if isinstance(name, ast.Name) and name.id in params
+                }
+            )
+            if asserted:
+                names = ", ".join(f"'{name}'" for name in asserted)
+                self._report(
+                    node,
+                    "REPRO005",
+                    f"assert validates parameter {names} but vanishes under "
+                    "'python -O'; raise a typed repro.errors exception instead",
+                )
+        self.generic_visit(node)
+
 
 def lint_file(path: Path) -> list[Finding]:
     try:
@@ -278,7 +329,7 @@ def lint_paths(paths: list[str]) -> list[Finding]:
 
 
 def main(argv: list[str]) -> int:
-    paths = argv or ["src"]
+    paths = argv or ["src", "scripts"]
     findings = lint_paths(paths)
     for finding in sorted(findings, key=lambda f: (str(f.path), f.line)):
         print(finding)

@@ -8,8 +8,10 @@ The stack, bottom to top (each layer consumes only the one below):
                  (exact where affine subscripts pin them, ``"*"``
                  otherwise — conservative, never unsound).
 ``legality``   — ``can_interchange`` / ``can_tile`` / ``can_fuse`` /
-                 ``can_unroll`` verdicts with cited evidence; the
-                 future rewrite engine is a consumer of this API.
+                 ``can_unroll`` / ``can_distribute`` verdicts with
+                 cited evidence; the rewrite engine
+                 (:mod:`repro.rewrite`) consumes this API and refuses
+                 to fire any transform without an ``ok`` verdict.
 ``validate``   — :class:`ProgramValidator`, run at every ingestion
                  boundary (codec, serve, campaign).
 ``cache``      — digest-keyed LRU so repeated ingestion of the same
@@ -36,10 +38,12 @@ from .dependence import (
 )
 from .legality import (
     LegalityVerdict,
+    can_distribute,
     can_fuse,
     can_interchange,
     can_tile,
     can_unroll,
+    distribution_items,
     legality_matrix,
 )
 from .validate import (
@@ -70,12 +74,14 @@ __all__ = [
     "analyze_dataflow",
     "analyze_dependences",
     "analyze_program_dependences",
+    "can_distribute",
     "can_fuse",
     "can_interchange",
     "can_tile",
     "can_unroll",
     "compute_analysis",
     "direction_vectors",
+    "distribution_items",
     "legality_matrix",
     "validate_or_raise",
     "validate_program",

@@ -81,6 +81,7 @@ class AnalysisCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(
         self, program: ast.Program | str, digest: Optional[str] = None
@@ -98,7 +99,15 @@ class AnalysisCache:
             self._entries[digest] = analysis
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
         return analysis
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop one entry by digest (e.g. a rewrite step's intermediate
+        program that will never be ingested again).  Returns True when
+        an entry was present."""
+        with self._lock:
+            return self._entries.pop(digest, None) is not None
 
     def validate(
         self, program: ast.Program | str, digest: Optional[str] = None
@@ -110,6 +119,7 @@ class AnalysisCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -118,6 +128,17 @@ class AnalysisCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict:
+        """Counters for observability surfaces (``Session.stats()``,
+        the serve ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 # Process-wide default cache.  Deterministic contents; bounded size.

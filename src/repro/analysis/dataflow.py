@@ -450,6 +450,14 @@ def analyze_dataflow(func: ast.FunctionDef) -> FunctionDataflow:
             bound_expr = stmt.cond.right
             if isinstance(bound_expr, ast.IntLit):
                 bound = bound_expr.value
+            elif (
+                isinstance(bound_expr, ast.UnaryOp)
+                and bound_expr.op == "-"
+                and isinstance(bound_expr.operand, ast.IntLit)
+            ):
+                # countdown loops bottom out at a negative literal
+                # (`i > -1`); fold it so they stay fully static
+                bound = -bound_expr.operand.value
             elif isinstance(bound_expr, ast.Var):
                 bound_symbol = bound_expr.name
             else:

@@ -27,10 +27,12 @@ from .dependence import DependenceReport, analyze_dependences, direction_vectors
 
 __all__ = [
     "LegalityVerdict",
+    "can_distribute",
     "can_fuse",
     "can_interchange",
     "can_tile",
     "can_unroll",
+    "distribution_items",
     "legality_matrix",
 ]
 
@@ -545,6 +547,156 @@ def can_unroll(
     return LegalityVerdict(True, (), name)
 
 
+# -- distribution ------------------------------------------------------
+
+
+def distribution_items(
+    flow: FunctionDataflow, desc: LoopDesc
+) -> "list[tuple[str, object]] | None":
+    """The loop body's direct items — child loops and the statements
+    that sit immediately in the loop — in textual order, each as a
+    ``("loop", LoopDesc)`` or ``("stmt", Statement)`` pair.
+
+    Returns ``None`` when the body contains control flow (``if``,
+    ``while``, calls-as-statements, ...) that a statement-list split
+    cannot be mapped onto.  The item order matches the AST's
+    ``loop.body.stmts`` order, which is how the rewrite engine lines up
+    a split position with the analysis verdict.
+    """
+    children = sorted(flow.children_of(desc.index), key=lambda l: l.order)
+    spans = [(c.order, c.end_order) for c in children]
+    keyed: list[tuple[int, tuple[str, object]]] = [
+        (c.order, ("loop", c)) for c in children
+    ]
+    for statement in flow.statements:
+        if not statement.loop_ids or statement.loop_ids[-1] != desc.index:
+            continue
+        if any(lo < statement.order <= hi for lo, hi in spans):
+            continue  # a child loop's own header
+        if statement.kind not in ("assign", "decl"):
+            return None
+        keyed.append((statement.order, ("stmt", statement)))
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _, item in keyed]
+
+
+def can_distribute(
+    target: Union[ast.FunctionDef, DependenceReport],
+    loop: LoopKey,
+    split: int = 1,
+) -> LegalityVerdict:
+    """May the loop split into two sequential loops at body position
+    *split* (counted over direct items: statements and child loops)?
+
+    Distribution runs *all* iterations of the first chunk before any of
+    the second, so it is illegal when a dependence flows backwards
+    across the split (second chunk → first chunk, not already satisfied
+    by an outer loop), when a scalar flows across the split inside one
+    iteration, or when a declaration in the first chunk is referenced
+    after the split.
+    """
+    report = _report_of(target)
+    flow = report.dataflow
+    desc = _resolve_loop(flow, loop)
+    name = f"distribute({desc.label}@{split})"
+    if desc.is_while or not desc.is_canonical:
+        return LegalityVerdict(
+            False, (f"loop {desc.label} has a non-canonical header",), name
+        )
+    items = distribution_items(flow, desc)
+    if items is None:
+        return LegalityVerdict(
+            False,
+            (f"loop {desc.label} body contains control flow; "
+             "a statement-list split cannot represent it",),
+            name,
+        )
+    if not 1 <= split < len(items):
+        return LegalityVerdict(
+            False,
+            (f"split position {split} is out of range for the "
+             f"{len(items)} direct items of {desc.label}",),
+            name,
+        )
+    first: set[int] = set()
+    second: set[int] = set()
+    decl_names: list[str] = []
+    for position, (kind, payload) in enumerate(items):
+        chunk = first if position < split else second
+        if kind == "stmt":
+            chunk.add(payload.index)
+            if position < split and payload.kind == "decl":
+                decl_names.extend(payload.text.split()[1:2])
+        else:
+            # The child's subtree plus its own header statement (whose
+            # loop_ids stop at the parent, so span membership is what
+            # identifies it).
+            chunk.update(
+                s.index
+                for s in flow.statements
+                if payload.index in s.loop_ids
+                or (
+                    s.kind == "header"
+                    and payload.order < s.order <= payload.end_order
+                )
+            )
+    reasons: list[str] = []
+    for dep in report.dependences:
+        crosses = (dep.src in first and dep.dst in second) or (
+            dep.src in second and dep.dst in first
+        )
+        if not crosses:
+            continue
+        if dep.kind == "scalar":
+            reasons.append(
+                f"{dep.describe()} crosses the split; the scalar would "
+                "have to survive between the distributed loops"
+            )
+            continue
+        if dep.src in second and dep.dst in first:
+            # Textually-backward dependence: legal only when an outer
+            # loop provably carries it (then iteration groups keep
+            # their order regardless of the split).
+            level = (
+                dep.loop_ids.index(desc.index)
+                if desc.index in dep.loop_ids
+                else len(dep.loop_ids)
+            )
+            outer_deltas = dep.deltas[:level]
+            carried_outside = any(
+                isinstance(d, int) and d > 0 for d in outer_deltas
+            )
+            if not carried_outside:
+                reasons.append(
+                    f"{dep.describe()} runs backwards across the split; "
+                    "distribution would reverse it"
+                )
+    for decl_name in decl_names:
+        for statement in flow.statements:
+            if statement.index not in second:
+                continue
+            used = (
+                decl_name in statement.scalar_reads
+                or decl_name in statement.scalar_defs
+                or any(
+                    a.array == decl_name
+                    for a in statement.reads + statement.writes
+                )
+            )
+            if used:
+                reasons.append(
+                    f"declaration of {decl_name!r} in the first chunk is "
+                    f"referenced by S{statement.index} after the split"
+                )
+                break
+    if reasons:
+        seen: dict[str, None] = {}
+        for reason in reasons:
+            seen.setdefault(reason)
+        return LegalityVerdict(False, tuple(seen), name)
+    return LegalityVerdict(True, (), name)
+
+
 # -- the summary matrix (CLI / JSON) -----------------------------------
 
 
@@ -565,8 +717,12 @@ def legality_matrix(func: ast.FunctionDef) -> dict:
     tile = []
     unroll = []
     fuse = []
+    distribute = []
     for loop in flow.loops:
         unroll.append(row(can_unroll(report, loop.index, factor=2)))
+        items = distribution_items(flow, loop)
+        for split in range(1, len(items) if items else 0):
+            distribute.append(row(can_distribute(report, loop.index, split)))
         for child in flow.children_of(loop.index):
             interchange.append(row(can_interchange(report, loop.index, child.index)))
             tile.append(row(can_tile(report, [loop.index, child.index])))
@@ -590,4 +746,5 @@ def legality_matrix(func: ast.FunctionDef) -> dict:
         "tile": tile,
         "fuse": fuse,
         "unroll": unroll,
+        "distribute": distribute,
     }

@@ -1,5 +1,5 @@
-"""Resumable multi-objective search campaigns (workloads × hardware ×
-strategies × objectives) over the prediction stack.
+"""Resumable multi-objective search campaigns (workloads × rewrites ×
+hardware × strategies × objectives) over the prediction stack.
 
 The campaign subsystem scales a single ``explore`` invocation into a
 repeatable grid sweep: a frozen :class:`CampaignSpec` declares the
@@ -32,6 +32,7 @@ from .runner import (
 from .spec import (
     CAMPAIGN_SCHEMA_VERSION,
     CampaignSpec,
+    RewriteSpec,
     WorkloadSpec,
     load_spec,
     save_spec,
@@ -54,6 +55,7 @@ __all__ = [
     "ComparisonRow",
     "OBJECTIVES",
     "Objective",
+    "RewriteSpec",
     "STRATEGY_NAMES",
     "WorkloadSpec",
     "build_cells",

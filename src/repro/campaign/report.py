@@ -50,6 +50,7 @@ class CellReport:
         return {
             "cell": self.cell.cell_id,
             "workload": self.cell.workload,
+            "rewrite": self.cell.rewrite,
             "hardware": self.cell.params.describe(),
             "strategy": self.cell.strategy,
             "objective": self.cell.objective,
@@ -70,12 +71,14 @@ class ComparisonRow:
     hardware_index: int
     objective: str
     target: Optional[float]  # the random baseline's final best
+    rewrite: str = ""
     evaluations: dict[str, Optional[int]] = field(default_factory=dict)
     final_best: dict[str, Optional[float]] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
             "workload": self.workload,
+            "rewrite": self.rewrite,
             "hardware_index": self.hardware_index,
             "objective": self.objective,
             "random_best": self.target,
@@ -158,7 +161,10 @@ class CampaignReport:
                 header += f" {name + ' evals':>20s}"
             lines.append(header + "   (evaluations to reach the random best)")
             for row in self.comparisons:
-                text = f"{row.workload:14s} {row.hardware_index:3d} {row.objective:18s}"
+                label = (
+                    f"{row.workload}+{row.rewrite}" if row.rewrite else row.workload
+                )
+                text = f"{label:14s} {row.hardware_index:3d} {row.objective:18s}"
                 for name in strategies:
                     evals = row.evaluations.get(name)
                     text += f" {'-' if evals is None else evals:>20}"
@@ -230,12 +236,17 @@ def _fill_hypervolumes(cells: list[CellReport]) -> None:
 def _compare_strategies(
     spec: CampaignSpec, cells: list[CellReport]
 ) -> list[ComparisonRow]:
-    groups: dict[tuple[str, int, str], dict[str, CellReport]] = {}
+    groups: dict[tuple[str, str, int, str], dict[str, CellReport]] = {}
     for cell in cells:
-        key = (cell.cell.workload, cell.cell.hardware_index, cell.cell.objective)
+        key = (
+            cell.cell.workload,
+            cell.cell.rewrite,
+            cell.cell.hardware_index,
+            cell.cell.objective,
+        )
         groups.setdefault(key, {})[cell.cell.strategy] = cell
     rows = []
-    for (workload, hw_index, objective), by_strategy in groups.items():
+    for (workload, rewrite, hw_index, objective), by_strategy in groups.items():
         baseline = by_strategy.get("random")
         target = baseline.final_best if baseline is not None else None
         row = ComparisonRow(
@@ -243,6 +254,7 @@ def _compare_strategies(
             hardware_index=hw_index,
             objective=objective,
             target=target,
+            rewrite=rewrite,
         )
         for strategy, cell in sorted(by_strategy.items()):
             row.final_best[strategy] = cell.final_best

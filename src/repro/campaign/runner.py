@@ -1,8 +1,9 @@
 """Campaign execution: the grid loop over cells with journaled resume.
 
 The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
-deterministic sequence of cells (workload × hardware × strategy ×
-objective), executes each cell's search strategy, and checkpoints every
+deterministic sequence of cells (workload × rewrite × hardware ×
+strategy × objective; the rewrite axis collapses away when the spec
+declares none), executes each cell's search strategy, and checkpoints every
 ground-truth evaluation through a
 :class:`~repro.campaign.journal.CampaignJournal`.  Model predictions
 flow through any :class:`repro.api.Predictor` — a local
@@ -26,7 +27,7 @@ from ..api.session import Predictor
 from ..api.types import PredictJob
 from ..core.explorer import DesignPoint, MappingChoice, apply_mapping
 from ..core.search import SearchTrace
-from ..errors import CampaignError, CampaignInterrupted
+from ..errors import CampaignError, CampaignInterrupted, ReproError
 from ..hls import HardwareParams
 from ..lang import ast, parse, to_source
 from ..profiler import Profiler, StaticProfileCache
@@ -60,11 +61,15 @@ class CampaignCell:
     params: HardwareParams
     strategy: str
     objective: str
+    rewrite: str = ""  # rewrite-axis name; "" = the implicit identity
 
     @property
     def cell_id(self) -> str:
+        # The rw= segment appears only on rewrite-axis cells so journals
+        # written before the axis existed keep their cell ids.
+        rewrite_part = f"|rw={self.rewrite}" if self.rewrite else ""
         return (
-            f"w={self.workload}|hw={self.hardware_index}"
+            f"w={self.workload}{rewrite_part}|hw={self.hardware_index}"
             f"|strat={self.strategy}|obj={self.objective}"
         )
 
@@ -72,29 +77,60 @@ class CampaignCell:
         return dict(self.data) or None
 
 
+def _rewrite_axis(
+    spec: CampaignSpec, workload_name: str, source: str
+) -> list[tuple[str, str]]:
+    """``(rewrite name, rewritten source)`` points for one workload —
+    the sequences are applied here, at cell-build time, so every
+    downstream consumer (admission, candidates, profiler, journal) sees
+    the rewritten program as *the* program of the cell."""
+    from ..rewrite.apply import RewriteSequence
+
+    applicable = spec.applicable_rewrites(workload_name)
+    if not applicable:
+        return [("", source)]
+    axis: list[tuple[str, str]] = []
+    for rewrite in applicable:
+        if not rewrite.steps:
+            axis.append((rewrite.name, source))
+            continue
+        try:
+            rewritten = RewriteSequence(steps=rewrite.steps).apply(source)
+        except ReproError as exc:
+            raise CampaignError(
+                f"rewrite {rewrite.name!r} cannot apply to workload "
+                f"{workload_name!r}: {exc}"
+            ) from None
+        axis.append((rewrite.name, rewritten.source))
+    return axis
+
+
 def build_cells(spec: CampaignSpec) -> list[CampaignCell]:
     """The deterministic cell order every run and resume walks."""
     cells = []
     resolved = [workload.resolve() for workload in spec.workloads]
-    grid = itertools.product(
-        zip(spec.workloads, resolved),
-        enumerate(spec.hardware),
-        spec.strategies,
-        spec.objectives,
-    )
-    for index, ((workload, (source, data)), (hw_index, params), strategy, objective) in enumerate(grid):
-        cells.append(
-            CampaignCell(
-                index=index,
-                workload=workload.name,
-                source=source,
-                data=tuple(sorted((str(k), v) for k, v in data.items())),
-                hardware_index=hw_index,
-                params=params,
-                strategy=strategy,
-                objective=objective,
+    index = 0
+    for workload, (source, data) in zip(spec.workloads, resolved):
+        data_items = tuple(sorted((str(k), v) for k, v in data.items()))
+        for rewrite_name, cell_source in _rewrite_axis(spec, workload.name, source):
+            grid = itertools.product(
+                enumerate(spec.hardware), spec.strategies, spec.objectives
             )
-        )
+            for (hw_index, params), strategy, objective in grid:
+                cells.append(
+                    CampaignCell(
+                        index=index,
+                        workload=workload.name,
+                        source=cell_source,
+                        data=data_items,
+                        hardware_index=hw_index,
+                        params=params,
+                        strategy=strategy,
+                        objective=objective,
+                        rewrite=rewrite_name,
+                    )
+                )
+                index += 1
     return cells
 
 
@@ -120,6 +156,7 @@ def enumerate_cell_candidates(
     params: HardwareParams,
     unroll_factors: Sequence[int],
     max_candidates: int,
+    rewrite: str = "",
 ) -> list[DesignPoint]:
     """Cartesian product of per-operator unroll choices under the
     cell's full hardware parameters.
@@ -155,7 +192,12 @@ def enumerate_cell_candidates(
     for combo in itertools.product(*per_op_options):
         mapped = apply_mapping(program, tuple(combo))
         candidates.append(
-            DesignPoint(program=mapped, params=params, choices=tuple(combo))
+            DesignPoint(
+                program=mapped,
+                params=params,
+                choices=tuple(combo),
+                rewrite=rewrite,
+            )
         )
         if len(candidates) >= max_candidates:
             break
@@ -295,7 +337,11 @@ class CampaignRunner:
             )
         program = parse(cell.source)
         candidates = enumerate_cell_candidates(
-            program, cell.params, self.spec.unroll_factors, self.spec.max_candidates
+            program,
+            cell.params,
+            self.spec.unroll_factors,
+            self.spec.max_candidates,
+            rewrite=cell.rewrite,
         )
         objective = get_objective(cell.objective)
         if not candidates:

@@ -1,9 +1,11 @@
 """Campaign specification: a frozen grid declaration + versioned codec.
 
 A :class:`CampaignSpec` declares the full cross product a campaign
-executes — workloads × hardware variants × search strategies ×
-objectives — plus the shared knobs (evaluation budget per cell, seed,
-unroll sweep).  It is frozen so a spec can be digested once and the
+executes — workloads × program rewrites × hardware variants × search
+strategies × objectives — plus the shared knobs (evaluation budget per
+cell, seed, unroll sweep).  The rewrite axis is optional: an empty
+``rewrites`` tuple reproduces the classic grid exactly (and its wire
+form, so old spec digests stay valid).  It is frozen so a spec can be digested once and the
 digest stamped into the journal header: ``campaign resume`` refuses a
 journal written under a different spec instead of silently mixing two
 campaigns' evaluations.
@@ -24,12 +26,14 @@ from typing import Any, Mapping, Optional
 from ..api.codec import params_from_payload, params_to_payload
 from ..errors import CampaignError, ReproError
 from ..hls import HardwareParams
+from ..rewrite.rules import RewriteStep
 from .objectives import get_objective
 from .strategies import get_strategy
 
 __all__ = [
     "CAMPAIGN_SCHEMA_VERSION",
     "CampaignSpec",
+    "RewriteSpec",
     "WorkloadSpec",
     "spec_digest",
     "spec_from_payload",
@@ -85,16 +89,45 @@ def _suite_workload(name: str):
 
 
 @dataclass(frozen=True)
+class RewriteSpec:
+    """One program-rewrite variant on the campaign's rewrite axis.
+
+    ``steps`` empty means "run the workload unrewritten" (the baseline
+    point every rewrite campaign should include so wins are measured
+    against something).  ``workload`` of ``""`` applies the variant to
+    every workload; a workload name restricts it to that one — rewrite
+    steps address loops positionally, so a sequence tuned for gemm is
+    usually meaningless (or illegal) on another kernel.
+    """
+
+    name: str
+    steps: tuple[RewriteStep, ...] = ()
+    workload: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("rewrite spec needs a non-empty name")
+        if any(ch in self.name for ch in "|= \t\n"):
+            raise CampaignError(
+                f"rewrite name {self.name!r} may not contain '|', '=' or "
+                "whitespace (it keys journal cell ids)"
+            )
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """The full campaign grid.  Cells are the cross product
-    ``workloads × hardware × strategies × objectives``, each searched
-    for ``budget`` ground-truth evaluations."""
+    ``workloads × rewrites × hardware × strategies × objectives``, each
+    searched for ``budget`` ground-truth evaluations.  An empty
+    ``rewrites`` axis means the classic grid (no rewrite dimension)."""
 
     name: str
     workloads: tuple[WorkloadSpec, ...]
     hardware: tuple[HardwareParams, ...] = (HardwareParams(),)
     strategies: tuple[str, ...] = ("random", "model_guided")
     objectives: tuple[str, ...] = ("area_delay",)
+    rewrites: tuple[RewriteSpec, ...] = ()
     budget: int = 8
     seed: int = 0
     unroll_factors: tuple[int, ...] = (1, 2, 4)
@@ -144,11 +177,44 @@ class CampaignSpec:
                 "duplicate workload names in campaign spec; name each "
                 "variant distinctly (e.g. 'gemm-n8', 'gemm-n16')"
             )
+        rewrite_names = [rewrite.name for rewrite in self.rewrites]
+        if len(set(rewrite_names)) != len(rewrite_names):
+            raise CampaignError("duplicate rewrite names in campaign spec")
+        known_workloads = set(names)
+        for rewrite in self.rewrites:
+            if rewrite.workload and rewrite.workload not in known_workloads:
+                raise CampaignError(
+                    f"rewrite {rewrite.name!r} targets unknown workload "
+                    f"{rewrite.workload!r}"
+                )
+        if self.rewrites:
+            for workload_name in names:
+                if not self.applicable_rewrites(workload_name):
+                    raise CampaignError(
+                        f"workload {workload_name!r} has no applicable "
+                        "rewrite; add a baseline entry (empty steps, "
+                        "workload filter '') so every workload keeps at "
+                        "least one cell"
+                    )
+
+    def applicable_rewrites(self, workload_name: str) -> tuple[RewriteSpec, ...]:
+        """The rewrite-axis entries that apply to one workload (all of
+        them when the axis is empty — callers treat that as the single
+        implicit identity point)."""
+        return tuple(
+            rewrite
+            for rewrite in self.rewrites
+            if not rewrite.workload or rewrite.workload == workload_name
+        )
 
     @property
     def cell_count(self) -> int:
+        workload_cells = sum(
+            len(self.applicable_rewrites(workload.name)) or 1
+            for workload in self.workloads
+        )
         return (
-            len(self.workloads)
+            workload_cells
             * len(self.hardware)
             * len(self.strategies)
             * len(self.objectives)
@@ -193,8 +259,47 @@ def _workload_from_payload(payload: Any) -> WorkloadSpec:
     )
 
 
-def spec_to_payload(spec: CampaignSpec) -> dict:
+_REWRITE_FIELDS = frozenset({"name", "steps", "workload"})
+
+
+def _rewrite_to_payload(rewrite: RewriteSpec) -> dict:
     return {
+        "name": rewrite.name,
+        "steps": [step.to_payload() for step in rewrite.steps],
+        "workload": rewrite.workload,
+    }
+
+
+def _rewrite_from_payload(payload: Any) -> RewriteSpec:
+    if not isinstance(payload, dict) or not isinstance(payload.get("name"), str):
+        raise CampaignError("each rewrite entry needs a string 'name'")
+    unknown = sorted(set(payload) - _REWRITE_FIELDS)
+    if unknown:
+        raise CampaignError(
+            f"rewrite {payload['name']!r} has unknown fields {unknown}; "
+            f"expected {sorted(_REWRITE_FIELDS)}"
+        )
+    steps_payload = payload.get("steps") or []
+    if not isinstance(steps_payload, list):
+        raise CampaignError(
+            f"rewrite {payload['name']!r} 'steps' must be a list of "
+            "step strings (kind:function:loops[:factor])"
+        )
+    try:
+        steps = tuple(RewriteStep.from_payload(s) for s in steps_payload)
+    except ReproError as exc:
+        raise CampaignError(
+            f"rewrite {payload['name']!r} has an invalid step: {exc}"
+        ) from None
+    return RewriteSpec(
+        name=payload["name"],
+        steps=steps,
+        workload=str(payload.get("workload") or ""),
+    )
+
+
+def spec_to_payload(spec: CampaignSpec) -> dict:
+    payload = {
         "schema": CAMPAIGN_SCHEMA_VERSION,
         "kind": "campaign_spec",
         "name": spec.name,
@@ -208,6 +313,11 @@ def spec_to_payload(spec: CampaignSpec) -> dict:
         "max_candidates": spec.max_candidates,
         "static_source": spec.static_source,
     }
+    # Emitted only when the axis is used: pre-rewrite specs keep their
+    # wire form bit-for-bit, so existing journal digests stay valid.
+    if spec.rewrites:
+        payload["rewrites"] = [_rewrite_to_payload(r) for r in spec.rewrites]
+    return payload
 
 
 def spec_from_payload(payload: Any) -> CampaignSpec:
@@ -231,8 +341,8 @@ def spec_from_payload(payload: Any) -> CampaignSpec:
         raise CampaignError(f"expected a 'campaign_spec' payload, got {kind!r}")
     known = {
         "schema", "kind", "name", "workloads", "hardware", "strategies",
-        "objectives", "budget", "seed", "unroll_factors", "max_candidates",
-        "static_source",
+        "objectives", "rewrites", "budget", "seed", "unroll_factors",
+        "max_candidates", "static_source",
     }
     unknown = sorted(set(payload) - known)
     if unknown:
@@ -246,6 +356,13 @@ def spec_from_payload(payload: Any) -> CampaignSpec:
     workloads = payload.get("workloads")
     if not isinstance(workloads, list):
         raise CampaignError("campaign spec field 'workloads' must be a list")
+    rewrites_payload = payload.get("rewrites")
+    if rewrites_payload is None:
+        rewrites: tuple[RewriteSpec, ...] = ()
+    elif isinstance(rewrites_payload, list):
+        rewrites = tuple(_rewrite_from_payload(r) for r in rewrites_payload)
+    else:
+        raise CampaignError("campaign spec field 'rewrites' must be a list")
     hardware_payload = payload.get("hardware")
     if hardware_payload is None:
         hardware: tuple[HardwareParams, ...] = (HardwareParams(),)
@@ -286,6 +403,7 @@ def spec_from_payload(payload: Any) -> CampaignSpec:
             hardware=hardware,
             strategies=str_tuple("strategies", ("random", "model_guided")),
             objectives=str_tuple("objectives", ("area_delay",)),
+            rewrites=rewrites,
             budget=8 if budget is None else int(budget),
             seed=0 if seed is None else int(seed),
             unroll_factors=(1, 2, 4)

@@ -6,7 +6,11 @@ Subcommands:
   its ``<Power, Area, FF, Cycles>`` vector and RTL features.
 * ``analyze``   — validate a program, classify operators (Class I/II),
   and print the dependence summary and transform-legality matrix from
-  the static analysis layer (``--json`` for the machine form).
+  the static analysis layer (``--json`` for the machine form;
+  ``--suggest`` appends legal, profitability-ranked rewrites).
+* ``rewrite``   — ``apply``/``enumerate`` legality-gated loop
+  transformations (interchange, tiling, fusion, distribution,
+  unroll-and-jam) with interpreter bit-parity verification.
 * ``synthesize``— generate a profiled training dataset to JSONL.
 * ``train``     — train a cost model on a JSONL dataset and save it.
 * ``predict``   — load a trained model and predict a program's costs.
@@ -18,8 +22,8 @@ Subcommands:
 * ``serve``     — run the persistent prediction service (warm models,
   micro-batching, tiered caches) on an HTTP port.
 * ``campaign``  — ``run``/``resume``/``report`` resumable
-  multi-objective search campaigns (workloads × hardware × strategies
-  × objectives) with a journaled evaluation checkpoint.
+  multi-objective search campaigns (workloads × rewrites × hardware ×
+  strategies × objectives) with a journaled evaluation checkpoint.
 
 Example::
 
@@ -146,8 +150,9 @@ def _profile_batch(paths: list[str], data, args: argparse.Namespace) -> int:
     return 1 if failures == len(rows) else 0
 
 
-def _analyze_source(args: argparse.Namespace) -> str:
-    """Resolve the analyze target: a file path or a bundled workload."""
+def _resolve_program_and_data(args: argparse.Namespace) -> tuple[str, dict]:
+    """Resolve a program target (file path or bundled workload) to its
+    source plus the workload's runtime data (empty for file paths)."""
     if args.workload:
         if args.program:
             raise SystemExit("error: pass a program path or --workload, not both")
@@ -155,20 +160,28 @@ def _analyze_source(args: argparse.Namespace) -> str:
         from .errors import ReproError
 
         try:
-            source, _ = WorkloadSpec(name=args.workload).resolve()
+            source, data = WorkloadSpec(name=args.workload).resolve()
         except ReproError as exc:
             raise SystemExit(f"error: {exc}") from None
-        return source
+        return source, dict(data)
     if not args.program:
-        raise SystemExit("error: analyze needs a program path or --workload NAME")
+        raise SystemExit(
+            f"error: {args.command} needs a program path or --workload NAME"
+        )
     try:
         with open(args.program, encoding="utf-8") as handle:
-            return handle.read()
+            return handle.read(), {}
     except OSError as exc:
         raise SystemExit(
             f"error: cannot read program {args.program!r}: "
             f"{exc.strerror or exc}"
         ) from None
+
+
+def _analyze_source(args: argparse.Namespace) -> str:
+    """Resolve the analyze target: a file path or a bundled workload."""
+    source, _ = _resolve_program_and_data(args)
+    return source
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -191,6 +204,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 func.name: legality_matrix(func) for func in program.functions
             },
         }
+        if getattr(args, "suggest", False) and validation.ok:
+            accepted, rejected = _suggest_steps(source)
+            payload["suggestions"] = {
+                "legal": [candidate.as_dict() for candidate in accepted],
+                "rejected": [candidate.as_dict() for candidate in rejected],
+            }
         print(json.dumps(payload, indent=2))
         return 0 if validation.ok else 1
 
@@ -234,17 +253,125 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             continue
         loops = ", ".join(loop["label"] for loop in matrix["loops"])
         print(f"legality in '{func.name}' (loops: {loops}):")
-        for section in ("interchange", "tile", "fuse", "unroll"):
+        for section in ("interchange", "tile", "fuse", "unroll", "distribute"):
             for row in matrix[section]:
                 verdict = "legal" if row["ok"] else "illegal"
                 print(f"  {row['transform']}: {verdict}")
                 if not row["ok"]:
                     for reason in row["reasons"][:2]:
                         print(f"      - {reason}")
+
+    if getattr(args, "suggest", False) and validation.ok:
+        accepted, rejected = _suggest_steps(source)
+        print(
+            f"suggested rewrites ({len(accepted)} legal, "
+            f"{len(rejected)} rejected; lower score = better):"
+        )
+        for candidate in accepted[:_ANALYZE_MAX_SUGGESTIONS]:
+            print(f"  {candidate.step.to_text()}  score={candidate.score:.1f}")
+        hidden = len(accepted) - _ANALYZE_MAX_SUGGESTIONS
+        if hidden > 0:
+            print(f"  ... (+{hidden} more; use --json for the full list)")
     return 0 if validation.ok else 1
 
 
+def _suggest_steps(source: str):
+    """Profitability-ranked single-step rewrite candidates for *source*,
+    split into (legal, rejected)."""
+    from .errors import ReproError
+    from .rewrite import enumerate_steps
+
+    try:
+        candidates = enumerate_steps(source)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    accepted = [candidate for candidate in candidates if candidate.ok]
+    rejected = [candidate for candidate in candidates if not candidate.ok]
+    return accepted, rejected
+
+
 _ANALYZE_MAX_DEPS = 16
+_ANALYZE_MAX_SUGGESTIONS = 12
+
+
+def cmd_rewrite_apply(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .rewrite import RewriteSequence, bit_parity
+
+    source, data = _resolve_program_and_data(args)
+    try:
+        sequence = RewriteSequence.from_texts(args.step)
+        result = sequence.apply(source)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    parity: Optional[bool] = None
+    if args.verify:
+        try:
+            parity = bit_parity(source, result.program, data=data or None)
+        except ReproError as exc:
+            raise SystemExit(f"error: parity check failed to run: {exc}") from None
+
+    if args.json:
+        payload = result.as_dict()
+        if parity is not None:
+            payload["parity"] = parity
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.source, end="" if result.source.endswith("\n") else "\n")
+        for record in result.records:
+            print(
+                f"// {record.step.to_text()}: "
+                f"{record.digest_before[:12]} -> {record.digest_after[:12]} "
+                f"({record.dependence_count} dependences)",
+                file=sys.stderr,
+            )
+        if parity is not None:
+            print(
+                f"// parity: {'bit-identical' if parity else 'MISMATCH'}",
+                file=sys.stderr,
+            )
+    return 0 if parity is not False else 1
+
+
+def cmd_rewrite_enumerate(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .rewrite import enumerate_sequences, enumerate_steps
+
+    source, _ = _resolve_program_and_data(args)
+    try:
+        candidates = enumerate_steps(source)
+        ranked = enumerate_sequences(
+            source, max_len=args.max_len, top_k=args.top_k
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    rejected = [candidate for candidate in candidates if not candidate.ok]
+
+    if args.json:
+        payload = {
+            "sequences": [sequence.as_dict() for sequence in ranked],
+            "rejected": [candidate.as_dict() for candidate in rejected],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(
+        f"legal sequences (top {len(ranked)}, max_len={args.max_len}; "
+        f"lower score = better):"
+    )
+    for sequence in ranked:
+        print(
+            f"  {sequence.describe():60s} score={sequence.score:8.1f} "
+            f"improvement={sequence.improvement:+.1f}"
+        )
+    if rejected:
+        print(f"rejected single steps ({len(rejected)}):")
+        for candidate in rejected:
+            print(f"  {candidate.step.to_text()}")
+            for reason in candidate.reasons[:1]:
+                print(f"      - {reason}")
+    return 0
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
@@ -674,7 +801,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full analysis (validation, dependences, legality) as JSON",
     )
+    analyze.add_argument(
+        "--suggest", action="store_true",
+        help="append legal, profitability-ranked rewrite steps "
+             "(repro.rewrite candidates)",
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    rewrite = sub.add_parser(
+        "rewrite",
+        help="apply or enumerate legality-gated loop transformations",
+    )
+    rewrite_sub = rewrite.add_subparsers(dest="rewrite_command", required=True)
+
+    def add_rewrite_target(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", nargs="?", default=None,
+                       help="program path; or use --workload")
+        p.add_argument(
+            "--workload",
+            help="rewrite a bundled workload by name (e.g. gemm) instead of a file",
+        )
+        p.add_argument("--json", action="store_true")
+
+    rw_apply = rewrite_sub.add_parser(
+        "apply",
+        help="apply a rewrite sequence (validator re-run after every step)",
+    )
+    add_rewrite_target(rw_apply)
+    rw_apply.add_argument(
+        "--step", action="append", required=True,
+        metavar="KIND:FUNC:LOOPS[:FACTOR]",
+        help="rewrite step, e.g. interchange:gemm_kernel:0,1 or "
+             "tile:f:0,1:4; repeatable, applied in order",
+    )
+    rw_apply.add_argument(
+        "--verify", action="store_true",
+        help="check interpreter bit-parity against the original "
+             "(exit 1 on mismatch)",
+    )
+    rw_apply.set_defaults(func=cmd_rewrite_apply)
+
+    rw_enum = rewrite_sub.add_parser(
+        "enumerate",
+        help="beam-search legal rewrite sequences, profitability-ranked",
+    )
+    add_rewrite_target(rw_enum)
+    rw_enum.add_argument("--max-len", type=int, default=2,
+                         help="maximum steps per sequence")
+    rw_enum.add_argument("--top-k", type=int, default=8,
+                         help="sequences kept per beam level and returned")
+    rw_enum.set_defaults(func=cmd_rewrite_enumerate)
 
     synthesize = sub.add_parser("synthesize", help="generate a training dataset")
     synthesize.add_argument("--out", required=True)

@@ -43,6 +43,9 @@ class DesignPoint:
     predicted: dict[str, int] = field(default_factory=dict)
     score: float = 0.0
     actual: Optional[dict[str, int]] = None
+    # Campaign rewrite-axis name this point's program was derived under
+    # ("" = unrewritten).  A search coordinate, constant within a cell.
+    rewrite: str = ""
 
     def describe(self) -> str:
         parts = [f"mem={self.params.mem_read_delay}"]

@@ -178,7 +178,7 @@ def random_search(
 
 
 def _signature(point: DesignPoint) -> tuple:
-    coords = [("params", point.params.describe())]
+    coords = [("params", point.params.describe()), ("rewrite", point.rewrite)]
     coords.extend(
         (f"{choice.function}#L{choice.loop_index}", (choice.unroll, choice.parallel))
         for choice in point.choices

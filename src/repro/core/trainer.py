@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..errors import DatasetError
 from ..nn import AdamW
 from ..tokenizer import ModelInput
 from .model import CostModel
@@ -78,7 +79,11 @@ def _bucketed_batches(
     """
     if config.batch_size <= 1:
         return [[int(index)] for index in order]
-    assert lengths is not None
+    if lengths is None:
+        raise DatasetError(
+            "batched training needs per-example token lengths; "
+            "batch_size > 1 without them cannot bucket"
+        )
     keyed = sorted(order, key=lambda index: lengths[index] // config.bucket_width)
     batches = [
         [int(index) for index in keyed[start : start + config.batch_size]]

@@ -33,6 +33,13 @@ class AnalysisError(ReproError):
     """Raised when static analysis is asked about unknown entities."""
 
 
+class RewriteError(ReproError):
+    """Raised when a program rewrite cannot fire: the legality analysis
+    refused it (the verdict's reasons are cited in the message), its
+    structural preconditions do not hold, or the rewritten program
+    failed re-validation."""
+
+
 class ValidationError(ReproError):
     """Raised when program validation rejects an ingested program.
 

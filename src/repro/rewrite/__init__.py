@@ -1,0 +1,49 @@
+"""Analysis-directed program rewriting.
+
+The stack, bottom to top:
+
+``rules``          — the five transform kinds (interchange, tile,
+                     fuse, distribute, unroll-and-jam) as pure
+                     AST→AST functions, each gated on an ``ok``
+                     :class:`~repro.analysis.legality.LegalityVerdict`.
+``apply``          — :class:`RewriteSequence`: replayable step lists,
+                     re-validated after every step, with analysis-cache
+                     hygiene; plus the ``bit_parity`` execution gate.
+``profitability``  — affine footprint / reuse-distance scoring that
+                     ranks rewritten programs without simulating them.
+``enumerate``      — bounded beam search over legal sequences,
+                     profitability-pruned to a top-k.
+
+Everything downstream (campaign rewrite axis, ``repro rewrite`` CLI,
+``analyze --suggest``) composes these four modules.
+"""
+
+from .apply import RewriteResult, RewriteSequence, StepRecord, bit_parity
+from .enumerate import (
+    RankedSequence,
+    StepCandidate,
+    candidate_steps,
+    enumerate_sequences,
+    enumerate_steps,
+)
+from .profitability import FootprintReport, estimate_profitability, score_program
+from .rules import REWRITE_KINDS, RewriteStep, apply_step, loop_nodes
+
+__all__ = [
+    "FootprintReport",
+    "REWRITE_KINDS",
+    "RankedSequence",
+    "RewriteResult",
+    "RewriteSequence",
+    "RewriteStep",
+    "StepCandidate",
+    "StepRecord",
+    "apply_step",
+    "bit_parity",
+    "candidate_steps",
+    "enumerate_sequences",
+    "enumerate_steps",
+    "estimate_profitability",
+    "loop_nodes",
+    "score_program",
+]

@@ -1,0 +1,212 @@
+"""Apply rewrite sequences with re-validation at every step.
+
+A :class:`RewriteSequence` is the unit the campaign axis, the CLI and
+the enumerator all share: an ordered tuple of :class:`RewriteStep`.
+``apply`` threads a program through the steps, and after *every* step
+
+* re-runs :class:`~repro.analysis.validate.ProgramValidator` (a rule
+  that emits an invalid program is a bug, and we refuse to continue
+  from one),
+* incrementally recomputes the dependence report of the one function
+  the step touched (reports for untouched functions carry over),
+* tracks the content digest, so intermediate digests can be dropped
+  from :data:`~repro.analysis.cache.GLOBAL_ANALYSIS_CACHE` — they
+  will never be ingested again — while the final program's analysis is
+  warmed into the cache for the ingestion boundary that runs next.
+
+``bit_parity`` is the execution-level gate the acceptance criteria
+lean on: both programs run under the interpreter on identical inputs
+and every output array must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.cache import AnalysisCache, GLOBAL_ANALYSIS_CACHE
+from ..analysis.dependence import DependenceReport, analyze_dependences
+from ..analysis.validate import ProgramValidator
+from ..errors import RewriteError
+from ..lang import ast, parse
+from ..lang.printer import to_source
+from ..sim import default_inputs, program_digest
+from ..sim.interpreter import Interpreter
+from .rules import RewriteStep, apply_step
+
+__all__ = ["RewriteResult", "RewriteSequence", "StepRecord", "bit_parity"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What one applied step did to the program."""
+
+    step: RewriteStep
+    digest_before: str
+    digest_after: str
+    dependence_count: int
+
+    def as_dict(self) -> dict:
+        return {
+            "step": self.step.to_text(),
+            "digest_before": self.digest_before,
+            "digest_after": self.digest_after,
+            "dependences": self.dependence_count,
+        }
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """The outcome of applying a full sequence."""
+
+    steps: tuple[RewriteStep, ...]
+    program: ast.Program
+    source: str
+    digest_before: str
+    digest_after: str
+    records: tuple[StepRecord, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "steps": [step.to_text() for step in self.steps],
+            "digest_before": self.digest_before,
+            "digest_after": self.digest_after,
+            "records": [record.as_dict() for record in self.records],
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class RewriteSequence:
+    """An ordered, replayable tuple of rewrite steps."""
+
+    steps: tuple[RewriteStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    @classmethod
+    def from_texts(cls, texts) -> "RewriteSequence":
+        return cls(steps=tuple(RewriteStep.from_text(t) for t in texts))
+
+    def describe(self) -> str:
+        return " ; ".join(step.to_text() for step in self.steps) or "<identity>"
+
+    def apply(
+        self,
+        program: "ast.Program | str",
+        cache: Optional[AnalysisCache] = None,
+    ) -> RewriteResult:
+        """Thread *program* through every step; see the module docstring
+        for the per-step contract."""
+        if cache is None:
+            cache = GLOBAL_ANALYSIS_CACHE
+        if isinstance(program, str):
+            program = parse(program)
+        validation = ProgramValidator().validate(program)
+        if not validation.ok:
+            raise RewriteError(
+                "refusing to rewrite an invalid program: "
+                + validation.reasons()[0]
+            )
+        current = program
+        digest = program_digest(to_source(current))
+        original_digest = digest
+        reports: dict[str, DependenceReport] = {}
+        records: list[StepRecord] = []
+        intermediate_digests: list[str] = []
+        for step in self.steps:
+            try:
+                func = current.function(step.function)
+            except KeyError:
+                raise RewriteError(
+                    f"{step.to_text()}: program has no function "
+                    f"{step.function!r}"
+                ) from None
+            prior = reports.get(step.function)
+            if prior is None:
+                prior = analyze_dependences(func)
+            rewritten = apply_step(current, step, report=prior)
+            check = ProgramValidator().validate(rewritten)
+            if not check.ok:
+                raise RewriteError(
+                    f"{step.to_text()} produced an invalid program: "
+                    + check.reasons()[0]
+                )
+            # incremental recompute: only the touched function's
+            # dependence summary changes
+            fresh = analyze_dependences(rewritten.function(step.function))
+            reports[step.function] = fresh
+            new_digest = program_digest(to_source(rewritten))
+            records.append(
+                StepRecord(
+                    step=step,
+                    digest_before=digest,
+                    digest_after=new_digest,
+                    dependence_count=len(fresh.dependences),
+                )
+            )
+            if digest != original_digest:
+                intermediate_digests.append(digest)
+            current, digest = rewritten, new_digest
+        # Cache hygiene: intermediate programs will never be ingested
+        # again, so their analysis entries are dead weight; the final
+        # program is about to be ingested (campaign admission, serve),
+        # so warm its entry.
+        for stale in intermediate_digests:
+            if stale != digest:
+                cache.invalidate(stale)
+        source = to_source(current)
+        if self.steps:
+            cache.get(source, digest=digest)
+        return RewriteResult(
+            steps=self.steps,
+            program=current,
+            source=source,
+            digest_before=original_digest,
+            digest_after=digest,
+            records=tuple(records),
+        )
+
+
+def bit_parity(
+    original: "ast.Program | str",
+    rewritten: "ast.Program | str",
+    function: str = "",
+    data: Optional[dict] = None,
+    seed: int = 7,
+) -> bool:
+    """Do both programs leave bit-identical contents in every array
+    argument of *function* (default: the last function, the dataflow
+    entry point) on identical deterministic inputs?"""
+    if isinstance(original, str):
+        original = parse(original)
+    if isinstance(rewritten, str):
+        rewritten = parse(rewritten)
+    if not function:
+        if not original.functions:
+            raise RewriteError("cannot check parity of an empty program")
+        function = original.functions[-1].name
+    base = _final_arrays(original, function, data, seed)
+    after = _final_arrays(rewritten, function, data, seed)
+    if set(base) != set(after):
+        return False
+    return all(np.array_equal(base[k], after[k]) for k in base)
+
+
+def _final_arrays(
+    program: ast.Program, function: str, data: Optional[dict], seed: int
+) -> dict:
+    args = default_inputs(
+        program,
+        function,
+        rng=np.random.default_rng(seed),
+        overrides=copy.deepcopy(data) if data else None,
+    )
+    Interpreter(program).run(function, args)
+    return {
+        k: v.copy() for k, v in args.items() if isinstance(v, np.ndarray)
+    }

@@ -1,0 +1,233 @@
+"""Bounded enumeration of legal rewrite sequences.
+
+Candidate generation is structural (every nested pair is an
+interchange/tile candidate, every adjacent sibling pair a fusion
+candidate, ...), the legality layer prunes it to the legal subset, and
+:mod:`repro.rewrite.profitability` ranks what survives so callers get a
+top-k instead of a combinatorial explosion.  Rejected candidates are
+kept — with the verdict's cited dependence — because "what was refused
+and why" is half the value of an analysis-directed engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.dependence import analyze_dependences
+from ..errors import RewriteError
+from ..lang import ast, parse
+from .apply import RewriteSequence
+from .profitability import score_program
+from .rules import RewriteStep, apply_step, loop_nodes
+
+__all__ = [
+    "RankedSequence",
+    "StepCandidate",
+    "candidate_steps",
+    "enumerate_sequences",
+    "enumerate_steps",
+]
+
+DEFAULT_TILE_SIZES = (4,)
+DEFAULT_UNROLL_FACTORS = (2, 4)
+
+
+@dataclass(frozen=True)
+class StepCandidate:
+    """One attempted single-step rewrite with its outcome."""
+
+    step: RewriteStep
+    ok: bool
+    reasons: tuple[str, ...] = ()
+    score: float = 0.0  # post-rewrite program score when ok
+
+    def as_dict(self) -> dict:
+        payload = {
+            "step": self.step.to_text(),
+            "ok": self.ok,
+            "reasons": list(self.reasons),
+        }
+        if self.ok:
+            payload["score"] = round(self.score, 3)
+        return payload
+
+
+@dataclass(frozen=True)
+class RankedSequence:
+    """A legal sequence with its profitability score (lower is
+    better than ``baseline`` when the model predicts a win)."""
+
+    steps: tuple[RewriteStep, ...]
+    score: float
+    baseline: float
+    digest: str
+    source: str = ""
+
+    @property
+    def improvement(self) -> float:
+        return self.baseline - self.score
+
+    def describe(self) -> str:
+        return " ; ".join(step.to_text() for step in self.steps)
+
+    def as_dict(self) -> dict:
+        return {
+            "steps": [step.to_text() for step in self.steps],
+            "score": round(self.score, 3),
+            "baseline": round(self.baseline, 3),
+            "improvement": round(self.improvement, 3),
+            "digest": self.digest,
+        }
+
+
+def candidate_steps(
+    program: ast.Program,
+    tile_sizes: tuple = DEFAULT_TILE_SIZES,
+    unroll_factors: tuple = DEFAULT_UNROLL_FACTORS,
+) -> list[RewriteStep]:
+    """Structurally plausible steps, *before* any legality check."""
+    out: list[RewriteStep] = []
+    for func in program.functions:
+        flow = analyze_dependences(func).dataflow
+        if not flow.loops:
+            continue
+        for loop in flow.loops:
+            for child in flow.children_of(loop.index):
+                out.append(
+                    RewriteStep(
+                        kind="interchange",
+                        function=func.name,
+                        loops=(loop.index, child.index),
+                    )
+                )
+                for size in tile_sizes:
+                    out.append(
+                        RewriteStep(
+                            kind="tile",
+                            function=func.name,
+                            loops=(loop.index, child.index),
+                            factor=size,
+                        )
+                    )
+            for factor in unroll_factors:
+                out.append(
+                    RewriteStep(
+                        kind="unroll_jam",
+                        function=func.name,
+                        loops=(loop.index,),
+                        factor=factor,
+                    )
+                )
+        for parent in [None] + [l.index for l in flow.loops]:
+            siblings = sorted(flow.children_of(parent), key=lambda l: l.order)
+            for a, b in zip(siblings, siblings[1:]):
+                out.append(
+                    RewriteStep(
+                        kind="fuse",
+                        function=func.name,
+                        loops=(a.index, b.index),
+                    )
+                )
+        nodes = loop_nodes(func)
+        for loop in flow.loops:
+            node = nodes[loop.index]
+            if not isinstance(node, ast.For):
+                continue
+            body = node.body.stmts
+            if len(body) < 2 or not all(
+                isinstance(s, (ast.Assign, ast.Decl, ast.For)) for s in body
+            ):
+                continue
+            for split in range(1, len(body)):
+                out.append(
+                    RewriteStep(
+                        kind="distribute",
+                        function=func.name,
+                        loops=(loop.index,),
+                        factor=split,
+                    )
+                )
+    return out
+
+
+def enumerate_steps(
+    program: "ast.Program | str",
+    tile_sizes: tuple = DEFAULT_TILE_SIZES,
+    unroll_factors: tuple = DEFAULT_UNROLL_FACTORS,
+) -> list[StepCandidate]:
+    """Attempt every candidate single step; legal ones come back scored
+    (ascending — best first), rejected ones carry the cited reasons."""
+    if isinstance(program, str):
+        program = parse(program)
+    accepted: list[StepCandidate] = []
+    rejected: list[StepCandidate] = []
+    for step in candidate_steps(program, tile_sizes, unroll_factors):
+        try:
+            rewritten = apply_step(program, step)
+        except RewriteError as exc:
+            rejected.append(
+                StepCandidate(step=step, ok=False, reasons=(str(exc),))
+            )
+            continue
+        accepted.append(
+            StepCandidate(step=step, ok=True, score=score_program(rewritten))
+        )
+    accepted.sort(key=lambda c: (c.score, c.step.to_text()))
+    return accepted + rejected
+
+
+def enumerate_sequences(
+    program: "ast.Program | str",
+    max_len: int = 2,
+    top_k: int = 8,
+    tile_sizes: tuple = DEFAULT_TILE_SIZES,
+    unroll_factors: tuple = DEFAULT_UNROLL_FACTORS,
+) -> list[RankedSequence]:
+    """Beam-search legal sequences up to *max_len* steps, keeping the
+    profitability top-k per level; every returned sequence replays
+    cleanly from the original program (that is how it was built)."""
+    if isinstance(program, str):
+        program = parse(program)
+    baseline = score_program(program)
+    seen_digests: set[str] = set()
+    results: list[RankedSequence] = []
+    # beam entries: (score, steps, program)
+    beam: list[tuple[float, tuple[RewriteStep, ...], ast.Program]] = [
+        (baseline, (), program)
+    ]
+    for _ in range(max_len):
+        frontier: list[tuple[float, tuple[RewriteStep, ...], ast.Program]] = []
+        for _, steps, current in beam:
+            for step in candidate_steps(current, tile_sizes, unroll_factors):
+                try:
+                    rewritten = apply_step(current, step)
+                except RewriteError:
+                    continue
+                sequence = steps + (step,)
+                # replay from the original through the shared applier:
+                # this re-runs the validator after every step and is
+                # the exact object campaign cells will execute
+                try:
+                    replayed = RewriteSequence(steps=sequence).apply(program)
+                except RewriteError:
+                    continue
+                if replayed.digest_after in seen_digests:
+                    continue
+                seen_digests.add(replayed.digest_after)
+                score = score_program(replayed.program)
+                results.append(
+                    RankedSequence(
+                        steps=sequence,
+                        score=score,
+                        baseline=baseline,
+                        digest=replayed.digest_after,
+                        source=replayed.source,
+                    )
+                )
+                frontier.append((score, sequence, rewritten))
+        frontier.sort(key=lambda entry: (entry[0], [s.to_text() for s in entry[1]]))
+        beam = frontier[:top_k]
+        if not beam:
+            break
+    results.sort(key=lambda r: (r.score, [s.to_text() for s in r.steps]))
+    return results[:top_k]

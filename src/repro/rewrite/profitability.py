@@ -1,0 +1,194 @@
+"""Static profitability scoring for candidate rewrites.
+
+A new analysis over the ``AffineExpr`` access sets the dataflow layer
+already computes: for every array access we estimate the *memory
+traffic* it generates (how many accesses miss a small model cache) plus
+the *loop header overhead* of the nest around it.  The sum is a score —
+lower is better — that ranks rewritten programs without simulating
+them, so :mod:`repro.rewrite.enumerate` can prune the sequence space to
+a top-k instead of exploding.
+
+The model is deliberately coarse (it has to agree with the cycle
+simulator's cost surface only in *ordering*, not magnitude):
+
+* an access inside a nest of trip counts ``t1..tn`` is executed
+  ``t1*...*tn`` times;
+* unit-stride accesses in the innermost loop pay ``1/CACHE_LINE_ELEMS``
+  per execution (spatial reuse), others pay 1;
+* an access invariant in some loop ``l`` is only fetched once per
+  distinct value of the *other* indices, provided the data touched in
+  one iteration of ``l`` (its reuse distance, ``footprint``) fits in
+  ``CACHE_CAPACITY`` — temporal reuse;
+* every loop header costs ``HEADER_COST`` per iteration it drives
+  (this is the term the simulator actually charges, and what fusion and
+  unroll-and-jam reduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..analysis.dataflow import FunctionDataflow, LoopDesc, analyze_dataflow
+from ..analysis.dependence import DependenceReport
+from ..lang import ast
+
+__all__ = [
+    "CACHE_CAPACITY",
+    "CACHE_LINE_ELEMS",
+    "DEFAULT_TRIP",
+    "HEADER_COST",
+    "FootprintReport",
+    "estimate_profitability",
+    "score_program",
+]
+
+CACHE_LINE_ELEMS = 4
+DEFAULT_TRIP = 8
+HEADER_COST = 2.0
+CACHE_CAPACITY = 256
+
+
+def _trip(loop: LoopDesc) -> int:
+    bounds = loop.value_range()
+    if bounds is None:
+        return DEFAULT_TRIP
+    lo, hi = bounds
+    stride = abs(loop.step) if loop.step else 1
+    return max(1, (hi - lo) // stride + 1)
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Traffic + overhead estimate for one function."""
+
+    function: str
+    traffic: float
+    header_overhead: float
+    loop_footprints: dict = field(default_factory=dict)
+
+    @property
+    def score(self) -> float:
+        return self.traffic + self.header_overhead
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "traffic": round(self.traffic, 3),
+            "header_overhead": round(self.header_overhead, 3),
+            "score": round(self.score, 3),
+            "loop_footprints": {
+                k: round(v, 3) for k, v in self.loop_footprints.items()
+            },
+        }
+
+
+def _flow_of(
+    target: Union[ast.FunctionDef, DependenceReport, FunctionDataflow]
+) -> FunctionDataflow:
+    if isinstance(target, FunctionDataflow):
+        return target
+    if isinstance(target, DependenceReport):
+        return target.dataflow
+    return analyze_dataflow(target)
+
+
+def _access_varies_in(access, var: str) -> bool:
+    if access.opaque:
+        return True
+    return any(
+        (not sub.affine) or sub.coeff(var) != 0 for sub in access.subscripts
+    )
+
+
+def _footprints(flow: FunctionDataflow) -> dict:
+    """``loop index -> elements touched during ONE iteration of that
+    loop`` — the reuse distance seen by anything invariant in it."""
+    out: dict = {}
+    for loop in flow.loops:
+        total = 0.0
+        for statement in flow.statements:
+            if loop.index not in statement.loop_ids:
+                continue
+            position = statement.loop_ids.index(loop.index)
+            deeper = statement.loop_ids[position + 1 :]
+            for access in statement.reads + statement.writes:
+                span = 1.0
+                for inner_id in deeper:
+                    inner = flow.loops[inner_id]
+                    if _access_varies_in(access, inner.var):
+                        span *= _trip(inner)
+                total += span
+        out[loop.index] = total
+    return out
+
+
+def estimate_profitability(
+    target: Union[ast.FunctionDef, DependenceReport, FunctionDataflow]
+) -> FootprintReport:
+    """Score one function; see the module docstring for the model."""
+    flow = _flow_of(target)
+    footprints = _footprints(flow)
+    traffic = 0.0
+    for statement in flow.statements:
+        if statement.kind == "header":
+            continue
+        chain = [flow.loops[i] for i in statement.loop_ids]
+        iterations = 1.0
+        for loop in chain:
+            iterations *= _trip(loop)
+        innermost = chain[-1] if chain else None
+        for access in statement.reads + statement.writes:
+            if access.opaque:
+                traffic += iterations
+                continue
+            cost = iterations
+            if innermost is not None and _unit_stride(access, innermost.var):
+                cost /= CACHE_LINE_ELEMS
+            for loop in chain:
+                if _access_varies_in(access, loop.var):
+                    continue
+                # temporal reuse: the value survives across iterations
+                # of `loop` only if the per-iteration footprint fits
+                if (
+                    loop is innermost
+                    or footprints[loop.index] <= CACHE_CAPACITY
+                ):
+                    cost /= _trip(loop)
+            traffic += cost
+    header_overhead = 0.0
+    for loop in flow.loops:
+        driven = float(_trip(loop))
+        cursor = loop.parent
+        while cursor is not None:
+            driven *= _trip(flow.loops[cursor])
+            cursor = flow.loops[cursor].parent
+        header_overhead += HEADER_COST * driven
+    return FootprintReport(
+        function=flow.function,
+        traffic=traffic,
+        header_overhead=header_overhead,
+        loop_footprints={
+            flow.loops[i].label: v for i, v in footprints.items()
+        },
+    )
+
+
+def _unit_stride(access, var: str) -> bool:
+    """Unit stride in *var*: the last subscript moves by ±1 with it and
+    no other subscript moves at all."""
+    if access.opaque or not access.subscripts:
+        return False
+    if not all(sub.affine for sub in access.subscripts):
+        return False
+    last = access.subscripts[-1]
+    if last.coeff(var) not in (1, -1):
+        return False
+    return all(sub.coeff(var) == 0 for sub in access.subscripts[:-1])
+
+
+def score_program(program: ast.Program) -> float:
+    """Whole-program score: the sum over functions (lower is better)."""
+    return sum(
+        estimate_profitability(func).score for func in program.functions
+    )

@@ -1,0 +1,683 @@
+"""Legality-gated loop transformations as pure AST→AST rewrites.
+
+Each rule is a function from a :class:`~repro.lang.ast.Program` to a
+*new* program (inputs are never mutated) and refuses to fire without an
+``ok`` :class:`~repro.analysis.legality.LegalityVerdict` from the
+analysis layer — the verdict's reasons are cited verbatim in the
+:class:`~repro.errors.RewriteError` so a rejected rewrite always names
+the dependence (or structural obstacle) that blocked it.
+
+Loops are addressed by their pre-order index within the function, the
+same numbering :class:`~repro.analysis.dataflow.LoopDesc.index` uses,
+so analysis verdicts and AST surgery always talk about the same loop.
+
+The five rule kinds:
+
+``interchange``  swap the headers of a nested pair (legality:
+                 ``can_interchange``).
+``tile``         strip-mine one loop or a band of two into tile/point
+                 loops (``can_tile``).
+``fuse``         merge two adjacent sibling loops with identical
+                 headers (``can_fuse``).
+``distribute``   split one loop's body into two sequential loops
+                 (``can_distribute``).
+``unroll_jam``   replicate the (innermost or jammed) body by a factor
+                 and widen the step (``can_unroll``).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..analysis.dependence import DependenceReport, analyze_dependences
+from ..analysis.legality import (
+    can_distribute,
+    can_fuse,
+    can_interchange,
+    can_tile,
+    can_unroll,
+)
+from ..errors import RewriteError
+from ..lang import ast
+
+__all__ = ["REWRITE_KINDS", "RewriteStep", "apply_step", "loop_nodes"]
+
+REWRITE_KINDS = ("interchange", "tile", "fuse", "distribute", "unroll_jam")
+
+# kind -> (min loops, max loops, needs factor)
+_ARITY = {
+    "interchange": (2, 2, False),
+    "tile": (1, 2, True),
+    "fuse": (2, 2, False),
+    "distribute": (1, 1, True),
+    "unroll_jam": (1, 1, True),
+}
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One transform application, addressed structurally.
+
+    ``loops`` are pre-order loop indices within ``function``.
+    ``factor`` is the tile size (``tile``), the split position
+    (``distribute``) or the unroll factor (``unroll_jam``); unused (0)
+    otherwise.  The text form is ``kind:function:loops[:factor]``,
+    e.g. ``interchange:gemm_kernel:0,1`` or ``tile:kernel:1,2:4``.
+    """
+
+    kind: str
+    function: str
+    loops: tuple[int, ...]
+    factor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ARITY:
+            raise RewriteError(
+                f"unknown rewrite kind {self.kind!r}; "
+                f"expected one of {', '.join(REWRITE_KINDS)}"
+            )
+        if not self.function:
+            raise RewriteError("rewrite step needs a function name")
+        lo, hi, needs_factor = _ARITY[self.kind]
+        loops = tuple(int(i) for i in self.loops)
+        object.__setattr__(self, "loops", loops)
+        if not lo <= len(loops) <= hi:
+            raise RewriteError(
+                f"{self.kind} takes {lo}"
+                + (f"-{hi}" if hi != lo else "")
+                + f" loop indices, got {len(loops)}"
+            )
+        if any(i < 0 for i in loops):
+            raise RewriteError(f"negative loop index in {self.kind} step")
+        if needs_factor:
+            minimum = 1 if self.kind == "distribute" else 2
+            if self.factor < minimum:
+                raise RewriteError(
+                    f"{self.kind} needs factor >= {minimum}, got {self.factor}"
+                )
+        elif self.factor:
+            raise RewriteError(f"{self.kind} does not take a factor")
+
+    def describe(self) -> str:
+        return self.to_text()
+
+    # -- text / payload codecs -------------------------------------------
+
+    def to_text(self) -> str:
+        body = f"{self.kind}:{self.function}:" + ",".join(
+            str(i) for i in self.loops
+        )
+        _, _, needs_factor = _ARITY[self.kind]
+        return f"{body}:{self.factor}" if needs_factor else body
+
+    @classmethod
+    def from_text(cls, text: str) -> "RewriteStep":
+        parts = text.strip().split(":")
+        if len(parts) not in (3, 4):
+            raise RewriteError(
+                f"malformed rewrite step {text!r}; "
+                "expected kind:function:loops[:factor]"
+            )
+        kind, function, loop_text = parts[0], parts[1], parts[2]
+        try:
+            loops = tuple(int(i) for i in loop_text.split(",") if i != "")
+        except ValueError:
+            raise RewriteError(
+                f"malformed loop list {loop_text!r} in rewrite step {text!r}"
+            ) from None
+        factor = 0
+        if len(parts) == 4:
+            try:
+                factor = int(parts[3])
+            except ValueError:
+                raise RewriteError(
+                    f"malformed factor {parts[3]!r} in rewrite step {text!r}"
+                ) from None
+        return cls(kind=kind, function=function, loops=loops, factor=factor)
+
+    def to_payload(self) -> str:
+        return self.to_text()
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "RewriteStep":
+        if not isinstance(payload, str):
+            raise RewriteError(
+                f"rewrite step payload must be a string, got {type(payload).__name__}"
+            )
+        return cls.from_text(payload)
+
+
+# -- AST helpers -------------------------------------------------------
+
+
+def loop_nodes(func: ast.FunctionDef) -> list[ast.Stmt]:
+    """For/While nodes in the same pre-order ``analyze_dataflow`` uses,
+    so positional indices line up with :class:`LoopDesc.index`."""
+    out: list[ast.Stmt] = []
+
+    def visit(stmts: list[ast.Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, (ast.For, ast.While)):
+                out.append(s)
+                visit(s.body.stmts)
+            elif isinstance(s, ast.If):
+                visit(s.then.stmts)
+                if s.other is not None:
+                    visit(s.other.stmts)
+            elif isinstance(s, ast.Block):
+                visit(s.stmts)
+
+    visit(func.body.stmts)
+    return out
+
+
+def _loop_at(func: ast.FunctionDef, index: int, step: RewriteStep) -> ast.For:
+    nodes = loop_nodes(func)
+    if not 0 <= index < len(nodes):
+        raise RewriteError(
+            f"{step.describe()}: function {func.name!r} has no loop #{index} "
+            f"(it has {len(nodes)} loops)"
+        )
+    node = nodes[index]
+    if not isinstance(node, ast.For):
+        raise RewriteError(
+            f"{step.describe()}: loop #{index} is a while loop; "
+            "rewrites only target for loops"
+        )
+    return node
+
+
+def _owner_of(
+    func: ast.FunctionDef, target: ast.Stmt
+) -> tuple[list[ast.Stmt], int]:
+    """The statement list that directly holds *target*, plus its slot."""
+    stack: list[list[ast.Stmt]] = [func.body.stmts]
+    while stack:
+        stmts = stack.pop()
+        for position, s in enumerate(stmts):
+            if s is target:
+                return stmts, position
+            if isinstance(s, (ast.For, ast.While)):
+                stack.append(s.body.stmts)
+            elif isinstance(s, ast.If):
+                stack.append(s.then.stmts)
+                if s.other is not None:
+                    stack.append(s.other.stmts)
+            elif isinstance(s, ast.Block):
+                stack.append(s.stmts)
+    raise RewriteError(
+        f"loop is not reachable from the body of {func.name!r}"
+    )
+
+
+def _used_names(func: ast.FunctionDef) -> set[str]:
+    names = {p.name for p in func.params}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Var):
+            names.add(node.name)
+        elif isinstance(node, ast.Decl):
+            names.add(node.name)
+    return names
+
+
+def _fresh_name(base: str, used: set[str]) -> str:
+    candidate = base + "T"
+    suffix = 2
+    while candidate in used:
+        candidate = f"{base}T{suffix}"
+        suffix += 1
+    used.add(candidate)
+    return candidate
+
+
+def _header_triple(desc_like: ast.For, step: RewriteStep) -> tuple[str, int, int, int]:
+    """(var, start, bound, step) of a canonical ``for (int v = a; v < b;
+    v += s)`` header with integer-literal start/bound; RewriteError
+    otherwise.  Used by tile and unroll-and-jam, which must do integer
+    arithmetic on the trip space."""
+    loop = desc_like
+    if isinstance(loop.init, ast.Decl) and isinstance(loop.init.init, ast.IntLit):
+        var, start = loop.init.name, loop.init.init.value
+    elif (
+        isinstance(loop.init, ast.Assign)
+        and isinstance(loop.init.target, ast.Var)
+        and isinstance(loop.init.value, ast.IntLit)
+    ):
+        var, start = loop.init.target.name, loop.init.value.value
+    else:
+        raise RewriteError(
+            f"{step.describe()}: loop init is not a literal assignment"
+        )
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op == "<"
+        and isinstance(cond.left, ast.Var)
+        and cond.left.name == var
+        and isinstance(cond.right, ast.IntLit)
+    ):
+        raise RewriteError(
+            f"{step.describe()}: loop condition is not `{var} < literal`"
+        )
+    bound = cond.right.value
+    stride = _step_stride(loop, var)
+    if stride is None or stride <= 0:
+        raise RewriteError(
+            f"{step.describe()}: loop step is not a positive literal stride"
+        )
+    return var, start, bound, stride
+
+
+def _step_stride(loop: ast.For, var: str) -> "int | None":
+    """The literal stride of ``v += c`` / ``v = v + c`` steps."""
+    step = loop.step
+    if not isinstance(step, ast.Assign):
+        return None
+    if not (isinstance(step.target, ast.Var) and step.target.name == var):
+        return None
+    if step.op in ("+=",) and isinstance(step.value, ast.IntLit):
+        return step.value.value
+    if step.op == "-=" and isinstance(step.value, ast.IntLit):
+        return -step.value.value
+    if step.op == "=" and isinstance(step.value, ast.BinOp):
+        value = step.value
+        if (
+            value.op == "+"
+            and isinstance(value.left, ast.Var)
+            and value.left.name == var
+            and isinstance(value.right, ast.IntLit)
+        ):
+            return value.right.value
+        if (
+            value.op == "-"
+            and isinstance(value.left, ast.Var)
+            and value.left.name == var
+            and isinstance(value.right, ast.IntLit)
+        ):
+            return -value.right.value
+    return None
+
+
+# -- induction-variable offset substitution (unroll bodies) ------------
+
+
+def _subst_expr(expr: ast.Expr, name: str, offset: int) -> ast.Expr:
+    if isinstance(expr, ast.Var):
+        if expr.name == name:
+            return ast.BinOp(
+                op="+", left=ast.Var(name=name), right=ast.IntLit(value=offset)
+            )
+        return expr
+    if isinstance(expr, ast.BinOp):
+        expr.left = _subst_expr(expr.left, name, offset)
+        expr.right = _subst_expr(expr.right, name, offset)
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        expr.operand = _subst_expr(expr.operand, name, offset)
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.indices = [_subst_expr(i, name, offset) for i in expr.indices]
+        return expr
+    if isinstance(expr, ast.CallExpr):
+        expr.args = [_subst_expr(a, name, offset) for a in expr.args]
+        return expr
+    if isinstance(expr, ast.Ternary):
+        expr.cond = _subst_expr(expr.cond, name, offset)
+        expr.then = _subst_expr(expr.then, name, offset)
+        expr.other = _subst_expr(expr.other, name, offset)
+        return expr
+    return expr
+
+
+def _subst_stmt(stmt: ast.Stmt, name: str, offset: int) -> None:
+    """Replace every read of ``name`` with ``name + offset`` in place,
+    recursing through nested control flow (so replicated loop bodies
+    that contain further loops stay consistent)."""
+    if isinstance(stmt, ast.Assign):
+        if isinstance(stmt.target, ast.Index):
+            stmt.target.indices = [
+                _subst_expr(i, name, offset) for i in stmt.target.indices
+            ]
+        stmt.value = _subst_expr(stmt.value, name, offset)
+    elif isinstance(stmt, ast.Decl):
+        if stmt.init is not None:
+            stmt.init = _subst_expr(stmt.init, name, offset)
+    elif isinstance(stmt, ast.ExprStmt):
+        stmt.expr = _subst_expr(stmt.expr, name, offset)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = _subst_expr(stmt.value, name, offset)
+    elif isinstance(stmt, ast.If):
+        stmt.cond = _subst_expr(stmt.cond, name, offset)
+        for s in stmt.then.stmts:
+            _subst_stmt(s, name, offset)
+        if stmt.other is not None:
+            for s in stmt.other.stmts:
+                _subst_stmt(s, name, offset)
+    elif isinstance(stmt, ast.While):
+        stmt.cond = _subst_expr(stmt.cond, name, offset)
+        for s in stmt.body.stmts:
+            _subst_stmt(s, name, offset)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            _subst_stmt(stmt.init, name, offset)
+        if stmt.cond is not None:
+            stmt.cond = _subst_expr(stmt.cond, name, offset)
+        if stmt.step is not None:
+            _subst_stmt(stmt.step, name, offset)
+        for s in stmt.body.stmts:
+            _subst_stmt(s, name, offset)
+    elif isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            _subst_stmt(s, name, offset)
+
+
+def _rename_var(stmt: ast.Stmt, old: str, new: str) -> None:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Var) and node.name == old:
+            node.name = new
+        elif isinstance(node, ast.Decl) and node.name == old:
+            node.name = new
+
+
+def _subtree_defines(stmt: ast.Stmt, name: str) -> bool:
+    """Does the subtree write or re-declare *name*?  (Loop headers of
+    nested loops count; reads do not.)"""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Decl) and node.name == name:
+            return True
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.target, ast.Var)
+            and node.target.name == name
+        ):
+            return True
+    return False
+
+
+def _subtree_reads(stmt: ast.Stmt, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Var) and node.name == name
+        for node in ast.walk(stmt)
+    )
+
+
+def _refuse(step: RewriteStep, verdict) -> None:
+    if not verdict.ok:
+        raise RewriteError(
+            f"refusing {step.describe()}: {verdict.describe()}"
+        )
+
+
+# -- the rules ---------------------------------------------------------
+
+
+def apply_step(
+    program: ast.Program,
+    step: RewriteStep,
+    report: "DependenceReport | None" = None,
+) -> ast.Program:
+    """Apply one :class:`RewriteStep`, returning a new program.
+
+    The input program is never mutated.  Raises
+    :class:`~repro.errors.RewriteError` when the legality analysis
+    refuses the transform (citing the verdict) or when the AST does not
+    have the shape the rule needs.
+    """
+    try:
+        func = program.function(step.function)
+    except KeyError:
+        raise RewriteError(
+            f"{step.describe()}: program has no function "
+            f"{step.function!r} (functions: {', '.join(program.function_names)})"
+        ) from None
+    if report is None:
+        report = analyze_dependences(func)
+    rule = _RULES[step.kind]
+    return rule(program, func, step, report)
+
+
+def _apply_interchange(
+    program: ast.Program,
+    func: ast.FunctionDef,
+    step: RewriteStep,
+    report: DependenceReport,
+) -> ast.Program:
+    outer_index, inner_index = step.loops
+    _refuse(step, can_interchange(report, outer_index, inner_index))
+    new_program = copy.deepcopy(program)
+    new_func = new_program.function(step.function)
+    outer = _loop_at(new_func, outer_index, step)
+    inner = _loop_at(new_func, inner_index, step)
+    outer.init, inner.init = inner.init, outer.init
+    outer.cond, inner.cond = inner.cond, outer.cond
+    outer.step, inner.step = inner.step, outer.step
+    return new_program
+
+
+def _apply_tile(
+    program: ast.Program,
+    func: ast.FunctionDef,
+    step: RewriteStep,
+    report: DependenceReport,
+) -> ast.Program:
+    _refuse(step, can_tile(report, list(step.loops)))
+    factor = step.factor
+    new_program = copy.deepcopy(program)
+    new_func = new_program.function(step.function)
+    loops = [_loop_at(new_func, i, step) for i in step.loops]
+    if len(loops) == 2:
+        outer, inner = loops
+        if outer.body.stmts != [inner]:
+            raise RewriteError(
+                f"{step.describe()}: the two loops are not a perfect "
+                "outer/inner pair in the AST"
+            )
+    headers = [_header_triple(loop, step) for loop in loops]
+    for (var, start, bound, stride), loop in zip(headers, loops):
+        if stride != 1:
+            raise RewriteError(
+                f"{step.describe()}: tiling needs unit-stride loops; "
+                f"{var} has stride {stride}"
+            )
+        if (bound - start) % factor != 0:
+            raise RewriteError(
+                f"{step.describe()}: tile size {factor} does not divide "
+                f"the trip count of {var} ({bound - start})"
+            )
+    used = _used_names(new_func)
+    tile_loops: list[ast.For] = []
+    for (var, start, bound, _), loop in zip(headers, loops):
+        tile_var = _fresh_name(var, used)
+        # point loop: reuse the original node so the body (and any
+        # pragmas) stay attached to the var they describe
+        loop.init = ast.Decl(
+            type=ast.Type(base="int"), name=var, init=ast.Var(name=tile_var)
+        )
+        loop.cond = ast.BinOp(
+            op="<",
+            left=ast.Var(name=var),
+            right=ast.BinOp(
+                op="+", left=ast.Var(name=tile_var), right=ast.IntLit(value=factor)
+            ),
+        )
+        tile_loops.append(
+            ast.For(
+                init=ast.Decl(
+                    type=ast.Type(base="int"),
+                    name=tile_var,
+                    init=ast.IntLit(value=start),
+                ),
+                cond=ast.BinOp(
+                    op="<", left=ast.Var(name=tile_var), right=ast.IntLit(value=bound)
+                ),
+                step=ast.Assign(
+                    target=ast.Var(name=tile_var),
+                    op="+=",
+                    value=ast.IntLit(value=factor),
+                ),
+                body=ast.Block(stmts=[]),
+                pragmas=[],
+            )
+        )
+    owner, position = _owner_of(new_func, loops[0])
+    if len(loops) == 1:
+        tile_loops[0].body.stmts = [loops[0]]
+        owner[position] = tile_loops[0]
+    else:
+        # iT { jT { i { j { body } } } }
+        tile_loops[0].body.stmts = [tile_loops[1]]
+        tile_loops[1].body.stmts = [loops[0]]
+        owner[position] = tile_loops[0]
+    return new_program
+
+
+def _apply_fuse(
+    program: ast.Program,
+    func: ast.FunctionDef,
+    step: RewriteStep,
+    report: DependenceReport,
+) -> ast.Program:
+    first_index, second_index = step.loops
+    _refuse(step, can_fuse(report, first_index, second_index))
+    new_program = copy.deepcopy(program)
+    new_func = new_program.function(step.function)
+    first = _loop_at(new_func, first_index, step)
+    second = _loop_at(new_func, second_index, step)
+    owner, position = _owner_of(new_func, first)
+    if position + 1 >= len(owner) or owner[position + 1] is not second:
+        raise RewriteError(
+            f"{step.describe()}: the loops are not adjacent statements "
+            "of the same block"
+        )
+    var_a = _induction_var(first, step)
+    var_b = _induction_var(second, step)
+    if var_a != var_b:
+        if _subtree_reads(second.body, var_a) or _subtree_defines(
+            second.body, var_a
+        ):
+            raise RewriteError(
+                f"{step.describe()}: renaming {var_b!r} to {var_a!r} would "
+                f"capture an existing use of {var_a!r} in the second loop"
+            )
+        for s in second.body.stmts:
+            _rename_var(s, var_b, var_a)
+    first.body.stmts.extend(second.body.stmts)
+    del owner[position + 1]
+    return new_program
+
+
+def _induction_var(loop: ast.For, step: RewriteStep) -> str:
+    if isinstance(loop.init, ast.Decl):
+        return loop.init.name
+    if isinstance(loop.init, ast.Assign) and isinstance(loop.init.target, ast.Var):
+        return loop.init.target.name
+    raise RewriteError(
+        f"{step.describe()}: cannot determine the loop's induction variable"
+    )
+
+
+def _apply_distribute(
+    program: ast.Program,
+    func: ast.FunctionDef,
+    step: RewriteStep,
+    report: DependenceReport,
+) -> ast.Program:
+    (loop_index,) = step.loops
+    split = step.factor
+    _refuse(step, can_distribute(report, loop_index, split))
+    new_program = copy.deepcopy(program)
+    new_func = new_program.function(step.function)
+    loop = _loop_at(new_func, loop_index, step)
+    body = loop.body.stmts
+    if not all(isinstance(s, (ast.Assign, ast.Decl, ast.For)) for s in body):
+        raise RewriteError(
+            f"{step.describe()}: loop body contains statements a "
+            "statement-list split cannot represent"
+        )
+    if not 1 <= split < len(body):
+        raise RewriteError(
+            f"{step.describe()}: split {split} out of range for a body "
+            f"of {len(body)} statements"
+        )
+    tail = ast.For(
+        init=copy.deepcopy(loop.init),
+        cond=copy.deepcopy(loop.cond),
+        step=copy.deepcopy(loop.step),
+        body=ast.Block(stmts=body[split:]),
+        pragmas=copy.deepcopy(loop.pragmas),
+    )
+    loop.body.stmts = body[:split]
+    owner, position = _owner_of(new_func, loop)
+    owner.insert(position + 1, tail)
+    return new_program
+
+
+def _apply_unroll_jam(
+    program: ast.Program,
+    func: ast.FunctionDef,
+    step: RewriteStep,
+    report: DependenceReport,
+) -> ast.Program:
+    (loop_index,) = step.loops
+    factor = step.factor
+    _refuse(step, can_unroll(report, loop_index, factor=factor))
+    new_program = copy.deepcopy(program)
+    new_func = new_program.function(step.function)
+    loop = _loop_at(new_func, loop_index, step)
+    var, start, bound, stride = _header_triple(loop, step)
+    if (bound - start) % (stride * factor) != 0:
+        raise RewriteError(
+            f"{step.describe()}: factor {factor} does not divide the "
+            f"trip count of {var} ({(bound - start) // stride})"
+        )
+    if _subtree_defines(loop.body, var):
+        raise RewriteError(
+            f"{step.describe()}: the loop body redefines the induction "
+            f"variable {var!r}"
+        )
+    inner_fors = [s for s in loop.body.stmts if isinstance(s, ast.For)]
+    if inner_fors:
+        # unroll-and-jam: can_unroll already demands a perfect nest,
+        # which in the AST means the body is exactly one For
+        if len(loop.body.stmts) != 1 or not isinstance(
+            loop.body.stmts[0], ast.For
+        ):
+            raise RewriteError(
+                f"{step.describe()}: unroll-and-jam needs a body that is "
+                "exactly one nested loop"
+            )
+        jam_target = loop.body.stmts[0]
+        header_parts = [jam_target.init, jam_target.cond, jam_target.step]
+        for part in header_parts:
+            if part is not None and _subtree_reads(part, var):
+                raise RewriteError(
+                    f"{step.describe()}: the inner loop's header depends "
+                    f"on {var!r}; jamming cannot preserve it"
+                )
+        replicate_into = jam_target.body
+    else:
+        replicate_into = loop.body
+    template = [copy.deepcopy(s) for s in replicate_into.stmts]
+    new_body: list[ast.Stmt] = list(replicate_into.stmts)
+    for copy_index in range(1, factor):
+        offset = copy_index * stride
+        for s in template:
+            clone = copy.deepcopy(s)
+            _subst_stmt(clone, var, offset)
+            new_body.append(clone)
+    replicate_into.stmts = new_body
+    loop.step = ast.Assign(
+        target=ast.Var(name=var), op="+=", value=ast.IntLit(value=stride * factor)
+    )
+    return new_program
+
+
+_RULES = {
+    "interchange": _apply_interchange,
+    "tile": _apply_tile,
+    "fuse": _apply_fuse,
+    "distribute": _apply_distribute,
+    "unroll_jam": _apply_unroll_jam,
+}

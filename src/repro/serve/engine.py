@@ -26,6 +26,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from ..analysis.cache import GLOBAL_ANALYSIS_CACHE
 from ..core import CostModel, CostPrediction, LLMulatorConfig
 from ..core.acceleration import CachedPredictor
 from ..core.inputs import bundle_from_program, class_i_segments
@@ -490,6 +491,7 @@ class PredictionEngine:
                     "misses": self.static_cache.misses,
                     "size": len(self.static_cache),
                 },
+                "analysis_cache": GLOBAL_ANALYSIS_CACHE.stats_dict(),
                 "models": {
                     name: {"loaded": self.registry.is_loaded(name)}
                     for name in self.registry.names()

@@ -256,9 +256,184 @@ class TestVerdictPlumbing:
         matrix = legality_matrix(kernel)
         assert set(matrix) == {
             "function", "loops", "interchange", "tile", "fuse", "unroll",
+            "distribute",
         }
         assert len(matrix["unroll"]) == len(matrix["loops"])
-        for row in matrix["interchange"] + matrix["fuse"]:
+        for row in matrix["interchange"] + matrix["fuse"] + matrix["distribute"]:
             assert set(row) == {"transform", "ok", "reasons"}
             if not row["ok"]:
                 assert row["reasons"]
+
+
+# -- edge cases: non-canonical loop forms ----------------------------------
+
+
+class TestLegalityEdgeCases:
+    def test_downward_loops_interchange_legal_and_exact(self):
+        source = """
+        void copy_rev(float A[8][8], float B[8][8]) {
+          for (int i = 7; i > -1; i -= 1) {
+            for (int j = 7; j > -1; j -= 1) {
+              B[i][j] = A[i][j] * 2.0;
+            }
+          }
+        }
+        void dataflow(float A[8][8], float B[8][8]) {
+          copy_rev(A, B);
+        }
+        """
+        program = parse(source)
+        report = analyze_dependences(program.functions[0])
+        verdict = can_interchange(report, 0, 1)
+        assert verdict.ok, verdict.describe()
+        base = run_arrays(program, "copy_rev", {})
+        swapped = run_arrays(
+            interchanged(program, "copy_rev", 0, 1), "copy_rev", {}
+        )
+        assert bit_identical(base, swapped)
+
+    def test_downward_carried_dependence_still_rejected(self):
+        # a[i] = a[i+1] scanned downward carries a flow dependence
+        # (iteration i writes what iteration i-1 ... reads next); the
+        # deltas flip sign with the direction, and the checker must
+        # still see a carried dependence on the outer loop.
+        source = """
+        void shift(float a[8][8]) {
+          for (int i = 6; i > -1; i -= 1) {
+            for (int j = 0; j < 8; j += 1) {
+              a[i][j] = a[i + 1][j] + 1.0;
+            }
+          }
+        }
+        void dataflow(float a[8][8]) {
+          shift(a);
+        }
+        """
+        report = analyze_dependences(parse(source).functions[0])
+        summary = report.summary()
+        assert summary["loop_carried"] >= 1
+
+    def test_symbolic_invariant_bound_interchange_legal(self):
+        # Loop bounds naming a scalar parameter (invariant inside the
+        # nest) must not block interchange.
+        source = """
+        void scale(float A[8][8], int n, int m) {
+          for (int i = 0; i < n; i += 1) {
+            for (int j = 0; j < m; j += 1) {
+              A[i][j] = A[i][j] * 3.0;
+            }
+          }
+        }
+        void dataflow(float A[8][8], int n, int m) {
+          scale(A, n, m);
+        }
+        """
+        program = parse(source)
+        report = analyze_dependences(program.functions[0])
+        verdict = can_interchange(report, 0, 1)
+        assert verdict.ok, verdict.describe()
+        base = run_arrays(program, "scale", {"n": 8, "m": 8})
+        swapped = run_arrays(
+            interchanged(program, "scale", 0, 1), "scale", {"n": 8, "m": 8}
+        )
+        assert bit_identical(base, swapped)
+
+    def test_inner_bound_depending_on_outer_var_rejected(self):
+        # Triangular nest: the inner bound reads the outer induction
+        # variable, so swapping the headers changes the iteration set.
+        source = """
+        void tri(float A[8][8]) {
+          for (int i = 0; i < 8; i += 1) {
+            for (int j = 0; j < i; j += 1) {
+              A[i][j] = A[i][j] + 1.0;
+            }
+          }
+        }
+        void dataflow(float A[8][8]) {
+          tri(A);
+        }
+        """
+        report = analyze_dependences(parse(source).functions[0])
+        verdict = can_interchange(report, 0, 1)
+        assert not verdict.ok
+        assert verdict.reasons
+
+    def test_per_point_reduction_interchange_and_tile_legal(self):
+        # C[i][j] += ... accumulates into a location indexed by both
+        # band variables: the reduction's self-dependences have zero
+        # distance at both levels, so interchange and tiling stay
+        # legal AND bit-exact (each cell's summation order is intact).
+        source = """
+        void outer_acc(float A[8][8], float B[8][8], float C[8][8]) {
+          for (int i = 0; i < 8; i += 1) {
+            for (int j = 0; j < 8; j += 1) {
+              C[i][j] = C[i][j] + A[i][j] * B[j][i];
+            }
+          }
+        }
+        void dataflow(float A[8][8], float B[8][8], float C[8][8]) {
+          outer_acc(A, B, C);
+        }
+        """
+        program = parse(source)
+        flow_stmts = analyze_dependences(program.functions[0])
+        assert any(
+            s.is_reduction for s in flow_stmts.dataflow.statements
+        ), "reduction statement not recognized"
+        inter = can_interchange(flow_stmts, 0, 1)
+        tile = can_tile(flow_stmts, (0, 1))
+        assert inter.ok, inter.describe()
+        assert tile.ok, tile.describe()
+        base = run_arrays(program, "outer_acc", {})
+        swapped = run_arrays(
+            interchanged(program, "outer_acc", 0, 1), "outer_acc", {}
+        )
+        assert bit_identical(base, swapped)
+
+    def test_global_accumulator_reduction_conservatively_rejected(self):
+        # s[0] += ... over the whole nest is algebraically commutative,
+        # but reordering changes the floating-point summation order —
+        # not bit-exact — so under the parity contract the checker must
+        # refuse and cite the accumulator dependence.
+        source = """
+        void dot(float A[8][8], float B[8][8], float s[1]) {
+          for (int i = 0; i < 8; i += 1) {
+            for (int j = 0; j < 8; j += 1) {
+              s[0] = s[0] + A[i][j] * B[i][j];
+            }
+          }
+        }
+        void dataflow(float A[8][8], float B[8][8], float s[1]) {
+          dot(A, B, s);
+        }
+        """
+        report = analyze_dependences(parse(source).functions[0])
+        assert any(s.is_reduction for s in report.dataflow.statements)
+        inter = can_interchange(report, 0, 1)
+        tile = can_tile(report, (0, 1))
+        assert not inter.ok
+        assert any("'s'" in reason for reason in inter.reasons)
+        assert not tile.ok
+
+    def test_non_reduction_scalar_recurrence_rejected(self):
+        # t = t * A[i][j] + j is not a recognized reduction update
+        # shape mixed with a reuse of t in the same expression context;
+        # specifically a read of the scalar that is NOT part of a
+        # commutative self-update must block interchange.
+        source = """
+        void scan(float A[8][8], float out[8][8], float t[1]) {
+          for (int i = 0; i < 8; i += 1) {
+            for (int j = 0; j < 8; j += 1) {
+              out[i][j] = t[0];
+              t[0] = t[0] + A[i][j];
+            }
+          }
+        }
+        void dataflow(float A[8][8], float out[8][8], float t[1]) {
+          scan(A, out, t);
+        }
+        """
+        report = analyze_dependences(parse(source).functions[0])
+        verdict = can_interchange(report, 0, 1)
+        assert not verdict.ok
+        assert verdict.reasons

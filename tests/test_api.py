@@ -264,6 +264,27 @@ class TestFalsyCacheInjection:
         assert len(cache) == 1
 
 
+class TestAnalysisCacheStats:
+    def test_session_stats_surface_analysis_cache_counters(self, session):
+        from repro.analysis.cache import GLOBAL_ANALYSIS_CACHE
+
+        GLOBAL_ANALYSIS_CACHE.clear()
+        stats = session.stats()["analysis_cache"]
+        assert stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "hit_rate": 0.0
+        }
+        # Ingestion boundary: first validate misses, repeat hits.
+        from repro.api import validate_source
+
+        validate_source(PROGRAM)
+        validate_source(PROGRAM)
+        stats = session.stats()["analysis_cache"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
 # -- Session parity against the pre-redesign paths -------------------------
 
 

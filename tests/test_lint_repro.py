@@ -31,8 +31,13 @@ class TestCleanOnRepo:
         assert findings == [], "\n".join(str(f) for f in findings)
 
     def test_scripts_are_clean(self):
-        findings = lint_repro.lint_paths([str(LINT_PATH)])
-        assert findings == []
+        findings = lint_repro.lint_paths([str(REPO_ROOT / "scripts")])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_default_paths_cover_src_and_scripts(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_repro.main([]) == 0
+        assert "scripts" in capsys.readouterr().out
 
 
 class TestFalsyCacheRule:
@@ -185,6 +190,82 @@ class TestDeterminismRule:
                 return time.time()
             """,
             name="bench.py",
+        )
+        assert findings == []
+
+
+class TestAssertValidationRule:
+    def test_catches_assert_on_parameter(self, tmp_path):
+        # The trainer.py bug class: input validation that disappears
+        # under `python -O`.
+        findings = lint_source(
+            tmp_path,
+            """
+            def batches(order, lengths, config):
+                assert lengths is not None
+                return [order, config]
+            """,
+        )
+        assert rules(findings) == ["REPRO005"]
+        assert "'lengths'" in findings[0].message
+        assert "repro.errors" in findings[0].message
+
+    def test_assert_on_local_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def total(values):
+                acc = sum(values)
+                assert acc >= 0
+                return acc
+            """,
+        )
+        assert findings == []
+
+    def test_assert_on_self_attribute_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Runner:
+                def go(self):
+                    assert self.predictor is not None
+                    return self.predictor
+            """,
+        )
+        assert findings == []
+
+    def test_compound_test_naming_parameter_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def clamp(value, low, high):
+                assert low <= value <= high, "out of range"
+                return value
+            """,
+        )
+        assert rules(findings) == ["REPRO005"]
+
+    def test_test_files_exempt(self, tmp_path):
+        source = """
+        def test_helper(thing):
+            assert thing is not None
+        """
+        assert lint_source(tmp_path, source, name="test_mod.py") == []
+        assert lint_source(tmp_path, source, name="conftest.py") == []
+        nested = tmp_path / "tests"
+        nested.mkdir()
+        nested_file = nested / "helpers.py"
+        nested_file.write_text(textwrap.dedent(source))
+        assert lint_repro.lint_file(nested_file) == []
+
+    def test_module_level_assert_allowed(self, tmp_path):
+        # No enclosing function → no parameters to validate.
+        findings = lint_source(
+            tmp_path,
+            """
+            FLAG = True
+            assert FLAG
+            """,
         )
         assert findings == []
 

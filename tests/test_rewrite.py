@@ -1,0 +1,475 @@
+"""The rewrite engine: legality-gated loop transformations.
+
+Acceptance contract (ISSUE 7): every rule refuses to fire without an
+``ok`` legality verdict (and cites the blocking dependence), every
+applied step leaves the program valid, and every sequence the
+enumerator emits on the polybench suite is bit-identical under the
+interpreter parity harness.
+"""
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.errors import RewriteError
+from repro.lang import parse
+from repro.rewrite import (
+    REWRITE_KINDS,
+    RewriteSequence,
+    RewriteStep,
+    apply_step,
+    bit_parity,
+    enumerate_sequences,
+    enumerate_steps,
+    estimate_profitability,
+    score_program,
+)
+from repro.workloads import linalg_suite, polybench_suite
+
+LINALG = {w.name: w for w in linalg_suite()}
+POLYBENCH = {w.name: w for w in polybench_suite()}
+
+# A canonical, perfectly-nested, literal-bound kernel every rule can
+# fire on.
+SCALE = """
+void scale(float A[8][8]) {
+  for (int i = 0; i < 8; i += 1) {
+    for (int j = 0; j < 8; j += 1) {
+      A[i][j] = A[i][j] * 2.0;
+    }
+  }
+}
+void dataflow(float A[8][8]) {
+  scale(A);
+}
+"""
+
+TWO_LOOPS = """
+void two(float a[8], float b[8], float c[8]) {
+  for (int i = 0; i < 8; i += 1) {
+    b[i] = a[i] * 2.0;
+  }
+  for (int j = 0; j < 8; j += 1) {
+    c[j] = a[j] + 1.0;
+  }
+}
+void dataflow(float a[8], float b[8], float c[8]) {
+  two(a, b, c);
+}
+"""
+
+MULTI_STMT = """
+void body(float a[8][8], float b[8][8], float c[8][8]) {
+  for (int i = 0; i < 8; i += 1) {
+    for (int j = 0; j < 8; j += 1) {
+      b[i][j] = a[i][j] * 2.0;
+    }
+    for (int k = 0; k < 8; k += 1) {
+      c[i][k] = a[i][k] + 1.0;
+    }
+  }
+}
+void dataflow(float a[8][8], float b[8][8], float c[8][8]) {
+  body(a, b, c);
+}
+"""
+
+
+# -- the step codec --------------------------------------------------------
+
+
+class TestStepCodec:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "interchange:gemm_kernel:0,1",
+            "tile:scale:0,1:4",
+            "fuse:two:0,1",
+            "distribute:body:0:1",
+            "unroll_jam:scale:1:2",
+        ],
+    )
+    def test_text_round_trip(self, text):
+        step = RewriteStep.from_text(text)
+        assert step.to_text() == text
+        assert RewriteStep.from_text(step.to_text()) == step
+
+    def test_payload_round_trip(self):
+        step = RewriteStep.from_text("tile:scale:0,1:4")
+        assert RewriteStep.from_payload(step.to_payload()) == step
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "explode:f:0",             # unknown kind
+            "interchange:f:0",         # wrong arity
+            "tile:f:0,1",              # missing factor
+            "tile:f:0,1:1",            # factor below minimum
+            "fuse:f:0,1:2",            # factor on a factorless kind
+            "interchange::0,1",        # empty function
+            "interchange:f:zero,one",  # non-integer loops
+        ],
+    )
+    def test_bad_text_raises(self, text):
+        with pytest.raises(RewriteError):
+            RewriteStep.from_text(text)
+
+    def test_kind_inventory(self):
+        assert set(REWRITE_KINDS) == {
+            "interchange", "tile", "fuse", "distribute", "unroll_jam"
+        }
+
+
+# -- each rule: a legal firing is bit-exact, an illegal one is refused -----
+
+
+class TestRulesFireLegally:
+    def check(self, source, text, fname):
+        program = parse(source)
+        rewritten = apply_step(program, RewriteStep.from_text(text))
+        assert bit_parity(program, rewritten), text
+        return rewritten
+
+    def test_interchange(self):
+        rewritten = self.check(
+            LINALG["gemm"].source, "interchange:gemm_kernel:0,1", "gemm_kernel"
+        )
+        from repro.lang import ast
+
+        # the headers actually swapped: the outermost loop now runs j
+        outer = ast.loops_in(rewritten.function("gemm_kernel").body)[0]
+        assert outer.init.name == "j"
+
+    def test_tile(self):
+        self.check(SCALE, "tile:scale:0,1:4", "scale")
+
+    def test_fuse(self):
+        rewritten = self.check(TWO_LOOPS, "fuse:two:0,1", "two")
+        from repro.lang import ast
+
+        assert len(ast.loops_in(rewritten.function("two").body)) == 1
+
+    def test_distribute(self):
+        rewritten = self.check(
+            LINALG["gemm"].source, "distribute:gemm_kernel:1:1", "gemm_kernel"
+        )
+        from repro.lang import ast
+
+        # the j loop split in two: one more loop than before
+        before = len(ast.loops_in(parse(LINALG["gemm"].source).function("gemm_kernel").body))
+        after = len(ast.loops_in(rewritten.function("gemm_kernel").body))
+        assert after == before + 1
+
+    def test_unroll_jam(self):
+        self.check(LINALG["gemm"].source, "unroll_jam:gemm_kernel:2:2", "gemm_kernel")
+
+    def test_jam_replicates_into_inner_body(self):
+        rewritten = self.check(SCALE, "unroll_jam:scale:0:2", "scale")
+        from repro.lang import ast
+
+        outer = ast.loops_in(rewritten.function("scale").body)[0]
+        inner = outer.body.stmts[0]
+        assert isinstance(inner, ast.For)
+        assert len(inner.body.stmts) == 2  # original + offset copy
+
+
+class TestRulesRefuseIllegally:
+    def refuse(self, source, text, *needles):
+        program = parse(source)
+        with pytest.raises(RewriteError) as err:
+            apply_step(program, RewriteStep.from_text(text))
+        message = str(err.value)
+        for needle in needles:
+            assert needle in message, message
+        return message
+
+    def test_interchange_cites_reversed_dependence(self):
+        self.refuse(
+            POLYBENCH["seidel-2d"].source,
+            "interchange:seidel_kernel:1,2",
+            "dependence",
+        )
+
+    def test_tile_cites_non_permutable_band(self):
+        self.refuse(
+            POLYBENCH["seidel-2d"].source,
+            "tile:seidel_kernel:1,2:4",
+            "refusing",
+        )
+
+    def test_fuse_cites_crossing_dependence(self):
+        source = """
+        void stages(float a[8], float b[9], float c[8]) {
+          for (int i = 0; i < 8; i += 1) {
+            b[i] = a[i] * 2.0;
+          }
+          for (int j = 0; j < 8; j += 1) {
+            c[j] = b[j + 1] + 1.0;
+          }
+        }
+        void dataflow(float a[8], float b[9], float c[8]) {
+          stages(a, b, c);
+        }
+        """
+        self.refuse(
+            source, "fuse:stages:0,1", "dependence", "'b'", "reverse"
+        )
+
+    def test_distribute_cites_backward_dependence(self):
+        source = """
+        void pair(float a[9], float b[8], float c[8]) {
+          for (int i = 0; i < 8; i += 1) {
+            b[i] = a[i] * 2.0;
+            a[i + 1] = c[i] + 1.0;
+          }
+        }
+        void dataflow(float a[9], float b[8], float c[8]) {
+          pair(a, b, c);
+        }
+        """
+        self.refuse(
+            source, "distribute:pair:0:1", "runs backwards across the split"
+        )
+
+    def test_unroll_jam_cites_carried_dependence(self):
+        # a[i][j] reads a[i-1][j+1]: direction (<, >).  Jamming i pulls
+        # iteration (i+1, j) ahead of (i, j+1) and reverses it.
+        source = """
+        void chain(float a[10][8]) {
+          for (int i = 1; i < 9; i += 1) {
+            for (int j = 0; j < 7; j += 1) {
+              a[i][j] = a[i - 1][j + 1] + 1.0;
+            }
+          }
+        }
+        void dataflow(float a[10][8]) {
+          chain(a);
+        }
+        """
+        self.refuse(source, "unroll_jam:chain:0:2", "dependence", "reverse")
+
+    def test_unknown_function_lists_candidates(self):
+        self.refuse(SCALE, "interchange:nope:0,1", "scale")
+
+
+# -- the sequence applier --------------------------------------------------
+
+
+class TestRewriteSequence:
+    def test_multi_step_chain_digests(self):
+        sequence = RewriteSequence.from_texts(
+            ["distribute:gemm_kernel:1:1", "unroll_jam:gemm_kernel:3:2"]
+        )
+        result = sequence.apply(LINALG["gemm"].source)
+        assert len(result.records) == 2
+        assert result.records[0].digest_before == result.digest_before
+        assert result.records[0].digest_after == result.records[1].digest_before
+        assert result.records[1].digest_after == result.digest_after
+        assert result.digest_before != result.digest_after
+        assert bit_parity(LINALG["gemm"].source, result.program)
+
+    def test_identity_sequence(self):
+        result = RewriteSequence().apply(SCALE)
+        assert result.digest_before == result.digest_after
+        assert result.records == ()
+        assert RewriteSequence().describe() == "<identity>"
+
+    def test_invalid_program_refused(self):
+        bad = """
+        void f(float a[8]) {
+          for (int i = 0; i < 8; i += 1) {
+            a[i] = q[i];
+          }
+        }
+        void dataflow(float a[8]) {
+          f(a);
+        }
+        """
+        with pytest.raises(RewriteError, match="invalid program"):
+            RewriteSequence.from_texts(["unroll_jam:f:0:2"]).apply(bad)
+
+    def test_cache_hygiene(self):
+        """Intermediate digests are invalidated; the final program's
+        analysis is warmed into the injected cache."""
+        cache = AnalysisCache()
+        sequence = RewriteSequence.from_texts(
+            ["distribute:gemm_kernel:1:1", "unroll_jam:gemm_kernel:3:2"]
+        )
+        result = sequence.apply(LINALG["gemm"].source, cache=cache)
+        intermediate = result.records[0].digest_after
+        assert intermediate != result.digest_after
+        # warmed: a fresh get() of the final source is a cache hit
+        hits_before = cache.hits
+        cache.get(result.source)
+        assert cache.hits == hits_before + 1
+        # the intermediate digest is not resident (invalidate() on a
+        # missing digest returns False)
+        assert cache.invalidate(intermediate) is False
+
+    def test_bad_step_text_in_sequence(self):
+        with pytest.raises(RewriteError):
+            RewriteSequence.from_texts(["interchange:f"])
+
+
+# -- profitability ---------------------------------------------------------
+
+
+class TestProfitability:
+    def test_footprint_report_shape(self):
+        program = parse(LINALG["gemm"].source)
+        report = estimate_profitability(program.function("gemm_kernel"))
+        payload = report.as_dict()
+        assert payload["function"] == "gemm_kernel"
+        assert payload["score"] > 0
+        assert report.score == report.traffic + report.header_overhead
+
+    def test_score_rewards_header_elimination(self):
+        # unroll-and-jam halves inner-header evaluations, which both
+        # the simulator and the score model charge for
+        program = parse(LINALG["gemm"].source)
+        jammed = apply_step(
+            program, RewriteStep.from_text("unroll_jam:gemm_kernel:2:2")
+        )
+        assert score_program(jammed) < score_program(program)
+
+
+# -- enumeration: the acceptance sweep -------------------------------------
+
+
+class TestEnumeration:
+    def test_rejections_cite_reasons(self):
+        candidates = enumerate_steps(LINALG["gemm"].source)
+        rejected = [c for c in candidates if not c.ok]
+        assert rejected
+        assert all(c.reasons and c.reasons[0] for c in rejected)
+
+    def test_accepted_sorted_by_score(self):
+        accepted = [c for c in enumerate_steps(LINALG["gemm"].source) if c.ok]
+        scores = [c.score for c in accepted]
+        assert scores == sorted(scores)
+
+    def test_sequences_replay_and_improve(self):
+        ranked = enumerate_sequences(LINALG["gemm"].source, max_len=2, top_k=4)
+        assert ranked
+        assert ranked[0].score <= ranked[-1].score
+        best = ranked[0]
+        assert best.improvement > 0
+        replay = RewriteSequence(steps=best.steps).apply(LINALG["gemm"].source)
+        assert replay.digest_after == best.digest
+
+    @pytest.mark.parametrize("name", sorted(POLYBENCH), ids=str)
+    def test_polybench_sweep_is_bit_exact(self, name):
+        """Every sequence the enumerator emits on every polybench
+        kernel validates clean and is bit-identical under the
+        interpreter — the ISSUE 7 acceptance gate."""
+        source = POLYBENCH[name].source
+        for ranked in enumerate_sequences(source, max_len=2, top_k=4):
+            result = RewriteSequence(steps=ranked.steps).apply(source)
+            assert bit_parity(source, result.program), ranked.describe()
+
+    def test_suite_rejects_every_rule_kind(self):
+        """Across linalg + polybench, at least one candidate of every
+        rule kind is refused with a cited reason."""
+        rejected_kinds = set()
+        sources = [w.source for w in LINALG.values()] + [
+            w.source for w in POLYBENCH.values()
+        ]
+        for source in sources:
+            for candidate in enumerate_steps(source):
+                if not candidate.ok:
+                    rejected_kinds.add(candidate.step.kind)
+            if rejected_kinds == set(REWRITE_KINDS):
+                break
+        assert rejected_kinds == set(REWRITE_KINDS), rejected_kinds
+
+
+# -- the campaign axis -----------------------------------------------------
+
+
+class TestCampaignRewriteAxis:
+    def spec(self):
+        from repro.campaign import CampaignSpec, RewriteSpec, WorkloadSpec
+
+        return CampaignSpec(
+            name="rw-axis",
+            workloads=(WorkloadSpec(name="gemm"),),
+            strategies=("random",),
+            budget=2,
+            rewrites=(
+                RewriteSpec(name="base"),
+                RewriteSpec(
+                    name="ij",
+                    steps=(
+                        RewriteStep.from_text("interchange:gemm_kernel:0,1"),
+                    ),
+                    workload="gemm",
+                ),
+            ),
+        )
+
+    def test_cell_ids_carry_the_rewrite_name(self):
+        from repro.campaign import build_cells
+
+        cells = build_cells(self.spec())
+        ids = [cell.cell_id for cell in cells]
+        assert len(cells) == 2
+        assert any("|rw=base|" in cell_id for cell_id in ids)
+        assert any("|rw=ij|" in cell_id for cell_id in ids)
+
+    def test_payload_round_trip(self):
+        from repro.campaign import spec_from_payload, spec_to_payload
+
+        spec = self.spec()
+        assert spec_from_payload(spec_to_payload(spec)) == spec
+
+    def test_rewrite_free_payload_unchanged(self):
+        """No ``rewrites`` key (and no ``|rw=`` cell-id segment) when the
+        axis is unused — old journals stay replayable."""
+        from repro.campaign import (
+            CampaignSpec,
+            WorkloadSpec,
+            build_cells,
+            spec_to_payload,
+        )
+
+        plain = CampaignSpec(
+            name="plain",
+            workloads=(WorkloadSpec(name="gemm"),),
+            strategies=("random",),
+            budget=2,
+        )
+        assert "rewrites" not in spec_to_payload(plain)
+        assert all("|rw=" not in c.cell_id for c in build_cells(plain))
+
+    def test_inapplicable_rewrite_fails_at_build(self):
+        from repro.campaign import CampaignSpec, RewriteSpec, WorkloadSpec
+        from repro.errors import CampaignError
+
+        spec = CampaignSpec(
+            name="bad",
+            workloads=(WorkloadSpec(name="gemm"),),
+            strategies=("random",),
+            budget=2,
+            rewrites=(
+                RewriteSpec(
+                    name="boom",
+                    steps=(
+                        RewriteStep.from_text("interchange:gemm_kernel:1,2"),
+                    ),
+                ),
+            ),
+        )
+        from repro.campaign import build_cells
+
+        with pytest.raises(CampaignError, match="boom"):
+            build_cells(spec)
+
+    def test_search_signature_separates_rewrites(self):
+        from repro.core.explorer import DesignPoint
+        from repro.core.search import _signature
+        from repro.hls import HardwareParams
+
+        program = parse(SCALE)
+        params = HardwareParams()
+        base = DesignPoint(program=program, params=params)
+        rewritten = DesignPoint(program=program, params=params, rewrite="ij")
+        assert _signature(base) != _signature(rewritten)

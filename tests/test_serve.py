@@ -380,9 +380,12 @@ class TestServer:
     def test_stats_endpoint_shape(self, client):
         stats = client.stats()
         for key in ("requests", "result_cache", "encoding_cache",
-                    "static_cache", "batching", "models"):
+                    "static_cache", "analysis_cache", "batching", "models"):
             assert key in stats
         assert "size_histogram" in stats["batching"]
+        assert set(stats["analysis_cache"]) == {
+            "hits", "misses", "evictions", "size", "hit_rate"
+        }
 
     def test_bad_program_is_400_not_traceback(self, client):
         with pytest.raises(ServeError, match="HTTP 400"):
