@@ -24,6 +24,14 @@ Rules (all reported as ``file:line: RULE message``, exit 1 on findings):
   Fires when the assert's test reads a bare name that is a parameter of
   the enclosing function (``self``/``cls`` excluded); asserts on locals
   (internal invariants) stay allowed.  Test files are exempt.
+* ``REPRO006`` direct wall-clock reads (``time.time``,
+  ``time.monotonic``, ``time.perf_counter``, ``datetime.now``, …) in
+  ``src/repro`` outside ``repro.telemetry``: all timing routes through
+  :mod:`repro.telemetry.clock` so instrumentation stays consistent and
+  the disabled mode has one switch.  A deliberate exception (e.g. the
+  micro-batcher's deadline arithmetic, which must tick with telemetry
+  off) is waived with a ``# lint: allow-wallclock`` comment on the
+  offending line.
 
 Usage::
 
@@ -59,6 +67,18 @@ NONDETERMINISTIC_CALLS = {
     ("uuid", "uuid4"),
 }
 DETERMINISM_CRITICAL = re.compile(r"(journal|codec)")
+WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+WALLCLOCK_WAIVER = "lint: allow-wallclock"
 
 
 def _is_test_file(path: Path) -> bool:
@@ -162,9 +182,17 @@ def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
     return False
 
 
+def _is_clock_scoped(path: Path) -> bool:
+    """True for files REPRO006 covers: under ``repro`` (the package) but
+    outside the telemetry package itself, which owns the clock."""
+    parts = path.parts
+    return "repro" in parts and "telemetry" not in parts
+
+
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, lines: tuple[str, ...] = ()) -> None:
         self.path = path
+        self.lines = lines
         self.findings: list[Finding] = []
         self._suspect_stack: list[set[str]] = []
         self._param_stack: list[set[str]] = []
@@ -173,6 +201,7 @@ class _Linter(ast.NodeVisitor):
         self._determinism_critical = bool(
             DETERMINISM_CRITICAL.search(self.path.name)
         )
+        self._clock_scoped = _is_clock_scoped(path)
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -263,13 +292,16 @@ class _Linter(ast.NodeVisitor):
     # -- REPRO004: nondeterminism in journal/codec modules ---------------
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self._determinism_critical and isinstance(node.func, ast.Attribute):
+        if isinstance(node.func, ast.Attribute):
             attr = node.func.attr
             base = node.func.value
             base_name = base.id if isinstance(base, ast.Name) else (
                 base.attr if isinstance(base, ast.Attribute) else ""
             )
-            if (base_name, attr) in NONDETERMINISTIC_CALLS or base_name == "random":
+            if self._determinism_critical and (
+                (base_name, attr) in NONDETERMINISTIC_CALLS
+                or base_name == "random"
+            ):
                 self._report(
                     node,
                     "REPRO004",
@@ -277,7 +309,26 @@ class _Linter(ast.NodeVisitor):
                     "breaks replay determinism; derive values from the "
                     "journaled inputs instead",
                 )
+            # REPRO006: wall-clock reads outside repro.telemetry.
+            if (
+                self._clock_scoped
+                and (base_name, attr) in WALLCLOCK_CALLS
+                and not self._waived(node)
+            ):
+                self._report(
+                    node,
+                    "REPRO006",
+                    f"direct '{base_name}.{attr}()' outside repro.telemetry; "
+                    "route timing through repro.telemetry.clock (or waive a "
+                    f"deliberate exception with '# {WALLCLOCK_WAIVER}')",
+                )
         self.generic_visit(node)
+
+    def _waived(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 0 < line <= len(self.lines):
+            return WALLCLOCK_WAIVER in self.lines[line - 1]
+        return False
 
     def _module_kind(self) -> str:
         match = DETERMINISM_CRITICAL.search(self.path.name)
@@ -313,7 +364,7 @@ def lint_file(path: Path) -> list[Finding]:
     except (OSError, SyntaxError) as exc:
         return [Finding(path, getattr(exc, "lineno", 0) or 0, "REPRO000",
                         f"cannot lint: {exc}")]
-    linter = _Linter(path)
+    linter = _Linter(path, tuple(source.splitlines()))
     linter.visit(tree)
     return linter.findings
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..hls import HardwareParams
 from ..profiler import Profiler
 from ..serve.engine import ModelRegistry, PredictionEngine
+from ..telemetry import TRACER
 from .types import (
     DesignChoice,
     ExploreJob,
@@ -132,17 +133,18 @@ class Session:
 
     def predict_jobs(self, jobs: Sequence[PredictJob]) -> list[Prediction]:
         """Answer every job through one batched engine pass."""
-        requests = [
-            self.engine.build_request(
-                job.source,
-                data=dict(job.data) if job.data else None,
-                params=job.params,
-                model=job.model or self._default_model,
-                beam_width=job.beam_width,
-            )
-            for job in jobs
-        ]
-        costs = self.engine.predict_requests(requests)
+        with TRACER.span("session.predict_jobs", {"jobs": len(jobs)}):
+            requests = [
+                self.engine.build_request(
+                    job.source,
+                    data=dict(job.data) if job.data else None,
+                    params=job.params,
+                    model=job.model or self._default_model,
+                    beam_width=job.beam_width,
+                )
+                for job in jobs
+            ]
+            costs = self.engine.predict_requests(requests)
         return [
             prediction_from_cost(cost, model=request.model, label=job.label)
             for job, request, cost in zip(jobs, requests, costs)
@@ -200,11 +202,12 @@ class Session:
             static_cache=self.engine.static_cache,
             **kwargs,
         )
-        report = profiler.profile(
-            job.source,
-            data=dict(job.data) if job.data else None,
-            rng=np.random.default_rng(job.seed),
-        )
+        with TRACER.span("session.profile", {"label": job.label} if job.label else None):
+            report = profiler.profile(
+                job.source,
+                data=dict(job.data) if job.data else None,
+                rng=np.random.default_rng(job.seed),
+            )
         with self.engine.lock:
             self.engine.stats.profile_requests += 1
         return ProfileReport(
@@ -228,16 +231,17 @@ class Session:
         # Model inference must not race other engine users (the serve
         # micro-batcher worker); verification is profiler-side and runs
         # outside the inference lock.
-        with self.engine.lock:
-            points = explorer.explore(
-                job.source,
-                data=data,
-                unroll_factors=tuple(job.unroll_factors),
-                memory_delays=tuple(job.memory_delays),
-                max_candidates=job.max_candidates,
-            )
-        if job.verify_top:
-            explorer.verify_top(points, top_k=job.verify_top, data=data)
+        with TRACER.span("session.explore", {"model": name}):
+            with self.engine.lock:
+                points = explorer.explore(
+                    job.source,
+                    data=data,
+                    unroll_factors=tuple(job.unroll_factors),
+                    memory_delays=tuple(job.memory_delays),
+                    max_candidates=job.max_candidates,
+                )
+            if job.verify_top:
+                explorer.verify_top(points, top_k=job.verify_top, data=data)
         candidates = tuple(
             DesignChoice(
                 design=point.describe(),

@@ -15,6 +15,16 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ModelConfigError
+from ..telemetry import timed_call
+
+
+class TimedPredictMixin:
+    """Shared ``timed_predict``: one :func:`repro.telemetry.timed_call`
+    around ``self.predict`` instead of a per-baseline copy of the
+    ``perf_counter`` sandwich.  Returns ``(prediction, seconds)``."""
+
+    def timed_predict(self, *args, **kwargs):
+        return timed_call(self.predict, *args, **kwargs)
 
 
 @dataclass

@@ -9,7 +9,6 @@ models.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -21,7 +20,7 @@ from ..ir import NODE_TYPE_INDEX, build_program_graph
 from ..lang import ast, parse
 from ..nn import AdamW, Linear, Module, ReLU, Sequential, Tensor
 from ..profiler import METRICS
-from .common import RangeNormalizer
+from .common import RangeNormalizer, TimedPredictMixin
 
 NODE_FEATURE_DIM = len(NODE_TYPE_INDEX) + 1  # one-hot type + literal value
 
@@ -57,7 +56,7 @@ def graph_tensors(program: ast.Program | str) -> tuple[np.ndarray, np.ndarray]:
     return features, adjacency / degree
 
 
-class GNNHLSModel(Module):
+class GNNHLSModel(TimedPredictMixin, Module):
     """Mean-aggregation message passing + sigmoid regression readout."""
 
     def __init__(self, config: Optional[GNNHLSConfig] = None) -> None:
@@ -138,10 +137,3 @@ class GNNHLSModel(Module):
         embedding = self._embed(*graph)
         normalized = float(self.heads[metric](embedding).sigmoid().data.reshape(-1)[0])
         return int(round(self.normalizers[metric].denormalize(normalized)))
-
-    def timed_predict(
-        self, graph: tuple[np.ndarray, np.ndarray], metric: str
-    ) -> tuple[int, float]:
-        start = time.perf_counter()
-        value = self.predict(graph, metric)
-        return value, time.perf_counter() - start

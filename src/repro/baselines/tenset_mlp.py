@@ -9,7 +9,6 @@ limitation the paper calls out.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -20,6 +19,7 @@ from ..hls import HardwareParams
 from ..lang import ast, extract_features, parse
 from ..nn import AdamW, Module, Sequential, Tensor, mlp
 from ..profiler import METRICS
+from .common import TimedPredictMixin
 
 _MAX_SCALAR_FEATURES = 4
 
@@ -72,7 +72,7 @@ def tenset_features(
 FEATURE_DIM = 13 + 4 + _MAX_SCALAR_FEATURES
 
 
-class TensetMLPModel(Module):
+class TensetMLPModel(TimedPredictMixin, Module):
     """Per-metric MLP regression in log-target space."""
 
     def __init__(self, config: Optional[TensetConfig] = None) -> None:
@@ -125,7 +125,3 @@ class TensetMLPModel(Module):
         output = min(output, 40.0)  # guard expm1 overflow
         return max(0, int(round(np.expm1(output))))
 
-    def timed_predict(self, features: np.ndarray, metric: str) -> tuple[int, float]:
-        start = time.perf_counter()
-        value = self.predict(features, metric)
-        return value, time.perf_counter() - start

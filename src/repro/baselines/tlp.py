@@ -10,7 +10,6 @@ analyzes in Section 2.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -20,7 +19,7 @@ from ..errors import ModelConfigError
 from ..nn import AdamW, Linear, Module, Tensor, TransformerConfig, TransformerEncoder
 from ..profiler import METRICS
 from ..tokenizer import ModelInput, ProgressiveTokenizer, VOCAB
-from .common import RangeNormalizer
+from .common import RangeNormalizer, TimedPredictMixin
 
 
 @dataclass(frozen=True)
@@ -35,7 +34,7 @@ class TLPConfig:
     metrics: tuple[str, ...] = tuple(METRICS)
 
 
-class TLPModel(Module):
+class TLPModel(TimedPredictMixin, Module):
     """Transformer + per-metric sigmoid regression heads."""
 
     def __init__(self, config: Optional[TLPConfig] = None) -> None:
@@ -122,7 +121,3 @@ class TLPModel(Module):
             result[metric] = int(round(self.normalizers[metric].denormalize(normalized)))
         return result
 
-    def timed_predict(self, bundle: ModelInput, metric: str) -> tuple[int, float]:
-        start = time.perf_counter()
-        value = self.predict(bundle, metric)
-        return value, time.perf_counter() - start

@@ -31,7 +31,14 @@ from ..errors import CampaignError, CampaignInterrupted, ReproError
 from ..hls import HardwareParams
 from ..lang import ast, parse, to_source
 from ..profiler import Profiler, StaticProfileCache
+from ..telemetry import METRICS as TELEMETRY_METRICS
+from ..telemetry import TRACER, clock
 from .journal import CampaignJournal
+
+_CELLS_RUN = TELEMETRY_METRICS.counter("campaign.cells")
+_EVALS_FRESH = TELEMETRY_METRICS.counter("campaign.evaluations.fresh")
+_EVALS_REPLAYED = TELEMETRY_METRICS.counter("campaign.evaluations.replayed")
+_EVALUATE_MS = TELEMETRY_METRICS.histogram("campaign.evaluate_ms")
 from .objectives import exact_static_costs, get_objective
 from .spec import CampaignSpec
 from .strategies import get_strategy, needs_model
@@ -369,24 +376,36 @@ class CampaignRunner:
             cached = journal.pop_replay(cell.cell_id, key)
             if cached is not None:
                 point.actual = cached
+                _EVALS_REPLAYED.inc()
                 return
             if (
                 max_evaluations is not None
                 and journal.appended >= max_evaluations
             ):
                 raise _StopCampaign()
-            report = profiler.profile(
-                point.program,
-                data=data,
-                rng=np.random.default_rng(self.spec.seed),
-            )
+            start = clock.now()
+            with TRACER.span(
+                "campaign.evaluate", {"cell": cell.cell_id, "design": key}
+            ):
+                report = profiler.profile(
+                    point.program,
+                    data=data,
+                    rng=np.random.default_rng(self.spec.seed),
+                )
+            _EVALUATE_MS.observe((clock.now() - start) * 1000.0)
+            _EVALS_FRESH.inc()
             point.actual = report.costs.as_dict()
             journal.append(cell.cell_id, key, point.actual)
 
         strategy = get_strategy(cell.strategy)
         rng = np.random.default_rng([self.spec.seed, cell.index])
         budget = min(self.spec.budget, len(candidates))
-        trace = strategy(candidates, budget, objective.scalar, rng, evaluate)
+        _CELLS_RUN.inc()
+        with TRACER.span(
+            "campaign.cell",
+            {"cell": cell.cell_id, "candidates": len(candidates)},
+        ):
+            trace = strategy(candidates, budget, objective.scalar, rng, evaluate)
         return CellResult(
             cell=cell,
             trace=trace,

@@ -23,7 +23,10 @@ Subcommands:
   micro-batching, tiered caches) on an HTTP port.
 * ``campaign``  — ``run``/``resume``/``report`` resumable
   multi-objective search campaigns (workloads × rewrites × hardware ×
-  strategies × objectives) with a journaled evaluation checkpoint.
+  strategies × objectives) with a journaled evaluation checkpoint;
+  ``--timeline FILE`` writes a Perfetto-loadable sidecar.
+* ``stats``     — print the unified telemetry snapshot (local process
+  or a running server's ``/metrics`` via ``--remote``).
 
 Example::
 
@@ -649,6 +652,7 @@ def _campaign_predictor(args: argparse.Namespace, spec):
 def _run_campaign(args: argparse.Namespace, resume: bool) -> int:
     from .campaign import CampaignReport, CampaignRunner, load_spec
     from .errors import CampaignInterrupted, ReproError
+    from .telemetry import TRACER, TimelineRecorder
 
     try:
         spec = load_spec(args.spec)
@@ -656,13 +660,34 @@ def _run_campaign(args: argparse.Namespace, resume: bool) -> int:
         raise SystemExit(f"error: {exc}") from None
     predictor = _campaign_predictor(args, spec)
     runner = CampaignRunner(spec, args.journal, predictor=predictor)
+    # The timeline is a *sidecar*: the journal stays byte-identical
+    # with or without --timeline (REPRO004 — no timestamps inside).
+    recorder = TimelineRecorder(TRACER) if args.timeline else None
+
+    def write_timeline() -> None:
+        if recorder is not None and recorder.spans:
+            events = recorder.write(args.timeline)
+            print(
+                f"timeline: {events} events -> {args.timeline}",
+                file=sys.stderr,
+            )
+
     try:
-        result = runner.run(
-            resume=resume,
-            overwrite=getattr(args, "overwrite", False),
-            max_evaluations=args.max_evals,
-        )
+        if recorder is not None:
+            with recorder:
+                result = runner.run(
+                    resume=resume,
+                    overwrite=getattr(args, "overwrite", False),
+                    max_evaluations=args.max_evals,
+                )
+        else:
+            result = runner.run(
+                resume=resume,
+                overwrite=getattr(args, "overwrite", False),
+                max_evaluations=args.max_evals,
+            )
     except CampaignInterrupted as exc:
+        write_timeline()
         print(f"interrupted: {exc}", file=sys.stderr)
         # The hint must rebuild the *same* predictor: a missing --tier
         # or --seed would load the checkpoint under a different config,
@@ -679,6 +704,7 @@ def _run_campaign(args: argparse.Namespace, resume: bool) -> int:
         return 3
     except ReproError as exc:
         raise SystemExit(f"error: {exc}") from None
+    write_timeline()
     print(json.dumps(result.summary(), indent=2))
     try:
         report = CampaignReport.from_journal(args.journal, spec)
@@ -698,6 +724,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
 
 def cmd_campaign_report(args: argparse.Namespace) -> int:
     from .campaign import CampaignReport, load_spec
+    from .campaign.journal import CampaignJournal
     from .errors import ReproError
 
     try:
@@ -705,10 +732,38 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
         report = CampaignReport.from_journal(args.journal, spec)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}") from None
+    if args.timeline:
+        # Journals are timestamp-free by design, so the report renders
+        # a *logical* timeline: one tick per journaled evaluation,
+        # laned by cell id.
+        from .telemetry import write_journal_timeline
+
+        try:
+            records = CampaignJournal.read_records(args.journal)
+        except ReproError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        events = write_journal_timeline(records, args.timeline)
+        print(f"timeline: {events} events -> {args.timeline}", file=sys.stderr)
     if args.json:
         print(report.to_json())
     else:
         print(report.table())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the unified telemetry snapshot — the local process's, or a
+    running server's ``/metrics`` (``--remote URL``)."""
+    if args.remote:
+        from .serve import ServeClient
+
+        client = ServeClient(args.remote)
+        snapshot = client.stats() if args.legacy else client.metrics()
+    else:
+        from . import telemetry
+
+        snapshot = telemetry.snapshot()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
     return 0
 
 
@@ -967,6 +1022,11 @@ def build_parser() -> argparse.ArgumentParser:
                 help="stop after N fresh ground-truth evaluations (exit 3; "
                      "the journal keeps the finished prefix for resume)",
             )
+        p.add_argument(
+            "--timeline", default=None, metavar="FILE",
+            help="write a Chrome-trace (Perfetto-loadable) timeline sidecar; "
+                 "the journal itself stays byte-identical",
+        )
 
     campaign_run = campaign_sub.add_parser(
         "run", help="execute a campaign from scratch, journaling every evaluation"
@@ -999,6 +1059,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="results")
     report.add_argument("--out", default=None)
     report.set_defaults(func=cmd_report)
+
+    stats = sub.add_parser(
+        "stats", help="print the unified telemetry snapshot (local process "
+                      "or a running 'repro serve')"
+    )
+    stats.add_argument("--remote", default=None, metavar="URL",
+                       help="read a running server's /metrics instead")
+    stats.add_argument("--legacy", action="store_true",
+                       help="with --remote: fetch the legacy /stats layout")
+    stats.set_defaults(func=cmd_stats)
 
     workloads = sub.add_parser("workloads", help="list bundled benchmark suites")
     workloads.add_argument(

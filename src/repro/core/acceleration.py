@@ -11,13 +11,13 @@ segment instead of the whole sequence.
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..nn import Tensor, no_grad
+from ..telemetry import clock
 from ..tokenizer import ModelInput
 from .model import CostModel
 from .numeric_head import NumericPrediction
@@ -183,7 +183,7 @@ class CachedPredictor:
         beam_width: Optional[int] = None,
     ) -> NumericPrediction:
         """Predict *metric* with segment-level caching."""
-        start = time.perf_counter()
+        start = clock.now()
         if self.mode == "exact":
             key = self._exact_key(bundle)
             pooled_vector = self._lookup(key) if self.enabled else None
@@ -202,7 +202,7 @@ class CachedPredictor:
                 Tensor(pooled_vector),
                 beam_width=beam_width or self.model.config.beam_width,
             )
-            elapsed = time.perf_counter() - start
+            elapsed = clock.now() - start
             self.stats.last_latency_s = elapsed
             self.stats.latencies.append(elapsed)
             return prediction
@@ -240,7 +240,7 @@ class CachedPredictor:
         prediction = self.model.heads[metric].predict(
             pooled, beam_width=beam_width or self.model.config.beam_width
         )
-        elapsed = time.perf_counter() - start
+        elapsed = clock.now() - start
         self.stats.last_latency_s = elapsed
         self.stats.latencies.append(elapsed)
         return prediction

@@ -17,7 +17,17 @@ import numpy as np
 from ..errors import ModelConfigError
 from ..nn import Module, Tensor, TransformerConfig, TransformerEncoder, concat, no_grad
 from ..profiler import METRICS, STATIC_METRICS
+from ..telemetry import METRICS as TELEMETRY_METRICS
+from ..telemetry import SIZE_BUCKETS, TRACER, clock
 from ..tokenizer import ModelInput, NumericMode, ProgressiveTokenizer, TokenizedInput, VOCAB
+
+_ENCODE_BATCH_SIZE = TELEMETRY_METRICS.histogram(
+    "model.encode.batch_size", SIZE_BUCKETS
+)
+_ENCODE_CHUNK_SIZE = TELEMETRY_METRICS.histogram(
+    "model.encode.chunk_size", SIZE_BUCKETS
+)
+_ENCODE_MS = TELEMETRY_METRICS.histogram("model.encode.ms")
 from .numeric_codec import NumericCodec
 from .numeric_head import DigitClassificationHead, NumericPrediction
 from .separation import build_separation_mask
@@ -189,6 +199,8 @@ class CostModel(Module):
         bundles = list(bundles)
         if not bundles:
             raise ModelConfigError("encode_batch requires at least one bundle")
+        _ENCODE_BATCH_SIZE.observe(len(bundles))
+        start = clock.now()
         per_bundle = self._broadcast_segments(class_i_segments, len(bundles))
         tokenized = [self.tokenize(bundle) for bundle in bundles]
         masks = [
@@ -198,7 +210,13 @@ class CostModel(Module):
         limit = self.encoder.config.max_seq_len
         lengths = [min(len(tok), limit) for tok in tokenized]
         if len(bundles) <= 1:
-            return self._encode_batch_padded(tokenized, masks, lengths)
+            _ENCODE_CHUNK_SIZE.observe(len(bundles))
+            with TRACER.span(
+                "model.encode", {"batch_size": len(bundles), "chunks": 1}
+            ):
+                pooled = self._encode_batch_padded(tokenized, masks, lengths)
+            _ENCODE_MS.observe((clock.now() - start) * 1000.0)
+            return pooled
         heads = self.encoder.config.heads
         order = sorted(range(len(bundles)), key=lambda index: lengths[index])
         chunks: list[list[int]] = []
@@ -211,14 +229,21 @@ class CostModel(Module):
                 current = []
             current.append(index)
         chunks.append(current)
-        pooled_chunks = [
-            self._encode_batch_padded(
-                [tokenized[i] for i in chunk],
-                [masks[i] for i in chunk],
-                [lengths[i] for i in chunk],
-            )
-            for chunk in chunks
-        ]
+        with TRACER.span(
+            "model.encode",
+            {"batch_size": len(bundles), "chunks": len(chunks)},
+        ):
+            pooled_chunks = []
+            for chunk in chunks:
+                _ENCODE_CHUNK_SIZE.observe(len(chunk))
+                pooled_chunks.append(
+                    self._encode_batch_padded(
+                        [tokenized[i] for i in chunk],
+                        [masks[i] for i in chunk],
+                        [lengths[i] for i in chunk],
+                    )
+                )
+        _ENCODE_MS.observe((clock.now() - start) * 1000.0)
         flat_order = [index for chunk in chunks for index in chunk]
         stacked = concat(pooled_chunks, axis=0)
         if flat_order == sorted(flat_order):

@@ -8,7 +8,6 @@ available through :class:`repro.nn.LoRALinear` for the heads).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -16,6 +15,7 @@ import numpy as np
 
 from ..errors import DatasetError
 from ..nn import AdamW
+from ..telemetry import TRACER, clock
 from ..tokenizer import ModelInput
 from .model import CostModel
 
@@ -134,34 +134,37 @@ def train_cost_model(
     lengths = None
     if config.batch_size > 1:
         lengths = [len(model.tokenize(example.bundle)) for example in examples]
-    start = time.perf_counter()
-    for _ in range(config.epochs):
+    start = clock.now()
+    for epoch in range(config.epochs):
         if config.shuffle:
             rng.shuffle(order)
         epoch_loss = 0.0
         epoch_examples = 0
-        for batch_indices in _bucketed_batches(order, lengths, config, rng):
-            batch = [examples[index] for index in batch_indices]
-            optimizer.zero_grad()
-            per_example = model.loss_batch(
-                [example.bundle for example in batch],
-                [example.targets for example in batch],
-                [list(example.class_i_segments) or None for example in batch],
-            )
-            per_example.mean().backward()
-            optimizer.clip_grad_norm(config.grad_clip)
-            optimizer.step()
-            # The scheduler advances *after* the update, so update k
-            # applies lr_at(k - 1): the warmup ramp starts at its
-            # initial (nonzero) rate instead of being consumed one
-            # step early (see Scheduler.start).
-            if scheduler is not None:
-                scheduler.step()
-            epoch_loss += float(per_example.data.sum())
-            epoch_examples += len(batch)
-            history.examples_seen += len(batch)
-        # Average over the examples actually seen this epoch, not the
-        # nominal corpus size, so partial epochs stay comparable.
-        history.epoch_losses.append(epoch_loss / max(1, epoch_examples))
-    history.wall_seconds = time.perf_counter() - start
+        with TRACER.span("train.epoch", {"epoch": epoch}) as span:
+            for batch_indices in _bucketed_batches(order, lengths, config, rng):
+                batch = [examples[index] for index in batch_indices]
+                optimizer.zero_grad()
+                per_example = model.loss_batch(
+                    [example.bundle for example in batch],
+                    [example.targets for example in batch],
+                    [list(example.class_i_segments) or None for example in batch],
+                )
+                per_example.mean().backward()
+                optimizer.clip_grad_norm(config.grad_clip)
+                optimizer.step()
+                # The scheduler advances *after* the update, so update k
+                # applies lr_at(k - 1): the warmup ramp starts at its
+                # initial (nonzero) rate instead of being consumed one
+                # step early (see Scheduler.start).
+                if scheduler is not None:
+                    scheduler.step()
+                epoch_loss += float(per_example.data.sum())
+                epoch_examples += len(batch)
+                history.examples_seen += len(batch)
+            # Average over the examples actually seen this epoch, not
+            # the nominal corpus size, so partial epochs stay comparable.
+            mean_loss = epoch_loss / max(1, epoch_examples)
+            span.set_attr("loss", round(mean_loss, 6))
+        history.epoch_losses.append(mean_loss)
+    history.wall_seconds = clock.now() - start
     return history

@@ -14,7 +14,6 @@ Reproduces the paper's experimental protocol:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -55,6 +54,7 @@ from ..profiler import (
     Profiler,
     StaticProfileCache,
 )
+from ..telemetry import clock
 from ..workloads import Workload
 from .metrics import ape
 
@@ -517,11 +517,11 @@ class EvaluationHarness:
                         workload.name, self.config.eval_params
                     )
                     row = rows[workload.name]
-                    start = time.perf_counter()
+                    start = clock.now()
                     predictions = self._predict_all(
                         model_name, model, workload, params, metrics, row
                     )
-                    row.latency_s = time.perf_counter() - start
+                    row.latency_s = clock.now() - start
                     row.predictions = predictions
             result.results[model_name] = rows
         return result
@@ -542,7 +542,7 @@ class EvaluationHarness:
         segment_lists = []
         # Timer covers bundle construction too, so latency_s stays
         # comparable with the baselines' per-workload timed path.
-        start = time.perf_counter()
+        start = clock.now()
         for workload in workloads:
             params = (params_for or {}).get(workload.name, self.config.eval_params)
             think = ""
@@ -569,7 +569,7 @@ class EvaluationHarness:
                 bundles, class_i_segments=segment_lists, beam_width=5
             )
             metric_rows = [costs.per_metric for costs in costs_list]
-        per_workload_s = (time.perf_counter() - start) / max(1, len(workloads))
+        per_workload_s = (clock.now() - start) / max(1, len(workloads))
         for workload, per_metric in zip(workloads, metric_rows):
             row = rows[workload.name]
             for metric, pred in per_metric.items():

@@ -13,6 +13,13 @@ their estimated sequence length and greedily chunked so one bucket's
 attention score tensor stays within the score budget, mirroring the
 chunking ``encode_batch`` applies internally — short requests are never
 padded out to the longest outlier in the batch.
+
+Telemetry: every submitted item carries its enqueue time and the
+caller's :class:`~repro.telemetry.trace.SpanContext` across the queue,
+so the worker can emit a per-request ``serve.batch.queue_wait`` span
+*inside the caller's trace* and feed the
+``serve.batch.queue_wait_ms`` / ``serve.batch.size`` histograms — the
+exact data that diagnoses the mean-batch-size gap (`BENCH_serve.json`).
 """
 
 from __future__ import annotations
@@ -22,38 +29,64 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from queue import Empty, Queue
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, NamedTuple, Optional, Sequence
 
 from ..errors import ServeError
+from ..telemetry import METRICS, SIZE_BUCKETS, TRACER, clock
+from ..telemetry.trace import SpanContext
+
+_QUEUE_WAIT_MS = METRICS.histogram("serve.batch.queue_wait_ms")
+_BATCH_SIZE = METRICS.histogram("serve.batch.size", SIZE_BUCKETS)
+_FLUSH_MS = METRICS.histogram("serve.batch.flush_ms")
+
+
+class _Entry(NamedTuple):
+    """One queued request with its telemetry context."""
+
+    item: Any
+    future: Future
+    ctx: Optional[SpanContext]
+    enqueued: float
 
 
 @dataclass
 class BatchStats:
-    """Flush-side counters, including the batch-size histogram."""
+    """Flush-side counters, including the batch-size histogram.
+
+    ``record()`` runs on the batcher worker thread while ``as_dict()``
+    serves concurrent ``/stats`` requests from HTTP handler threads, so
+    both take the same lock — iterating ``size_histogram`` unlocked
+    races its mutation (RuntimeError: dict changed size).
+    """
 
     batches: int = 0
     requests: int = 0
     size_histogram: dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, size: int) -> None:
-        self.batches += 1
-        self.requests += size
-        self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+        with self._lock:
+            self.batches += 1
+            self.requests += size
+            self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
 
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "batches": self.batches,
-            "requests": self.requests,
-            "mean_batch_size": round(self.mean_batch_size, 2),
-            "size_histogram": {
-                str(size): count
-                for size, count in sorted(self.size_histogram.items())
-            },
-        }
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "requests": self.requests,
+                "mean_batch_size": round(self.mean_batch_size, 2),
+                "size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.size_histogram.items())
+                },
+            }
 
 
 class MicroBatcher:
@@ -94,11 +127,16 @@ class MicroBatcher:
     # -- submission ------------------------------------------------------
 
     def submit(self, item: Any) -> Future:
-        """Enqueue one request; the future resolves after its flush."""
+        """Enqueue one request; the future resolves after its flush.
+
+        The caller's active span context (if any) rides along, so the
+        worker's flush spans join the caller's trace."""
         if self._closed.is_set():
             raise ServeError("batcher is closed")
         future: Future = Future()
-        self._queue.put((item, future))
+        self._queue.put(
+            _Entry(item, future, TRACER.current_context(), clock.now())
+        )
         return future
 
     def close(self, timeout: Optional[float] = None) -> None:
@@ -119,8 +157,8 @@ class MicroBatcher:
                 entry = self._queue.get_nowait()
             except Empty:
                 return
-            if entry is not None and not entry[1].done():
-                entry[1].set_exception(ServeError("batcher is closed"))
+            if entry is not None and not entry.future.done():
+                entry.future.set_exception(ServeError("batcher is closed"))
 
     # -- worker ----------------------------------------------------------
 
@@ -132,9 +170,11 @@ class MicroBatcher:
             elif self._closed.is_set() and self._queue.empty():
                 return
 
-    def _collect(self) -> list[tuple[Any, Future]]:
+    def _collect(self) -> list[_Entry]:
         """Block for the first request, then gather until ``max_batch``
         items arrived or ``max_wait_ms`` elapsed since the first."""
+        # Deadline arithmetic deliberately stays on the raw monotonic
+        # clock: it must keep ticking with telemetry fully disabled.
         try:
             first = self._queue.get(timeout=0.05)
         except Empty:
@@ -142,9 +182,9 @@ class MicroBatcher:
         if first is None:
             return []
         batch = [first]
-        deadline = time.monotonic() + self.max_wait_s
+        deadline = time.monotonic() + self.max_wait_s  # lint: allow-wallclock
         while len(batch) < self.max_batch:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - time.monotonic()  # lint: allow-wallclock
             if remaining <= 0:
                 break
             try:
@@ -156,17 +196,15 @@ class MicroBatcher:
             batch.append(entry)
         return batch
 
-    def _buckets(
-        self, batch: list[tuple[Any, Future]]
-    ) -> list[list[tuple[Any, Future]]]:
+    def _buckets(self, batch: list[_Entry]) -> list[list[_Entry]]:
         if self._length_of is None or self._score_budget is None or len(batch) <= 1:
             return [batch]
-        order = sorted(batch, key=lambda entry: self._length_of(entry[0]))
-        buckets: list[list[tuple[Any, Future]]] = []
-        current: list[tuple[Any, Future]] = []
+        order = sorted(batch, key=lambda entry: self._length_of(entry.item))
+        buckets: list[list[_Entry]] = []
+        current: list[_Entry] = []
         for entry in order:
             # Ascending lengths: the newest member sets the padded width.
-            cost = (len(current) + 1) * self._length_of(entry[0]) ** 2
+            cost = (len(current) + 1) * self._length_of(entry.item) ** 2
             if current and cost > self._score_budget:
                 buckets.append(current)
                 current = []
@@ -174,29 +212,54 @@ class MicroBatcher:
         buckets.append(current)
         return buckets
 
-    def _flush(self, batch: list[tuple[Any, Future]]) -> None:
+    def _flush(self, batch: list[_Entry]) -> None:
         try:
             buckets = self._buckets(batch)
         except BaseException as exc:  # a bad length_of must not kill the worker
-            for _, future in batch:
-                if not future.cancelled():
-                    future.set_exception(exc)
+            for entry in batch:
+                if not entry.future.cancelled():
+                    entry.future.set_exception(exc)
             return
         for bucket in buckets:
-            items = [item for item, _ in bucket]
+            flush_start = clock.now()
+            # Queue-wait lands in each request's own trace: the span the
+            # caller opened before submit() is the parent.
+            for entry in bucket:
+                _QUEUE_WAIT_MS.observe((flush_start - entry.enqueued) * 1000.0)
+                TRACER.record_span(
+                    "serve.batch.queue_wait",
+                    start=entry.enqueued,
+                    end=flush_start,
+                    context=entry.ctx,
+                )
+            _BATCH_SIZE.observe(len(bucket))
+            items = [entry.item for entry in bucket]
+            # The flush itself is one shared pass; its span nests under
+            # the first traced caller (batch-mates are recorded by id).
+            parent = next(
+                (entry.ctx for entry in bucket if entry.ctx is not None), None
+            )
+            attrs = {"batch_size": len(items)}
+            coalesced = {
+                entry.ctx.trace_id for entry in bucket if entry.ctx is not None
+            }
+            if len(coalesced) > 1:
+                attrs["coalesced_traces"] = sorted(coalesced)
             try:
-                results = list(self._flush_fn(items))
+                with TRACER.span("serve.batch.flush", attrs, context=parent):
+                    results = list(self._flush_fn(items))
                 if len(results) != len(items):
                     raise ServeError(
                         f"flush returned {len(results)} results "
                         f"for {len(items)} requests"
                     )
             except BaseException as exc:  # propagate to every caller
-                for _, future in bucket:
-                    if not future.cancelled():
-                        future.set_exception(exc)
+                for entry in bucket:
+                    if not entry.future.cancelled():
+                        entry.future.set_exception(exc)
                 continue
+            _FLUSH_MS.observe((clock.now() - flush_start) * 1000.0)
             self.stats.record(len(items))
-            for (_, future), result in zip(bucket, results):
-                if not future.cancelled():
-                    future.set_result(result)
+            for entry, result in zip(bucket, results):
+                if not entry.future.cancelled():
+                    entry.future.set_result(result)

@@ -9,6 +9,10 @@ The client implements the :class:`repro.api.Predictor` protocol
 so callers written against the protocol swap between a local
 :class:`repro.api.Session` and this remote client with a constructor
 change.
+
+When telemetry is enabled, every request runs inside a ``client.<path>``
+span whose trace id rides the ``X-Repro-Trace-Id`` header — the server
+joins that trace, so one id covers client → server → engine → batcher.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import urllib.request
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..errors import ServeError
+from ..telemetry import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..api.types import PredictJob, Prediction
@@ -39,9 +44,20 @@ class ServeClient:
     # -- transport -------------------------------------------------------
 
     def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        with TRACER.span(f"client.{path.lstrip('/')}") as handle:
+            return self._request_inner(path, payload, handle.context)
+
+    def _request_inner(
+        self, path: str, payload: Optional[dict], context
+    ) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if context is not None:
+            from ..telemetry.trace import SPAN_ID_HEADER, TRACE_ID_HEADER
+
+            headers[TRACE_ID_HEADER] = context.trace_id
+            headers[SPAN_ID_HEADER] = context.span_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -151,3 +167,15 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    def metrics(self) -> dict:
+        """The server's unified telemetry snapshot (``/metrics``)."""
+        return self._request("/metrics")
+
+    def traces(self) -> list[str]:
+        """Buffered trace ids on the server, oldest first."""
+        return self._request("/traces")["traces"]
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """The spans of one server-side trace."""
+        return self._request(f"/traces/{trace_id}")["spans"]

@@ -35,7 +35,15 @@ from ..hls import HardwareParams
 from ..lang import parse
 from ..nn import load_model
 from ..profiler import STATIC_METRICS, Profiler, StaticProfileCache
+from ..telemetry import METRICS as TELEMETRY_METRICS
+from ..telemetry import TRACER, clock
 from ..tokenizer import ModelInput
+
+_REQUESTS = TELEMETRY_METRICS.counter("serve.engine.requests")
+_RESULT_HITS = TELEMETRY_METRICS.counter("serve.engine.result_cache.hits")
+_RESULT_MISSES = TELEMETRY_METRICS.counter("serve.engine.result_cache.misses")
+_PROFILE_REQUESTS = TELEMETRY_METRICS.counter("serve.engine.profile_requests")
+_PREDICT_MS = TELEMETRY_METRICS.histogram("serve.engine.predict_ms")
 
 _WARMUP_BUNDLE = ModelInput(
     graph_text="void dataflow(int n) { }",
@@ -294,7 +302,11 @@ class PredictionEngine:
         """
         requests = list(requests)
         results: list[Optional[CostPrediction]] = [None] * len(requests)
-        with self._lock:
+        _REQUESTS.inc(len(requests))
+        with TRACER.span(
+            "engine.predict", {"requests": len(requests)}
+        ) as span, self._lock:
+            start = clock.now()
             self.stats.requests += len(requests)
             missing: dict[str, list[int]] = {}
             keys = [self._result_key(request) for request in requests]
@@ -306,12 +318,15 @@ class PredictionEngine:
                     results[index] = cached
                 else:
                     missing.setdefault(request.model, []).append(index)
+            hits = sum(1 for result in results if result is not None)
+            _RESULT_HITS.inc(hits)
             for model_name, indices in missing.items():
                 # Duplicate keys within one flush compute once.
                 fresh: dict[tuple[str, str], list[int]] = {}
                 for index in indices:
                     fresh.setdefault(keys[index], []).append(index)
                 self.stats.result_misses += len(fresh)
+                _RESULT_MISSES.inc(len(fresh))
                 batch = [requests[rows[0]] for rows in fresh.values()]
                 predictions = self._predict_batch(model_name, batch)
                 for (key, rows), prediction in zip(fresh.items(), predictions):
@@ -320,6 +335,8 @@ class PredictionEngine:
                         results[row] = prediction
                 while len(self._results) > self.max_result_entries:
                     self._results.pop(next(iter(self._results)))
+            span.set_attr("result_cache_hits", hits)
+            _PREDICT_MS.observe((clock.now() - start) * 1000.0)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
@@ -445,12 +462,14 @@ class PredictionEngine:
         """Ground-truth costs via the shared static-profile cache."""
         with self._lock:
             self.stats.profile_requests += 1
+        _PROFILE_REQUESTS.inc()
         profiler = Profiler(
             params or HardwareParams(),
             max_steps=max_steps,
             static_cache=self.static_cache,
         )
-        return profiler.profile(source, data=data or None).costs.as_dict()
+        with TRACER.span("engine.profile"):
+            return profiler.profile(source, data=data or None).costs.as_dict()
 
     # -- exploration -----------------------------------------------------
 

@@ -23,7 +23,15 @@ Endpoints (JSON in / JSON out):
   static-profile cache.
 * ``POST /explore`` — rank mapping candidates with the warm model.
 * ``GET /healthz`` — liveness + registered models.
-* ``GET /stats`` — engine, cache and batch-size statistics.
+* ``GET /stats`` — engine, cache and batch-size statistics (legacy
+  layout, now re-backed by the unified metrics registry).
+* ``GET /metrics`` — the full :mod:`repro.telemetry` registry snapshot.
+* ``GET /traces`` / ``GET /traces/<id>`` — buffered trace ids / the
+  spans of one trace.
+
+Incoming POSTs honour ``X-Repro-Trace-Id`` / ``X-Repro-Span-Id``: the
+server-side span joins the client's trace instead of starting its own,
+so one trace id spans client → server → engine → batcher.
 """
 
 from __future__ import annotations
@@ -31,13 +39,14 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Optional
 
 from ..core import CostPrediction
 from ..errors import ReproError, ServeError
 from ..hls import HardwareParams
+from ..telemetry import METRICS, TRACER, clock
+from ..telemetry.trace import SPAN_ID_HEADER, TRACE_ID_HEADER, SpanContext
 from .batching import MicroBatcher
 from .engine import PredictionEngine
 
@@ -107,29 +116,59 @@ class _Handler(BaseHTTPRequestHandler):
                 {
                     "status": "ok",
                     "models": owner.engine.registry.names(),
-                    "uptime_s": round(time.monotonic() - owner.started_at, 3),
+                    "uptime_s": round(clock.now() - owner.started_at, 3),
                 },
             )
         elif self.path == "/stats":
-            stats = owner.engine.stats_dict()
-            stats["batching"] = owner.batcher.stats.as_dict()
-            self._send_json(200, stats)
+            self._send_json(200, owner.stats_payload())
+        elif self.path == "/metrics":
+            self._send_json(200, METRICS.snapshot())
+        elif self.path == "/traces":
+            self._send_json(200, {"traces": TRACER.trace_ids()})
+        elif self.path.startswith("/traces/"):
+            trace_id = self.path[len("/traces/"):]
+            spans = TRACER.trace(trace_id)
+            if not spans:
+                self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
+            else:
+                self._send_json(
+                    200,
+                    {
+                        "trace_id": trace_id,
+                        "spans": [span.as_dict() for span in spans],
+                    },
+                )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _trace_context(self) -> Optional[SpanContext]:
+        """The caller's span context, if it sent trace headers."""
+        trace_id = self.headers.get(TRACE_ID_HEADER)
+        span_id = self.headers.get(SPAN_ID_HEADER)
+        if trace_id and span_id:
+            return SpanContext(trace_id=trace_id, span_id=span_id)
+        return None
 
     def do_POST(self) -> None:  # noqa: N802
         owner = self.server.owner
         try:
             payload = self._read_json()
-            if self.path == "/predict":
-                self._send_json(200, owner.handle_predict(payload))
-            elif self.path == "/profile":
-                self._send_json(200, owner.handle_profile(payload))
-            elif self.path == "/explore":
-                self._send_json(200, owner.handle_explore(payload))
-            else:
+            route = {
+                "/predict": owner.handle_predict,
+                "/profile": owner.handle_profile,
+                "/explore": owner.handle_explore,
+            }.get(self.path)
+            if route is None:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
+            # Joining the client's trace (when headers are present)
+            # makes every nested span — session, engine, batcher —
+            # share the id the client logged.
+            with TRACER.span(
+                f"server{self.path}", context=self._trace_context()
+            ):
+                response = route(payload)
+            self._send_json(200, response)
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             owner.engine.stats.errors += 1
             body = {"error": f"{type(exc).__name__}: {exc}"}
@@ -187,7 +226,7 @@ class PredictionServer:
         self.default_model = default_model or session.default_model
         self.request_timeout_s = request_timeout_s
         self.verbose = verbose
-        self.started_at = time.monotonic()
+        self.started_at = clock.now()
         self.batcher = MicroBatcher(
             self.engine.predict_requests,
             max_batch=max_batch,
@@ -200,6 +239,20 @@ class PredictionServer:
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._closed = False
+        # Absorb this server's stats islands into the unified registry
+        # (replace-by-name: a fresh server takes over the slots).
+        METRICS.register_collector("serve.engine", self.engine.stats_dict)
+        METRICS.register_collector("serve.batching", self.batcher.stats.as_dict)
+
+    def stats_payload(self) -> dict:
+        """The legacy ``/stats`` layout, served from the registry's
+        collected islands (one poll shared with ``/metrics``)."""
+        collected = METRICS.snapshot()["collected"]
+        stats = dict(collected.get("serve.engine") or self.engine.stats_dict())
+        stats["batching"] = collected.get(
+            "serve.batching"
+        ) or self.batcher.stats.as_dict()
+        return stats
 
     @staticmethod
     def _score_budget(engine: PredictionEngine, default_model: str) -> Optional[int]:
@@ -387,3 +440,11 @@ class PredictionServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self.batcher.close(timeout=30.0)
+        # Release the registry slots — unless a newer server already
+        # replaced them (its collectors must keep serving /metrics).
+        for name, fn in (
+            ("serve.engine", self.engine.stats_dict),
+            ("serve.batching", self.batcher.stats.as_dict),
+        ):
+            if METRICS.collector(name) == fn:
+                METRICS.unregister_collector(name)

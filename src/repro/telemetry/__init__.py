@@ -1,0 +1,89 @@
+"""``repro.telemetry`` — unified metrics, tracing and timeline export.
+
+The observability layer for the whole stack:
+
+* :mod:`~repro.telemetry.clock` — the one sanctioned wall-clock
+  (REPRO006: timing anywhere else in ``src/repro`` must route through
+  it);
+* :mod:`~repro.telemetry.metrics` — the process-wide
+  :class:`MetricsRegistry` of namespaced Counter/Gauge/Histogram
+  instruments plus collector adapters over the legacy stats islands;
+* :mod:`~repro.telemetry.trace` — span tracing with trace-id
+  propagation (client → HTTP header → server → engine → batcher) and a
+  bounded ring buffer of completed traces;
+* :mod:`~repro.telemetry.export` — JSONL and Chrome-trace (Perfetto)
+  sidecar files for campaign runs.
+
+Module-level singletons ``METRICS`` and ``TRACER`` are what the
+instrumented hot paths use; ``REPRO_TELEMETRY=off`` (or
+:func:`set_enabled`) turns every recording site into a near-free
+branch while :func:`clock.now` stays live for user-facing durations.
+"""
+
+from __future__ import annotations
+
+from . import clock
+from .clock import timed_call
+from .export import (
+    TimelineRecorder,
+    chrome_trace,
+    spans_to_jsonl,
+    timeline_from_journal,
+    write_chrome_trace,
+    write_journal_timeline,
+)
+from .metrics import (
+    DURATION_MS_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .state import STATE
+from .trace import Span, SpanContext, Tracer
+
+__all__ = [
+    "METRICS",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "TimelineRecorder",
+    "Tracer",
+    "DURATION_MS_BUCKETS",
+    "SIZE_BUCKETS",
+    "chrome_trace",
+    "clock",
+    "enabled",
+    "set_enabled",
+    "snapshot",
+    "spans_to_jsonl",
+    "timed_call",
+    "timeline_from_journal",
+    "write_chrome_trace",
+    "write_journal_timeline",
+]
+
+METRICS = MetricsRegistry()
+TRACER = Tracer()
+
+
+def enabled() -> bool:
+    """Whether telemetry recording is on for this process."""
+    return STATE.enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip recording on/off at runtime; returns the previous state."""
+    previous = STATE.enabled
+    STATE.enabled = bool(value)
+    return previous
+
+
+def snapshot() -> dict:
+    """The process-wide unified metrics snapshot (``/metrics`` body)."""
+    return METRICS.snapshot()

@@ -1,0 +1,38 @@
+"""The telemetry clock — the one place ``src/repro`` reads wall time.
+
+Every latency, duration and span timestamp in the library flows through
+these functions (enforced by lint rule ``REPRO006``), so the timing
+policy lives in exactly one module:
+
+* values derived from the clock never enter deterministic artifacts
+  (journals, codecs) — they stay in telemetry sidecars and stats;
+* the clock itself stays **live even when telemetry is disabled**:
+  callers that surface durations to users (trainer wall-seconds,
+  baseline latency columns) keep working with ``REPRO_TELEMETRY=off``;
+  only span/metric *recording* is switched off.
+
+``now()`` is monotonic and suitable for intervals; ``now_ms()`` is the
+same clock in milliseconds (the unit the histogram buckets use).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic seconds; subtract two calls for a duration."""
+    return time.perf_counter()
+
+
+def now_ms() -> float:
+    """Monotonic milliseconds (the histogram-bucket unit)."""
+    return time.perf_counter() * 1000.0
+
+
+def timed_call(fn, *args, **kwargs):
+    """``(result, elapsed_seconds)`` of one call — the shared timing
+    wrapper (baselines' ``timed_predict``, ad-hoc latency probes)."""
+    start = now()
+    result = fn(*args, **kwargs)
+    return result, now() - start

@@ -1,0 +1,181 @@
+"""Span export: JSONL sidecars and Chrome-trace (Perfetto) timelines.
+
+Two serializations of the same spans:
+
+* **JSONL** — one ``Span.as_dict()`` object per line; grep-able,
+  stream-appendable, the machine-readable sidecar.
+* **Chrome trace events** — a ``{"traceEvents": [...]}`` JSON document
+  loadable in Perfetto / ``chrome://tracing``; spans become complete
+  (``"ph": "X"``) events on one lane per producing thread.
+
+Both are **sidecar** files: they sit next to a campaign's journal but
+never inside it.  The journal stays a timestamp-free deterministic
+function of the spec (REPRO004), so a run with ``--timeline`` is
+byte-identical to one without.
+
+:func:`timeline_from_journal` is the time-free complement: it rebuilds
+a *logical* timeline (one tick per journaled evaluation, one lane per
+cell) from an existing journal, so ``campaign report --timeline`` can
+render any historical run without having traced it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from .trace import Span
+
+
+def spans_to_jsonl(spans: Sequence[Span], path: str) -> int:
+    """Write one span per line; returns the number written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def chrome_trace(spans: Sequence[Span]) -> dict:
+    """Spans → a Chrome trace-event document (Perfetto-loadable).
+
+    Timestamps are microseconds relative to the earliest span start;
+    each producing thread gets its own lane, named via ``thread_name``
+    metadata events.  Span attrs ride along in ``args`` together with
+    the trace/span ids, so a lane's events can be regrouped by trace
+    inside the viewer.
+    """
+    finished = [span for span in spans if span.end is not None]
+    if not finished:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    base = min(span.start for span in finished)
+    threads = {
+        name: index
+        for index, name in enumerate(
+            sorted({span.thread or "main" for span in finished}), start=1
+        )
+    }
+    events = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for name, tid in threads.items()
+    ]
+    for span in finished:
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+            if span.error:
+                args["error"] = span.error
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": 1,
+                "tid": threads[span.thread or "main"],
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round((span.end - span.start) * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> int:
+    """Write the Chrome trace document; returns the event count."""
+    document = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def timeline_from_journal(records: Sequence[dict]) -> dict:
+    """A logical (index-based) Chrome timeline from journal records.
+
+    Journals carry no timestamps by design, so each evaluation becomes
+    one unit-length event at its journal position, laned by cell id —
+    the order and per-cell distribution of work, without wall time.
+    """
+    cells: dict[str, int] = {}
+    events: list[dict] = []
+    tick = 0
+    for record in records:
+        if record.get("kind") != "eval":
+            continue
+        cell = str(record.get("cell", "?"))
+        if cell not in cells:
+            cells[cell] = len(cells) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": cells[cell],
+                    "args": {"name": cell},
+                }
+            )
+        args: dict = {"cell": cell, "design": record.get("design", "")}
+        actual = record.get("actual")
+        if isinstance(actual, dict):
+            args.update(actual)
+        events.append(
+            {
+                "ph": "X",
+                "name": "campaign.evaluate",
+                "cat": "campaign",
+                "pid": 1,
+                "tid": cells[cell],
+                "ts": tick * 1000.0,
+                "dur": 1000.0,
+                "args": args,
+            }
+        )
+        tick += 1
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_journal_timeline(records: Sequence[dict], path: str) -> int:
+    document = timeline_from_journal(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+class TimelineRecorder:
+    """Collects the spans completed during one scope for export.
+
+    ::
+
+        recorder = TimelineRecorder(tracer)
+        with recorder:
+            ...  # run the campaign
+        recorder.write(path)            # Chrome trace sidecar
+        recorder.write_jsonl(path2)     # JSONL sidecar
+    """
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._start_seq: Optional[int] = None
+        self.spans: list[Span] = []
+
+    def __enter__(self) -> "TimelineRecorder":
+        self._start_seq = self._tracer.seq
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.spans = self._tracer.spans_since(self._start_seq or 0)
+
+    def write(self, path: str) -> int:
+        return write_chrome_trace(self.spans, path)
+
+    def write_jsonl(self, path: str) -> int:
+        return spans_to_jsonl(self.spans, path)

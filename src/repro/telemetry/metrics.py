@@ -1,0 +1,256 @@
+"""Process-wide metrics registry: typed, namespaced instruments.
+
+Three instrument kinds, all thread-safe and cheap enough for hot paths:
+
+* :class:`Counter` — monotonically increasing count
+  (``serve.requests``, ``analysis.cache.hits``);
+* :class:`Gauge` — last-written value (``serve.models.loaded``);
+* :class:`Histogram` — fixed-bucket distribution with sum/count/min/max
+  (``serve.batch.queue_wait_ms``, ``model.encode.batch_size``).
+
+Instruments are created on first use (``registry.counter(name)``) and
+live for the process; names are dot-namespaced by subsystem.  Besides
+instruments, the registry absorbs the pre-existing ad-hoc stats islands
+(``PredictionEngine.stats_dict()``, ``BatchStats.as_dict()``, cache
+counters) through **collectors** — callables polled at snapshot time —
+so ``/metrics`` is one coherent view without rewriting every counter
+the codebase already keeps.
+
+Disabled mode (``REPRO_TELEMETRY=off``, or :func:`repro.telemetry.
+set_enabled`): instrument writes return after one attribute check, so
+instrumented hot paths pay nanoseconds, not lock traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Callable, Optional, Sequence
+
+from .state import STATE
+
+# Default buckets for *_ms histograms: sub-millisecond queue waits up
+# through multi-second campaign evaluations.
+DURATION_MS_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+# Default buckets for size-like histograms (batch sizes, chunk sizes).
+SIZE_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
+
+
+class Counter:
+    """Monotonic counter.  ``inc()`` is a no-op while telemetry is off."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def as_dict(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        if not STATE.enabled:
+            return
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail.  ``observe`` is O(log buckets) under one lock.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DURATION_MS_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf tail
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not STATE.enabled:
+            return
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            labels = [f"le_{bound:g}" for bound in self.buckets] + ["le_inf"]
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 6),
+                "mean": round(self.mean, 6),
+                "min": self._min,
+                "max": self._max,
+                "buckets": {
+                    label: count
+                    for label, count in zip(labels, self._counts)
+                    if count
+                },
+            }
+
+
+class MetricsRegistry:
+    """Name → instrument map plus the collector adapters.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and fail
+    loudly on a kind clash (one name cannot be both a counter and a
+    gauge).  ``register_collector`` absorbs an existing ``stats_dict``
+    island; collectors are replaced by name, so a fresh server
+    re-registering its engine does not leak the previous one.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DURATION_MS_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+
+    def register_collector(self, name: str, fn: Callable[[], dict]) -> None:
+        """Adopt a legacy stats island; polled at snapshot time."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    def collector(self, name: str) -> Optional[Callable[[], dict]]:
+        """The registered collector, if any (lets an owner check it
+        still holds a slot before unregistering on shutdown)."""
+        with self._lock:
+            return self._collectors.get(name)
+
+    def snapshot(self) -> dict:
+        """One coherent view: every instrument plus every absorbed
+        island, keyed by namespaced name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = dict(self._collectors)
+        out: dict = {
+            "enabled": STATE.enabled,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "collected": {},
+        }
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.as_dict()
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.as_dict()
+            else:
+                out["histograms"][name] = instrument.as_dict()
+        for name in sorted(collectors):
+            try:
+                out["collected"][name] = collectors[name]()
+            except Exception as exc:  # a dying island must not kill /metrics
+                out["collected"][name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument and drop the collectors (test/bench
+        isolation).  Instruments stay registered — modules cache them
+        in globals at import time, so dropping them here would orphan
+        those cached references from all future snapshots."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                if isinstance(instrument, Counter):
+                    with instrument._lock:
+                        instrument._value = 0
+                elif isinstance(instrument, Gauge):
+                    instrument._value = 0.0
+                else:
+                    with instrument._lock:
+                        instrument._counts = [0] * (len(instrument.buckets) + 1)
+                        instrument._sum = 0.0
+                        instrument._count = 0
+                        instrument._min = None
+                        instrument._max = None
+            self._collectors.clear()

@@ -1,0 +1,28 @@
+"""Shared telemetry on/off switch.
+
+One mutable flag object imported by every telemetry module (metrics
+instruments, the tracer) so a single check — ``STATE.enabled`` — gates
+all recording.  The flag is initialized from ``REPRO_TELEMETRY``
+(``off``/``0``/``false``/``no`` disable it; anything else, including
+unset, leaves it on) and can be flipped at runtime via
+:func:`repro.telemetry.set_enabled` (tests, the overhead bench).
+"""
+
+from __future__ import annotations
+
+import os
+
+_OFF_VALUES = {"off", "0", "false", "no", "disabled"}
+
+
+class _State:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = (
+            os.environ.get("REPRO_TELEMETRY", "on").strip().lower()
+            not in _OFF_VALUES
+        )
+
+
+STATE = _State()

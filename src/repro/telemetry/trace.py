@@ -1,0 +1,281 @@
+"""Span-based request tracing with propagated trace ids.
+
+A **span** is one timed operation (``server.predict``,
+``serve.batch.flush``, ``engine.predict``, ``model.encode``); spans
+nest through a context variable, so ``with tracer.span(...)`` inside an
+active span becomes its child automatically.  A **trace** is the tree
+of spans sharing one trace id — for a served prediction it stretches
+``ServeClient`` → HTTP header (``X-Repro-Trace-Id``) → server handler
+→ session/engine → micro-batcher flush, across threads, because the
+batcher carries each queued item's :class:`SpanContext` to the worker.
+
+Completed spans land in a bounded ring buffer (old traces fall off the
+end; a long-lived server never grows without bound) and are exposed at
+``/traces/<id>`` and through :mod:`repro.telemetry.export`.
+
+Disabled mode: :meth:`Tracer.span` returns one shared no-op handle —
+no ids, no clock reads, no allocation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict, deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from . import clock
+from .state import STATE
+
+
+# HTTP header names carrying a SpanContext across the serve boundary.
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+SPAN_ID_HEADER = "X-Repro-Span-Id"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of an active span."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+    thread: str = ""
+    seq: int = 0
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return (self.end - self.start) * 1000.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+            "duration_ms": (
+                round(self.duration_ms, 3) if self.end is not None else None
+            ),
+            "status": self.status,
+            "thread": self.thread,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+_CURRENT: ContextVar[Optional[SpanContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+class _SpanHandle:
+    """Context manager for one live span."""
+
+    __slots__ = ("_tracer", "span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._token = None
+
+    def set_attr(self, key: str, value) -> None:
+        self.span.attrs[key] = value
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.span.trace_id, self.span.span_id)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._token = _CURRENT.set(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self.span.end = clock.now()
+        if exc is not None:
+            self.span.status = "error"
+            self.span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._record(self.span)
+        # never suppress the exception
+
+
+class _NoopHandle:
+    """Shared do-nothing stand-in while telemetry is disabled."""
+
+    __slots__ = ()
+    span = None
+    context = None
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP = _NoopHandle()
+
+
+class Tracer:
+    """Span factory plus the bounded buffer of completed traces."""
+
+    def __init__(self, max_spans: int = 8192, max_traces: int = 256) -> None:
+        self.max_spans = max_spans
+        self.max_traces = max_traces
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # -- span creation ---------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        attrs: Optional[dict] = None,
+        context: Optional[SpanContext] = None,
+    ):
+        """A context manager opening one span.
+
+        Parentage: an explicit *context* (e.g. decoded from an HTTP
+        header or carried across a queue) wins; otherwise the innermost
+        active span on this execution context; otherwise a new root
+        trace is started.
+        """
+        if not STATE.enabled:
+            return _NOOP
+        parent = context if context is not None else _CURRENT.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = _new_id(), None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=_new_id(),
+            parent_id=parent_id,
+            start=clock.now(),
+            attrs=dict(attrs) if attrs else {},
+            thread=threading.current_thread().name,
+        )
+        return _SpanHandle(self, span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[dict] = None,
+        context: Optional[SpanContext] = None,
+    ) -> None:
+        """Record an already-timed interval as a completed span (the
+        micro-batcher's queue-wait, measured enqueue → flush)."""
+        if not STATE.enabled:
+            return
+        parent = context if context is not None else _CURRENT.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = _new_id(), None
+        self._record(
+            Span(
+                name=name,
+                trace_id=trace_id,
+                span_id=_new_id(),
+                parent_id=parent_id,
+                start=start,
+                end=end,
+                attrs=dict(attrs) if attrs else {},
+                thread=threading.current_thread().name,
+            )
+        )
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The innermost active span's context, if any (captured at
+        enqueue time to carry a trace across a thread boundary)."""
+        if not STATE.enabled:
+            return None
+        return _CURRENT.get()
+
+    # -- storage ---------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._seq += 1
+            span.seq = self._seq
+            self._spans.append(span)
+            bucket = self._traces.get(span.trace_id)
+            if bucket is None:
+                while len(self._traces) >= self.max_traces:
+                    self._traces.popitem(last=False)
+                bucket = []
+                self._traces[span.trace_id] = bucket
+            bucket.append(span)
+
+    # -- introspection ---------------------------------------------------
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Completed spans of one trace, in completion order."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        """Buffered trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def spans_since(self, seq: int) -> list[Span]:
+        """Completed spans with ``span.seq > seq`` (timeline export
+        collects exactly the spans of one run this way)."""
+        with self._lock:
+            return [span for span in self._spans if span.seq > seq]
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the newest completed span."""
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._traces.clear()

@@ -194,6 +194,82 @@ class TestDeterminismRule:
         assert findings == []
 
 
+class TestWallclockRule:
+    """REPRO006: direct wall-clock reads in ``repro`` outside the
+    telemetry package must route through ``repro.telemetry.clock``."""
+
+    def lint_at(self, tmp_path, source, parts):
+        directory = tmp_path.joinpath(*parts[:-1])
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / parts[-1]
+        path.write_text(textwrap.dedent(source))
+        return lint_repro.lint_file(path)
+
+    WALLCLOCK = """
+    import time
+
+    def stamp():
+        return time.perf_counter()
+    """
+
+    def test_wallclock_in_repro_flagged(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, self.WALLCLOCK, ("src", "repro", "core", "mod.py")
+        )
+        assert rules(findings) == ["REPRO006"]
+        assert "repro.telemetry.clock" in findings[0].message
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            ("src", "repro", "serve", "mod.py"),
+        )
+        assert rules(findings) == ["REPRO006"]
+
+    def test_telemetry_package_exempt(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, self.WALLCLOCK, ("src", "repro", "telemetry", "clock.py")
+        )
+        assert findings == []
+
+    def test_outside_repro_exempt(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, self.WALLCLOCK, ("scripts", "bench.py")
+        )
+        assert findings == []
+
+    def test_inline_waiver_respected(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            """
+            import time
+
+            def deadline(wait_s):
+                return time.monotonic() + wait_s  # lint: allow-wallclock
+            """,
+            ("src", "repro", "serve", "mod.py"),
+        )
+        assert findings == []
+
+    def test_batcher_deadline_is_the_only_live_waiver(self):
+        """The sanctioned exception stays narrow: exactly the
+        micro-batcher's deadline arithmetic carries the waiver."""
+        waived = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if lint_repro.WALLCLOCK_WAIVER in line:
+                    waived.append((path.name, number))
+        assert [name for name, _ in waived] == ["batching.py", "batching.py"]
+
+
 class TestAssertValidationRule:
     def test_catches_assert_on_parameter(self, tmp_path):
         # The trainer.py bug class: input validation that disappears

@@ -1,0 +1,313 @@
+"""Unit tests for :mod:`repro.telemetry` — instruments, spans, export,
+and the disabled mode's no-op guarantees."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    DURATION_MS_BUCKETS,
+    METRICS,
+    TRACER,
+    MetricsRegistry,
+    SpanContext,
+    TimelineRecorder,
+    Tracer,
+    chrome_trace,
+    clock,
+    spans_to_jsonl,
+    timed_call,
+    timeline_from_journal,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.clear()
+    yield
+    TRACER.clear()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self, registry):
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        assert registry.counter("a.b") is counter
+
+    def test_kind_clash_raises(self, registry):
+        registry.counter("x.y")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x.y")
+
+    def test_gauge_keeps_last_value(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(2)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_buckets_and_stats(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        out = hist.as_dict()
+        assert out["count"] == 4
+        assert out["sum"] == pytest.approx(555.5)
+        assert out["min"] == 0.5 and out["max"] == 500.0
+        assert out["buckets"] == {
+            "le_1": 1, "le_10": 1, "le_100": 1, "le_inf": 1,
+        }
+
+    def test_histogram_boundary_lands_in_bucket(self, registry):
+        hist = registry.histogram("edge", buckets=(10.0,))
+        hist.observe(10.0)  # upper bounds are inclusive
+        assert hist.as_dict()["buckets"] == {"le_10": 1}
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        registry.register_collector("island", lambda: {"k": 1})
+        snap = registry.snapshot()
+        assert snap["enabled"] is True
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["collected"] == {"island": {"k": 1}}
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_collector_error_is_contained(self, registry):
+        registry.register_collector("bad", lambda: 1 / 0)
+        registry.register_collector("good", lambda: {"ok": True})
+        snap = registry.snapshot()
+        assert "error" in snap["collected"]["bad"]
+        assert snap["collected"]["good"] == {"ok": True}
+
+    def test_collector_replace_and_unregister(self, registry):
+        registry.register_collector("slot", lambda: {"v": 1})
+        registry.register_collector("slot", lambda: {"v": 2})
+        assert registry.snapshot()["collected"]["slot"] == {"v": 2}
+        registry.unregister_collector("slot")
+        assert registry.snapshot()["collected"] == {}
+
+    def test_reset_zeroes_but_keeps_instruments(self, registry):
+        counter = registry.counter("kept")
+        counter.inc(5)
+        registry.register_collector("island", lambda: {})
+        registry.reset()
+        # The cached instrument object still feeds future snapshots.
+        counter.inc()
+        snap = registry.snapshot()
+        assert snap["counters"] == {"kept": 1}
+        assert snap["collected"] == {}
+
+    def test_default_buckets_cover_ms_range(self):
+        assert DURATION_MS_BUCKETS[0] <= 1.0 <= DURATION_MS_BUCKETS[-1]
+
+
+class TestTracer:
+    def test_nested_spans_share_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.span.trace_id == outer.span.trace_id
+                assert inner.span.parent_id == outer.span.span_id
+        spans = list(tracer)
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert all(s.end is not None for s in spans)
+
+    def test_explicit_context_wins(self):
+        tracer = Tracer()
+        ctx = SpanContext(trace_id="t" * 16, span_id="s" * 16)
+        with tracer.span("child", context=ctx) as handle:
+            assert handle.span.trace_id == ctx.trace_id
+            assert handle.span.parent_id == ctx.span_id
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = list(tracer)
+        assert span.status == "error"
+        assert "kaput" in span.error
+
+    def test_record_span_joins_given_context(self):
+        tracer = Tracer()
+        ctx = SpanContext(trace_id="abc", span_id="def")
+        tracer.record_span("waited", start=1.0, end=2.0, context=ctx)
+        (span,) = tracer.trace("abc")
+        assert span.parent_id == "def"
+        assert span.duration_ms == pytest.approx(1000.0)
+
+    def test_context_propagates_across_threads_via_capture(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(ctx):
+            with tracer.span("work", context=ctx) as handle:
+                seen["trace"] = handle.span.trace_id
+
+        with tracer.span("request") as handle:
+            thread = threading.Thread(
+                target=worker, args=(tracer.current_context(),)
+            )
+            thread.start()
+            thread.join()
+            assert seen["trace"] == handle.span.trace_id
+
+    def test_ring_buffer_bounds(self):
+        tracer = Tracer(max_spans=4, max_traces=2)
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        assert len(tracer) == 4
+        assert len(tracer.trace_ids()) == 2
+
+    def test_spans_since_collects_only_new_spans(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        seq = tracer.seq
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.spans_since(seq)] == ["after"]
+
+
+class TestExport:
+    def _spans(self, tracer):
+        with tracer.span("outer", {"k": "v"}):
+            with tracer.span("inner"):
+                pass
+        return list(tracer)
+
+    def test_chrome_trace_document(self):
+        tracer = Tracer()
+        spans = self._spans(tracer)
+        doc = chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert meta and meta[0]["name"] == "thread_name"
+        assert all(e["ts"] >= 0 for e in complete)
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["k"] == "v"
+        assert "trace_id" in outer["args"]
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        spans = self._spans(tracer)
+        path = tmp_path / "tl.json"
+        count = write_chrome_trace(spans, str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        spans = self._spans(tracer)
+        path = tmp_path / "spans.jsonl"
+        assert spans_to_jsonl(spans, str(path)) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {line["name"] for line in lines} == {"outer", "inner"}
+
+    def test_timeline_from_journal_lanes_by_cell(self):
+        records = [
+            {"kind": "header"},
+            {"kind": "eval", "cell": "a", "design": "d1", "actual": {"cycles": 3}},
+            {"kind": "eval", "cell": "b", "design": "d2", "actual": {"cycles": 4}},
+            {"kind": "eval", "cell": "a", "design": "d3", "actual": {"cycles": 5}},
+        ]
+        doc = timeline_from_journal(records)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+        assert complete[0]["tid"] == complete[2]["tid"]  # same cell, same lane
+        assert complete[0]["tid"] != complete[1]["tid"]
+        assert [e["ts"] for e in complete] == [0.0, 1000.0, 2000.0]
+        assert complete[0]["args"]["cycles"] == 3
+
+    def test_timeline_recorder_scopes_spans(self):
+        with TRACER.span("outside"):
+            pass
+        recorder = TimelineRecorder(TRACER)
+        with recorder:
+            with TRACER.span("inside"):
+                pass
+        assert [s.name for s in recorder.spans] == ["inside"]
+
+
+class TestDisabledMode:
+    @pytest.fixture()
+    def disabled(self):
+        previous = telemetry.set_enabled(False)
+        yield
+        telemetry.set_enabled(previous)
+
+    def test_instruments_noop(self, registry, disabled):
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+        counter.inc()
+        hist.observe(1.0)
+        assert counter.value == 0
+        assert hist.count == 0
+        assert registry.snapshot()["enabled"] is False
+
+    def test_spans_noop(self, disabled):
+        with TRACER.span("quiet") as handle:
+            assert handle.span is None
+            assert handle.context is None
+            handle.set_attr("k", "v")  # must not raise
+            assert TRACER.current_context() is None
+        TRACER.record_span("quiet", start=0.0, end=1.0)
+        assert len(TRACER) == 0
+
+    def test_same_noop_handle_is_shared(self, disabled):
+        assert TRACER.span("a") is TRACER.span("b")
+
+    def test_clock_stays_live(self, disabled):
+        result, elapsed = timed_call(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0.0
+        assert clock.now() > 0.0
+
+    def test_env_off_values(self, monkeypatch):
+        from repro.telemetry.state import _State
+
+        for value in ("off", "0", "false", "NO", " Disabled "):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert _State().enabled is False
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        assert _State().enabled is True
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert _State().enabled is True
+
+
+class TestTimedCall:
+    def test_passes_args_and_returns_pair(self):
+        result, elapsed = timed_call(lambda a, b=1: a + b, 2, b=3)
+        assert result == 5
+        assert elapsed >= 0.0
+
+    def test_baselines_share_one_wrapper(self):
+        from repro.baselines.common import TimedPredictMixin
+        from repro.baselines.gnnhls import GNNHLSModel
+        from repro.baselines.tenset_mlp import TensetMLPModel
+        from repro.baselines.tlp import TLPModel
+
+        for model_cls in (GNNHLSModel, TLPModel, TensetMLPModel):
+            assert issubclass(model_cls, TimedPredictMixin)
+            # No per-class override left behind.
+            assert "timed_predict" not in model_cls.__dict__
+
+    def test_process_metrics_registry_is_shared(self):
+        assert telemetry.snapshot()["enabled"] == telemetry.enabled()
+        assert isinstance(METRICS, MetricsRegistry)
