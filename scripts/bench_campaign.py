@@ -18,15 +18,13 @@ Exercises the two contracts the campaign subsystem exists for:
 
 Also reported: replay throughput (a completed journal re-run end to end
 with zero profiling — what ``campaign report`` and warm-restart cost),
-per-strategy hypervolume, and shared static-cache hit rates.  Results
-land in ``BENCH_campaign.json`` at the repo root so CI tracks the
-trajectory.
+per-strategy hypervolume, and shared static-cache hit rates.  The suite
+registers with :mod:`repro.obs.bench`, which owns the artifact
+(``BENCH_campaign.json``), the ledger and the sentinel.
 
 Run:  PYTHONPATH=src python scripts/bench_campaign.py [--smoke]
 """
 
-import argparse
-import json
 import os
 import sys
 import tempfile
@@ -51,8 +49,10 @@ from repro.core import (
     evaluate_point,
     train_cost_model,
 )
-from repro.errors import CampaignInterrupted
+from repro.errors import CampaignInterrupted, ObsError
 from repro.lang import parse
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, Option, \
+    bench_main, register_suite
 
 
 def build_spec(smoke: bool) -> CampaignSpec:
@@ -106,18 +106,10 @@ def adapt_model(spec: CampaignSpec, epochs: int) -> tuple[CostModel, int]:
     return model, len(examples)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="small grid for CI (acceleration reported, not gated)")
-    parser.add_argument("--epochs", type=int, default=None,
-                        help="adaptation epochs (default 8, smoke 3)")
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_campaign.json"))
-    args = parser.parse_args()
-
-    spec = build_spec(args.smoke)
-    epochs = args.epochs if args.epochs is not None else (3 if args.smoke else 8)
+def run(config: BenchConfig) -> BenchReport:
+    smoke = config.smoke
+    spec = build_spec(smoke)
+    epochs = config.opt("epochs", 3 if smoke else 8)
 
     print(f"adapting 0.5B model on half the candidate space ({epochs} epochs)",
           flush=True)
@@ -148,7 +140,7 @@ def main() -> int:
     cap = max(1, result.evaluated // 2)
     try:
         runner(journal_b).run(max_evaluations=cap)
-        raise SystemExit("bench error: expected the capped run to be interrupted")
+        raise ObsError("bench error: expected the capped run to be interrupted")
     except CampaignInterrupted:
         pass
     with open(journal_b, "ab") as handle:
@@ -165,7 +157,7 @@ def main() -> int:
           f"fresh + {resumed.replayed} replayed in {resume_s:.1f}s; "
           f"journal parity: {parity}", flush=True)
     if not parity:
-        raise SystemExit(
+        raise ObsError(
             "PARITY FAILURE: resumed journal differs from the uninterrupted "
             "run; refusing to report benchmark numbers"
         )
@@ -174,7 +166,11 @@ def main() -> int:
     start = time.perf_counter()
     replay = runner(journal_a).run(resume=True)
     replay_s = time.perf_counter() - start
-    assert replay.evaluated == 0 and replay.replayed == result.evaluated
+    if replay.evaluated != 0 or replay.replayed != result.evaluated:
+        raise ObsError(
+            f"replay ran {replay.evaluated} fresh evaluations (expected 0) "
+            f"and replayed {replay.replayed} (expected {result.evaluated})"
+        )
 
     # -- acceleration ------------------------------------------------------
     report = CampaignReport.from_journal(journal_a, spec)
@@ -204,56 +200,74 @@ def main() -> int:
     print(f"acceleration: model-guided reached every random best in "
           f"{guided_total} evaluations vs random's {random_total} "
           f"(reached everywhere: {reached_everywhere})", flush=True)
-    if not args.smoke and not accelerated:
-        raise SystemExit(
-            "ACCELERATION FAILURE: model-guided search did not reach the "
-            "random baseline's best objective with fewer ground-truth "
-            f"evaluations ({guided_total} vs {random_total})"
-        )
 
-    payload = {
-        "campaign": spec.name,
-        "mode": "smoke" if args.smoke else "full",
-        "cells": spec.cell_count,
-        "budget": spec.budget,
-        "adaptation_examples": n_examples,
-        "adaptation_epochs": epochs,
-        "adaptation_s": round(adapt_s, 2),
-        "evaluations": result.evaluated,
-        "fresh_run_s": round(fresh_s, 2),
-        "resume_fresh_evals": resumed.evaluated,
-        "resume_replayed_evals": resumed.replayed,
-        "resume_s": round(resume_s, 2),
-        "replay_s": round(replay_s, 2),
-        "replay_speedup": round(fresh_s / replay_s, 2) if replay_s else None,
-        "journal_parity": parity,
-        "acceleration": {
-            "gated": not args.smoke,
+    return BenchReport(
+        values={
+            "replay_speedup": round(fresh_s / replay_s, 2) if replay_s else 0.0,
             "model_guided_evals_total": guided_total,
-            "random_evals_total": random_total,
-            "reached_everywhere": reached_everywhere,
-            "accelerated": accelerated,
-            "per_cell": rows,
+            "fresh_run_s": round(fresh_s, 2),
         },
-        "hypervolume_by_strategy": {
-            strategy: round(
-                sum(
-                    cell.hypervolume
-                    for cell in report.cells
-                    if cell.cell.strategy == strategy
-                ),
-                2,
-            )
-            for strategy in spec.strategies
+        payload={
+            "campaign": spec.name,
+            "cells": spec.cell_count,
+            "budget": spec.budget,
+            "adaptation_examples": n_examples,
+            "adaptation_epochs": epochs,
+            "adaptation_s": round(adapt_s, 2),
+            "evaluations": result.evaluated,
+            "resume_fresh_evals": resumed.evaluated,
+            "resume_replayed_evals": resumed.replayed,
+            "resume_s": round(resume_s, 2),
+            "replay_s": round(replay_s, 2),
+            "acceleration": {
+                "gated": not smoke,
+                "model_guided_evals_total": guided_total,
+                "random_evals_total": random_total,
+                "reached_everywhere": reached_everywhere,
+                "accelerated": accelerated,
+                "per_cell": rows,
+            },
+            "hypervolume_by_strategy": {
+                strategy: round(
+                    sum(
+                        cell.hypervolume
+                        for cell in report.cells
+                        if cell.cell.strategy == strategy
+                    ),
+                    2,
+                )
+                for strategy in spec.strategies
+            },
         },
-    }
-    out = os.path.abspath(args.out)
-    with open(out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {out}")
-    return 0
+        gates={
+            "journal_parity": {"passed": parity},
+            "acceleration": {
+                # Gated in full mode only: the smoke grid is too small
+                # for the model-guided advantage to be reliable.
+                "passed": accelerated or smoke,
+                "gated": not smoke,
+                "model_guided_evals_total": guided_total,
+                "random_evals_total": random_total,
+            },
+        },
+    )
+
+
+register_suite(BenchSuite(
+    name="campaign",
+    description="campaign kill/resume byte-parity, replay throughput and "
+                "model-guided search acceleration",
+    metrics=(
+        Metric("replay_speedup", "x", "higher", portable=True),
+        Metric("model_guided_evals_total", "evals", "lower", portable=True),
+        Metric("fresh_run_s", "s", "lower", tolerance=0.3),
+    ),
+    run=run,
+    options=(
+        Option("--epochs", int, None, "adaptation epochs (default 8, smoke 3)"),
+    ),
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("campaign"))

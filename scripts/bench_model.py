@@ -16,15 +16,13 @@ The seed path is reconstructed faithfully inline (it no longer exists
 in the library); a parity gate enforces that it, the current
 single-example path and the batched path agree (identical predicted
 values, encodings/losses within 1e-9) before any number is reported.
-Results land in ``BENCH_model.json`` at the repo root so CI tracks the
-trajectory.
+The suite registers with :mod:`repro.obs.bench`, which owns the
+artifact (``BENCH_model.json``), the ledger and the sentinel.
 
 Run:  PYTHONPATH=src python scripts/bench_model.py [--tier 1B]
 """
 
-import argparse
 import copy
-import json
 import os
 import sys
 import time
@@ -41,6 +39,8 @@ from repro.core import (
     train_cost_model,
 )
 from repro.nn import AdamW, Tensor, concat, no_grad
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, Option, \
+    bench_main, register_suite
 from repro.profiler import STATIC_METRICS
 from repro.tokenizer import ModelInput
 from repro.workloads import modern_suite, polybench_suite
@@ -191,27 +191,22 @@ def build_inputs(model, max_seq_len):
     return bundles, segment_lists, targets, tokens
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tier", default="1B", choices=["0.5B", "1B", "8B"])
-    parser.add_argument("--max-seq-len", type=int, default=320)
-    parser.add_argument("--train-batch", type=int, default=8)
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timed sweeps per configuration (best taken)")
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_model.json"))
-    args = parser.parse_args()
+def run(config: BenchConfig) -> BenchReport:
+    tier = config.tier or "1B"
+    max_seq_len = config.opt("max_seq_len", 320)
+    train_batch = config.opt("train_batch", 8)
+    repeats = config.opt("repeats", 1 if config.smoke else 3)
 
     model = CostModel(
-        LLMulatorConfig(tier=args.tier, max_seq_len=args.max_seq_len, seed=0)
+        LLMulatorConfig(tier=tier, max_seq_len=max_seq_len, seed=0)
     )
-    bundles, segment_lists, targets, tokens = build_inputs(model, args.max_seq_len)
-    print(f"{len(bundles)} workload bundles, {tokens} tokens, tier {args.tier}",
+    bundles, segment_lists, targets, tokens = build_inputs(model, max_seq_len)
+    print(f"{len(bundles)} workload bundles, {tokens} tokens, tier {tier}",
           flush=True)
 
     def best_of(fn):
         times = []
-        for _ in range(args.repeats):
+        for _ in range(repeats):
             start = time.perf_counter()
             out = fn()
             times.append(time.perf_counter() - start)
@@ -280,54 +275,78 @@ def main() -> int:
     train_cost_model(
         copy.deepcopy(model),
         examples,
-        TrainingConfig(epochs=1, batch_size=args.train_batch),
+        TrainingConfig(epochs=1, batch_size=train_batch),
     )
     train_batched_s = time.perf_counter() - start
 
     parity = encode_diff < 1e-9 and predictions_equal and loss_diff < 1e-9
-    result = {
-        "workloads": len(bundles),
-        "tokens": tokens,
-        "tier": args.tier,
-        "single_path": "seed substrate: per-head attention loop, composite "
-                       "softmax/layernorm, per-example calls, grad always on",
-        "encode_single_s": round(seed_s, 3),
-        "encode_batched_s": round(batched_s, 3),
-        "encode_single_tok_s": round(tokens / seed_s, 1),
-        "encode_batched_tok_s": round(tokens / batched_s, 1),
+    values = {
         "speedup_encode": round(seed_s / batched_s, 2),
-        "predict_single_s": round(predict_seed_s, 3),
-        "predict_batched_s": round(predict_batched_s, 3),
-        "predict_single_tok_s": round(2 * tokens / predict_seed_s, 1),
-        "predict_batched_tok_s": round(2 * tokens / predict_batched_s, 1),
         "speedup_predict": round(predict_seed_s / predict_batched_s, 2),
-        "train_single_s": round(train_seed_s, 3),
-        "train_batched_s": round(train_batched_s, 3),
-        "train_single_tok_s": round(tokens / train_seed_s, 1),
-        "train_batched_tok_s": round(tokens / train_batched_s, 1),
         "speedup_train": round(train_seed_s / train_batched_s, 2),
-        "train_batch_size": args.train_batch,
-        "parity": parity,
-        "parity_detail": {
-            "encode_max_abs_diff": encode_diff,
-            "predictions_equal": predictions_equal,
-            "loss_max_abs_diff": loss_diff,
-        },
+        "encode_batched_tok_s": round(tokens / batched_s, 1),
+        "predict_batched_tok_s": round(2 * tokens / predict_batched_s, 1),
+        "train_batched_tok_s": round(tokens / train_batched_s, 1),
     }
-    with open(args.out, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
-    print(json.dumps(result, indent=2))
-    if not parity:
-        print("FAIL: batched and single paths disagree", file=sys.stderr)
-        return 1
-    best = max(result["speedup_encode"], result["speedup_predict"],
-               result["speedup_train"])
-    if best < 3.0:
-        print(f"WARN: best batched speedup {best}x below the 3x target",
-              file=sys.stderr)
-    return 0
+    if parity:
+        best = max(values["speedup_encode"], values["speedup_predict"],
+                   values["speedup_train"])
+        if best < 3.0:
+            print(f"WARN: best batched speedup {best}x below the 3x target",
+                  file=sys.stderr)
+    return BenchReport(
+        values=values,
+        payload={
+            "workloads": len(bundles),
+            "tokens": tokens,
+            "single_path": "seed substrate: per-head attention loop, composite "
+                           "softmax/layernorm, per-example calls, grad always on",
+            "encode_single_s": round(seed_s, 3),
+            "encode_batched_s": round(batched_s, 3),
+            "encode_single_tok_s": round(tokens / seed_s, 1),
+            "predict_single_s": round(predict_seed_s, 3),
+            "predict_batched_s": round(predict_batched_s, 3),
+            "predict_single_tok_s": round(2 * tokens / predict_seed_s, 1),
+            "train_single_s": round(train_seed_s, 3),
+            "train_batched_s": round(train_batched_s, 3),
+            "train_single_tok_s": round(tokens / train_seed_s, 1),
+            "train_batch_size": train_batch,
+        },
+        gates={
+            "parity": {
+                "passed": parity,
+                "encode_max_abs_diff": encode_diff,
+                "predictions_equal": predictions_equal,
+                "loss_max_abs_diff": loss_diff,
+            },
+        },
+    )
+
+
+register_suite(BenchSuite(
+    name="model",
+    description="cost-model throughput: seed single-example path vs "
+                "batched/fused path for encode, predict and train",
+    metrics=(
+        Metric("speedup_encode", "x", "higher", portable=True),
+        Metric("speedup_predict", "x", "higher", portable=True),
+        Metric("speedup_train", "x", "higher", portable=True),
+        Metric("encode_batched_tok_s", "tok/s", "higher"),
+        Metric("predict_batched_tok_s", "tok/s", "higher"),
+        Metric("train_batched_tok_s", "tok/s", "higher"),
+    ),
+    run=run,
+    options=(
+        Option("--max-seq-len", int, 320, "encoder sequence-length cap"),
+        Option("--train-batch", int, 8, "batched-trainer batch size"),
+        Option("--repeats", int, None,
+               "timed sweeps per configuration (best taken)"),
+    ),
+    tiers=("0.5B", "1B", "8B"),
+    default_tier="1B",
+    smoke_tier="0.5B",
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("model"))

@@ -11,15 +11,14 @@ DSE verification — under three configurations:
 3. ``batched``    — the same jobs through ``BatchProfiler``'s process
    pool.
 
-All three must produce identical cost vectors (the parity gate); the
-results land in ``BENCH_profiling.json`` at the repo root so CI tracks
-the trajectory.
+All three must produce identical cost vectors (the parity gate).  The
+suite registers with :mod:`repro.obs.bench`, which owns the artifact
+(``BENCH_profiling.json``), the history ledger and the regression
+sentinel.
 
 Run:  PYTHONPATH=src python scripts/bench_profiling.py [--repeats N]
 """
 
-import argparse
-import json
 import os
 import sys
 import time
@@ -28,6 +27,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, Option, \
+    bench_main, register_suite
 from repro.profiler import BatchProfiler, ProfileJob, Profiler, StaticProfileCache
 from repro.workloads import modern_suite, polybench_suite
 
@@ -43,22 +44,17 @@ def sweep_values(workload, repeats):
     return variants[:repeats]
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--repeats", type=int, default=6,
-                        help="input variants profiled per workload")
-    parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_profiling.json"))
-    args = parser.parse_args()
+def run(config: BenchConfig) -> BenchReport:
+    repeats = config.opt("repeats", 2 if config.smoke else 6)
+    workers = config.opt("workers", 2 if config.smoke else 4)
 
     workloads = polybench_suite() + modern_suite()
     plan = [
         (workload, data)
         for workload in workloads
-        for data in sweep_values(workload, args.repeats)
+        for data in sweep_values(workload, repeats)
     ]
-    print(f"{len(workloads)} workloads x {args.repeats} input variants "
+    print(f"{len(workloads)} workloads x {repeats} input variants "
           f"= {len(plan)} profiling jobs", flush=True)
 
     # Both paths get one untimed warmup profile per workload before the
@@ -102,7 +98,7 @@ def main() -> int:
     memoized_s = time.perf_counter() - start
 
     # Batched fan-out over the same jobs (cold worker caches).
-    batch = BatchProfiler(max_workers=args.workers, max_steps=1_500_000)
+    batch = BatchProfiler(max_workers=workers, max_steps=1_500_000)
     jobs = [ProfileJob(program=w.program, data=data) for w, data in plan]
     start = time.perf_counter()
     batch_reports = batch.profile_many(jobs)
@@ -112,37 +108,56 @@ def main() -> int:
     ]
 
     parity = seed_costs == new_costs == batch_costs
-    result = {
-        "jobs": len(plan),
-        "workloads": len(workloads),
-        "repeats_per_workload": args.repeats,
-        "one_shot_s": round(one_shot_s, 3),
-        "memoized_compiled_s": round(memoized_s, 3),
-        "cold_start_s": round(cold_start_s, 3),
-        "batched_s": round(batched_s, 3),
-        "one_shot_per_s": round(len(plan) / one_shot_s, 2),
-        "memoized_compiled_per_s": round(len(plan) / memoized_s, 2),
-        "batched_per_s": round(len(plan) / batched_s, 2),
-        "speedup_memoized_compiled": round(one_shot_s / memoized_s, 2),
-        "speedup_batched": round(one_shot_s / batched_s, 2),
-        "parity": parity,
-        "batch_workers": args.workers,
-    }
-    with open(args.out, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
-    print(json.dumps(result, indent=2))
-    if not parity:
-        print("FAIL: cost vectors differ between configurations", file=sys.stderr)
-        return 1
-    if result["speedup_memoized_compiled"] < 5.0:
-        print(
-            f"WARN: memoized+compiled speedup "
-            f"{result['speedup_memoized_compiled']}x below the 5x target",
-            file=sys.stderr,
-        )
-    return 0
+    speedup_memoized = round(one_shot_s / memoized_s, 2)
+    if parity and speedup_memoized < 5.0:
+        print(f"WARN: memoized+compiled speedup {speedup_memoized}x below "
+              "the 5x target", file=sys.stderr)
+    return BenchReport(
+        values={
+            "speedup_memoized_compiled": speedup_memoized,
+            "speedup_batched": round(one_shot_s / batched_s, 2),
+            "one_shot_per_s": round(len(plan) / one_shot_s, 2),
+            "memoized_compiled_per_s": round(len(plan) / memoized_s, 2),
+            "batched_per_s": round(len(plan) / batched_s, 2),
+        },
+        payload={
+            "jobs": len(plan),
+            "workloads": len(workloads),
+            "repeats_per_workload": repeats,
+            "one_shot_s": round(one_shot_s, 3),
+            "memoized_compiled_s": round(memoized_s, 3),
+            "cold_start_s": round(cold_start_s, 3),
+            "batched_s": round(batched_s, 3),
+            "batch_workers": workers,
+        },
+        gates={
+            "parity": {
+                "passed": parity,
+                "detail": "seed, memoized+compiled and batched cost "
+                          "vectors must be identical",
+            },
+        },
+    )
+
+
+register_suite(BenchSuite(
+    name="profiling",
+    description="profiling-substrate throughput: one-shot vs memoized+"
+                "compiled vs batched, with a cost-vector parity gate",
+    metrics=(
+        Metric("speedup_memoized_compiled", "x", "higher", portable=True),
+        Metric("speedup_batched", "x", "higher", portable=True),
+        Metric("one_shot_per_s", "jobs/s", "higher"),
+        Metric("memoized_compiled_per_s", "jobs/s", "higher"),
+        Metric("batched_per_s", "jobs/s", "higher"),
+    ),
+    run=run,
+    options=(
+        Option("--repeats", int, None, "input variants profiled per workload"),
+        Option("--workers", int, None, "batch profiler worker processes"),
+    ),
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("profiling"))

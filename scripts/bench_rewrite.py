@@ -17,14 +17,12 @@ Exercises the two contracts the rewrite engine exists for:
   cell whose best simulated cycle count is **strictly lower** than the
   best hardware-only cell from the same budget.
 
-Results land in ``BENCH_rewrite.json`` at the repo root so CI tracks
-the trajectory.
+The suite registers with :mod:`repro.obs.bench`, which owns the
+artifact (``BENCH_rewrite.json``), the ledger and the sentinel.
 
 Run:  PYTHONPATH=src python scripts/bench_rewrite.py [--smoke]
 """
 
-import argparse
-import json
 import os
 import sys
 import tempfile
@@ -39,8 +37,11 @@ from repro.campaign import (
     RewriteSpec,
     WorkloadSpec,
 )
+from repro.errors import ObsError
 from repro.hls import HardwareParams
 from repro.lang import parse
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, \
+    bench_main, register_suite
 from repro.profiler import Profiler
 from repro.rewrite import (
     REWRITE_KINDS,
@@ -113,7 +114,7 @@ def build_spec(smoke: bool) -> tuple[CampaignSpec, dict]:
             # admission: a rewrite enters the campaign only bit-verified
             replay = RewriteSequence(steps=sequence.steps).apply(source)
             if not bit_parity(source, replay.program):
-                raise SystemExit(
+                raise ObsError(
                     f"PARITY FAILURE: {name}: {sequence.describe()} diverged; "
                     "refusing to run the campaign on it"
                 )
@@ -193,18 +194,12 @@ def campaign_comparison(spec: CampaignSpec) -> list[dict]:
     return rows
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sweep for CI (win reported, not gated)")
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_rewrite.json"))
-    args = parser.parse_args()
-
+def run(config: BenchConfig) -> BenchReport:
+    smoke = config.smoke
     kernels = sorted(
         w.name for w in polybench_suite()
-    ) if not args.smoke else ["jacobi-2d", "atax"]
-    max_len, top_k = (2, 4) if not args.smoke else (1, 2)
+    ) if not smoke else ["jacobi-2d", "atax"]
+    max_len, top_k = (2, 4) if not smoke else (1, 2)
 
     print(f"parity sweep over {len(kernels)} polybench kernels "
           f"(max_len={max_len}, top_k={top_k})", flush=True)
@@ -217,17 +212,12 @@ def main() -> int:
     if parity["failures"]:
         for failure in parity["failures"]:
             print(f"PARITY FAILURE: {failure}", file=sys.stderr)
-        raise SystemExit(
+        raise ObsError(
             "parity sweep failed; refusing to report benchmark numbers"
         )
     missing = [k for k, n in parity["rejected_by_kind"].items() if n == 0]
-    if missing and not args.smoke:
-        raise SystemExit(
-            f"no rejected candidate for rule kind(s) {missing}; the "
-            "legality gate is not exercising them"
-        )
 
-    spec, chosen = build_spec(args.smoke)
+    spec, chosen = build_spec(smoke)
     print(f"campaign: {spec.cell_count} cells, budget {spec.budget}; "
           f"rewrites under test: {chosen}", flush=True)
     start = time.perf_counter()
@@ -239,31 +229,52 @@ def main() -> int:
               f"vs rewrite {row['rewrite_best_cycles']} "
               f"({row['best_rewrite']}) "
               f"{'WIN' if row['improved'] else 'no win'}", flush=True)
-    if not args.smoke and wins < 2:
-        raise SystemExit(
-            f"rewrite axis won on only {wins} kernel(s); the gate needs 2"
-        )
 
-    payload = {
-        "bench": "rewrite",
-        "mode": "smoke" if args.smoke else "full",
-        "parity": {k: v for k, v in parity.items() if k != "failures"},
-        "parity_seconds": round(parity_s, 2),
-        "campaign": {
-            "cells": spec.cell_count,
-            "budget": spec.budget,
-            "rewrites": chosen,
-            "comparison": rows,
+    return BenchReport(
+        values={
+            "sequences_checked": parity["sequences_checked"],
             "wins": wins,
-            "seconds": round(campaign_s, 2),
         },
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {os.path.abspath(args.out)}", flush=True)
-    return 0
+        payload={
+            "parity": {k: v for k, v in parity.items() if k != "failures"},
+            "parity_seconds": round(parity_s, 2),
+            "campaign": {
+                "cells": spec.cell_count,
+                "budget": spec.budget,
+                "rewrites": chosen,
+                "comparison": rows,
+                "seconds": round(campaign_s, 2),
+            },
+        },
+        gates={
+            "rejected_kind_coverage": {
+                # Full mode only: the smoke sweep is too small to hit
+                # every rule kind's rejection path.
+                "passed": not missing or smoke,
+                "gated": not smoke,
+                "missing_kinds": missing,
+            },
+            "campaign_wins": {
+                "passed": wins >= 2 or smoke,
+                "gated": not smoke,
+                "wins": wins,
+                "needed": 2,
+            },
+        },
+    )
+
+
+register_suite(BenchSuite(
+    name="rewrite",
+    description="rewrite-engine bit-parity sweep and rewrite-axis "
+                "campaign wins over hardware-only search",
+    metrics=(
+        Metric("sequences_checked", "seq", "higher", portable=True),
+        Metric("wins", "kernels", "higher", portable=True, tolerance=0.5),
+    ),
+    run=run,
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("rewrite"))

@@ -22,14 +22,13 @@ surface (a :class:`Session` owns the engine; clients speak the typed
 ``PredictJob``/``Prediction`` codec), so the parity gate exercises the
 exact path every frontend uses.  Every served prediction is
 parity-checked against the direct ``predict_costs`` values before any
-number is reported.  Results land in ``BENCH_serve.json`` at the repo
-root so CI tracks the trajectory.
+number is reported.  The suite registers with :mod:`repro.obs.bench`,
+which owns the artifact (``BENCH_serve.json``), the ledger and the
+sentinel.
 
 Run:  PYTHONPATH=src python scripts/bench_serve.py [--concurrency 8]
 """
 
-import argparse
-import json
 import os
 import sys
 import threading
@@ -41,6 +40,8 @@ import numpy as np
 
 from repro.api import PredictJob, Session
 from repro.core import CostModel, LLMulatorConfig
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, Option, \
+    bench_main, register_suite
 from repro.serve import PredictionServer, ServeClient
 from repro.workloads import modern_suite, polybench_suite
 
@@ -127,33 +128,37 @@ def run_served(server, client_streams, mix):
     return wall, latencies, responses, errors
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tier", default="0.5B", choices=["0.5B", "1B", "8B"])
-    parser.add_argument("--concurrency", type=int, default=8)
-    parser.add_argument("--requests-per-client", type=int, default=12)
-    parser.add_argument("--max-batch", type=int, default=8)
-    parser.add_argument("--max-wait-ms", type=float, default=10.0)
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_serve.json"))
-    args = parser.parse_args()
+def run(config: BenchConfig) -> BenchReport:
+    tier = config.tier or "0.5B"
+    concurrency = config.opt("concurrency", 4 if config.smoke else 8)
+    per_client = config.opt(
+        "requests_per_client", 4 if config.smoke else 12
+    )
+    max_batch = config.opt("max_batch", 8)
+    max_wait_ms = config.opt("max_wait_ms", 10.0)
 
-    model = CostModel(LLMulatorConfig(tier=args.tier, seed=0))
+    model = CostModel(LLMulatorConfig(tier=tier, seed=0))
     mix = build_mix()
     names = sorted(mix)
-    client_streams = request_stream(
-        names, args.concurrency, args.requests_per_client
-    )
+    client_streams = request_stream(names, concurrency, per_client)
     flat_stream = [name for stream in client_streams for name in stream]
     print(
         f"{len(names)} workloads, {len(flat_stream)} mixed requests, "
-        f"concurrency {args.concurrency}, tier {args.tier}",
+        f"concurrency {concurrency}, tier {tier}",
         flush=True,
     )
 
     # -- single-request baseline (same stream, one call at a time) -------
     direct_s, direct_predictions = run_direct(model, mix, flat_stream)
     direct_req_s = len(flat_stream) / direct_s
+
+    # Parity needs a direct value for every workload the unique sweep
+    # serves, including ones the seeded mixed stream never drew (which
+    # happens at smoke scale); fill those in outside the timed window.
+    missing = [name for name in names if name not in direct_predictions]
+    if missing:
+        _, extra = run_direct(model, mix, missing)
+        direct_predictions.update(extra)
 
     # -- served ----------------------------------------------------------
     # The served stack is built the way every frontend now builds it:
@@ -162,13 +167,13 @@ def main() -> int:
     server = PredictionServer(
         session=session,
         port=0,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
     ).start()
     try:
         # Phase 1 — unique sweep: each program once, batching gain only.
         unique_streams = [
-            names[index::args.concurrency] for index in range(args.concurrency)
+            names[index::concurrency] for index in range(concurrency)
         ]
         unique_wall, _, unique_responses, unique_errors = run_served(
             server, unique_streams, mix
@@ -196,48 +201,66 @@ def main() -> int:
 
     latencies_ms = sorted(1000.0 * value for value in latencies)
     speedup = mixed_req_s / direct_req_s
-    result = {
-        "workloads": len(names),
-        "tier": args.tier,
-        "concurrency": args.concurrency,
-        "requests": len(flat_stream),
-        "single_path": "per-request bundle build + predict_costs, no cache "
-                       "(the CLI shape, minus process start and model load)",
-        "single_req_s": round(direct_req_s, 2),
-        "served_unique_req_s": round(unique_req_s, 2),
-        "served_mixed_req_s": round(mixed_req_s, 2),
-        "speedup_unique": round(unique_req_s / direct_req_s, 2),
-        "speedup_mixed": round(speedup, 2),
-        "p50_latency_ms": round(latencies_ms[len(latencies_ms) // 2], 2)
-        if latencies_ms else None,
-        "p95_latency_ms": round(
-            latencies_ms[min(len(latencies_ms) - 1,
-                             int(0.95 * len(latencies_ms)))], 2
-        ) if latencies_ms else None,
-        "batch_size_histogram": stats["batching"]["size_histogram"],
-        "mean_batch_size": stats["batching"]["mean_batch_size"],
-        "result_cache": stats["result_cache"],
-        "parity": parity,
-        "parity_detail": {
-            "programs_checked": len(served),
-            "mismatches": len(mismatches),
-            "client_errors": errors[:5],
+    if parity and speedup < 2.0:
+        print(f"WARN: mixed served speedup {speedup:.2f}x below the 2x target",
+              file=sys.stderr)
+    return BenchReport(
+        values={
+            "speedup_unique": round(unique_req_s / direct_req_s, 2),
+            "speedup_mixed": round(speedup, 2),
+            "served_mixed_req_s": round(mixed_req_s, 2),
+            "p95_latency_ms": round(
+                latencies_ms[min(len(latencies_ms) - 1,
+                                 int(0.95 * len(latencies_ms)))], 2
+            ) if latencies_ms else 0.0,
+            "mean_batch_size": stats["batching"]["mean_batch_size"],
         },
-    }
-    with open(args.out, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
-    print(json.dumps(result, indent=2))
-    if not parity:
-        print("FAIL: served and direct predictions disagree", file=sys.stderr)
-        return 1
-    if speedup < 2.0:
-        print(
-            f"WARN: mixed served speedup {speedup:.2f}x below the 2x target",
-            file=sys.stderr,
-        )
-    return 0
+        payload={
+            "workloads": len(names),
+            "concurrency": concurrency,
+            "requests": len(flat_stream),
+            "single_path": "per-request bundle build + predict_costs, no cache "
+                           "(the CLI shape, minus process start and model load)",
+            "single_req_s": round(direct_req_s, 2),
+            "served_unique_req_s": round(unique_req_s, 2),
+            "p50_latency_ms": round(latencies_ms[len(latencies_ms) // 2], 2)
+            if latencies_ms else None,
+            "batch_size_histogram": stats["batching"]["size_histogram"],
+            "result_cache": stats["result_cache"],
+        },
+        gates={
+            "parity": {
+                "passed": parity,
+                "programs_checked": len(served),
+                "mismatches": len(mismatches),
+                "client_errors": errors[:5],
+            },
+        },
+    )
+
+
+register_suite(BenchSuite(
+    name="serve",
+    description="serve-path load: closed-loop clients through the "
+                "micro-batching server vs the single-request path",
+    metrics=(
+        Metric("speedup_unique", "x", "higher", portable=True),
+        Metric("speedup_mixed", "x", "higher", portable=True),
+        Metric("served_mixed_req_s", "req/s", "higher"),
+        Metric("p95_latency_ms", "ms", "lower", tolerance=0.5),
+        Metric("mean_batch_size", "req", "higher", tolerance=0.5),
+    ),
+    run=run,
+    options=(
+        Option("--concurrency", int, None, "closed-loop client count"),
+        Option("--requests-per-client", int, None, "mixed-phase stream length"),
+        Option("--max-batch", int, 8, "server micro-batch cap"),
+        Option("--max-wait-ms", float, 10.0, "server micro-batch window"),
+    ),
+    tiers=("0.5B", "1B", "8B"),
+    default_tier="0.5B",
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("serve"))

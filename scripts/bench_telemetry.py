@@ -24,15 +24,13 @@ Three measurements, two gates:
   timing gate, but the run must populate the queue-wait and
   batch-size histograms — the numbers this layer exists to produce.
 
-Results land in ``BENCH_telemetry.json`` at the repo root; any gate
-failure exits non-zero so CI hard-fails.  ``--smoke`` shrinks the
-iteration counts for the CI lane.
+The suite registers with :mod:`repro.obs.bench`, which owns the
+artifact (``BENCH_telemetry.json``), the ledger and the sentinel.
+``--smoke`` shrinks the iteration counts for the CI lane.
 
 Run:  PYTHONPATH=src python scripts/bench_telemetry.py [--smoke]
 """
 
-import argparse
-import json
 import os
 import statistics
 import sys
@@ -43,6 +41,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import telemetry
 from repro.core import CostModel, LLMulatorConfig, bundle_from_program
+from repro.errors import ObsError
+from repro.obs.bench import BenchConfig, BenchReport, BenchSuite, Metric, Option, \
+    bench_main, register_suite
 from repro.serve import PredictionEngine, PredictionServer, ServeClient
 from repro.telemetry import METRICS, TRACER, MetricsRegistry, Tracer
 
@@ -190,32 +191,27 @@ def bench_serve_stream(model, concurrency: int, per_client: int) -> dict:
     }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tier", default="0.5B", choices=["0.5B", "1B", "8B"])
-    parser.add_argument("--smoke", action="store_true",
-                        help="small iteration counts for the CI lane")
-    parser.add_argument("--concurrency", type=int, default=8)
-    parser.add_argument("--out", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_telemetry.json"))
-    args = parser.parse_args()
-
+def run(config: BenchConfig) -> BenchReport:
     if not telemetry.enabled():
-        print("FAIL: run with telemetry enabled (unset REPRO_TELEMETRY)",
-              file=sys.stderr)
-        return 1
+        raise ObsError(
+            "the telemetry bench needs telemetry enabled "
+            "(unset REPRO_TELEMETRY)"
+        )
+    tier = config.tier or "0.5B"
+    concurrency = config.opt("concurrency", 8)
 
-    iterations = 20_000 if args.smoke else 200_000
-    trials = 5 if args.smoke else 9
-    per_trial = 4 if args.smoke else 8
-    per_client = 2 if args.smoke else 6
+    smoke = config.smoke
+    iterations = 20_000 if smoke else 200_000
+    trials = 5 if smoke else 9
+    per_trial = 4 if smoke else 8
+    per_client = 2 if smoke else 6
 
-    model = CostModel(LLMulatorConfig(tier=args.tier, seed=0))
-    print(f"tier {args.tier}, smoke={args.smoke}", flush=True)
+    model = CostModel(LLMulatorConfig(tier=tier, seed=0))
+    print(f"tier {tier}, smoke={smoke}", flush=True)
 
     primitives = bench_primitives(iterations)
     predict_loop = bench_predict_loop(model, trials, per_trial)
-    serve_stream = bench_serve_stream(model, args.concurrency, per_client)
+    serve_stream = bench_serve_stream(model, concurrency, per_client)
 
     # Disabled gate: worst-case instrumented sites per request, at the
     # measured disabled primitive cost, as a share of request latency.
@@ -225,51 +221,61 @@ def main() -> int:
         SITES_PER_REQUEST * worst_disabled_ns / per_predict_ns * 100.0, 4
     )
 
-    gates = {
-        "disabled_overhead": {
-            "value_pct": overhead_disabled_pct,
-            "limit_pct": 1.0,
-            "passed": overhead_disabled_pct <= 1.0,
+    return BenchReport(
+        values={
+            "disabled_overhead_pct": overhead_disabled_pct,
+            "enabled_overhead_min_pct": predict_loop["overhead_enabled_min_pct"],
         },
-        "enabled_overhead": {
-            "value_pct": predict_loop["overhead_enabled_min_pct"],
-            "median_pct": predict_loop["overhead_enabled_pct"],
-            "limit_pct": 5.0,
-            "passed": predict_loop["overhead_enabled_min_pct"] <= 5.0,
+        payload={
+            "sites_per_request_bound": SITES_PER_REQUEST,
+            "primitives_ns": primitives,
+            "predict_loop": predict_loop,
+            "serve_stream": serve_stream,
         },
-        "histograms_populated": {
-            "queue_wait_count": serve_stream["queue_wait_ms"].get("count", 0),
-            "batch_size_count": serve_stream["batch_size"].get("count", 0),
-            "passed": (
-                serve_stream["queue_wait_ms"].get("count", 0)
-                == serve_stream["requests"]
-                and serve_stream["batch_size"].get("count", 0) > 0
-                and not serve_stream["client_errors"]
-            ),
+        gates={
+            "disabled_overhead": {
+                "value_pct": overhead_disabled_pct,
+                "limit_pct": 1.0,
+                "passed": overhead_disabled_pct <= 1.0,
+            },
+            "enabled_overhead": {
+                "value_pct": predict_loop["overhead_enabled_min_pct"],
+                "median_pct": predict_loop["overhead_enabled_pct"],
+                "limit_pct": 5.0,
+                "passed": predict_loop["overhead_enabled_min_pct"] <= 5.0,
+            },
+            "histograms_populated": {
+                "queue_wait_count": serve_stream["queue_wait_ms"].get("count", 0),
+                "batch_size_count": serve_stream["batch_size"].get("count", 0),
+                "passed": (
+                    serve_stream["queue_wait_ms"].get("count", 0)
+                    == serve_stream["requests"]
+                    and serve_stream["batch_size"].get("count", 0) > 0
+                    and not serve_stream["client_errors"]
+                ),
+            },
         },
-    }
+    )
 
-    result = {
-        "tier": args.tier,
-        "smoke": args.smoke,
-        "sites_per_request_bound": SITES_PER_REQUEST,
-        "primitives_ns": primitives,
-        "predict_loop": predict_loop,
-        "serve_stream": serve_stream,
-        "gates": gates,
-        "passed": all(gate["passed"] for gate in gates.values()),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
-    print(json.dumps(result, indent=2))
-    if not result["passed"]:
-        failed = [name for name, gate in gates.items() if not gate["passed"]]
-        print(f"FAIL: telemetry gates failed: {', '.join(failed)}",
-              file=sys.stderr)
-        return 1
-    return 0
+
+register_suite(BenchSuite(
+    name="telemetry",
+    description="telemetry overhead: disabled-mode primitive cost and "
+                "enabled-mode end-to-end predict overhead",
+    metrics=(
+        Metric("disabled_overhead_pct", "%", "lower", portable=True,
+               tolerance=1.0),
+        Metric("enabled_overhead_min_pct", "%", "lower", portable=True,
+               tolerance=1.0),
+    ),
+    run=run,
+    options=(
+        Option("--concurrency", int, 8, "serve-stream client count"),
+    ),
+    tiers=("0.5B", "1B", "8B"),
+    default_tier="0.5B",
+))
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main("telemetry"))

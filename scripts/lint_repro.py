@@ -32,6 +32,13 @@ Rules (all reported as ``file:line: RULE message``, exit 1 on findings):
   micro-batcher's deadline arithmetic, which must tick with telemetry
   off) is waived with a ``# lint: allow-wallclock`` comment on the
   offending line.
+* ``REPRO007`` a ``scripts/bench_*.py`` benchmark that bypasses the
+  bench registry: either it never imports :mod:`repro.obs` (every
+  bench must declare a ``BenchSuite`` and run through
+  ``repro.obs.bench``, which owns the artifact, the history ledger and
+  the regression sentinel), or it calls ``json.dump``/``json.dumps``
+  directly — free-floating metric files drift out of the ledger and
+  are invisible to the sentinel.
 
 Usage::
 
@@ -182,6 +189,11 @@ def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
     return False
 
 
+def _is_bench_script(path: Path) -> bool:
+    """REPRO007 scope: the benchmark entry points under ``scripts/``."""
+    return path.name.startswith("bench_") and "scripts" in path.parts
+
+
 def _is_clock_scoped(path: Path) -> bool:
     """True for files REPRO006 covers: under ``repro`` (the package) but
     outside the telemetry package itself, which owns the clock."""
@@ -202,6 +214,8 @@ class _Linter(ast.NodeVisitor):
             DETERMINISM_CRITICAL.search(self.path.name)
         )
         self._clock_scoped = _is_clock_scoped(path)
+        self._bench_script = _is_bench_script(path)
+        self._imports_obs = False
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -289,6 +303,18 @@ class _Linter(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- REPRO007: bench scripts must speak the bench registry -----------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if any(alias.name.startswith("repro.obs") for alias in node.names):
+            self._imports_obs = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (node.module or "").startswith("repro.obs"):
+            self._imports_obs = True
+        self.generic_visit(node)
+
     # -- REPRO004: nondeterminism in journal/codec modules ---------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -308,6 +334,19 @@ class _Linter(ast.NodeVisitor):
                     f"'{base_name}.{attr}()' in a {self._module_kind()} module "
                     "breaks replay determinism; derive values from the "
                     "journaled inputs instead",
+                )
+            # REPRO007: metric files written around the bench registry.
+            if (
+                self._bench_script
+                and base_name == "json"
+                and attr in ("dump", "dumps")
+            ):
+                self._report(
+                    node,
+                    "REPRO007",
+                    f"'json.{attr}()' in a bench script bypasses the bench "
+                    "registry; return the numbers in a BenchReport and let "
+                    "repro.obs.bench own the artifact and the ledger",
                 )
             # REPRO006: wall-clock reads outside repro.telemetry.
             if (
@@ -366,6 +405,13 @@ def lint_file(path: Path) -> list[Finding]:
                         f"cannot lint: {exc}")]
     linter = _Linter(path, tuple(source.splitlines()))
     linter.visit(tree)
+    if linter._bench_script and not linter._imports_obs:
+        linter.findings.append(Finding(
+            path, 1, "REPRO007",
+            "bench script never imports repro.obs; register a BenchSuite "
+            "through repro.obs.bench so its numbers reach the history "
+            "ledger and the regression sentinel",
+        ))
     return linter.findings
 
 

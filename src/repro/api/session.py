@@ -124,7 +124,11 @@ class Session:
         return names
 
     def stats(self) -> dict:
-        return self.engine.stats_dict()
+        from ..obs.resource import process_snapshot
+
+        stats = dict(self.engine.stats_dict())
+        stats["resource"] = process_snapshot()
+        return stats
 
     # -- prediction ------------------------------------------------------
 

@@ -271,6 +271,7 @@ class CampaignRunner:
         static_cache: Optional[StaticProfileCache] = None,
         max_steps: int = 2_000_000,
         sim_backend: str = "compiled",
+        ledger_path: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.journal_path = journal_path
@@ -281,6 +282,7 @@ class CampaignRunner:
         self.static_cache = static_cache
         self._max_steps = max_steps
         self._sim_backend = sim_backend
+        self.ledger_path = ledger_path
         if spec.needs_model() and predictor is None:
             raise CampaignError(
                 "spec contains a model-guided strategy; the runner needs a "
@@ -317,6 +319,8 @@ class CampaignRunner:
                 "requested; it was produced by a different spec or code "
                 "version"
             )
+        if result.completed and self.ledger_path:
+            self._append_ledger(result)
         if not result.completed:
             interrupted = CampaignInterrupted(
                 f"campaign stopped after {result.evaluated} fresh evaluations "
@@ -326,6 +330,37 @@ class CampaignRunner:
             interrupted.result = result
             raise interrupted
         return result
+
+    def _append_ledger(self, result: CampaignResult) -> None:
+        """Append each cell's best achieved objective to the bench
+        history ledger, so campaign quality regresses loudly just like
+        the synthetic benches.  Every objective scalar in this codebase
+        is a cost — lower is better."""
+        from ..obs.bench import git_sha
+        from ..obs.history import BenchLedger, LedgerEntry, host_fingerprint
+
+        ledger = BenchLedger(self.ledger_path)
+        host = host_fingerprint()
+        sha = git_sha()
+        run = ledger.next_run("campaign", "campaign")
+        entries = [
+            LedgerEntry(
+                suite="campaign",
+                metric=cell_result.cell.cell_id,
+                value=float(cell_result.final_best),
+                unit="obj",
+                direction="lower",
+                mode="campaign",
+                tier=self.spec.name,
+                sha=sha,
+                host=host,
+                run=run,
+            )
+            for cell_result in result.cells
+            if cell_result.final_best is not None
+        ]
+        if entries:
+            ledger.append(entries)
 
     def _run_cell(
         self,

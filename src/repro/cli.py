@@ -26,7 +26,12 @@ Subcommands:
   strategies × objectives) with a journaled evaluation checkpoint;
   ``--timeline FILE`` writes a Perfetto-loadable sidecar.
 * ``stats``     — print the unified telemetry snapshot (local process
-  or a running server's ``/metrics`` via ``--remote``).
+  or a running server's ``/metrics`` via ``--remote``); ``--profile``
+  adds a span-attributed CPU/memory profile window.
+* ``bench``     — ``run``/``list``/``log``/``trend`` the registered
+  benchmark suites through :mod:`repro.obs`: one harness over every
+  ``scripts/bench_*.py``, an append-only ``BENCH_HISTORY.jsonl``
+  ledger, and a statistical regression sentinel over the trajectory.
 
 Example::
 
@@ -659,7 +664,12 @@ def _run_campaign(args: argparse.Namespace, resume: bool) -> int:
     except ReproError as exc:
         raise SystemExit(f"error: {exc}") from None
     predictor = _campaign_predictor(args, spec)
-    runner = CampaignRunner(spec, args.journal, predictor=predictor)
+    runner = CampaignRunner(
+        spec,
+        args.journal,
+        predictor=predictor,
+        ledger_path=getattr(args, "ledger", None),
+    )
     # The timeline is a *sidecar*: the journal stays byte-identical
     # with or without --timeline (REPRO004 — no timestamps inside).
     recorder = TimelineRecorder(TRACER) if args.timeline else None
@@ -753,17 +763,161 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print the unified telemetry snapshot — the local process's, or a
-    running server's ``/metrics`` (``--remote URL``)."""
+    running server's ``/metrics`` (``--remote URL``).  ``--profile``
+    samples a CPU/memory window attributed to open telemetry spans."""
+    from .errors import ReproError
+
     if args.remote:
         from .serve import ServeClient
 
         client = ServeClient(args.remote)
         snapshot = client.stats() if args.legacy else client.metrics()
+        if args.profile:
+            try:
+                snapshot["profile"] = client.debug_profile(args.profile_seconds)
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}") from None
     else:
         from . import telemetry
 
         snapshot = telemetry.snapshot()
+        if args.profile:
+            from .obs import process_snapshot, profile_window
+
+            try:
+                snapshot["profile"] = profile_window(args.profile_seconds)
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            snapshot["resource"] = process_snapshot()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _bench_config(args: argparse.Namespace):
+    from .obs.bench import BenchConfig
+
+    return BenchConfig(
+        smoke=args.smoke, tier=getattr(args, "tier", None) or ""
+    )
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run registered bench suites through the shared harness: measure,
+    write the ``BENCH_*.json`` artifact, append the history ledger, gate
+    through the regression sentinel."""
+    from .errors import ObsError
+    from .obs import bench
+
+    try:
+        names = bench.discover_suites()
+    except ObsError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.suite:
+        unknown = [name for name in args.suite if name not in names]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown suite(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(names)}"
+            )
+        names = list(args.suite)
+    if not names:
+        raise SystemExit("error: no bench suites registered")
+
+    ledger = "" if args.no_ledger else (args.ledger or None)
+    exit_code = 0
+    for name in names:
+        print(f"=== bench {name} ===", flush=True)
+        try:
+            outcome = bench.execute(
+                name,
+                _bench_config(args),
+                ledger=ledger,
+                check=not args.no_regress,
+            )
+        except ObsError as exc:
+            print(f"FAIL: {name}: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        bench._print_outcome(outcome)
+        exit_code = max(exit_code, outcome.exit_code)
+    return exit_code
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from .errors import ObsError
+    from .obs import bench
+
+    try:
+        bench.discover_suites()
+    except ObsError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    for suite in bench.suites():
+        print(f"{suite.name}: {suite.description}")
+        for metric in suite.metrics:
+            scope = "portable" if metric.portable else "same-host"
+            print(f"    {metric.name} [{metric.unit}, {metric.direction} "
+                  f"is better, {scope}]")
+    return 0
+
+
+def _open_ledger(args: argparse.Namespace):
+    from .obs.bench import ledger_path
+    from .obs.history import BenchLedger
+
+    return BenchLedger(args.ledger or ledger_path())
+
+
+def cmd_bench_log(args: argparse.Namespace) -> int:
+    """Print ledger entries (newest last), optionally filtered."""
+    from .errors import ObsError
+
+    ledger = _open_ledger(args)
+    try:
+        entries = ledger.entries(
+            suite=args.suite, metric=args.metric, tier=args.tier, mode=args.mode
+        )
+    except ObsError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.limit:
+        entries = entries[-args.limit:]
+    for entry in entries:
+        print(json.dumps(entry.as_dict(), sort_keys=True))
+    if not entries:
+        print("(no matching ledger entries)", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_trend(args: argparse.Namespace) -> int:
+    """Sparkline trajectories per (suite, metric) from the ledger."""
+    from .errors import ObsError
+    from .obs.history import render_trend
+
+    ledger = _open_ledger(args)
+    try:
+        suite_names = [args.suite] if args.suite else ledger.suites()
+        if not suite_names:
+            print("(empty ledger)", file=sys.stderr)
+            return 0
+        for suite_name in suite_names:
+            metric_names = (
+                [args.metric] if args.metric else ledger.metrics(suite_name)
+            )
+            for metric_name in metric_names:
+                series = ledger.series(
+                    suite_name, metric_name, tier=args.tier, mode=args.mode
+                )
+                if not series:
+                    continue
+                values = [entry.value for entry in series]
+                newest = series[-1]
+                print(
+                    f"{suite_name}.{metric_name:32s} "
+                    f"{render_trend(values)} "
+                    f"n={len(values)} last={newest.value:g} {newest.unit} "
+                    f"({newest.direction} is better)"
+                )
+    except ObsError as exc:
+        raise SystemExit(f"error: {exc}") from None
     return 0
 
 
@@ -1022,6 +1176,11 @@ def build_parser() -> argparse.ArgumentParser:
                 help="stop after N fresh ground-truth evaluations (exit 3; "
                      "the journal keeps the finished prefix for resume)",
             )
+            p.add_argument(
+                "--ledger", default=None, metavar="FILE",
+                help="append each cell's best objective to this bench "
+                     "history ledger on completion (see 'repro bench')",
+            )
         p.add_argument(
             "--timeline", default=None, metavar="FILE",
             help="write a Chrome-trace (Perfetto-loadable) timeline sidecar; "
@@ -1068,7 +1227,71 @@ def build_parser() -> argparse.ArgumentParser:
                        help="read a running server's /metrics instead")
     stats.add_argument("--legacy", action="store_true",
                        help="with --remote: fetch the legacy /stats layout")
+    stats.add_argument(
+        "--profile", action="store_true",
+        help="sample a CPU/memory window attributed to open telemetry "
+             "spans (locally, or via the server's /debug/profile)",
+    )
+    stats.add_argument("--profile-seconds", type=float, default=2.0,
+                       metavar="N", help="profile window length")
     stats.set_defaults(func=cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="run, inspect and trend the registered benchmark "
+                      "suites (repro.obs harness + history ledger)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def add_ledger_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ledger", default=None, metavar="FILE",
+                       help="bench history ledger "
+                            "(default <repo>/BENCH_HISTORY.jsonl)")
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run suites: measure, write BENCH_*.json, append the "
+                    "ledger, gate through the regression sentinel"
+    )
+    bench_run.add_argument("--suite", action="append", default=None,
+                           metavar="NAME", help="run one suite (repeatable; "
+                           "default: all registered)")
+    bench_run.add_argument("--smoke", action="store_true",
+                           help="small iteration counts for the CI lane")
+    bench_run.add_argument("--tier", default=None,
+                           choices=("0.5B", "1B", "8B"),
+                           help="model tier for suites with a tier axis")
+    add_ledger_flag(bench_run)
+    bench_run.add_argument("--no-ledger", action="store_true",
+                           help="do not append results to the ledger")
+    bench_run.add_argument("--no-regress", action="store_true",
+                           help="skip the regression sentinel")
+    bench_run.set_defaults(func=cmd_bench_run)
+
+    bench_list = bench_sub.add_parser(
+        "list", help="list registered suites and their declared metrics"
+    )
+    bench_list.set_defaults(func=cmd_bench_list)
+
+    def add_bench_filters(p: argparse.ArgumentParser) -> None:
+        add_ledger_flag(p)
+        p.add_argument("--suite", default=None)
+        p.add_argument("--metric", default=None)
+        p.add_argument("--tier", default=None)
+        p.add_argument("--mode", default=None,
+                       choices=("smoke", "full", "campaign"))
+
+    bench_log = bench_sub.add_parser(
+        "log", help="print ledger entries as JSONL (newest last)"
+    )
+    add_bench_filters(bench_log)
+    bench_log.add_argument("--limit", type=int, default=None, metavar="N",
+                           help="only the newest N matching entries")
+    bench_log.set_defaults(func=cmd_bench_log)
+
+    bench_trend = bench_sub.add_parser(
+        "trend", help="sparkline metric trajectories from the ledger"
+    )
+    add_bench_filters(bench_trend)
+    bench_trend.set_defaults(func=cmd_bench_trend)
 
     workloads = sub.add_parser("workloads", help="list bundled benchmark suites")
     workloads.add_argument(

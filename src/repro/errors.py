@@ -98,6 +98,11 @@ class ServeError(ReproError):
     """Raised by the prediction service (engine, server or client)."""
 
 
+class ObsError(ReproError):
+    """Raised by the observability layer (bench suite registry, history
+    ledger, regression sentinel, resource profiler)."""
+
+
 class CampaignError(ReproError):
     """Raised by the campaign subsystem (spec, journal, runner, report)."""
 

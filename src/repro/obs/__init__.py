@@ -1,0 +1,78 @@
+"""repro.obs — continuous benchmarking and resource observability.
+
+Layers on :mod:`repro.telemetry` (point-in-time metrics/traces) to make
+performance *trajectories* first-class:
+
+* :mod:`repro.obs.bench` — one registry over the ``scripts/bench_*.py``
+  suites (declared metrics, units, directions, gates) plus the shared
+  harness that runs them (``python -m repro bench run``);
+* :mod:`repro.obs.history` — the append-only, schema-versioned
+  ``BENCH_HISTORY.jsonl`` ledger every run appends to;
+* :mod:`repro.obs.regress` — the statistical regression sentinel
+  (rolling-median/MAD baseline + CUSUM change-point scan) that gates
+  CI on confirmed regressions;
+* :mod:`repro.obs.resource` — the sampling profiler that attributes
+  CPU/peak-memory to currently-open telemetry spans.
+"""
+
+from .bench import (
+    BenchConfig,
+    BenchReport,
+    BenchSuite,
+    Metric,
+    Option,
+    bench_main,
+    discover_suites,
+    execute,
+    register_suite,
+    suite,
+    suites,
+)
+from .history import (
+    HISTORY_SCHEMA_VERSION,
+    BenchLedger,
+    LedgerEntry,
+    host_fingerprint,
+    render_trend,
+)
+from .regress import (
+    Verdict,
+    check_metric,
+    check_run,
+    confirmed_regressions,
+    cusum_change_point,
+)
+from .resource import (
+    ResourceProfiler,
+    process_snapshot,
+    profile_window,
+    profiler_active,
+)
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "BenchSuite",
+    "Metric",
+    "Option",
+    "bench_main",
+    "discover_suites",
+    "execute",
+    "register_suite",
+    "suite",
+    "suites",
+    "HISTORY_SCHEMA_VERSION",
+    "BenchLedger",
+    "LedgerEntry",
+    "host_fingerprint",
+    "render_trend",
+    "Verdict",
+    "check_metric",
+    "check_run",
+    "confirmed_regressions",
+    "cusum_change_point",
+    "ResourceProfiler",
+    "process_snapshot",
+    "profile_window",
+    "profiler_active",
+]

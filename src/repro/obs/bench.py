@@ -1,0 +1,459 @@
+"""The unified bench harness: one registry over ``scripts/bench_*.py``.
+
+Every benchmark in the repo registers a :class:`BenchSuite` — its
+declared metrics (name, unit, higher/lower-is-better direction,
+portability across hosts), its hard gates, and one measurement
+callable — instead of hand-rolling argparse, artifact writing and gate
+exits.  The harness owns everything around the measurement:
+
+* the shared CLI preamble (``--smoke``, ``--tier``, ``--out``,
+  per-suite extra options) that used to be copy-pasted across the six
+  scripts;
+* artifact writing (``BENCH_<suite>.json`` at the repo root — scripts
+  never ``json.dump`` their own metrics, enforced by lint REPRO007);
+* appending every declared metric to the :mod:`repro.obs.history`
+  ledger, stamped with git sha, tier, mode and host fingerprint;
+* running the :mod:`repro.obs.regress` sentinel over the fresh values
+  and exiting non-zero on confirmed regressions or failed gates.
+
+Entry points: ``python -m repro bench run [--suite NAME] [--smoke]``
+runs through :func:`discover_suites` + :func:`execute`;
+``python scripts/bench_<name>.py`` still works because each script's
+``__main__`` block delegates to :func:`bench_main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from ..errors import ObsError
+from .history import BenchLedger, LedgerEntry, host_fingerprint
+from .regress import Verdict, check_run, confirmed_regressions
+
+TIERS = ("0.5B", "1B", "8B")
+
+#: Environment override for the repo root (tests point it at a tmpdir).
+ROOT_ENV = "REPRO_REPO_ROOT"
+LEDGER_NAME = "BENCH_HISTORY.jsonl"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One number a suite promises to report on every run.
+
+    ``portable`` marks values that are comparable across machines
+    (speedup ratios, overhead percentages, deterministic counts); the
+    sentinel gates non-portable metrics (absolute throughputs,
+    latencies) only against same-host history.  ``tolerance`` is the
+    relative slack floor of the regression band.
+    """
+
+    name: str
+    unit: str
+    direction: str  # "higher" | "lower" is better
+    portable: bool = False
+    tolerance: float = 0.15
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ObsError(
+                f"metric {self.name!r}: direction must be 'higher' or "
+                f"'lower', got {self.direction!r}"
+            )
+        if not (0.0 < self.tolerance < 10.0):
+            raise ObsError(
+                f"metric {self.name!r}: tolerance must be in (0, 10), "
+                f"got {self.tolerance!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Option:
+    """One extra CLI flag a suite accepts beyond the shared preamble."""
+
+    flag: str  # e.g. "--repeats"
+    kind: type = int
+    default: Optional[object] = None  # None = the suite picks per mode
+    help: str = ""
+
+    @property
+    def dest(self) -> str:
+        return self.flag.lstrip("-").replace("-", "_")
+
+
+@dataclass
+class BenchConfig:
+    """Resolved inputs of one suite run."""
+
+    smoke: bool = False
+    tier: str = ""
+    options: dict = field(default_factory=dict)
+
+    def opt(self, name: str, default=None):
+        """A suite option by dest name; ``default`` when unset/None."""
+        value = self.options.get(name)
+        return default if value is None else value
+
+
+@dataclass
+class BenchReport:
+    """What a measurement callable returns.
+
+    ``values`` must cover every metric the suite declared; ``payload``
+    is the rest of the artifact body (configuration echo, detail
+    tables); ``gates`` are hard pass/fail checks (each a dict carrying
+    at least ``"passed"``) — the parity gates, not the statistical
+    regression gate, which the harness runs separately.
+    """
+
+    values: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+    gates: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(gate.get("passed") for gate in self.gates.values())
+
+    def failed_gates(self) -> list[str]:
+        return [
+            name for name, gate in self.gates.items() if not gate.get("passed")
+        ]
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One registered benchmark."""
+
+    name: str
+    description: str
+    metrics: tuple[Metric, ...]
+    run: Callable[[BenchConfig], BenchReport]
+    options: tuple[Option, ...] = ()
+    tiers: tuple[str, ...] = ()  # empty = the suite has no tier axis
+    default_tier: str = ""
+    smoke_tier: str = ""  # tier used under --smoke (defaults to default_tier)
+
+    @property
+    def artifact(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+    def metric(self, name: str) -> Metric:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise ObsError(f"suite {self.name!r} declares no metric {name!r}")
+
+    def resolve_tier(self, config: BenchConfig) -> str:
+        if not self.tiers:
+            return ""
+        if config.tier:
+            return config.tier
+        if config.smoke and self.smoke_tier:
+            return self.smoke_tier
+        return self.default_tier or self.tiers[0]
+
+
+_REGISTRY: dict[str, BenchSuite] = {}
+
+
+def register_suite(suite: BenchSuite) -> BenchSuite:
+    """Register (or re-register, e.g. on module reload) a suite."""
+    if not suite.metrics:
+        raise ObsError(f"suite {suite.name!r} declares no metrics")
+    _REGISTRY[suite.name] = suite
+    return suite
+
+
+def suite(name: str) -> BenchSuite:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise ObsError(f"unknown bench suite {name!r}; known: {known}") from None
+
+
+def suites() -> list[BenchSuite]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def repo_root() -> Path:
+    """The repository root (env ``REPRO_REPO_ROOT`` overrides, so tests
+    and out-of-tree checkouts can redirect artifacts and the ledger)."""
+    override = os.environ.get(ROOT_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3]
+
+
+def ledger_path() -> str:
+    return str(repo_root() / LEDGER_NAME)
+
+
+def discover_suites(scripts_dir: Optional[str] = None) -> list[str]:
+    """Import every ``scripts/bench_*.py`` so they self-register.
+
+    Scripts are imported under ``repro_bench_<stem>`` module names; an
+    already-imported script is not re-imported, so repeated discovery is
+    idempotent.  Returns the sorted registered suite names.
+    """
+    # Discovery walks the *source tree's* scripts/, not repo_root():
+    # REPRO_REPO_ROOT redirects artifacts and the ledger, but the bench
+    # scripts live next to this package wherever it is checked out.
+    if scripts_dir:
+        directory = Path(scripts_dir)
+    else:
+        directory = Path(__file__).resolve().parents[3] / "scripts"
+    if directory.is_dir():
+        for path in sorted(directory.glob("bench_*.py")):
+            module_name = f"repro_bench_{path.stem}"
+            if module_name in sys.modules:
+                continue
+            spec = importlib.util.spec_from_file_location(module_name, path)
+            if spec is None or spec.loader is None:  # pragma: no cover
+                continue
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[module_name] = module
+            try:
+                spec.loader.exec_module(module)
+            except Exception as exc:
+                del sys.modules[module_name]
+                raise ObsError(f"cannot import bench script {path}: {exc}") from exc
+    return sorted(_REGISTRY)
+
+
+def git_sha() -> str:
+    """The repo's HEAD sha (12 hex), or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root()),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()[:12] or "unknown"
+
+
+# -- execution ---------------------------------------------------------------
+
+
+@dataclass
+class ExecOutcome:
+    """Everything one harness execution produced."""
+
+    suite: BenchSuite
+    report: BenchReport
+    tier: str
+    mode: str
+    artifact_path: str = ""
+    entries: list[LedgerEntry] = field(default_factory=list)
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Verdict]:
+        return confirmed_regressions(self.verdicts)
+
+    @property
+    def exit_code(self) -> int:
+        if not self.report.passed:
+            return 1
+        if self.regressions:
+            return 1
+        return 0
+
+
+def execute(
+    name: str,
+    config: BenchConfig,
+    *,
+    ledger: Optional[str] = None,
+    check: bool = True,
+    out: Optional[str] = None,
+) -> ExecOutcome:
+    """Run one suite end to end: measure, write the artifact, append
+    the ledger, run the sentinel.
+
+    ``ledger=None`` uses the repo's ``BENCH_HISTORY.jsonl``; pass ``""``
+    to skip the ledger (and with it the sentinel).  Failed hard gates
+    skip the ledger append — garbage from a parity-broken run must not
+    become someone's baseline.
+    """
+    bench_suite = suite(name)
+    tier = bench_suite.resolve_tier(config)
+    config = BenchConfig(smoke=config.smoke, tier=tier, options=dict(config.options))
+    mode = "smoke" if config.smoke else "full"
+    report = bench_suite.run(config)
+
+    missing = [
+        metric.name
+        for metric in bench_suite.metrics
+        if metric.name not in report.values
+    ]
+    if missing:
+        raise ObsError(
+            f"suite {name!r} did not report declared metric(s): "
+            + ", ".join(missing)
+        )
+
+    outcome = ExecOutcome(suite=bench_suite, report=report, tier=tier, mode=mode)
+
+    artifact_path = out if out else str(repo_root() / bench_suite.artifact)
+    document = {
+        "bench": name,
+        "mode": mode,
+        "passed": report.passed,
+        "metrics": {
+            metric.name: report.values[metric.name]
+            for metric in bench_suite.metrics
+        },
+    }
+    if tier:
+        document["tier"] = tier
+    document.update(report.payload)
+    if report.gates:
+        document["gates"] = report.gates
+    with open(artifact_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    outcome.artifact_path = artifact_path
+
+    if ledger == "" or not report.passed:
+        return outcome
+    ledger_file = BenchLedger(ledger if ledger else ledger_path())
+    host = host_fingerprint()
+    if check:
+        outcome.verdicts = check_run(
+            bench_suite, report.values, ledger_file, tier=tier, mode=mode, host=host
+        )
+    run_index = ledger_file.next_run(name, mode)
+    sha = git_sha()
+    outcome.entries = [
+        LedgerEntry(
+            suite=name,
+            metric=metric.name,
+            value=float(report.values[metric.name]),
+            unit=metric.unit,
+            direction=metric.direction,
+            mode=mode,
+            tier=tier,
+            sha=sha,
+            host=host,
+            run=run_index,
+        )
+        for metric in bench_suite.metrics
+    ]
+    ledger_file.append(outcome.entries)
+    return outcome
+
+
+def _print_outcome(outcome: ExecOutcome, stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    report = outcome.report
+    print(
+        json.dumps(
+            {
+                "bench": outcome.suite.name,
+                "mode": outcome.mode,
+                "metrics": {
+                    m.name: report.values[m.name] for m in outcome.suite.metrics
+                },
+                "gates": {
+                    gate: bool(detail.get("passed"))
+                    for gate, detail in report.gates.items()
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+        file=stream,
+    )
+    for verdict in outcome.verdicts:
+        print(f"  sentinel: {verdict.describe()}", file=stream)
+    if not report.passed:
+        print(
+            f"FAIL: {outcome.suite.name} gates failed: "
+            + ", ".join(report.failed_gates()),
+            file=sys.stderr,
+        )
+    for verdict in outcome.regressions:
+        print(
+            f"REGRESSION CONFIRMED: {verdict.describe()}", file=sys.stderr
+        )
+
+
+def build_suite_parser(bench_suite: BenchSuite) -> argparse.ArgumentParser:
+    """The shared preamble every bench script used to hand-roll."""
+    parser = argparse.ArgumentParser(
+        prog=f"bench_{bench_suite.name}", description=bench_suite.description
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small iteration counts for the CI lane",
+    )
+    if bench_suite.tiers:
+        parser.add_argument(
+            "--tier", default=None, choices=list(bench_suite.tiers),
+            help=f"model tier (default {bench_suite.default_tier or bench_suite.tiers[0]})",
+        )
+    parser.add_argument(
+        "--out", default=None,
+        help=f"artifact path (default <repo>/{bench_suite.artifact})",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help=f"bench history ledger (default <repo>/{LEDGER_NAME})",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run to the history ledger",
+    )
+    parser.add_argument(
+        "--no-regress", action="store_true",
+        help="skip the regression sentinel (the ledger still appends)",
+    )
+    for option in bench_suite.options:
+        parser.add_argument(
+            option.flag, type=option.kind, default=option.default,
+            help=option.help,
+        )
+    return parser
+
+
+def bench_main(name: str, argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for one script's ``__main__`` block."""
+    bench_suite = suite(name)
+    args = build_suite_parser(bench_suite).parse_args(argv)
+    config = BenchConfig(
+        smoke=args.smoke,
+        tier=getattr(args, "tier", None) or "",
+        options={
+            option.dest: getattr(args, option.dest)
+            for option in bench_suite.options
+        },
+    )
+    try:
+        outcome = execute(
+            name,
+            config,
+            ledger="" if args.no_ledger else args.ledger,
+            check=not args.no_regress,
+            out=args.out,
+        )
+    except ObsError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    _print_outcome(outcome)
+    return outcome.exit_code

@@ -1,0 +1,253 @@
+"""The continuous-benchmarking ledger: ``BENCH_HISTORY.jsonl``.
+
+An append-only JSONL file holding one line per *metric observation* —
+a suite run that reports five metrics appends five lines.  Entries are
+schema-versioned in the :mod:`repro.api.codec` style (every line
+carries ``"schema"``; a mismatch raises loudly instead of degrading
+silently) and keyed by suite / metric / git sha / tier / mode, so the
+regression sentinel can select a comparable trajectory.
+
+Like the campaign journal, the ledger body is **timestamp-free**
+(REPRO004/REPRO006 conventions): position in the file plus the
+per-suite ``run`` counter is the time axis, and the git ``sha`` anchors
+an observation to a code state.  A ``host`` fingerprint (stable hash of
+the machine's hardware identity) lets the sentinel gate absolute
+timings only against same-host history while ratio-style metrics
+(speedups, overhead percentages, counts) compare anywhere.
+
+Durability mirrors the campaign journal: lines are written compact with
+sorted keys, and a truncated *trailing* line — the write in flight when
+a run was killed — is dropped on read; corruption anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import ObsError
+
+HISTORY_SCHEMA_VERSION = 1
+
+DIRECTIONS = ("higher", "lower")
+
+
+def host_fingerprint() -> str:
+    """A stable 12-hex identity for this machine (never reversible to a
+    hostname in the ledger; used only for same-host series selection)."""
+    raw = "|".join(
+        (
+            platform.machine(),
+            platform.system(),
+            str(os.cpu_count() or 0),
+            platform.node(),
+        )
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One metric observation of one bench run."""
+
+    suite: str
+    metric: str
+    value: float
+    unit: str
+    direction: str  # "higher" | "lower" is better
+    mode: str  # "smoke" | "full" | "campaign"
+    tier: str = ""  # model tier when the suite has one, else ""
+    sha: str = "unknown"
+    host: str = ""
+    run: int = 0  # per-(suite, mode) sequence number, 1-based
+    schema: int = HISTORY_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ObsError(
+                f"ledger entry direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "mode": self.mode,
+            "tier": self.tier,
+            "sha": self.sha,
+            "host": self.host,
+            "run": self.run,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerEntry":
+        schema = payload.get("schema")
+        if schema != HISTORY_SCHEMA_VERSION:
+            raise ObsError(
+                f"ledger entry has schema version {schema!r}; this build "
+                f"reads version {HISTORY_SCHEMA_VERSION} — regenerate the "
+                "ledger or upgrade (refusing to guess at field meanings)"
+            )
+        try:
+            return cls(
+                suite=str(payload["suite"]),
+                metric=str(payload["metric"]),
+                value=float(payload["value"]),
+                unit=str(payload.get("unit", "")),
+                direction=str(payload["direction"]),
+                mode=str(payload.get("mode", "full")),
+                tier=str(payload.get("tier", "")),
+                sha=str(payload.get("sha", "unknown")),
+                host=str(payload.get("host", "")),
+                run=int(payload.get("run", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObsError(f"malformed ledger entry {payload!r}: {exc}") from None
+
+
+class BenchLedger:
+    """Reader/appender for one ledger file.
+
+    The file may not exist yet (``read()`` returns ``[]``); appends
+    create it.  All writes go through :meth:`append`, which assigns the
+    per-(suite, mode) ``run`` counter from the existing contents so
+    concurrent histories interleave without clashing sequence numbers.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ObsError("BenchLedger needs a file path")
+        self.path = path
+
+    # -- reading ---------------------------------------------------------
+
+    def read(self) -> list[LedgerEntry]:
+        """Every entry, in append order.  A truncated trailing line is
+        dropped (the kill-mid-write case); damage anywhere else raises."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        entries: list[LedgerEntry] = []
+        for index, line in enumerate(lines):
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # the write in flight when the run was killed
+                raise ObsError(
+                    f"{self.path}:{index + 1}: unreadable ledger line "
+                    "(not the trailing one, so this is corruption, not a "
+                    "kill mid-write)"
+                ) from None
+            if not isinstance(payload, dict):
+                raise ObsError(
+                    f"{self.path}:{index + 1}: ledger line is not an object"
+                )
+            entries.append(LedgerEntry.from_dict(payload))
+        return entries
+
+    def entries(
+        self,
+        suite: Optional[str] = None,
+        metric: Optional[str] = None,
+        tier: Optional[str] = None,
+        mode: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> list[LedgerEntry]:
+        """Filtered view; ``None`` filters match everything."""
+        out = []
+        for entry in self.read():
+            if suite is not None and entry.suite != suite:
+                continue
+            if metric is not None and entry.metric != metric:
+                continue
+            if tier is not None and entry.tier != tier:
+                continue
+            if mode is not None and entry.mode != mode:
+                continue
+            if host is not None and entry.host != host:
+                continue
+            out.append(entry)
+        return out
+
+    def series(
+        self,
+        suite: str,
+        metric: str,
+        tier: Optional[str] = None,
+        mode: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> list[LedgerEntry]:
+        """The trajectory of one metric, ordered oldest → newest."""
+        return self.entries(
+            suite=suite, metric=metric, tier=tier, mode=mode, host=host
+        )
+
+    def suites(self) -> list[str]:
+        return sorted({entry.suite for entry in self.read()})
+
+    def metrics(self, suite: str) -> list[str]:
+        return sorted(
+            {entry.metric for entry in self.read() if entry.suite == suite}
+        )
+
+    # -- writing ---------------------------------------------------------
+
+    def next_run(self, suite: str, mode: str) -> int:
+        """The sequence number the next run of (suite, mode) gets."""
+        newest = 0
+        for entry in self.read():
+            if entry.suite == suite and entry.mode == mode:
+                newest = max(newest, entry.run)
+        return newest + 1
+
+    def append(self, new_entries: list[LedgerEntry]) -> int:
+        """Append entries verbatim; returns the count written.
+
+        Callers are expected to have stamped ``run`` (usually via
+        :meth:`next_run`); the ledger never rewrites history.
+        """
+        if not new_entries:
+            return 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for entry in new_entries:
+                handle.write(
+                    json.dumps(entry.as_dict(), sort_keys=True) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(new_entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.read())
+
+
+def render_trend(values: list[float], width: int = 40) -> str:
+    """A terminal sparkline for ``bench trend`` (pure ASCII fallback
+    characters are avoided deliberately: block glyphs read better)."""
+    if not values:
+        return "(no data)"
+    blocks = "▁▂▃▄▅▆▇█"
+    tail = values[-width:]
+    low, high = min(tail), max(tail)
+    if high == low:
+        return blocks[3] * len(tail)
+    out = []
+    for value in tail:
+        slot = int((value - low) / (high - low) * (len(blocks) - 1))
+        out.append(blocks[slot])
+    return "".join(out)

@@ -1,0 +1,227 @@
+"""The regression sentinel: statistical gating of bench trajectories.
+
+Given a fresh run's metric values and the :mod:`repro.obs.history`
+ledger, the sentinel renders one structured :class:`Verdict` per
+declared metric:
+
+* the **baseline** is the rolling median of the last ``WINDOW``
+  comparable observations (same suite / metric / tier / mode, and same
+  host for non-portable metrics), which resists the single-outlier
+  contamination a mean-based baseline suffers;
+* the **threshold** is a MAD band (median absolute deviation, scaled by
+  the 1.4826 normal-consistency constant) with a per-metric relative
+  tolerance floor, so deterministic metrics (counts, exact ratios) with
+  zero spread still get a sane tolerance instead of flagging on any
+  epsilon;
+* a **CUSUM change-point scan** runs over the whole trajectory (in the
+  spirit of the Z-process change-point method of Negri & Nishiyama):
+  cumulative excursions beyond ``k·σ`` accumulate, and crossing ``h·σ``
+  marks the first index where the series' level shifted.  The scan is
+  *informational* — it cites where a drift began — while the
+  median/MAD comparison is what confirms a regression.
+
+Metrics declare a direction (``higher``/``lower`` is better), so an
+out-of-band move in the *good* direction reports ``improved``, never
+fails.  Fewer than ``MIN_HISTORY`` comparable points reports
+``insufficient_history`` and passes: the sentinel arms itself as the
+ledger grows instead of blocking young repositories.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .history import BenchLedger, LedgerEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bench import BenchSuite, Metric
+
+#: Comparable observations required before the sentinel gates a metric.
+MIN_HISTORY = 4
+#: Rolling window the baseline median / MAD band is computed over.
+WINDOW = 8
+#: MAD multiplier of the noise band (≈3σ under normal noise).
+MAD_K = 3.0
+#: Normal-consistency constant: MAD·1.4826 estimates σ.
+MAD_SIGMA = 1.4826
+#: CUSUM drift allowance and alarm level, in σ units.
+CUSUM_K = 0.5
+CUSUM_H = 5.0
+
+_GOOD_STATUSES = ("ok", "improved", "insufficient_history")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The sentinel's ruling on one metric of one run."""
+
+    suite: str
+    metric: str
+    status: str  # ok | regression | improved | insufficient_history
+    value: float
+    direction: str
+    baseline: Optional[float] = None
+    threshold: Optional[float] = None
+    window: int = 0
+    change_point: Optional[int] = None
+    cited: tuple[dict, ...] = field(default_factory=tuple)
+    unit: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status in _GOOD_STATUSES
+
+    def as_dict(self) -> dict:
+        out = {
+            "suite": self.suite,
+            "metric": self.metric,
+            "status": self.status,
+            "value": self.value,
+            "direction": self.direction,
+            "window": self.window,
+        }
+        if self.baseline is not None:
+            out["baseline"] = self.baseline
+            out["threshold"] = self.threshold
+        if self.change_point is not None:
+            out["change_point"] = self.change_point
+        if self.cited:
+            out["cited"] = [dict(item) for item in self.cited]
+        return out
+
+    def describe(self) -> str:
+        """One human line, citing the baseline that convicted."""
+        unit = f" {self.unit}" if self.unit else ""
+        if self.status == "insufficient_history":
+            return (
+                f"{self.suite}.{self.metric}: {self.value:g}{unit} "
+                f"(insufficient history: {self.window} < {MIN_HISTORY} "
+                "comparable runs; not gated)"
+            )
+        line = (
+            f"{self.suite}.{self.metric}: {self.value:g}{unit} vs "
+            f"baseline {self.baseline:g} (median of last {self.window}, "
+            f"±{self.threshold:g}) -> {self.status.upper()}"
+        )
+        if self.cited:
+            shas = ", ".join(
+                f"run {item['run']}@{item['sha'][:9]}={item['value']:g}"
+                for item in self.cited
+            )
+            line += f" [baseline from: {shas}]"
+        if self.change_point is not None:
+            line += f" [CUSUM change-point at trajectory index {self.change_point}]"
+        return line
+
+
+def cusum_change_point(
+    values: Sequence[float], k: float = CUSUM_K, h: float = CUSUM_H
+) -> Optional[int]:
+    """First index where a two-sided CUSUM alarm fires, or ``None``.
+
+    The target level is the median of the series and σ comes from the
+    MAD; for zero-spread series (deterministic counters) σ falls back to
+    a small fraction of the level so a genuine step still alarms while
+    bit-identical histories never do.
+    """
+    if len(values) < 2:
+        return None
+    center = statistics.median(values)
+    mad = statistics.median(abs(v - center) for v in values)
+    sigma = MAD_SIGMA * mad
+    if sigma == 0.0:
+        sigma = 0.01 * abs(center) if center else 1e-12
+    high = 0.0
+    low = 0.0
+    for index, value in enumerate(values):
+        z = (value - center) / sigma
+        high = max(0.0, high + z - k)
+        low = max(0.0, low - z - k)
+        if high > h or low > h:
+            return index
+    return None
+
+
+def check_metric(
+    metric: "Metric",
+    suite_name: str,
+    value: float,
+    history: Sequence[LedgerEntry],
+) -> Verdict:
+    """Rule on one fresh observation against its comparable history."""
+    values = [entry.value for entry in history]
+    if len(values) < MIN_HISTORY:
+        return Verdict(
+            suite=suite_name,
+            metric=metric.name,
+            status="insufficient_history",
+            value=value,
+            direction=metric.direction,
+            window=len(values),
+            unit=metric.unit,
+        )
+    window = values[-WINDOW:]
+    baseline = statistics.median(window)
+    mad = statistics.median(abs(v - baseline) for v in window)
+    threshold = max(
+        MAD_K * MAD_SIGMA * mad, metric.tolerance * abs(baseline)
+    )
+    delta = value - baseline
+    bad = delta < -threshold if metric.direction == "higher" else delta > threshold
+    good = delta > threshold if metric.direction == "higher" else delta < -threshold
+    status = "regression" if bad else ("improved" if good else "ok")
+    cited = tuple(
+        {"run": entry.run, "sha": entry.sha, "value": entry.value}
+        for entry in history[-WINDOW:][-3:]
+    )
+    return Verdict(
+        suite=suite_name,
+        metric=metric.name,
+        status=status,
+        value=value,
+        direction=metric.direction,
+        baseline=baseline,
+        threshold=round(threshold, 6),
+        window=len(window),
+        change_point=cusum_change_point(values + [value]),
+        cited=cited,
+        unit=metric.unit,
+    )
+
+
+def check_run(
+    suite: "BenchSuite",
+    values: dict,
+    ledger: BenchLedger,
+    *,
+    tier: str = "",
+    mode: str = "full",
+    host: str = "",
+) -> list[Verdict]:
+    """One verdict per declared metric of *suite* for a fresh run.
+
+    Portable metrics (ratios, percentages, counts) compare against the
+    whole comparable history; absolute metrics (throughputs, latencies)
+    compare only against same-host observations, so a slower CI runner
+    can never convict a change that is innocent on the machine that
+    produced the baseline.
+    """
+    verdicts = []
+    for metric in suite.metrics:
+        history = ledger.series(
+            suite.name,
+            metric.name,
+            tier=tier,
+            mode=mode,
+            host=None if metric.portable else host,
+        )
+        verdicts.append(
+            check_metric(metric, suite.name, float(values[metric.name]), history)
+        )
+    return verdicts
+
+
+def confirmed_regressions(verdicts: Sequence[Verdict]) -> list[Verdict]:
+    return [verdict for verdict in verdicts if verdict.status == "regression"]

@@ -1,0 +1,245 @@
+"""Span-attributed resource profiling: where CPU time and memory went.
+
+A :class:`ResourceProfiler` is a sampling thread.  Every tick it reads
+the process-wide CPU clock delta and the :mod:`tracemalloc` high-water
+mark since the previous tick, and charges both to the telemetry spans
+that are *currently open* on the shared :class:`~repro.telemetry.Tracer`
+(via :meth:`Tracer.attribute_open`): the CPU delta splits evenly across
+the open *leaf* spans, memory peaks record as a running max on every
+open span.  When those spans complete they carry ``cpu_ms`` /
+``cpu_samples`` / ``peak_kb`` attrs straight into the existing JSONL
+and Chrome-trace exporters — a Perfetto timeline whose slices are
+annotated with the resources they actually consumed.
+
+The attribution is statistical (a sample charges whatever is open at
+the tick), so short spans between ticks may show no ``cpu_ms``; the
+point is *proportion*, not nanosecond accounting — the span shapes in
+the timeline already carry exact wall durations.
+
+Only one profiler may run per process (the samples are process-wide
+deltas; two samplers would double-charge), enforced by a module-level
+guard.  :func:`profile_window` is the one-shot form behind the server's
+``/debug/profile?seconds=N`` endpoint and ``repro stats --profile``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from typing import Optional
+
+from ..errors import ObsError
+from .. import telemetry
+from ..telemetry.export import chrome_trace
+
+_GUARD = threading.Lock()
+_ACTIVE: Optional["ResourceProfiler"] = None
+
+MAX_TOP_SPANS = 20
+
+
+class ResourceProfiler:
+    """Samples process CPU/memory and attributes them to open spans.
+
+    ::
+
+        with ResourceProfiler() as profiler:
+            ...  # traced work
+        print(profiler.summary())
+
+    ``tracer=None`` uses the shared :data:`repro.telemetry.TRACER`.
+    ``track_memory=False`` skips tracemalloc (its own overhead is far
+    larger than the sampler's; leave it off in latency-sensitive runs).
+    """
+
+    def __init__(
+        self,
+        tracer=None,
+        interval_ms: float = 5.0,
+        track_memory: bool = True,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ObsError(f"interval_ms must be positive, got {interval_ms!r}")
+        self.tracer = tracer if tracer is not None else telemetry.TRACER
+        self.interval_ms = float(interval_ms)
+        self.track_memory = bool(track_memory)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_tracemalloc = False
+        self.samples = 0
+        self.attributed_samples = 0
+        self.cpu_ms_total = 0.0
+        self.peak_kb_max = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ResourceProfiler":
+        global _ACTIVE
+        with _GUARD:
+            if _ACTIVE is not None:
+                raise ObsError(
+                    "a ResourceProfiler is already sampling this process; "
+                    "samples are process-wide deltas, so two profilers "
+                    "would double-charge the open spans"
+                )
+            if self._thread is not None:
+                raise ObsError("ResourceProfiler instances are single-use")
+            _ACTIVE = self
+        if self.track_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        global _ACTIVE
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        with _GUARD:
+            if _ACTIVE is self:
+                _ACTIVE = None
+
+    def __enter__(self) -> "ResourceProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the sampling loop -----------------------------------------------
+
+    def _loop(self) -> None:
+        interval = self.interval_ms / 1000.0
+        last_cpu = time.process_time()  # lint: allow-wallclock
+        if self.track_memory and tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        while not self._stop.wait(interval):
+            cpu = time.process_time()  # lint: allow-wallclock
+            cpu_ms = max(0.0, (cpu - last_cpu) * 1000.0)
+            last_cpu = cpu
+            peak_kb = 0.0
+            if self.track_memory and tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+                peak_kb = peak / 1024.0
+                tracemalloc.reset_peak()
+            self.samples += 1
+            self.cpu_ms_total += cpu_ms
+            if peak_kb > self.peak_kb_max:
+                self.peak_kb_max = peak_kb
+            if self.tracer.attribute_open(cpu_ms, peak_kb):
+                self.attributed_samples += 1
+
+    # -- results ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "interval_ms": self.interval_ms,
+            "samples": self.samples,
+            "attributed_samples": self.attributed_samples,
+            "cpu_ms_total": round(self.cpu_ms_total, 3),
+            "peak_kb_max": round(self.peak_kb_max, 1),
+            "track_memory": self.track_memory,
+        }
+
+
+def profiler_active() -> bool:
+    with _GUARD:
+        return _ACTIVE is not None
+
+
+def profile_window(
+    seconds: float,
+    tracer=None,
+    interval_ms: float = 5.0,
+    track_memory: bool = True,
+) -> dict:
+    """Profile this process for *seconds* and report what ran.
+
+    Samples for the window, then collects every span that *completed*
+    during it plus the spans still open at the end, aggregates CPU
+    attribution by span name, and embeds a Chrome-trace document of the
+    completed spans (their slices carry the ``cpu_ms``/``peak_kb``
+    args).  Raises :class:`ObsError` if a profiler is already running —
+    the server maps that to HTTP 409.
+    """
+    if seconds <= 0 or seconds > 300:
+        raise ObsError(f"profile window must be in (0, 300] seconds, got {seconds!r}")
+    tracer = tracer if tracer is not None else telemetry.TRACER
+    start_seq = tracer.seq
+    profiler = ResourceProfiler(
+        tracer=tracer, interval_ms=interval_ms, track_memory=track_memory
+    )
+    with profiler:
+        time.sleep(seconds)
+    completed = tracer.spans_since(start_seq)
+
+    by_name: dict[str, dict] = {}
+    attributed = 0
+    for span in completed:
+        cpu_ms = span.attrs.get("cpu_ms")
+        if cpu_ms:
+            attributed += 1
+        slot = by_name.setdefault(
+            span.name,
+            {"name": span.name, "count": 0, "cpu_ms": 0.0, "peak_kb": 0.0,
+             "wall_ms": 0.0},
+        )
+        slot["count"] += 1
+        slot["cpu_ms"] = round(slot["cpu_ms"] + (cpu_ms or 0.0), 3)
+        slot["peak_kb"] = max(slot["peak_kb"], span.attrs.get("peak_kb", 0.0))
+        slot["wall_ms"] = round(slot["wall_ms"] + (span.duration_ms or 0.0), 3)
+    top = sorted(
+        by_name.values(), key=lambda slot: (-slot["cpu_ms"], -slot["wall_ms"])
+    )[:MAX_TOP_SPANS]
+
+    open_now = [
+        {
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "cpu_ms": span.attrs.get("cpu_ms", 0.0),
+            "peak_kb": span.attrs.get("peak_kb", 0.0),
+        }
+        for span in tracer.open_spans()[:MAX_TOP_SPANS]
+    ]
+
+    return {
+        "seconds": seconds,
+        "profiler": profiler.summary(),
+        "completed_spans": len(completed),
+        "attributed_spans": attributed,
+        "top": top,
+        "open": open_now,
+        "chrome_trace": chrome_trace(completed),
+    }
+
+
+def process_snapshot() -> dict:
+    """Cheap point-in-time resource numbers for ``Session.stats()`` and
+    the server's ``/metrics`` collectors (no sampling thread needed)."""
+    try:
+        import resource as _resource
+
+        max_rss_kb = float(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        max_rss_kb = 0.0
+    snapshot = {
+        "cpu_s": round(time.process_time(), 3),  # lint: allow-wallclock
+        "max_rss_kb": max_rss_kb,
+        "tracemalloc": tracemalloc.is_tracing(),
+        "profiler_active": profiler_active(),
+    }
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot["traced_kb"] = round(current / 1024.0, 1)
+        snapshot["traced_peak_kb"] = round(peak / 1024.0, 1)
+    return snapshot

@@ -179,3 +179,8 @@ class ServeClient:
     def trace(self, trace_id: str) -> list[dict]:
         """The spans of one server-side trace."""
         return self._request(f"/traces/{trace_id}")["spans"]
+
+    def debug_profile(self, seconds: float = 2.0) -> dict:
+        """Run a ``seconds``-long span-attributed resource profile on
+        the server (``/debug/profile``) and return the aggregate."""
+        return self._request(f"/debug/profile?seconds={seconds:g}")

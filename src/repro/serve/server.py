@@ -28,6 +28,9 @@ Endpoints (JSON in / JSON out):
 * ``GET /metrics`` — the full :mod:`repro.telemetry` registry snapshot.
 * ``GET /traces`` / ``GET /traces/<id>`` — buffered trace ids / the
   spans of one trace.
+* ``GET /debug/profile?seconds=N`` — sample the live process for N
+  seconds and return CPU/peak-memory attributed to the spans that were
+  open while the window ran (409 if a window is already sampling).
 
 Incoming POSTs honour ``X-Repro-Trace-Id`` / ``X-Repro-Span-Id``: the
 server-side span joins the client's trace instead of starting its own,
@@ -125,6 +128,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, METRICS.snapshot())
         elif self.path == "/traces":
             self._send_json(200, {"traces": TRACER.trace_ids()})
+        elif self.path.startswith("/debug/profile"):
+            self._handle_debug_profile()
         elif self.path.startswith("/traces/"):
             trace_id = self.path[len("/traces/"):]
             spans = TRACER.trace(trace_id)
@@ -140,6 +145,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_debug_profile(self) -> None:
+        """``GET /debug/profile?seconds=N`` — run a span-attributed
+        resource profile window against the live process and return the
+        aggregate (including a Chrome trace of the spans it covered).
+        Only one window may sample at a time: a concurrent request gets
+        a 409 instead of corrupted attribution."""
+        from urllib.parse import parse_qs, urlparse
+
+        from ..errors import ObsError
+        from ..obs.resource import profile_window
+
+        query = parse_qs(urlparse(self.path).query)
+        try:
+            seconds = float(query.get("seconds", ["2.0"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "'seconds' must be a number"})
+            return
+        try:
+            self._send_json(200, profile_window(seconds))
+        except ObsError as exc:
+            status = 409 if "already sampling" in str(exc) else 400
+            self._send_json(status, {"error": str(exc)})
 
     def _trace_context(self) -> Optional[SpanContext]:
         """The caller's span context, if it sent trace headers."""
@@ -243,6 +271,10 @@ class PredictionServer:
         # (replace-by-name: a fresh server takes over the slots).
         METRICS.register_collector("serve.engine", self.engine.stats_dict)
         METRICS.register_collector("serve.batching", self.batcher.stats.as_dict)
+        from ..obs.resource import process_snapshot
+
+        self._resource_snapshot = process_snapshot
+        METRICS.register_collector("serve.resource", process_snapshot)
 
     def stats_payload(self) -> dict:
         """The legacy ``/stats`` layout, served from the registry's
@@ -445,6 +477,7 @@ class PredictionServer:
         for name, fn in (
             ("serve.engine", self.engine.stats_dict),
             ("serve.batching", self.batcher.stats.as_dict),
+            ("serve.resource", self._resource_snapshot),
         ):
             if METRICS.collector(name) == fn:
                 METRICS.unregister_collector(name)

@@ -113,6 +113,7 @@ class _SpanHandle:
 
     def __enter__(self) -> "_SpanHandle":
         self._token = _CURRENT.set(self.context)
+        self._tracer._open_span(self.span)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -120,9 +121,11 @@ class _SpanHandle:
             _CURRENT.reset(self._token)
             self._token = None
         self.span.end = clock.now()
-        if exc is not None:
+        # exc_type, not exc: `raise SomeError` string-exceptions and
+        # exceptions with a falsy value still mark the span as failed.
+        if exc_type is not None:
             self.span.status = "error"
-            self.span.error = f"{type(exc).__name__}: {exc}"
+            self.span.error = f"{exc_type.__name__}: {exc}"
         self._tracer._record(self.span)
         # never suppress the exception
 
@@ -155,6 +158,7 @@ class Tracer:
         self.max_traces = max_traces
         self._spans: deque[Span] = deque(maxlen=max_spans)
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        self._open: "OrderedDict[str, Span]" = OrderedDict()
         self._lock = threading.Lock()
         self._seq = 0
 
@@ -198,9 +202,13 @@ class Tracer:
         end: float,
         attrs: Optional[dict] = None,
         context: Optional[SpanContext] = None,
+        status: str = "ok",
+        error: Optional[str] = None,
     ) -> None:
         """Record an already-timed interval as a completed span (the
-        micro-batcher's queue-wait, measured enqueue → flush)."""
+        micro-batcher's queue-wait, measured enqueue → flush).  Pass
+        ``status="error"`` / ``error="Type: msg"`` for intervals whose
+        work failed after the fact."""
         if not STATE.enabled:
             return
         parent = context if context is not None else _CURRENT.get()
@@ -217,6 +225,8 @@ class Tracer:
                 start=start,
                 end=end,
                 attrs=dict(attrs) if attrs else {},
+                status=status,
+                error=error,
                 thread=threading.current_thread().name,
             )
         )
@@ -230,8 +240,15 @@ class Tracer:
 
     # -- storage ---------------------------------------------------------
 
+    def _open_span(self, span: Span) -> None:
+        """Register an in-flight span (entered, not yet recorded) so the
+        resource profiler can attribute samples to it."""
+        with self._lock:
+            self._open[span.span_id] = span
+
     def _record(self, span: Span) -> None:
         with self._lock:
+            self._open.pop(span.span_id, None)
             self._seq += 1
             span.seq = self._seq
             self._spans.append(span)
@@ -243,7 +260,55 @@ class Tracer:
                 self._traces[span.trace_id] = bucket
             bucket.append(span)
 
+    def attribute_open(self, cpu_ms: float, peak_kb: float = 0.0) -> int:
+        """Charge one profiler sample to the currently-open spans.
+
+        The CPU delta is split evenly across the *leaf* open spans (open
+        spans no other open span claims as parent), so nested spans are
+        not double-billed: ``server.predict`` wrapping ``model.encode``
+        leaves the bill with ``model.encode``.  ``peak_kb`` (a
+        traced-memory high-water mark) is recorded as a running max on
+        every open span, because a peak inside a child is also a peak
+        inside its parent.  Returns the number of leaf spans charged.
+
+        Mutation happens under the tracer lock, and :meth:`_record`
+        removes a span from the open set under the same lock *before*
+        it becomes export-visible — a completed span is never touched.
+        """
+        with self._lock:
+            if not self._open:
+                return 0
+            parents = {
+                span.parent_id for span in self._open.values() if span.parent_id
+            }
+            leaves = [
+                span
+                for span in self._open.values()
+                if span.span_id not in parents
+            ]
+            if leaves and cpu_ms > 0.0:
+                share = cpu_ms / len(leaves)
+                for span in leaves:
+                    span.attrs["cpu_ms"] = round(
+                        span.attrs.get("cpu_ms", 0.0) + share, 3
+                    )
+                    span.attrs["cpu_samples"] = (
+                        span.attrs.get("cpu_samples", 0) + 1
+                    )
+            if peak_kb > 0.0:
+                rounded = round(peak_kb, 1)
+                for span in self._open.values():
+                    if rounded > span.attrs.get("peak_kb", 0.0):
+                        span.attrs["peak_kb"] = rounded
+            return len(leaves)
+
     # -- introspection ---------------------------------------------------
+
+    def open_spans(self) -> list[Span]:
+        """The in-flight spans, oldest-entered first (live objects — do
+        not mutate; the profiler goes through :meth:`attribute_open`)."""
+        with self._lock:
+            return list(self._open.values())
 
     def trace(self, trace_id: str) -> list[Span]:
         """Completed spans of one trace, in completion order."""
@@ -279,3 +344,4 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self._traces.clear()
+            self._open.clear()

@@ -1,0 +1,499 @@
+"""Unit tests for :mod:`repro.obs` — the bench registry, the history
+ledger, the regression sentinel, and span-attributed resource
+profiling — plus the telemetry error-span rendering they build on."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    HISTORY_SCHEMA_VERSION,
+    BenchConfig,
+    BenchLedger,
+    BenchReport,
+    BenchSuite,
+    LedgerEntry,
+    Metric,
+    ResourceProfiler,
+    check_metric,
+    check_run,
+    confirmed_regressions,
+    cusum_change_point,
+    process_snapshot,
+    profile_window,
+    register_suite,
+    render_trend,
+)
+from repro.obs import bench as bench_mod
+from repro.telemetry import TRACER, Tracer, chrome_trace, timeline_from_journal
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.clear()
+    yield
+    TRACER.clear()
+
+
+def entry(suite="s", metric="m", value=1.0, run=1, **kw):
+    kw.setdefault("unit", "x")
+    kw.setdefault("direction", "higher")
+    kw.setdefault("mode", "smoke")
+    return LedgerEntry(suite=suite, metric=metric, value=value, run=run, **kw)
+
+
+# ---------------------------------------------------------------------------
+# History ledger
+
+
+class TestLedger:
+    def test_append_read_round_trip(self, tmp_path):
+        ledger = BenchLedger(str(tmp_path / "BENCH_HISTORY.jsonl"))
+        assert ledger.read() == []
+        written = [entry(value=1.5, run=1), entry(metric="n", value=2.0, run=1)]
+        assert ledger.append(written) == 2
+        back = ledger.read()
+        assert back == written
+        assert ledger.suites() == ["s"]
+        assert ledger.metrics("s") == ["m", "n"]
+
+    def test_entries_are_timestamp_free(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        BenchLedger(str(path)).append([entry()])
+        payload = json.loads(path.read_text().strip())
+        assert payload == entry().as_dict()
+        assert not any("time" in key or "date" in key for key in payload)
+
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = BenchLedger(str(path))
+        ledger.append([entry(run=1), entry(run=2)])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"suite": "s", "val')  # the line in flight at kill
+        assert [item.run for item in ledger.read()] == [1, 2]
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = BenchLedger(str(path))
+        ledger.append([entry(run=1)])
+        original = path.read_text()
+        path.write_text("not json\n" + original)
+        with pytest.raises(ObsError, match="corrupt"):
+            ledger.read()
+
+    def test_schema_mismatch_is_loud(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        payload = entry().as_dict()
+        payload["schema"] = HISTORY_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ObsError, match="schema version"):
+            BenchLedger(str(path)).read()
+
+    def test_next_run_counts_per_suite_and_mode(self, tmp_path):
+        ledger = BenchLedger(str(tmp_path / "ledger.jsonl"))
+        assert ledger.next_run("s", "smoke") == 1
+        ledger.append([entry(run=1), entry(run=2)])
+        assert ledger.next_run("s", "smoke") == 3
+        assert ledger.next_run("s", "full") == 1
+        assert ledger.next_run("other", "smoke") == 1
+
+    def test_series_filters(self, tmp_path):
+        ledger = BenchLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(
+            [
+                entry(value=1.0, run=1, host="aaa"),
+                entry(value=2.0, run=2, host="bbb"),
+                entry(metric="n", value=9.0, run=1, host="aaa"),
+            ]
+        )
+        assert [e.value for e in ledger.series("s", "m")] == [1.0, 2.0]
+        assert [e.value for e in ledger.series("s", "m", host="aaa")] == [1.0]
+        assert ledger.series("s", "missing") == []
+
+    def test_render_trend(self):
+        assert render_trend([]) == "(no data)"
+        flat = render_trend([3.0, 3.0, 3.0])
+        assert len(set(flat)) == 1
+        ramp = render_trend([1.0, 2.0, 3.0])
+        assert ramp[0] < ramp[-1]
+
+
+# ---------------------------------------------------------------------------
+# Regression sentinel
+
+
+def series(values, **kw):
+    return [entry(value=v, run=i + 1, sha=f"sha{i + 1:09d}", **kw)
+            for i, v in enumerate(values)]
+
+
+class TestSentinel:
+    def test_insufficient_history_passes(self):
+        metric = Metric("m", "x", "higher")
+        verdict = check_metric(metric, "s", 1.0, series([1.0, 1.0, 1.0]))
+        assert verdict.status == "insufficient_history"
+        assert verdict.passed
+        assert "not gated" in verdict.describe()
+
+    def test_seeded_3x_regression_is_flagged_with_citation(self, tmp_path):
+        # The acceptance fixture: one metric degraded 3x against a
+        # healthy history, the other unchanged — only the first fails.
+        suite = BenchSuite(
+            name="fix",
+            description="fixture",
+            metrics=(
+                Metric("speedup", "x", "higher", portable=True),
+                Metric("steady", "x", "higher", portable=True),
+            ),
+            run=lambda config: None,
+        )
+        ledger = BenchLedger(str(tmp_path / "ledger.jsonl"))
+        history = []
+        for run in range(1, 7):
+            history.append(entry(suite="fix", metric="speedup", value=9.0 + 0.1 * run,
+                                 run=run, sha=f"sha{run:09d}"))
+            history.append(entry(suite="fix", metric="steady", value=4.0,
+                                 run=run, sha=f"sha{run:09d}"))
+        ledger.append(history)
+        verdicts = check_run(
+            ledger=ledger,
+            suite=suite,
+            values={"speedup": 3.2, "steady": 4.0},  # 3x degraded vs unchanged
+            tier="", mode="smoke", host="",
+        )
+        by_name = {v.metric: v for v in verdicts}
+        assert by_name["speedup"].status == "regression"
+        assert not by_name["speedup"].passed
+        assert by_name["steady"].status == "ok"
+        assert confirmed_regressions(verdicts) == [by_name["speedup"]]
+        # The conviction cites the baseline runs it was computed from.
+        message = by_name["speedup"].describe()
+        assert "REGRESSION" in message
+        assert "baseline" in message
+        assert "run 6@sha000000" in message
+
+    def test_good_direction_moves_report_improved(self):
+        metric = Metric("lat", "ms", "lower", tolerance=0.1)
+        verdict = check_metric(metric, "s", 5.0, series([10.0, 10.1, 9.9, 10.0]))
+        assert verdict.status == "improved"
+        assert verdict.passed
+
+    def test_lower_is_better_regression(self):
+        metric = Metric("lat", "ms", "lower", tolerance=0.1)
+        verdict = check_metric(metric, "s", 30.0, series([10.0, 10.1, 9.9, 10.0]))
+        assert verdict.status == "regression"
+
+    def test_tolerance_floor_spares_deterministic_metrics(self):
+        # Zero-spread history: the MAD band is zero, so only the
+        # relative-tolerance floor keeps epsilon moves from flagging.
+        metric = Metric("count", "n", "higher", tolerance=0.15)
+        verdict = check_metric(metric, "s", 99.0, series([100.0] * 6))
+        assert verdict.status == "ok"
+
+    def test_non_portable_metric_gates_same_host_only(self, tmp_path):
+        suite = BenchSuite(
+            name="fix",
+            description="fixture",
+            metrics=(Metric("req_s", "req/s", "higher", portable=False),),
+            run=lambda config: None,
+        )
+        ledger = BenchLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append([
+            entry(suite="fix", metric="req_s", value=100.0, run=run, host="other")
+            for run in range(1, 7)
+        ])
+        verdicts = check_run(
+            ledger=ledger, suite=suite, values={"req_s": 10.0},
+            tier="", mode="smoke", host="thishost",
+        )
+        # A 10x slower run on a *different* machine must not convict.
+        assert verdicts[0].status == "insufficient_history"
+
+    def test_cusum_detects_a_step(self):
+        flat = [10.0, 10.1, 9.9, 10.05, 9.95] * 2
+        assert cusum_change_point(flat) is None
+        stepped = [10.0] * 8 + [14.0] * 6
+        index = cusum_change_point(stepped)
+        assert index is not None and index >= 8
+
+    def test_cusum_zero_spread_series_never_alarms(self):
+        assert cusum_change_point([5.0] * 20) is None
+
+
+# ---------------------------------------------------------------------------
+# Bench registry + execute
+
+
+def toy_suite(name="toy", values=None, gates=None, metrics=None):
+    def run(config):
+        return BenchReport(
+            values=dict(values if values is not None else {"m": 2.0}),
+            payload={"detail": 1},
+            gates=dict(gates or {}),
+        )
+
+    return BenchSuite(
+        name=name,
+        description="toy",
+        metrics=metrics or (Metric("m", "x", "higher", portable=True),),
+        run=run,
+    )
+
+
+class TestBenchRegistry:
+    def test_register_and_lookup(self):
+        suite = toy_suite(name="toy_lookup")
+        register_suite(suite)
+        try:
+            assert bench_mod.suite("toy_lookup") is suite
+            assert suite in bench_mod.suites()
+        finally:
+            bench_mod._REGISTRY.pop("toy_lookup", None)
+
+    def test_unknown_suite_lists_known(self):
+        with pytest.raises(ObsError, match="unknown bench suite"):
+            bench_mod.suite("definitely_not_registered")
+
+    def test_metric_direction_validated(self):
+        with pytest.raises(ObsError, match="direction"):
+            Metric("m", "x", "sideways")
+
+    def test_execute_appends_schema_versioned_entries(self, tmp_path):
+        suite = toy_suite(name="toy_ok")
+        register_suite(suite)
+        ledger_file = str(tmp_path / "ledger.jsonl")
+        try:
+            outcome = bench_mod.execute(
+                "toy_ok",
+                BenchConfig(smoke=True),
+                ledger=ledger_file,
+                out=str(tmp_path / "artifact.json"),
+            )
+        finally:
+            bench_mod._REGISTRY.pop("toy_ok", None)
+        assert outcome.exit_code == 0
+        back = BenchLedger(ledger_file).read()
+        assert [e.schema for e in back] == [HISTORY_SCHEMA_VERSION]
+        assert back[0].metric == "m" and back[0].value == 2.0
+        assert back[0].mode == "smoke"
+        artifact = json.loads((tmp_path / "artifact.json").read_text())
+        assert artifact["bench"] == "toy_ok"
+        assert artifact["metrics"] == {"m": 2.0}
+
+    def test_missing_declared_metric_is_an_error(self, tmp_path):
+        suite = toy_suite(name="toy_hole", values={"wrong_name": 1.0})
+        register_suite(suite)
+        try:
+            with pytest.raises(ObsError, match="m"):
+                bench_mod.execute(
+                    "toy_hole",
+                    BenchConfig(smoke=True),
+                    ledger="",
+                    out=str(tmp_path / "artifact.json"),
+                )
+        finally:
+            bench_mod._REGISTRY.pop("toy_hole", None)
+
+    def test_failed_gate_skips_ledger_and_exits_nonzero(self, tmp_path):
+        suite = toy_suite(name="toy_gate", gates={"parity": {"passed": False}})
+        register_suite(suite)
+        ledger_file = str(tmp_path / "ledger.jsonl")
+        try:
+            outcome = bench_mod.execute(
+                "toy_gate",
+                BenchConfig(smoke=True),
+                ledger=ledger_file,
+                out=str(tmp_path / "artifact.json"),
+            )
+        finally:
+            bench_mod._REGISTRY.pop("toy_gate", None)
+        assert outcome.exit_code == 1
+        # Garbage must not become someone's baseline.
+        assert BenchLedger(ledger_file).read() == []
+
+    def test_confirmed_regression_exits_nonzero(self, tmp_path):
+        ledger_file = str(tmp_path / "ledger.jsonl")
+        BenchLedger(ledger_file).append([
+            entry(suite="toy_reg", metric="m", value=10.0, run=run, mode="smoke")
+            for run in range(1, 7)
+        ])
+        suite = toy_suite(name="toy_reg", values={"m": 3.0})
+        register_suite(suite)
+        try:
+            outcome = bench_mod.execute(
+                "toy_reg",
+                BenchConfig(smoke=True),
+                ledger=ledger_file,
+                out=str(tmp_path / "artifact.json"),
+            )
+        finally:
+            bench_mod._REGISTRY.pop("toy_reg", None)
+        assert outcome.regressions
+        assert outcome.exit_code == 1
+        # The regressed run is real work, not garbage: it is appended,
+        # so the trajectory shows the dip.
+        assert len(BenchLedger(ledger_file).read()) == 7
+
+
+# ---------------------------------------------------------------------------
+# Resource profiler
+
+
+def spin(seconds):
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestResourceAttribution:
+    def test_attribute_open_bills_leaves_only(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                charged = tracer.attribute_open(10.0, peak_kb=64.0)
+                assert charged == 1
+                assert child.span.attrs["cpu_ms"] == pytest.approx(10.0)
+                assert "cpu_ms" not in parent.span.attrs
+                # ...but a child's memory peak is also the parent's.
+                assert parent.span.attrs["peak_kb"] == 64.0
+                assert child.span.attrs["peak_kb"] == 64.0
+
+    def test_attribute_open_splits_across_sibling_leaves(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("a") as a, tracer.span("b") as b:
+            # a and b are nested (b child of a) — only b is a leaf.
+            assert tracer.attribute_open(8.0) == 1
+            assert "cpu_ms" not in a.span.attrs
+            assert b.span.attrs["cpu_ms"] == pytest.approx(8.0)
+
+    def test_no_open_spans_charges_nothing(self):
+        tracer = Tracer()
+        assert tracer.attribute_open(5.0) == 0
+
+    def test_busy_span_gets_nonzero_cpu_in_chrome_trace(self):
+        profiler = ResourceProfiler(TRACER, interval_ms=2.0)
+        with profiler:
+            with TRACER.span("obs.busy"):
+                spin(0.15)
+        spans = [span for span in TRACER if span.name == "obs.busy"]
+        assert spans and spans[0].attrs.get("cpu_ms", 0.0) > 0.0
+        document = chrome_trace(spans)
+        event = next(e for e in document["traceEvents"] if e["ph"] == "X")
+        assert event["args"]["cpu_ms"] > 0.0
+        assert profiler.summary()["samples"] > 0
+
+    def test_only_one_profiler_at_a_time(self):
+        with ResourceProfiler(TRACER, interval_ms=5.0):
+            with pytest.raises(ObsError, match="already sampling"):
+                ResourceProfiler(TRACER, interval_ms=5.0).start()
+        # The guard releases on stop.
+        with ResourceProfiler(TRACER, interval_ms=5.0):
+            pass
+
+    def test_profile_window_bounds_seconds(self):
+        with pytest.raises(ObsError, match="seconds"):
+            profile_window(0.0)
+        with pytest.raises(ObsError, match="seconds"):
+            profile_window(1e9)
+
+    def test_profile_window_aggregates_completed_spans(self):
+        def worker():
+            with TRACER.span("obs.window.busy"):
+                spin(0.12)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            out = profile_window(0.15, interval_ms=2.0)
+        finally:
+            thread.join()
+        assert out["seconds"] == 0.15
+        names = {row["name"] for row in out["top"]}
+        assert "obs.window.busy" in names
+        busy = next(r for r in out["top"] if r["name"] == "obs.window.busy")
+        assert busy["cpu_ms"] > 0.0
+        assert out["chrome_trace"]["traceEvents"]
+
+    def test_process_snapshot_shape(self):
+        snapshot = process_snapshot()
+        assert snapshot["max_rss_kb"] > 0
+        assert snapshot["cpu_s"] >= 0
+        assert snapshot["profiler_active"] is False
+
+
+# ---------------------------------------------------------------------------
+# Error spans (the satellite bugfix) and journal-timeline edge cases
+
+
+class TestErrorSpans:
+    def test_exception_marks_span_and_renders_red(self):
+        with pytest.raises(ValueError, match="boom"):
+            with TRACER.span("failing.op"):
+                raise ValueError("boom")
+        span = next(s for s in TRACER if s.name == "failing.op")
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        event = next(
+            e for e in chrome_trace([span])["traceEvents"] if e["ph"] == "X"
+        )
+        assert event["cname"] == "terrible"  # reserved red slice color
+        assert event["args"]["error"] == "ValueError: boom"
+
+    def test_ok_span_has_no_cname(self):
+        with TRACER.span("fine.op"):
+            pass
+        span = next(s for s in TRACER if s.name == "fine.op")
+        event = next(
+            e for e in chrome_trace([span])["traceEvents"] if e["ph"] == "X"
+        )
+        assert "cname" not in event
+
+    def test_record_span_accepts_status_and_error(self):
+        TRACER.record_span(
+            "late.op", 0.0, 0.5, status="error", error="TimeoutError: late"
+        )
+        span = next(s for s in TRACER if s.name == "late.op")
+        assert span.status == "error"
+        assert span.as_dict()["error"] == "TimeoutError: late"
+
+
+class TestJournalTimeline:
+    def make_record(self, cell, design="d", cycles=10):
+        return {"kind": "eval", "cell": cell, "design": design,
+                "actual": {"cycles": cycles}}
+
+    def test_empty_journal_yields_empty_timeline(self):
+        document = timeline_from_journal([])
+        assert document["traceEvents"] == []
+        header_only = timeline_from_journal([{"kind": "header", "schema": 1}])
+        assert header_only["traceEvents"] == []
+
+    def test_single_cell_single_lane(self):
+        records = [self.make_record("c1", f"d{i}") for i in range(3)]
+        document = timeline_from_journal(records)
+        lanes = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        evals = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(lanes) == 1 and lanes[0]["args"]["name"] == "c1"
+        assert len(evals) == 3
+        assert all(e["tid"] == 1 for e in evals)
+        assert [e["ts"] for e in evals] == [0.0, 1000.0, 2000.0]
+
+    def test_truncated_trailing_journal_line_is_tolerated(self, tmp_path):
+        from repro.campaign.journal import CampaignJournal
+
+        path = tmp_path / "journal.jsonl"
+        lines = [json.dumps({"campaign": "c", "kind": "header", "schema": 1,
+                             "spec_digest": "x"})]
+        lines += [json.dumps(self.make_record("c1", f"d{i}")) for i in range(2)]
+        path.write_text("\n".join(lines) + "\n" + '{"kind": "eval", "cell')
+        records = CampaignJournal.read_records(str(path))
+        document = timeline_from_journal(records)
+        evals = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(evals) == 2

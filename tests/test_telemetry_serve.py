@@ -134,6 +134,61 @@ class TestMetricsEndpoint:
         assert '"enabled"' in capsys.readouterr().out
 
 
+class TestDebugProfile:
+    def test_resource_collector_registered(self, client):
+        collected = client.metrics()["collected"]
+        assert "serve.resource" in collected
+        assert collected["serve.resource"]["max_rss_kb"] > 0
+
+    def test_profile_window_attributes_live_spans(self, client):
+        """Acceptance path: a profile window captured while requests are
+        in flight must attribute nonzero CPU to at least one span, and
+        the attribution must ride into the exported Chrome trace."""
+        stop = threading.Event()
+
+        def load(index):
+            count = 0
+            while not stop.is_set():
+                source = PROGRAM.replace("2.0", f"{index + 2}.{count % 97}")
+                count += 1
+                client.predict(source, data=DATA)
+
+        threads = [threading.Thread(target=load, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            out = client.debug_profile(seconds=0.8)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert out["completed_spans"] > 0
+        assert out["attributed_spans"] > 0
+        billed = [row for row in out["top"] if row["cpu_ms"] > 0.0]
+        assert billed, "no span received a CPU attribution"
+        chrome_billed = [
+            event
+            for event in out["chrome_trace"]["traceEvents"]
+            if event.get("args", {}).get("cpu_ms", 0.0) > 0.0
+        ]
+        assert chrome_billed, "attribution missing from the Chrome trace"
+
+    def test_concurrent_profile_window_conflicts(self, client, server):
+        from repro.errors import ServeError
+        from repro.obs import ResourceProfiler
+        from repro.telemetry import TRACER as tracer
+
+        with ResourceProfiler(tracer, interval_ms=5.0):
+            with pytest.raises(ServeError, match="409"):
+                client.debug_profile(seconds=0.2)
+
+    def test_bad_seconds_is_400(self, client):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="400"):
+            client.debug_profile(seconds=-1)
+
+
 class TestBatchStatsRace:
     def test_snapshot_consistent_under_concurrent_flushes(self):
         """Regression: ``as_dict`` used to read fields without the lock,
